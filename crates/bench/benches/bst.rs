@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: BST search (Figure 10's operation).
+
+use amac::engine::{Technique, TuningParams};
+use amac_ops::bst::{bst_search, BstConfig};
+use amac_tree::Bst;
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_bst(c: &mut Criterion) {
+    let n = 1 << 18;
+    let rel = Relation::sparse_unique(n, 0xF1);
+    let tree = Bst::build(&rel);
+    let probes = rel.shuffled(0xF2);
+    let mut group = c.benchmark_group("bst_search");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = BstConfig {
+            params: TuningParams::paper_best(t),
+            materialize: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let out = bst_search(&tree, &probes, t, &cfg);
+                assert_eq!(out.found, n as u64);
+                out.checksum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bst);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmark: B+-tree search (the regularity ablation's
+//! regular half).
+
+use amac::engine::{Technique, TuningParams};
+use amac_btree::BPlusTree;
+use amac_ops::btree::{btree_search, BTreeConfig};
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_btree(c: &mut Criterion) {
+    let n = 1 << 18;
+    let rel = Relation::sparse_unique(n, 0xE1);
+    let tree = BPlusTree::build(&rel);
+    let probes = rel.shuffled(0xE2);
+    let mut group = c.benchmark_group("btree_search");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = BTreeConfig { params: TuningParams::paper_best(t), materialize: false };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let out = btree_search(&tree, &probes, t, &cfg);
+                assert_eq!(out.found, n as u64);
+                out.checksum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark: hash-table build (the latched insert path
+//! behind Figure 5's build bars).
+
+use amac::engine::{Technique, TuningParams};
+use amac_hashtable::HashTable;
+use amac_ops::join::{build, BuildConfig};
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_build(c: &mut Criterion) {
+    let n = 1 << 18;
+    let r = Relation::dense_unique(n, 0xD1);
+    let mut group = c.benchmark_group("build_uniform");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = BuildConfig { params: TuningParams::paper_best(t) };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let ht = HashTable::for_tuples(n);
+                build(&ht, &r, t, &cfg);
+                ht.tuple_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

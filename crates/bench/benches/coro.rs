@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: hand-written AMAC vs coroutine AMAC on the
+//! hash probe (the §6 framework-overhead measurement).
+
+use amac::engine::{Technique, TuningParams};
+use amac_coro::{coro_probe, CoroConfig};
+use amac_hashtable::HashTable;
+use amac_ops::join::{probe, ProbeConfig};
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_coro_vs_amac(c: &mut Criterion) {
+    let n = 1 << 18;
+    let rel = Relation::dense_unique(n, 0xD1);
+    let ht = HashTable::build_serial(&rel);
+    let probes = rel.shuffled(0xD2);
+    let m = TuningParams::paper_best(Technique::Amac).in_flight;
+
+    let mut group = c.benchmark_group("probe_frontend");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+
+    let cfg = ProbeConfig {
+        params: TuningParams::with_in_flight(m),
+        materialize: false,
+        ..Default::default()
+    };
+    group.bench_function("amac_state_machine", |b| {
+        b.iter(|| {
+            let out = probe(&ht, &probes, Technique::Amac, &cfg);
+            assert_eq!(out.matches, n as u64);
+            out.checksum
+        })
+    });
+
+    let ccfg = CoroConfig { width: m, materialize: false, ..Default::default() };
+    group.bench_function("amac_coroutine", |b| {
+        b.iter(|| {
+            let out = coro_probe(&ht, &probes, &ccfg);
+            assert_eq!(out.matches, n as u64);
+            out.checksum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coro_vs_amac);
+criterion_main!(benches);

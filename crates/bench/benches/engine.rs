@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark: raw executor overhead on a no-memory
+//! simulated chain (isolates scheduling cost from cache behaviour — the
+//! instruction-overhead component of the paper's Table 3).
+
+use amac::engine::{run, LookupOp, Step, Technique, TuningParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+struct NopChain {
+    len: usize,
+    sink: u64,
+}
+
+#[derive(Default)]
+struct NopState {
+    remaining: usize,
+}
+
+impl LookupOp for NopChain {
+    type Input = u64;
+    type State = NopState;
+    fn budgeted_steps(&self) -> usize {
+        self.len
+    }
+    fn start(&mut self, input: u64, st: &mut NopState) {
+        st.remaining = self.len;
+        self.sink = self.sink.wrapping_add(input);
+    }
+    fn step(&mut self, st: &mut NopState) -> Step {
+        if st.remaining > 1 {
+            st.remaining -= 1;
+            Step::Continue
+        } else {
+            Step::Done
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..100_000u64).collect();
+    let mut group = c.benchmark_group("executor_overhead");
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    group.sample_size(20);
+    for t in Technique::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let mut op = NopChain { len: 4, sink: 0 };
+                run(t, &mut op, &inputs, TuningParams::paper_best(t));
+                op.sink
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: group-by aggregation (Figure 9's operation)
+//! on uniform and z = 1 inputs.
+
+use amac::engine::{Technique, TuningParams};
+use amac_ops::groupby::{groupby_fresh, GroupByConfig};
+use amac_workload::GroupByInput;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_groupby(c: &mut Criterion) {
+    let groups = 1 << 16;
+    for (tag, input) in [
+        ("uniform", GroupByInput::uniform(groups, 3, 0xE1)),
+        ("zipf_z1", GroupByInput::zipf(groups, groups * 3, 1.0, 0xE2)),
+    ] {
+        let mut g = c.benchmark_group(format!("groupby_{tag}"));
+        g.throughput(Throughput::Elements(input.len() as u64));
+        g.sample_size(10);
+        for t in Technique::ALL {
+            let cfg = GroupByConfig {
+                params: TuningParams::paper_best(t),
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+                b.iter(|| {
+                    let (table, out) = groupby_fresh(&input, t, &cfg);
+                    assert_eq!(out.tuples, input.len() as u64);
+                    table.bucket_count()
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_groupby);
+criterion_main!(benches);

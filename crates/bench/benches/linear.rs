@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: linear-probing table probe across fill
+//! factors (the layout ablation's irregularity knob).
+
+use amac::engine::{Technique, TuningParams};
+use amac_hashtable::LinearTable;
+use amac_ops::linear::{linear_probe, LinearProbeConfig};
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_linear(c: &mut Criterion) {
+    let n = 1 << 18;
+    let rel = Relation::dense_unique(n, 0xA1);
+    let probes = rel.shuffled(0xA2);
+    let mut group = c.benchmark_group("linear_probe");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for fill in [0.5, 0.95] {
+        let table = LinearTable::build_serial(&rel, fill);
+        for t in [Technique::Baseline, Technique::Amac] {
+            let cfg = LinearProbeConfig {
+                params: TuningParams::paper_best(t),
+                materialize: false,
+                ..Default::default()
+            };
+            let id = BenchmarkId::new(t.label(), format!("fill={fill}"));
+            group.bench_with_input(id, &t, |b, &t| {
+                b.iter(|| {
+                    let out = linear_probe(&table, &probes, t, &cfg);
+                    assert_eq!(out.matches, n as u64);
+                    out.checksum
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear);
+criterion_main!(benches);

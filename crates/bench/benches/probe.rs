@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark: hash-table probe under all four techniques
+//! (the core operation behind Figures 3, 5, 6, 7).
+
+use amac::engine::{Technique, TuningParams};
+use amac_hashtable::HashTable;
+use amac_ops::join::{probe, ProbeConfig};
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_probe(c: &mut Criterion) {
+    let n = 1 << 18;
+    let r = Relation::dense_unique(n, 0xB1);
+    let s = Relation::fk_uniform(&r, n, 0xB2);
+    let ht = HashTable::build_serial(&r);
+    let mut group = c.benchmark_group("probe_uniform");
+    group.throughput(Throughput::Elements(s.len() as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = ProbeConfig {
+            params: TuningParams::paper_best(t),
+            materialize: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let out = probe(&ht, &s, t, &cfg);
+                assert_eq!(out.matches, s.len() as u64);
+                out.checksum
+            })
+        });
+    }
+    group.finish();
+
+    // Skewed build relation: the robustness case.
+    let rs = Relation::zipf(n, n as u64, 1.0, 0xB3);
+    let ss = Relation::zipf(n, n as u64, 0.0, 0xB4);
+    let hts = HashTable::build_serial(&rs);
+    let mut group = c.benchmark_group("probe_skewed_z1");
+    group.throughput(Throughput::Elements(ss.len() as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = ProbeConfig {
+            params: TuningParams::paper_best(t),
+            materialize: false,
+            scan_all: true,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| probe(&hts, &ss, t, &cfg).checksum)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

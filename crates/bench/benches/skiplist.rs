@@ -1,0 +1,50 @@
+//! Criterion micro-benchmark: skip-list search and insert (Figure 11's
+//! operations).
+
+use amac::engine::{Technique, TuningParams};
+use amac_ops::skiplist::{skip_insert, skip_search, SkipConfig};
+use amac_skiplist::SkipList;
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_skiplist(c: &mut Criterion) {
+    let n = 1 << 16;
+    let rel = Relation::sparse_unique(n, 0xA7);
+    let list = SkipList::new();
+    skip_insert(&list, &rel, Technique::Baseline, &SkipConfig::default(), 0x5EED);
+    let probes = rel.shuffled(0xA8);
+
+    let mut group = c.benchmark_group("skiplist_search");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = SkipConfig { params: TuningParams::paper_best(t), ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let out = skip_search(&list, &probes, t, &cfg);
+                assert_eq!(out.found, n as u64);
+                out.checksum
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("skiplist_insert");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(10);
+    for t in Technique::ALL {
+        let cfg = SkipConfig { params: TuningParams::paper_best(t), ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
+            b.iter(|| {
+                let fresh = SkipList::new();
+                let out = skip_insert(&fresh, &rel, t, &cfg, 0x5EED);
+                assert_eq!(out.inserted, n as u64);
+                out.inserted
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skiplist);
+criterion_main!(benches);

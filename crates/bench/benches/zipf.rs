@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: workload-generation substrate — the
+//! rejection-inversion Zipf sampler and the Feistel permutation. Both sit
+//! on the critical path of the skewed experiment setup, so regressions
+//! here inflate every figure's wall time.
+
+use amac_workload::{FeistelPermutation, ZipfSampler};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sample");
+    group.throughput(Throughput::Elements(1));
+    for theta in [0.5, 0.75, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            let mut z = ZipfSampler::new(1 << 27, theta, 42);
+            b.iter(|| z.sample())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("feistel_apply");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("2^27", |b| {
+        let p = FeistelPermutation::new(1 << 27, 7);
+        let mut x = 0u64;
+        b.iter(|| {
+            let y = p.apply(x);
+            x = (x + 1) & ((1 << 27) - 1);
+            y
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! **Coroutine-framework overhead** (extension, paper §6): hand-written
+//! AMAC state machines vs compiler-generated coroutines on identical
+//! workloads.
+//!
+//! §6 proposes coroutines as the path to "minimal modifications to
+//! baseline code, easier programmability, and portability", and names the
+//! expected price: "the user-land threads' state maintenance and space
+//! overhead". Both sides are measured here:
+//!
+//! * time: cycles/tuple for `amac::engine::run_amac` (explicit state
+//!   save/restore) vs `amac_coro::run_interleaved` (async fn frames,
+//!   same rolling-ring schedule) on hash probe, BST and B+-tree search;
+//! * space: the hand-written state struct vs the compiler-laid-out
+//!   suspended frame (`InterleaveStats::future_bytes`).
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, probe_cfg, Args};
+use amac_btree::BPlusTree;
+use amac_coro::{
+    coro_bst_search, coro_btree_search, coro_probe, coro_skip_insert, coro_skip_search,
+    CoroConfig,
+};
+use amac_hashtable::HashTable;
+use amac_metrics::report::{fnum, Table};
+use amac_ops::bst::{bst_search, BstConfig};
+use amac_ops::btree::{btree_search, BTreeConfig};
+use amac_ops::join::probe;
+use amac_ops::skiplist::{skip_insert, skip_search, SkipConfig};
+use amac_skiplist::SkipList;
+use amac_tree::Bst;
+use amac_workload::Relation;
+
+fn main() {
+    let args = Args::parse();
+    let n = (1usize << args.scale.min(23)) / 2;
+    println!("# §6 automation — hand-written AMAC vs coroutine AMAC ({n} keys)\n");
+    let m = TuningParams::paper_best(Technique::Amac).in_flight;
+    let coro_cfg = CoroConfig { width: m, materialize: false, ..Default::default() };
+
+    let rel = Relation::dense_unique(n, 0x51);
+    let probes = rel.shuffled(0x62);
+
+    let mut table = Table::new("Cycles per lookup tuple")
+        .header(["workload", "Baseline", "AMAC (state machine)", "AMAC (coroutine)", "coro overhead", "frame bytes"]);
+
+    // Hash join probe.
+    {
+        let ht = HashTable::build_serial(&rel);
+        let (base, check0) = best_of(args.trials, || {
+            let out = probe(&ht, &probes, Technique::Baseline, &probe_cfg(1));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let (hand, check1) = best_of(args.trials, || {
+            let out = probe(&ht, &probes, Technique::Amac, &probe_cfg(m));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let mut frame = 0usize;
+        let (coro, check2) = best_of(args.trials, || {
+            let out = coro_probe(&ht, &probes, &coro_cfg);
+            frame = out.stats.future_bytes;
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        assert_eq!(check0, check1);
+        assert_eq!(check1, check2, "coroutine probe must agree with the state machine");
+        table.row([
+            "hash probe".to_string(),
+            fnum(base),
+            fnum(hand),
+            fnum(coro),
+            format!("{:+.1}%", (coro / hand - 1.0) * 100.0),
+            frame.to_string(),
+        ]);
+    }
+
+    // BST search.
+    {
+        let tree = Bst::build(&rel);
+        let bst_cfg = |t: Technique| BstConfig {
+            params: TuningParams::paper_best(t),
+            materialize: false,
+            ..Default::default()
+        };
+        let (base, c0) = best_of(args.trials, || {
+            let out = bst_search(&tree, &probes, Technique::Baseline, &bst_cfg(Technique::Baseline));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let (hand, c1) = best_of(args.trials, || {
+            let out = bst_search(&tree, &probes, Technique::Amac, &bst_cfg(Technique::Amac));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let mut frame = 0usize;
+        let (coro, c2) = best_of(args.trials, || {
+            let out = coro_bst_search(&tree, &probes, &coro_cfg);
+            frame = out.stats.future_bytes;
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        assert_eq!(c0, c1);
+        assert_eq!(c1, c2);
+        table.row([
+            "BST search".to_string(),
+            fnum(base),
+            fnum(hand),
+            fnum(coro),
+            format!("{:+.1}%", (coro / hand - 1.0) * 100.0),
+            frame.to_string(),
+        ]);
+    }
+
+    // B+-tree search.
+    {
+        let tree = BPlusTree::build(&rel);
+        let (base, c0) = best_of(args.trials, || {
+            let out = btree_search(
+                &tree,
+                &probes,
+                Technique::Baseline,
+                &BTreeConfig { params: TuningParams::paper_best(Technique::Baseline), materialize: false },
+            );
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let (hand, c1) = best_of(args.trials, || {
+            let out = btree_search(
+                &tree,
+                &probes,
+                Technique::Amac,
+                &BTreeConfig { params: TuningParams::paper_best(Technique::Amac), materialize: false },
+            );
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let mut frame = 0usize;
+        let (coro, c2) = best_of(args.trials, || {
+            let out = coro_btree_search(&tree, &probes, &coro_cfg);
+            frame = out.stats.future_bytes;
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        assert_eq!(c0, c1);
+        assert_eq!(c1, c2);
+        table.row([
+            "B+-tree search".to_string(),
+            fnum(base),
+            fnum(hand),
+            fnum(coro),
+            format!("{:+.1}%", (coro / hand - 1.0) * 100.0),
+            frame.to_string(),
+        ]);
+    }
+
+    // Skip list search + insert (the insert frame carries the §5.4
+    // predecessor vector — the paper's "0.5KB per lookup").
+    {
+        let list_n = n.min(1 << 20);
+        let rel = Relation::sparse_unique(list_n, 0x53);
+        let list = SkipList::new();
+        {
+            let mut h = list.handle(0x54);
+            for t in &rel.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        let probes = rel.shuffled(0x55);
+        let scfg = |t: Technique| SkipConfig {
+            params: TuningParams::paper_best(t),
+            ..Default::default()
+        };
+        let (base, c0) = best_of(args.trials, || {
+            let out = skip_search(&list, &probes, Technique::Baseline, &scfg(Technique::Baseline));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let (hand, c1) = best_of(args.trials, || {
+            let out = skip_search(&list, &probes, Technique::Amac, &scfg(Technique::Amac));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        let mut frame = 0usize;
+        let (coro, c2) = best_of(args.trials, || {
+            let out = coro_skip_search(&list, &probes, &CoroConfig { width: m, materialize: false, ..Default::default() });
+            frame = out.stats.future_bytes;
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        assert_eq!(c0, c1);
+        assert_eq!(c1, c2);
+        table.row([
+            "skip list search".to_string(),
+            fnum(base),
+            fnum(hand),
+            fnum(coro),
+            format!("{:+.1}%", (coro / hand - 1.0) * 100.0),
+            frame.to_string(),
+        ]);
+
+        // Insert: fresh lists per measurement (insertion is one-shot).
+        let ins_rel = Relation::sparse_unique(list_n / 2, 0x56);
+        let (base, _) = best_of(args.trials, || {
+            let l = SkipList::new();
+            let out = skip_insert(&l, &ins_rel, Technique::Baseline, &scfg(Technique::Baseline), 1);
+            (out.cycles as f64 / ins_rel.len() as f64, out.inserted)
+        });
+        let (hand, hn) = best_of(args.trials, || {
+            let l = SkipList::new();
+            let out = skip_insert(&l, &ins_rel, Technique::Amac, &scfg(Technique::Amac), 2);
+            (out.cycles as f64 / ins_rel.len() as f64, out.inserted)
+        });
+        let mut frame = 0usize;
+        let (coro, cn) = best_of(args.trials, || {
+            let l = SkipList::new();
+            let out = coro_skip_insert(&l, &ins_rel, m, 3);
+            frame = out.stats.future_bytes;
+            (out.cycles as f64 / ins_rel.len() as f64, out.inserted)
+        });
+        assert_eq!(hn, cn, "same insert count");
+        table.row([
+            "skip list insert".to_string(),
+            fnum(base),
+            fnum(hand),
+            fnum(coro),
+            format!("{:+.1}%", (coro / hand - 1.0) * 100.0),
+            frame.to_string(),
+        ]);
+    }
+
+    table.note(format!(
+        "hand-written probe state: {} B; BST state: {} B; skip-insert state: {} B (compare 'frame bytes')",
+        core::mem::size_of::<amac_ops::join::ProbeState>(),
+        core::mem::size_of::<amac_ops::bst::BstState>(),
+        core::mem::size_of::<amac_ops::skiplist::SkipInsertState>(),
+    ));
+    table.print();
+
+    // Width sensitivity (the Fig. 6 sweep in the coroutine model): §6
+    // reports "little sensitivity … beyond eight or so" for AMAC; the
+    // coroutine ring should inherit exactly that saturation shape.
+    {
+        let rel = Relation::dense_unique(n, 0x57);
+        let ht = HashTable::build_serial(&rel);
+        let probes = rel.shuffled(0x58);
+        let mut sweep = Table::new("Coroutine ring width sensitivity (hash probe cycles/tuple)")
+            .header(["width", "cycles/tuple"]);
+        for width in [1usize, 2, 4, 6, 8, 10, 12, 16] {
+            let cfg = CoroConfig { width, materialize: false, ..Default::default() };
+            let (c, _) = best_of(args.trials, || {
+                let out = coro_probe(&ht, &probes, &cfg);
+                (out.cycles as f64 / probes.len() as f64, out.checksum)
+            });
+            sweep.row([width.to_string(), fnum(c)]);
+        }
+        sweep.note("expect the paper's Fig. 6c shape: monotone to ~M=8-10, flat past it (L1-D MSHR limit)");
+        println!();
+        sweep.print();
+    }
+
+    println!(
+        "\nReading: the coroutine column prices §6's proposal. Same schedule,\n\
+         same prefetches — any gap is pure state-save/restore overhead, and\n\
+         'frame bytes' vs the hand-written state sizes is the space cost the\n\
+         paper predicted for a generalized framework."
+    );
+}

@@ -1,0 +1,59 @@
+//! **Figure 5**: hash join cycles per output tuple (build + probe
+//! breakdown) under the five `[Z_R, Z_S]` skew configurations, for the
+//! small (2MB ⋈ 2GB) and large (2GB ⋈ 2GB) build relations.
+//!
+//! Paper shape to reproduce: under uniform input all three prefetching
+//! techniques beat the baseline heavily on the large join (GP 2.8x,
+//! SPP 3.8x, AMAC 4.3x); under skewed R, GP/SPP degrade while AMAC stays
+//! within ~5% of its uniform probe cost.
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, cpt, probe_cfg, skew_label, Args, JoinLab, SKEW_CONFIGS};
+use amac_metrics::report::Table;
+
+fn run_panel(args: &Args, nr: usize, ns: usize, title: &str) {
+    let mut table = Table::new(title).header([
+        "[ZR,ZS]",
+        "Base build",
+        "Base probe",
+        "GP build",
+        "GP probe",
+        "SPP build",
+        "SPP probe",
+        "AMAC build",
+        "AMAC probe",
+    ]);
+    for (zr, zs) in SKEW_CONFIGS {
+        let lab = JoinLab::generate(nr, ns, zr, zs, 0xFEED ^ ((zr * 10.0) as u64) << 8);
+        let mut row = vec![skew_label(zr, zs)];
+        let mut checksums = Vec::new();
+        for t in Technique::ALL {
+            let m = TuningParams::paper_best(t).in_flight;
+            let (bcpt, (ht, _)) = best_of(args.trials, || {
+                let (ht, b) = lab.build_with(t, m);
+                (b, (ht, ()))
+            });
+            let cfg = probe_cfg(m);
+            let (pcpt, cks) = best_of(args.trials, || lab.probe_with(&ht, t, &cfg));
+            checksums.push(cks);
+            row.push(cpt(bcpt));
+            row.push(cpt(pcpt));
+        }
+        assert!(
+            checksums.windows(2).all(|w| w[0] == w[1]),
+            "techniques disagree on join result for {}",
+            skew_label(zr, zs)
+        );
+        table.row(row);
+    }
+    table.note(format!("cycles per tuple; |R|=2^{}, |S|=2^{}", nr.ilog2(), ns.ilog2()));
+    table.print();
+    println!();
+}
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 5 — hash join cycles breakdown (paper §5.1)\n");
+    run_panel(&args, args.r_small(), args.s_size(), "Fig 5a: small build relation (2MB-class)");
+    run_panel(&args, args.r_large(), args.s_size(), "Fig 5b: large build relation (2GB-class)");
+}

@@ -1,0 +1,59 @@
+//! **Figure 10**: BST search cycles per output tuple as the tree grows
+//! (paper x-axis: 2^15 … 2^28 nodes; scaled here, same spread).
+//!
+//! Paper shape: prefetching benefit grows with tree height (the baseline
+//! exposes no MLP on long pointer chains); AMAC peaks at 4.45x over
+//! baseline (2.8x geomean) vs GP 3.4x/2.1x and SPP 2.7x/1.8x, because
+//! random-BST depth *varies* across lookups and the static schedules
+//! waste stages / bail out on deep paths.
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, Args};
+use amac_metrics::report::{fnum, Table};
+use amac_metrics::stats::geomean;
+use amac_ops::bst::{bst_search, BstConfig};
+use amac_tree::Bst;
+use amac_workload::Relation;
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 10 — BST search (paper §5.3)\n");
+    // Paper sweeps 2^15..2^28 with probes = tree size; keep the relative
+    // ladder, capped by --scale.
+    let top = args.scale.min(24);
+    let sizes: Vec<u32> = (0..5).map(|i| top.saturating_sub(3 * (4 - i))).filter(|&b| b >= 10).collect();
+
+    let mut table = Table::new("Fig 10: BST search cycles per probe tuple")
+        .header(["tree size (log2)", "Baseline", "GP", "SPP", "AMAC"]);
+    let mut speedups: Vec<[f64; 3]> = Vec::new();
+    for bits in &sizes {
+        let n = 1usize << bits;
+        let rel = Relation::sparse_unique(n, 0xBB ^ *bits as u64);
+        let tree = Bst::build(&rel);
+        let probes = rel.shuffled(0xCC ^ *bits as u64);
+        let mut row = vec![bits.to_string()];
+        let mut cycles = [0.0f64; 4];
+        for (i, t) in Technique::ALL.iter().enumerate() {
+            let cfg = BstConfig {
+                params: TuningParams::paper_best(*t),
+                materialize: false,
+                ..Default::default()
+            };
+            let (c, _) = best_of(args.trials, || {
+                let out = bst_search(&tree, &probes, *t, &cfg);
+                (out.cycles as f64 / probes.len() as f64, out.checksum)
+            });
+            cycles[i] = c;
+            row.push(fnum(c));
+        }
+        speedups.push([cycles[0] / cycles[1], cycles[0] / cycles[2], cycles[0] / cycles[3]]);
+        table.row(row);
+    }
+    table.note(format!(
+        "geomean speedup over baseline: GP {:.2}x, SPP {:.2}x, AMAC {:.2}x (paper: 2.1x / 1.8x / 2.8x)",
+        geomean(&speedups.iter().map(|s| s[0]).collect::<Vec<_>>()),
+        geomean(&speedups.iter().map(|s| s[1]).collect::<Vec<_>>()),
+        geomean(&speedups.iter().map(|s| s[2]).collect::<Vec<_>>()),
+    ));
+    table.print();
+}

@@ -1,0 +1,67 @@
+//! **Figure 11**: skip-list search and insert cycles per output tuple at
+//! three list sizes (paper: 2^17, 2^21, 2^25 elements).
+//!
+//! Paper shape: per-level traversal lengths are irregular, so GP/SPP gain
+//! little on search (1.15x/1.2x avg) while AMAC reaches 1.9x (2.6x max);
+//! insert adds CPU-bound splice work that prefetching cannot hide, so all
+//! speedups compress (paper: 1.1x/1.2x/1.4x).
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, Args};
+use amac_metrics::report::{fnum, Table};
+use amac_ops::skiplist::{skip_insert, skip_search, SkipConfig};
+use amac_skiplist::SkipList;
+use amac_workload::Relation;
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 11 — skip list search and insert (paper §5.4)\n");
+    // Paper ladder 17/21/25 capped at scale (skip lists are the most
+    // memory-hungry structure; the paper itself caps them at 2^25).
+    let top = args.scale.min(22);
+    let sizes: Vec<u32> = [top.saturating_sub(8), top.saturating_sub(4), top]
+        .into_iter()
+        .filter(|&b| b >= 10)
+        .collect();
+
+    for op in ["Search", "Insert"] {
+        let mut table = Table::new(format!("Fig 11: skip list {op} cycles per tuple"))
+            .header(["elements (log2)", "Baseline", "GP", "SPP", "AMAC"]);
+        for bits in &sizes {
+            let n = 1usize << bits;
+            let rel = Relation::sparse_unique(n, 0x11AA ^ *bits as u64);
+            // One shared list for the search workload (built once).
+            let search_list = if op == "Search" {
+                let list = SkipList::new();
+                skip_insert(&list, &rel, Technique::Baseline, &SkipConfig::default(), 0x5EED);
+                Some((list, rel.shuffled(0x77 ^ *bits as u64)))
+            } else {
+                None
+            };
+            let mut row = vec![bits.to_string()];
+            for t in Technique::ALL {
+                let cfg = SkipConfig {
+                    params: TuningParams::paper_best(t),
+                    ..Default::default()
+                };
+                let (c, _) = best_of(args.trials, || {
+                    if let Some((list, probes)) = &search_list {
+                        let out = skip_search(list, probes, t, &cfg);
+                        assert_eq!(out.found as usize, n, "{t}: lost matches");
+                        (out.cycles as f64 / n as f64, ())
+                    } else {
+                        // Build from scratch: the insert workload.
+                        let list = SkipList::new();
+                        let out = skip_insert(&list, &rel, t, &cfg, 0x5EED);
+                        assert_eq!(out.inserted as usize, n, "{t}: lost inserts");
+                        (out.cycles as f64 / n as f64, ())
+                    }
+                });
+                row.push(fnum(c));
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+}

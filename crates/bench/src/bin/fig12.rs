@@ -1,0 +1,70 @@
+//! **Figure 12** *(second-platform simulation)*: hash join and group-by
+//! under the narrow-core emulation profile (see fig08 / DESIGN.md — the
+//! paper's SPARC T4 is unavailable; the preserved claim is that technique
+//! ordering is robust across platform profiles, with AMAC best except for
+//! isolated build-phase cases).
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, probe_cfg, skew_label, Args, JoinLab};
+use amac_metrics::report::{fnum, Table};
+use amac_ops::groupby::{groupby_fresh, GroupByConfig};
+use amac_workload::GroupByInput;
+
+const EMULATED_M: usize = 6;
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 12 — hash join & group-by, second-platform emulation (paper §5.5)");
+    println!("# SUBSTITUTION: SPARC T4 unavailable; narrow-core profile M={EMULATED_M}\n");
+
+    // --- (a) hash join, large relations, three skews ---------------------
+    let mut table = Table::new("Fig 12a: hash join cycles per output tuple (emulated)")
+        .header(["[ZR,ZS]", "Base b", "Base p", "GP b", "GP p", "SPP b", "SPP p", "AMAC b", "AMAC p"]);
+    for (zr, zs) in [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)] {
+        let lab = JoinLab::generate(args.r_large(), args.s_size(), zr, zs, 0x128);
+        let mut row = vec![skew_label(zr, zs)];
+        for t in Technique::ALL {
+            let (b, (ht, _)) = best_of(args.trials, || {
+                let (ht, b) = lab.build_with(t, EMULATED_M);
+                (b, (ht, ()))
+            });
+            let mut cfg = probe_cfg(EMULATED_M);
+            cfg.scan_all = zr > 0.0;
+            let (p, _) = best_of(args.trials, || lab.probe_with(&ht, t, &cfg));
+            row.push(fnum(b));
+            row.push(fnum(p));
+        }
+        table.row(row);
+    }
+    table.note(format!("|R|=|S|=2^{}", args.scale));
+    table.print();
+    println!();
+
+    // --- (b) group-by ------------------------------------------------------
+    let mut gtable = Table::new("Fig 12b: group-by cycles per input tuple (emulated)")
+        .header(["distribution", "Baseline", "GP", "SPP", "AMAC"]);
+    let n_groups = args.s_size() >> 2;
+    let cases: [(&str, Option<f64>); 3] =
+        [("Uniform", None), ("Zipf (z=0.5)", Some(0.5)), ("Zipf (z=1)", Some(1.0))];
+    for (name, theta) in cases {
+        let input = match theta {
+            None => GroupByInput::uniform(n_groups, 3, 0x129),
+            Some(z) => GroupByInput::zipf(n_groups, n_groups * 3, z, 0x129),
+        };
+        let mut row = vec![name.to_string()];
+        for t in Technique::ALL {
+            let cfg = GroupByConfig {
+                params: TuningParams::with_in_flight(EMULATED_M),
+                ..Default::default()
+            };
+            let (c, _) = best_of(args.trials, || {
+                let (_t, out) = groupby_fresh(&input, t, &cfg);
+                (out.cycles as f64 / input.len().max(1) as f64, ())
+            });
+            row.push(fnum(c));
+        }
+        gtable.row(row);
+    }
+    gtable.note(format!("{n_groups} groups x3"));
+    gtable.print();
+}

@@ -1,0 +1,77 @@
+//! **Figure 13** *(second-platform simulation)*: BST search and skip-list
+//! insert under the narrow-core emulation profile (see fig08 / DESIGN.md;
+//! the paper's SPARC T4 is unavailable).
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, Args};
+use amac_metrics::report::{fnum, Table};
+use amac_ops::bst::{bst_search, BstConfig};
+use amac_ops::skiplist::{skip_insert, skip_search, SkipConfig};
+use amac_skiplist::SkipList;
+use amac_tree::Bst;
+use amac_workload::Relation;
+
+const EMULATED_M: usize = 6;
+
+fn main() {
+    let args = Args::parse();
+    println!("# Figure 13 — BST & skip list, second-platform emulation (paper §5.5)");
+    println!("# SUBSTITUTION: SPARC T4 unavailable; narrow-core profile M={EMULATED_M}\n");
+
+    let mut table = Table::new("Fig 13: cycles per output tuple (emulated)")
+        .header(["workload", "Baseline", "GP", "SPP", "AMAC"]);
+
+    // BST search, one large size (paper: 2^28 on T4).
+    let bits = args.scale.min(23);
+    let rel = Relation::sparse_unique(1 << bits, 0x131);
+    let tree = Bst::build(&rel);
+    let probes = rel.shuffled(0x132);
+    let mut row = vec![format!("BST search 2^{bits}")];
+    for t in Technique::ALL {
+        let cfg = BstConfig {
+            params: TuningParams::with_in_flight(EMULATED_M),
+            materialize: false,
+            ..Default::default()
+        };
+        let (c, _) = best_of(args.trials, || {
+            let out = bst_search(&tree, &probes, t, &cfg);
+            (out.cycles as f64 / probes.len() as f64, ())
+        });
+        row.push(fnum(c));
+    }
+    table.row(row);
+    drop(tree);
+
+    // Skip list search + insert (paper: 2^25 on T4).
+    let sbits = args.scale.min(21);
+    let srel = Relation::sparse_unique(1 << sbits, 0x133);
+    for op in ["search", "insert"] {
+        let mut row = vec![format!("Skip list {op} 2^{sbits}")];
+        let built = if op == "search" {
+            let list = SkipList::new();
+            skip_insert(&list, &srel, Technique::Baseline, &SkipConfig::default(), 0x5EED);
+            Some((list, srel.shuffled(0x134)))
+        } else {
+            None
+        };
+        for t in Technique::ALL {
+            let cfg = SkipConfig {
+                params: TuningParams::with_in_flight(EMULATED_M),
+                ..Default::default()
+            };
+            let (c, _) = best_of(args.trials, || {
+                if let Some((list, probes)) = &built {
+                    let out = skip_search(list, probes, t, &cfg);
+                    (out.cycles as f64 / probes.len() as f64, ())
+                } else {
+                    let list = SkipList::new();
+                    let out = skip_insert(&list, &srel, t, &cfg, 0x5EED);
+                    (out.cycles as f64 / srel.len() as f64, ())
+                }
+            });
+            row.push(fnum(c));
+        }
+        table.row(row);
+    }
+    table.print();
+}

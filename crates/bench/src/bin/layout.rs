@@ -1,0 +1,84 @@
+//! **Hash-table layout ablation** (extension): chained vs open-addressing
+//! (linear probing) across fill factors, all four techniques.
+//!
+//! §2.1.1: "state-of-the-art hash tables offer a tradeoff between
+//! performance (i.e., number of chained memory accesses) and space
+//! efficiency … it is not possible to generalize a single type of hash
+//! table layout". This binary walks that tradeoff: the chained table's
+//! probe length is set by its chain structure, the linear table's by its
+//! fill factor. Low fill ⇒ nearly every lookup resolves in its home cache
+//! line (regular, friendly to GP/SPP); high fill ⇒ a long-tailed
+//! displacement distribution (irregular, AMAC's territory).
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, probe_cfg, Args};
+use amac_hashtable::{HashTable, LinearTable};
+use amac_metrics::report::{fnum, Table};
+use amac_ops::join::probe;
+use amac_ops::linear::{linear_probe, LinearProbeConfig};
+use amac_workload::Relation;
+
+fn main() {
+    let args = Args::parse();
+    let n = (1usize << args.scale.min(23)) / 2;
+    println!("# Layout ablation — chained vs linear probing ({n} keys)\n");
+
+    let rel = Relation::dense_unique(n, 0x1A);
+    let probes = rel.shuffled(0x2B);
+
+    // Chained reference point (the paper's layout, early-exit probes).
+    let ht = HashTable::build_serial(&rel);
+    let mut chained = Table::new("Chained table (paper layout), cycles per probe tuple")
+        .header(["layout", "Baseline", "GP", "SPP", "AMAC"]);
+    let mut row = vec!["chained".to_string()];
+    for t in Technique::ALL {
+        let m = TuningParams::paper_best(t).in_flight;
+        let (c, _) = best_of(args.trials, || {
+            let out = probe(&ht, &probes, t, &probe_cfg(m));
+            (out.cycles as f64 / probes.len() as f64, out.checksum)
+        });
+        row.push(fnum(c));
+    }
+    chained.row(row);
+    chained.print();
+    println!();
+
+    let mut linear = Table::new("Linear-probing table, cycles per probe tuple by fill factor")
+        .header(["fill", "avg displ.", "Baseline", "GP", "SPP", "AMAC", "AMAC vs best-static"]);
+    for fill in [0.25, 0.5, 0.7, 0.85, 0.95] {
+        let table = LinearTable::build_serial(&rel, fill);
+        let stats = table.stats();
+        let mut cpt = [0.0f64; 4];
+        let mut row = vec![format!("{fill:.2}"), format!("{:.2}", stats.avg_displacement)];
+        let mut checks = Vec::new();
+        for (i, t) in Technique::ALL.iter().enumerate() {
+            let cfg = LinearProbeConfig {
+                params: TuningParams::paper_best(*t),
+                materialize: false,
+                ..Default::default()
+            };
+            let (c, check) = best_of(args.trials, || {
+                let out = linear_probe(&table, &probes, *t, &cfg);
+                (out.cycles as f64 / probes.len() as f64, out.checksum)
+            });
+            cpt[i] = c;
+            checks.push(check);
+            row.push(fnum(c));
+        }
+        assert!(
+            checks.windows(2).all(|w| w[0] == w[1]),
+            "techniques disagree at fill {fill}"
+        );
+        row.push(format!("{:.2}x", cpt[1].min(cpt[2]) / cpt[3]));
+        linear.row(row);
+    }
+    linear.note("fill factors are honoured exactly (fastrange slot mapping, no pow2 rounding)");
+    linear.print();
+    println!(
+        "\nReading: at low fill every technique sees ~1 line per probe and the\n\
+         prefetchers' margins compress; as fill grows the displacement tail\n\
+         lengthens and AMAC's robustness advantage (last column) widens —\n\
+         the same irregularity story as the paper's skewed chains, produced\n\
+         by a completely different layout mechanism."
+    );
+}

@@ -1,0 +1,134 @@
+//! **Partitioning vs prefetching** (extension, §7): remove the misses
+//! (radix-partitioned join) or hide them (AMAC on the no-partitioning
+//! join)?
+//!
+//! Balkesen et al. — the source of the paper's join baseline — frame
+//! main-memory joins as NPO (no partitioning, random probes) vs PRO
+//! (radix partitioning, cache-resident probes). AMAC attacks NPO's
+//! weakness directly. This binary stages the three-way comparison:
+//!
+//! * NPO + Baseline — the misses, unhidden (the paper's baseline);
+//! * NPO + AMAC — the misses, hidden (the paper's contribution);
+//! * PRO (radix) — the misses, removed, probed by Baseline *and* AMAC to
+//!   show prefetching has nothing left to add once partitions are
+//!   cache-resident (Fig. 5a's regime).
+//!
+//! Also sweeps the radix width and prices the software-managed scatter
+//! buffers (buffered vs unbuffered partitioning ablation).
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{best_of, probe_cfg, Args};
+use amac_hashtable::HashTable;
+use amac_metrics::report::{fnum, Table};
+use amac_metrics::timer::CycleTimer;
+use amac_ops::join::probe;
+use amac_ops::join_radix::{radix_join, RadixJoinConfig};
+use amac_radix::{partition, partition_unbuffered};
+use amac_workload::Relation;
+
+fn main() {
+    let args = Args::parse();
+    let n = 1usize << args.scale.min(23);
+    println!("# Partitioning vs prefetching — NPO/AMAC vs radix join ({n} ⋈ {n})\n");
+
+    let r = Relation::dense_unique(n, 0x71);
+    let s = Relation::fk_uniform(&r, n, 0x72);
+
+    // --- No-partitioning side. ---
+    let ht = HashTable::build_serial(&r);
+    let m = TuningParams::paper_best(Technique::Amac).in_flight;
+    let (npo_base, check) = best_of(args.trials, || {
+        let out = probe(&ht, &s, Technique::Baseline, &probe_cfg(1));
+        (out.cycles as f64 / s.len() as f64, out.checksum)
+    });
+    let (npo_amac, c2) = best_of(args.trials, || {
+        let out = probe(&ht, &s, Technique::Amac, &probe_cfg(m));
+        (out.cycles as f64 / s.len() as f64, out.checksum)
+    });
+    assert_eq!(check, c2);
+    drop(ht);
+
+    // --- Radix side: sweep partition width. ---
+    let mut table = Table::new("Cycles per probe tuple (probe-phase and end-to-end)")
+        .header(["configuration", "partition", "build", "probe", "total", "vs NPO+Base"]);
+    table.row([
+        "NPO + Baseline".to_string(),
+        "-".into(),
+        "-".into(),
+        fnum(npo_base),
+        fnum(npo_base),
+        "1.00x".into(),
+    ]);
+    table.row([
+        "NPO + AMAC".to_string(),
+        "-".into(),
+        "-".into(),
+        fnum(npo_amac),
+        fnum(npo_amac),
+        format!("{:.2}x", npo_base / npo_amac),
+    ]);
+
+    for bits in [4u32, 8, 11] {
+        for technique in [Technique::Baseline, Technique::Amac] {
+            let cfg = RadixJoinConfig {
+                bits,
+                probe: probe_cfg(if technique == Technique::Amac { m } else { 1 }),
+                ..Default::default()
+            };
+            let mut parts = (0.0, 0.0, 0.0);
+            let (total, c3) = best_of(args.trials, || {
+                let out = radix_join(&r, &s, technique, &cfg);
+                let d = s.len() as f64;
+                parts = (
+                    out.partition_cycles as f64 / d,
+                    out.build_cycles as f64 / d,
+                    out.probe_cycles as f64 / d,
+                );
+                (out.total_cycles() as f64 / d, out.checksum)
+            });
+            assert_eq!(check, c3, "radix join must agree with NPO");
+            table.row([
+                format!("radix {bits} bits + {technique}"),
+                fnum(parts.0),
+                fnum(parts.1),
+                fnum(parts.2),
+                fnum(total),
+                format!("{:.2}x", npo_base / total),
+            ]);
+        }
+    }
+    table.note("8 bits ≈ cache-resident partitions here; 11 bits exposes per-partition fixed costs (table allocation) — fan-out is a real tuning knob, like GP/SPP's N");
+    table.print();
+
+    // --- Software-managed buffer ablation. ---
+    let mut ab = Table::new("Scatter-pass ablation: software write buffers")
+        .header(["scatter", "cycles/tuple"]);
+    let (buffered, _) = best_of(args.trials, || {
+        let t = CycleTimer::start();
+        let p = partition(&s, 11);
+        (t.cycles() as f64 / s.len() as f64, p.tuples.len())
+    });
+    let (unbuffered, _) = best_of(args.trials, || {
+        let t = CycleTimer::start();
+        let p = partition_unbuffered(&s, 11);
+        (t.cycles() as f64 / s.len() as f64, p.tuples.len())
+    });
+    ab.row(["cache-line buffered".to_string(), fnum(buffered)]);
+    ab.row(["unbuffered".to_string(), fnum(unbuffered)]);
+    ab.note(format!(
+        "buffered/unbuffered ratio: {:.2} at 2^11 partitions — staging pays off only \
+         when open output streams exceed the TLB/cache budget; below that the extra \
+         copy is pure cost",
+        buffered / unbuffered
+    ));
+    println!();
+    ab.print();
+
+    println!(
+        "\nReading: AMAC closes most of the gap to the radix join *without*\n\
+         touching the data layout, and AMAC adds ~nothing on top of radix —\n\
+         cache-resident partitions leave no misses to hide (the paper's\n\
+         Fig. 5a/Table 3 regime). Hiding and removing misses are substitutes\n\
+         on the probe phase; partitioning additionally pays the scatter."
+    );
+}

@@ -1,0 +1,13 @@
+//! **Table 2 analogue**: print the host platform parameters the
+//! experiments actually ran on (the paper's Table 2 lists its Xeon x5670
+//! and SPARC T4).
+
+use amac_metrics::platform::Platform;
+
+fn main() {
+    print!("{}", Platform::detect());
+    println!();
+    println!("paper Table 2 reference points:");
+    println!("  Xeon x5670 : 6C/12T @ 2.93 GHz, 32 KB L1-D, 12 MB L3, 24 GB DDR3");
+    println!("  SPARC T4   : 8C/64T @ 3 GHz, 16 KB L1-D, 4 MB L3, 1 TB DDR3");
+}

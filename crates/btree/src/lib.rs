@@ -1,0 +1,27 @@
+//! # amac-btree — bulk-loaded cache-conscious B+-tree
+//!
+//! A static B+-tree with two-cache-line (128-byte) nodes, bulk-loaded
+//! perfectly balanced so that every lookup dereferences exactly
+//! [`BPlusTree::height`] nodes.
+//!
+//! ## Why a *balanced* tree in an AMAC reproduction?
+//!
+//! The paper's §5.3 tree experiment uses a random **unbalanced** BST
+//! precisely because its variable lookup depth defeats static prefetch
+//! schedules. This crate provides the *regular* counterpart the paper's
+//! argument implies (and its citations [10, 16, 23] build): with bulk-load
+//! balance the static stage budget `N = height` fits **every** lookup, so
+//! GP and SPP lose nothing to no-ops or bailouts. Benchmarking both trees
+//! with the same executors isolates *irregularity itself* as the variable —
+//! see `bench/bin/btree_sweep` and EXPERIMENTS.md.
+//!
+//! Nodes deliberately keep the dependent-access property: the next node's
+//! address is only known after the current node's keys are compared, so
+//! tree descent stays a pointer chase that hardware prefetchers cannot
+//! cover.
+
+mod node;
+mod tree;
+
+pub use node::{InnerNode, LeafNode, FANOUT_CHILDREN, FANOUT_KEYS};
+pub use tree::{BPlusTree, BTreeStats};

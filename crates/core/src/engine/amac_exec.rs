@@ -1,0 +1,239 @@
+//! The AMAC executor (§3 of the paper) and its ablation variants.
+
+use super::{EngineStats, LookupOp, Step};
+
+/// Execute `inputs` with **Asynchronous Memory Access Chaining**.
+///
+/// `m` is the circular-buffer size (paper's in-flight lookup count; ~10
+/// saturates a Xeon core's L1-D MSHRs). The executor:
+///
+/// * keeps each in-flight lookup's full state in its own buffer slot;
+/// * visits slots with a **rolling counter** (no modulo — §3.1 notes a
+///   division would be too costly for non-power-of-two `m`);
+/// * on [`Step::Done`] **immediately starts the next lookup in the same
+///   slot** (the paper's merged terminal+initial stage optimization), so
+///   the number of in-flight memory accesses stays constant;
+/// * on [`Step::Blocked`] leaves the slot untouched and moves on — the
+///   coarse-grained latch spin of §3.2.
+pub fn run_amac<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineStats {
+    run_amac_inner(op, inputs, m, true, false)
+}
+
+/// Ablation: AMAC **without** the merged terminal+initial stage — a
+/// finished slot is refilled only on its *next* rotation, so one memory
+/// access opportunity is lost per lookup transition (quantifies
+/// optimization (1) of §3.1).
+pub fn run_amac_no_merge<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineStats {
+    run_amac_inner(op, inputs, m, false, false)
+}
+
+/// Ablation: AMAC with **modulo slot indexing** instead of the rolling
+/// counter (quantifies the division cost the paper engineers around).
+pub fn run_amac_modulo<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineStats {
+    run_amac_inner(op, inputs, m, true, true)
+}
+
+#[inline(always)]
+fn run_amac_inner<O: LookupOp>(
+    op: &mut O,
+    inputs: &[O::Input],
+    m: usize,
+    merge_done_with_start: bool,
+    modulo_index: bool,
+) -> EngineStats {
+    let mut stats = EngineStats::default();
+    if inputs.is_empty() {
+        return stats;
+    }
+    let m = m.clamp(1, inputs.len());
+    let mut states: Vec<O::State> = Vec::with_capacity(m);
+    states.resize_with(m, O::State::default);
+
+    let mut next = 0usize; // next unconsumed input
+    let mut in_flight = 0usize;
+    let mut active = vec![false; m];
+
+    // Prologue: fill every slot with a fresh lookup.
+    for (slot, state) in active.iter_mut().zip(states.iter_mut()) {
+        if next == inputs.len() {
+            break;
+        }
+        op.start(inputs[next], state);
+        stats.stages += 1;
+        stats.prefetches += 1;
+        next += 1;
+        *slot = true;
+        in_flight += 1;
+    }
+
+    let mut k = 0usize;
+
+    // Hot main loop (merged-refill variant only): while input remains,
+    // every slot is occupied by construction, so no occupancy bookkeeping
+    // is needed — this is the steady state that executes for ~all of the
+    // run and matches the paper's Listing 1 structure.
+    if merge_done_with_start && !modulo_index && in_flight == m {
+        while next < inputs.len() {
+            match op.step(&mut states[k]) {
+                Step::Continue => {
+                    stats.stages += 1;
+                    stats.prefetches += 1;
+                }
+                Step::Blocked => {
+                    stats.latch_retries += 1;
+                }
+                Step::Done => {
+                    stats.stages += 1;
+                    stats.lookups += 1;
+                    op.start(inputs[next], &mut states[k]);
+                    stats.stages += 1;
+                    stats.prefetches += 1;
+                    next += 1;
+                }
+            }
+            k += 1;
+            if k == m {
+                k = 0;
+            }
+        }
+    }
+
+    // Drain / general loop: rotate over the buffer until every lookup has
+    // completed. Inactive slots only exist once the input is exhausted
+    // (or, in the no-merge ablation, for one rotation).
+    while in_flight > 0 || next < inputs.len() {
+        if active[k] {
+            match op.step(&mut states[k]) {
+                Step::Continue => {
+                    stats.stages += 1;
+                    stats.prefetches += 1;
+                }
+                Step::Blocked => {
+                    // Coarse-grained spin: move on, retry on next rotation.
+                    stats.latch_retries += 1;
+                }
+                Step::Done => {
+                    stats.stages += 1;
+                    stats.lookups += 1;
+                    if merge_done_with_start && next < inputs.len() {
+                        // Merged terminal+initial stage: refill immediately
+                        // so in-flight memory accesses stay constant.
+                        op.start(inputs[next], &mut states[k]);
+                        stats.stages += 1;
+                        stats.prefetches += 1;
+                        next += 1;
+                    } else {
+                        active[k] = false;
+                        in_flight -= 1;
+                    }
+                }
+            }
+        } else if next < inputs.len() {
+            // No-merge ablation: refill an empty slot one rotation late.
+            op.start(inputs[next], &mut states[k]);
+            stats.stages += 1;
+            stats.prefetches += 1;
+            next += 1;
+            active[k] = true;
+            in_flight += 1;
+        }
+        if modulo_index {
+            k = (k + 1) % m;
+        } else {
+            // Rolling counter, as in Listing 1 of the paper.
+            k += 1;
+            if k == m {
+                k = 0;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{ChainOp, LatchedOp};
+    use super::*;
+
+    #[test]
+    fn completes_all_lookups_in_input_order_outputs() {
+        let chains = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let mut op = ChainOp::new(&chains);
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+        let stats = run_amac(&mut op, &inputs, 4);
+        assert_eq!(stats.lookups, chains.len() as u64);
+        assert_eq!(op.outputs, vec![30, 10, 40, 10, 50, 90, 20, 60]);
+    }
+
+    #[test]
+    fn no_noops_and_no_bailouts_ever() {
+        let chains: Vec<usize> = (0..64).map(|i| 1 + (i * 7) % 13).collect();
+        let mut op = ChainOp::new(&chains);
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+        let stats = run_amac(&mut op, &inputs, 10);
+        assert_eq!(stats.noops, 0, "AMAC never visits dead stage slots");
+        assert_eq!(stats.bailouts, 0, "AMAC has no static budget to exceed");
+        assert_eq!(stats.bailout_stages, 0);
+    }
+
+    #[test]
+    fn stage_count_is_exact() {
+        // Each lookup of chain length c costs 1 start + c steps.
+        let chains = vec![2usize, 5, 1];
+        let mut op = ChainOp::new(&chains);
+        let inputs: Vec<usize> = (0..3).collect();
+        let stats = run_amac(&mut op, &inputs, 2);
+        assert_eq!(stats.stages, (3 + 2 + 5 + 1) as u64);
+        // Prefetches: one per start + one per non-final step.
+        assert_eq!(stats.prefetches, (3 + (2 - 1) + (5 - 1)));
+    }
+
+    #[test]
+    fn m_larger_than_input_is_clamped() {
+        let chains = vec![2usize, 2];
+        let mut op = ChainOp::new(&chains);
+        let stats = run_amac(&mut op, &[0usize, 1], 64);
+        assert_eq!(stats.lookups, 2);
+    }
+
+    #[test]
+    fn m_one_degenerates_to_sequential() {
+        let chains = vec![3usize, 2, 4];
+        let mut op = ChainOp::new(&chains);
+        let stats = run_amac(&mut op, &[0usize, 1, 2], 1);
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(op.outputs, vec![30, 20, 40]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut op = ChainOp::new(&[]);
+        let stats = run_amac(&mut op, &[], 8);
+        assert_eq!(stats, EngineStats::default());
+    }
+
+    #[test]
+    fn blocked_slots_are_deferred_not_spun() {
+        // A latch that frees itself only after other lookups progress:
+        // LatchedOp blocks lookup 0 until lookup 1 has completed.
+        let mut op = LatchedOp::new(2);
+        let stats = run_amac(&mut op, &[0usize, 1], 2);
+        assert_eq!(stats.lookups, 2);
+        assert!(stats.latch_retries > 0, "the blocked slot must have retried");
+        assert_eq!(op.completed, vec![1, 0], "blocked lookup finishes after its blocker");
+    }
+
+    #[test]
+    fn ablation_variants_produce_identical_outputs() {
+        let chains: Vec<usize> = (0..40).map(|i| 1 + (i * 11) % 7).collect();
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+        let mut a = ChainOp::new(&chains);
+        let mut b = ChainOp::new(&chains);
+        let mut c = ChainOp::new(&chains);
+        run_amac(&mut a, &inputs, 6);
+        run_amac_no_merge(&mut b, &inputs, 6);
+        run_amac_modulo(&mut c, &inputs, 6);
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.outputs, c.outputs);
+    }
+}

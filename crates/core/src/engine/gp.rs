@@ -1,0 +1,212 @@
+//! The Group Prefetching executor (Chen et al., reproduced as the paper's
+//! comparison point).
+
+use super::{EngineStats, LookupOp, Step};
+
+/// Execute `inputs` with **Group Prefetching**.
+///
+/// Lookups are processed in groups of `m`. Code stage 0 (`start`) runs for
+/// the whole group, then stages `1..=N` are swept over the group: each
+/// sweep gives every lookup exactly one stage opportunity. The static
+/// schedule produces the two pathologies the paper measures:
+///
+/// * lookups that finish **early** keep occupying their group slot — every
+///   later sweep must still visit and skip them (counted as
+///   [`noops`](EngineStats::noops));
+/// * lookups that need **more** than `N` stages fall into a sequential
+///   cleanup pass after the sweeps ([`bailouts`](EngineStats::bailouts)),
+///   where their remaining pointer dereferences run with no memory-access
+///   overlap ([`bailout_stages`](EngineStats::bailout_stages));
+/// * a busy latch burns the lookup's stage opportunity for that sweep
+///   ([`latch_retries`](EngineStats::latch_retries)) — conflicting lookups
+///   serialize into the cleanup pass.
+pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineStats {
+    let mut stats = EngineStats::default();
+    if inputs.is_empty() {
+        return stats;
+    }
+    let m = m.clamp(1, inputs.len());
+    let n = op.budgeted_steps().max(1);
+    let mut states: Vec<O::State> = Vec::with_capacity(m);
+    states.resize_with(m, O::State::default);
+    let mut done = vec![false; m];
+
+    let mut base = 0usize;
+    while base < inputs.len() {
+        let g = m.min(inputs.len() - base);
+        // Code stage 0 for the whole group.
+        for k in 0..g {
+            op.start(inputs[base + k], &mut states[k]);
+            stats.stages += 1;
+            stats.prefetches += 1;
+            done[k] = false;
+        }
+        // Stages 1..=N swept across the group.
+        for _sweep in 0..n {
+            for k in 0..g {
+                if done[k] {
+                    // Status check on a finished lookup: Fig. 2's gray box.
+                    stats.noops += 1;
+                    continue;
+                }
+                match op.step(&mut states[k]) {
+                    Step::Continue => {
+                        stats.stages += 1;
+                        stats.prefetches += 1;
+                    }
+                    Step::Done => {
+                        stats.stages += 1;
+                        stats.lookups += 1;
+                        done[k] = true;
+                    }
+                    Step::Blocked => {
+                        // The conflicting lookup loses this sweep's
+                        // opportunity; it will serialize into cleanup if it
+                        // runs out of sweeps.
+                        stats.latch_retries += 1;
+                    }
+                }
+            }
+        }
+        // Cleanup pass: over-length (or still-blocked) lookups complete
+        // sequentially, one at a time — no prefetch overlap.
+        cleanup_sequential(op, &mut states, &mut done, g, &mut stats);
+        base += g;
+    }
+    stats
+}
+
+/// Finish every unfinished lookup in `states[..g]`, one at a time.
+///
+/// A [`Step::Blocked`] inside cleanup hands single step opportunities to
+/// the other unfinished lookups (the latch holder is one of them in
+/// single-threaded runs), so cleanup cannot live-lock; all cleanup work is
+/// counted as bailout overhead.
+pub(super) fn cleanup_sequential<O: LookupOp>(
+    op: &mut O,
+    states: &mut [O::State],
+    done: &mut [bool],
+    g: usize,
+    stats: &mut EngineStats,
+) {
+    for k in 0..g {
+        if done[k] {
+            continue;
+        }
+        stats.bailouts += 1;
+        loop {
+            match op.step(&mut states[k]) {
+                Step::Continue => stats.bailout_stages += 1,
+                Step::Done => {
+                    stats.bailout_stages += 1;
+                    stats.lookups += 1;
+                    done[k] = true;
+                    break;
+                }
+                Step::Blocked => {
+                    stats.latch_retries += 1;
+                    // Let other unfinished lookups (the potential latch
+                    // holder among them) make progress.
+                    let mut progressed = false;
+                    for j in 0..g {
+                        if j == k || done[j] {
+                            continue;
+                        }
+                        match op.step(&mut states[j]) {
+                            Step::Continue => {
+                                stats.bailout_stages += 1;
+                                progressed = true;
+                            }
+                            Step::Done => {
+                                stats.bailout_stages += 1;
+                                stats.lookups += 1;
+                                done[j] = true;
+                                progressed = true;
+                            }
+                            Step::Blocked => stats.latch_retries += 1,
+                        }
+                    }
+                    if !progressed {
+                        // Only other *threads* can be holding the latch now.
+                        core::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{ChainOp, LatchedOp};
+    use super::*;
+
+    #[test]
+    fn outputs_match_input_order() {
+        let chains = vec![3usize, 1, 4, 1, 5];
+        let mut op = ChainOp::new(&chains);
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+        let stats = run_gp(&mut op, &inputs, 3);
+        assert_eq!(stats.lookups, 5);
+        assert_eq!(op.outputs, vec![30, 10, 40, 10, 50]);
+    }
+
+    #[test]
+    fn uniform_chains_incur_no_noops_or_bailouts() {
+        // Every chain exactly N: the GP sweet spot.
+        let chains = vec![4usize; 12];
+        let mut op = ChainOp::with_budget(&chains, 4);
+        let inputs: Vec<usize> = (0..12).collect();
+        let stats = run_gp(&mut op, &inputs, 4);
+        assert_eq!(stats.noops, 0);
+        assert_eq!(stats.bailouts, 0);
+        assert_eq!(stats.stages, 12 * 5);
+    }
+
+    #[test]
+    fn early_exits_burn_noop_slots() {
+        // Chains of 1 with a budget of 4: 3 wasted sweeps per lookup.
+        let chains = vec![1usize; 8];
+        let mut op = ChainOp::with_budget(&chains, 4);
+        let inputs: Vec<usize> = (0..8).collect();
+        let stats = run_gp(&mut op, &inputs, 4);
+        assert_eq!(stats.noops, 8 * 3);
+        assert_eq!(stats.bailouts, 0);
+    }
+
+    #[test]
+    fn long_chains_bail_out_sequentially() {
+        let chains = vec![10usize, 2, 2, 2];
+        let mut op = ChainOp::with_budget(&chains, 3);
+        let inputs: Vec<usize> = (0..4).collect();
+        let stats = run_gp(&mut op, &inputs, 4);
+        assert_eq!(stats.bailouts, 1);
+        assert_eq!(stats.bailout_stages, 10 - 3, "remaining steps run in cleanup");
+        assert_eq!(stats.lookups, 4);
+        assert_eq!(op.outputs[0], 100);
+    }
+
+    #[test]
+    fn partial_final_group() {
+        let chains = vec![2usize; 7];
+        let mut op = ChainOp::with_budget(&chains, 2);
+        let inputs: Vec<usize> = (0..7).collect();
+        let stats = run_gp(&mut op, &inputs, 4);
+        assert_eq!(stats.lookups, 7);
+    }
+
+    #[test]
+    fn latch_conflicts_serialize_without_deadlock() {
+        let mut op = LatchedOp::new(2);
+        let stats = run_gp(&mut op, &[0usize, 1], 2);
+        assert_eq!(stats.lookups, 2);
+        assert!(stats.latch_retries > 0);
+        assert_eq!(op.completed, vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut op = ChainOp::new(&[]);
+        assert_eq!(run_gp(&mut op, &[], 4), EngineStats::default());
+    }
+}

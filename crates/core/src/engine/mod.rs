@@ -1,0 +1,209 @@
+//! The four lookup executors and their shared vocabulary.
+//!
+//! # Model
+//!
+//! A *lookup* is a short state machine over a pointer chain:
+//!
+//! 1. [`LookupOp::start`] — the paper's *code stage 0*: consume one input
+//!    tuple, compute the first node address (hash the key / take the root),
+//!    **issue a prefetch** for it, and record everything needed to resume in
+//!    the per-lookup state.
+//! 2. [`LookupOp::step`] — every later code stage: dereference the
+//!    previously prefetched node and either finish ([`Step::Done`]),
+//!    prefetch the next node ([`Step::Continue`]), or report a busy latch
+//!    ([`Step::Blocked`], no progress made).
+//!
+//! A lookup with the paper's "N dependent memory accesses / N+1 code
+//! stages" is thus one `start` plus N `step`s.
+//!
+//! # Prefetch accounting convention
+//!
+//! Each `start` and each `step` returning `Continue` issues exactly one
+//! prefetch; `Done`/`Blocked` issue none. The executors use this convention
+//! to maintain the prefetch counter without threading a stats handle
+//! through the hot path.
+
+mod amac_exec;
+mod baseline;
+pub mod closure_api;
+mod gp;
+mod spp;
+mod stats;
+
+pub use amac_exec::{run_amac, run_amac_modulo, run_amac_no_merge};
+pub use baseline::run_baseline;
+pub use gp::run_gp;
+pub use spp::run_spp;
+pub use stats::EngineStats;
+
+/// Outcome of one executed code stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The stage issued a prefetch for the next node; resume this lookup
+    /// after other lookups have had a turn.
+    Continue,
+    /// The lookup finished; its output (if any) has been materialized by
+    /// the op.
+    Done,
+    /// A latch was busy; the stage made **no progress** and must be retried.
+    Blocked,
+}
+
+/// One pointer-chasing workload, written once and run by all four
+/// executors.
+///
+/// Implementations materialize their own outputs (they own output buffers
+/// or accumulators), so executors return only [`EngineStats`].
+pub trait LookupOp {
+    /// Per-tuple input (16-byte tuples in all paper workloads).
+    type Input: Copy;
+    /// Per-lookup resumable state — the paper's circular-buffer entry
+    /// (key, payload, rid, node pointer, stage).
+    type State: Default;
+
+    /// The paper's `N`: how many `step` calls a *regular* lookup needs.
+    /// GP and SPP size their static schedules with this; AMAC and the
+    /// baseline ignore it.
+    fn budgeted_steps(&self) -> usize;
+
+    /// Code stage 0: begin a lookup for `input`, issuing the first
+    /// prefetch.
+    fn start(&mut self, input: Self::Input, state: &mut Self::State);
+
+    /// Execute the next code stage of the lookup held in `state`.
+    fn step(&mut self, state: &mut Self::State) -> Step;
+}
+
+/// The prefetching technique to execute a workload with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// No-prefetch sequential execution.
+    Baseline,
+    /// Group Prefetching (Chen et al., TODS 2007).
+    Gp,
+    /// Software-Pipelined Prefetching (Chen et al., TODS 2007).
+    Spp,
+    /// Asynchronous Memory Access Chaining (this paper).
+    Amac,
+}
+
+impl Technique {
+    /// All techniques, in the paper's presentation order.
+    pub const ALL: [Technique; 4] =
+        [Technique::Baseline, Technique::Gp, Technique::Spp, Technique::Amac];
+
+    /// Short label used in tables ("Baseline", "GP", "SPP", "AMAC").
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Baseline => "Baseline",
+            Technique::Gp => "GP",
+            Technique::Spp => "SPP",
+            Technique::Amac => "AMAC",
+        }
+    }
+}
+
+impl core::fmt::Display for Technique {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl core::str::FromStr for Technique {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" | "base" | "nop" => Ok(Technique::Baseline),
+            "gp" | "group" => Ok(Technique::Gp),
+            "spp" | "pipeline" => Ok(Technique::Spp),
+            "amac" => Ok(Technique::Amac),
+            other => Err(format!("unknown technique '{other}'")),
+        }
+    }
+}
+
+/// Executor tuning knobs.
+///
+/// `in_flight` is the paper's `M`: the number of concurrent lookups a
+/// single thread keeps in flight (group size for GP, pipeline width for
+/// SPP, circular-buffer size for AMAC). The paper finds ~10 saturates a
+/// Xeon core's L1-D MSHRs and uses the best value per technique
+/// (GP 15, SPP 12, AMAC 10) — those are the [`TuningParams::paper_best`]
+/// presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningParams {
+    /// Number of in-flight lookups per thread (the paper's `M`).
+    pub in_flight: usize,
+}
+
+impl Default for TuningParams {
+    fn default() -> Self {
+        TuningParams { in_flight: 10 }
+    }
+}
+
+impl TuningParams {
+    /// Fixed width for all techniques.
+    pub fn with_in_flight(in_flight: usize) -> Self {
+        TuningParams { in_flight }
+    }
+
+    /// The per-technique best configurations reported in §2.2.2/§5.1.
+    pub fn paper_best(t: Technique) -> Self {
+        TuningParams {
+            in_flight: match t {
+                Technique::Baseline => 1,
+                Technique::Gp => 15,
+                Technique::Spp => 12,
+                Technique::Amac => 10,
+            },
+        }
+    }
+}
+
+/// Run `op` over `inputs` with the given technique and tuning.
+pub fn run<O: LookupOp>(
+    technique: Technique,
+    op: &mut O,
+    inputs: &[O::Input],
+    params: TuningParams,
+) -> EngineStats {
+    match technique {
+        Technique::Baseline => run_baseline(op, inputs),
+        Technique::Gp => run_gp(op, inputs, params.in_flight),
+        Technique::Spp => run_spp(op, inputs, params.in_flight),
+        Technique::Amac => run_amac(op, inputs, params.in_flight),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_labels_roundtrip_from_str() {
+        for t in Technique::ALL {
+            let parsed: Technique = t.label().parse().unwrap();
+            assert_eq!(parsed, t);
+        }
+        assert!("frobnicate".parse::<Technique>().is_err());
+    }
+
+    #[test]
+    fn tuning_defaults_match_paper() {
+        assert_eq!(TuningParams::default().in_flight, 10);
+        assert_eq!(TuningParams::paper_best(Technique::Gp).in_flight, 15);
+        assert_eq!(TuningParams::paper_best(Technique::Spp).in_flight, 12);
+        assert_eq!(TuningParams::paper_best(Technique::Amac).in_flight, 10);
+        assert_eq!(TuningParams::paper_best(Technique::Baseline).in_flight, 1);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Technique::Amac.to_string(), "AMAC");
+        assert_eq!(Technique::Gp.to_string(), "GP");
+    }
+}

@@ -1,0 +1,78 @@
+//! Executor-side event counters.
+
+/// Counters maintained by every executor over one run.
+///
+/// These are the quantities the paper uses to *explain* performance:
+/// instruction overhead (≈ [`stages`](EngineStats::stages) +
+/// [`noops`](EngineStats::noops)), lost MLP
+/// ([`bailout_stages`](EngineStats::bailout_stages) run without overlap),
+/// and serialization ([`latch_retries`](EngineStats::latch_retries)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Lookups completed.
+    pub lookups: u64,
+    /// Useful code stages executed (`start`s plus productive `step`s),
+    /// including stages executed inside bailouts.
+    pub stages: u64,
+    /// Stage slots visited for already-finished lookups — GP/SPP's gray
+    /// "no-operation" boxes (Fig. 2).
+    pub noops: u64,
+    /// Lookups that exceeded the static stage budget `N` and finished in a
+    /// sequential cleanup pass (GP/SPP only).
+    pub bailouts: u64,
+    /// Stages executed inside bailout cleanup, i.e. without prefetch
+    /// overlap.
+    pub bailout_stages: u64,
+    /// Failed latch acquisitions (AMAC: deferred slot rotations;
+    /// baseline/GP/SPP: in-place spin iterations).
+    pub latch_retries: u64,
+    /// Prefetches issued (by the convention documented on
+    /// [`super::LookupOp`]).
+    pub prefetches: u64,
+}
+
+impl EngineStats {
+    /// Merge counters from another run (per-thread aggregation).
+    pub fn merge(&mut self, o: &EngineStats) {
+        self.lookups += o.lookups;
+        self.stages += o.stages;
+        self.noops += o.noops;
+        self.bailouts += o.bailouts;
+        self.bailout_stages += o.bailout_stages;
+        self.latch_retries += o.latch_retries;
+        self.prefetches += o.prefetches;
+    }
+
+    /// Total stage slots visited per completed lookup — the software proxy
+    /// for instructions-per-tuple (Table 3).
+    pub fn work_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        (self.stages + self.noops + self.latch_retries + self.bailout_stages) as f64
+            / self.lookups as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = EngineStats { lookups: 1, stages: 10, prefetches: 5, ..Default::default() };
+        a.merge(&EngineStats { lookups: 2, noops: 3, bailouts: 1, ..Default::default() });
+        assert_eq!(a.lookups, 3);
+        assert_eq!(a.stages, 10);
+        assert_eq!(a.noops, 3);
+        assert_eq!(a.bailouts, 1);
+        assert_eq!(a.prefetches, 5);
+    }
+
+    #[test]
+    fn work_per_lookup() {
+        let s = EngineStats { lookups: 4, stages: 16, noops: 4, ..Default::default() };
+        assert!((s.work_per_lookup() - 5.0).abs() < 1e-12);
+        assert_eq!(EngineStats::default().work_per_lookup(), 0.0);
+    }
+}

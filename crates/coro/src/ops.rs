@@ -1,0 +1,480 @@
+//! Async lookup coroutines for the paper's read-only workloads, plus
+//! drivers mirroring the `amac-ops` interface.
+//!
+//! Each function here is the *baseline* traversal code with
+//! [`prefetch_yield`](crate::prefetch_yield()) dropped in at every pointer
+//! dereference — the "minimal modifications to baseline code" benefit §6
+//! predicts for a coroutine framework. Compare with the hand-written
+//! state machines in `amac-ops`: same algorithms, but those had to be
+//! factored into explicit stage enums and resumable state structs.
+
+use crate::executor::{run_interleaved, yield_now, InterleaveStats};
+use crate::{prefetch_yield, prefetch_yield_wide};
+use amac_btree::{BPlusTree, InnerNode, LeafNode};
+use amac_hashtable::HashTable;
+use amac_metrics::timer::CycleTimer;
+use amac_skiplist::{prefetch_node, SkipList};
+use amac_tree::Bst;
+use amac_workload::Relation;
+
+/// Per-lookup result of a chain probe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainHit {
+    /// Matches found on the chain.
+    pub matches: u64,
+    /// Wrapping sum of matched payloads.
+    pub sum: u64,
+    /// First matched payload, or `u64::MAX` on a miss.
+    pub first: u64,
+}
+
+/// Probe one hash-table chain for `key` as a coroutine.
+///
+/// `scan_all = false` stops after the first node containing a match
+/// (unique-key early exit); `true` walks the whole chain (join semantics
+/// under duplicates). Semantics match `amac_ops::join::ProbeOp` exactly.
+pub async fn probe_chain(ht: &HashTable, key: u64, scan_all: bool) -> ChainHit {
+    let mut hit = ChainHit { matches: 0, sum: 0, first: u64::MAX };
+    let mut node = ht.bucket_addr(key);
+    prefetch_yield(node).await;
+    loop {
+        // SAFETY: probe runs in the table's read-only phase; `node` points
+        // at the header or an arena-owned chain node.
+        let d = unsafe { (*node).data() };
+        let mut node_hit = false;
+        for i in 0..d.count as usize {
+            let t = d.tuples[i];
+            if t.key == key {
+                hit.matches += 1;
+                hit.sum = hit.sum.wrapping_add(t.payload);
+                if hit.first == u64::MAX {
+                    hit.first = t.payload;
+                }
+                node_hit = true;
+            }
+        }
+        if node_hit && !scan_all {
+            return hit;
+        }
+        let next = d.next;
+        if next.is_null() {
+            return hit;
+        }
+        prefetch_yield(next).await;
+        node = next;
+    }
+}
+
+/// Search the BST for `key` as a coroutine.
+pub async fn bst_find(tree: &Bst, key: u64) -> Option<u64> {
+    let mut cur = tree.root();
+    if cur.is_null() {
+        return None;
+    }
+    prefetch_yield(cur).await;
+    loop {
+        // SAFETY: read-only phase; nodes are arena-owned by the tree.
+        let node = unsafe { &*cur };
+        use core::cmp::Ordering::*;
+        cur = match key.cmp(&node.key) {
+            Equal => return Some(node.payload),
+            Less => node.left,
+            Greater => node.right,
+        };
+        if cur.is_null() {
+            return None;
+        }
+        prefetch_yield(cur).await;
+    }
+}
+
+/// Search the B+-tree for `key` as a coroutine.
+pub async fn btree_find(tree: &BPlusTree, key: u64) -> Option<u64> {
+    let mut ptr = tree.root_ptr();
+    if ptr.is_null() {
+        return None;
+    }
+    prefetch_yield_wide(ptr).await;
+    for _ in 1..tree.height() {
+        // SAFETY: read-only phase; levels above the last are inner nodes.
+        let inner = unsafe { &*ptr.cast::<InnerNode>() };
+        ptr = inner.select_child(key);
+        prefetch_yield_wide(ptr).await;
+    }
+    // SAFETY: the last level is a leaf.
+    unsafe { (*ptr.cast::<LeafNode>()).lookup(key) }
+}
+
+/// Search the skip list for `key` as a coroutine (Table 1's search
+/// stages: advance on `<`, match on `==`, descend on `>` — here as plain
+/// control flow rather than a stage enum).
+pub async fn skip_find(list: &SkipList, key: u64) -> Option<u64> {
+    let mut level = list.level();
+    let mut cur = list.head();
+    // SAFETY: read-only traversal over arena-owned nodes with acquire
+    // loads; the head sentinel always has a full-height tower.
+    unsafe {
+        let mut next = (*cur).next_ptr(level);
+        prefetch_node(next, level);
+        yield_now().await;
+        loop {
+            if !next.is_null() && (*next).key < key {
+                cur = next;
+                next = (*next).next_ptr(level);
+                prefetch_node(next, level);
+                yield_now().await;
+                continue;
+            }
+            if !next.is_null() && (*next).key == key {
+                return Some((*next).payload);
+            }
+            if level == 0 {
+                return None;
+            }
+            level -= 1;
+            next = (*cur).next_ptr(level);
+            prefetch_node(next, level);
+            yield_now().await;
+        }
+    }
+}
+
+/// Output of a coroutine-interleaved probe run.
+#[derive(Debug, Clone, Default)]
+pub struct CoroOutput {
+    /// Total key matches found.
+    pub matches: u64,
+    /// Wrapping sum of matched payloads (order-independent checksum).
+    pub checksum: u64,
+    /// First-match payload per input tuple (`u64::MAX` = miss) when
+    /// materializing.
+    pub out: Vec<u64>,
+    /// Executor counters, including the suspended-state size.
+    pub stats: InterleaveStats,
+    /// Loop cycles.
+    pub cycles: u64,
+    /// Loop wall time.
+    pub seconds: f64,
+}
+
+/// Coroutine driver configuration.
+#[derive(Debug, Clone)]
+pub struct CoroConfig {
+    /// In-flight coroutines (the paper's `M`).
+    pub width: usize,
+    /// Walk full chains (join semantics) instead of early exit.
+    pub scan_all: bool,
+    /// Materialize first-match payloads in input order.
+    pub materialize: bool,
+}
+
+impl Default for CoroConfig {
+    fn default() -> Self {
+        CoroConfig { width: 10, scan_all: false, materialize: true }
+    }
+}
+
+/// Hash-join probe of `s` against `ht`, coroutine-interleaved.
+pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput {
+    let mut res = CoroOutput {
+        out: if cfg.materialize { vec![u64::MAX; s.len()] } else { Vec::new() },
+        ..Default::default()
+    };
+    let scan_all = cfg.scan_all;
+    let timer = CycleTimer::start();
+    let (matches, checksum, materialize) =
+        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let out = &mut res.out;
+    res.stats = run_interleaved(
+        cfg.width,
+        &s.tuples,
+        |_, t| probe_chain(ht, t.key, scan_all),
+        |idx, hit: ChainHit| {
+            *matches += hit.matches;
+            *checksum = checksum.wrapping_add(hit.sum);
+            if materialize {
+                out[idx] = hit.first;
+            }
+        },
+    );
+    res.cycles = timer.cycles();
+    res.seconds = timer.seconds();
+    res
+}
+
+/// Multi-threaded [`coro_probe`]: `s` is split into `threads` chunks,
+/// each probed by its own coroutine ring (the Fig. 7 scalability driver
+/// in the coroutine model; probes are read-only, so no coordination is
+/// needed beyond the final merge).
+pub fn coro_probe_mt(
+    ht: &HashTable,
+    s: &Relation,
+    cfg: &CoroConfig,
+    threads: usize,
+) -> CoroOutput {
+    let threads = threads.max(1);
+    let chunk = s.len().div_ceil(threads).max(1);
+    let mut res = CoroOutput::default();
+    let timer = CycleTimer::start();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = s
+            .tuples
+            .chunks(chunk)
+            .map(|tuples| {
+                let scan_all = cfg.scan_all;
+                let width = cfg.width;
+                scope.spawn(move || {
+                    let (mut matches, mut checksum) = (0u64, 0u64);
+                    let stats = run_interleaved(
+                        width,
+                        tuples,
+                        |_, t| probe_chain(ht, t.key, scan_all),
+                        |_, hit: ChainHit| {
+                            matches += hit.matches;
+                            checksum = checksum.wrapping_add(hit.sum);
+                        },
+                    );
+                    (matches, checksum, stats)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (m, c, stats) = h.join().expect("probe worker panicked");
+            res.matches += m;
+            res.checksum = res.checksum.wrapping_add(c);
+            res.stats.completed += stats.completed;
+            res.stats.polls += stats.polls;
+            res.stats.future_bytes = stats.future_bytes;
+            res.stats.width = stats.width;
+        }
+    });
+    res.cycles = timer.cycles();
+    res.seconds = timer.seconds();
+    res
+}
+
+/// BST search of `probe_rel` against `tree`, coroutine-interleaved.
+pub fn coro_bst_search(tree: &Bst, probe_rel: &Relation, cfg: &CoroConfig) -> CoroOutput {
+    let mut res = CoroOutput {
+        out: if cfg.materialize { vec![u64::MAX; probe_rel.len()] } else { Vec::new() },
+        ..Default::default()
+    };
+    let timer = CycleTimer::start();
+    let (matches, checksum, materialize) =
+        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let out = &mut res.out;
+    res.stats = run_interleaved(
+        cfg.width,
+        &probe_rel.tuples,
+        |_, t| bst_find(tree, t.key),
+        |idx, found: Option<u64>| {
+            if let Some(p) = found {
+                *matches += 1;
+                *checksum = checksum.wrapping_add(p);
+                if materialize {
+                    out[idx] = p;
+                }
+            }
+        },
+    );
+    res.cycles = timer.cycles();
+    res.seconds = timer.seconds();
+    res
+}
+
+/// Skip-list search of `probe_rel` against `list`, coroutine-interleaved.
+pub fn coro_skip_search(
+    list: &SkipList,
+    probe_rel: &Relation,
+    cfg: &CoroConfig,
+) -> CoroOutput {
+    let mut res = CoroOutput {
+        out: if cfg.materialize { vec![u64::MAX; probe_rel.len()] } else { Vec::new() },
+        ..Default::default()
+    };
+    let timer = CycleTimer::start();
+    let (matches, checksum, materialize) =
+        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let out = &mut res.out;
+    res.stats = run_interleaved(
+        cfg.width,
+        &probe_rel.tuples,
+        |_, t| skip_find(list, t.key),
+        |idx, found: Option<u64>| {
+            if let Some(p) = found {
+                *matches += 1;
+                *checksum = checksum.wrapping_add(p);
+                if materialize {
+                    out[idx] = p;
+                }
+            }
+        },
+    );
+    res.cycles = timer.cycles();
+    res.seconds = timer.seconds();
+    res
+}
+
+/// B+-tree search of `probe_rel` against `tree`, coroutine-interleaved.
+pub fn coro_btree_search(
+    tree: &BPlusTree,
+    probe_rel: &Relation,
+    cfg: &CoroConfig,
+) -> CoroOutput {
+    let mut res = CoroOutput {
+        out: if cfg.materialize { vec![u64::MAX; probe_rel.len()] } else { Vec::new() },
+        ..Default::default()
+    };
+    let timer = CycleTimer::start();
+    let (matches, checksum, materialize) =
+        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let out = &mut res.out;
+    res.stats = run_interleaved(
+        cfg.width,
+        &probe_rel.tuples,
+        |_, t| btree_find(tree, t.key),
+        |idx, found: Option<u64>| {
+            if let Some(p) = found {
+                *matches += 1;
+                *checksum = checksum.wrapping_add(p);
+                if materialize {
+                    out[idx] = p;
+                }
+            }
+        },
+    );
+    res.cycles = timer.cycles();
+    res.seconds = timer.seconds();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amac_workload::Tuple;
+
+    #[test]
+    fn probe_finds_every_fk_match() {
+        let r = Relation::dense_unique(1 << 12, 11);
+        let s = Relation::fk_uniform(&r, 1 << 13, 12);
+        let ht = HashTable::build_serial(&r);
+        let out = coro_probe(&ht, &s, &CoroConfig::default());
+        assert_eq!(out.matches, 1 << 13);
+        assert!(out.out.iter().all(|&p| p != u64::MAX));
+    }
+
+    #[test]
+    fn probe_scan_all_counts_duplicates() {
+        let tuples: Vec<Tuple> =
+            (0..256u64).flat_map(|k| [Tuple::new(k, 1), Tuple::new(k, 2)]).collect();
+        let ht = HashTable::build_serial(&Relation::from_tuples(tuples));
+        let probe_rel =
+            Relation::from_tuples((0..256u64).map(|k| Tuple::new(k, 0)).collect());
+        let out = coro_probe(
+            &ht,
+            &probe_rel,
+            &CoroConfig { scan_all: true, ..Default::default() },
+        );
+        assert_eq!(out.matches, 512);
+        assert_eq!(out.checksum, 256 * 3);
+    }
+
+    #[test]
+    fn bst_search_hits_and_misses() {
+        let rel = Relation::sparse_unique(4096, 21);
+        let tree = Bst::build(&rel);
+        let out = coro_bst_search(&tree, &rel.shuffled(22), &CoroConfig::default());
+        assert_eq!(out.matches, 4096);
+        let missing =
+            Relation::from_tuples((0..64u64).map(|k| Tuple::new(k | (1 << 63), 0)).collect());
+        let miss_keys =
+            missing.tuples.iter().filter(|t| tree.get(t.key).is_none()).count();
+        let out = coro_bst_search(&tree, &missing, &CoroConfig::default());
+        assert_eq!(out.matches as usize, missing.len() - miss_keys);
+    }
+
+    #[test]
+    fn btree_search_matches_reference() {
+        let rel = Relation::sparse_unique(10_000, 31);
+        let tree = BPlusTree::build(&rel);
+        let probe_rel = rel.shuffled(32);
+        let out = coro_btree_search(&tree, &probe_rel, &CoroConfig::default());
+        assert_eq!(out.matches, 10_000);
+        for (i, t) in probe_rel.tuples.iter().enumerate() {
+            assert_eq!(out.out[i], tree.get(t.key).unwrap(), "key {}", t.key);
+        }
+    }
+
+    #[test]
+    fn multithreaded_probe_matches_single() {
+        let r = Relation::dense_unique(1 << 14, 91);
+        let s = r.shuffled(92);
+        let ht = HashTable::build_serial(&r);
+        let single = coro_probe(&ht, &s, &CoroConfig { materialize: false, ..Default::default() });
+        for threads in [1usize, 2, 4, 7] {
+            let mt = coro_probe_mt(
+                &ht,
+                &s,
+                &CoroConfig { materialize: false, ..Default::default() },
+                threads,
+            );
+            assert_eq!(mt.matches, single.matches, "threads={threads}");
+            assert_eq!(mt.checksum, single.checksum, "threads={threads}");
+            assert_eq!(mt.stats.completed, s.len() as u64, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn skip_search_matches_reference() {
+        let rel = Relation::sparse_unique(4096, 51);
+        let list = SkipList::new();
+        {
+            let mut h = list.handle(7);
+            for t in &rel.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        let probe_rel = rel.shuffled(52);
+        let out = coro_skip_search(&list, &probe_rel, &CoroConfig::default());
+        assert_eq!(out.matches, 4096);
+        for (i, t) in probe_rel.tuples.iter().enumerate() {
+            assert_eq!(out.out[i], list.get(t.key).unwrap(), "key {}", t.key);
+        }
+        // Misses stay misses.
+        let missing = Relation::from_tuples(
+            (0..100u64)
+                .map(|i| Tuple::new(i | (1 << 61), 0))
+                .filter(|t| list.get(t.key).is_none())
+                .collect(),
+        );
+        let out = coro_skip_search(&list, &missing, &CoroConfig::default());
+        assert_eq!(out.matches, 0);
+    }
+
+    #[test]
+    fn empty_structures() {
+        let ht = HashTable::with_buckets(4);
+        let probe_rel = Relation::from_tuples(vec![Tuple::new(1, 0)]);
+        assert_eq!(coro_probe(&ht, &probe_rel, &CoroConfig::default()).matches, 0);
+        let tree = Bst::new();
+        assert_eq!(coro_bst_search(&tree, &probe_rel, &CoroConfig::default()).matches, 0);
+        let bt = BPlusTree::new();
+        assert_eq!(coro_btree_search(&bt, &probe_rel, &CoroConfig::default()).matches, 0);
+    }
+
+    #[test]
+    fn suspended_state_size_is_reported() {
+        let rel = Relation::dense_unique(128, 1);
+        let ht = HashTable::build_serial(&rel);
+        let out = coro_probe(&ht, &rel, &CoroConfig::default());
+        // The §6 overhead concern: a compiled coroutine frame carries the
+        // chain pointer, key, flags and the yield-point state. It cannot
+        // be empty and should stay within a couple of cache lines.
+        assert!(out.stats.future_bytes > 0);
+        assert!(
+            out.stats.future_bytes <= 128,
+            "probe coroutine frame unexpectedly large: {} B",
+            out.stats.future_bytes
+        );
+    }
+}

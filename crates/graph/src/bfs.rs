@@ -1,0 +1,259 @@
+//! Level-synchronous BFS with interleaved frontier expansion.
+//!
+//! Each BFS level performs two batches of independent lookups, both
+//! executed by any of the four techniques:
+//!
+//! 1. **expand** — per frontier vertex: chase `offsets[v]` (one dependent
+//!    load), then walk the adjacency list one cache line (16 `u32`
+//!    neighbours) per code stage, prefetching the next line — chain length
+//!    varies with out-degree, the graph analogue of variable hash chains;
+//! 2. **visit** — per collected candidate: chase the visited-bitmap word
+//!    (a random dependent load), test-and-set, and append newly discovered
+//!    vertices to the next frontier.
+//!
+//! On power-law graphs the out-degree distribution is exactly the kind of
+//! irregularity that breaks GP/SPP's static schedules while AMAC keeps
+//! `M` memory accesses in flight.
+
+use crate::csr::Csr;
+use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
+use amac_mem::prefetch::prefetch_read;
+
+/// Edges consumed per expansion code stage: one 64-byte line of `u32`s.
+const EDGES_PER_STAGE: usize = 16;
+
+/// BFS configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BfsConfig {
+    /// Executor tuning (the paper's `M`).
+    pub params: TuningParams,
+}
+
+/// BFS result.
+#[derive(Debug, Clone, Default)]
+pub struct BfsOutput {
+    /// Vertices reached (including the source).
+    pub visited: u64,
+    /// Number of BFS levels (eccentricity of the source + 1).
+    pub levels: u32,
+    /// Per-vertex depth (`u32::MAX` = unreached).
+    pub depth: Vec<u32>,
+    /// Merged executor counters over all levels and both phases.
+    pub stats: EngineStats,
+}
+
+/// Frontier-expansion lookup: vertex → offset pair → adjacency lines.
+struct ExpandOp<'a> {
+    graph: &'a Csr,
+    candidates: Vec<u32>,
+    avg_degree: usize,
+}
+
+#[derive(Default)]
+struct ExpandState {
+    v: u32,
+    lo: u64,
+    hi: u64,
+    have_range: bool,
+}
+
+impl LookupOp for ExpandOp<'_> {
+    type Input = u32;
+    type State = ExpandState;
+
+    fn budgeted_steps(&self) -> usize {
+        // Offset load + the common-case number of edge lines.
+        2 + self.avg_degree / EDGES_PER_STAGE
+    }
+
+    fn start(&mut self, v: u32, st: &mut ExpandState) {
+        prefetch_read(self.graph.offset_addr(v));
+        st.v = v;
+        st.have_range = false;
+    }
+
+    fn step(&mut self, st: &mut ExpandState) -> Step {
+        if !st.have_range {
+            let (lo, hi) = self.graph.edge_range(st.v);
+            if lo == hi {
+                return Step::Done;
+            }
+            prefetch_read(self.graph.edge_addr(lo));
+            st.lo = lo;
+            st.hi = hi;
+            st.have_range = true;
+            return Step::Continue;
+        }
+        let take = ((st.hi - st.lo) as usize).min(EDGES_PER_STAGE);
+        let base = st.lo as usize;
+        // Bulk-copy one line of neighbours into the candidate buffer.
+        self.candidates
+            .extend_from_slice(&self.graph.neighbours_raw()[base..base + take]);
+        st.lo += take as u64;
+        if st.lo == st.hi {
+            return Step::Done;
+        }
+        prefetch_read(self.graph.edge_addr(st.lo));
+        Step::Continue
+    }
+}
+
+/// Visited-bitmap lookup: candidate vertex → bitmap word → next frontier.
+struct VisitOp<'a> {
+    bits: &'a mut [u64],
+    depth: &'a mut [u32],
+    level: u32,
+    next_frontier: Vec<u32>,
+}
+
+#[derive(Default)]
+struct VisitState {
+    c: u32,
+}
+
+impl LookupOp for VisitOp<'_> {
+    type Input = u32;
+    type State = VisitState;
+
+    fn budgeted_steps(&self) -> usize {
+        1
+    }
+
+    fn start(&mut self, c: u32, st: &mut VisitState) {
+        prefetch_read(&self.bits[(c >> 6) as usize] as *const u64);
+        st.c = c;
+    }
+
+    fn step(&mut self, st: &mut VisitState) -> Step {
+        let word = (st.c >> 6) as usize;
+        let mask = 1u64 << (st.c & 63);
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.depth[st.c as usize] = self.level;
+            self.next_frontier.push(st.c);
+        }
+        Step::Done
+    }
+}
+
+/// Run a single-source BFS from `src` under `technique`.
+pub fn bfs(graph: &Csr, src: u32, technique: Technique, cfg: &BfsConfig) -> BfsOutput {
+    let n = graph.vertices();
+    assert!((src as usize) < n, "source out of range");
+    let mut bits = vec![0u64; n.div_ceil(64)];
+    let mut depth = vec![u32::MAX; n];
+    bits[(src >> 6) as usize] |= 1 << (src & 63);
+    depth[src as usize] = 0;
+
+    let mut stats = EngineStats::default();
+    let mut frontier = vec![src];
+    let mut visited = 1u64;
+    let mut level = 0u32;
+    let avg_degree = (graph.edges() / n.max(1)).max(1);
+
+    while !frontier.is_empty() {
+        level += 1;
+        // Phase 1: expand the frontier into a candidate list.
+        let mut expand = ExpandOp {
+            graph,
+            candidates: Vec::with_capacity(frontier.len() * avg_degree),
+            avg_degree,
+        };
+        stats.merge(&run(technique, &mut expand, &frontier, cfg.params));
+        // Phase 2: visited-filter the candidates into the next frontier.
+        let mut visit = VisitOp {
+            bits: &mut bits,
+            depth: &mut depth,
+            level,
+            next_frontier: Vec::new(),
+        };
+        stats.merge(&run(technique, &mut visit, &expand.candidates, cfg.params));
+        visited += visit.next_frontier.len() as u64;
+        frontier = visit.next_frontier;
+    }
+
+    BfsOutput { visited, levels: level, depth, stats }
+}
+
+/// Reference BFS (queue-based) for validation.
+pub fn bfs_reference(graph: &Csr, src: u32) -> Vec<u32> {
+    let n = graph.vertices();
+    let mut depth = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    depth[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &w in graph.neighbours(v) {
+            if depth[w as usize] == u32::MAX {
+                depth[w as usize] = depth[v as usize] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_matches_reference_on_uniform_graph() {
+        let g = Csr::uniform_random(5_000, 4, 9);
+        let want = bfs_reference(&g, 0);
+        for t in Technique::ALL {
+            let out = bfs(&g, 0, t, &BfsConfig::default());
+            assert_eq!(out.depth, want, "{t}: depths diverge");
+            assert_eq!(
+                out.visited,
+                want.iter().filter(|&&d| d != u32::MAX).count() as u64,
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_power_law_graph() {
+        let g = Csr::power_law(5_000, 8, 1.0, 11);
+        let want = bfs_reference(&g, 42);
+        for t in Technique::ALL {
+            let out = bfs(&g, 42, t, &BfsConfig::default());
+            assert_eq!(out.depth, want, "{t}");
+        }
+    }
+
+    #[test]
+    fn bfs_on_disconnected_graph() {
+        // Two components: 0-1-2 and 3-4.
+        let g = Csr::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        let out = bfs(&g, 0, Technique::Amac, &BfsConfig::default());
+        assert_eq!(out.visited, 3);
+        assert_eq!(out.depth[3], u32::MAX);
+        assert_eq!(out.depth[4], u32::MAX);
+        assert_eq!(out.levels, 3); // levels incl. final empty expansion
+    }
+
+    #[test]
+    fn bfs_single_vertex() {
+        let g = Csr::from_edges(1, vec![]);
+        let out = bfs(&g, 0, Technique::Gp, &BfsConfig::default());
+        assert_eq!(out.visited, 1);
+        assert_eq!(out.depth, vec![0]);
+    }
+
+    #[test]
+    fn amac_bfs_never_bails() {
+        let g = Csr::power_law(10_000, 16, 1.2, 13);
+        let out = bfs(&g, 0, Technique::Amac, &BfsConfig::default());
+        assert_eq!(out.stats.bailouts, 0);
+        assert_eq!(out.stats.noops, 0);
+    }
+
+    #[test]
+    fn gp_bfs_bails_on_hub_vertices() {
+        // θ=1.2 power law: hub adjacency lists far exceed the avg budget.
+        let g = Csr::power_law(10_000, 16, 1.2, 13);
+        let out = bfs(&g, 0, Technique::Gp, &BfsConfig::default());
+        assert!(out.stats.bailouts > 0, "hubs must exceed GP's static budget");
+    }
+}

@@ -1,0 +1,179 @@
+//! Compressed-sparse-row graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in CSR form: `offsets[v]..offsets[v+1]` indexes into
+/// `edges`, which stores neighbour vertex ids.
+pub struct Csr {
+    offsets: Vec<u64>,
+    edges: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list (duplicates kept; self-loops allowed).
+    pub fn from_edges(n_vertices: usize, mut edge_list: Vec<(u32, u32)>) -> Csr {
+        assert!(n_vertices < u32::MAX as usize, "vertex ids are u32");
+        edge_list.sort_unstable();
+        let mut offsets = Vec::with_capacity(n_vertices + 1);
+        let mut edges = Vec::with_capacity(edge_list.len());
+        offsets.push(0);
+        let mut cur = 0u32;
+        for (src, dst) in edge_list {
+            assert!((src as usize) < n_vertices && (dst as usize) < n_vertices);
+            while cur < src {
+                offsets.push(edges.len() as u64);
+                cur += 1;
+            }
+            edges.push(dst);
+        }
+        while offsets.len() <= n_vertices {
+            offsets.push(edges.len() as u64);
+        }
+        Csr { offsets, edges }
+    }
+
+    /// Erdős–Rényi-style random graph: every vertex gets exactly `degree`
+    /// uniform out-neighbours.
+    pub fn uniform_random(n_vertices: usize, degree: usize, seed: u64) -> Csr {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edge_list = Vec::with_capacity(n_vertices * degree);
+        for v in 0..n_vertices as u32 {
+            for _ in 0..degree {
+                edge_list.push((v, rng.gen_range(0..n_vertices as u32)));
+            }
+        }
+        Csr::from_edges(n_vertices, edge_list)
+    }
+
+    /// Power-law graph: out-degrees follow Zipf(θ) (scale-free-ish), the
+    /// graph analogue of the paper's skewed relations — some vertices have
+    /// enormous adjacency lists, most have tiny ones.
+    pub fn power_law(n_vertices: usize, avg_degree: usize, theta: f64, seed: u64) -> Csr {
+        use rand::distributions::Distribution;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Degree of rank-r vertex ∝ 1/r^θ, normalized to the target edge
+        // count; vertices are assigned ranks via a shuffled identity.
+        let target_edges = n_vertices * avg_degree;
+        let norm: f64 = (1..=n_vertices as u64).map(|r| (r as f64).powf(-theta)).sum();
+        let mut edge_list = Vec::with_capacity(target_edges);
+        let uni = rand::distributions::Uniform::new(0, n_vertices as u32);
+        for (rank, v) in (0..n_vertices as u32).enumerate() {
+            let share = ((rank + 1) as f64).powf(-theta) / norm;
+            let degree = (share * target_edges as f64).round() as usize;
+            for _ in 0..degree {
+                edge_list.push((v, uni.sample(&mut rng)));
+            }
+        }
+        Csr::from_edges(n_vertices, edge_list)
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline(always)]
+    pub fn edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline(always)]
+    pub fn degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbours of `v`.
+    #[inline(always)]
+    pub fn neighbours(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// The whole edge array (staged traversals index it by the offsets
+    /// from [`Csr::edge_range`]).
+    #[inline(always)]
+    pub fn neighbours_raw(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Address of `v`'s offset entry (prefetch target for stage 0).
+    #[inline(always)]
+    pub fn offset_addr(&self, v: u32) -> *const u64 {
+        // SAFETY: v < vertices() is asserted by callers; +1 stays in range.
+        unsafe { self.offsets.as_ptr().add(v as usize) }
+    }
+
+    /// Address of the first edge of `v` (prefetch target for stage 1).
+    #[inline(always)]
+    pub fn edge_addr(&self, first_edge: u64) -> *const u32 {
+        debug_assert!(first_edge as usize <= self.edges.len());
+        // SAFETY: bounded by edges.len(); prefetch of the one-past-end
+        // address is harmless.
+        unsafe { self.edges.as_ptr().add(first_edge as usize) }
+    }
+
+    /// Raw offset pair for `v` (used by the staged BFS op).
+    #[inline(always)]
+    pub fn edge_range(&self, v: u32) -> (u64, u64) {
+        (self.offsets[v as usize], self.offsets[v as usize + 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_correct_adjacency() {
+        let g = Csr::from_edges(4, vec![(0, 1), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.vertices(), 4);
+        assert_eq!(g.edges(), 4);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(1), &[] as &[u32]);
+        assert_eq!(g.neighbours(2), &[3]);
+        assert_eq!(g.neighbours(3), &[0]);
+    }
+
+    #[test]
+    fn isolated_tail_vertices() {
+        let g = Csr::from_edges(5, vec![(0, 1)]);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbours(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn uniform_random_has_exact_degrees() {
+        let g = Csr::uniform_random(100, 8, 3);
+        assert_eq!(g.edges(), 800);
+        for v in 0..100u32 {
+            assert_eq!(g.degree(v), 8);
+            assert!(g.neighbours(v).iter().all(|&n| (n as usize) < 100));
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let g = Csr::power_law(1000, 8, 1.0, 5);
+        let max_deg = (0..1000u32).map(|v| g.degree(v)).max().unwrap();
+        let med = {
+            let mut d: Vec<usize> = (0..1000u32).map(|v| g.degree(v)).collect();
+            d.sort_unstable();
+            d[500]
+        };
+        assert!(max_deg > 20 * med.max(1), "max degree {max_deg} vs median {med} not skewed");
+    }
+
+    #[test]
+    fn edge_range_matches_neighbours() {
+        let g = Csr::uniform_random(50, 3, 7);
+        for v in 0..50u32 {
+            let (lo, hi) = g.edge_range(v);
+            assert_eq!((hi - lo) as usize, g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph workloads under AMAC — the paper's stated future work (§8:
+//! "Our future work will examine the efficacy of AMAC on graph
+//! workloads").
+//!
+//! Provides:
+//!
+//! * [`csr::Csr`] — a compact compressed-sparse-row graph with 64-byte
+//!   aligned adjacency storage, plus uniform and power-law (Zipf-degree)
+//!   random graph generators;
+//! * [`mod@bfs`] — breadth-first search whose *frontier expansion* is a batch
+//!   of independent vertex lookups: each lookup chases `vertex → offset →
+//!   neighbours → visited-bitmap`, the same dependent-load shape as a
+//!   hash-table probe, executed by any of the four techniques.
+//!
+//! BFS is the canonical demonstration that AMAC generalizes beyond
+//! relational operators: frontier sizes vary wildly (the irregularity GP
+//! and SPP cannot schedule statically) while every expansion within a
+//! frontier is independent (the inter-lookup parallelism AMAC exploits).
+
+pub mod bfs;
+pub mod csr;
+
+pub use bfs::{bfs, BfsConfig, BfsOutput};
+pub use csr::Csr;

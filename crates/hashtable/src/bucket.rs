@@ -1,0 +1,119 @@
+//! The 64-byte bucket / chain-node layout.
+
+use amac_mem::latch::Latch;
+use amac_workload::Tuple;
+use core::cell::UnsafeCell;
+
+/// Tuples stored inline per chain node (bucket header or overflow node).
+pub const TUPLES_PER_NODE: usize = 2;
+
+/// Mutable interior of a bucket: fill count, inline tuples, chain pointer.
+///
+/// `repr(C)` keeps the layout equal to the paper's C struct: 1-byte count
+/// (padded), 2 × 16-byte tuples, 8-byte next pointer — 48 bytes, leaving
+/// the latch and padding to reach one cache line.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct BucketData {
+    /// Number of occupied tuple slots in this node (0..=2).
+    pub count: u8,
+    /// Inline tuple storage; slots `0..count` are valid.
+    pub tuples: [Tuple; TUPLES_PER_NODE],
+    /// Next chain node, or null.
+    pub next: *mut Bucket,
+}
+
+impl Default for BucketData {
+    fn default() -> Self {
+        BucketData {
+            count: 0,
+            tuples: [Tuple::default(); TUPLES_PER_NODE],
+            next: core::ptr::null_mut(),
+        }
+    }
+}
+
+/// One cache-line-aligned hash-table chain node (bucket header and
+/// overflow node share this layout, per the paper's Fig. 1).
+#[repr(C, align(64))]
+#[derive(Debug, Default)]
+pub struct Bucket {
+    /// 1-byte test-and-set latch guarding this bucket's whole chain
+    /// (meaningful on bucket headers; unused on overflow nodes).
+    pub latch: Latch,
+    data: UnsafeCell<BucketData>,
+}
+
+// SAFETY: all mutation of `data` is performed while holding `latch` (build
+// phases); traversal without the latch only happens in read-only phases.
+// The raw `next` pointers always point into arenas owned by (or donated to)
+// the same table, so they remain valid as long as any reference exists.
+unsafe impl Send for Bucket {}
+unsafe impl Sync for Bucket {}
+
+impl Bucket {
+    /// Read access to the node payload.
+    ///
+    /// # Safety
+    /// No thread may be concurrently mutating this node (i.e. the table is
+    /// in a read-only phase, or the caller holds the governing latch).
+    #[inline(always)]
+    pub unsafe fn data(&self) -> &BucketData {
+        &*self.data.get()
+    }
+
+    /// Mutable access to the node payload.
+    ///
+    /// # Safety
+    /// The caller must hold the governing bucket latch (or have exclusive
+    /// access to the table).
+    #[allow(clippy::mut_from_ref)]
+    #[inline(always)]
+    pub unsafe fn data_mut(&self) -> &mut BucketData {
+        &mut *self.data.get()
+    }
+
+    /// Raw pointer to the payload, for prefetch address computation.
+    #[inline(always)]
+    pub fn data_ptr(&self) -> *const BucketData {
+        self.data.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_is_one_cache_line() {
+        assert_eq!(core::mem::size_of::<Bucket>(), 64);
+        assert_eq!(core::mem::align_of::<Bucket>(), 64);
+    }
+
+    #[test]
+    fn bucket_data_layout_matches_paper() {
+        // 1B count (+7 pad) + 32B tuples + 8B next = 48.
+        assert_eq!(core::mem::size_of::<BucketData>(), 48);
+    }
+
+    #[test]
+    fn default_bucket_is_empty() {
+        let b = Bucket::default();
+        let d = unsafe { b.data() };
+        assert_eq!(d.count, 0);
+        assert!(d.next.is_null());
+    }
+
+    #[test]
+    fn data_mut_roundtrip() {
+        let b = Bucket::default();
+        unsafe {
+            let d = b.data_mut();
+            d.count = 1;
+            d.tuples[0] = Tuple::new(42, 99);
+        }
+        let d = unsafe { b.data() };
+        assert_eq!(d.count, 1);
+        assert_eq!(d.tuples[0], Tuple::new(42, 99));
+    }
+}

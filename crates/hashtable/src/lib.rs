@@ -1,0 +1,38 @@
+//! Hash tables in the paper's (Balkesen et al.) layout, plus the
+//! open-addressing counterpart for the layout ablation.
+//!
+//! Three tables:
+//!
+//! * [`HashTable`] — the chained hash-join table (§4): each 64-byte,
+//!   cache-line-aligned bucket holds a 1-byte latch, two 16-byte tuples and
+//!   an 8-byte pointer to the next chain node; overflow nodes reuse the
+//!   bucket layout ("the first hash table node is clustered with the bucket
+//!   header", Fig. 1).
+//! * [`agg::AggTable`] — the group-by table: one group per node, carrying
+//!   the paper's six aggregates (count, sum, min, max, sum of squares, and
+//!   avg derived at read time).
+//! * [`linear::LinearTable`] — open-addressing linear probing over flat
+//!   cache-line slot groups: the other end of §2.1.1's layout/space
+//!   tradeoff, with the fill factor as the irregularity knob.
+//!
+//! # Concurrency model
+//!
+//! Mutation goes through per-bucket latches with `UnsafeCell` payloads:
+//! the *holder of a bucket's latch* may mutate that bucket's chain; readers
+//! may traverse only during read-only phases (probe after build), which the
+//! operator drivers enforce by taking `&mut`/ownership at phase boundaries.
+//! Overflow nodes come from caller-owned arenas that are donated back to
+//! the table (see [`BuildHandle`]), keeping every chain pointer valid for
+//! the table's lifetime.
+
+pub mod agg;
+pub mod bucket;
+pub mod late;
+pub mod linear;
+pub mod table;
+
+pub use agg::{AggBucket, AggTable};
+pub use late::LateAggTable;
+pub use bucket::{Bucket, BucketData, TUPLES_PER_NODE};
+pub use linear::{LinearTable, SlotLine, EMPTY_KEY, SLOTS_PER_LINE};
+pub use table::{BuildHandle, HashTable, TableStats};

@@ -1,0 +1,440 @@
+//! The hash-join table.
+
+use crate::bucket::{Bucket, TUPLES_PER_NODE};
+use amac_mem::arena::Arena;
+use amac_mem::hash::{bucket_of, next_pow2};
+use amac_workload::{Relation, Tuple};
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The chained hash table used by the hash-join workloads.
+///
+/// Bucket count is a power of two; keys are spread with the splitmix64
+/// finalizer and masked (see `amac_mem::hash`). Inserts go to the head of
+/// the chain in O(1) — bucket inline slots first, then the newest overflow
+/// node, then a freshly allocated node spliced right behind the header —
+/// matching Balkesen's NPO build and the paper's observation that build
+/// cost is insensitive to skew (§5.1).
+pub struct HashTable {
+    buckets: amac_mem::align::AlignedBox<Bucket>,
+    mask: u64,
+    /// Overflow-node arenas: the serial one plus any donated by build
+    /// threads. Their node addresses are referenced by chain pointers, so
+    /// they must live exactly as long as the buckets.
+    arenas: Mutex<Vec<Arena<Bucket>>>,
+    /// Tuples inserted so far (merged from build handles on drop).
+    tuples: AtomicU64,
+}
+
+impl HashTable {
+    /// Create an empty table with at least `n_buckets` buckets (rounded up
+    /// to a power of two).
+    pub fn with_buckets(n_buckets: usize) -> Self {
+        let n = next_pow2(n_buckets);
+        HashTable {
+            buckets: amac_mem::align::alloc_aligned_slice(n),
+            mask: (n - 1) as u64,
+            arenas: Mutex::new(Vec::new()),
+            tuples: AtomicU64::new(0),
+        }
+    }
+
+    /// Create an empty table sized for `n_tuples` build tuples at the
+    /// paper's default load: one inline node per bucket on average
+    /// (`buckets = n / TUPLES_PER_NODE`).
+    pub fn for_tuples(n_tuples: usize) -> Self {
+        Self::with_buckets((n_tuples / TUPLES_PER_NODE).max(1))
+    }
+
+    /// Build a table from `rel` on the calling thread (the reference
+    /// no-prefetch build).
+    pub fn build_serial(rel: &Relation) -> Self {
+        let table = Self::for_tuples(rel.len());
+        {
+            let mut h = table.build_handle();
+            for t in &rel.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        table
+    }
+
+    /// Bucket mask (`bucket_count - 1`).
+    #[inline(always)]
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of buckets.
+    #[inline(always)]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket index for `key`.
+    #[inline(always)]
+    pub fn bucket_index(&self, key: u64) -> usize {
+        bucket_of(key, self.mask) as usize
+    }
+
+    /// Address of `key`'s bucket header — computed without touching table
+    /// memory, so it can be prefetched (the paper's code stage 0).
+    #[inline(always)]
+    pub fn bucket_addr(&self, key: u64) -> *const Bucket {
+        // SAFETY: bucket_index is always < buckets.len() by the mask.
+        unsafe { self.buckets.as_ptr().add(self.bucket_index(key)) }
+    }
+
+    /// Open a build handle that inserts through latches and donates its
+    /// overflow arena back to the table on drop.
+    pub fn build_handle(&self) -> BuildHandle<'_> {
+        BuildHandle { table: self, arena: Some(Arena::new()), inserted: 0 }
+    }
+
+    /// Tuples inserted so far, as reported by **completed** build handles
+    /// (O(1); used for chain-length estimation when auto-tuning GP/SPP's
+    /// stage budget).
+    #[inline]
+    pub fn tuple_count(&self) -> u64 {
+        self.tuples.load(Ordering::Acquire)
+    }
+
+    /// Walk `key`'s chain, returning every matching payload
+    /// (single-threaded reference probe used by tests and baselines).
+    pub fn lookup_all(&self, key: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut node = self.bucket_addr(key);
+        while !node.is_null() {
+            // SAFETY: read-only phase traversal; nodes live in arenas owned
+            // by self.
+            let d = unsafe { (*node).data() };
+            for i in 0..d.count as usize {
+                if d.tuples[i].key == key {
+                    out.push(d.tuples[i].payload);
+                }
+            }
+            node = d.next;
+        }
+        out
+    }
+
+    /// First matching payload for `key`, if any.
+    pub fn lookup_first(&self, key: u64) -> Option<u64> {
+        let mut node = self.bucket_addr(key);
+        while !node.is_null() {
+            // SAFETY: as in lookup_all.
+            let d = unsafe { (*node).data() };
+            for i in 0..d.count as usize {
+                if d.tuples[i].key == key {
+                    return Some(d.tuples[i].payload);
+                }
+            }
+            node = d.next;
+        }
+        None
+    }
+
+    /// Chain length (in nodes, counting the header) of bucket `idx`.
+    pub fn chain_nodes(&self, idx: usize) -> usize {
+        let mut n = 0usize;
+        let mut node: *const Bucket = &self.buckets[idx];
+        while !node.is_null() {
+            // SAFETY: read-only phase traversal.
+            let d = unsafe { (*node).data() };
+            if n == 0 && d.count == 0 {
+                return 0; // empty bucket header
+            }
+            n += 1;
+            node = d.next;
+        }
+        n
+    }
+
+    /// Occupancy statistics over all chains.
+    pub fn stats(&self) -> TableStats {
+        let mut s = TableStats { buckets: self.buckets.len(), ..Default::default() };
+        for i in 0..self.buckets.len() {
+            let nodes = self.chain_nodes(i);
+            if nodes == 0 {
+                s.empty_buckets += 1;
+            }
+            s.total_nodes += nodes;
+            s.max_chain = s.max_chain.max(nodes);
+        }
+        s
+    }
+
+    /// Total tuples stored (walks the table; for tests).
+    pub fn len(&self) -> usize {
+        let mut total = 0usize;
+        for i in 0..self.buckets.len() {
+            let mut node: *const Bucket = &self.buckets[i];
+            while !node.is_null() {
+                // SAFETY: read-only phase traversal.
+                let d = unsafe { (*node).data() };
+                total += d.count as usize;
+                node = d.next;
+            }
+        }
+        total
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// SAFETY: see the bucket module — latches guard mutation; probe phases are
+// read-only; arenas are owned by the table.
+unsafe impl Send for HashTable {}
+unsafe impl Sync for HashTable {}
+
+/// Chain occupancy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Total bucket headers.
+    pub buckets: usize,
+    /// Headers with no tuples.
+    pub empty_buckets: usize,
+    /// Total chain nodes (headers that hold tuples + overflow nodes).
+    pub total_nodes: usize,
+    /// Longest chain in nodes.
+    pub max_chain: usize,
+}
+
+impl TableStats {
+    /// Mean nodes per non-empty bucket.
+    pub fn avg_chain(&self) -> f64 {
+        let occupied = self.buckets - self.empty_buckets;
+        if occupied == 0 {
+            0.0
+        } else {
+            self.total_nodes as f64 / occupied as f64
+        }
+    }
+}
+
+/// An insertion session against a shared [`HashTable`].
+///
+/// Each build thread owns one handle; overflow nodes come from the
+/// handle's private arena (no allocator contention), and the arena is
+/// donated to the table when the handle drops, keeping chain pointers
+/// valid.
+pub struct BuildHandle<'t> {
+    table: &'t HashTable,
+    arena: Option<Arena<Bucket>>,
+    inserted: u64,
+}
+
+impl BuildHandle<'_> {
+    /// The table this handle inserts into.
+    #[inline]
+    pub fn table(&self) -> &HashTable {
+        self.table
+    }
+
+    /// Allocate a fresh overflow node from this handle's arena.
+    #[inline]
+    pub fn alloc_node(&mut self) -> *mut Bucket {
+        self.arena.as_mut().expect("arena present until drop").alloc()
+    }
+
+    /// Insert `(key, payload)`, spinning on the bucket latch (the
+    /// baseline/GP/SPP latch discipline).
+    pub fn insert(&mut self, key: u64, payload: u64) {
+        let bucket = self.table.bucket_addr(key);
+        // SAFETY: bucket_addr yields a valid bucket; we latch before
+        // mutating.
+        unsafe {
+            (*bucket).latch.acquire();
+            self.insert_latched(bucket, key, payload);
+            (*bucket).latch.release();
+        }
+    }
+
+    /// Insert under an **already-held** bucket latch (the AMAC build stage
+    /// calls this after a successful `try_acquire`).
+    ///
+    /// O(1): fills the header's inline slots, then the newest overflow
+    /// node, then splices a new node directly behind the header.
+    ///
+    /// # Safety
+    /// `bucket` must be a bucket header of this handle's table and the
+    /// calling thread must hold its latch.
+    pub unsafe fn insert_latched(&mut self, bucket: *const Bucket, key: u64, payload: u64) {
+        self.inserted += 1;
+        let d = (*bucket).data_mut();
+        if (d.count as usize) < TUPLES_PER_NODE {
+            d.tuples[d.count as usize] = Tuple::new(key, payload);
+            d.count += 1;
+            return;
+        }
+        let head = d.next;
+        if !head.is_null() {
+            let hd = (*head).data_mut();
+            if (hd.count as usize) < TUPLES_PER_NODE {
+                hd.tuples[hd.count as usize] = Tuple::new(key, payload);
+                hd.count += 1;
+                return;
+            }
+        }
+        let node = self.alloc_node();
+        let nd = (*node).data_mut();
+        nd.tuples[0] = Tuple::new(key, payload);
+        nd.count = 1;
+        nd.next = head;
+        d.next = node;
+    }
+}
+
+impl Drop for BuildHandle<'_> {
+    fn drop(&mut self) {
+        if let Some(arena) = self.arena.take() {
+            self.table.arenas.lock().expect("arena registry poisoned").push(arena);
+        }
+        self.table.tuples.fetch_add(self.inserted, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_count_rounds_to_pow2() {
+        assert_eq!(HashTable::with_buckets(1000).bucket_count(), 1024);
+        assert_eq!(HashTable::with_buckets(1).bucket_count(), 1);
+        assert_eq!(HashTable::for_tuples(4096).bucket_count(), 2048);
+    }
+
+    #[test]
+    fn build_and_lookup_unique_keys() {
+        let rel = Relation::dense_unique(10_000, 3);
+        let ht = HashTable::build_serial(&rel);
+        assert_eq!(ht.len(), 10_000);
+        for t in &rel.tuples {
+            assert_eq!(ht.lookup_first(t.key), Some(t.payload), "key {}", t.key);
+            assert_eq!(ht.lookup_all(t.key), vec![t.payload]);
+        }
+        assert_eq!(ht.lookup_first(999_999), None);
+        assert!(ht.lookup_all(0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_chain_in_one_bucket() {
+        let ht = HashTable::with_buckets(64);
+        {
+            let mut h = ht.build_handle();
+            for p in 0..100u64 {
+                h.insert(7, p);
+            }
+        }
+        let all = ht.lookup_all(7);
+        assert_eq!(all.len(), 100);
+        let set: std::collections::HashSet<u64> = all.into_iter().collect();
+        assert_eq!(set.len(), 100, "all payloads preserved");
+        let idx = ht.bucket_index(7);
+        assert!(ht.chain_nodes(idx) >= 50, "duplicates must share a chain");
+    }
+
+    #[test]
+    fn matches_std_hashmap_model() {
+        use std::collections::HashMap;
+        let rel = Relation::zipf(20_000, 2_000, 0.9, 5);
+        let ht = HashTable::build_serial(&rel);
+        let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+        for t in &rel.tuples {
+            model.entry(t.key).or_default().push(t.payload);
+        }
+        for (k, v) in &model {
+            let mut got = ht.lookup_all(*k);
+            let mut want = v.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "key {k}");
+        }
+        assert_eq!(ht.len(), 20_000);
+    }
+
+    #[test]
+    fn stats_reflect_occupancy() {
+        let rel = Relation::dense_unique(8192, 9);
+        let ht = HashTable::build_serial(&rel);
+        let s = ht.stats();
+        assert_eq!(s.buckets, 4096);
+        assert!(s.total_nodes >= 4096 - s.empty_buckets);
+        assert!(s.max_chain >= 1);
+        assert!(s.avg_chain() >= 1.0);
+    }
+
+    #[test]
+    fn forced_collision_table_builds_deep_chains() {
+        // Fig. 3's uniform-4 experiment: n/8 buckets → 4 nodes per bucket.
+        let n = 1 << 12;
+        let rel = Relation::dense_unique(n, 2);
+        let ht = HashTable::with_buckets(n / 8);
+        {
+            let mut h = ht.build_handle();
+            for t in &rel.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        let s = ht.stats();
+        assert!(
+            (3.5..=4.5).contains(&s.avg_chain()),
+            "expected ~4 nodes/bucket, got {}",
+            s.avg_chain()
+        );
+    }
+
+    #[test]
+    fn concurrent_build_preserves_all_tuples() {
+        let n = 40_000;
+        let rel = Relation::dense_unique(n, 13);
+        let ht = HashTable::for_tuples(n);
+        std::thread::scope(|scope| {
+            for chunk in rel.tuples.chunks(n / 4) {
+                let ht = &ht;
+                scope.spawn(move || {
+                    let mut h = ht.build_handle();
+                    for t in chunk {
+                        h.insert(t.key, t.payload);
+                    }
+                });
+            }
+        });
+        assert_eq!(ht.len(), n);
+        for t in rel.tuples.iter().step_by(97) {
+            assert_eq!(ht.lookup_first(t.key), Some(t.payload));
+        }
+    }
+
+    #[test]
+    fn concurrent_build_with_duplicates() {
+        let ht = HashTable::with_buckets(16);
+        std::thread::scope(|scope| {
+            for tid in 0..4u64 {
+                let ht = &ht;
+                scope.spawn(move || {
+                    let mut h = ht.build_handle();
+                    for i in 0..5000u64 {
+                        h.insert(i % 8, tid * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ht.len(), 20_000);
+        for k in 0..8u64 {
+            assert_eq!(ht.lookup_all(k).len(), 2500, "key {k}");
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let ht = HashTable::with_buckets(8);
+        assert!(ht.is_empty());
+        assert_eq!(ht.stats().total_nodes, 0);
+        assert_eq!(ht.chain_nodes(0), 0);
+    }
+}

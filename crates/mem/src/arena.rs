@@ -1,0 +1,294 @@
+//! Pointer-stable arena allocators.
+//!
+//! Every evaluated data structure (hash-table overflow chains, BST nodes,
+//! skip-list towers) links nodes with raw pointers, so node storage must
+//! never move. Both arenas here allocate in large chunks and hand out
+//! addresses that stay valid until the arena is dropped.
+//!
+//! * [`Arena<T>`] — fixed-size elements (`T` per slot). Used for hash-table
+//!   overflow nodes and BST nodes.
+//! * [`VarArena`] — variable-size, cache-line-aligned byte allocations.
+//!   Used for skip-list nodes whose tower height differs per node (the
+//!   reason the paper calls skip-list elements "larger memory space" than
+//!   the other structures).
+//!
+//! # Safety model
+//! The arenas only *allocate*; they never give out two overlapping regions
+//! and never move established allocations (chunks are `Box<[...]>` whose
+//! heap storage is stable even when the chunk list reallocates). Turning
+//! the returned `*mut` pointers into references is the caller's obligation
+//! and is encapsulated inside the data-structure crates.
+
+use crate::align::CACHE_LINE;
+use core::cell::UnsafeCell;
+
+/// Default number of elements per chunk (amortizes chunk bookkeeping while
+/// keeping worst-case wasted memory bounded).
+const DEFAULT_CHUNK: usize = 1 << 14;
+
+/// A chunked, append-only arena of fixed-size slots with stable addresses.
+///
+/// `alloc` returns a raw pointer to a default-initialized `T`. The pointer
+/// remains valid (and never aliases another allocation) for the arena's
+/// lifetime.
+pub struct Arena<T: Default> {
+    chunks: Vec<Box<[UnsafeCell<T>]>>,
+    /// Slots used in the last chunk.
+    used: usize,
+    chunk_size: usize,
+    len: usize,
+}
+
+// SAFETY: the arena itself is only grown through &mut self; concurrent
+// access to allocated slots is governed by the caller (latches).
+unsafe impl<T: Default + Send> Send for Arena<T> {}
+
+impl<T: Default> Arena<T> {
+    /// Create an empty arena with the default chunk size.
+    pub fn new() -> Self {
+        Self::with_chunk_size(DEFAULT_CHUNK)
+    }
+
+    /// Create an empty arena whose chunks hold `chunk_size` elements.
+    pub fn with_chunk_size(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Arena { chunks: Vec::new(), used: 0, chunk_size, len: 0 }
+    }
+
+    /// Create an arena pre-sized for about `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut a = Self::with_chunk_size(capacity.clamp(1, 1 << 20));
+        a.reserve_chunk();
+        a
+    }
+
+    fn reserve_chunk(&mut self) {
+        let chunk: Box<[UnsafeCell<T>]> =
+            (0..self.chunk_size).map(|_| UnsafeCell::new(T::default())).collect();
+        self.chunks.push(chunk);
+        self.used = 0;
+    }
+
+    /// Allocate one default-initialized slot and return its stable address.
+    #[inline]
+    pub fn alloc(&mut self) -> *mut T {
+        if self.chunks.is_empty() || self.used == self.chunk_size {
+            self.reserve_chunk();
+        }
+        let chunk = self.chunks.last().expect("chunk exists");
+        let ptr = chunk[self.used].get();
+        self.used += 1;
+        self.len += 1;
+        ptr
+    }
+
+    /// Allocate a slot initialized to `value`.
+    #[inline]
+    pub fn alloc_with(&mut self, value: T) -> *mut T {
+        let p = self.alloc();
+        // SAFETY: freshly allocated, uniquely owned slot.
+        unsafe { p.write(value) };
+        p
+    }
+
+    /// Number of allocated slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over all allocated slots (shared references).
+    ///
+    /// # Safety
+    /// Caller must guarantee no thread is mutating any slot concurrently.
+    pub unsafe fn iter(&self) -> impl Iterator<Item = &T> {
+        let full_chunks = self.chunks.len().saturating_sub(1);
+        let used = self.used;
+        self.chunks.iter().enumerate().flat_map(move |(ci, chunk)| {
+            let limit = if ci < full_chunks { chunk.len() } else { used };
+            chunk[..limit].iter().map(|c| &*c.get())
+        })
+    }
+}
+
+impl<T: Default> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A chunked bump allocator for variable-size, cache-line-aligned
+/// allocations with stable addresses.
+///
+/// Returned regions are zero-initialized and aligned to [`CACHE_LINE`].
+pub struct VarArena {
+    chunks: Vec<Box<[u8]>>,
+    /// Offset of the next free byte in the last chunk (always line-aligned).
+    offset: usize,
+    chunk_bytes: usize,
+    allocated: usize,
+}
+
+// SAFETY: grown only through &mut self; slot access governed by caller.
+unsafe impl Send for VarArena {}
+
+impl VarArena {
+    /// Default chunk size: 1 MiB.
+    pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+    /// Create an empty arena with the default chunk size.
+    pub fn new() -> Self {
+        Self::with_chunk_bytes(Self::DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Create an empty arena with `chunk_bytes`-sized chunks.
+    pub fn with_chunk_bytes(chunk_bytes: usize) -> Self {
+        assert!(chunk_bytes >= CACHE_LINE, "chunk must hold at least one line");
+        VarArena { chunks: Vec::new(), offset: 0, chunk_bytes, allocated: 0 }
+    }
+
+    /// Allocate `size` zeroed bytes at cache-line alignment; returns a
+    /// stable pointer.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero or exceeds the chunk size.
+    pub fn alloc_bytes(&mut self, size: usize) -> *mut u8 {
+        assert!(size > 0, "zero-size allocation");
+        let rounded = size.div_ceil(CACHE_LINE) * CACHE_LINE;
+        assert!(rounded <= self.chunk_bytes, "allocation larger than chunk");
+        if self.chunks.is_empty() || self.offset + rounded > self.chunk_bytes {
+            // Over-allocate by one line so we can align the base.
+            let chunk = vec![0u8; self.chunk_bytes + CACHE_LINE].into_boxed_slice();
+            self.chunks.push(chunk);
+            let base = self.chunks.last().unwrap().as_ptr() as usize;
+            // First aligned offset within the fresh chunk.
+            self.offset = (CACHE_LINE - base % CACHE_LINE) % CACHE_LINE;
+        }
+        let chunk = self.chunks.last_mut().expect("chunk exists");
+        // SAFETY: offset+rounded <= chunk_bytes + alignment slack by the
+        // checks above.
+        let ptr = unsafe { chunk.as_mut_ptr().add(self.offset) };
+        debug_assert_eq!(ptr as usize % CACHE_LINE, 0);
+        self.offset += rounded;
+        self.allocated += 1;
+        ptr
+    }
+
+    /// Number of allocations served.
+    #[inline]
+    pub fn allocations(&self) -> usize {
+        self.allocated
+    }
+
+    /// Total bytes held by the arena's chunks.
+    pub fn footprint_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
+impl Default for VarArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn arena_addresses_are_stable_and_distinct() {
+        let mut a = Arena::<u64>::with_chunk_size(8);
+        let ptrs: Vec<*mut u64> = (0..100).map(|_| a.alloc()).collect();
+        let set: HashSet<usize> = ptrs.iter().map(|p| *p as usize).collect();
+        assert_eq!(set.len(), 100, "all pointers distinct");
+        for (i, p) in ptrs.iter().enumerate() {
+            unsafe { **p = i as u64 };
+        }
+        for (i, p) in ptrs.iter().enumerate() {
+            assert_eq!(unsafe { **p }, i as u64, "no clobbering across chunk growth");
+        }
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn arena_alloc_with_initializes() {
+        let mut a = Arena::<(u64, u64)>::new();
+        let p = a.alloc_with((3, 4));
+        assert_eq!(unsafe { *p }, (3, 4));
+    }
+
+    #[test]
+    fn arena_iter_visits_everything_in_order() {
+        let mut a = Arena::<u32>::with_chunk_size(3);
+        for i in 0..10u32 {
+            a.alloc_with(i);
+        }
+        let collected: Vec<u32> = unsafe { a.iter().copied().collect() };
+        assert_eq!(collected, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_arena() {
+        let a = Arena::<u8>::new();
+        assert!(a.is_empty());
+        assert_eq!(unsafe { a.iter().count() }, 0);
+    }
+
+    #[test]
+    fn var_arena_alignment_and_zeroing() {
+        let mut a = VarArena::with_chunk_bytes(4096);
+        for size in [1usize, 17, 64, 65, 400, 4096] {
+            let p = a.alloc_bytes(size);
+            assert_eq!(p as usize % CACHE_LINE, 0, "size {size} not aligned");
+            for i in 0..size {
+                assert_eq!(unsafe { *p.add(i) }, 0, "byte {i} of size {size} not zero");
+            }
+        }
+        assert_eq!(a.allocations(), 6);
+    }
+
+    #[test]
+    fn var_arena_regions_do_not_overlap() {
+        let mut a = VarArena::with_chunk_bytes(1024);
+        let mut regions: Vec<(usize, usize)> = Vec::new();
+        for i in 0..200 {
+            let size = 1 + (i * 37) % 300;
+            let p = a.alloc_bytes(size) as usize;
+            regions.push((p, size));
+        }
+        regions.sort();
+        for w in regions.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlap between allocations");
+        }
+        // Writes to one region must not leak into another.
+        let mut b = VarArena::with_chunk_bytes(256);
+        let p1 = b.alloc_bytes(64);
+        let p2 = b.alloc_bytes(64);
+        unsafe {
+            core::ptr::write_bytes(p1, 0xAA, 64);
+            assert_eq!(*p2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation larger than chunk")]
+    fn var_arena_rejects_oversized() {
+        let mut a = VarArena::with_chunk_bytes(128);
+        a.alloc_bytes(129);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size")]
+    fn var_arena_rejects_zero() {
+        let mut a = VarArena::new();
+        a.alloc_bytes(0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Software prefetch intrinsics.
+//!
+//! The paper uses `PREFETCHNTA` on x86 (via gcc built-ins) and the SPARC
+//! "strong" prefetch variant. On stable Rust the x86 family is exposed
+//! through [`core::arch::x86_64::_mm_prefetch`]. On other architectures the
+//! functions compile to nothing, so the executors remain portable (they just
+//! degrade to the no-prefetch baseline behaviour).
+//!
+//! Prefetching is always safe in the ISA sense — the instruction is a hint
+//! and never faults — but Rust's intrinsic takes a raw pointer, so the
+//! wrappers here accept `*const T` and are safe to call with any address,
+//! including dangling ones.
+
+/// Issue a non-temporal prefetch (`PREFETCHNTA`) for the cache line
+/// containing `ptr`.
+///
+/// This is the variant used throughout the paper's x86 experiments: the line
+/// is fetched close to the core while minimizing pollution of the outer
+/// cache levels, which is the right trade-off for pointer chains that are
+/// visited exactly once per lookup.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_NTA }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Issue a temporal prefetch (`PREFETCHT0`) for the cache line containing
+/// `ptr`, pulling it into every cache level.
+///
+/// Exposed so the benchmark harness can compare hint policies (an ablation
+/// the paper alludes to when discussing the SPARC strong prefetch variant).
+#[inline(always)]
+pub fn prefetch_read_t0<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+/// Prefetch with intent to write.
+///
+/// x86 has `PREFETCHW`; `_mm_prefetch` with the `ET0` hint is only available
+/// behind unstable features, so we use `T0` which is close enough for the
+/// latched build/insert paths (the line is brought in exclusive-adjacent
+/// state by the subsequent locked instruction anyway).
+#[inline(always)]
+pub fn prefetch_write<T>(ptr: *const T) {
+    prefetch_read_t0(ptr);
+}
+
+/// Which prefetch instruction an executor should issue.
+///
+/// The paper fixes `PREFETCHNTA` on x86; the harness exposes the policy so
+/// the choice can be benchmarked (see `bench/bin/ablation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchHint {
+    /// Non-temporal (`PREFETCHNTA`) — the paper's choice.
+    #[default]
+    Nta,
+    /// All-levels temporal (`PREFETCHT0`).
+    T0,
+    /// Do not prefetch at all (turns any executor into a pure interleaving
+    /// scheme; useful to separate interleaving benefit from prefetch
+    /// benefit).
+    None,
+}
+
+impl PrefetchHint {
+    /// Issue a prefetch for `ptr` according to the policy.
+    #[inline(always)]
+    pub fn issue<T>(self, ptr: *const T) {
+        match self {
+            PrefetchHint::Nta => prefetch_read(ptr),
+            PrefetchHint::T0 => prefetch_read_t0(ptr),
+            PrefetchHint::None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_valid_address_is_noop_semantically() {
+        let x = 42u64;
+        prefetch_read(&x);
+        prefetch_read_t0(&x);
+        prefetch_write(&x);
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn prefetch_null_and_dangling_do_not_fault() {
+        // PREFETCH* never faults; the wrapper must uphold that for any input.
+        prefetch_read(core::ptr::null::<u64>());
+        prefetch_read(usize::MAX as *const u64);
+        prefetch_read_t0(core::ptr::null::<u64>());
+    }
+
+    #[test]
+    fn hint_policy_dispatch() {
+        let x = 7u32;
+        for hint in [PrefetchHint::Nta, PrefetchHint::T0, PrefetchHint::None] {
+            hint.issue(&x);
+        }
+        assert_eq!(PrefetchHint::default(), PrefetchHint::Nta);
+    }
+}

@@ -1,0 +1,128 @@
+//! Tiny, dependency-free PRNGs.
+//!
+//! The skip-list insert keeps an RNG *inside each in-flight lookup's state*
+//! (tower heights are drawn in an AMAC stage, §5.4), so the generator must
+//! be a few bytes of `Copy` state with a branch-free `next()`. `rand`'s
+//! generators are used on the workload-generation side; these are for the
+//! hot paths.
+
+/// xorshift64\* — 8 bytes of state, passes BigCrush's small-state tier,
+/// plenty for tower-height draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed is remapped (xorshift fixes point at
+    /// zero) via splitmix64.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        let s = crate::hash::mix64(seed);
+        XorShift64 { state: if s == 0 { 0x9E37_79B9_7F4A_7C15 } else { s } }
+    }
+
+    /// Next 64 random bits.
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, n)` (Lemire's multiply-shift; slight bias below
+    /// 2^-32 for n < 2^32, irrelevant here).
+    #[inline(always)]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Geometric level draw with P(level >= k+1 | level >= k) = 1/2,
+    /// clamped to `max_level`; returns a level in `[0, max_level]`.
+    ///
+    /// This is Pugh's coin-flip tower height with p = 1/2, computed in one
+    /// `trailing_ones` instruction instead of a flip loop.
+    #[inline(always)]
+    pub fn skiplist_level(&mut self, max_level: u32) -> u32 {
+        (self.next_u64().trailing_ones()).min(max_level)
+    }
+}
+
+impl Default for XorShift64 {
+    fn default() -> Self {
+        Self::new(0xDEAD_BEEF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(1);
+        let mut b = XorShift64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for n in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..1000 {
+                assert!(r.next_below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_range() {
+        let mut r = XorShift64::new(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn skiplist_level_distribution_is_geometric() {
+        let mut r = XorShift64::new(3);
+        let n = 1_000_000;
+        let mut counts = [0u64; 33];
+        for _ in 0..n {
+            counts[r.skiplist_level(32) as usize] += 1;
+        }
+        // P(level = 0) = 1/2, P(level = 1) = 1/4, ...
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn skiplist_level_respects_cap() {
+        let mut r = XorShift64::new(5);
+        for _ in 0..100_000 {
+            assert!(r.skiplist_level(4) <= 4);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Measurement substrate for the AMAC reproduction.
+//!
+//! The paper reports **cycles per tuple** (rdtsc-based, [`timer`]),
+//! **throughput** (tuples/second), hardware-counter profiles
+//! (instructions/tuple, IPC, L1-D MSHR hits — [`perf`], degrading to
+//! software proxies where the kernel forbids `perf_event_open`), and the
+//! software-side execution profile that explains *why* GP/SPP lose under
+//! irregularity (stage executions, no-ops, bailouts, latch retries —
+//! [`profile`]).
+//!
+//! [`report`] renders the aligned text tables the bench binaries print, and
+//! [`stats`] provides the small statistics used for multi-trial runs.
+
+pub mod perf;
+pub mod platform;
+pub mod profile;
+pub mod report;
+pub mod stats;
+pub mod timer;
+
+pub use profile::ExecProfile;
+pub use report::Table;
+pub use stats::Summary;
+pub use timer::{cycles_now, CycleTimer};

@@ -1,0 +1,74 @@
+//! Host platform description (the analogue of the paper's Table 2).
+
+use std::fmt;
+
+/// Description of the machine the experiments run on.
+#[derive(Debug, Clone, Default)]
+pub struct Platform {
+    /// CPU model string, if discoverable.
+    pub cpu_model: String,
+    /// Logical CPUs visible to this process.
+    pub logical_cpus: usize,
+    /// Total system memory in GiB, if discoverable.
+    pub mem_gib: f64,
+    /// Whether `perf_event_open` hardware counters are usable.
+    pub perf_counters: bool,
+    /// Target architecture.
+    pub arch: &'static str,
+}
+
+impl Platform {
+    /// Probe the current host.
+    pub fn detect() -> Platform {
+        let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|m| m.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        let mem_gib = std::fs::read_to_string("/proc/meminfo")
+            .ok()
+            .and_then(|s| {
+                s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
+                    l.split_whitespace().nth(1).and_then(|kb| kb.parse::<f64>().ok())
+                })
+            })
+            .map(|kb| kb / 1024.0 / 1024.0)
+            .unwrap_or(0.0);
+        Platform {
+            cpu_model,
+            logical_cpus: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            mem_gib,
+            perf_counters: crate::perf::available(),
+            arch: std::env::consts::ARCH,
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Platform (cf. paper Table 2)")?;
+        writeln!(f, "  arch           : {}", self.arch)?;
+        writeln!(f, "  cpu model      : {}", self.cpu_model)?;
+        writeln!(f, "  logical cpus   : {}", self.logical_cpus)?;
+        writeln!(f, "  memory         : {:.1} GiB", self.mem_gib)?;
+        writeln!(f, "  hw perf events : {}", if self.perf_counters { "yes" } else { "no (software proxies in use)" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_populates_fields() {
+        let p = Platform::detect();
+        assert!(p.logical_cpus >= 1);
+        assert!(!p.arch.is_empty());
+        let s = p.to_string();
+        assert!(s.contains("logical cpus"));
+    }
+}

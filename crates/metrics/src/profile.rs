@@ -1,0 +1,131 @@
+//! Software execution profiles.
+//!
+//! The paper's Figure 2 explains GP/SPP's losses through *no-op code
+//! stages* and *bailouts*; Table 3 explains them through instruction
+//! overhead. The executors in `amac::engine` count these events
+//! directly; this module is the shared accounting type.
+
+use serde::{Deserialize, Serialize};
+
+/// Event counters accumulated by an executor over one run.
+///
+/// All counters are plain `u64`s bumped on the (single-threaded) executor
+/// hot path; multi-threaded drivers keep one profile per thread and
+/// [`merge`](ExecProfile::merge) them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecProfile {
+    /// Lookups completed.
+    pub lookups: u64,
+    /// Code stages executed that advanced a lookup (including the stage
+    /// that starts it).
+    pub stages: u64,
+    /// Stage slots visited for lookups that had already finished — the gray
+    /// "no-operation" boxes of Fig. 2 (GP/SPP only).
+    pub noops: u64,
+    /// Lookups that exceeded the static stage budget N and had to finish
+    /// sequentially (GP/SPP only).
+    pub bailouts: u64,
+    /// Extra stages executed inside bailout code, without prefetch overlap.
+    pub bailout_stages: u64,
+    /// Latch acquisition attempts that failed and were retried (AMAC:
+    /// deferred retry; baseline/GP/SPP: in-place spin iterations).
+    pub latch_retries: u64,
+    /// Prefetch instructions issued.
+    pub prefetches: u64,
+}
+
+impl ExecProfile {
+    /// A zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge another profile into this one (for per-thread aggregation).
+    pub fn merge(&mut self, other: &ExecProfile) {
+        self.lookups += other.lookups;
+        self.stages += other.stages;
+        self.noops += other.noops;
+        self.bailouts += other.bailouts;
+        self.bailout_stages += other.bailout_stages;
+        self.latch_retries += other.latch_retries;
+        self.prefetches += other.prefetches;
+    }
+
+    /// Stages (useful + no-op + bailout) executed per completed lookup —
+    /// the software proxy for the paper's instructions-per-tuple metric.
+    pub fn work_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        (self.stages + self.noops + self.bailout_stages) as f64 / self.lookups as f64
+    }
+
+    /// Fraction of visited stage slots that were wasted no-ops.
+    pub fn noop_fraction(&self) -> f64 {
+        let total = self.stages + self.noops;
+        if total == 0 {
+            return 0.0;
+        }
+        self.noops as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_all_fields() {
+        let mut a = ExecProfile {
+            lookups: 1,
+            stages: 2,
+            noops: 3,
+            bailouts: 4,
+            bailout_stages: 5,
+            latch_retries: 6,
+            prefetches: 7,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ExecProfile {
+                lookups: 2,
+                stages: 4,
+                noops: 6,
+                bailouts: 8,
+                bailout_stages: 10,
+                latch_retries: 12,
+                prefetches: 14,
+            }
+        );
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let p = ExecProfile::new();
+        assert_eq!(p.work_per_lookup(), 0.0);
+        assert_eq!(p.noop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn work_per_lookup_counts_all_stage_kinds() {
+        let p = ExecProfile {
+            lookups: 10,
+            stages: 40,
+            noops: 10,
+            bailout_stages: 10,
+            ..Default::default()
+        };
+        assert!((p.work_per_lookup() - 6.0).abs() < 1e-9);
+        assert!((p.noop_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clone_and_default_are_zeroed() {
+        let p = ExecProfile::default();
+        assert_eq!(p.lookups + p.stages + p.noops + p.prefetches, 0);
+        let q = p;
+        assert_eq!(p, q);
+    }
+}

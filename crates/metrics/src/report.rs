@@ -1,0 +1,172 @@
+//! Aligned text tables for the bench binaries.
+//!
+//! Every figure/table binary prints its series in the same shape the paper
+//! reports them (rows = configurations, columns = techniques), via this
+//! minimal formatter — no external table crate.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Create a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table { title: title.into(), ..Default::default() }
+    }
+
+    /// Set the header row.
+    pub fn header<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a data row.
+    pub fn row<S: Into<String>>(&mut self, cols: impl IntoIterator<Item = S>) -> &mut Self {
+        self.rows.push(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append a footnote (rendered after the table body).
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols =
+            self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    let _ = write!(line, "{cell:<w$}");
+                } else {
+                    let _ = write!(line, "  {cell:>w$}");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            let _ = writeln!(out, "{}", "-".repeat(total));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Render and print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a f64 with engineering-friendly precision (3 significant-ish
+/// decimals below 10, 1 decimal below 1000, integers above).
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a throughput in millions/second, as the paper's Figures 7–8.
+pub fn fmtput(tuples_per_sec: f64) -> String {
+    format!("{:.1}M/s", tuples_per_sec / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo").header(["cfg", "Baseline", "AMAC"]);
+        t.row(["[0,0]", "100", "25"]);
+        t.row(["[1,1]", "101.5", "33"]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        // title + header + separator + 2 data rows.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Right-aligned numeric columns: both rows end at the same width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn empty_and_notes() {
+        let mut t = Table::new("x");
+        assert!(t.is_empty());
+        t.row(["a"]);
+        t.note("scaled run");
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("note: scaled run"));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new("r").header(["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn fnum_precision_bands() {
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(123.45), "123.5");
+        assert_eq!(fnum(1.234), "1.23");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn fmtput_scales_to_millions() {
+        assert_eq!(fmtput(12_300_000.0), "12.3M/s");
+    }
+}

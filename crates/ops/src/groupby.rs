@@ -1,0 +1,275 @@
+//! The group-by operator (§5.2) under all four techniques.
+//!
+//! Stage decomposition (Table 1 "Group-by" plus the §3.1/§3.2 refinement):
+//!
+//! * **stage 0** — get tuple, compute bucket address, prefetch;
+//! * **stage 1 (unlatched)** — try to latch the chain's header: on failure
+//!   the stage makes no progress ([`amac::engine::Step::Blocked`]); on
+//!   success fall through to the latched walk *in the same step* (the
+//!   header node is already prefetched);
+//! * **stage 1b (latched walk)** — the paper's "extra intermediate stage to
+//!   avoid deadlocks": once the latch is held the state machine never
+//!   re-executes the acquire, it walks the chain node by node (one step per
+//!   node, prefetching `next`), then updates the matching group's six
+//!   aggregates / claims the empty header / appends a fresh node, releases
+//!   the latch and completes.
+//!
+//! Because an in-flight lookup can *hold* a latch across steps while
+//! another in-flight lookup of the same thread *wants* it, skewed inputs
+//! create intra-thread conflicts — the dynamics behind Figure 9's GP/SPP
+//! collapse at z = 1.
+
+use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
+use amac_hashtable::agg::{AggHandle, AggValues};
+use amac_hashtable::{AggBucket, AggTable};
+use amac_mem::prefetch::{prefetch_read, prefetch_write};
+use amac_metrics::timer::CycleTimer;
+use amac_workload::{GroupByInput, Relation, Tuple};
+
+/// Group-by configuration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct GroupByConfig {
+    /// Executor tuning (the paper's `M`).
+    pub params: TuningParams,
+    /// GP/SPP stage budget (`N`); `0` = 2 (acquire+walk of a 1-node chain,
+    /// the uniform-workload common case).
+    pub n_stages: usize,
+}
+
+
+/// Result of one group-by run.
+#[derive(Debug, Clone, Default)]
+pub struct GroupByOutput {
+    /// Tuples aggregated.
+    pub tuples: u64,
+    /// Executor event counters.
+    pub stats: EngineStats,
+    /// Aggregation-loop cycles.
+    pub cycles: u64,
+    /// Aggregation-loop wall time.
+    pub seconds: f64,
+}
+
+/// Per-lookup state.
+pub struct GroupByState {
+    key: u64,
+    payload: u64,
+    header: *const AggBucket,
+    cur: *const AggBucket,
+    latched: bool,
+}
+
+impl Default for GroupByState {
+    fn default() -> Self {
+        GroupByState {
+            key: 0,
+            payload: 0,
+            header: core::ptr::null(),
+            cur: core::ptr::null(),
+            latched: false,
+        }
+    }
+}
+
+/// The group-by lookup state machine.
+pub struct GroupByOp<'a> {
+    handle: AggHandle<'a>,
+    n_stages: usize,
+    tuples: u64,
+}
+
+impl<'a> GroupByOp<'a> {
+    /// Create the op, aggregating into `table`.
+    pub fn new(table: &'a AggTable, cfg: &GroupByConfig) -> Self {
+        GroupByOp {
+            handle: table.handle(),
+            n_stages: if cfg.n_stages == 0 { 2 } else { cfg.n_stages },
+            tuples: 0,
+        }
+    }
+}
+
+impl LookupOp for GroupByOp<'_> {
+    type Input = Tuple;
+    type State = GroupByState;
+
+    fn budgeted_steps(&self) -> usize {
+        self.n_stages
+    }
+
+    fn start(&mut self, input: Tuple, state: &mut GroupByState) {
+        let header = self.handle.table().bucket_addr(input.key);
+        prefetch_write(header);
+        state.key = input.key;
+        state.payload = input.payload;
+        state.header = header;
+        state.cur = core::ptr::null();
+        state.latched = false;
+    }
+
+    fn step(&mut self, state: &mut GroupByState) -> Step {
+        // SAFETY: header/cur point at the table's headers or arena-owned
+        // chain nodes; mutation happens only while `latched`.
+        unsafe {
+            if !state.latched {
+                if !(*state.header).latch.try_acquire() {
+                    return Step::Blocked;
+                }
+                state.latched = true;
+                state.cur = state.header;
+                // Fall through: process the (prefetched) header now.
+            }
+            let d = (*state.cur).data_mut();
+            if d.aggs.count == 0 {
+                // Empty header: claim it for this group.
+                d.key = state.key;
+                d.aggs = AggValues::first(state.payload);
+                (*state.header).latch.release();
+                self.tuples += 1;
+                return Step::Done;
+            }
+            if d.key == state.key {
+                d.aggs.update(state.payload);
+                (*state.header).latch.release();
+                self.tuples += 1;
+                return Step::Done;
+            }
+            if d.next.is_null() {
+                // Append a new group node at the tail.
+                let fresh = self.handle.alloc_node();
+                let fd = (*fresh).data_mut();
+                fd.key = state.key;
+                fd.aggs = AggValues::first(state.payload);
+                d.next = fresh;
+                (*state.header).latch.release();
+                self.tuples += 1;
+                return Step::Done;
+            }
+            prefetch_read(d.next);
+            state.cur = d.next;
+            Step::Continue
+        }
+    }
+}
+
+/// Run the group-by of `input` into `table` with `technique`.
+pub fn groupby(
+    table: &AggTable,
+    input: &Relation,
+    technique: Technique,
+    cfg: &GroupByConfig,
+) -> GroupByOutput {
+    let mut op = GroupByOp::new(table, cfg);
+    let timer = CycleTimer::start();
+    let stats = run(technique, &mut op, &input.tuples, cfg.params);
+    GroupByOutput {
+        tuples: op.tuples,
+        stats,
+        cycles: timer.cycles(),
+        seconds: timer.seconds(),
+    }
+}
+
+/// Convenience: size a table for `input` and aggregate it.
+pub fn groupby_fresh(
+    input: &GroupByInput,
+    technique: Technique,
+    cfg: &GroupByConfig,
+) -> (AggTable, GroupByOutput) {
+    let table = AggTable::for_groups(input.groups);
+    let out = groupby(&table, &input.relation, technique, cfg);
+    (table, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn model_of(rel: &Relation) -> HashMap<u64, AggValues> {
+        let mut m: HashMap<u64, AggValues> = HashMap::new();
+        for t in &rel.tuples {
+            m.entry(t.key)
+                .and_modify(|a| a.update(t.payload))
+                .or_insert_with(|| AggValues::first(t.payload));
+        }
+        m
+    }
+
+    fn assert_table_matches(table: &AggTable, model: &HashMap<u64, AggValues>, tag: &str) {
+        assert_eq!(table.group_count(), model.len(), "{tag}: group count");
+        for (k, v) in model {
+            assert_eq!(table.get(*k).as_ref(), Some(v), "{tag}: group {k}");
+        }
+    }
+
+    #[test]
+    fn uniform_input_all_techniques_match_model() {
+        let input = GroupByInput::uniform(2000, 3, 31);
+        let model = model_of(&input.relation);
+        for t in Technique::ALL {
+            let (table, out) = groupby_fresh(&input, t, &GroupByConfig::default());
+            assert_eq!(out.tuples, input.len() as u64, "{t}");
+            assert_eq!(out.stats.lookups, input.len() as u64, "{t}");
+            assert_table_matches(&table, &model, t.label());
+        }
+    }
+
+    #[test]
+    fn zipf_skew_conflicts_resolve_correctly() {
+        // z = 1 over few groups: heavy intra-buffer latch conflicts.
+        let input = GroupByInput::zipf(64, 20_000, 1.0, 33);
+        let model = model_of(&input.relation);
+        for t in Technique::ALL {
+            let (table, out) = groupby_fresh(&input, t, &GroupByConfig::default());
+            assert_eq!(out.tuples, input.len() as u64, "{t}");
+            assert_table_matches(&table, &model, t.label());
+            if t == Technique::Amac {
+                assert!(
+                    out.stats.latch_retries > 0,
+                    "hot groups must produce deferred retries under AMAC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_group_pathological_case() {
+        // Every tuple hits one group: worst-case serialization.
+        let tuples: Vec<Tuple> = (0..5000).map(|i| Tuple::new(42, i)).collect();
+        let input = GroupByInput { relation: Relation::from_tuples(tuples), groups: 1 };
+        for t in Technique::ALL {
+            let (table, out) = groupby_fresh(&input, t, &GroupByConfig::default());
+            assert_eq!(out.tuples, 5000, "{t}");
+            let a = table.get(42).unwrap();
+            assert_eq!(a.count, 5000, "{t}");
+            assert_eq!(a.sum, (0..5000u64).sum::<u64>(), "{t}");
+            assert_eq!(a.min, 0, "{t}");
+            assert_eq!(a.max, 4999, "{t}");
+        }
+    }
+
+    #[test]
+    fn forced_chain_collisions() {
+        // 1-bucket table: every distinct group chains behind one header,
+        // exercising the latched multi-node walk stages.
+        let tuples: Vec<Tuple> = (0..600u64).map(|i| Tuple::new(i % 20, i)).collect();
+        let rel = Relation::from_tuples(tuples);
+        let model = model_of(&rel);
+        for t in Technique::ALL {
+            let table = AggTable::with_buckets(1);
+            let out = groupby(&table, &rel, t, &GroupByConfig::default());
+            assert_eq!(out.tuples, 600, "{t}");
+            assert_table_matches(&table, &model, t.label());
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let table = AggTable::for_groups(8);
+        let out = groupby(&table, &Relation::default(), Technique::Amac, &GroupByConfig::default());
+        assert_eq!(out.tuples, 0);
+        assert_eq!(table.group_count(), 0);
+    }
+}

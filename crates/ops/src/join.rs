@@ -1,0 +1,427 @@
+//! Hash join build and probe under all four techniques (§5.1).
+
+use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
+use amac_hashtable::{Bucket, BuildHandle, HashTable};
+use amac_mem::prefetch::PrefetchHint;
+use amac_metrics::timer::CycleTimer;
+use amac_workload::{Relation, Tuple};
+
+/// Probe configuration.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// Executor tuning (the paper's `M`).
+    pub params: TuningParams,
+    /// GP/SPP static stage budget (the paper's `N`); `0` = derive from the
+    /// table's average chain length, as the paper tunes per experiment.
+    pub n_stages: usize,
+    /// `true`: walk the full chain and count every match (join semantics
+    /// under duplicate build keys, and the Fig. 3 "uniform traversal"
+    /// mode). `false`: stop at the first match (unique-key early exit —
+    /// Fig. 3 "non-uniform").
+    pub scan_all: bool,
+    /// Materialize the first matching payload per probe tuple, in input
+    /// order (the paper's `out[s[k].idx] = n->pload`). Disable at paper
+    /// scale to avoid gigabyte outputs.
+    pub materialize: bool,
+    /// Prefetch instruction policy. The paper fixes `PREFETCHNTA` (§4);
+    /// `T0` and `None` exist for the hint ablation (`bench/bin/ablation` —
+    /// `None` turns every technique into pure interleaving, separating
+    /// scheduling benefit from prefetch benefit).
+    pub hint: PrefetchHint,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            params: TuningParams::default(),
+            n_stages: 0,
+            scan_all: false,
+            materialize: true,
+            hint: PrefetchHint::Nta,
+        }
+    }
+}
+
+/// Result of one probe run.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeOutput {
+    /// Total key matches found.
+    pub matches: u64,
+    /// Wrapping sum of every matched build payload — an order-independent
+    /// checksum that must agree across techniques.
+    pub checksum: u64,
+    /// First-match payload per probe tuple (input order), when
+    /// materialization is on.
+    pub out: Vec<u64>,
+    /// Executor event counters.
+    pub stats: EngineStats,
+    /// Probe-loop cycles (rdtsc).
+    pub cycles: u64,
+    /// Probe-loop wall time.
+    pub seconds: f64,
+}
+
+impl ProbeOutput {
+    /// Cycles per probe tuple — the paper's primary metric.
+    pub fn cycles_per_tuple(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / n as f64
+        }
+    }
+}
+
+/// Per-lookup probe state: the paper's circular-buffer entry (Fig. 4).
+pub struct ProbeState {
+    key: u64,
+    idx: usize,
+    ptr: *const Bucket,
+}
+
+impl Default for ProbeState {
+    fn default() -> Self {
+        ProbeState { key: 0, idx: 0, ptr: core::ptr::null() }
+    }
+}
+
+/// The probe lookup as a state machine (Table 1, "Hash Join Probe").
+pub struct ProbeOp<'a> {
+    ht: &'a HashTable,
+    cfg: ProbeConfig,
+    n_stages: usize,
+    matches: u64,
+    checksum: u64,
+    out: Vec<u64>,
+    cursor: usize,
+}
+
+impl<'a> ProbeOp<'a> {
+    /// Build the op for one run over `n_probes` tuples.
+    pub fn new(ht: &'a HashTable, cfg: &ProbeConfig, n_probes: usize) -> Self {
+        let n_stages = if cfg.n_stages == 0 { auto_chain_estimate(ht) } else { cfg.n_stages };
+        ProbeOp {
+            ht,
+            cfg: cfg.clone(),
+            n_stages,
+            matches: 0,
+            checksum: 0,
+            out: if cfg.materialize { vec![u64::MAX; n_probes] } else { Vec::new() },
+            cursor: 0,
+        }
+    }
+}
+
+/// Estimate the average chain length from table occupancy without walking
+/// every chain: tuples / (2 slots × non-empty share of buckets) is close
+/// enough for the paper's N-tuning purpose, and we fall back to 1.
+fn auto_chain_estimate(ht: &HashTable) -> usize {
+    let tuples = ht.tuple_count();
+    if tuples == 0 {
+        return 1;
+    }
+    let per_node = amac_hashtable::TUPLES_PER_NODE as u64;
+    let buckets = ht.bucket_count() as u64;
+    // Expected nodes per occupied bucket if tuples spread uniformly.
+    let per_bucket = tuples.div_ceil(buckets);
+    let nodes = per_bucket.div_ceil(per_node);
+    nodes.max(1) as usize
+}
+
+impl LookupOp for ProbeOp<'_> {
+    type Input = Tuple;
+    type State = ProbeState;
+
+    fn budgeted_steps(&self) -> usize {
+        self.n_stages
+    }
+
+    /// Code 0 (Table 1): get new tuple, compute bucket address, prefetch.
+    fn start(&mut self, input: Tuple, state: &mut ProbeState) {
+        let ptr = self.ht.bucket_addr(input.key);
+        self.cfg.hint.issue(ptr);
+        state.key = input.key;
+        state.idx = self.cursor;
+        state.ptr = ptr;
+        self.cursor += 1;
+    }
+
+    /// Code 1 (Table 1): compare keys, output on match, chase `next`.
+    fn step(&mut self, state: &mut ProbeState) -> Step {
+        // SAFETY: probe runs in the table's read-only phase; `ptr` always
+        // points at the header or an arena-owned chain node.
+        let d = unsafe { (*state.ptr).data() };
+        let mut hit = false;
+        for i in 0..d.count as usize {
+            let t = d.tuples[i];
+            if t.key == state.key {
+                self.matches += 1;
+                self.checksum = self.checksum.wrapping_add(t.payload);
+                if self.cfg.materialize && self.out[state.idx] == u64::MAX {
+                    self.out[state.idx] = t.payload;
+                }
+                hit = true;
+            }
+        }
+        if hit && !self.cfg.scan_all {
+            return Step::Done; // early exit on unique-key match
+        }
+        let next = d.next;
+        if next.is_null() {
+            return Step::Done; // chain exhausted
+        }
+        self.cfg.hint.issue(next);
+        state.ptr = next;
+        Step::Continue
+    }
+}
+
+/// Run a probe of `s` against `ht` with `technique`.
+pub fn probe(
+    ht: &HashTable,
+    s: &Relation,
+    technique: Technique,
+    cfg: &ProbeConfig,
+) -> ProbeOutput {
+    let mut op = ProbeOp::new(ht, cfg, s.len());
+    let timer = CycleTimer::start();
+    let stats = run(technique, &mut op, &s.tuples, cfg.params);
+    let cycles = timer.cycles();
+    let seconds = timer.seconds();
+    ProbeOutput {
+        matches: op.matches,
+        checksum: op.checksum,
+        out: op.out,
+        stats,
+        cycles,
+        seconds,
+    }
+}
+
+/// Build configuration.
+#[derive(Debug, Clone, Default)]
+pub struct BuildConfig {
+    /// Executor tuning (the paper's `M`).
+    pub params: TuningParams,
+}
+
+/// Result of one build run.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOutput {
+    /// Executor event counters.
+    pub stats: EngineStats,
+    /// Build-loop cycles.
+    pub cycles: u64,
+    /// Build-loop wall time.
+    pub seconds: f64,
+}
+
+/// Per-lookup build state.
+pub struct BuildState {
+    key: u64,
+    payload: u64,
+    bucket: *const Bucket,
+}
+
+impl Default for BuildState {
+    fn default() -> Self {
+        BuildState { key: 0, payload: 0, bucket: core::ptr::null() }
+    }
+}
+
+/// The build lookup as a state machine (Table 1, "Hash Join Build",
+/// simplified to the O(1) head insert the NPO build actually performs).
+pub struct BuildOp<'a> {
+    handle: BuildHandle<'a>,
+}
+
+impl<'a> BuildOp<'a> {
+    /// Create a build op inserting into `ht` through a private arena.
+    pub fn new(ht: &'a HashTable) -> Self {
+        BuildOp { handle: ht.build_handle() }
+    }
+}
+
+impl LookupOp for BuildOp<'_> {
+    type Input = Tuple;
+    type State = BuildState;
+
+    fn budgeted_steps(&self) -> usize {
+        1
+    }
+
+    /// Code 0: get new tuple, compute bucket address, prefetch (for write).
+    fn start(&mut self, input: Tuple, state: &mut BuildState) {
+        let bucket = self.handle.table().bucket_addr(input.key);
+        amac_mem::prefetch::prefetch_write(bucket);
+        state.key = input.key;
+        state.payload = input.payload;
+        state.bucket = bucket;
+    }
+
+    /// Code 1: latch? retry later : insert at chain head, release.
+    fn step(&mut self, state: &mut BuildState) -> Step {
+        // SAFETY: bucket is a valid header of the handle's table.
+        unsafe {
+            if !(*state.bucket).latch.try_acquire() {
+                return Step::Blocked;
+            }
+            self.handle.insert_latched(state.bucket, state.key, state.payload);
+            (*state.bucket).latch.release();
+        }
+        Step::Done
+    }
+}
+
+/// Build `ht` from `r` with `technique`. The table must be empty (or at
+/// least sized for the extra tuples).
+pub fn build(
+    ht: &HashTable,
+    r: &Relation,
+    technique: Technique,
+    cfg: &BuildConfig,
+) -> BuildOutput {
+    let mut op = BuildOp::new(ht);
+    let timer = CycleTimer::start();
+    let stats = run(technique, &mut op, &r.tuples, cfg.params);
+    BuildOutput { stats, cycles: timer.cycles(), seconds: timer.seconds() }
+}
+
+/// Convenience: build (always with `technique`) then probe, returning
+/// `(build, probe)` outputs — one full hash-join execution as in Fig. 5.
+pub fn hash_join(
+    r: &Relation,
+    s: &Relation,
+    technique: Technique,
+    probe_cfg: &ProbeConfig,
+) -> (BuildOutput, ProbeOutput) {
+    let ht = HashTable::for_tuples(r.len());
+    let b = build(&ht, r, technique, &BuildConfig { params: probe_cfg.params });
+    let p = probe(&ht, s, technique, probe_cfg);
+    (b, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_join_setup(nr: usize, ns: usize) -> (HashTable, Relation, Relation) {
+        let r = Relation::dense_unique(nr, 11);
+        let s = Relation::fk_uniform(&r, ns, 12);
+        let ht = HashTable::build_serial(&r);
+        (ht, r, s)
+    }
+
+    #[test]
+    fn probe_finds_every_fk_match_all_techniques() {
+        let (ht, r, s) = small_join_setup(4096, 10_000);
+        let mut reference: Option<(u64, u64, Vec<u64>)> = None;
+        for t in Technique::ALL {
+            let out = probe(&ht, &s, t, &ProbeConfig::default());
+            assert_eq!(out.matches, s.len() as u64, "{t}: FK probe must match once each");
+            // Every materialized payload equals 2 * key (dense_unique).
+            for (i, &p) in out.out.iter().enumerate() {
+                assert_eq!(p, s.tuples[i].key.wrapping_mul(2), "{t}: tuple {i}");
+            }
+            match &reference {
+                None => reference = Some((out.matches, out.checksum, out.out.clone())),
+                Some((m, c, o)) => {
+                    assert_eq!(out.matches, *m, "{t} matches diverge");
+                    assert_eq!(out.checksum, *c, "{t} checksum diverges");
+                    assert_eq!(&out.out, o, "{t} materialization diverges");
+                }
+            }
+        }
+        let _ = r;
+    }
+
+    #[test]
+    fn probe_scan_all_counts_duplicates() {
+        // Build with heavy duplicates: key 7 appears 50 times.
+        let mut tuples: Vec<Tuple> = (0..50).map(|i| Tuple::new(7, 1000 + i)).collect();
+        tuples.extend((1..=100u64).filter(|&k| k != 7).map(|k| Tuple::new(k, k)));
+        let r = Relation::from_tuples(tuples);
+        let ht = HashTable::build_serial(&r);
+        let s = Relation::from_tuples(vec![Tuple::new(7, 0), Tuple::new(9, 0)]);
+        let cfg = ProbeConfig { scan_all: true, ..Default::default() };
+        for t in Technique::ALL {
+            let out = probe(&ht, &s, t, &cfg);
+            assert_eq!(out.matches, 51, "{t}: 50 dups of key 7 + 1 match of key 9");
+        }
+    }
+
+    #[test]
+    fn probe_misses_produce_no_matches() {
+        let (ht, _r, _s) = small_join_setup(1024, 1);
+        let s = Relation::from_tuples(vec![Tuple::new(999_999, 0), Tuple::new(888_888, 0)]);
+        for t in Technique::ALL {
+            let out = probe(&ht, &s, t, &ProbeConfig::default());
+            assert_eq!(out.matches, 0, "{t}");
+            assert!(out.out.iter().all(|&p| p == u64::MAX), "{t}: no materialization");
+        }
+    }
+
+    #[test]
+    fn build_all_techniques_produce_equal_tables() {
+        let r = Relation::zipf(20_000, 4_000, 0.8, 17);
+        let mut snapshots = Vec::new();
+        for t in Technique::ALL {
+            let ht = HashTable::for_tuples(r.len());
+            let out = build(&ht, &r, t, &BuildConfig::default());
+            assert_eq!(out.stats.lookups, r.len() as u64, "{t}");
+            assert_eq!(ht.len(), r.len(), "{t}: all tuples inserted");
+            // Canonical content snapshot: sorted (key, payload) multiset.
+            let mut snap: Vec<(u64, u64)> = Vec::with_capacity(r.len());
+            let mut keys: Vec<u64> = r.tuples.iter().map(|t| t.key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            for k in keys {
+                let mut pls = ht.lookup_all(k);
+                pls.sort_unstable();
+                for p in pls {
+                    snap.push((k, p));
+                }
+            }
+            snapshots.push(snap);
+        }
+        for s in &snapshots[1..] {
+            assert_eq!(s, &snapshots[0], "table contents diverge across techniques");
+        }
+    }
+
+    #[test]
+    fn hash_join_end_to_end() {
+        let r = Relation::dense_unique(2048, 21);
+        let s = Relation::fk_uniform(&r, 8192, 22);
+        let (b, p) = hash_join(&r, &s, Technique::Amac, &ProbeConfig::default());
+        assert_eq!(b.stats.lookups, 2048);
+        assert_eq!(p.matches, 8192);
+        assert!(b.cycles > 0 && p.cycles > 0);
+    }
+
+    #[test]
+    fn probe_empty_relation() {
+        let (ht, _r, _s) = small_join_setup(64, 1);
+        let empty = Relation::default();
+        let out = probe(&ht, &empty, Technique::Amac, &ProbeConfig::default());
+        assert_eq!(out.matches, 0);
+        assert_eq!(out.stats.lookups, 0);
+    }
+
+    #[test]
+    fn auto_stage_estimate_tracks_load_factor() {
+        let r = Relation::dense_unique(1 << 12, 5);
+        // Default sizing: ~1 node per bucket.
+        let ht = HashTable::build_serial(&r);
+        assert_eq!(super::auto_chain_estimate(&ht), 1);
+        // Fig. 3 style: n/8 buckets → 4 nodes per chain.
+        let ht4 = HashTable::with_buckets((1 << 12) / 8);
+        {
+            let mut h = ht4.build_handle();
+            for t in &r.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        assert_eq!(super::auto_chain_estimate(&ht4), 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! Database operators executed under baseline / GP / SPP / AMAC.
+//!
+//! Each operator in the paper's evaluation is written **once** as an
+//! [`amac::engine::LookupOp`] state machine and executed by all four
+//! techniques, exactly mirroring the paper's Table 1 stage decompositions:
+//!
+//! | Operator | Module | Paper stages |
+//! |----------|--------|--------------|
+//! | Hash join probe | [`join`] | 0: hash + prefetch bucket; 1: compare keys / output / chase `next` |
+//! | Hash join build | [`join`] | 0: hash + prefetch bucket; 1: latch? retry : O(1) head insert |
+//! | Radix-partitioned join | [`join_radix`] | scatter → per-partition build+probe (the partitioning alternative to miss-hiding, §7) |
+//! | Group-by (immediate agg) | [`groupby`] | 0: hash + prefetch; 1: latch? retry : walk; 1b: latched walk (extra stage avoids re-acquire deadlock); update / append |
+//! | Group-by (late agg, §2.1.1) | [`groupby_late`] | same stages; terminal action buffers the payload into the group's chunk list |
+//! | BST search | [`bst`] | 0: prefetch root; 1: compare, descend + prefetch child |
+//! | B+-tree search | [`btree`] | 0: prefetch root; 1: select + prefetch child (inner) / resolve (leaf) — the *regular* tree counterpart |
+//! | Linear-probing probe | [`linear`] | 0: hash + prefetch slot group; 1: scan group / advance + prefetch next group — the flat-layout counterpart |
+//! | Skip list search | [`skiplist`] | 0: prefetch top-level successor; 1: compare / advance / descend |
+//! | Skip list insert | [`skiplist`] | search stages + 2: random level & node allocation; 3: per-level latched splice |
+//!
+//! Every driver returns timing (cycles/seconds via `amac-metrics`) plus the
+//! executor's [`amac::engine::EngineStats`], and every operator produces an
+//! order-independent checksum so the four techniques can be verified to
+//! compute identical results.
+//!
+//! [`parallel`] holds the multi-threaded drivers for the scalability
+//! experiments (Figs. 7–8, Table 4).
+
+pub mod bst;
+pub mod btree;
+pub mod groupby;
+pub mod groupby_late;
+pub mod join;
+pub mod join_radix;
+pub mod linear;
+pub mod parallel;
+pub mod skiplist;
+
+pub use amac::engine::{Technique, TuningParams};

@@ -1,0 +1,253 @@
+//! Multi-threaded drivers for the scalability experiments (Figs. 7–8,
+//! Table 4).
+//!
+//! Each thread runs its own executor instance over a contiguous chunk of
+//! the input ("we perform the experiment by assigning software threads
+//! first to physical cores", §5.1); the shared structure is accessed
+//! read-only (probe/search) or through latches (build/group-by/insert).
+//! Throughput is computed as `|S| / wall_time` over the whole fan-out, the
+//! paper's `|S|/probeExecutionTime`.
+
+use amac::engine::{EngineStats, Technique};
+use amac_hashtable::{AggTable, HashTable};
+use amac_skiplist::SkipList;
+use amac_workload::Relation;
+use std::time::Instant;
+
+/// Result of a multi-threaded run.
+#[derive(Debug, Clone, Default)]
+pub struct MtOutput {
+    /// Tuples processed (across threads).
+    pub tuples: u64,
+    /// Matches found (probe/search drivers; 0 otherwise).
+    pub matches: u64,
+    /// Order-independent checksum (probe/search drivers).
+    pub checksum: u64,
+    /// Merged executor counters.
+    pub stats: EngineStats,
+    /// Wall time of the whole parallel section.
+    pub seconds: f64,
+    /// Tuples per second.
+    pub throughput: f64,
+}
+
+fn chunks(rel: &Relation, threads: usize) -> Vec<&[amac_workload::Tuple]> {
+    let n = rel.len();
+    let threads = threads.max(1);
+    let per = n.div_ceil(threads);
+    rel.tuples.chunks(per.max(1)).collect()
+}
+
+/// Multi-threaded hash-table probe (the paper's scalability workload).
+pub fn probe_mt(
+    ht: &HashTable,
+    s: &Relation,
+    technique: Technique,
+    cfg: &crate::join::ProbeConfig,
+    threads: usize,
+) -> MtOutput {
+    let cfg = crate::join::ProbeConfig { materialize: false, ..cfg.clone() };
+    let parts = chunks(s, threads);
+    let start = Instant::now();
+    let results: Vec<crate::join::ProbeOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|chunk| {
+                let cfg = &cfg;
+                scope.spawn(move || {
+                    let rel = Relation::from_tuples(chunk.to_vec());
+                    crate::join::probe(ht, &rel, technique, cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("probe thread panicked")).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut out = MtOutput { seconds, ..Default::default() };
+    for r in results {
+        out.matches += r.matches;
+        out.checksum = out.checksum.wrapping_add(r.checksum);
+        out.stats.merge(&r.stats);
+    }
+    out.tuples = s.len() as u64;
+    out.throughput = if seconds > 0.0 { s.len() as f64 / seconds } else { 0.0 };
+    out
+}
+
+/// Multi-threaded hash-table build.
+pub fn build_mt(
+    ht: &HashTable,
+    r: &Relation,
+    technique: Technique,
+    cfg: &crate::join::BuildConfig,
+    threads: usize,
+) -> MtOutput {
+    let parts = chunks(r, threads);
+    let start = Instant::now();
+    let results: Vec<crate::join::BuildOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let rel = Relation::from_tuples(chunk.to_vec());
+                    crate::join::build(ht, &rel, technique, cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("build thread panicked")).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut out = MtOutput { seconds, tuples: r.len() as u64, ..Default::default() };
+    for res in results {
+        out.stats.merge(&res.stats);
+    }
+    out.throughput = if seconds > 0.0 { r.len() as f64 / seconds } else { 0.0 };
+    out
+}
+
+/// Multi-threaded group-by.
+pub fn groupby_mt(
+    table: &AggTable,
+    input: &Relation,
+    technique: Technique,
+    cfg: &crate::groupby::GroupByConfig,
+    threads: usize,
+) -> MtOutput {
+    let parts = chunks(input, threads);
+    let start = Instant::now();
+    let results: Vec<crate::groupby::GroupByOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let rel = Relation::from_tuples(chunk.to_vec());
+                    crate::groupby::groupby(table, &rel, technique, cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("groupby thread panicked")).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut out = MtOutput { seconds, tuples: input.len() as u64, ..Default::default() };
+    for res in results {
+        out.stats.merge(&res.stats);
+    }
+    out.throughput = if seconds > 0.0 { input.len() as f64 / seconds } else { 0.0 };
+    out
+}
+
+/// Multi-threaded skip-list insert.
+pub fn skip_insert_mt(
+    list: &SkipList,
+    input: &Relation,
+    technique: Technique,
+    cfg: &crate::skiplist::SkipConfig,
+    threads: usize,
+) -> MtOutput {
+    let parts = chunks(input, threads);
+    let start = Instant::now();
+    let results: Vec<crate::skiplist::SkipInsertOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(tid, chunk)| {
+                scope.spawn(move || {
+                    let rel = Relation::from_tuples(chunk.to_vec());
+                    crate::skiplist::skip_insert(list, &rel, technique, cfg, 0x51EE9 + tid as u64)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("insert thread panicked")).collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut out = MtOutput { seconds, tuples: input.len() as u64, ..Default::default() };
+    for res in results {
+        out.matches += res.inserted;
+        out.stats.merge(&res.stats);
+    }
+    out.throughput = if seconds > 0.0 { input.len() as f64 / seconds } else { 0.0 };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::ProbeConfig;
+
+    #[test]
+    fn probe_mt_matches_single_thread() {
+        let r = Relation::dense_unique(8192, 81);
+        let s = Relation::fk_uniform(&r, 30_000, 82);
+        let ht = HashTable::build_serial(&r);
+        let st = crate::join::probe(
+            &ht,
+            &s,
+            Technique::Amac,
+            &ProbeConfig { materialize: false, ..Default::default() },
+        );
+        for threads in [1, 2, 4] {
+            for t in [Technique::Baseline, Technique::Amac] {
+                let mt = probe_mt(&ht, &s, t, &ProbeConfig::default(), threads);
+                assert_eq!(mt.matches, st.matches, "{t}/{threads}t");
+                assert_eq!(mt.checksum, st.checksum, "{t}/{threads}t");
+                assert!(mt.throughput > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn build_mt_all_techniques_complete_table() {
+        let r = Relation::zipf(30_000, 5_000, 0.7, 83);
+        for t in Technique::ALL {
+            let ht = HashTable::for_tuples(r.len());
+            let out = build_mt(&ht, &r, t, &Default::default(), 4);
+            assert_eq!(out.stats.lookups, r.len() as u64, "{t}");
+            assert_eq!(ht.len(), r.len(), "{t}");
+        }
+    }
+
+    #[test]
+    fn groupby_mt_aggregates_exactly() {
+        use amac_hashtable::agg::AggValues;
+        use std::collections::HashMap;
+        let input = amac_workload::GroupByInput::zipf(128, 40_000, 0.9, 85);
+        let mut model: HashMap<u64, AggValues> = HashMap::new();
+        for t in &input.relation.tuples {
+            model
+                .entry(t.key)
+                .and_modify(|a| a.update(t.payload))
+                .or_insert_with(|| AggValues::first(t.payload));
+        }
+        for tech in Technique::ALL {
+            let table = AggTable::for_groups(input.groups);
+            let out = groupby_mt(&table, &input.relation, tech, &Default::default(), 4);
+            assert_eq!(out.stats.lookups, input.len() as u64, "{tech}");
+            assert_eq!(table.group_count(), model.len(), "{tech}");
+            for (k, v) in &model {
+                assert_eq!(table.get(*k).as_ref(), Some(v), "{tech}: group {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_insert_mt_no_lost_keys() {
+        let rel = Relation::sparse_unique(20_000, 87);
+        for t in [Technique::Baseline, Technique::Amac] {
+            let list = SkipList::new();
+            let out = skip_insert_mt(&list, &rel, t, &Default::default(), 4);
+            assert_eq!(out.matches, 20_000, "{t}: every key inserted");
+            assert_eq!(list.len(), 20_000, "{t}");
+            let items = list.items();
+            assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "{t}: order broken");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tuples() {
+        let r = Relation::dense_unique(8, 89);
+        let s = Relation::fk_uniform(&r, 4, 90);
+        let ht = HashTable::build_serial(&r);
+        let mt = probe_mt(&ht, &s, Technique::Amac, &ProbeConfig::default(), 16);
+        assert_eq!(mt.matches, 4);
+    }
+}

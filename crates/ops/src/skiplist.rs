@@ -1,0 +1,456 @@
+//! Skip list search and insert (§5.4) under all four techniques.
+//!
+//! Search stages follow Table 1 ("Skip List Insert", search part):
+//! examine the prefetched successor at the current level — advance on
+//! `<`, match on `==`, descend a level on `>` (collecting the predecessor
+//! when inserting). The insert transition ("Generate rand. lvl / Get new
+//! node" then "Initialize new node / Splice w/ collected nodes") maps to a
+//! node-allocation stage followed by one latched splice stage per tower
+//! level, each of which can report [`Step::Blocked`] for AMAC to defer.
+//!
+//! The per-lookup insert state carries the predecessor vector — the
+//! "0.5KB per lookup … maintained in AMAC's circular buffer for each
+//! in-flight lookup" the paper calls out.
+
+use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
+use amac_metrics::timer::CycleTimer;
+use amac_skiplist::{
+    prefetch_node, try_splice_level, InsertHandle, SkipList, SkipNode, SpliceOutcome, MAX_LEVEL,
+};
+use amac_workload::{Relation, Tuple};
+
+/// Skip-list operation configuration.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct SkipConfig {
+    /// Executor tuning (the paper's `M`).
+    pub params: TuningParams,
+    /// GP/SPP stage budget (`N`); `0` = auto (≈ 2 moves per level).
+    pub n_stages: usize,
+}
+
+
+/// Result of a search run.
+#[derive(Debug, Clone, Default)]
+pub struct SkipSearchOutput {
+    /// Lookups that found their key.
+    pub found: u64,
+    /// Wrapping payload checksum of found keys.
+    pub checksum: u64,
+    /// Executor event counters.
+    pub stats: EngineStats,
+    /// Loop cycles.
+    pub cycles: u64,
+    /// Loop wall time.
+    pub seconds: f64,
+}
+
+/// Per-lookup search state.
+pub struct SkipSearchState {
+    key: u64,
+    cur: *const SkipNode,
+    next: *const SkipNode,
+    level: isize,
+}
+
+impl Default for SkipSearchState {
+    fn default() -> Self {
+        SkipSearchState {
+            key: 0,
+            cur: core::ptr::null(),
+            next: core::ptr::null(),
+            level: 0,
+        }
+    }
+}
+
+/// The search state machine.
+pub struct SkipSearchOp<'a> {
+    list: &'a SkipList,
+    n_stages: usize,
+    found: u64,
+    checksum: u64,
+}
+
+impl<'a> SkipSearchOp<'a> {
+    /// Create the op against a built list.
+    pub fn new(list: &'a SkipList, cfg: &SkipConfig) -> Self {
+        let n_stages =
+            if cfg.n_stages == 0 { 2 * (list.level() + 1) } else { cfg.n_stages };
+        SkipSearchOp { list, n_stages, found: 0, checksum: 0 }
+    }
+}
+
+impl LookupOp for SkipSearchOp<'_> {
+    type Input = Tuple;
+    type State = SkipSearchState;
+
+    fn budgeted_steps(&self) -> usize {
+        self.n_stages
+    }
+
+    /// Stage 0: access the highest head node's successor (Table 1).
+    fn start(&mut self, input: Tuple, state: &mut SkipSearchState) {
+        let head = self.list.head();
+        let level = self.list.level();
+        // SAFETY: head is always a valid full-height node; reading its
+        // tower is a read-only acquire load.
+        let next = unsafe { (*head).next_ptr(level) };
+        prefetch_node(next, level);
+        state.key = input.key;
+        state.cur = head;
+        state.next = next;
+        state.level = level as isize;
+    }
+
+    /// Later stages: compare with the prefetched successor; advance,
+    /// match, or descend.
+    fn step(&mut self, state: &mut SkipSearchState) -> Step {
+        // SAFETY: read-only traversal over arena-owned nodes with acquire
+        // loads (concurrent inserts publish with release stores).
+        unsafe {
+            let next = state.next;
+            if !next.is_null() && (*next).key < state.key {
+                // Move right at this level.
+                state.cur = next;
+                let n2 = (*next).next_ptr(state.level as usize);
+                prefetch_node(n2, state.level as usize);
+                state.next = n2;
+                return Step::Continue;
+            }
+            if !next.is_null() && (*next).key == state.key {
+                self.found += 1;
+                self.checksum = self.checksum.wrapping_add((*next).payload);
+                return Step::Done;
+            }
+            // next is null or past the key: descend.
+            if state.level == 0 {
+                return Step::Done; // miss
+            }
+            state.level -= 1;
+            let n2 = (*state.cur).next_ptr(state.level as usize);
+            prefetch_node(n2, state.level as usize);
+            state.next = n2;
+            Step::Continue
+        }
+    }
+}
+
+/// Run `probe_rel` searches against `list` with `technique`.
+pub fn skip_search(
+    list: &SkipList,
+    probe_rel: &Relation,
+    technique: Technique,
+    cfg: &SkipConfig,
+) -> SkipSearchOutput {
+    let mut op = SkipSearchOp::new(list, cfg);
+    let timer = CycleTimer::start();
+    let stats = run(technique, &mut op, &probe_rel.tuples, cfg.params);
+    SkipSearchOutput {
+        found: op.found,
+        checksum: op.checksum,
+        stats,
+        cycles: timer.cycles(),
+        seconds: timer.seconds(),
+    }
+}
+
+/// Result of an insert run.
+#[derive(Debug, Clone, Default)]
+pub struct SkipInsertOutput {
+    /// Keys newly inserted.
+    pub inserted: u64,
+    /// Keys rejected as duplicates.
+    pub duplicates: u64,
+    /// Executor event counters.
+    pub stats: EngineStats,
+    /// Loop cycles.
+    pub cycles: u64,
+    /// Loop wall time.
+    pub seconds: f64,
+}
+
+/// Phase of an in-flight insert lookup.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+enum InsertPhase {
+    #[default]
+    Search,
+    Splice,
+}
+
+/// Per-lookup insert state — the paper's ~0.5 KB circular-buffer entry
+/// (predecessor vector included).
+pub struct SkipInsertState {
+    key: u64,
+    payload: u64,
+    cur: *const SkipNode,
+    next: *const SkipNode,
+    level: isize,
+    preds: [*mut SkipNode; MAX_LEVEL + 1],
+    node: *mut SkipNode,
+    splice_level: usize,
+    top: usize,
+    phase: InsertPhase,
+}
+
+impl Default for SkipInsertState {
+    fn default() -> Self {
+        SkipInsertState {
+            key: 0,
+            payload: 0,
+            cur: core::ptr::null(),
+            next: core::ptr::null(),
+            level: 0,
+            preds: [core::ptr::null_mut(); MAX_LEVEL + 1],
+            node: core::ptr::null_mut(),
+            splice_level: 0,
+            top: 0,
+            phase: InsertPhase::Search,
+        }
+    }
+}
+
+/// The insert state machine.
+pub struct SkipInsertOp<'a> {
+    handle: InsertHandle<'a>,
+    n_stages: usize,
+    inserted: u64,
+    duplicates: u64,
+}
+
+impl<'a> SkipInsertOp<'a> {
+    /// Create the op; `expected_total` is the final list size used to
+    /// derive the GP/SPP stage budget when the list starts empty.
+    pub fn new(list: &'a SkipList, cfg: &SkipConfig, expected_total: usize, seed: u64) -> Self {
+        let n_stages = if cfg.n_stages == 0 {
+            let levels = (expected_total.max(2) as f64).log2().ceil() as usize;
+            2 * (levels + 1) + 2
+        } else {
+            cfg.n_stages
+        };
+        SkipInsertOp { handle: list.handle(seed), n_stages, inserted: 0, duplicates: 0 }
+    }
+}
+
+impl LookupOp for SkipInsertOp<'_> {
+    type Input = Tuple;
+    type State = SkipInsertState;
+
+    fn budgeted_steps(&self) -> usize {
+        self.n_stages
+    }
+
+    fn start(&mut self, input: Tuple, state: &mut SkipInsertState) {
+        let list = self.handle.list();
+        let head = list.head() as *mut SkipNode;
+        let level = list.level();
+        // Predecessors above the entry level are the head itself.
+        state.preds = [head; MAX_LEVEL + 1];
+        // SAFETY: head is valid and full-height.
+        let next = unsafe { (*head).next_ptr(level) };
+        prefetch_node(next, level);
+        state.key = input.key;
+        state.payload = input.payload;
+        state.cur = head;
+        state.next = next;
+        state.level = level as isize;
+        state.node = core::ptr::null_mut();
+        state.splice_level = 0;
+        state.phase = InsertPhase::Search;
+    }
+
+    fn step(&mut self, state: &mut SkipInsertState) -> Step {
+        match state.phase {
+            InsertPhase::Search => {
+                // SAFETY: read-only traversal with acquire loads.
+                unsafe {
+                    let next = state.next;
+                    if !next.is_null() && (*next).key < state.key {
+                        state.cur = next;
+                        let n2 = (*next).next_ptr(state.level as usize);
+                        prefetch_node(n2, state.level as usize);
+                        state.next = n2;
+                        return Step::Continue;
+                    }
+                    if !next.is_null() && (*next).key == state.key {
+                        self.duplicates += 1;
+                        return Step::Done;
+                    }
+                    // Descend (recording the predecessor at this level).
+                    state.preds[state.level as usize] = state.cur as *mut SkipNode;
+                    if state.level > 0 {
+                        state.level -= 1;
+                        let n2 = (*state.cur).next_ptr(state.level as usize);
+                        prefetch_node(n2, state.level as usize);
+                        state.next = n2;
+                        return Step::Continue;
+                    }
+                }
+                // Level 0 reached without a match: move to the insert
+                // phase (Table 1 stage 2: generate random level, get new
+                // node) — CPU work, no prefetch needed.
+                let top = self.handle.random_level();
+                state.node = self.handle.alloc_node(state.key, state.payload, top);
+                state.top = top;
+                state.splice_level = 0;
+                state.phase = InsertPhase::Splice;
+                Step::Continue
+            }
+            InsertPhase::Splice => {
+                // Table 1 stage 3: splice with collected predecessors,
+                // one latched level per step, bottom-up.
+                let lvl = state.splice_level;
+                // SAFETY: preds[lvl] is head or a node recorded during the
+                // search with top_level >= lvl; node is initialized and
+                // not yet spliced at lvl.
+                match unsafe { try_splice_level(state.preds[lvl], state.node, lvl) } {
+                    SpliceOutcome::Spliced => {
+                        if lvl == state.top {
+                            self.handle.list().raise_level(state.top);
+                            self.inserted += 1;
+                            return Step::Done;
+                        }
+                        state.splice_level += 1;
+                        Step::Continue
+                    }
+                    SpliceOutcome::Blocked => Step::Blocked,
+                    SpliceOutcome::Moved(np) => {
+                        state.preds[lvl] = np;
+                        Step::Continue
+                    }
+                    SpliceOutcome::AlreadyPresent => {
+                        debug_assert_eq!(lvl, 0, "duplicate surfaced above level 0");
+                        self.duplicates += 1;
+                        Step::Done
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Insert every tuple of `input` into `list` with `technique`.
+pub fn skip_insert(
+    list: &SkipList,
+    input: &Relation,
+    technique: Technique,
+    cfg: &SkipConfig,
+    seed: u64,
+) -> SkipInsertOutput {
+    let mut op = SkipInsertOp::new(list, cfg, input.len(), seed);
+    let timer = CycleTimer::start();
+    let stats = run(technique, &mut op, &input.tuples, cfg.params);
+    SkipInsertOutput {
+        inserted: op.inserted,
+        duplicates: op.duplicates,
+        stats,
+        cycles: timer.cycles(),
+        seconds: timer.seconds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_search_roundtrip_all_techniques() {
+        let rel = Relation::sparse_unique(4000, 51);
+        let probe = rel.shuffled(52);
+        for t in Technique::ALL {
+            let list = SkipList::new();
+            let ins = skip_insert(&list, &rel, t, &SkipConfig::default(), 7);
+            assert_eq!(ins.inserted, 4000, "{t}: all unique keys inserted");
+            assert_eq!(ins.duplicates, 0, "{t}");
+            assert_eq!(list.len(), 4000, "{t}");
+            // Structure is valid: ordered level-0 with exact content.
+            let items = list.items();
+            assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "{t}: unordered");
+            let sr = skip_search(&list, &probe, t, &SkipConfig::default());
+            assert_eq!(sr.found, 4000, "{t}: search finds every inserted key");
+        }
+    }
+
+    #[test]
+    fn search_checksum_agrees_across_techniques() {
+        let rel = Relation::sparse_unique(3000, 61);
+        let list = SkipList::new();
+        skip_insert(&list, &rel, Technique::Baseline, &SkipConfig::default(), 3);
+        let probe = rel.shuffled(62);
+        let mut reference = None;
+        for t in Technique::ALL {
+            let out = skip_search(&list, &probe, t, &SkipConfig::default());
+            assert_eq!(out.found, 3000, "{t}");
+            match reference {
+                None => reference = Some(out.checksum),
+                Some(c) => assert_eq!(out.checksum, c, "{t}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_are_rejected_by_every_technique() {
+        let mut tuples = Vec::new();
+        for k in 1..=500u64 {
+            tuples.push(Tuple::new(k, k));
+            tuples.push(Tuple::new(k, k + 10_000)); // duplicate key
+        }
+        let rel = Relation::from_tuples(tuples);
+        for t in Technique::ALL {
+            let list = SkipList::new();
+            let ins = skip_insert(&list, &rel, t, &SkipConfig::default(), 9);
+            assert_eq!(ins.inserted, 500, "{t}");
+            assert_eq!(ins.duplicates, 500, "{t}");
+            assert_eq!(list.len(), 500, "{t}");
+            // Exactly one of the two racing payloads survives per key
+            // (which one is schedule-dependent — in-flight lookups are
+            // unordered, as in the paper).
+            for k in 1..=500u64 {
+                let got = list.get(k).unwrap_or_else(|| panic!("{t}: key {k} missing"));
+                assert!(got == k || got == k + 10_000, "{t}: key {k} has foreign payload {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn misses_return_not_found() {
+        let rel = Relation::dense_unique(100, 71);
+        let list = SkipList::new();
+        skip_insert(&list, &rel, Technique::Amac, &SkipConfig::default(), 1);
+        let probe =
+            Relation::from_tuples((1000..1100u64).map(|k| Tuple::new(k, 0)).collect());
+        for t in Technique::ALL {
+            let out = skip_search(&list, &probe, t, &SkipConfig::default());
+            assert_eq!(out.found, 0, "{t}");
+        }
+    }
+
+    #[test]
+    fn interleaved_inserts_into_shared_region_conflict_and_recover() {
+        // Narrow key range → splice windows collide across in-flight
+        // lookups; AMAC must defer (Blocked) yet stay correct.
+        let tuples: Vec<Tuple> = (0..2000u64).map(|i| Tuple::new(i * 2 + 1, i)).collect();
+        let rel = Relation::from_tuples(tuples);
+        let list = SkipList::new();
+        let out = skip_insert(&list, &rel, Technique::Amac, &SkipConfig::default(), 13);
+        assert_eq!(out.inserted, 2000);
+        assert_eq!(list.len(), 2000);
+        let items = list.items();
+        assert!(items.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_list_and_empty_input() {
+        let list = SkipList::new();
+        let out = skip_search(
+            &list,
+            &Relation::from_tuples(vec![Tuple::new(5, 0)]),
+            Technique::Gp,
+            &SkipConfig::default(),
+        );
+        assert_eq!(out.found, 0);
+        let ins =
+            skip_insert(&list, &Relation::default(), Technique::Spp, &SkipConfig::default(), 2);
+        assert_eq!(ins.inserted, 0);
+    }
+}

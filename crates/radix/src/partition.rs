@@ -1,0 +1,328 @@
+//! Histogram + scatter radix partitioning.
+
+use amac_mem::hash::mix64;
+use amac_workload::{Relation, Tuple};
+
+/// Tuples per software write buffer (one 64-byte cache line).
+const BUF_TUPLES: usize = 4;
+
+/// Partition index for `key` under a `bits`-bit radix: the top `bits`
+/// bits of the hash (the bottom bits stay free for bucket addressing).
+#[inline(always)]
+pub fn partition_of(key: u64, bits: u32) -> usize {
+    if bits == 0 {
+        0
+    } else {
+        (mix64(key) >> (64 - bits)) as usize
+    }
+}
+
+/// A relation reordered into `2^bits` contiguous partitions.
+pub struct Partitions {
+    /// Tuples, grouped by partition.
+    pub tuples: Vec<Tuple>,
+    /// Partition `p` occupies `tuples[offsets[p]..offsets[p + 1]]`.
+    pub offsets: Vec<usize>,
+    /// Radix width.
+    pub bits: u32,
+}
+
+impl Partitions {
+    /// Number of partitions (`2^bits`).
+    #[inline]
+    pub fn count(&self) -> usize {
+        1usize << self.bits
+    }
+
+    /// The tuples of partition `p`.
+    #[inline]
+    pub fn part(&self, p: usize) -> &[Tuple] {
+        &self.tuples[self.offsets[p]..self.offsets[p + 1]]
+    }
+
+    /// Size of partition `p` in tuples.
+    #[inline]
+    pub fn part_len(&self, p: usize) -> usize {
+        self.offsets[p + 1] - self.offsets[p]
+    }
+
+    /// Occupancy statistics over partitions.
+    pub fn stats(&self) -> PartitionStats {
+        let mut s = PartitionStats { partitions: self.count(), ..Default::default() };
+        for p in 0..self.count() {
+            let len = self.part_len(p);
+            s.max_part = s.max_part.max(len);
+            if len == 0 {
+                s.empty_parts += 1;
+            }
+        }
+        s.avg_part = self.tuples.len() as f64 / self.count() as f64;
+        s
+    }
+}
+
+/// Partition-size statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartitionStats {
+    /// Total partitions.
+    pub partitions: usize,
+    /// Partitions holding no tuples.
+    pub empty_parts: usize,
+    /// Largest partition in tuples.
+    pub max_part: usize,
+    /// Mean tuples per partition.
+    pub avg_part: f64,
+}
+
+fn histogram(tuples: &[Tuple], bits: u32) -> Vec<usize> {
+    let mut counts = vec![0usize; 1 << bits];
+    for t in tuples {
+        counts[partition_of(t.key, bits)] += 1;
+    }
+    counts
+}
+
+fn offsets_of(counts: &[usize]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// Partition `rel` in one pass with cache-line software write buffers.
+///
+/// # Panics
+/// If `bits > 16` (beyond any sane single-pass fan-out; use
+/// [`partition_two_pass`]).
+pub fn partition(rel: &Relation, bits: u32) -> Partitions {
+    assert!(bits <= 16, "single-pass fan-out capped at 2^16; use partition_two_pass");
+    scatter_buffered(&rel.tuples, bits)
+}
+
+/// Partition `rel` in one pass writing each tuple straight to its
+/// destination (no staging buffers) — the ablation baseline for the
+/// software-managed-buffer optimization.
+pub fn partition_unbuffered(rel: &Relation, bits: u32) -> Partitions {
+    assert!(bits <= 16, "single-pass fan-out capped at 2^16; use partition_two_pass");
+    let counts = histogram(&rel.tuples, bits);
+    let offsets = offsets_of(&counts);
+    let mut out = vec![Tuple::default(); rel.tuples.len()];
+    let mut cursors = offsets[..offsets.len() - 1].to_vec();
+    for t in &rel.tuples {
+        let p = partition_of(t.key, bits);
+        out[cursors[p]] = *t;
+        cursors[p] += 1;
+    }
+    Partitions { tuples: out, offsets, bits }
+}
+
+fn scatter_buffered(tuples: &[Tuple], bits: u32) -> Partitions {
+    let counts = histogram(tuples, bits);
+    let offsets = offsets_of(&counts);
+    let parts = 1usize << bits;
+    let mut out = vec![Tuple::default(); tuples.len()];
+    let mut cursors = offsets[..parts].to_vec();
+    let mut bufs = vec![[Tuple::default(); BUF_TUPLES]; parts];
+    let mut fill = vec![0u8; parts];
+
+    for t in tuples {
+        let p = partition_of(t.key, bits);
+        bufs[p][fill[p] as usize] = *t;
+        fill[p] += 1;
+        if fill[p] as usize == BUF_TUPLES {
+            out[cursors[p]..cursors[p] + BUF_TUPLES].copy_from_slice(&bufs[p]);
+            cursors[p] += BUF_TUPLES;
+            fill[p] = 0;
+        }
+    }
+    for p in 0..parts {
+        let f = fill[p] as usize;
+        if f > 0 {
+            out[cursors[p]..cursors[p] + f].copy_from_slice(&bufs[p][..f]);
+            cursors[p] += f;
+        }
+        debug_assert_eq!(cursors[p], offsets[p + 1], "partition {p} cursor mismatch");
+    }
+    Partitions { tuples: out, offsets, bits }
+}
+
+/// Two-pass partitioning: `bits` total, split across two scatter passes
+/// to bound per-pass fan-out (the standard TLB-friendly schedule).
+///
+/// The result is identical to single-pass [`partition`] up to the order
+/// of tuples *within* each partition.
+pub fn partition_two_pass(rel: &Relation, bits: u32) -> Partitions {
+    let bits1 = bits / 2;
+    let bits2 = bits - bits1;
+    if bits1 == 0 {
+        return partition(rel, bits);
+    }
+    let pass1 = scatter_buffered(&rel.tuples, bits1);
+
+    let parts = 1usize << bits;
+    let mut out = Vec::with_capacity(rel.tuples.len());
+    let mut offsets = Vec::with_capacity(parts + 1);
+    offsets.push(0);
+    for p1 in 0..pass1.count() {
+        // Refine this coarse partition on the next `bits2` hash bits. A
+        // tuple's final partition is (p1 << bits2) | p2, matching the top
+        // `bits` bits of the hash, so concatenating refined runs yields
+        // exactly the single-pass layout.
+        let slice = pass1.part(p1);
+        let mut counts = vec![0usize; 1 << bits2];
+        for t in slice {
+            counts[sub_partition(t.key, bits1, bits2)] += 1;
+        }
+        let local = offsets_of(&counts);
+        let base = out.len();
+        out.resize(base + slice.len(), Tuple::default());
+        let mut cursors = local[..counts.len()].to_vec();
+        for t in slice {
+            let p2 = sub_partition(t.key, bits1, bits2);
+            out[base + cursors[p2]] = *t;
+            cursors[p2] += 1;
+        }
+        for c in &local[1..] {
+            offsets.push(base + c);
+        }
+    }
+    Partitions { tuples: out, offsets, bits }
+}
+
+/// Bits `bits1..bits1+bits2` (from the top) of the hash.
+#[inline(always)]
+fn sub_partition(key: u64, bits1: u32, bits2: u32) -> usize {
+    ((mix64(key) >> (64 - bits1 - bits2)) & ((1 << bits2) - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_valid(parts: &Partitions, original: &Relation) {
+        // Same multiset of tuples.
+        assert_eq!(parts.tuples.len(), original.len());
+        let mut a: Vec<Tuple> = parts.tuples.clone();
+        let mut b: Vec<Tuple> = original.tuples.clone();
+        a.sort_unstable_by_key(|t| (t.key, t.payload));
+        b.sort_unstable_by_key(|t| (t.key, t.payload));
+        assert_eq!(a, b, "partitioning must be a permutation");
+        // Homogeneous partitions.
+        for p in 0..parts.count() {
+            for t in parts.part(p) {
+                assert_eq!(partition_of(t.key, parts.bits), p, "tuple in wrong partition");
+            }
+        }
+        // Offsets cover everything monotonically.
+        assert_eq!(parts.offsets.len(), parts.count() + 1);
+        assert_eq!(*parts.offsets.last().unwrap(), parts.tuples.len());
+        assert!(parts.offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn buffered_partitioning_is_valid() {
+        let rel = Relation::dense_unique(10_000, 3);
+        assert_valid(&partition(&rel, 6), &rel);
+    }
+
+    #[test]
+    fn unbuffered_matches_buffered_exactly() {
+        let rel = Relation::zipf(8_000, 2_000, 0.9, 5);
+        let a = partition(&rel, 5);
+        let b = partition_unbuffered(&rel, 5);
+        assert_eq!(a.offsets, b.offsets);
+        // Both preserve input order within a partition (stable scatter).
+        assert_eq!(a.tuples, b.tuples);
+    }
+
+    #[test]
+    fn two_pass_matches_single_pass_layout() {
+        let rel = Relation::dense_unique(20_000, 7);
+        let one = partition(&rel, 8);
+        let two = partition_two_pass(&rel, 8);
+        assert_eq!(one.offsets, two.offsets, "same partition sizes");
+        assert_valid(&two, &rel);
+        // Same contents per partition (order within may differ).
+        for p in 0..one.count() {
+            let mut x: Vec<_> = one.part(p).to_vec();
+            let mut y: Vec<_> = two.part(p).to_vec();
+            x.sort_unstable_by_key(|t| (t.key, t.payload));
+            y.sort_unstable_by_key(|t| (t.key, t.payload));
+            assert_eq!(x, y, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn zero_bits_is_identity_grouping() {
+        let rel = Relation::dense_unique(100, 9);
+        let parts = partition(&rel, 0);
+        assert_eq!(parts.count(), 1);
+        assert_eq!(parts.part(0), &rel.tuples[..]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::default();
+        for bits in [0u32, 4] {
+            let parts = partition(&rel, bits);
+            assert_eq!(parts.tuples.len(), 0);
+            assert!(parts.offsets.iter().all(|&o| o == 0));
+            assert_eq!(parts.stats().empty_parts, parts.count());
+        }
+    }
+
+    #[test]
+    fn identical_keys_share_a_partition() {
+        let rel = Relation::from_tuples((0..100).map(|p| Tuple::new(42, p)).collect());
+        let parts = partition(&rel, 8);
+        let s = parts.stats();
+        assert_eq!(s.max_part, 100);
+        assert_eq!(s.empty_parts, parts.count() - 1);
+    }
+
+    #[test]
+    fn uniform_keys_spread_evenly() {
+        let rel = Relation::dense_unique(1 << 16, 11);
+        let parts = partition(&rel, 6);
+        let s = parts.stats();
+        assert_eq!(s.empty_parts, 0);
+        let expect = (1 << 16) as f64 / 64.0;
+        assert!(
+            (s.max_part as f64) < expect * 1.25,
+            "max {} vs mean {expect} implausibly skewed for uniform keys",
+            s.max_part
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out")]
+    fn oversized_single_pass_rejected() {
+        let _ = partition(&Relation::default(), 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn partitioning_is_permutation_and_homogeneous(
+            kv in prop::collection::vec((0u64..5_000, 0u64..100), 0..500),
+            bits in 0u32..9,
+            two_pass in proptest::bool::ANY,
+        ) {
+            let rel = Relation::from_tuples(
+                kv.into_iter().map(|(k, p)| Tuple::new(k, p)).collect(),
+            );
+            let parts = if two_pass {
+                partition_two_pass(&rel, bits)
+            } else {
+                partition(&rel, bits)
+            };
+            assert_valid(&parts, &rel);
+        }
+    }
+}

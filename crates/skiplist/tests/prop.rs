@@ -1,0 +1,68 @@
+//! Property tests: the skip list against a `BTreeMap` model, plus the
+//! structural tower invariant.
+
+use amac_skiplist::SkipList;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matches_btreemap_model(
+        pairs in prop::collection::vec((1u64..2000, 0u64..1000), 0..400),
+        probes in prop::collection::vec(0u64..2500, 0..100),
+    ) {
+        let list = SkipList::new();
+        let mut model = BTreeMap::new();
+        {
+            let mut h = list.handle(7);
+            for &(k, p) in &pairs {
+                let fresh = h.insert(k, p);
+                let model_fresh = !model.contains_key(&k);
+                if model_fresh {
+                    model.insert(k, p);
+                }
+                prop_assert_eq!(fresh, model_fresh, "insert({}) freshness", k);
+            }
+        }
+        prop_assert_eq!(list.len(), model.len());
+        prop_assert_eq!(
+            list.items(),
+            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        );
+        for &k in &probes {
+            prop_assert_eq!(list.get(k), model.get(&k).copied(), "get({})", k);
+        }
+    }
+
+    #[test]
+    fn every_level_is_an_ordered_subsequence_of_level0(
+        keys in prop::collection::btree_set(1u64..100_000, 1..300),
+        seed in 0u64..1000,
+    ) {
+        let list = SkipList::new();
+        {
+            let mut h = list.handle(seed);
+            for &k in &keys {
+                h.insert(k, k);
+            }
+        }
+        let level0: std::collections::HashSet<u64> =
+            list.items().into_iter().map(|(k, _)| k).collect();
+        for lvl in 0..=list.level() {
+            let mut prev = 0u64;
+            // SAFETY: read-only traversal of a fully built list.
+            unsafe {
+                let mut cur = (*list.head()).next_ptr(lvl);
+                while !cur.is_null() {
+                    let k = (*cur).key;
+                    prop_assert!(k > prev || prev == 0, "level {} out of order", lvl);
+                    prop_assert!(level0.contains(&k), "level {} ghost key {}", lvl, k);
+                    prev = k;
+                    cur = (*cur).next_ptr(lvl);
+                }
+            }
+        }
+    }
+}

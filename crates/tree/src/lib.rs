@@ -1,0 +1,327 @@
+//! Canonical binary search tree (§4, §5.3).
+//!
+//! "We use a canonical implementation of a binary search tree. … Each
+//! binary tree node contains an 8-byte key, an 8-byte payload and two
+//! 8-byte child pointers." Nodes are cache-line aligned like every other
+//! structure in the paper. The tree is built by plain unbalanced insertion
+//! of uniformly-random keys, so expected depth is ~1.39·log2 n with real
+//! variance across lookups — exactly the irregularity that separates AMAC
+//! from GP/SPP in Figure 10.
+//!
+//! The tree is **built single-threaded and probed read-only**, so no
+//! latches are needed; `&self` traversal after build is safe by phase
+//! separation.
+
+use amac_mem::arena::Arena;
+use amac_workload::Relation;
+
+/// One cache-line-aligned tree node.
+#[repr(C, align(64))]
+#[derive(Debug)]
+pub struct TreeNode {
+    /// Search key.
+    pub key: u64,
+    /// Carried payload.
+    pub payload: u64,
+    /// Left child (keys < `key`), or null.
+    pub left: *mut TreeNode,
+    /// Right child (keys > `key`), or null.
+    pub right: *mut TreeNode,
+}
+
+impl Default for TreeNode {
+    fn default() -> Self {
+        TreeNode {
+            key: 0,
+            payload: 0,
+            left: core::ptr::null_mut(),
+            right: core::ptr::null_mut(),
+        }
+    }
+}
+
+/// An unbalanced binary search tree over arena-allocated nodes.
+pub struct Bst {
+    arena: Arena<TreeNode>,
+    root: *mut TreeNode,
+    len: usize,
+}
+
+// SAFETY: mutation only via &mut self; &self traversal is read-only and all
+// node pointers target the owned arena.
+unsafe impl Send for Bst {}
+unsafe impl Sync for Bst {}
+
+impl Bst {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Bst { arena: Arena::new(), root: core::ptr::null_mut(), len: 0 }
+    }
+
+    /// Pre-size the node arena for `n` inserts.
+    pub fn with_capacity(n: usize) -> Self {
+        Bst { arena: Arena::with_capacity(n), root: core::ptr::null_mut(), len: 0 }
+    }
+
+    /// Build a tree from a relation (keys inserted in storage order).
+    pub fn build(rel: &Relation) -> Self {
+        let mut t = Self::with_capacity(rel.len());
+        for tu in &rel.tuples {
+            t.insert(tu.key, tu.payload);
+        }
+        t
+    }
+
+    /// Insert `(key, payload)`; replaces the payload if `key` exists.
+    /// Returns `true` when a new node was created.
+    pub fn insert(&mut self, key: u64, payload: u64) -> bool {
+        if self.root.is_null() {
+            self.root = self.arena.alloc_with(TreeNode {
+                key,
+                payload,
+                ..TreeNode::default()
+            });
+            self.len = 1;
+            return true;
+        }
+        let mut cur = self.root;
+        loop {
+            // SAFETY: cur is non-null and points into our arena; we hold
+            // &mut self.
+            unsafe {
+                use core::cmp::Ordering::*;
+                match key.cmp(&(*cur).key) {
+                    Equal => {
+                        (*cur).payload = payload;
+                        return false;
+                    }
+                    Less => {
+                        if (*cur).left.is_null() {
+                            (*cur).left = self.arena.alloc_with(TreeNode {
+                                key,
+                                payload,
+                                ..TreeNode::default()
+                            });
+                            self.len += 1;
+                            return true;
+                        }
+                        cur = (*cur).left;
+                    }
+                    Greater => {
+                        if (*cur).right.is_null() {
+                            (*cur).right = self.arena.alloc_with(TreeNode {
+                                key,
+                                payload,
+                                ..TreeNode::default()
+                            });
+                            self.len += 1;
+                            return true;
+                        }
+                        cur = (*cur).right;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Root pointer (null when empty) — the address AMAC's stage 0
+    /// prefetches.
+    #[inline(always)]
+    pub fn root(&self) -> *const TreeNode {
+        self.root
+    }
+
+    /// Reference search (the no-prefetch baseline walk).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut cur: *const TreeNode = self.root;
+        while !cur.is_null() {
+            // SAFETY: read-only phase; nodes arena-owned.
+            unsafe {
+                use core::cmp::Ordering::*;
+                match key.cmp(&(*cur).key) {
+                    Equal => return Some((*cur).payload),
+                    Less => cur = (*cur).left,
+                    Greater => cur = (*cur).right,
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Depth of the node holding `key` (root = 1), if present.
+    pub fn depth_of(&self, key: u64) -> Option<usize> {
+        let mut cur: *const TreeNode = self.root;
+        let mut d = 0usize;
+        while !cur.is_null() {
+            d += 1;
+            // SAFETY: read-only phase.
+            unsafe {
+                use core::cmp::Ordering::*;
+                match key.cmp(&(*cur).key) {
+                    Equal => return Some(d),
+                    Less => cur = (*cur).left,
+                    Greater => cur = (*cur).right,
+                }
+            }
+        }
+        None
+    }
+
+    /// Tree height (max node depth; 0 for empty). Iterative to survive
+    /// adversarial (sorted-input) shapes without stack overflow.
+    pub fn height(&self) -> usize {
+        let mut max = 0usize;
+        let mut stack: Vec<(*const TreeNode, usize)> = Vec::new();
+        if !self.root.is_null() {
+            stack.push((self.root, 1));
+        }
+        while let Some((n, d)) = stack.pop() {
+            max = max.max(d);
+            // SAFETY: read-only phase.
+            unsafe {
+                if !(*n).left.is_null() {
+                    stack.push(((*n).left, d + 1));
+                }
+                if !(*n).right.is_null() {
+                    stack.push(((*n).right, d + 1));
+                }
+            }
+        }
+        max
+    }
+
+    /// In-order key traversal (validation).
+    pub fn keys_in_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack: Vec<*const TreeNode> = Vec::new();
+        let mut cur: *const TreeNode = self.root;
+        while !cur.is_null() || !stack.is_empty() {
+            // SAFETY: read-only phase.
+            unsafe {
+                while !cur.is_null() {
+                    stack.push(cur);
+                    cur = (*cur).left;
+                }
+                let n = stack.pop().expect("non-empty stack");
+                out.push((*n).key);
+                cur = (*n).right;
+            }
+        }
+        out
+    }
+}
+
+impl Default for Bst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_is_one_cache_line() {
+        assert_eq!(core::mem::size_of::<TreeNode>(), 64);
+        assert_eq!(core::mem::align_of::<TreeNode>(), 64);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = Bst::new();
+        assert!(t.is_empty());
+        for k in [50u64, 30, 70, 20, 40, 60, 80] {
+            assert!(t.insert(k, k * 10));
+        }
+        assert_eq!(t.len(), 7);
+        for k in [50u64, 30, 70, 20, 40, 60, 80] {
+            assert_eq!(t.get(k), Some(k * 10));
+        }
+        assert_eq!(t.get(55), None);
+    }
+
+    #[test]
+    fn duplicate_key_replaces_payload() {
+        let mut t = Bst::new();
+        assert!(t.insert(1, 10));
+        assert!(!t.insert(1, 20));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(20));
+    }
+
+    #[test]
+    fn inorder_is_sorted() {
+        let rel = Relation::sparse_unique(5000, 7);
+        let t = Bst::build(&rel);
+        let keys = t.keys_in_order();
+        assert_eq!(keys.len(), 5000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn random_build_height_is_logarithmic() {
+        let n = 1 << 14;
+        let rel = Relation::sparse_unique(n, 11);
+        let t = Bst::build(&rel);
+        let h = t.height();
+        let log2n = (n as f64).log2();
+        // Random BST expected height ≈ 2.99·log2 n; allow generous slack.
+        assert!(h as f64 > log2n, "height {h} implausibly small");
+        assert!(h as f64 <= 4.5 * log2n, "height {h} implausibly large for random keys");
+    }
+
+    #[test]
+    fn sorted_insert_degenerates_and_survives() {
+        let mut t = Bst::new();
+        for k in 0..2000u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.height(), 2000, "sorted input must produce a path tree");
+        assert_eq!(t.get(1999), Some(1999));
+        assert_eq!(t.keys_in_order().len(), 2000);
+    }
+
+    #[test]
+    fn depth_of_matches_walk() {
+        let mut t = Bst::new();
+        for k in [8u64, 4, 12, 2, 6] {
+            t.insert(k, 0);
+        }
+        assert_eq!(t.depth_of(8), Some(1));
+        assert_eq!(t.depth_of(4), Some(2));
+        assert_eq!(t.depth_of(6), Some(3));
+        assert_eq!(t.depth_of(99), None);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = Bst::new();
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.height(), 0);
+        assert!(t.root().is_null());
+        assert!(t.keys_in_order().is_empty());
+    }
+
+    #[test]
+    fn probe_relation_finds_every_build_key() {
+        let rel = Relation::sparse_unique(3000, 21);
+        let probe = rel.shuffled(22);
+        let t = Bst::build(&rel);
+        for p in &probe.tuples {
+            assert!(t.get(p.key).is_some());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests: the BST against a `BTreeMap` model.
+
+use amac_tree::Bst;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bst_matches_btreemap(
+        pairs in prop::collection::vec((0u64..1000, 0u64..1000), 0..500),
+        probes in prop::collection::vec(0u64..1200, 0..100),
+    ) {
+        let mut tree = Bst::new();
+        let mut model = BTreeMap::new();
+        for &(k, p) in &pairs {
+            let fresh = tree.insert(k, p);
+            let model_fresh = model.insert(k, p).is_none();
+            prop_assert_eq!(fresh, model_fresh, "insert({}) freshness", k);
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        prop_assert_eq!(tree.keys_in_order(), model.keys().copied().collect::<Vec<_>>());
+        for &k in &probes {
+            prop_assert_eq!(tree.get(k), model.get(&k).copied(), "get({})", k);
+        }
+    }
+
+    #[test]
+    fn inorder_is_always_strictly_sorted(
+        keys in prop::collection::vec(0u64..10_000, 0..500),
+    ) {
+        let mut tree = Bst::new();
+        for &k in &keys {
+            tree.insert(k, k);
+        }
+        let inorder = tree.keys_in_order();
+        prop_assert!(inorder.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn height_bounds(keys in prop::collection::btree_set(0u64..100_000, 1..400)) {
+        let mut tree = Bst::new();
+        for &k in &keys {
+            tree.insert(k, 0);
+        }
+        let h = tree.height();
+        let n = keys.len();
+        // Minimum possible height of an n-node binary tree: ceil(log2(n+1)).
+        let floor_log = usize::BITS - n.leading_zeros();
+        prop_assert!(h >= floor_log as usize, "height {} below log2({})", h, n);
+        prop_assert!(h <= n, "height {} above node count {}", h, n);
+        // depth_of is consistent with height.
+        let max_depth = keys.iter().map(|&k| tree.depth_of(k).unwrap()).max().unwrap();
+        prop_assert_eq!(max_depth, h);
+    }
+}

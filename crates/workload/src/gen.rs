@@ -1,0 +1,108 @@
+//! Composite workload inputs beyond plain relations.
+
+use crate::tuple::{Relation, Tuple};
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Input for the group-by workload (§4): an input relation whose keys
+/// repeat, plus the number of distinct groups, so operators can size their
+/// aggregate tables.
+#[derive(Debug, Clone)]
+pub struct GroupByInput {
+    /// The input relation (keys repeat across tuples).
+    pub relation: Relation,
+    /// Number of distinct keys.
+    pub groups: usize,
+}
+
+impl GroupByInput {
+    /// Uniform group-by input: `groups` distinct keys, **each appearing
+    /// exactly `reps` times** (the paper uses 3), shuffled. Payloads are
+    /// distinct values so aggregates are non-trivial.
+    pub fn uniform(groups: usize, reps: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples = Vec::with_capacity(groups * reps);
+        for k in 1..=groups as u64 {
+            for r in 0..reps as u64 {
+                tuples.push(Tuple::new(k, k.wrapping_mul(7).wrapping_add(r * 13)));
+            }
+        }
+        tuples.shuffle(&mut rng);
+        GroupByInput { relation: Relation::from_tuples(tuples), groups }
+    }
+
+    /// Zipf-skewed group-by input: `n` tuples whose keys are drawn
+    /// Zipf(θ) from `1..=groups` (paper: θ ∈ {0.5, 1}). Popular groups
+    /// receive many updates — the read/write-dependency stress case.
+    pub fn zipf(groups: usize, n: usize, theta: f64, seed: u64) -> Self {
+        assert!(theta > 0.0, "use `uniform` for θ = 0");
+        let mut z = ZipfSampler::new(groups as u64, theta, seed);
+        let perm = crate::feistel::FeistelPermutation::new(groups as u64, seed ^ 0xFEED);
+        let tuples = (0..n as u64)
+            .map(|i| Tuple::new(1 + perm.apply(z.sample() - 1), i.wrapping_mul(31)))
+            .collect();
+        GroupByInput { relation: Relation::from_tuples(tuples), groups }
+    }
+
+    /// Total number of input tuples.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// True when the input holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_has_exact_repetitions() {
+        let g = GroupByInput::uniform(100, 3, 1);
+        assert_eq!(g.len(), 300);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for t in &g.relation.tuples {
+            *counts.entry(t.key).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 100);
+        assert!(counts.values().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn uniform_payloads_differ_within_group() {
+        let g = GroupByInput::uniform(10, 3, 2);
+        let mut by_key: HashMap<u64, Vec<u64>> = HashMap::new();
+        for t in &g.relation.tuples {
+            by_key.entry(t.key).or_default().push(t.payload);
+        }
+        for (k, v) in by_key {
+            let distinct: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(distinct.len(), 3, "group {k} has duplicate payloads");
+        }
+    }
+
+    #[test]
+    fn zipf_input_stays_in_group_domain() {
+        let g = GroupByInput::zipf(50, 10_000, 1.0, 3);
+        assert!(g.relation.tuples.iter().all(|t| (1..=50).contains(&t.key)));
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for t in &g.relation.tuples {
+            *counts.entry(t.key).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 400, "θ=1 hot group only got {max}/10000");
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let a = GroupByInput::zipf(64, 1000, 0.5, 9);
+        let b = GroupByInput::zipf(64, 1000, 0.5, 9);
+        assert_eq!(a.relation, b.relation);
+    }
+}

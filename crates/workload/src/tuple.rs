@@ -1,0 +1,243 @@
+//! Tuples and relations.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A 16-byte relation tuple: 8-byte key, 8-byte payload (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct Tuple {
+    /// Join/group/search key.
+    pub key: u64,
+    /// Carried payload (row id or value).
+    pub payload: u64,
+}
+
+impl Tuple {
+    /// Construct a tuple.
+    #[inline]
+    pub const fn new(key: u64, payload: u64) -> Self {
+        Tuple { key, payload }
+    }
+}
+
+/// An in-memory relation: a flat, dense array of [`Tuple`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    /// The tuples, in storage order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Wrap an existing tuple vector.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        Relation { tuples }
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Size of the relation payload data in bytes (16 B per tuple).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.tuples.len() * core::mem::size_of::<Tuple>()
+    }
+
+    /// Build relation with **dense unique keys** `1..=n` in random order.
+    ///
+    /// This is the paper's uniform build relation: "the key value ranges are
+    /// dense" (§4). Payloads are the row ids, which lets tests verify join
+    /// results exactly.
+    pub fn dense_unique(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples: Vec<Tuple> =
+            (1..=n as u64).map(|k| Tuple::new(k, k.wrapping_mul(2))).collect();
+        tuples.shuffle(&mut rng);
+        Relation { tuples }
+    }
+
+    /// Probe relation with a **foreign-key relationship** to `build`:
+    /// keys drawn uniformly from the build key *range* `1..=|R|`.
+    ///
+    /// When `n == build.len()` the paper's workload uses unique values — a
+    /// permutation of the build keys — which this honours; for other sizes
+    /// keys are drawn uniformly with repetition, restricted to R's keys.
+    pub fn fk_uniform(build: &Relation, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = build.len() as u64;
+        assert!(r > 0, "empty build relation");
+        let tuples = if n == build.len() {
+            let mut t: Vec<Tuple> =
+                (1..=r).map(|k| Tuple::new(k, k.wrapping_mul(3) ^ 0xABCD)).collect();
+            t.shuffle(&mut rng);
+            t
+        } else {
+            (0..n)
+                .map(|i| Tuple::new(rng.gen_range(1..=r), i as u64))
+                .collect()
+        };
+        Relation { tuples }
+    }
+
+    /// Relation of `n` tuples whose keys follow a Zipf distribution with
+    /// exponent `theta` over the domain `1..=domain`.
+    ///
+    /// Rank→key assignment goes through a [`FeistelPermutation`](crate::feistel::FeistelPermutation) so the
+    /// popular keys are scattered over the domain (as with real skewed
+    /// attributes) instead of clustering at 1, matching prior hash-join skew
+    /// studies. `theta == 0` degenerates to the uniform distribution.
+    pub fn zipf(n: usize, domain: u64, theta: f64, seed: u64) -> Self {
+        use crate::feistel::FeistelPermutation;
+        use crate::zipf::ZipfSampler;
+        assert!(domain > 0, "empty key domain");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perm = FeistelPermutation::new(domain, seed ^ 0x5EED_F00D);
+        if theta == 0.0 {
+            let tuples = (0..n)
+                .map(|i| Tuple::new(1 + perm.apply(rng.gen_range(0..domain)), i as u64))
+                .collect();
+            return Relation { tuples };
+        }
+        let mut z = ZipfSampler::new(domain, theta, seed ^ 0x21F);
+        let tuples = (0..n)
+            .map(|i| {
+                let rank = z.sample(); // 1..=domain, rank 1 most popular
+                Tuple::new(1 + perm.apply(rank - 1), i as u64)
+            })
+            .collect();
+        Relation { tuples }
+    }
+
+    /// `n` tuples with **unique, uniformly distributed 64-bit keys** (the
+    /// BST / skip-list build input, §4). Keys are `mix64(1..=n)` — mix64 is
+    /// bijective, so keys are distinct and spread over the full domain.
+    pub fn sparse_unique(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples: Vec<Tuple> = (1..=n as u64)
+            .map(|i| Tuple::new(amac_mem::hash::mix64(i ^ seed), i))
+            .collect();
+        tuples.shuffle(&mut rng);
+        Relation { tuples }
+    }
+
+    /// A shuffled copy of this relation (used as the probe input for the
+    /// BST/skip-list search workloads where "each lookup finds exactly one
+    /// match").
+    pub fn shuffled(&self, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples = self.tuples.clone();
+        tuples.shuffle(&mut rng);
+        Relation { tuples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tuple_is_16_bytes() {
+        assert_eq!(core::mem::size_of::<Tuple>(), 16);
+    }
+
+    #[test]
+    fn dense_unique_covers_range_exactly_once() {
+        let r = Relation::dense_unique(1000, 7);
+        assert_eq!(r.len(), 1000);
+        let keys: HashSet<u64> = r.tuples.iter().map(|t| t.key).collect();
+        assert_eq!(keys.len(), 1000);
+        assert_eq!(*keys.iter().min().unwrap(), 1);
+        assert_eq!(*keys.iter().max().unwrap(), 1000);
+    }
+
+    #[test]
+    fn dense_unique_is_shuffled_but_deterministic() {
+        let a = Relation::dense_unique(512, 1);
+        let b = Relation::dense_unique(512, 1);
+        let c = Relation::dense_unique(512, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let sorted = a.tuples.windows(2).all(|w| w[0].key < w[1].key);
+        assert!(!sorted, "shuffle left the relation sorted");
+    }
+
+    #[test]
+    fn fk_uniform_equal_size_is_permutation() {
+        let r = Relation::dense_unique(256, 3);
+        let s = Relation::fk_uniform(&r, 256, 4);
+        let keys: HashSet<u64> = s.tuples.iter().map(|t| t.key).collect();
+        assert_eq!(keys.len(), 256, "equal-size FK probe must be a permutation");
+    }
+
+    #[test]
+    fn fk_uniform_respects_key_range() {
+        let r = Relation::dense_unique(100, 5);
+        let s = Relation::fk_uniform(&r, 10_000, 6);
+        assert!(s.tuples.iter().all(|t| (1..=100).contains(&t.key)));
+    }
+
+    #[test]
+    fn zipf_relation_respects_domain_and_skews() {
+        let s = Relation::zipf(50_000, 1000, 1.0, 11);
+        assert!(s.tuples.iter().all(|t| (1..=1000).contains(&t.key)));
+        // Skew: the most frequent key should be far above average frequency.
+        let mut counts = std::collections::HashMap::new();
+        for t in &s.tuples {
+            *counts.entry(t.key).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max as f64 > 10.0 * (50_000.0 / 1000.0), "max freq {max} not skewed");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniformish() {
+        let s = Relation::zipf(100_000, 100, 0.0, 13);
+        let mut counts = [0u64; 101];
+        for t in &s.tuples {
+            counts[t.key as usize] += 1;
+        }
+        let expected = 1000.0;
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.25, "key {k} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn sparse_unique_keys_are_distinct() {
+        let r = Relation::sparse_unique(10_000, 17);
+        let keys: HashSet<u64> = r.tuples.iter().map(|t| t.key).collect();
+        assert_eq!(keys.len(), 10_000);
+    }
+
+    #[test]
+    fn shuffled_preserves_multiset() {
+        let r = Relation::sparse_unique(1000, 19);
+        let s = r.shuffled(23);
+        let mut a: Vec<u64> = r.tuples.iter().map(|t| t.key).collect();
+        let mut b: Vec<u64> = s.tuples.iter().map(|t| t.key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_ne!(r.tuples, s.tuples);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let r = Relation::dense_unique(4, 0);
+        assert_eq!(r.bytes(), 64);
+        assert!(!r.is_empty());
+        assert!(Relation::default().is_empty());
+    }
+}

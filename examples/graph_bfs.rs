@@ -1,0 +1,42 @@
+//! The paper's future-work direction, working: breadth-first search whose
+//! frontier expansions are interleaved by AMAC.
+//!
+//! ```sh
+//! cargo run --release --example graph_bfs
+//! ```
+
+use amac_suite::engine::{Technique, TuningParams};
+use amac_suite::graph::{bfs, BfsConfig, Csr};
+use std::time::Instant;
+
+fn main() {
+    let n = 1 << 20;
+    println!("power-law graph: {n} vertices, ~16 avg degree (hub-heavy)\n");
+    let graph = Csr::power_law(n, 16, 1.0, 0xE6);
+    println!(
+        "generated {} edges; max out-degree {}\n",
+        graph.edges(),
+        (0..n as u32).map(|v| graph.degree(v)).max().unwrap()
+    );
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "technique", "time", "visited", "cycles/edge", "bailouts", "noops"
+    );
+    for technique in Technique::ALL {
+        let cfg = BfsConfig { params: TuningParams::paper_best(technique) };
+        let t0 = Instant::now();
+        let timer = amac_suite::metrics::timer::CycleTimer::start();
+        let out = bfs(&graph, 0, technique, &cfg);
+        let cycles = timer.cycles();
+        println!(
+            "{:<10} {:>9.0?} {:>10} {:>12.2} {:>10} {:>10}",
+            technique.label(),
+            t0.elapsed(),
+            out.visited,
+            cycles as f64 / graph.edges() as f64,
+            out.stats.bailouts,
+            out.stats.noops,
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Heterogeneous interleaving: one AMAC ring serving lookups into *two
+//! different data structures* at once.
+//!
+//! ```sh
+//! cargo run --release --example heterogeneous_ring
+//! ```
+//!
+//! GP and SPP cannot express this at all — their schedules are built from
+//! one operator's fixed stage count `N`, and a mixed stream has no single
+//! `N`. AMAC's per-lookup state (here: per-coroutine control flow) makes
+//! the mix trivial: the ring neither knows nor cares that slot 3 walks a
+//! hash chain while slot 4 descends a tree.
+//!
+//! Scenario: a query stream that alternates point lookups against a hash
+//! table (dimension lookup) and an ordered index (range anchor), executed
+//! three ways — baseline one-at-a-time, two separate AMAC passes (split
+//! by structure), and a single mixed ring.
+
+use amac_suite::btree::BPlusTree;
+use amac_suite::coro::{prefetch_yield, prefetch_yield_wide, run_interleaved};
+use amac_suite::hashtable::HashTable;
+use amac_suite::metrics::timer::CycleTimer;
+use amac_suite::workload::{Relation, Tuple};
+
+/// A query against one of the two structures.
+#[derive(Clone, Copy)]
+enum Query {
+    /// Point lookup in the hash table.
+    Hash(u64),
+    /// Point lookup in the ordered index.
+    Index(u64),
+}
+
+fn main() {
+    let n = 1 << 19;
+    let rel = Relation::dense_unique(n, 0x91);
+    let ht = HashTable::build_serial(&rel);
+    let index = BPlusTree::build(&rel);
+
+    // Interleaved query stream: alternating structure, shuffled keys.
+    let shuffled = rel.shuffled(0x92);
+    let queries: Vec<Query> = shuffled
+        .tuples
+        .iter()
+        .enumerate()
+        .map(|(i, t)| if i % 2 == 0 { Query::Hash(t.key) } else { Query::Index(t.key) })
+        .collect();
+
+    // One coroutine type handles both query kinds — per-lookup control
+    // flow is exactly AMAC's per-lookup state.
+    let run_mixed = |width: usize| -> (u64, f64) {
+        let mut sum = 0u64;
+        let timer = CycleTimer::start();
+        run_interleaved(
+            width,
+            &queries,
+            |_, q| {
+                let (ht, index) = (&ht, &index);
+                async move {
+                    match q {
+                        Query::Hash(key) => {
+                            let mut node = ht.bucket_addr(key);
+                            prefetch_yield(node).await;
+                            loop {
+                                // SAFETY: read-only probe phase.
+                                let d = unsafe { (*node).data() };
+                                for i in 0..d.count as usize {
+                                    if d.tuples[i].key == key {
+                                        return d.tuples[i].payload;
+                                    }
+                                }
+                                if d.next.is_null() {
+                                    return u64::MAX;
+                                }
+                                prefetch_yield(d.next).await;
+                                node = d.next;
+                            }
+                        }
+                        Query::Index(key) => {
+                            let mut ptr = index.root_ptr();
+                            prefetch_yield_wide(ptr).await;
+                            for _ in 1..index.height() {
+                                // SAFETY: read-only phase; upper levels are
+                                // inner nodes.
+                                let inner = unsafe {
+                                    &*ptr.cast::<amac_suite::btree::InnerNode>()
+                                };
+                                ptr = inner.select_child(key);
+                                prefetch_yield_wide(ptr).await;
+                            }
+                            // SAFETY: last level is a leaf.
+                            unsafe { &*ptr.cast::<amac_suite::btree::LeafNode>() }
+                                .lookup(key)
+                                .unwrap_or(u64::MAX)
+                        }
+                    }
+                }
+            },
+            |_, payload| sum = sum.wrapping_add(payload),
+        );
+        (sum, timer.cycles() as f64 / queries.len() as f64)
+    };
+
+    // Baseline: the same mixed stream, one lookup at a time (width 1).
+    let (check_seq, seq_cpt) = run_mixed(1);
+    // Mixed ring at the paper's M.
+    let (check_mix, mix_cpt) = run_mixed(10);
+    assert_eq!(check_seq, check_mix);
+
+    // Two homogeneous AMAC passes (split the stream by structure).
+    let hash_keys: Vec<Tuple> = shuffled.tuples.iter().step_by(2).copied().collect();
+    let index_keys: Vec<Tuple> =
+        shuffled.tuples.iter().skip(1).step_by(2).copied().collect();
+    let timer = CycleTimer::start();
+    let h = amac_suite::coro::coro_probe(
+        &ht,
+        &Relation::from_tuples(hash_keys),
+        &amac_suite::coro::CoroConfig { width: 10, materialize: false, ..Default::default() },
+    );
+    let b = amac_suite::coro::coro_btree_search(
+        &index,
+        &Relation::from_tuples(index_keys),
+        &amac_suite::coro::CoroConfig { width: 10, materialize: false, ..Default::default() },
+    );
+    let split_cpt = timer.cycles() as f64 / queries.len() as f64;
+    assert_eq!(h.checksum.wrapping_add(b.checksum), check_mix);
+
+    println!("mixed query stream: {} lookups, half hash / half B+-tree\n", queries.len());
+    println!("{:<34} {:>14} {:>10}", "strategy", "cycles/query", "speedup");
+    println!("{:<34} {:>14.1} {:>9.2}x", "sequential (width 1)", seq_cpt, 1.0);
+    println!(
+        "{:<34} {:>14.1} {:>9.2}x",
+        "two homogeneous AMAC passes",
+        split_cpt,
+        seq_cpt / split_cpt
+    );
+    println!(
+        "{:<34} {:>14.1} {:>9.2}x",
+        "single heterogeneous AMAC ring",
+        mix_cpt,
+        seq_cpt / mix_cpt
+    );
+    println!(
+        "\nThe mixed ring preserves full memory-level parallelism across two\n\
+         unrelated structures — the per-lookup-state design generalizes past\n\
+         anything a per-operator static schedule can describe."
+    );
+}

@@ -1,0 +1,42 @@
+//! # amac-suite — facade crate
+//!
+//! Re-exports every crate of the AMAC reproduction workspace so examples,
+//! integration tests and downstream users can depend on a single package.
+//!
+//! See the repository `README.md` for a guided tour, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ```
+//! use amac_suite::prelude::*;
+//!
+//! // Build a tiny hash table and probe it with the AMAC executor.
+//! let r = Relation::dense_unique(1 << 10, 0xC0FFEE);
+//! let s = Relation::fk_uniform(&r, 1 << 12, 0xBEEF);
+//! let ht = HashTable::build_serial(&r);
+//! let out = probe(&ht, &s, Technique::Amac, &ProbeConfig::default());
+//! assert_eq!(out.matches, 1 << 12);
+//! ```
+
+pub use amac as engine;
+pub use amac_btree as btree;
+pub use amac_coro as coro;
+pub use amac_graph as graph;
+pub use amac_hashtable as hashtable;
+pub use amac_mem as mem;
+pub use amac_metrics as metrics;
+pub use amac_ops as ops;
+pub use amac_radix as radix;
+pub use amac_skiplist as skiplist;
+pub use amac_tree as tree;
+pub use amac_workload as workload;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use amac::engine::{Technique, TuningParams};
+    pub use amac_btree::BPlusTree;
+    pub use amac_coro::{run_interleaved_collect, CoroConfig};
+    pub use amac_hashtable::{HashTable, LinearTable};
+    pub use amac_ops::join::{hash_join, probe, ProbeConfig};
+    pub use amac_ops::join_radix::{radix_join, RadixJoinConfig};
+    pub use amac_workload::{Relation, Tuple};
+}

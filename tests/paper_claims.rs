@@ -1,0 +1,214 @@
+//! Deterministic (counter-based, not timing-based) checks of the paper's
+//! *mechanistic* claims — the causes behind every figure:
+//!
+//! * AMAC wastes no stage slots regardless of irregularity (§3);
+//! * GP/SPP pay no-op stages on early exits and bail out on over-length
+//!   chains (§2.2.1, the gray boxes of Fig. 2);
+//! * AMAC keeps the in-flight buffer full: prefetch count tracks chain
+//!   length exactly;
+//! * skew produces latch conflicts inside one thread's in-flight window
+//!   for latched operators (§3.2, Fig. 9's cause).
+
+use amac_suite::engine::{Technique, TuningParams};
+use amac_suite::hashtable::HashTable;
+use amac_suite::ops::bst::{bst_search, BstConfig};
+use amac_suite::ops::groupby::{groupby_fresh, GroupByConfig};
+use amac_suite::ops::join::{probe, ProbeConfig};
+use amac_suite::workload::{GroupByInput, Relation};
+
+#[test]
+fn amac_never_noops_or_bails_anywhere() {
+    // Highly irregular chains: zipf build keys.
+    let r = Relation::zipf(1 << 13, 1 << 13, 1.0, 3);
+    let s = Relation::zipf(1 << 13, 1 << 13, 0.5, 4);
+    let ht = HashTable::build_serial(&r);
+    let cfg = ProbeConfig { scan_all: true, materialize: false, ..Default::default() };
+    let out = probe(&ht, &s, Technique::Amac, &cfg);
+    assert_eq!(out.stats.noops, 0);
+    assert_eq!(out.stats.bailouts, 0);
+    assert_eq!(out.stats.bailout_stages, 0);
+}
+
+#[test]
+fn gp_and_spp_waste_noops_on_early_exit() {
+    // Unique keys + early exit: lookups finish at varying stages < N.
+    let r = Relation::dense_unique(1 << 13, 7);
+    let ht = HashTable::with_buckets((1 << 13) / 8); // ~4-node chains
+    {
+        let mut h = ht.build_handle();
+        for t in &r.tuples {
+            h.insert(t.key, t.payload);
+        }
+    }
+    let s = r.shuffled(8);
+    let cfg = ProbeConfig { n_stages: 4, materialize: false, ..Default::default() };
+    for t in [Technique::Gp, Technique::Spp] {
+        let out = probe(&ht, &s, t, &cfg);
+        assert!(
+            out.stats.noops > s.len() as u64 / 2,
+            "{t}: early exits must burn no-op slots (got {})",
+            out.stats.noops
+        );
+    }
+    let amac = probe(&ht, &s, Technique::Amac, &cfg);
+    assert_eq!(amac.stats.noops, 0, "AMAC never visits dead slots");
+}
+
+#[test]
+fn gp_and_spp_bail_out_on_skewed_chains() {
+    let r = Relation::zipf(1 << 13, 1 << 13, 1.0, 11);
+    let ht = HashTable::build_serial(&r);
+    let s = Relation::zipf(1 << 12, 1 << 13, 1.0, 12);
+    let cfg = ProbeConfig {
+        n_stages: 2, // tuned for the common case, as the paper prescribes
+        scan_all: true,
+        materialize: false,
+        ..Default::default()
+    };
+    for t in [Technique::Gp, Technique::Spp] {
+        let out = probe(&ht, &s, t, &cfg);
+        assert!(out.stats.bailouts > 0, "{t}: long chains must bail out");
+        assert!(out.stats.bailout_stages > 0, "{t}");
+    }
+}
+
+#[test]
+fn amac_prefetch_count_is_exactly_chain_work() {
+    // FK-unique probe with early exit: every lookup prefetches the bucket
+    // plus one per extra chain node visited.
+    let r = Relation::dense_unique(1 << 12, 13);
+    let ht = HashTable::build_serial(&r);
+    let s = r.shuffled(14);
+    let cfg = ProbeConfig { materialize: false, ..Default::default() };
+    let out = probe(&ht, &s, Technique::Amac, &cfg);
+    // Prefetches = starts + Continue-steps; stages = starts + all steps.
+    assert_eq!(out.stats.prefetches, out.stats.stages - out.stats.lookups);
+}
+
+#[test]
+fn skewed_groupby_conflicts_are_intra_thread() {
+    // Single-threaded run with z=1: conflicts can only come from lookups
+    // sharing the in-flight window — the paper's §3.2 mechanism.
+    let input = GroupByInput::zipf(32, 20_000, 1.0, 17);
+    let cfg = GroupByConfig { params: TuningParams::with_in_flight(10), ..Default::default() };
+    let (_, amac) = groupby_fresh(&input, Technique::Amac, &cfg);
+    assert!(
+        amac.stats.latch_retries > 0,
+        "hot groups must collide inside the circular buffer"
+    );
+    // Baseline runs one lookup at a time: no self-conflicts possible.
+    let (_, base) = groupby_fresh(&input, Technique::Baseline, &cfg);
+    assert_eq!(base.stats.latch_retries, 0, "single-lookup execution cannot conflict");
+}
+
+#[test]
+fn deep_bst_paths_trigger_spp_bailouts_but_not_amac() {
+    // A degenerate 2^9-deep path plus a balanced bulk.
+    let mut rel = Relation::sparse_unique(1 << 12, 19).tuples;
+    let max = rel.iter().map(|t| t.key).max().unwrap();
+    for i in 0..512u64 {
+        rel.push(amac_suite::workload::Tuple::new(max + 1 + i, i));
+    }
+    let rel = Relation::from_tuples(rel);
+    let mut tree = amac_suite::tree::Bst::new();
+    for t in &rel.tuples {
+        tree.insert(t.key, t.payload);
+    }
+    let probes = rel.shuffled(20);
+    let cfg = BstConfig { materialize: false, ..Default::default() };
+    let spp = bst_search(&tree, &probes, Technique::Spp, &cfg);
+    assert!(spp.stats.bailouts > 0, "the path suffix must exceed the auto budget");
+    let amac = bst_search(&tree, &probes, Technique::Amac, &cfg);
+    assert_eq!(amac.stats.bailouts, 0);
+    assert_eq!(amac.found, spp.found);
+}
+
+#[test]
+fn paper_best_tuning_params_are_exposed() {
+    assert_eq!(TuningParams::paper_best(Technique::Gp).in_flight, 15);
+    assert_eq!(TuningParams::paper_best(Technique::Spp).in_flight, 12);
+    assert_eq!(TuningParams::paper_best(Technique::Amac).in_flight, 10);
+}
+
+/// The regularity ablation's mechanistic half: on the perfectly regular
+/// B+-tree, GP/SPP's overheads vanish *entirely* (every lookup fits the
+/// budget exactly — the only no-ops possible are ragged-tail slots), while
+/// the random BST at the same size forces both pathologies.
+#[test]
+fn static_schedule_overheads_vanish_on_regular_structures() {
+    use amac_suite::btree::BPlusTree;
+    use amac_suite::ops::btree::{btree_search, BTreeConfig};
+    let rel = Relation::sparse_unique(1 << 13, 23);
+    let probes = rel.shuffled(24);
+
+    let btree = BPlusTree::build(&rel);
+    for t in [Technique::Gp, Technique::Spp] {
+        let out = btree_search(
+            &btree,
+            &probes,
+            t,
+            &BTreeConfig { params: TuningParams::paper_best(t), materialize: false },
+        );
+        assert_eq!(out.stats.bailouts, 0, "{t}: balance ⇒ no bailouts");
+        // Any no-ops come only from the final partial group/pipeline
+        // drain, bounded by M × N — not from lookup divergence.
+        let m = TuningParams::paper_best(t).in_flight as u64;
+        let n = btree.height() as u64;
+        assert!(
+            out.stats.noops <= m * (n + 1),
+            "{t}: no-ops {} exceed the ragged-tail bound {}",
+            out.stats.noops,
+            m * (n + 1)
+        );
+    }
+
+    let bst = amac_suite::tree::Bst::build(&rel);
+    for t in [Technique::Gp, Technique::Spp] {
+        let out = bst_search(
+            &bst,
+            &probes,
+            t,
+            &BstConfig { params: TuningParams::paper_best(t), materialize: false, ..Default::default() },
+        );
+        assert!(
+            out.stats.noops > probes.len() as u64,
+            "{t}: varying BST depth must burn no-op slots in bulk (got {})",
+            out.stats.noops
+        );
+    }
+}
+
+/// The layout ablation's mechanistic half: raising the linear table's
+/// fill factor raises the *variance* of lookup length, which GP/SPP pay
+/// for in no-ops while AMAC pays nothing.
+#[test]
+fn linear_table_fill_drives_static_schedule_waste() {
+    use amac_suite::hashtable::LinearTable;
+    use amac_suite::ops::linear::{linear_probe, LinearProbeConfig};
+    let rel = Relation::dense_unique(1 << 13, 27);
+    let probes = rel.shuffled(28);
+    let mut prev_noops = 0u64;
+    for fill in [0.5, 0.95] {
+        let table = LinearTable::build_serial(&rel, fill);
+        let gp = linear_probe(
+            &table,
+            &probes,
+            Technique::Gp,
+            &LinearProbeConfig { materialize: false, ..Default::default() },
+        );
+        assert!(
+            gp.stats.noops >= prev_noops,
+            "fill {fill}: GP no-ops must not shrink as displacement grows"
+        );
+        prev_noops = gp.stats.noops;
+        let amac = linear_probe(
+            &table,
+            &probes,
+            Technique::Amac,
+            &LinearProbeConfig { materialize: false, ..Default::default() },
+        );
+        assert_eq!(amac.stats.noops, 0, "fill {fill}");
+        assert_eq!(amac.stats.bailouts, 0, "fill {fill}");
+    }
+    assert!(prev_noops > 0, "high fill must produce some GP waste");
+}

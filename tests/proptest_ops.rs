@@ -1,0 +1,107 @@
+//! Property-based cross-technique equivalence on the *real* operators
+//! (complementing the simulated-chain proptests inside `amac`): for
+//! arbitrary small relations, all four techniques must produce identical
+//! join/group-by/search results.
+
+use amac_suite::engine::Technique;
+use amac_suite::hashtable::{AggTable, HashTable};
+use amac_suite::ops::groupby::groupby;
+use amac_suite::ops::join::{probe, ProbeConfig};
+use amac_suite::ops::skiplist::{skip_insert, skip_search, SkipConfig};
+use amac_suite::skiplist::SkipList;
+use amac_suite::workload::{Relation, Tuple};
+use proptest::prelude::*;
+
+fn relation(max_key: u64, len: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((1..=max_key, 0u64..1000), 0..len)
+        .prop_map(|v| Relation::from_tuples(v.into_iter().map(|(k, p)| Tuple::new(k, p)).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_equivalence_on_arbitrary_relations(
+        r in relation(64, 200),
+        s in relation(96, 300),
+        m in 1usize..16,
+        n_stages in 1usize..6,
+    ) {
+        prop_assume!(!r.is_empty());
+        let ht = HashTable::with_buckets(16);
+        {
+            let mut h = ht.build_handle();
+            for t in &r.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        let mut results = Vec::new();
+        for t in Technique::ALL {
+            let cfg = ProbeConfig {
+                params: amac_suite::engine::TuningParams::with_in_flight(m),
+                n_stages,
+                scan_all: true,
+                materialize: false,
+                ..Default::default()
+            };
+            let out = probe(&ht, &s, t, &cfg);
+            results.push((out.matches, out.checksum));
+        }
+        for r2 in &results[1..] {
+            prop_assert_eq!(results[0], *r2);
+        }
+    }
+
+    #[test]
+    fn groupby_equivalence_on_arbitrary_relations(
+        input in relation(32, 300),
+        m in 1usize..16,
+    ) {
+        type GroupSnap = (u64, u64, u64, u64, u64);
+        let mut snapshots: Vec<Vec<GroupSnap>> = Vec::new();
+        for t in Technique::ALL {
+            let table = AggTable::with_buckets(8);
+            let cfg = amac_suite::ops::groupby::GroupByConfig {
+                params: amac_suite::engine::TuningParams::with_in_flight(m),
+                ..Default::default()
+            };
+            groupby(&table, &input, t, &cfg);
+            let mut snap: Vec<_> = table
+                .groups()
+                .into_iter()
+                .map(|(k, a)| (k, a.count, a.sum, a.min, a.max))
+                .collect();
+            snap.sort();
+            snapshots.push(snap);
+        }
+        for s in &snapshots[1..] {
+            prop_assert_eq!(&snapshots[0], s);
+        }
+    }
+
+    #[test]
+    fn skiplist_insert_search_equivalence(
+        keys in prop::collection::btree_set(1u64..10_000, 1..150),
+        m in 1usize..12,
+    ) {
+        let rel = Relation::from_tuples(
+            keys.iter().map(|&k| Tuple::new(k, k * 3)).collect(),
+        );
+        let cfg = SkipConfig {
+            params: amac_suite::engine::TuningParams::with_in_flight(m),
+            ..Default::default()
+        };
+        let mut contents: Vec<Vec<(u64, u64)>> = Vec::new();
+        for t in Technique::ALL {
+            let list = SkipList::new();
+            let ins = skip_insert(&list, &rel, t, &cfg, 9);
+            prop_assert_eq!(ins.inserted as usize, keys.len());
+            let sr = skip_search(&list, &rel.shuffled(5), t, &cfg);
+            prop_assert_eq!(sr.found as usize, keys.len());
+            contents.push(list.items());
+        }
+        for c in &contents[1..] {
+            prop_assert_eq!(&contents[0], c);
+        }
+    }
+}

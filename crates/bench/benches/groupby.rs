@@ -16,10 +16,7 @@ fn bench_groupby(c: &mut Criterion) {
         g.throughput(Throughput::Elements(input.len() as u64));
         g.sample_size(10);
         for t in Technique::ALL {
-            let cfg = GroupByConfig {
-                params: TuningParams::paper_best(t),
-                ..Default::default()
-            };
+            let cfg = GroupByConfig { params: TuningParams::paper_best(t), ..Default::default() };
             g.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
                 b.iter(|| {
                     let (table, out) = groupby_fresh(&input, t, &cfg);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark: static-chunk vs morsel-driven dispatch at
+//! 1/2/4/8 threads, on a uniform FK probe (the two must match within
+//! noise) and on the clustered-Zipf skewed probe (morsels must win once
+//! several threads are available to steal).
+
+use amac::engine::Technique;
+use amac_bench::{probe_cfg, skewed_probe_cfg, skewed_probe_lab};
+use amac_hashtable::HashTable;
+use amac_ops::parallel::probe_mt_rt;
+use amac_runtime::MorselConfig;
+use amac_workload::Relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const MORSEL: usize = 4096;
+
+fn rt_pair(threads: usize) -> [(&'static str, MorselConfig); 2] {
+    [
+        ("static", MorselConfig::static_chunks(threads)),
+        ("morsel", MorselConfig { threads, morsel_tuples: MORSEL, ..Default::default() }),
+    ]
+}
+
+fn bench_uniform(c: &mut Criterion) {
+    let n = 1 << 18;
+    let r = Relation::dense_unique(n, 0xB1);
+    let s = Relation::fk_uniform(&r, n, 0xD2);
+    let ht = HashTable::build_serial(&r);
+    let cfg = probe_cfg(10);
+    let mut group = c.benchmark_group("parallel_probe_uniform");
+    group.throughput(Throughput::Elements(s.len() as u64));
+    group.sample_size(10);
+    for threads in THREADS {
+        for (name, rt) in rt_pair(threads) {
+            group.bench_with_input(BenchmarkId::new(name, threads), &rt, |b, rt| {
+                b.iter(|| {
+                    let out = probe_mt_rt(&ht, &s, Technique::Amac, &cfg, rt);
+                    assert_eq!(out.matches, s.len() as u64);
+                    out.checksum
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let n = 1 << 18;
+    let lab = skewed_probe_lab(n, 1.0, 0x5EED);
+    let cfg = skewed_probe_cfg(10);
+    let mut group = c.benchmark_group("parallel_probe_zipf1_clustered");
+    group.throughput(Throughput::Elements(lab.s.len() as u64));
+    group.sample_size(10);
+    for threads in THREADS {
+        for (name, rt) in rt_pair(threads) {
+            group.bench_with_input(BenchmarkId::new(name, threads), &rt, |b, rt| {
+                b.iter(|| probe_mt_rt(&lab.ht, &lab.s, Technique::Amac, &cfg, rt).checksum)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_skewed);
+criterion_main!(benches);

@@ -42,16 +42,17 @@ fn dispatch(v: Variant, op: &mut ProbeOp<'_>, inputs: &[amac_workload::Tuple]) -
 fn main() {
     let args = Args::parse();
     println!("# Ablation — AMAC engineering choices (paper §3.1)\n");
-    let mut table = Table::new("AMAC ablations: probe cycles/tuple (large join)")
-        .header(["variant", "uniform [0,0]", "skewed [1,0]"]);
+    let mut table = Table::new("AMAC ablations: probe cycles/tuple (large join)").header([
+        "variant",
+        "uniform [0,0]",
+        "skewed [1,0]",
+    ]);
     let labs = [
         JoinLab::generate(args.r_large(), args.s_size(), 0.0, 0.0, 0xAB1),
         JoinLab::generate(args.r_large(), args.s_size(), 1.0, 0.0, 0xAB2),
     ];
-    let tables: Vec<_> = labs
-        .iter()
-        .map(|lab| lab.build_with(amac::engine::Technique::Amac, 10).0)
-        .collect();
+    let tables: Vec<_> =
+        labs.iter().map(|lab| lab.build_with(amac::engine::Technique::Amac, 10).0).collect();
     for (name, variant) in VARIANTS {
         let mut row = vec![name.to_string()];
         for (lab, ht) in labs.iter().zip(&tables) {
@@ -73,8 +74,11 @@ fn main() {
     // prefetch instruction varies.
     use amac_mem::prefetch::PrefetchHint;
     println!();
-    let mut hints = Table::new("Prefetch hint policy: AMAC probe cycles/tuple")
-        .header(["hint", "uniform [0,0]", "skewed [1,0]"]);
+    let mut hints = Table::new("Prefetch hint policy: AMAC probe cycles/tuple").header([
+        "hint",
+        "uniform [0,0]",
+        "skewed [1,0]",
+    ]);
     for (name, hint) in [
         ("PREFETCHNTA (paper)", PrefetchHint::Nta),
         ("PREFETCHT0", PrefetchHint::T0),
@@ -82,12 +86,8 @@ fn main() {
     ] {
         let mut row = vec![name.to_string()];
         for (lab, ht) in labs.iter().zip(&tables) {
-            let cfg = ProbeConfig {
-                materialize: false,
-                scan_all: true,
-                hint,
-                ..Default::default()
-            };
+            let cfg =
+                ProbeConfig { materialize: false, scan_all: true, hint, ..Default::default() };
             let (c, _) = best_of(args.trials, || {
                 let mut op = ProbeOp::new(ht, &cfg, lab.s.len());
                 let timer = CycleTimer::start();

@@ -17,10 +17,10 @@
 
 use amac::engine::{Technique, TuningParams};
 use amac_bench::{best_of, Args};
+use amac_btree::BPlusTree;
 use amac_metrics::report::{fnum, Table};
 use amac_ops::bst::{bst_search, BstConfig};
 use amac_ops::btree::{btree_search, BTreeConfig};
-use amac_btree::BPlusTree;
 use amac_tree::Bst;
 use amac_workload::Relation;
 
@@ -28,10 +28,17 @@ fn main() {
     let args = Args::parse();
     println!("# Regularity ablation — BST (irregular) vs B+-tree (regular)\n");
     let top = args.scale.min(22);
-    let sizes: Vec<u32> = (0..3).map(|i| top.saturating_sub(3 * (2 - i))).filter(|&b| b >= 12).collect();
+    let sizes: Vec<u32> =
+        (0..3).map(|i| top.saturating_sub(3 * (2 - i))).filter(|&b| b >= 12).collect();
 
-    let mut bst_table = Table::new("BST search cycles per probe tuple (irregular depth)")
-        .header(["size (log2)", "Baseline", "GP", "SPP", "AMAC", "AMAC vs best-static"]);
+    let mut bst_table = Table::new("BST search cycles per probe tuple (irregular depth)").header([
+        "size (log2)",
+        "Baseline",
+        "GP",
+        "SPP",
+        "AMAC",
+        "AMAC vs best-static",
+    ]);
     let mut bt_table = Table::new("B+-tree search cycles per probe tuple (uniform depth)")
         .header(["size (log2)", "Baseline", "GP", "SPP", "AMAC", "AMAC vs best-static"]);
 
@@ -60,12 +67,8 @@ fn main() {
             bst_cpt[i] = c;
             bst_row.push(fnum(c));
             let (c, _) = best_of(args.trials, || {
-                let out = btree_search(
-                    &btree,
-                    &probes,
-                    *t,
-                    &BTreeConfig { params, materialize: false },
-                );
+                let out =
+                    btree_search(&btree, &probes, *t, &BTreeConfig { params, materialize: false });
                 (out.cycles as f64 / probes.len() as f64, out.checksum)
             });
             bt_cpt[i] = c;

@@ -17,8 +17,7 @@ use amac::engine::{Technique, TuningParams};
 use amac_bench::{best_of, probe_cfg, Args};
 use amac_btree::BPlusTree;
 use amac_coro::{
-    coro_bst_search, coro_btree_search, coro_probe, coro_skip_insert, coro_skip_search,
-    CoroConfig,
+    coro_bst_search, coro_btree_search, coro_probe, coro_skip_insert, coro_skip_search, CoroConfig,
 };
 use amac_hashtable::HashTable;
 use amac_metrics::report::{fnum, Table};
@@ -40,8 +39,14 @@ fn main() {
     let rel = Relation::dense_unique(n, 0x51);
     let probes = rel.shuffled(0x62);
 
-    let mut table = Table::new("Cycles per lookup tuple")
-        .header(["workload", "Baseline", "AMAC (state machine)", "AMAC (coroutine)", "coro overhead", "frame bytes"]);
+    let mut table = Table::new("Cycles per lookup tuple").header([
+        "workload",
+        "Baseline",
+        "AMAC (state machine)",
+        "AMAC (coroutine)",
+        "coro overhead",
+        "frame bytes",
+    ]);
 
     // Hash join probe.
     {
@@ -81,7 +86,8 @@ fn main() {
             ..Default::default()
         };
         let (base, c0) = best_of(args.trials, || {
-            let out = bst_search(&tree, &probes, Technique::Baseline, &bst_cfg(Technique::Baseline));
+            let out =
+                bst_search(&tree, &probes, Technique::Baseline, &bst_cfg(Technique::Baseline));
             (out.cycles as f64 / probes.len() as f64, out.checksum)
         });
         let (hand, c1) = best_of(args.trials, || {
@@ -114,7 +120,10 @@ fn main() {
                 &tree,
                 &probes,
                 Technique::Baseline,
-                &BTreeConfig { params: TuningParams::paper_best(Technique::Baseline), materialize: false },
+                &BTreeConfig {
+                    params: TuningParams::paper_best(Technique::Baseline),
+                    materialize: false,
+                },
             );
             (out.cycles as f64 / probes.len() as f64, out.checksum)
         });
@@ -123,7 +132,10 @@ fn main() {
                 &tree,
                 &probes,
                 Technique::Amac,
-                &BTreeConfig { params: TuningParams::paper_best(Technique::Amac), materialize: false },
+                &BTreeConfig {
+                    params: TuningParams::paper_best(Technique::Amac),
+                    materialize: false,
+                },
             );
             (out.cycles as f64 / probes.len() as f64, out.checksum)
         });
@@ -158,10 +170,8 @@ fn main() {
             }
         }
         let probes = rel.shuffled(0x55);
-        let scfg = |t: Technique| SkipConfig {
-            params: TuningParams::paper_best(t),
-            ..Default::default()
-        };
+        let scfg =
+            |t: Technique| SkipConfig { params: TuningParams::paper_best(t), ..Default::default() };
         let (base, c0) = best_of(args.trials, || {
             let out = skip_search(&list, &probes, Technique::Baseline, &scfg(Technique::Baseline));
             (out.cycles as f64 / probes.len() as f64, out.checksum)
@@ -172,7 +182,11 @@ fn main() {
         });
         let mut frame = 0usize;
         let (coro, c2) = best_of(args.trials, || {
-            let out = coro_skip_search(&list, &probes, &CoroConfig { width: m, materialize: false, ..Default::default() });
+            let out = coro_skip_search(
+                &list,
+                &probes,
+                &CoroConfig { width: m, materialize: false, ..Default::default() },
+            );
             frame = out.stats.future_bytes;
             (out.cycles as f64 / probes.len() as f64, out.checksum)
         });
@@ -242,7 +256,9 @@ fn main() {
             });
             sweep.row([width.to_string(), fnum(c)]);
         }
-        sweep.note("expect the paper's Fig. 6c shape: monotone to ~M=8-10, flat past it (L1-D MSHR limit)");
+        sweep.note(
+            "expect the paper's Fig. 6c shape: monotone to ~M=8-10, flat past it (L1-D MSHR limit)",
+        );
         println!();
         sweep.print();
     }

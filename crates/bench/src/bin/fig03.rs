@@ -129,6 +129,9 @@ fn main() {
             format!("{:.2}", row[3] / norm),
         ]);
     }
-    table.note(format!("|probes| = 2^{}; raw uniform baseline = {norm:.1} cycles/tuple", args.scale));
+    table.note(format!(
+        "|probes| = 2^{}; raw uniform baseline = {norm:.1} cycles/tuple",
+        args.scale
+    ));
     table.print();
 }

@@ -11,7 +11,8 @@
 use amac::engine::{Technique, TuningParams};
 use amac_bench::{probe_cfg, skew_label, Args, JoinLab};
 use amac_metrics::report::{fmtput, Table};
-use amac_ops::parallel::probe_mt;
+use amac_ops::parallel::probe_mt_rt;
+use amac_runtime::MorselConfig;
 
 fn main() {
     let args = Args::parse();
@@ -40,7 +41,7 @@ fn main() {
                 let m = TuningParams::paper_best(t).in_flight;
                 let mut cfg = probe_cfg(m);
                 cfg.scan_all = zr > 0.0;
-                let out = probe_mt(&ht, &lab.s, t, &cfg, threads);
+                let out = probe_mt_rt(&ht, &lab.s, t, &cfg, &MorselConfig::static_chunks(threads));
                 row.push(fmtput(out.throughput));
             }
             table.row(row);

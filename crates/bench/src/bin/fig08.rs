@@ -13,7 +13,8 @@
 use amac::engine::Technique;
 use amac_bench::{probe_cfg, skew_label, Args, JoinLab};
 use amac_metrics::report::{fmtput, Table};
-use amac_ops::parallel::probe_mt;
+use amac_ops::parallel::probe_mt_rt;
+use amac_runtime::MorselConfig;
 
 /// Narrow-core emulation: in-flight budget for all techniques.
 const EMULATED_M: usize = 6;
@@ -40,7 +41,7 @@ fn main() {
             for t in Technique::ALL {
                 let mut cfg = probe_cfg(EMULATED_M);
                 cfg.scan_all = zr > 0.0;
-                let out = probe_mt(&ht, &lab.s, t, &cfg, threads);
+                let out = probe_mt_rt(&ht, &lab.s, t, &cfg, &MorselConfig::static_chunks(threads));
                 row.push(fmtput(out.throughput));
             }
             table.row(row);

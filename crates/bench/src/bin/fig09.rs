@@ -15,8 +15,13 @@ use amac_ops::groupby::{groupby_fresh, GroupByConfig};
 use amac_workload::GroupByInput;
 
 fn run_panel(args: &Args, n_groups: usize, tag: &str) {
-    let mut table = Table::new(format!("Fig 9 ({tag}): group-by cycles per input tuple"))
-        .header(["distribution", "Baseline", "GP", "SPP", "AMAC"]);
+    let mut table = Table::new(format!("Fig 9 ({tag}): group-by cycles per input tuple")).header([
+        "distribution",
+        "Baseline",
+        "GP",
+        "SPP",
+        "AMAC",
+    ]);
     let cases: [(&str, Option<f64>); 3] =
         [("Uniform", None), ("Zipf (z=0.5)", Some(0.5)), ("Zipf (z=1)", Some(1.0))];
     for (name, theta) in cases {
@@ -26,10 +31,7 @@ fn run_panel(args: &Args, n_groups: usize, tag: &str) {
         };
         let mut row = vec![name.to_string()];
         for t in Technique::ALL {
-            let cfg = GroupByConfig {
-                params: TuningParams::paper_best(t),
-                ..Default::default()
-            };
+            let cfg = GroupByConfig { params: TuningParams::paper_best(t), ..Default::default() };
             let (c, _) = best_of(args.trials, || {
                 let (_table, out) = groupby_fresh(&input, t, &cfg);
                 (out.cycles as f64 / input.len().max(1) as f64, ())

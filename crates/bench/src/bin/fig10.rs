@@ -21,10 +21,16 @@ fn main() {
     // Paper sweeps 2^15..2^28 with probes = tree size; keep the relative
     // ladder, capped by --scale.
     let top = args.scale.min(24);
-    let sizes: Vec<u32> = (0..5).map(|i| top.saturating_sub(3 * (4 - i))).filter(|&b| b >= 10).collect();
+    let sizes: Vec<u32> =
+        (0..5).map(|i| top.saturating_sub(3 * (4 - i))).filter(|&b| b >= 10).collect();
 
-    let mut table = Table::new("Fig 10: BST search cycles per probe tuple")
-        .header(["tree size (log2)", "Baseline", "GP", "SPP", "AMAC"]);
+    let mut table = Table::new("Fig 10: BST search cycles per probe tuple").header([
+        "tree size (log2)",
+        "Baseline",
+        "GP",
+        "SPP",
+        "AMAC",
+    ]);
     let mut speedups: Vec<[f64; 3]> = Vec::new();
     for bits in &sizes {
         let n = 1usize << bits;

@@ -25,8 +25,13 @@ fn main() {
         .collect();
 
     for op in ["Search", "Insert"] {
-        let mut table = Table::new(format!("Fig 11: skip list {op} cycles per tuple"))
-            .header(["elements (log2)", "Baseline", "GP", "SPP", "AMAC"]);
+        let mut table = Table::new(format!("Fig 11: skip list {op} cycles per tuple")).header([
+            "elements (log2)",
+            "Baseline",
+            "GP",
+            "SPP",
+            "AMAC",
+        ]);
         for bits in &sizes {
             let n = 1usize << bits;
             let rel = Relation::sparse_unique(n, 0x11AA ^ *bits as u64);
@@ -40,10 +45,7 @@ fn main() {
             };
             let mut row = vec![bits.to_string()];
             for t in Technique::ALL {
-                let cfg = SkipConfig {
-                    params: TuningParams::paper_best(t),
-                    ..Default::default()
-                };
+                let cfg = SkipConfig { params: TuningParams::paper_best(t), ..Default::default() };
                 let (c, _) = best_of(args.trials, || {
                     if let Some((list, probes)) = &search_list {
                         let out = skip_search(list, probes, t, &cfg);

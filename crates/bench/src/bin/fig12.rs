@@ -18,8 +18,9 @@ fn main() {
     println!("# SUBSTITUTION: SPARC T4 unavailable; narrow-core profile M={EMULATED_M}\n");
 
     // --- (a) hash join, large relations, three skews ---------------------
-    let mut table = Table::new("Fig 12a: hash join cycles per output tuple (emulated)")
-        .header(["[ZR,ZS]", "Base b", "Base p", "GP b", "GP p", "SPP b", "SPP p", "AMAC b", "AMAC p"]);
+    let mut table = Table::new("Fig 12a: hash join cycles per output tuple (emulated)").header([
+        "[ZR,ZS]", "Base b", "Base p", "GP b", "GP p", "SPP b", "SPP p", "AMAC b", "AMAC p",
+    ]);
     for (zr, zs) in [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)] {
         let lab = JoinLab::generate(args.r_large(), args.s_size(), zr, zs, 0x128);
         let mut row = vec![skew_label(zr, zs)];
@@ -41,8 +42,13 @@ fn main() {
     println!();
 
     // --- (b) group-by ------------------------------------------------------
-    let mut gtable = Table::new("Fig 12b: group-by cycles per input tuple (emulated)")
-        .header(["distribution", "Baseline", "GP", "SPP", "AMAC"]);
+    let mut gtable = Table::new("Fig 12b: group-by cycles per input tuple (emulated)").header([
+        "distribution",
+        "Baseline",
+        "GP",
+        "SPP",
+        "AMAC",
+    ]);
     let n_groups = args.s_size() >> 2;
     let cases: [(&str, Option<f64>); 3] =
         [("Uniform", None), ("Zipf (z=0.5)", Some(0.5)), ("Zipf (z=1)", Some(1.0))];

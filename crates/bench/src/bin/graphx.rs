@@ -16,8 +16,14 @@ fn main() {
     let n = (args.s_size() >> 3).max(1 << 12);
     println!("# Extension — BFS on CSR graphs (paper §8 future work)\n");
 
-    let mut table = Table::new("BFS: cycles per traversed edge")
-        .header(["graph", "Baseline", "GP", "SPP", "AMAC", "GP bailouts"]);
+    let mut table = Table::new("BFS: cycles per traversed edge").header([
+        "graph",
+        "Baseline",
+        "GP",
+        "SPP",
+        "AMAC",
+        "GP bailouts",
+    ]);
     for (name, graph) in [
         ("uniform deg=16", Csr::uniform_random(n, 16, 0x61)),
         ("power-law z=1.0", Csr::power_law(n, 16, 1.0, 0x62)),

@@ -65,10 +65,7 @@ fn main() {
             checks.push(check);
             row.push(fnum(c));
         }
-        assert!(
-            checks.windows(2).all(|w| w[0] == w[1]),
-            "techniques disagree at fill {fill}"
-        );
+        assert!(checks.windows(2).all(|w| w[0] == w[1]), "techniques disagree at fill {fill}");
         row.push(format!("{:.2}x", cpt[1].min(cpt[2]) / cpt[3]));
         linear.row(row);
     }

@@ -49,8 +49,14 @@ fn main() {
     drop(ht);
 
     // --- Radix side: sweep partition width. ---
-    let mut table = Table::new("Cycles per probe tuple (probe-phase and end-to-end)")
-        .header(["configuration", "partition", "build", "probe", "total", "vs NPO+Base"]);
+    let mut table = Table::new("Cycles per probe tuple (probe-phase and end-to-end)").header([
+        "configuration",
+        "partition",
+        "build",
+        "probe",
+        "total",
+        "vs NPO+Base",
+    ]);
     table.row([
         "NPO + Baseline".to_string(),
         "-".into(),

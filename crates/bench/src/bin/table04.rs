@@ -17,7 +17,8 @@ use amac::engine::Technique;
 use amac_bench::{probe_cfg, Args, JoinLab};
 use amac_metrics::perf;
 use amac_metrics::report::{fmtput, fnum, Table};
-use amac_ops::parallel::probe_mt;
+use amac_ops::parallel::probe_mt_rt;
+use amac_runtime::MorselConfig;
 
 fn main() {
     let args = Args::parse();
@@ -31,20 +32,14 @@ fn main() {
     } else {
         "Table 4: AMAC probe scaling (perf_event unavailable; software proxies)"
     })
-    .header([
-        "threads",
-        "throughput",
-        "per-thread eff.",
-        "IPC",
-        "prefetch/stage",
-    ]);
+    .header(["threads", "throughput", "per-thread eff.", "IPC", "prefetch/stage"]);
 
     let mut base_per_thread = 0.0f64;
     let mut threads = 1usize;
     while threads <= args.threads.max(1) * 2 {
         let cfg = probe_cfg(10);
         let (out, counters) = perf::measure_instructions(|| {
-            probe_mt(&ht, &lab.s, Technique::Amac, &cfg, threads)
+            probe_mt_rt(&ht, &lab.s, Technique::Amac, &cfg, &MorselConfig::static_chunks(threads))
         });
         let per_thread = out.throughput / threads as f64;
         if threads == 1 {
@@ -63,7 +58,8 @@ fn main() {
         ]);
         threads *= 2;
     }
-    table.note("paper: IPC 1.4 -> 0.7 and L1-D MSHR hits 1.8 -> 6.9 per k-inst from 1 to 6 threads");
+    table
+        .note("paper: IPC 1.4 -> 0.7 and L1-D MSHR hits 1.8 -> 6.9 per k-inst from 1 to 6 threads");
     table.note("per-thread eff. = (throughput/threads) normalized to 1 thread");
     table.print();
 }

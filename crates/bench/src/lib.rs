@@ -117,7 +117,8 @@ fn usage(msg: &str) -> ! {
 }
 
 /// Zipf skew configurations `[Z_R, Z_S]` used in Figures 5–8.
-pub const SKEW_CONFIGS: [(f64, f64); 5] = [(0.0, 0.0), (0.5, 0.0), (1.0, 0.0), (0.5, 0.5), (1.0, 1.0)];
+pub const SKEW_CONFIGS: [(f64, f64); 5] =
+    [(0.0, 0.0), (0.5, 0.0), (1.0, 0.0), (0.5, 0.5), (1.0, 1.0)];
 
 /// Render a `[Z_R, Z_S]` pair the way the paper labels x-axes.
 pub fn skew_label(zr: f64, zs: f64) -> String {
@@ -207,6 +208,44 @@ pub fn probe_cfg(m: usize) -> ProbeConfig {
     }
 }
 
+/// Inputs for the runtime's *skewed-probe* scenario: a Zipf-keyed build
+/// relation (hot keys → long chains) probed by a **clustered** Zipf input,
+/// so the expensive probes occupy one contiguous region of S. Static
+/// chunking hands that whole region to one thread; morsel stealing
+/// redistributes it — this is the workload behind
+/// `benches/parallel.rs` and `bin/scaling.rs`.
+pub struct SkewLab {
+    /// Prebuilt hash table over the Zipf build relation.
+    pub ht: HashTable,
+    /// Clustered Zipf probe relation.
+    pub s: Relation,
+}
+
+/// Generate the skewed-probe scenario. `theta` is the probe-side Zipf
+/// exponent (1.0 reproduces the acceptance workload); probes use
+/// `scan_all`, see [`skewed_probe_cfg`].
+///
+/// R draws half as many tuples from the same domain with θ = 0.5, which
+/// caps the hottest chain at a few hundred nodes (θ = 1 on both sides
+/// would make hot-hot probes quadratic). Crucially both relations use the
+/// **same generator seed**, hence the same Feistel rank→key permutation:
+/// the keys probed most often are exactly the keys with the longest
+/// chains, and after clustering those probes occupy a few contiguous runs
+/// of S — the positional skew that strands a static chunk.
+pub fn skewed_probe_lab(n: usize, theta: f64, seed: u64) -> SkewLab {
+    let domain = (n as u64 / 64).max(64);
+    let r = Relation::zipf(n / 2, domain, 0.5, seed);
+    let ht = HashTable::build_serial(&r);
+    let s = Relation::zipf_clustered(n, domain, theta, seed);
+    SkewLab { ht, s }
+}
+
+/// Probe config for the skewed scenario: walk full chains (join
+/// semantics under duplicate build keys), no materialization.
+pub fn skewed_probe_cfg(m: usize) -> ProbeConfig {
+    ProbeConfig { scan_all: true, ..probe_cfg(m) }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,8 +275,7 @@ mod tests {
     #[test]
     fn join_lab_skewed_generates_duplicates() {
         let lab = JoinLab::generate(1 << 10, 1 << 10, 1.0, 0.0, 2);
-        let distinct: std::collections::HashSet<u64> =
-            lab.r.tuples.iter().map(|t| t.key).collect();
+        let distinct: std::collections::HashSet<u64> = lab.r.tuples.iter().map(|t| t.key).collect();
         assert!(distinct.len() < lab.r.len(), "z=1 build keys must repeat");
     }
 

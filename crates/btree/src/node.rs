@@ -114,8 +114,7 @@ mod tests {
         n.keys[0] = 10;
         n.keys[1] = 20;
         n.count = 2;
-        let c: Vec<*const u8> =
-            (0..3).map(|i| (0x1000 + i * 0x100) as *const u8).collect();
+        let c: Vec<*const u8> = (0..3).map(|i| (0x1000 + i * 0x100) as *const u8).collect();
         n.children[..3].copy_from_slice(&c);
         assert_eq!(n.select_child(5), c[0]);
         assert_eq!(n.select_child(9), c[0]);

@@ -127,8 +127,7 @@ impl BPlusTree {
     /// keys the **last** payload in storage order wins (matching
     /// `Bst::insert` replacement semantics).
     pub fn build(rel: &Relation) -> Self {
-        let mut pairs: Vec<(u64, u64)> =
-            rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
+        let mut pairs: Vec<(u64, u64)> = rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
         pairs.sort_by_key(|(k, _)| *k);
         // Keep the last occurrence of each key (stable sort preserves
         // storage order within equal keys).
@@ -348,7 +347,27 @@ mod tests {
         let pairs: Vec<(u64, u64)> = (0..100u64).map(|k| (k * 10, k)).collect();
         let t = BPlusTree::from_sorted(&pairs);
         let r = t.range(95, 250);
-        assert_eq!(r, vec![(100, 10), (110, 11), (120, 12), (130, 13), (140, 14), (150, 15), (160, 16), (170, 17), (180, 18), (190, 19), (200, 20), (210, 21), (220, 22), (230, 23), (240, 24), (250, 25)]);
+        assert_eq!(
+            r,
+            vec![
+                (100, 10),
+                (110, 11),
+                (120, 12),
+                (130, 13),
+                (140, 14),
+                (150, 15),
+                (160, 16),
+                (170, 17),
+                (180, 18),
+                (190, 19),
+                (200, 20),
+                (210, 21),
+                (220, 22),
+                (230, 23),
+                (240, 24),
+                (250, 25)
+            ]
+        );
         assert_eq!(t.range(0, 0), vec![(0, 0)], "point range");
         assert!(t.range(991, 999_999).is_empty(), "past the end");
         assert!(t.range(50, 20).is_empty(), "inverted range");
@@ -397,8 +416,7 @@ mod tests {
         use std::collections::BTreeMap;
         let rel = Relation::sparse_unique(5000, 77);
         let t = BPlusTree::build(&rel);
-        let model: BTreeMap<u64, u64> =
-            rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
+        let model: BTreeMap<u64, u64> = rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
         for (k, v) in &model {
             assert_eq!(t.get(*k), Some(*v));
             assert_eq!(t.get(k.wrapping_add(1)).is_some(), model.contains_key(&(k + 1)));

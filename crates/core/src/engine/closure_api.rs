@@ -106,12 +106,8 @@ pub fn for_each_interleaved_with_budget<I: Copy, S: Default>(
     start: &mut impl FnMut(&I) -> S,
     advance: &mut impl FnMut(&mut S) -> Resume,
 ) -> EngineStats {
-    let mut op = ClosureOp {
-        start,
-        advance,
-        budget: budget.max(1),
-        _marker: core::marker::PhantomData,
-    };
+    let mut op =
+        ClosureOp { start, advance, budget: budget.max(1), _marker: core::marker::PhantomData };
     run(technique, &mut op, inputs, TuningParams::with_in_flight(in_flight))
 }
 
@@ -184,13 +180,8 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let stats = for_each_interleaved(
-            Technique::Spp,
-            &[] as &[u8],
-            4,
-            |_| 0u8,
-            |_| Resume::Finished,
-        );
+        let stats =
+            for_each_interleaved(Technique::Spp, &[] as &[u8], 4, |_| 0u8, |_| Resume::Finished);
         assert_eq!(stats, EngineStats::default());
     }
 }

@@ -29,12 +29,14 @@ pub mod closure_api;
 mod gp;
 mod spp;
 mod stats;
+mod tune;
 
 pub use amac_exec::{run_amac, run_amac_modulo, run_amac_no_merge};
 pub use baseline::run_baseline;
 pub use gp::run_gp;
 pub use spp::run_spp;
 pub use stats::EngineStats;
+pub use tune::{auto_tune_in_flight, AUTO_MAX_IN_FLIGHT, AUTO_MIN_IN_FLIGHT};
 
 /// Outcome of one executed code stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,133 @@
+//! Adaptive in-flight calibration.
+//!
+//! The paper fixes `M ≈ 10` because that saturates the L1-D MSHRs of its
+//! Xeon (§2.2.2). MSHR capacity differs across hosts — more on recent
+//! server cores, fewer in small containers — so the right window is a
+//! property of the machine, not the algorithm. [`TuningParams::auto`]
+//! measures it: a short hill-climbing probe phase runs the real lookup
+//! state machine over a sample of the real input at a ladder of candidate
+//! widths and keeps the fastest.
+//!
+//! The probe phase *executes* lookups, so it is only safe for read-only
+//! ops (probe/search). Mutating ops (build, insert, group-by) must tune on
+//! a scratch copy of their structure or fall back to the presets.
+
+use super::{run_amac, LookupOp, TuningParams};
+use std::time::Instant;
+
+/// Smallest window the tuner will pick.
+pub const AUTO_MIN_IN_FLIGHT: usize = 4;
+/// Largest window the tuner will pick.
+pub const AUTO_MAX_IN_FLIGHT: usize = 64;
+
+/// Candidate widths, geometric-ish so the climb spans 4..=64 in few probes.
+const LADDER: [usize; 10] = [4, 6, 8, 10, 12, 16, 24, 32, 48, 64];
+
+/// Relative speedup a neighbour must show to win a hill-climb move; keeps
+/// measurement noise from dragging the pick away from the plateau.
+const MIN_GAIN: f64 = 0.02;
+
+impl TuningParams {
+    /// Calibrate the in-flight window by hill climbing over a sample.
+    ///
+    /// `make_op` builds a fresh lookup op per probe trial (each trial
+    /// re-executes the sample, so per-op accumulators must start clean);
+    /// `sample` should be a representative slice or stride-sample of the
+    /// real input. Returns the fastest measured width, always within
+    /// `[AUTO_MIN_IN_FLIGHT, AUTO_MAX_IN_FLIGHT]`. Samples smaller than
+    /// 512 lookups measure mostly overhead, so they return the paper
+    /// default instead.
+    pub fn auto<O, F>(mut make_op: F, sample: &[O::Input]) -> TuningParams
+    where
+        O: LookupOp,
+        F: FnMut() -> O,
+    {
+        TuningParams::with_in_flight(auto_tune_in_flight(&mut make_op, sample))
+    }
+}
+
+/// Nanoseconds to run `sample` at width `m` (best of `trials`).
+fn measure<O, F>(make_op: &mut F, sample: &[O::Input], m: usize, trials: usize) -> f64
+where
+    O: LookupOp,
+    F: FnMut() -> O,
+{
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let mut op = make_op();
+        let t0 = Instant::now();
+        let stats = run_amac(&mut op, sample, m);
+        let ns = t0.elapsed().as_nanos() as f64;
+        std::hint::black_box(stats);
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Hill-climb the ladder; see [`TuningParams::auto`].
+pub fn auto_tune_in_flight<O, F>(make_op: &mut F, sample: &[O::Input]) -> usize
+where
+    O: LookupOp,
+    F: FnMut() -> O,
+{
+    if sample.len() < 512 {
+        return TuningParams::default().in_flight.clamp(AUTO_MIN_IN_FLIGHT, AUTO_MAX_IN_FLIGHT);
+    }
+    // Warm caches/TLB once so the first measured rung isn't penalized.
+    measure(make_op, sample, LADDER[0], 1);
+
+    let mut times = [f64::INFINITY; LADDER.len()];
+    let mut idx = LADDER.iter().position(|&m| m == 10).unwrap_or(3);
+    times[idx] = measure(make_op, sample, LADDER[idx], 2);
+    loop {
+        let mut best = idx;
+        for next in [idx.wrapping_sub(1), idx + 1] {
+            if next >= LADDER.len() {
+                continue;
+            }
+            if times[next].is_infinite() {
+                times[next] = measure(make_op, sample, LADDER[next], 2);
+            }
+            if times[next] < times[best] * (1.0 - MIN_GAIN) {
+                best = next;
+            }
+        }
+        if best == idx {
+            return LADDER[idx];
+        }
+        idx = best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ChainOp;
+    use super::*;
+
+    #[test]
+    fn auto_stays_in_bounds_on_real_chains() {
+        let chains: Vec<usize> = (0..20_000).map(|i| 1 + (i * 7) % 5).collect();
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+        let params = TuningParams::auto(|| ChainOp::new(&chains), &inputs);
+        assert!(
+            (AUTO_MIN_IN_FLIGHT..=AUTO_MAX_IN_FLIGHT).contains(&params.in_flight),
+            "picked {}",
+            params.in_flight
+        );
+    }
+
+    #[test]
+    fn tiny_samples_fall_back_to_default() {
+        let chains = vec![2usize; 64];
+        let inputs: Vec<usize> = (0..64).collect();
+        let params = TuningParams::auto(|| ChainOp::new(&chains), &inputs);
+        assert_eq!(params.in_flight, TuningParams::default().in_flight);
+    }
+
+    #[test]
+    fn ladder_is_sorted_and_bounded() {
+        assert!(LADDER.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(LADDER[0], AUTO_MIN_IN_FLIGHT);
+        assert_eq!(*LADDER.last().unwrap(), AUTO_MAX_IN_FLIGHT);
+    }
+}

@@ -67,10 +67,7 @@ fn run_all_techniques(chains: &[usize], budget: usize, m: usize) -> Vec<Vec<u64>
                 chains.len() as u64,
                 "{t} completed a wrong number of lookups"
             );
-            assert!(
-                op.outputs.iter().all(|&o| o != u64::MAX),
-                "{t} left unmaterialized outputs"
-            );
+            assert!(op.outputs.iter().all(|&o| o != u64::MAX), "{t} left unmaterialized outputs");
             op.outputs
         })
         .collect()

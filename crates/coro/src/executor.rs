@@ -72,12 +72,8 @@ pub async fn prefetch_yield_write<T>(ptr: *const T) {
 }
 
 // The cooperative scheduler never parks, so wakers are inert.
-const NOOP_VTABLE: RawWakerVTable = RawWakerVTable::new(
-    |_| RawWaker::new(core::ptr::null(), &NOOP_VTABLE),
-    |_| {},
-    |_| {},
-    |_| {},
-);
+const NOOP_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(|_| RawWaker::new(core::ptr::null(), &NOOP_VTABLE), |_| {}, |_| {}, |_| {});
 
 fn noop_waker() -> Waker {
     // SAFETY: every vtable entry is a no-op over a null pointer, which
@@ -309,8 +305,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let inputs: Vec<u64> = Vec::new();
-        let (out, stats) =
-            run_interleaved_collect(8, &inputs, |_, x: u64| async move { x });
+        let (out, stats) = run_interleaved_collect(8, &inputs, |_, x: u64| async move { x });
         assert!(out.is_empty());
         assert_eq!(stats.completed, 0);
         assert_eq!(stats.polls, 0);

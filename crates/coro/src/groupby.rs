@@ -14,7 +14,9 @@
 //! Works single- and multi-threaded (the latch is an atomic test-and-set;
 //! cross-thread conflicts yield exactly like intra-ring ones).
 
-use crate::executor::{prefetch_yield, prefetch_yield_write, run_interleaved, yield_now, InterleaveStats};
+use crate::executor::{
+    prefetch_yield, prefetch_yield_write, run_interleaved, yield_now, InterleaveStats,
+};
 use amac_hashtable::agg::{AggHandle, AggValues};
 use amac_hashtable::AggTable;
 use amac_metrics::timer::CycleTimer;

@@ -182,8 +182,7 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
     };
     let scan_all = cfg.scan_all;
     let timer = CycleTimer::start();
-    let (matches, checksum, materialize) =
-        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let (matches, checksum, materialize) = (&mut res.matches, &mut res.checksum, cfg.materialize);
     let out = &mut res.out;
     res.stats = run_interleaved(
         cfg.width,
@@ -206,12 +205,7 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
 /// each probed by its own coroutine ring (the Fig. 7 scalability driver
 /// in the coroutine model; probes are read-only, so no coordination is
 /// needed beyond the final merge).
-pub fn coro_probe_mt(
-    ht: &HashTable,
-    s: &Relation,
-    cfg: &CoroConfig,
-    threads: usize,
-) -> CoroOutput {
+pub fn coro_probe_mt(ht: &HashTable, s: &Relation, cfg: &CoroConfig, threads: usize) -> CoroOutput {
     let threads = threads.max(1);
     let chunk = s.len().div_ceil(threads).max(1);
     let mut res = CoroOutput::default();
@@ -260,8 +254,7 @@ pub fn coro_bst_search(tree: &Bst, probe_rel: &Relation, cfg: &CoroConfig) -> Co
         ..Default::default()
     };
     let timer = CycleTimer::start();
-    let (matches, checksum, materialize) =
-        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let (matches, checksum, materialize) = (&mut res.matches, &mut res.checksum, cfg.materialize);
     let out = &mut res.out;
     res.stats = run_interleaved(
         cfg.width,
@@ -283,18 +276,13 @@ pub fn coro_bst_search(tree: &Bst, probe_rel: &Relation, cfg: &CoroConfig) -> Co
 }
 
 /// Skip-list search of `probe_rel` against `list`, coroutine-interleaved.
-pub fn coro_skip_search(
-    list: &SkipList,
-    probe_rel: &Relation,
-    cfg: &CoroConfig,
-) -> CoroOutput {
+pub fn coro_skip_search(list: &SkipList, probe_rel: &Relation, cfg: &CoroConfig) -> CoroOutput {
     let mut res = CoroOutput {
         out: if cfg.materialize { vec![u64::MAX; probe_rel.len()] } else { Vec::new() },
         ..Default::default()
     };
     let timer = CycleTimer::start();
-    let (matches, checksum, materialize) =
-        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let (matches, checksum, materialize) = (&mut res.matches, &mut res.checksum, cfg.materialize);
     let out = &mut res.out;
     res.stats = run_interleaved(
         cfg.width,
@@ -316,18 +304,13 @@ pub fn coro_skip_search(
 }
 
 /// B+-tree search of `probe_rel` against `tree`, coroutine-interleaved.
-pub fn coro_btree_search(
-    tree: &BPlusTree,
-    probe_rel: &Relation,
-    cfg: &CoroConfig,
-) -> CoroOutput {
+pub fn coro_btree_search(tree: &BPlusTree, probe_rel: &Relation, cfg: &CoroConfig) -> CoroOutput {
     let mut res = CoroOutput {
         out: if cfg.materialize { vec![u64::MAX; probe_rel.len()] } else { Vec::new() },
         ..Default::default()
     };
     let timer = CycleTimer::start();
-    let (matches, checksum, materialize) =
-        (&mut res.matches, &mut res.checksum, cfg.materialize);
+    let (matches, checksum, materialize) = (&mut res.matches, &mut res.checksum, cfg.materialize);
     let out = &mut res.out;
     res.stats = run_interleaved(
         cfg.width,
@@ -368,13 +351,8 @@ mod tests {
         let tuples: Vec<Tuple> =
             (0..256u64).flat_map(|k| [Tuple::new(k, 1), Tuple::new(k, 2)]).collect();
         let ht = HashTable::build_serial(&Relation::from_tuples(tuples));
-        let probe_rel =
-            Relation::from_tuples((0..256u64).map(|k| Tuple::new(k, 0)).collect());
-        let out = coro_probe(
-            &ht,
-            &probe_rel,
-            &CoroConfig { scan_all: true, ..Default::default() },
-        );
+        let probe_rel = Relation::from_tuples((0..256u64).map(|k| Tuple::new(k, 0)).collect());
+        let out = coro_probe(&ht, &probe_rel, &CoroConfig { scan_all: true, ..Default::default() });
         assert_eq!(out.matches, 512);
         assert_eq!(out.checksum, 256 * 3);
     }
@@ -387,8 +365,7 @@ mod tests {
         assert_eq!(out.matches, 4096);
         let missing =
             Relation::from_tuples((0..64u64).map(|k| Tuple::new(k | (1 << 63), 0)).collect());
-        let miss_keys =
-            missing.tuples.iter().filter(|t| tree.get(t.key).is_none()).count();
+        let miss_keys = missing.tuples.iter().filter(|t| tree.get(t.key).is_none()).count();
         let out = coro_bst_search(&tree, &missing, &CoroConfig::default());
         assert_eq!(out.matches as usize, missing.len() - miss_keys);
     }

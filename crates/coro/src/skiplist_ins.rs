@@ -16,8 +16,7 @@
 use crate::executor::{run_interleaved, yield_now, InterleaveStats};
 use amac_metrics::timer::CycleTimer;
 use amac_skiplist::{
-    prefetch_node, try_splice_level, InsertHandle, SkipList, SkipNode, SpliceOutcome,
-    MAX_LEVEL,
+    prefetch_node, try_splice_level, InsertHandle, SkipList, SkipNode, SpliceOutcome, MAX_LEVEL,
 };
 use amac_workload::Relation;
 use core::cell::RefCell;
@@ -27,11 +26,7 @@ use core::cell::RefCell;
 ///
 /// `handle` is shared by the ring via `RefCell`; borrows are transient
 /// (never held across a yield).
-pub async fn skip_insert_one(
-    handle: &RefCell<InsertHandle<'_>>,
-    key: u64,
-    payload: u64,
-) -> bool {
+pub async fn skip_insert_one(handle: &RefCell<InsertHandle<'_>>, key: u64, payload: u64) -> bool {
     let (head, mut level) = {
         let h = handle.borrow();
         (h.list().head() as *mut SkipNode, h.list().level())
@@ -214,8 +209,7 @@ mod tests {
         assert_eq!(out.inserted, 5000);
         assert_eq!(out.duplicates, 0);
         assert_eq!(list.len(), 5000);
-        let mut want: Vec<(u64, u64)> =
-            rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
+        let mut want: Vec<(u64, u64)> = rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
         want.sort_unstable();
         assert_eq!(list.items(), want);
         for t in rel.tuples.iter().step_by(37) {
@@ -226,9 +220,7 @@ mod tests {
     #[test]
     fn duplicates_are_rejected() {
         let list = SkipList::new();
-        let rel = Relation::from_tuples(
-            (0..500u64).map(|k| Tuple::new(k % 100, k)).collect(),
-        );
+        let rel = Relation::from_tuples((0..500u64).map(|k| Tuple::new(k % 100, k)).collect());
         let out = coro_skip_insert(&list, &rel, 8, 0xEF);
         assert_eq!(out.inserted, 100);
         assert_eq!(out.duplicates, 400);
@@ -257,8 +249,7 @@ mod tests {
         assert_eq!(out.inserted, 20_000);
         assert_eq!(out.duplicates, 0);
         assert_eq!(list.len(), 20_000);
-        let mut want: Vec<(u64, u64)> =
-            rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
+        let mut want: Vec<(u64, u64)> = rel.tuples.iter().map(|t| (t.key, t.payload)).collect();
         want.sort_unstable();
         assert_eq!(list.items(), want);
     }
@@ -268,9 +259,7 @@ mod tests {
         // All threads insert the same tiny key set: every key must end up
         // present exactly once no matter who wins each race.
         let list = SkipList::new();
-        let rel = Relation::from_tuples(
-            (0..4000u64).map(|i| Tuple::new(i % 50, i)).collect(),
-        );
+        let rel = Relation::from_tuples((0..4000u64).map(|i| Tuple::new(i % 50, i)).collect());
         let out = coro_skip_insert_mt(&list, &rel, 8, 4, 0xF2);
         assert_eq!(out.inserted, 50);
         assert_eq!(out.duplicates, 3950);

@@ -20,7 +20,7 @@ use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_mem::prefetch::prefetch_read;
 
 /// Edges consumed per expansion code stage: one 64-byte line of `u32`s.
-const EDGES_PER_STAGE: usize = 16;
+pub const EDGES_PER_STAGE: usize = 16;
 
 /// BFS configuration.
 #[derive(Debug, Clone, Default)]
@@ -43,14 +43,22 @@ pub struct BfsOutput {
 }
 
 /// Frontier-expansion lookup: vertex → offset pair → adjacency lines.
-struct ExpandOp<'a> {
-    graph: &'a Csr,
-    candidates: Vec<u32>,
-    avg_degree: usize,
+///
+/// Public so parallel drivers (e.g. `amac_ops::parallel::bfs_mt`) can run
+/// one instance per worker thread; the collected `candidates` are merged
+/// by the caller.
+pub struct ExpandOp<'a> {
+    /// The graph being traversed (read-only).
+    pub graph: &'a Csr,
+    /// Neighbour vertices collected by this op's lookups.
+    pub candidates: Vec<u32>,
+    /// Average out-degree, sizing the GP/SPP stage budget.
+    pub avg_degree: usize,
 }
 
+/// Per-lookup state for [`ExpandOp`].
 #[derive(Default)]
-struct ExpandState {
+pub struct ExpandState {
     v: u32,
     lo: u64,
     hi: u64,
@@ -87,8 +95,7 @@ impl LookupOp for ExpandOp<'_> {
         let take = ((st.hi - st.lo) as usize).min(EDGES_PER_STAGE);
         let base = st.lo as usize;
         // Bulk-copy one line of neighbours into the candidate buffer.
-        self.candidates
-            .extend_from_slice(&self.graph.neighbours_raw()[base..base + take]);
+        self.candidates.extend_from_slice(&self.graph.neighbours_raw()[base..base + take]);
         st.lo += take as u64;
         if st.lo == st.hi {
             return Step::Done;
@@ -161,12 +168,8 @@ pub fn bfs(graph: &Csr, src: u32, technique: Technique, cfg: &BfsConfig) -> BfsO
         };
         stats.merge(&run(technique, &mut expand, &frontier, cfg.params));
         // Phase 2: visited-filter the candidates into the next frontier.
-        let mut visit = VisitOp {
-            bits: &mut bits,
-            depth: &mut depth,
-            level,
-            next_frontier: Vec::new(),
-        };
+        let mut visit =
+            VisitOp { bits: &mut bits, depth: &mut depth, level, next_frontier: Vec::new() };
         stats.merge(&run(technique, &mut visit, &expand.candidates, cfg.params));
         visited += visit.next_frontier.len() as u64;
         frontier = visit.next_frontier;
@@ -204,11 +207,7 @@ mod tests {
         for t in Technique::ALL {
             let out = bfs(&g, 0, t, &BfsConfig::default());
             assert_eq!(out.depth, want, "{t}: depths diverge");
-            assert_eq!(
-                out.visited,
-                want.iter().filter(|&&d| d != u32::MAX).count() as u64,
-                "{t}"
-            );
+            assert_eq!(out.visited, want.iter().filter(|&&d| d != u32::MAX).count() as u64, "{t}");
         }
     }
 

@@ -20,5 +20,5 @@
 pub mod bfs;
 pub mod csr;
 
-pub use bfs::{bfs, BfsConfig, BfsOutput};
+pub use bfs::{bfs, BfsConfig, BfsOutput, ExpandOp};
 pub use csr::Csr;

@@ -34,11 +34,7 @@ pub struct PayloadChunk {
 
 impl Default for PayloadChunk {
     fn default() -> Self {
-        PayloadChunk {
-            count: 0,
-            payloads: [0; PAYLOADS_PER_CHUNK],
-            next: core::ptr::null_mut(),
-        }
+        PayloadChunk { count: 0, payloads: [0; PAYLOADS_PER_CHUNK], next: core::ptr::null_mut() }
     }
 }
 
@@ -57,12 +53,7 @@ pub struct LateData {
 
 impl Default for LateData {
     fn default() -> Self {
-        LateData {
-            key: 0,
-            tuples: 0,
-            head: core::ptr::null_mut(),
-            next: core::ptr::null_mut(),
-        }
+        LateData { key: 0, tuples: 0, head: core::ptr::null_mut(), next: core::ptr::null_mut() }
     }
 }
 
@@ -337,10 +328,7 @@ mod tests {
                 let k = x % 40;
                 let p = x >> 32;
                 h.append(k, p);
-                model
-                    .entry(k)
-                    .and_modify(|a| a.update(p))
-                    .or_insert_with(|| AggValues::first(p));
+                model.entry(k).and_modify(|a| a.update(p)).or_insert_with(|| AggValues::first(p));
             }
         }
         assert_eq!(t.group_count(), model.len());

@@ -32,7 +32,7 @@ pub mod linear;
 pub mod table;
 
 pub use agg::{AggBucket, AggTable};
-pub use late::LateAggTable;
 pub use bucket::{Bucket, BucketData, TUPLES_PER_NODE};
+pub use late::LateAggTable;
 pub use linear::{LinearTable, SlotLine, EMPTY_KEY, SLOTS_PER_LINE};
 pub use table::{BuildHandle, HashTable, TableStats};

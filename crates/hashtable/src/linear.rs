@@ -77,10 +77,7 @@ impl LinearTable {
     /// Create a table sized so that `n_tuples` inserts reach at most
     /// `fill` occupancy (0 < `fill` < 1).
     pub fn for_tuples(n_tuples: usize, fill: f64) -> Self {
-        assert!(
-            fill > 0.0 && fill < 1.0,
-            "fill factor must be in (0, 1), got {fill}"
-        );
+        assert!(fill > 0.0 && fill < 1.0, "fill factor must be in (0, 1), got {fill}");
         Self::with_slots(((n_tuples as f64 / fill).ceil() as usize).max(n_tuples + 1))
     }
 
@@ -287,7 +284,7 @@ mod tests {
     fn wraparound_probing_works() {
         // Force every key to the last slots so probes wrap to slot 0.
         let mut t = LinearTable::with_slots(SLOTS_PER_LINE * 2); // 8 slots
-        // Find keys whose home is the final slot.
+                                                                 // Find keys whose home is the final slot.
         let mut keys = Vec::new();
         let mut k = 0u64;
         while keys.len() < 4 {

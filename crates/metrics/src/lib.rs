@@ -8,9 +8,12 @@
 //! irregularity (stage executions, no-ops, bailouts, latch retries —
 //! [`profile`]).
 //!
-//! [`report`] renders the aligned text tables the bench binaries print, and
-//! [`stats`] provides the small statistics used for multi-trial runs.
+//! [`report`] renders the aligned text tables the bench binaries print,
+//! [`stats`] provides the small statistics used for multi-trial runs, and
+//! [`histogram`] holds the log-scale latency histograms the parallel
+//! runtime reports per-morsel service times through.
 
+pub mod histogram;
 pub mod perf;
 pub mod platform;
 pub mod profile;
@@ -18,6 +21,7 @@ pub mod report;
 pub mod stats;
 pub mod timer;
 
+pub use histogram::LatencyHistogram;
 pub use profile::ExecProfile;
 pub use report::Table;
 pub use stats::Summary;

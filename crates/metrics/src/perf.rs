@@ -98,10 +98,10 @@ impl Counter {
             libc::syscall(
                 libc::SYS_perf_event_open,
                 &attr as *const PerfEventAttr,
-                0,   // pid: calling thread
+                0,     // pid: calling thread
                 -1i32, // cpu: any
                 -1i32, // group_fd
-                0u64, // flags
+                0u64,  // flags
             )
         };
         if fd < 0 {
@@ -134,9 +134,7 @@ impl Counter {
             }
         }
         let mut value = 0u64;
-        let n = unsafe {
-            libc::read(self.fd, &mut value as *mut u64 as *mut libc::c_void, 8)
-        };
+        let n = unsafe { libc::read(self.fd, &mut value as *mut u64 as *mut libc::c_void, 8) };
         if n != 8 {
             return Err(io::Error::last_os_error());
         }

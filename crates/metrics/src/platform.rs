@@ -32,9 +32,9 @@ impl Platform {
         let mem_gib = std::fs::read_to_string("/proc/meminfo")
             .ok()
             .and_then(|s| {
-                s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
-                    l.split_whitespace().nth(1).and_then(|kb| kb.parse::<f64>().ok())
-                })
+                s.lines()
+                    .find(|l| l.starts_with("MemTotal"))
+                    .and_then(|l| l.split_whitespace().nth(1).and_then(|kb| kb.parse::<f64>().ok()))
             })
             .map(|kb| kb / 1024.0 / 1024.0)
             .unwrap_or(0.0);
@@ -55,7 +55,11 @@ impl fmt::Display for Platform {
         writeln!(f, "  cpu model      : {}", self.cpu_model)?;
         writeln!(f, "  logical cpus   : {}", self.logical_cpus)?;
         writeln!(f, "  memory         : {:.1} GiB", self.mem_gib)?;
-        writeln!(f, "  hw perf events : {}", if self.perf_counters { "yes" } else { "no (software proxies in use)" })
+        writeln!(
+            f,
+            "  hw perf events : {}",
+            if self.perf_counters { "yes" } else { "no (software proxies in use)" }
+        )
     }
 }
 

@@ -5,14 +5,12 @@
 //! overhead. The executors in `amac::engine` count these events
 //! directly; this module is the shared accounting type.
 
-use serde::{Deserialize, Serialize};
-
 /// Event counters accumulated by an executor over one run.
 ///
 /// All counters are plain `u64`s bumped on the (single-threaded) executor
 /// hot path; multi-threaded drivers keep one profile per thread and
 /// [`merge`](ExecProfile::merge) them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecProfile {
     /// Lookups completed.
     pub lookups: u64,

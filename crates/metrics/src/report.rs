@@ -51,8 +51,7 @@ impl Table {
 
     /// Render to a string.
     pub fn render(&self) -> String {
-        let ncols =
-            self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let ncols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());

@@ -32,19 +32,9 @@ impl Summary {
         };
         let mut sorted = sample.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-        };
-        Summary {
-            n,
-            mean,
-            stddev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
-            median,
-        }
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]) };
+        Summary { n, mean, stddev: var.sqrt(), min: sorted[0], max: sorted[n - 1], median }
     }
 
     /// Relative standard deviation (stddev / mean), 0 when mean is 0.

@@ -190,8 +190,7 @@ mod tests {
     fn misses_are_counted_as_not_found() {
         let rel = Relation::dense_unique(1000, 1);
         let tree = Bst::build(&rel);
-        let probe =
-            Relation::from_tuples((2000..2100u64).map(|k| Tuple::new(k, 0)).collect());
+        let probe = Relation::from_tuples((2000..2100u64).map(|k| Tuple::new(k, 0)).collect());
         for t in Technique::ALL {
             let out = bst_search(&tree, &probe, t, &BstConfig::default());
             assert_eq!(out.found, 0, "{t}");

@@ -85,6 +85,18 @@ impl<'a> BTreeOp<'a> {
         }
     }
 
+    /// Keys found so far (for drivers that own the op, e.g. `parallel`).
+    #[inline]
+    pub fn found(&self) -> u64 {
+        self.found
+    }
+
+    /// Order-independent payload checksum accumulated so far.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
     /// Prefetch both cache lines of a 128-byte node.
     #[inline(always)]
     fn prefetch_node(ptr: *const u8) {
@@ -195,8 +207,7 @@ mod tests {
     fn misses_do_not_count_or_materialize() {
         let rel = Relation::dense_unique(1000, 3);
         let tree = BPlusTree::build(&rel);
-        let probe =
-            Relation::from_tuples((5000..5100u64).map(|k| Tuple::new(k, 0)).collect());
+        let probe = Relation::from_tuples((5000..5100u64).map(|k| Tuple::new(k, 0)).collect());
         for t in Technique::ALL {
             let out = btree_search(&tree, &probe, t, &BTreeConfig::default());
             assert_eq!(out.found, 0, "{t}");

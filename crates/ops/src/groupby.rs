@@ -27,8 +27,7 @@ use amac_metrics::timer::CycleTimer;
 use amac_workload::{GroupByInput, Relation, Tuple};
 
 /// Group-by configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct GroupByConfig {
     /// Executor tuning (the paper's `M`).
     pub params: TuningParams,
@@ -36,7 +35,6 @@ pub struct GroupByConfig {
     /// the uniform-workload common case).
     pub n_stages: usize,
 }
-
 
 /// Result of one group-by run.
 #[derive(Debug, Clone, Default)]
@@ -87,6 +85,12 @@ impl<'a> GroupByOp<'a> {
             n_stages: if cfg.n_stages == 0 { 2 } else { cfg.n_stages },
             tuples: 0,
         }
+    }
+
+    /// Tuples aggregated so far (for drivers that own the op).
+    #[inline]
+    pub fn tuples(&self) -> u64 {
+        self.tuples
     }
 }
 
@@ -163,12 +167,7 @@ pub fn groupby(
     let mut op = GroupByOp::new(table, cfg);
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &input.tuples, cfg.params);
-    GroupByOutput {
-        tuples: op.tuples,
-        stats,
-        cycles: timer.cycles(),
-        seconds: timer.seconds(),
-    }
+    GroupByOutput { tuples: op.tuples, stats, cycles: timer.cycles(), seconds: timer.seconds() }
 }
 
 /// Convenience: size a table for `input` and aggregate it.

@@ -132,12 +132,7 @@ pub fn groupby_late(
     let mut op = LateGroupByOp::new(table, cfg);
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &input.tuples, cfg.params);
-    LateGroupByOutput {
-        tuples: op.tuples,
-        stats,
-        cycles: timer.cycles(),
-        seconds: timer.seconds(),
-    }
+    LateGroupByOutput { tuples: op.tuples, stats, cycles: timer.cycles(), seconds: timer.seconds() }
 }
 
 #[cfg(test)]
@@ -156,9 +151,7 @@ mod tests {
 
     #[test]
     fn buffers_exact_multisets_all_techniques() {
-        let rel = Relation::from_tuples(
-            (0..6000u64).map(|i| Tuple::new(i % 97, i)).collect(),
-        );
+        let rel = Relation::from_tuples((0..6000u64).map(|i| Tuple::new(i % 97, i)).collect());
         let model = model_of(&rel);
         for t in Technique::ALL {
             let table = LateAggTable::for_groups(97);

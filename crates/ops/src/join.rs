@@ -110,6 +110,18 @@ impl<'a> ProbeOp<'a> {
             cursor: 0,
         }
     }
+
+    /// Matches found so far (for drivers that own the op, e.g. `parallel`).
+    #[inline]
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    /// Order-independent payload checksum accumulated so far.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
 }
 
 /// Estimate the average chain length from table occupancy without walking
@@ -177,25 +189,13 @@ impl LookupOp for ProbeOp<'_> {
 }
 
 /// Run a probe of `s` against `ht` with `technique`.
-pub fn probe(
-    ht: &HashTable,
-    s: &Relation,
-    technique: Technique,
-    cfg: &ProbeConfig,
-) -> ProbeOutput {
+pub fn probe(ht: &HashTable, s: &Relation, technique: Technique, cfg: &ProbeConfig) -> ProbeOutput {
     let mut op = ProbeOp::new(ht, cfg, s.len());
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &s.tuples, cfg.params);
     let cycles = timer.cycles();
     let seconds = timer.seconds();
-    ProbeOutput {
-        matches: op.matches,
-        checksum: op.checksum,
-        out: op.out,
-        stats,
-        cycles,
-        seconds,
-    }
+    ProbeOutput { matches: op.matches, checksum: op.checksum, out: op.out, stats, cycles, seconds }
 }
 
 /// Build configuration.
@@ -275,12 +275,7 @@ impl LookupOp for BuildOp<'_> {
 
 /// Build `ht` from `r` with `technique`. The table must be empty (or at
 /// least sized for the extra tuples).
-pub fn build(
-    ht: &HashTable,
-    r: &Relation,
-    technique: Technique,
-    cfg: &BuildConfig,
-) -> BuildOutput {
+pub fn build(ht: &HashTable, r: &Relation, technique: Technique, cfg: &BuildConfig) -> BuildOutput {
     let mut op = BuildOp::new(ht);
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &r.tuples, cfg.params);

@@ -181,18 +181,14 @@ mod tests {
         assert!(out.partition_cycles > 0);
         assert!(out.build_cycles > 0);
         assert!(out.probe_cycles > 0);
-        assert_eq!(
-            out.total_cycles(),
-            out.partition_cycles + out.build_cycles + out.probe_cycles
-        );
+        assert_eq!(out.total_cycles(), out.partition_cycles + out.build_cycles + out.probe_cycles);
         assert_eq!(out.stats.lookups, 10_000);
     }
 
     #[test]
     fn disjoint_relations_join_empty() {
         let r = Relation::from_tuples((0..1000u64).map(|k| Tuple::new(k, k)).collect());
-        let s =
-            Relation::from_tuples((5000..6000u64).map(|k| Tuple::new(k, k)).collect());
+        let s = Relation::from_tuples((5000..6000u64).map(|k| Tuple::new(k, k)).collect());
         let out = radix_join(&r, &s, Technique::Gp, &RadixJoinConfig::default());
         assert_eq!(out.matches, 0);
         assert_eq!(out.checksum, 0);

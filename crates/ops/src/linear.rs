@@ -216,13 +216,11 @@ mod tests {
 
     #[test]
     fn duplicates_counted_under_scan_all() {
-        let tuples: Vec<Tuple> = (0..64u64)
-            .flat_map(|k| (0..3u64).map(move |r| Tuple::new(k, k * 10 + r)))
-            .collect();
+        let tuples: Vec<Tuple> =
+            (0..64u64).flat_map(|k| (0..3u64).map(move |r| Tuple::new(k, k * 10 + r))).collect();
         let rel = Relation::from_tuples(tuples);
         let table = LinearTable::build_serial(&rel, 0.6);
-        let probe_rel =
-            Relation::from_tuples((0..64u64).map(|k| Tuple::new(k, 0)).collect());
+        let probe_rel = Relation::from_tuples((0..64u64).map(|k| Tuple::new(k, 0)).collect());
         for t in Technique::ALL {
             let cfg = LinearProbeConfig { scan_all: true, ..Default::default() };
             let out = linear_probe(&table, &probe_rel, t, &cfg);

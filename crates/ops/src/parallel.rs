@@ -1,25 +1,39 @@
 //! Multi-threaded drivers for the scalability experiments (Figs. 7–8,
-//! Table 4).
+//! Table 4), built on the morsel-driven runtime.
 //!
-//! Each thread runs its own executor instance over a contiguous chunk of
-//! the input ("we perform the experiment by assigning software threads
-//! first to physical cores", §5.1); the shared structure is accessed
-//! read-only (probe/search) or through latches (build/group-by/insert).
-//! Throughput is computed as `|S| / wall_time` over the whole fan-out, the
-//! paper's `|S|/probeExecutionTime`.
+//! The paper assigns each thread one contiguous chunk of the input
+//! ("we perform the experiment by assigning software threads first to
+//! physical cores", §5.1). These drivers instead dispatch through
+//! [`amac_runtime`]: per-thread ranges are consumed in small morsels, idle
+//! threads steal from the fullest range, and each worker's AMAC window
+//! survives morsel boundaries — so skewed inputs no longer serialize on
+//! the unlucky chunk. Pass [`MorselConfig::static_chunks`] to get the
+//! paper's static behaviour back (that is also the baseline every
+//! morsel-vs-static bench compares against).
+//!
+//! Every `*_mt(.., threads)` driver keeps its original signature and
+//! delegates to a `*_mt_rt(.., &MorselConfig)` variant that exposes the
+//! full runtime configuration and returns per-thread observability in
+//! [`MtOutput::report`]. Throughput is `|S| / wall_time` over the whole
+//! fan-out, the paper's `|S|/probeExecutionTime`.
 
 use amac::engine::{EngineStats, Technique};
+use amac_graph::{bfs::BfsConfig, bfs::BfsOutput, Csr, ExpandOp};
 use amac_hashtable::{AggTable, HashTable};
+use amac_mem::prefetch::prefetch_read;
+use amac_runtime::{execute, execute_with_prologue, MorselConfig, RunReport};
 use amac_skiplist::SkipList;
-use amac_workload::Relation;
-use std::time::Instant;
+use amac_workload::{Relation, Tuple};
+
+pub use amac_runtime::Scheduling;
 
 /// Result of a multi-threaded run.
 #[derive(Debug, Clone, Default)]
 pub struct MtOutput {
     /// Tuples processed (across threads).
     pub tuples: u64,
-    /// Matches found (probe/search drivers; 0 otherwise).
+    /// Driver-dependent success count: matches found (probe/search), keys
+    /// inserted (insert), tuples aggregated (group-by); 0 for build.
     pub matches: u64,
     /// Order-independent checksum (probe/search drivers).
     pub checksum: u64,
@@ -29,13 +43,22 @@ pub struct MtOutput {
     pub seconds: f64,
     /// Tuples per second.
     pub throughput: f64,
+    /// Per-thread observability: busy/finish times, morsels, steals and a
+    /// morsel latency histogram.
+    pub report: RunReport,
 }
 
-fn chunks(rel: &Relation, threads: usize) -> Vec<&[amac_workload::Tuple]> {
-    let n = rel.len();
-    let threads = threads.max(1);
-    let per = n.div_ceil(threads);
-    rel.tuples.chunks(per.max(1)).collect()
+impl MtOutput {
+    fn from_report(report: RunReport) -> MtOutput {
+        MtOutput {
+            tuples: report.tuples,
+            stats: report.stats,
+            seconds: report.seconds,
+            throughput: report.throughput(),
+            report,
+            ..Default::default()
+        }
+    }
 }
 
 /// Multi-threaded hash-table probe (the paper's scalability workload).
@@ -46,31 +69,40 @@ pub fn probe_mt(
     cfg: &crate::join::ProbeConfig,
     threads: usize,
 ) -> MtOutput {
+    probe_mt_rt(ht, s, technique, cfg, &MorselConfig::with_threads(threads))
+}
+
+/// [`probe_mt`] with full runtime control.
+///
+/// Materialization is disabled (morsel order is not input order); the
+/// morsel prologue issues temporal (`T0`) prefetches for the first few
+/// bucket headers so reused headers stay cache-resident under skew, while
+/// chain nodes keep the paper's non-temporal hint inside the op.
+pub fn probe_mt_rt(
+    ht: &HashTable,
+    s: &Relation,
+    technique: Technique,
+    cfg: &crate::join::ProbeConfig,
+    rt: &MorselConfig,
+) -> MtOutput {
     let cfg = crate::join::ProbeConfig { materialize: false, ..cfg.clone() };
-    let parts = chunks(s, threads);
-    let start = Instant::now();
-    let results: Vec<crate::join::ProbeOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|chunk| {
-                let cfg = &cfg;
-                scope.spawn(move || {
-                    let rel = Relation::from_tuples(chunk.to_vec());
-                    crate::join::probe(ht, &rel, technique, cfg)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("probe thread panicked")).collect()
-    });
-    let seconds = start.elapsed().as_secs_f64();
-    let mut out = MtOutput { seconds, ..Default::default() };
-    for r in results {
-        out.matches += r.matches;
-        out.checksum = out.checksum.wrapping_add(r.checksum);
-        out.stats.merge(&r.stats);
+    let run = execute_with_prologue(
+        &s.tuples,
+        technique,
+        cfg.params,
+        rt,
+        |_tid| crate::join::ProbeOp::new(ht, &cfg, 0),
+        |_op, morsel: &[Tuple]| {
+            for t in &morsel[..morsel.len().min(64)] {
+                amac_mem::prefetch::prefetch_read_t0(ht.bucket_addr(t.key));
+            }
+        },
+    );
+    let mut out = MtOutput::from_report(run.report);
+    for op in &run.ops {
+        out.matches += op.matches();
+        out.checksum = out.checksum.wrapping_add(op.checksum());
     }
-    out.tuples = s.len() as u64;
-    out.throughput = if seconds > 0.0 { s.len() as f64 / seconds } else { 0.0 };
     out
 }
 
@@ -82,27 +114,22 @@ pub fn build_mt(
     cfg: &crate::join::BuildConfig,
     threads: usize,
 ) -> MtOutput {
-    let parts = chunks(r, threads);
-    let start = Instant::now();
-    let results: Vec<crate::join::BuildOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let rel = Relation::from_tuples(chunk.to_vec());
-                    crate::join::build(ht, &rel, technique, cfg)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("build thread panicked")).collect()
-    });
-    let seconds = start.elapsed().as_secs_f64();
-    let mut out = MtOutput { seconds, tuples: r.len() as u64, ..Default::default() };
-    for res in results {
-        out.stats.merge(&res.stats);
-    }
-    out.throughput = if seconds > 0.0 { r.len() as f64 / seconds } else { 0.0 };
-    out
+    build_mt_rt(ht, r, technique, cfg, &MorselConfig::with_threads(threads))
+}
+
+/// [`build_mt`] with full runtime control (`auto_tune` is ignored: the
+/// tuning probe executes real lookups, which would insert the sample
+/// twice).
+pub fn build_mt_rt(
+    ht: &HashTable,
+    r: &Relation,
+    technique: Technique,
+    cfg: &crate::join::BuildConfig,
+    rt: &MorselConfig,
+) -> MtOutput {
+    let rt = MorselConfig { auto_tune: false, ..rt.clone() };
+    let run = execute(&r.tuples, technique, cfg.params, &rt, |_tid| crate::join::BuildOp::new(ht));
+    MtOutput::from_report(run.report)
 }
 
 /// Multi-threaded group-by.
@@ -113,26 +140,54 @@ pub fn groupby_mt(
     cfg: &crate::groupby::GroupByConfig,
     threads: usize,
 ) -> MtOutput {
-    let parts = chunks(input, threads);
-    let start = Instant::now();
-    let results: Vec<crate::groupby::GroupByOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let rel = Relation::from_tuples(chunk.to_vec());
-                    crate::groupby::groupby(table, &rel, technique, cfg)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("groupby thread panicked")).collect()
+    groupby_mt_rt(table, input, technique, cfg, &MorselConfig::with_threads(threads))
+}
+
+/// [`groupby_mt`] with full runtime control (`auto_tune` ignored — the
+/// tuning probe would aggregate the sample twice).
+pub fn groupby_mt_rt(
+    table: &AggTable,
+    input: &Relation,
+    technique: Technique,
+    cfg: &crate::groupby::GroupByConfig,
+    rt: &MorselConfig,
+) -> MtOutput {
+    let rt = MorselConfig { auto_tune: false, ..rt.clone() };
+    let run = execute(&input.tuples, technique, cfg.params, &rt, |_tid| {
+        crate::groupby::GroupByOp::new(table, cfg)
     });
-    let seconds = start.elapsed().as_secs_f64();
-    let mut out = MtOutput { seconds, tuples: input.len() as u64, ..Default::default() };
-    for res in results {
-        out.stats.merge(&res.stats);
+    let mut out = MtOutput::from_report(run.report);
+    out.matches = run.ops.iter().map(|op| op.tuples()).sum();
+    out
+}
+
+/// Multi-threaded skip-list search.
+pub fn skip_search_mt(
+    list: &SkipList,
+    probe_rel: &Relation,
+    technique: Technique,
+    cfg: &crate::skiplist::SkipConfig,
+    threads: usize,
+) -> MtOutput {
+    skip_search_mt_rt(list, probe_rel, technique, cfg, &MorselConfig::with_threads(threads))
+}
+
+/// [`skip_search_mt`] with full runtime control.
+pub fn skip_search_mt_rt(
+    list: &SkipList,
+    probe_rel: &Relation,
+    technique: Technique,
+    cfg: &crate::skiplist::SkipConfig,
+    rt: &MorselConfig,
+) -> MtOutput {
+    let run = execute(&probe_rel.tuples, technique, cfg.params, rt, |_tid| {
+        crate::skiplist::SkipSearchOp::new(list, cfg)
+    });
+    let mut out = MtOutput::from_report(run.report);
+    for op in &run.ops {
+        out.matches += op.found();
+        out.checksum = out.checksum.wrapping_add(op.checksum());
     }
-    out.throughput = if seconds > 0.0 { input.len() as f64 / seconds } else { 0.0 };
     out
 }
 
@@ -144,29 +199,203 @@ pub fn skip_insert_mt(
     cfg: &crate::skiplist::SkipConfig,
     threads: usize,
 ) -> MtOutput {
-    let parts = chunks(input, threads);
-    let start = Instant::now();
-    let results: Vec<crate::skiplist::SkipInsertOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .enumerate()
-            .map(|(tid, chunk)| {
-                scope.spawn(move || {
-                    let rel = Relation::from_tuples(chunk.to_vec());
-                    crate::skiplist::skip_insert(list, &rel, technique, cfg, 0x51EE9 + tid as u64)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("insert thread panicked")).collect()
+    skip_insert_mt_rt(list, input, technique, cfg, &MorselConfig::with_threads(threads))
+}
+
+/// [`skip_insert_mt`] with full runtime control (`auto_tune` ignored — the
+/// tuning probe would insert the sample twice).
+pub fn skip_insert_mt_rt(
+    list: &SkipList,
+    input: &Relation,
+    technique: Technique,
+    cfg: &crate::skiplist::SkipConfig,
+    rt: &MorselConfig,
+) -> MtOutput {
+    let rt = MorselConfig { auto_tune: false, ..rt.clone() };
+    let run = execute(&input.tuples, technique, cfg.params, &rt, |tid| {
+        crate::skiplist::SkipInsertOp::new(list, cfg, input.len(), 0x51EE9 + tid as u64)
     });
-    let seconds = start.elapsed().as_secs_f64();
-    let mut out = MtOutput { seconds, tuples: input.len() as u64, ..Default::default() };
-    for res in results {
-        out.matches += res.inserted;
-        out.stats.merge(&res.stats);
-    }
-    out.throughput = if seconds > 0.0 { input.len() as f64 / seconds } else { 0.0 };
+    let mut out = MtOutput::from_report(run.report);
+    out.matches = run.ops.iter().map(|op| op.inserted()).sum();
     out
+}
+
+/// Multi-threaded B+-tree search.
+pub fn btree_search_mt(
+    tree: &amac_btree::BPlusTree,
+    probes: &Relation,
+    technique: Technique,
+    cfg: &crate::btree::BTreeConfig,
+    threads: usize,
+) -> MtOutput {
+    btree_search_mt_rt(tree, probes, technique, cfg, &MorselConfig::with_threads(threads))
+}
+
+/// [`btree_search_mt`] with full runtime control. Materialization is
+/// disabled, as for [`probe_mt_rt`].
+pub fn btree_search_mt_rt(
+    tree: &amac_btree::BPlusTree,
+    probes: &Relation,
+    technique: Technique,
+    cfg: &crate::btree::BTreeConfig,
+    rt: &MorselConfig,
+) -> MtOutput {
+    let cfg = crate::btree::BTreeConfig { materialize: false, ..cfg.clone() };
+    let run = execute(&probes.tuples, technique, cfg.params, rt, |_tid| {
+        crate::btree::BTreeOp::new(tree, &cfg, 0)
+    });
+    let mut out = MtOutput::from_report(run.report);
+    for op in &run.ops {
+        out.matches += op.found();
+        out.checksum = out.checksum.wrapping_add(op.checksum());
+    }
+    out
+}
+
+/// Parallel visited filter: candidate → atomic bitmap word → next frontier.
+/// `fetch_or` picks exactly one winner per vertex, so depths stay
+/// deterministic regardless of morsel scheduling.
+struct VisitMt<'a> {
+    bits: &'a [std::sync::atomic::AtomicU64],
+    depth: &'a [std::sync::atomic::AtomicU32],
+    level: u32,
+    next_frontier: Vec<u32>,
+}
+
+#[derive(Default)]
+struct VisitMtState {
+    c: u32,
+}
+
+impl amac::engine::LookupOp for VisitMt<'_> {
+    type Input = u32;
+    type State = VisitMtState;
+
+    fn budgeted_steps(&self) -> usize {
+        1
+    }
+
+    fn start(&mut self, c: u32, st: &mut VisitMtState) {
+        prefetch_read(&self.bits[(c >> 6) as usize] as *const _);
+        st.c = c;
+    }
+
+    fn step(&mut self, st: &mut VisitMtState) -> amac::engine::Step {
+        use std::sync::atomic::Ordering;
+        let word = (st.c >> 6) as usize;
+        let mask = 1u64 << (st.c & 63);
+        let prev = self.bits[word].fetch_or(mask, Ordering::Relaxed);
+        if prev & mask == 0 {
+            self.depth[st.c as usize].store(self.level, Ordering::Relaxed);
+            self.next_frontier.push(st.c);
+        }
+        amac::engine::Step::Done
+    }
+}
+
+/// One BFS phase: inline single-threaded for small batches (a
+/// spawn/join round per level would dominate high-diameter graphs whose
+/// frontiers are a handful of vertices), morsel-parallel otherwise.
+fn bfs_phase<O, F>(
+    inputs: &[u32],
+    technique: Technique,
+    cfg: &BfsConfig,
+    rt: &MorselConfig,
+    threads: usize,
+    report: &mut RunReport,
+    make_op: F,
+) -> Vec<O>
+where
+    O: amac::engine::LookupOp<Input = u32> + Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if inputs.len() < 64 * threads {
+        let mut op = make_op(0);
+        let t0 = std::time::Instant::now();
+        let stats = amac::engine::run(technique, &mut op, inputs, cfg.params);
+        let dt = t0.elapsed();
+        // Book the inline batch as one thread-0 morsel so the absorbed
+        // report keeps its invariants (per-thread totals cover all work,
+        // morsels() == morsel_ns.count()) on high-diameter graphs where
+        // most levels run inline.
+        report.stats.merge(&stats);
+        report.seconds += dt.as_secs_f64();
+        report.tuples += inputs.len() as u64;
+        report.morsel_ns.record(dt.as_nanos() as u64);
+        if report.per_thread.is_empty() {
+            report.per_thread.push(amac_runtime::ThreadReport::default());
+        }
+        let t0_rep = &mut report.per_thread[0];
+        t0_rep.busy_seconds += dt.as_secs_f64();
+        t0_rep.finished_at += dt.as_secs_f64();
+        t0_rep.morsels += 1;
+        t0_rep.tuples += inputs.len() as u64;
+        t0_rep.stats.merge(&stats);
+        return vec![op];
+    }
+    // Frontiers are often far smaller than a join input; shrink the
+    // morsel so the level still fans out, but never below a dispatchable
+    // minimum (and never above the caller's configured size).
+    let cap = rt.morsel_tuples.max(1);
+    let level_rt = MorselConfig {
+        morsel_tuples: (inputs.len() / (threads * 8)).clamp(1, cap).max(64.min(cap)),
+        auto_tune: false,
+        ..rt.clone()
+    };
+    let run = execute(inputs, technique, cfg.params, &level_rt, make_op);
+    report.absorb(&run.report);
+    run.ops
+}
+
+/// Multi-threaded level-synchronous BFS: both phases of every level run
+/// through the morsel runtime (small frontiers run inline — see
+/// [`bfs_phase`]). Returns the BFS result plus the aggregated runtime
+/// report over all levels.
+pub fn bfs_mt(
+    graph: &Csr,
+    src: u32,
+    technique: Technique,
+    cfg: &BfsConfig,
+    rt: &MorselConfig,
+) -> (BfsOutput, RunReport) {
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    let n = graph.vertices();
+    assert!((src as usize) < n, "source out of range");
+    let threads = rt.resolved_threads().max(1);
+    let bits: Vec<AtomicU64> = (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+    let depth: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    bits[(src >> 6) as usize].fetch_or(1 << (src & 63), Ordering::Relaxed);
+    depth[src as usize].store(0, Ordering::Relaxed);
+
+    let mut report = RunReport::default();
+    let mut frontier = vec![src];
+    let mut visited = 1u64;
+    let mut level = 0u32;
+    let avg_degree = (graph.edges() / n.max(1)).max(1);
+
+    while !frontier.is_empty() {
+        level += 1;
+        let ops = bfs_phase(&frontier, technique, cfg, rt, threads, &mut report, |_tid| ExpandOp {
+            graph,
+            candidates: Vec::with_capacity(frontier.len() * avg_degree / threads + 16),
+            avg_degree,
+        });
+        let candidates: Vec<u32> = ops.into_iter().flat_map(|op| op.candidates).collect();
+
+        let ops = bfs_phase(&candidates, technique, cfg, rt, threads, &mut report, |_tid| {
+            VisitMt { bits: &bits, depth: &depth, level, next_frontier: Vec::new() }
+        });
+        frontier = ops.into_iter().flat_map(|op| op.next_frontier).collect();
+        visited += frontier.len() as u64;
+    }
+
+    let out = BfsOutput {
+        visited,
+        levels: level,
+        depth: depth.into_iter().map(|d| d.into_inner()).collect(),
+        stats: report.stats,
+    };
+    (out, report)
 }
 
 #[cfg(test)]
@@ -191,6 +420,26 @@ mod tests {
                 assert_eq!(mt.matches, st.matches, "{t}/{threads}t");
                 assert_eq!(mt.checksum, st.checksum, "{t}/{threads}t");
                 assert!(mt.throughput > 0.0);
+                assert_eq!(mt.report.per_thread.len(), threads);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_mt_all_schedulings_agree() {
+        let r = Relation::dense_unique(4096, 91);
+        let s = Relation::fk_uniform(&r, 20_000, 92);
+        let ht = HashTable::build_serial(&r);
+        let mut reference = None;
+        for scheduling in [Scheduling::StaticChunk, Scheduling::SharedCursor, Scheduling::WorkSteal]
+        {
+            let rt =
+                MorselConfig { threads: 4, morsel_tuples: 1024, scheduling, ..Default::default() };
+            let mt = probe_mt_rt(&ht, &s, Technique::Amac, &ProbeConfig::default(), &rt);
+            assert_eq!(mt.matches, s.len() as u64, "{scheduling:?}");
+            match reference {
+                None => reference = Some(mt.checksum),
+                Some(c) => assert_eq!(mt.checksum, c, "{scheduling:?}"),
             }
         }
     }
@@ -222,6 +471,7 @@ mod tests {
             let table = AggTable::for_groups(input.groups);
             let out = groupby_mt(&table, &input.relation, tech, &Default::default(), 4);
             assert_eq!(out.stats.lookups, input.len() as u64, "{tech}");
+            assert_eq!(out.matches, input.len() as u64, "{tech}");
             assert_eq!(table.group_count(), model.len(), "{tech}");
             for (k, v) in &model {
                 assert_eq!(table.get(*k).as_ref(), Some(v), "{tech}: group {k}");
@@ -239,6 +489,46 @@ mod tests {
             assert_eq!(list.len(), 20_000, "{t}");
             let items = list.items();
             assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "{t}: order broken");
+        }
+    }
+
+    #[test]
+    fn skip_search_mt_finds_all_inserted() {
+        let rel = Relation::sparse_unique(10_000, 93);
+        let list = SkipList::new();
+        crate::skiplist::skip_insert(&list, &rel, Technique::Amac, &Default::default(), 5);
+        let st = crate::skiplist::skip_search(
+            &list,
+            &rel.shuffled(94),
+            Technique::Amac,
+            &Default::default(),
+        );
+        let mt = skip_search_mt(&list, &rel.shuffled(94), Technique::Amac, &Default::default(), 4);
+        assert_eq!(mt.matches, 10_000);
+        assert_eq!(mt.checksum, st.checksum);
+    }
+
+    #[test]
+    fn btree_search_mt_matches_single_thread() {
+        let pairs: Vec<(u64, u64)> = (0..20_000u64).map(|k| (k * 3, k)).collect();
+        let tree = amac_btree::BPlusTree::from_sorted(&pairs);
+        let probes = Relation::from_tuples((0..30_000u64).map(|i| Tuple::new(i, 0)).collect());
+        let st = crate::btree::btree_search(&tree, &probes, Technique::Amac, &Default::default());
+        let mt = btree_search_mt(&tree, &probes, Technique::Amac, &Default::default(), 4);
+        assert_eq!(mt.matches, st.found);
+        assert_eq!(mt.checksum, st.checksum);
+    }
+
+    #[test]
+    fn bfs_mt_matches_sequential_reference() {
+        let g = Csr::power_law(20_000, 8, 1.0, 17);
+        let want = amac_graph::bfs::bfs_reference(&g, 0);
+        for t in [Technique::Baseline, Technique::Amac] {
+            let (out, report) =
+                bfs_mt(&g, 0, t, &BfsConfig::default(), &MorselConfig::with_threads(4));
+            assert_eq!(out.depth, want, "{t}");
+            assert_eq!(out.visited, want.iter().filter(|&&d| d != u32::MAX).count() as u64, "{t}");
+            assert!(report.stats.lookups > 0, "{t}");
         }
     }
 

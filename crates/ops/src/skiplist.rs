@@ -20,15 +20,13 @@ use amac_skiplist::{
 use amac_workload::{Relation, Tuple};
 
 /// Skip-list operation configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SkipConfig {
     /// Executor tuning (the paper's `M`).
     pub params: TuningParams,
     /// GP/SPP stage budget (`N`); `0` = auto (≈ 2 moves per level).
     pub n_stages: usize,
 }
-
 
 /// Result of a search run.
 #[derive(Debug, Clone, Default)]
@@ -55,12 +53,7 @@ pub struct SkipSearchState {
 
 impl Default for SkipSearchState {
     fn default() -> Self {
-        SkipSearchState {
-            key: 0,
-            cur: core::ptr::null(),
-            next: core::ptr::null(),
-            level: 0,
-        }
+        SkipSearchState { key: 0, cur: core::ptr::null(), next: core::ptr::null(), level: 0 }
     }
 }
 
@@ -75,9 +68,20 @@ pub struct SkipSearchOp<'a> {
 impl<'a> SkipSearchOp<'a> {
     /// Create the op against a built list.
     pub fn new(list: &'a SkipList, cfg: &SkipConfig) -> Self {
-        let n_stages =
-            if cfg.n_stages == 0 { 2 * (list.level() + 1) } else { cfg.n_stages };
+        let n_stages = if cfg.n_stages == 0 { 2 * (list.level() + 1) } else { cfg.n_stages };
         SkipSearchOp { list, n_stages, found: 0, checksum: 0 }
+    }
+
+    /// Keys found so far (for drivers that own the op, e.g. `parallel`).
+    #[inline]
+    pub fn found(&self) -> u64 {
+        self.found
+    }
+
+    /// Order-independent payload checksum accumulated so far.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
     }
 }
 
@@ -229,6 +233,18 @@ impl<'a> SkipInsertOp<'a> {
             cfg.n_stages
         };
         SkipInsertOp { handle: list.handle(seed), n_stages, inserted: 0, duplicates: 0 }
+    }
+
+    /// Keys newly inserted so far.
+    #[inline]
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Keys rejected as duplicates so far.
+    #[inline]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
     }
 }
 
@@ -417,8 +433,7 @@ mod tests {
         let rel = Relation::dense_unique(100, 71);
         let list = SkipList::new();
         skip_insert(&list, &rel, Technique::Amac, &SkipConfig::default(), 1);
-        let probe =
-            Relation::from_tuples((1000..1100u64).map(|k| Tuple::new(k, 0)).collect());
+        let probe = Relation::from_tuples((1000..1100u64).map(|k| Tuple::new(k, 0)).collect());
         for t in Technique::ALL {
             let out = skip_search(&list, &probe, t, &SkipConfig::default());
             assert_eq!(out.found, 0, "{t}");

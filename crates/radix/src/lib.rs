@@ -27,6 +27,5 @@
 mod partition;
 
 pub use partition::{
-    partition, partition_of, partition_two_pass, partition_unbuffered, PartitionStats,
-    Partitions,
+    partition, partition_of, partition_two_pass, partition_unbuffered, PartitionStats, Partitions,
 };

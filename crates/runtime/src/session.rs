@@ -1,0 +1,189 @@
+//! A resumable AMAC executor.
+//!
+//! [`amac::engine::run_amac`] drains its in-flight window when the input
+//! slice ends — fine for one big chunk, wasteful when the input arrives
+//! as a stream of small morsels: every boundary would empty and refill
+//! the window, dropping the sustained miss-level parallelism the paper is
+//! about (a ~32K-tuple morsel with `M = 10` would pay that drain bubble
+//! every few microseconds). [`AmacSession`] owns the circular buffer
+//! *across* calls: [`feed`](AmacSession::feed) consumes a morsel and
+//! returns with the window still full, and only the final
+//! [`drain`](AmacSession::drain) retires the remaining lookups.
+
+use amac::engine::{EngineStats, LookupOp, Step};
+
+/// Persistent AMAC circular buffer (the paper's Fig. 4 state, owned by
+/// one worker thread for the whole run).
+pub struct AmacSession<O: LookupOp> {
+    states: Vec<O::State>,
+    active: Vec<bool>,
+    k: usize,
+    in_flight: usize,
+}
+
+impl<O: LookupOp> AmacSession<O> {
+    /// A session with an `m`-slot window (`m >= 1` enforced).
+    pub fn new(m: usize) -> Self {
+        let m = m.max(1);
+        let mut states = Vec::with_capacity(m);
+        states.resize_with(m, O::State::default);
+        AmacSession { states, active: vec![false; m], k: 0, in_flight: 0 }
+    }
+
+    /// Window capacity (the paper's `M`).
+    pub fn capacity(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Lookups currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Execute every lookup of `inputs`, leaving up to `M` of them in
+    /// flight. Counters accumulate into `stats` under the same convention
+    /// as [`amac::engine::run_amac`].
+    pub fn feed(&mut self, op: &mut O, inputs: &[O::Input], stats: &mut EngineStats) {
+        let m = self.states.len();
+        let mut next = 0usize;
+        // Fill any empty slots (first morsel of the run, or after a drain).
+        if self.in_flight < m {
+            for slot in 0..m {
+                if next == inputs.len() {
+                    return;
+                }
+                if !self.active[slot] {
+                    op.start(inputs[next], &mut self.states[slot]);
+                    stats.stages += 1;
+                    stats.prefetches += 1;
+                    next += 1;
+                    self.active[slot] = true;
+                    self.in_flight += 1;
+                }
+            }
+        }
+        // Steady state: every slot is occupied while input remains, so a
+        // finished slot immediately starts the next lookup (the paper's
+        // merged terminal+initial stage) and the window never drains.
+        while next < inputs.len() {
+            match op.step(&mut self.states[self.k]) {
+                Step::Continue => {
+                    stats.stages += 1;
+                    stats.prefetches += 1;
+                }
+                Step::Blocked => {
+                    stats.latch_retries += 1;
+                }
+                Step::Done => {
+                    stats.stages += 1;
+                    stats.lookups += 1;
+                    op.start(inputs[next], &mut self.states[self.k]);
+                    stats.stages += 1;
+                    stats.prefetches += 1;
+                    next += 1;
+                }
+            }
+            self.k += 1;
+            if self.k == m {
+                self.k = 0;
+            }
+        }
+    }
+
+    /// Retire every lookup still in flight (the end-of-run epilogue).
+    pub fn drain(&mut self, op: &mut O, stats: &mut EngineStats) {
+        let m = self.states.len();
+        while self.in_flight > 0 {
+            if self.active[self.k] {
+                match op.step(&mut self.states[self.k]) {
+                    Step::Continue => {
+                        stats.stages += 1;
+                        stats.prefetches += 1;
+                    }
+                    Step::Blocked => {
+                        stats.latch_retries += 1;
+                    }
+                    Step::Done => {
+                        stats.stages += 1;
+                        stats.lookups += 1;
+                        self.active[self.k] = false;
+                        self.in_flight -= 1;
+                    }
+                }
+            }
+            self.k += 1;
+            if self.k == m {
+                self.k = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testop::ChainOp;
+    use amac::engine::run_amac;
+
+    #[test]
+    fn morsel_feed_matches_single_run_exactly() {
+        let chains: Vec<usize> = (0..500).map(|i| 1 + (i * 13) % 7).collect();
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+
+        let mut whole = ChainOp::new(&chains);
+        let want = run_amac(&mut whole, &inputs, 10);
+
+        let mut op = ChainOp::new(&chains);
+        let mut session = AmacSession::new(10);
+        let mut stats = EngineStats::default();
+        for morsel in inputs.chunks(37) {
+            session.feed(&mut op, morsel, &mut stats);
+        }
+        session.drain(&mut op, &mut stats);
+
+        assert_eq!(stats, want, "counters must match the one-shot executor");
+        assert_eq!(op.outputs, whole.outputs, "results must match");
+    }
+
+    #[test]
+    fn window_stays_full_between_morsels() {
+        let chains = vec![5usize; 256];
+        let inputs: Vec<usize> = (0..256).collect();
+        let mut op = ChainOp::new(&chains);
+        let mut session = AmacSession::new(8);
+        let mut stats = EngineStats::default();
+        for morsel in inputs.chunks(32) {
+            session.feed(&mut op, morsel, &mut stats);
+            assert_eq!(session.in_flight(), 8, "window drained at a morsel boundary");
+        }
+        session.drain(&mut op, &mut stats);
+        assert_eq!(session.in_flight(), 0);
+        assert_eq!(stats.lookups, 256);
+    }
+
+    #[test]
+    fn morsel_smaller_than_window() {
+        let chains = vec![3usize; 20];
+        let inputs: Vec<usize> = (0..20).collect();
+        let mut op = ChainOp::new(&chains);
+        let mut session = AmacSession::new(16);
+        let mut stats = EngineStats::default();
+        for morsel in inputs.chunks(4) {
+            session.feed(&mut op, morsel, &mut stats);
+        }
+        session.drain(&mut op, &mut stats);
+        assert_eq!(stats.lookups, 20);
+        assert_eq!(op.outputs.len(), 20);
+    }
+
+    #[test]
+    fn empty_feed_and_drain_are_noops() {
+        let chains: Vec<usize> = vec![];
+        let mut op = ChainOp::new(&chains);
+        let mut session: AmacSession<ChainOp> = AmacSession::new(4);
+        let mut stats = EngineStats::default();
+        session.feed(&mut op, &[], &mut stats);
+        session.drain(&mut op, &mut stats);
+        assert_eq!(stats, EngineStats::default());
+    }
+}

@@ -1,0 +1,268 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Same bench-source API as criterion 0.5 for the surface this workspace
+//! uses (`benchmark_group`, `throughput`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`), but the measurement loop is a
+//! plain "warm up, time `sample_size` samples, report mean/min" —
+//! no statistics engine, no HTML reports, no baseline comparisons.
+//!
+//! Environment knobs: `CRITERION_SAMPLE_MS` (per-sample target in
+//! milliseconds, default 20) and `CRITERION_QUICK=1` (one sample, one
+//! iteration — smoke mode for CI).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting a result.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units a benchmark processes per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (tuples, lookups…) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name` plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group name provides the context).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Timing loop handle passed to the closure of `bench_function`.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target: Duration,
+    quick: bool,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly until the sample's time budget is spent,
+    /// accumulating elapsed time and iteration count.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters_done += 1;
+            if self.quick || self.elapsed >= self.target {
+                break;
+            }
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters_done == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters_done as f64
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+fn sample_budget() -> Duration {
+    let ms =
+        std::env::var("CRITERION_SAMPLE_MS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(20);
+    Duration::from_millis(ms)
+}
+
+/// The benchmark manager; handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accept and ignore command-line configuration (compat no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup { _c: self, name, throughput: None, samples: 10 }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A group of related benchmarks sharing throughput units.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the units processed per iteration.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.samples = n.max(1);
+    }
+
+    /// Time `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        self.run(id.into(), &mut |b| f(b));
+    }
+
+    /// Time `f`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id, &mut |b| f(b, input));
+    }
+
+    /// Close the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let quick = quick_mode();
+        let budget = sample_budget();
+        let samples = if quick { 1 } else { self.samples };
+        // Warm-up sample (discarded).
+        let mut warm =
+            Bencher { iters_done: 0, elapsed: Duration::ZERO, target: budget / 2, quick };
+        f(&mut warm);
+        let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, target: budget, quick };
+            f(&mut b);
+            per_iter.push(b.ns_per_iter());
+        }
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let label = if self.name.is_empty() {
+            id.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.name)
+        };
+        let mut line = format!("{label:<40} time: [{} .. {}]", fmt_ns(min), fmt_ns(mean));
+        if let Some(t) = self.throughput {
+            let (units, suffix) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if mean > 0.0 {
+                line.push_str(&format!("  thrpt: {} {suffix}", fmt_si(units / (mean * 1e-9))));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.3}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.3}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.3}K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target: Duration::from_millis(1),
+            quick: true,
+        };
+        let mut runs = 0u64;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.iters_done, 1);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("probe", 8).name, "probe/8");
+        assert_eq!(BenchmarkId::from_parameter("AMAC").name, "AMAC");
+    }
+}

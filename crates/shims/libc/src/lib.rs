@@ -1,0 +1,37 @@
+//! Minimal offline stand-in for the `libc` crate.
+//!
+//! Declares only the symbols `amac_metrics::perf` needs; they resolve
+//! against the platform C library that `std` already links.
+
+#![allow(non_camel_case_types, non_upper_case_globals)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type c_void = core::ffi::c_void;
+pub type size_t = usize;
+pub type ssize_t = isize;
+
+/// `perf_event_open(2)` syscall number.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_perf_event_open: c_long = 298;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_perf_event_open: c_long = 241;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub const SYS_perf_event_open: c_long = -1;
+
+extern "C" {
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn close_of_invalid_fd_fails_without_crashing() {
+        let r = unsafe { super::close(-1) };
+        assert_eq!(r, -1);
+    }
+}

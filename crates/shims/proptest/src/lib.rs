@@ -1,0 +1,462 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`] macro, integer-range and tuple strategies,
+//! `prop::collection::{vec, btree_set, btree_map}`, [`Strategy::prop_map`],
+//! `bool::ANY`, the `prop_assert*` / `prop_assume!` macros and
+//! [`ProptestConfig::with_cases`]. Cases are generated from a
+//! deterministic per-test RNG (seeded from the test path and case index),
+//! so failures are reproducible. **No shrinking** — a failing case reports
+//! its inputs via the assertion message only.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-run configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reject: bool,
+    msg: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure (fails the test).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { reject: false, msg: msg.into() }
+    }
+
+    /// A rejected case (`prop_assume!` — skipped, not a failure).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError { reject: true, msg: msg.into() }
+    }
+
+    /// True for `prop_assume!` rejections.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Deterministic per-case random source (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `path`.
+    pub fn for_case(path: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..span` (`span > 0`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Either boolean.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BTreeMap, BTreeSet, Range, Strategy, TestRng};
+
+    /// `Vec` of `elem` with a length drawn from `sizes`.
+    pub fn vec<S: Strategy>(elem: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, sizes }
+    }
+
+    /// `BTreeSet` of `elem` with a target size drawn from `sizes`.
+    ///
+    /// Best-effort: if the element domain is too small to reach the target
+    /// size, the set is returned smaller after a bounded number of draws
+    /// (mirrors proptest, which also treats size as an upper bound here).
+    pub fn btree_set<S: Strategy>(elem: S, sizes: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, sizes }
+    }
+
+    /// `BTreeMap` with keys from `key`, values from `val`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        val: V,
+        sizes: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, val, sizes }
+    }
+
+    fn draw_size(sizes: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(sizes.start < sizes.end, "empty size range");
+        sizes.start + rng.below((sizes.end - sizes.start) as u64) as usize
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = draw_size(&self.sizes, rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = draw_size(&self.sizes, rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 10 + 100 {
+                out.insert(self.elem.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        val: V,
+        sizes: Range<usize>,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = draw_size(&self.sizes, rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 10 + 100 {
+                out.insert(self.key.generate(rng), self.val.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The common imports (`use proptest::prelude::*;`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Property-test entry point; see the crate docs for the supported shape.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __result {
+                        Ok(()) => {}
+                        Err(e) if e.is_reject() => {}
+                        Err(e) => panic!(
+                            "proptest {}: case {} failed: {}",
+                            stringify!($name), case, e
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` == `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a != *b) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: `{:?}` == `{:?}`",
+                format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = crate::TestRng::for_case("x::y", 3);
+        let mut b = crate::TestRng::for_case("x::y", 3);
+        let mut c = crate::TestRng::for_case("x::y", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in 1usize..=3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(
+            v in prop::collection::vec((0u64..5, 0u64..5), 2..7),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assume!(flag);
+            for &(a, b) in &v {
+                prop_assert!(a < 5, "a was {}", a);
+                prop_assert!(b < 5);
+            }
+        }
+
+        #[test]
+        fn maps_and_sets_generate(
+            s in prop::collection::btree_set(0u64..1000, 1..50),
+            m in prop::collection::btree_map(0u64..1000, 0u64..10, 0..50),
+        ) {
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.len() < 50);
+            prop_assert!(m.len() < 50);
+        }
+
+        #[test]
+        fn prop_map_applies(n in (1u64..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+}

@@ -177,11 +177,7 @@ impl SkipList {
     pub fn new() -> Self {
         let mut arena = VarArena::new();
         let head = alloc_node_in(&mut arena, u64::MIN, 0, MAX_LEVEL);
-        SkipList {
-            head,
-            level_hint: AtomicU32::new(0),
-            arenas: Mutex::new(vec![arena]),
-        }
+        SkipList { head, level_hint: AtomicU32::new(0), arenas: Mutex::new(vec![arena]) }
     }
 
     /// The head sentinel (AMAC stage 0 prefetches its top-level successor).
@@ -317,7 +313,12 @@ impl InsertHandle<'_> {
 
     /// Allocate a node from the private arena.
     pub fn alloc_node(&mut self, key: u64, payload: u64, top_level: usize) -> *mut SkipNode {
-        alloc_node_in(self.arena.as_mut().expect("arena present until drop"), key, payload, top_level)
+        alloc_node_in(
+            self.arena.as_mut().expect("arena present until drop"),
+            key,
+            payload,
+            top_level,
+        )
     }
 
     /// Reference insert (the baseline/GP/SPP latch discipline: spins on
@@ -344,7 +345,8 @@ impl InsertHandle<'_> {
                 let res = {
                     let next = (*pred).next_ptr(level as usize);
                     !next.is_null() && (*next).key == key
-                }; if res {
+                };
+                if res {
                     return false; // already present
                 }
             }

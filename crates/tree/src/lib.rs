@@ -31,12 +31,7 @@ pub struct TreeNode {
 
 impl Default for TreeNode {
     fn default() -> Self {
-        TreeNode {
-            key: 0,
-            payload: 0,
-            left: core::ptr::null_mut(),
-            right: core::ptr::null_mut(),
-        }
+        TreeNode { key: 0, payload: 0, left: core::ptr::null_mut(), right: core::ptr::null_mut() }
     }
 }
 
@@ -76,11 +71,7 @@ impl Bst {
     /// Returns `true` when a new node was created.
     pub fn insert(&mut self, key: u64, payload: u64) -> bool {
         if self.root.is_null() {
-            self.root = self.arena.alloc_with(TreeNode {
-                key,
-                payload,
-                ..TreeNode::default()
-            });
+            self.root = self.arena.alloc_with(TreeNode { key, payload, ..TreeNode::default() });
             self.len = 1;
             return true;
         }

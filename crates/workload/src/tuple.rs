@@ -82,9 +82,7 @@ impl Relation {
             t.shuffle(&mut rng);
             t
         } else {
-            (0..n)
-                .map(|i| Tuple::new(rng.gen_range(1..=r), i as u64))
-                .collect()
+            (0..n).map(|i| Tuple::new(rng.gen_range(1..=r), i as u64)).collect()
         };
         Relation { tuples }
     }
@@ -118,14 +116,27 @@ impl Relation {
         Relation { tuples }
     }
 
+    /// Like [`Relation::zipf`], but sorted by key so every occurrence of a
+    /// hot key sits in one contiguous run — *positional* skew.
+    ///
+    /// Shuffled Zipf inputs spread hot keys evenly over static partitions;
+    /// clustered inputs are how skew actually arrives from an ordered
+    /// scan, a merge join or a time-correlated ingest, and they are the
+    /// case where one static chunk carries far more chain-walking work
+    /// than the rest (the morsel runtime's motivating scenario).
+    pub fn zipf_clustered(n: usize, domain: u64, theta: f64, seed: u64) -> Self {
+        let mut rel = Relation::zipf(n, domain, theta, seed);
+        rel.tuples.sort_unstable_by_key(|t| t.key);
+        rel
+    }
+
     /// `n` tuples with **unique, uniformly distributed 64-bit keys** (the
     /// BST / skip-list build input, §4). Keys are `mix64(1..=n)` — mix64 is
     /// bijective, so keys are distinct and spread over the full domain.
     pub fn sparse_unique(n: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut tuples: Vec<Tuple> = (1..=n as u64)
-            .map(|i| Tuple::new(amac_mem::hash::mix64(i ^ seed), i))
-            .collect();
+        let mut tuples: Vec<Tuple> =
+            (1..=n as u64).map(|i| Tuple::new(amac_mem::hash::mix64(i ^ seed), i)).collect();
         tuples.shuffle(&mut rng);
         Relation { tuples }
     }

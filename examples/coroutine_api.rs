@@ -54,7 +54,10 @@ fn main() {
     });
     let total: u64 = chain_lengths.iter().map(|&n| n as u64).sum();
     println!("custom coroutine lookup (chain-length census)");
-    println!("  lookups: {}, polls: {}, suspended frame: {} B", stats.completed, stats.polls, stats.future_bytes);
+    println!(
+        "  lookups: {}, polls: {}, suspended frame: {} B",
+        stats.completed, stats.polls, stats.future_bytes
+    );
     println!("  avg nodes per probe: {:.2}\n", total as f64 / s.len() as f64);
 
     // --- 2. Packaged drivers vs the hand-written state machine. ---
@@ -68,7 +71,11 @@ fn main() {
             ..Default::default()
         },
     );
-    let coro_out = coro::coro_probe(&ht, &s, &CoroConfig { width: 10, materialize: false, ..Default::default() });
+    let coro_out = coro::coro_probe(
+        &ht,
+        &s,
+        &CoroConfig { width: 10, materialize: false, ..Default::default() },
+    );
     assert_eq!(hand.checksum, coro_out.checksum, "identical results");
 
     let hand_cpt = hand.cycles as f64 / s.len() as f64;

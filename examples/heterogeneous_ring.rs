@@ -82,9 +82,7 @@ fn main() {
                             for _ in 1..index.height() {
                                 // SAFETY: read-only phase; upper levels are
                                 // inner nodes.
-                                let inner = unsafe {
-                                    &*ptr.cast::<amac_suite::btree::InnerNode>()
-                                };
+                                let inner = unsafe { &*ptr.cast::<amac_suite::btree::InnerNode>() };
                                 ptr = inner.select_child(key);
                                 prefetch_yield_wide(ptr).await;
                             }
@@ -109,8 +107,7 @@ fn main() {
 
     // Two homogeneous AMAC passes (split the stream by structure).
     let hash_keys: Vec<Tuple> = shuffled.tuples.iter().step_by(2).copied().collect();
-    let index_keys: Vec<Tuple> =
-        shuffled.tuples.iter().skip(1).step_by(2).copied().collect();
+    let index_keys: Vec<Tuple> = shuffled.tuples.iter().skip(1).step_by(2).copied().collect();
     let timer = CycleTimer::start();
     let h = amac_suite::coro::coro_probe(
         &ht,

@@ -22,13 +22,7 @@ fn main() {
     // Phase 1 — concurrent AMAC insert build.
     let list = SkipList::new();
     let t0 = Instant::now();
-    let ins = skip_insert_mt(
-        &list,
-        &rel,
-        Technique::Amac,
-        &SkipConfig::default(),
-        threads,
-    );
+    let ins = skip_insert_mt(&list, &rel, Technique::Amac, &SkipConfig::default(), threads);
     println!(
         "insert : {} keys via {} threads in {:.2?} ({:.1} M inserts/s, {} latch retries)",
         ins.matches,
@@ -48,10 +42,7 @@ fn main() {
     let probes = rel.shuffled(0x0DE);
     println!("\n{:<10} {:>14} {:>10}", "technique", "cycles/tuple", "found");
     for technique in Technique::ALL {
-        let cfg = SkipConfig {
-            params: TuningParams::paper_best(technique),
-            ..Default::default()
-        };
+        let cfg = SkipConfig { params: TuningParams::paper_best(technique), ..Default::default() };
         let out = skip_search(&list, &probes, technique, &cfg);
         assert_eq!(out.found, n as u64);
         println!(

@@ -18,19 +18,14 @@ fn main() {
     println!("Zipf factor z = {z}, |R| = |S| = 2^21\n");
 
     // Build relation with Zipf-skewed (duplicate) keys over its own domain.
-    let r = if z == 0.0 {
-        Relation::dense_unique(n, 7)
-    } else {
-        Relation::zipf(n, n as u64, z, 7)
-    };
+    let r = if z == 0.0 { Relation::dense_unique(n, 7) } else { Relation::zipf(n, n as u64, z, 7) };
     let s = Relation::fk_uniform(&Relation::dense_unique(n, 7), n, 8);
 
     let mut results = Vec::new();
     for technique in Technique::ALL {
         let ht = HashTable::for_tuples(r.len());
-        let b = build(&ht, &r, technique, &BuildConfig {
-            params: TuningParams::paper_best(technique),
-        });
+        let b =
+            build(&ht, &r, technique, &BuildConfig { params: TuningParams::paper_best(technique) });
         let stats = ht.stats();
         let cfg = ProbeConfig {
             params: TuningParams::paper_best(technique),

@@ -26,6 +26,7 @@ pub use amac_mem as mem;
 pub use amac_metrics as metrics;
 pub use amac_ops as ops;
 pub use amac_radix as radix;
+pub use amac_runtime as runtime;
 pub use amac_skiplist as skiplist;
 pub use amac_tree as tree;
 pub use amac_workload as workload;
@@ -38,5 +39,7 @@ pub mod prelude {
     pub use amac_hashtable::{HashTable, LinearTable};
     pub use amac_ops::join::{hash_join, probe, ProbeConfig};
     pub use amac_ops::join_radix::{radix_join, RadixJoinConfig};
+    pub use amac_ops::parallel::{probe_mt, probe_mt_rt, MtOutput};
+    pub use amac_runtime::{MorselConfig, Scheduling};
     pub use amac_workload::{Relation, Tuple};
 }

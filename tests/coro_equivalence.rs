@@ -28,12 +28,8 @@ fn probe_agrees_with_state_machine_uniform_and_skewed() {
         let s = r.shuffled(8);
         let ht = HashTable::build_serial(&r);
         for scan_all in [false, true] {
-            let hand = probe(
-                &ht,
-                &s,
-                Technique::Amac,
-                &ProbeConfig { scan_all, ..Default::default() },
-            );
+            let hand =
+                probe(&ht, &s, Technique::Amac, &ProbeConfig { scan_all, ..Default::default() });
             let coro = coro_probe(&ht, &s, &coro_cfg(10, scan_all));
             assert_eq!(hand.matches, coro.matches, "{label} scan_all={scan_all}");
             assert_eq!(hand.checksum, coro.checksum, "{label} scan_all={scan_all}");

@@ -49,11 +49,8 @@ fn concurrent_amac_insert_then_amac_search() {
 fn groupby_mt_equals_single_thread_for_all_techniques() {
     let input = GroupByInput::zipf(256, 30_000, 1.0, 43);
     // Single-threaded baseline result as the model.
-    let (model_table, _) = amac_suite::ops::groupby::groupby_fresh(
-        &input,
-        Technique::Baseline,
-        &Default::default(),
-    );
+    let (model_table, _) =
+        amac_suite::ops::groupby::groupby_fresh(&input, Technique::Baseline, &Default::default());
     let mut model = model_table.groups();
     model.sort_by_key(|(k, _)| *k);
     for t in Technique::ALL {

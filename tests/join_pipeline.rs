@@ -89,11 +89,9 @@ fn tuning_width_never_changes_results() {
             let out = probe(&ht, &s, technique, &cfg);
             match reference {
                 None => reference = Some((out.matches, out.checksum)),
-                Some(want) => assert_eq!(
-                    (out.matches, out.checksum),
-                    want,
-                    "{technique} with M={m} diverges"
-                ),
+                Some(want) => {
+                    assert_eq!((out.matches, out.checksum), want, "{technique} with M={m} diverges")
+                }
             }
         }
     }

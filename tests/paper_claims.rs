@@ -92,10 +92,7 @@ fn skewed_groupby_conflicts_are_intra_thread() {
     let input = GroupByInput::zipf(32, 20_000, 1.0, 17);
     let cfg = GroupByConfig { params: TuningParams::with_in_flight(10), ..Default::default() };
     let (_, amac) = groupby_fresh(&input, Technique::Amac, &cfg);
-    assert!(
-        amac.stats.latch_retries > 0,
-        "hot groups must collide inside the circular buffer"
-    );
+    assert!(amac.stats.latch_retries > 0, "hot groups must collide inside the circular buffer");
     // Baseline runs one lookup at a time: no self-conflicts possible.
     let (_, base) = groupby_fresh(&input, Technique::Baseline, &cfg);
     assert_eq!(base.stats.latch_retries, 0, "single-lookup execution cannot conflict");
@@ -168,7 +165,11 @@ fn static_schedule_overheads_vanish_on_regular_structures() {
             &bst,
             &probes,
             t,
-            &BstConfig { params: TuningParams::paper_best(t), materialize: false, ..Default::default() },
+            &BstConfig {
+                params: TuningParams::paper_best(t),
+                materialize: false,
+                ..Default::default()
+            },
         );
         assert!(
             out.stats.noops > probes.len() as u64,

@@ -54,7 +54,8 @@ fn partitioned_lookup_count_is_conserved() {
     let r = Relation::dense_unique(8192, 0x55);
     let s = Relation::fk_uniform(&r, 16384, 0x56);
     for bits in [0u32, 3, 9] {
-        let out = radix_join(&r, &s, Technique::Gp, &RadixJoinConfig { bits, ..Default::default() });
+        let out =
+            radix_join(&r, &s, Technique::Gp, &RadixJoinConfig { bits, ..Default::default() });
         assert_eq!(out.stats.lookups, 16384, "bits={bits}");
     }
 }

@@ -18,10 +18,7 @@ fn single_bucket_latch_storm() {
     let rel = Relation::from_tuples(tuples);
     for t in Technique::ALL {
         let table = AggTable::with_buckets(1);
-        let cfg = GroupByConfig {
-            params: TuningParams::with_in_flight(32),
-            ..Default::default()
-        };
+        let cfg = GroupByConfig { params: TuningParams::with_in_flight(32), ..Default::default() };
         let out = groupby(&table, &rel, t, &cfg);
         assert_eq!(out.tuples, 20_000, "{t}");
         let a = table.get(7).unwrap();
@@ -114,10 +111,8 @@ fn extreme_widths_on_latched_op() {
     for m in [1usize, 99, 100, 101, 1000] {
         for t in Technique::ALL {
             let table = AggTable::with_buckets(2);
-            let cfg = GroupByConfig {
-                params: TuningParams::with_in_flight(m),
-                ..Default::default()
-            };
+            let cfg =
+                GroupByConfig { params: TuningParams::with_in_flight(m), ..Default::default() };
             let out = groupby(&table, &rel, t, &cfg);
             assert_eq!(out.tuples, 100, "{t} M={m}");
             assert_eq!(table.group_count(), 5, "{t} M={m}");

@@ -1,7 +1,10 @@
 //! Benchmark harness shared by the figure/table binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` for the index). They share:
+//! paper, or measures one extension — the repository `README.md` carries
+//! the full artifact → binary map, including the JSON trajectories
+//! (`scaling` for morsel-vs-static `BENCH_SKEW_*`, `pipeline` for
+//! fused-vs-two-phase `BENCH_PIPELINE_*`). They share:
 //!
 //! * [`Args`] — a tiny flag parser (`--scale N`, `--paper`, `--trials K`,
 //!   `--threads T`, `--quick`) so runs scale from smoke-test to

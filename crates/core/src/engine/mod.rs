@@ -27,6 +27,7 @@ mod amac_exec;
 mod baseline;
 pub mod closure_api;
 mod gp;
+pub mod pipeline;
 mod spp;
 mod stats;
 mod tune;

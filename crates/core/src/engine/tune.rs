@@ -20,7 +20,13 @@ pub const AUTO_MIN_IN_FLIGHT: usize = 4;
 /// Largest window the tuner will pick.
 pub const AUTO_MAX_IN_FLIGHT: usize = 64;
 
-/// Candidate widths, geometric-ish so the climb spans 4..=64 in few probes.
+/// Candidate widths, geometric-ish so the climb spans 4..=64 in few
+/// probes. Derivation rules pinned by the `ladder_*` unit tests:
+/// strictly ascending, first rung == [`AUTO_MIN_IN_FLIGHT`], last rung ==
+/// [`AUTO_MAX_IN_FLIGHT`], and the default `M = 10` is a rung (the climb
+/// starts there). The tuner can only ever return a rung, so every
+/// `in_flight` it produces satisfies
+/// `AUTO_MIN_IN_FLIGHT <= m <= AUTO_MAX_IN_FLIGHT`.
 const LADDER: [usize; 10] = [4, 6, 8, 10, 12, 16, 24, 32, 48, 64];
 
 /// Relative speedup a neighbour must show to win a hill-climb move; keeps
@@ -129,5 +135,25 @@ mod tests {
         assert!(LADDER.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(LADDER[0], AUTO_MIN_IN_FLIGHT);
         assert_eq!(*LADDER.last().unwrap(), AUTO_MAX_IN_FLIGHT);
+        assert!(
+            LADDER.iter().all(|&m| (AUTO_MIN_IN_FLIGHT..=AUTO_MAX_IN_FLIGHT).contains(&m)),
+            "every rung must lie within the documented bounds"
+        );
+        assert!(
+            LADDER.contains(&TuningParams::default().in_flight),
+            "the climb starts at the default M, which must be a rung"
+        );
+    }
+
+    #[test]
+    fn auto_always_returns_a_ladder_rung() {
+        // Both the small-sample fallback and the hill climb must land on
+        // a rung — the derivation rule documented on LADDER.
+        for n in [64usize, 4096] {
+            let chains: Vec<usize> = (0..n).map(|i| 1 + i % 4).collect();
+            let inputs: Vec<usize> = (0..n).collect();
+            let m = auto_tune_in_flight(&mut || ChainOp::new(&chains), &inputs);
+            assert!(LADDER.contains(&m), "n={n}: picked off-ladder width {m}");
+        }
     }
 }

@@ -23,6 +23,13 @@
 //! (the gray no-op boxes of Fig. 2) and really do fall back to sequential
 //! "bailout" execution past their static stage budget, because those
 //! overheads are precisely what the paper measures.
+//!
+//! Beyond single operators, [`engine::pipeline`] fuses *chains* of
+//! operators (scan → probe → filter → group-by) into one heterogeneous
+//! state machine so a whole pipeline shares a single in-flight window —
+//! the paper's §6 multi-operator integration.
+
+#![warn(missing_docs)]
 
 pub mod engine;
 

@@ -6,6 +6,11 @@
 //! max, sum-of-squares stored, average derived from sum/count at read time
 //! — which keeps a node (plus latch and next pointer) exactly one cache
 //! line.
+//!
+//! All aggregates are order-independent (count/min/max, wrapping
+//! sum/sumsq), so any interleaving of updates — across AMAC slots,
+//! morsels, or threads — produces bit-identical tables; the fused
+//! pipeline equivalence tests rely on this.
 
 use amac_mem::arena::Arena;
 use amac_mem::hash::{bucket_of, next_pow2};

@@ -31,8 +31,13 @@ use amac_workload::{GroupByInput, Relation, Tuple};
 pub struct GroupByConfig {
     /// Executor tuning (the paper's `M`).
     pub params: TuningParams,
-    /// GP/SPP stage budget (`N`); `0` = 2 (acquire+walk of a 1-node chain,
-    /// the uniform-workload common case).
+    /// GP/SPP stage budget (`N`); `0` derives `N = 2` — one stage to
+    /// acquire the header latch plus one latched walk of a 1-node chain,
+    /// the common case when the table is sized one bucket per expected
+    /// group ([`AggTable::for_groups`]). Chained groups or latch
+    /// conflicts need more steps and fall into GP/SPP's sequential
+    /// bailout, which is the measured behaviour (Fig. 9), not a bug.
+    /// AMAC and the baseline ignore this value.
     pub n_stages: usize,
 }
 
@@ -270,5 +275,15 @@ mod tests {
         let out = groupby(&table, &Relation::default(), Technique::Amac, &GroupByConfig::default());
         assert_eq!(out.tuples, 0);
         assert_eq!(table.group_count(), 0);
+    }
+
+    #[test]
+    fn n_stages_zero_derives_acquire_plus_walk() {
+        // The documented `0 → 2` rule (acquire + 1-node latched walk),
+        // and explicit budgets pass through untouched.
+        let table = AggTable::for_groups(8);
+        assert_eq!(GroupByOp::new(&table, &GroupByConfig::default()).budgeted_steps(), 2);
+        let explicit = GroupByConfig { n_stages: 5, ..Default::default() };
+        assert_eq!(GroupByOp::new(&table, &explicit).budgeted_steps(), 5);
     }
 }

@@ -11,8 +11,16 @@ use amac_workload::{Relation, Tuple};
 pub struct ProbeConfig {
     /// Executor tuning (the paper's `M`).
     pub params: TuningParams,
-    /// GP/SPP static stage budget (the paper's `N`); `0` = derive from the
-    /// table's average chain length, as the paper tunes per experiment.
+    /// GP/SPP static stage budget (the paper's `N`); `0` = derive from
+    /// the table's occupancy, as the paper tunes per experiment.
+    ///
+    /// The `0` derivation rule (see `auto_chain_estimate`): with `t`
+    /// tuples in `b` buckets and `TUPLES_PER_NODE` tuples per chain node,
+    /// `N = max(1, ceil(ceil(t / b) / TUPLES_PER_NODE))` — the expected
+    /// nodes per occupied bucket under uniform spread. Examples: a table
+    /// sized one-bucket-per-tuple derives `N = 1`; the Fig. 3 setup with
+    /// `8×` over-occupancy (`n` tuples, `n/8` buckets, 2 tuples/node)
+    /// derives `N = 4`. AMAC and the baseline ignore this value.
     pub n_stages: usize,
     /// `true`: walk the full chain and count every match (join semantics
     /// under duplicate build keys, and the Fig. 3 "uniform traversal"
@@ -124,10 +132,13 @@ impl<'a> ProbeOp<'a> {
     }
 }
 
-/// Estimate the average chain length from table occupancy without walking
-/// every chain: tuples / (2 slots × non-empty share of buckets) is close
-/// enough for the paper's N-tuning purpose, and we fall back to 1.
-fn auto_chain_estimate(ht: &HashTable) -> usize {
+/// Estimate the average chain length from table occupancy without
+/// walking every chain: assuming tuples spread uniformly over all
+/// buckets, `ceil(ceil(tuples / buckets) / TUPLES_PER_NODE)` nodes per
+/// bucket (min 1) is close enough for the paper's N-tuning purpose.
+/// This is the [`ProbeConfig::n_stages`]` = 0` derivation rule documented
+/// there; [`crate::pipeline::ProbeStage`] reuses it per fused stage.
+pub(crate) fn auto_chain_estimate(ht: &HashTable) -> usize {
     let tuples = ht.tuple_count();
     if tuples == 0 {
         return 1;

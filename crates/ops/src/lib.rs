@@ -23,7 +23,10 @@
 //! compute identical results.
 //!
 //! [`parallel`] holds the multi-threaded drivers for the scalability
-//! experiments (Figs. 7–8, Table 4).
+//! experiments (Figs. 7–8, Table 4). [`pipeline`] fuses multi-operator
+//! chains (probe → filter → group-by, probe → probe) into a single AMAC
+//! window — §6's multi-operator integration — with two-phase
+//! materialized references for equivalence and traffic comparisons.
 
 pub mod bst;
 pub mod btree;
@@ -33,6 +36,7 @@ pub mod join;
 pub mod join_radix;
 pub mod linear;
 pub mod parallel;
+pub mod pipeline;
 pub mod skiplist;
 
 pub use amac::engine::{Technique, TuningParams};

@@ -161,6 +161,117 @@ pub fn groupby_mt_rt(
     out
 }
 
+/// An [`MtOutput`] plus pipeline-shape evidence, returned by the fused
+/// and two-phase multi-threaded pipeline drivers.
+#[derive(Debug, Clone, Default)]
+pub struct MtPipeline {
+    /// The underlying parallel-run result; `matches` counts tuples that
+    /// reached the terminal operator (aggregated tuples / final joins).
+    pub out: MtOutput,
+    /// First-stage join matches (before the filter), across threads.
+    pub matched: u64,
+    /// Bytes materialized between operators (0 for fused plans).
+    pub intermediate_bytes: u64,
+    /// Input passes over tuple data: 1 for fused, 2 for two-phase.
+    pub passes: u32,
+}
+
+/// Multi-threaded **fused** probe→filter→group-by on the morsel runtime:
+/// every worker owns one fused op whose single AMAC window spans both
+/// operators and survives morsel boundaries ([`amac_runtime::AmacSession`]).
+/// `auto_tune` is ignored (the tuning probe executes real lookups, which
+/// would aggregate the sample twice).
+pub fn probe_groupby_mt_rt(
+    ht: &HashTable,
+    table: &AggTable,
+    s: &Relation,
+    technique: Technique,
+    cfg: &crate::pipeline::PipelineConfig,
+    rt: &MorselConfig,
+) -> MtPipeline {
+    let rt = MorselConfig { auto_tune: false, ..rt.clone() };
+    let run = execute(&s.tuples, technique, cfg.params, &rt, |_tid| {
+        crate::pipeline::fused_probe_groupby_op(ht, table, cfg)
+    });
+    let mut res = MtPipeline { passes: 1, ..Default::default() };
+    let mut out = MtOutput::from_report(run.report);
+    for op in &run.ops {
+        res.matched += op.pipe().up().matches();
+        out.matches += op.pipe().down().inner().tuples();
+    }
+    res.out = out;
+    res
+}
+
+/// Multi-threaded **two-phase** reference for [`probe_groupby_mt_rt`]:
+/// phase 1 probes and materializes each worker's filtered join output,
+/// phase 2 re-reads the concatenated intermediate into a parallel
+/// group-by. Same semantics, one extra pass and `16 × |intermediate|`
+/// bytes of traffic.
+pub fn probe_groupby_two_phase_mt_rt(
+    ht: &HashTable,
+    table: &AggTable,
+    s: &Relation,
+    technique: Technique,
+    cfg: &crate::pipeline::PipelineConfig,
+    rt: &MorselConfig,
+) -> MtPipeline {
+    let rt = MorselConfig { auto_tune: false, ..rt.clone() };
+    let run1 = execute(&s.tuples, technique, cfg.params, &rt, |_tid| {
+        crate::pipeline::materializing_probe_op(ht, cfg)
+    });
+    let mut matched = 0u64;
+    let mut mid = Vec::new();
+    for op in run1.ops {
+        matched += op.pipe().matches();
+        mid.extend(op.into_sink().out);
+    }
+    let mid = Relation::from_tuples(mid);
+    let gb = groupby_mt_rt(
+        table,
+        &mid,
+        technique,
+        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0 },
+        &rt,
+    );
+    let mut report = run1.report;
+    report.absorb(&gb.report);
+    let mut out = MtOutput::from_report(report);
+    out.matches = gb.matches;
+    // Throughput is input tuples over the total (both-phase) wall time:
+    // the absorbed report counts the intermediate re-read in its tuple
+    // total, but that re-read is the plan's overhead, not extra input —
+    // leaving it in would overstate the two-phase plan exactly when the
+    // intermediate is largest.
+    out.tuples = s.len() as u64;
+    out.throughput = if out.seconds > 0.0 { out.tuples as f64 / out.seconds } else { 0.0 };
+    MtPipeline { out, matched, intermediate_bytes: mid.bytes() as u64, passes: 2 }
+}
+
+/// Multi-threaded **fused** 2-join chain (probe→filter→probe) on the
+/// morsel runtime. Read-only, so `auto_tune` is honoured.
+pub fn probe_probe_mt_rt(
+    ht1: &HashTable,
+    ht2: &HashTable,
+    s: &Relation,
+    technique: Technique,
+    cfg: &crate::pipeline::PipelineConfig,
+    rt: &MorselConfig,
+) -> MtPipeline {
+    let run = execute(&s.tuples, technique, cfg.params, rt, |_tid| {
+        crate::pipeline::fused_probe_probe_op(ht1, ht2, cfg)
+    });
+    let mut res = MtPipeline { passes: 1, ..Default::default() };
+    let mut out = MtOutput::from_report(run.report);
+    for op in &run.ops {
+        res.matched += op.pipe().up().matches();
+        out.matches += op.sink().matches;
+        out.checksum = out.checksum.wrapping_add(op.sink().checksum);
+    }
+    res.out = out;
+    res
+}
+
 /// Multi-threaded skip-list search.
 pub fn skip_search_mt(
     list: &SkipList,
@@ -348,9 +459,10 @@ where
 }
 
 /// Multi-threaded level-synchronous BFS: both phases of every level run
-/// through the morsel runtime (small frontiers run inline — see
-/// [`bfs_phase`]). Returns the BFS result plus the aggregated runtime
-/// report over all levels.
+/// through the morsel runtime (small frontiers run inline — a spawn/join
+/// round per level would dominate high-diameter graphs whose frontiers
+/// are a handful of vertices). Returns the BFS result plus the
+/// aggregated runtime report over all levels.
 pub fn bfs_mt(
     graph: &Csr,
     src: u32,
@@ -530,6 +642,134 @@ mod tests {
             assert_eq!(out.visited, want.iter().filter(|&&d| d != u32::MAX).count() as u64, "{t}");
             assert!(report.stats.lookups > 0, "{t}");
         }
+    }
+
+    fn pipeline_lab(n_dim: usize, n_fact: usize, groups: u64, seed: u64) -> (HashTable, Relation) {
+        let dim = Relation::fk_dimension(n_dim, groups, seed);
+        let fact = Relation::fk_uniform(&dim, n_fact, seed ^ 0xFAC7);
+        (HashTable::build_serial(&dim), fact)
+    }
+
+    #[test]
+    fn fused_groupby_mt_matches_two_phase_and_single_thread() {
+        use amac_hashtable::AggTable;
+        let (ht, fact) = pipeline_lab(1024, 20_000, 32, 0x71);
+        let cfg = crate::pipeline::PipelineConfig {
+            filter: Some(amac_workload::FilterSpec::selectivity(0.5)),
+            ..Default::default()
+        };
+        let st_table = AggTable::for_groups(32);
+        let st = crate::pipeline::probe_then_groupby(&ht, &st_table, &fact, Technique::Amac, &cfg);
+        let mut st_groups = st_table.groups();
+        st_groups.sort_by_key(|(k, _)| *k);
+        for threads in [1, 2, 4] {
+            let table = AggTable::for_groups(32);
+            let rt = MorselConfig { threads, morsel_tuples: 1024, ..Default::default() };
+            let mt = probe_groupby_mt_rt(&ht, &table, &fact, Technique::Amac, &cfg, &rt);
+            assert_eq!(mt.out.matches, st.aggregated, "{threads}t: aggregated count");
+            assert_eq!(mt.matched, st.matched, "{threads}t: probe matches");
+            assert_eq!(mt.passes, 1);
+            assert_eq!(mt.intermediate_bytes, 0);
+            let mut groups = table.groups();
+            groups.sort_by_key(|(k, _)| *k);
+            assert_eq!(groups, st_groups, "{threads}t: aggregates diverge");
+
+            let table2 = AggTable::for_groups(32);
+            let tp = probe_groupby_two_phase_mt_rt(&ht, &table2, &fact, Technique::Amac, &cfg, &rt);
+            assert_eq!(tp.out.matches, st.aggregated, "{threads}t: two-phase count");
+            assert_eq!(tp.passes, 2);
+            assert_eq!(tp.intermediate_bytes, st.aggregated * 16);
+            let mut groups2 = table2.groups();
+            groups2.sort_by_key(|(k, _)| *k);
+            assert_eq!(groups2, st_groups, "{threads}t: two-phase aggregates diverge");
+        }
+    }
+
+    #[test]
+    fn fused_probe_probe_mt_matches_single_thread() {
+        let r2 = Relation::fk_dimension(64, 1 << 16, 0x81);
+        let r1 = Relation::fk_dimension(1024, 64, 0x82);
+        let s = Relation::fk_uniform(&r1, 15_000, 0x83);
+        let ht1 = HashTable::build_serial(&r1);
+        let ht2 = HashTable::build_serial(&r2);
+        let cfg = crate::pipeline::PipelineConfig::default();
+        let st = crate::pipeline::probe_then_probe(&ht1, &ht2, &s, Technique::Amac, &cfg);
+        for scheduling in [Scheduling::StaticChunk, Scheduling::WorkSteal] {
+            let rt =
+                MorselConfig { threads: 4, morsel_tuples: 512, scheduling, ..Default::default() };
+            let mt = probe_probe_mt_rt(&ht1, &ht2, &s, Technique::Amac, &cfg, &rt);
+            assert_eq!(mt.out.matches, st.aggregated, "{scheduling:?}");
+            assert_eq!(mt.out.checksum, st.checksum, "{scheduling:?}");
+            assert_eq!(mt.matched, st.matched, "{scheduling:?}");
+        }
+    }
+
+    #[test]
+    fn fused_drivers_empty_relation() {
+        use amac_hashtable::AggTable;
+        let (ht, _fact) = pipeline_lab(64, 1, 4, 0x91);
+        let table = AggTable::for_groups(4);
+        let cfg = crate::pipeline::PipelineConfig::default();
+        let rt = MorselConfig::with_threads(4);
+        let mt = probe_groupby_mt_rt(&ht, &table, &Relation::default(), Technique::Amac, &cfg, &rt);
+        assert_eq!(mt.out.matches, 0);
+        assert_eq!(mt.matched, 0);
+        assert_eq!(table.group_count(), 0);
+        let tp = probe_groupby_two_phase_mt_rt(
+            &ht,
+            &table,
+            &Relation::default(),
+            Technique::Amac,
+            &cfg,
+            &rt,
+        );
+        assert_eq!(tp.out.matches, 0);
+        assert_eq!(tp.intermediate_bytes, 0);
+    }
+
+    #[test]
+    fn fused_drivers_single_morsel_input() {
+        use amac_hashtable::AggTable;
+        // Input smaller than one morsel: the whole run is a single feed.
+        let (ht, fact) = pipeline_lab(256, 500, 8, 0x92);
+        let cfg = crate::pipeline::PipelineConfig::default();
+        let st_table = AggTable::for_groups(8);
+        let st = crate::pipeline::probe_then_groupby(&ht, &st_table, &fact, Technique::Amac, &cfg);
+        let table = AggTable::for_groups(8);
+        let rt = MorselConfig { threads: 4, morsel_tuples: 32 * 1024, ..Default::default() };
+        let mt = probe_groupby_mt_rt(&ht, &table, &fact, Technique::Amac, &cfg, &rt);
+        assert_eq!(mt.out.matches, st.aggregated);
+        // The dispatcher still cuts one range per thread, but no range
+        // spans more than one morsel.
+        assert!(
+            (1..=4).contains(&mt.out.report.morsels()),
+            "got {} morsels for a sub-morsel input",
+            mt.out.report.morsels()
+        );
+        let mut a = table.groups();
+        let mut b = st_table.groups();
+        a.sort_by_key(|(k, _)| *k);
+        b.sort_by_key(|(k, _)| *k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_drivers_window_larger_than_input() {
+        use amac::engine::TuningParams;
+        use amac_hashtable::AggTable;
+        // M = 64 with 5 input tuples: the window can never fill.
+        let (ht, _) = pipeline_lab(64, 1, 4, 0x93);
+        let fact = Relation::fk_uniform(&Relation::dense_unique(64, 0x94), 5, 0x95);
+        let cfg = crate::pipeline::PipelineConfig {
+            params: TuningParams::with_in_flight(64),
+            ..Default::default()
+        };
+        let table = AggTable::for_groups(4);
+        let rt = MorselConfig::with_threads(2);
+        let mt = probe_groupby_mt_rt(&ht, &table, &fact, Technique::Amac, &cfg, &rt);
+        assert_eq!(mt.matched, 5, "all 5 probes match despite M > |S|");
+        assert_eq!(mt.out.matches, 5);
+        assert_eq!(mt.out.report.in_flight, 64);
     }
 
     #[test]

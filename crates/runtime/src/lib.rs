@@ -42,6 +42,8 @@
 //! ([`amac_metrics::LatencyHistogram`]), so tail stragglers and steal
 //! traffic are visible to benches and tests.
 
+#![warn(missing_docs)]
+
 mod dispatch;
 mod session;
 #[cfg(test)]

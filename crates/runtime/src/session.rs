@@ -9,6 +9,12 @@
 //! *across* calls: [`feed`](AmacSession::feed) consumes a morsel and
 //! returns with the window still full, and only the final
 //! [`drain`](AmacSession::drain) retires the remaining lookups.
+//!
+//! The session is generic over any [`LookupOp`], including fused
+//! multi-operator pipelines (`amac::engine::pipeline::Fused`): a slot
+//! mid-way through a probe→group-by chain survives morsel boundaries
+//! exactly like a plain probe slot, so whole-pipeline windows persist
+//! across the run too.
 
 use amac::engine::{EngineStats, LookupOp, Step};
 

@@ -226,7 +226,7 @@ pub mod collection {
         sizes.start + rng.below((sizes.end - sizes.start) as u64) as usize
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         elem: S,
         sizes: Range<usize>,

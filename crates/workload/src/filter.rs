@@ -1,0 +1,97 @@
+//! Selectivity-controlled filter predicates.
+//!
+//! The pipeline experiments need a WHERE clause whose selectivity is an
+//! exact dial: at σ = 0.1 a two-phase plan materializes a small
+//! intermediate, at σ = 1.0 it materializes the whole join output. The
+//! paper's tuples are fixed at 16 bytes (key + payload, §4), so instead of
+//! widening them with a physical filter column, [`FilterSpec`] evaluates a
+//! *virtual* column derived from the payload: `mix64(payload)` is a
+//! bijective hash, so its low 32 bits are uniform over distinct payloads
+//! and `filter_value(payload) < threshold` passes an expected `σ` fraction
+//! of tuples — deterministically, with zero layout change.
+
+use amac_mem::hash::mix64;
+
+/// A predicate over a tuple's virtual filter column with controlled
+/// selectivity.
+///
+/// Construction fixes a threshold; [`passes`](FilterSpec::passes) is then
+/// a pure function of the payload, so fused and two-phase plans evaluating
+/// the same spec agree tuple-for-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// Pass when `filter_value < threshold`; `2^32` passes everything.
+    threshold: u64,
+}
+
+impl FilterSpec {
+    /// A predicate passing an expected `sigma` fraction of tuples
+    /// (clamped to `[0, 1]`). `sigma = 1.0` passes every tuple exactly.
+    pub fn selectivity(sigma: f64) -> Self {
+        let sigma = sigma.clamp(0.0, 1.0);
+        FilterSpec { threshold: (sigma * (1u64 << 32) as f64).round() as u64 }
+    }
+
+    /// The tuple's virtual filter column: the low 32 bits of
+    /// `mix64(payload)`, uniform over distinct payloads.
+    #[inline(always)]
+    pub fn filter_value(payload: u64) -> u64 {
+        mix64(payload) & 0xFFFF_FFFF
+    }
+
+    /// Evaluate the predicate on a tuple's payload.
+    #[inline(always)]
+    pub fn passes(&self, payload: u64) -> bool {
+        Self::filter_value(payload) < self.threshold
+    }
+
+    /// The configured selectivity (back-derived from the threshold).
+    pub fn sigma(&self) -> f64 {
+        self.threshold as f64 / (1u64 << 32) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_pass_none_and_all() {
+        let none = FilterSpec::selectivity(0.0);
+        let all = FilterSpec::selectivity(1.0);
+        for p in 0..10_000u64 {
+            assert!(!none.passes(p));
+            assert!(all.passes(p));
+        }
+    }
+
+    #[test]
+    fn empirical_selectivity_tracks_sigma() {
+        for sigma in [0.1, 0.35, 0.5, 0.9] {
+            let spec = FilterSpec::selectivity(sigma);
+            let n = 200_000u64;
+            let hits = (0..n).filter(|&p| spec.passes(p)).count() as f64;
+            let got = hits / n as f64;
+            assert!(
+                (got - sigma).abs() < 0.01,
+                "sigma {sigma}: empirical {got} off by more than 1%"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_roundtrips_and_clamps() {
+        assert!((FilterSpec::selectivity(0.25).sigma() - 0.25).abs() < 1e-9);
+        assert_eq!(FilterSpec::selectivity(2.0), FilterSpec::selectivity(1.0));
+        assert_eq!(FilterSpec::selectivity(-1.0), FilterSpec::selectivity(0.0));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = FilterSpec::selectivity(0.4);
+        let b = FilterSpec::selectivity(0.4);
+        for p in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(a.passes(p), b.passes(p));
+        }
+    }
+}

@@ -14,13 +14,20 @@
 //!   (3 in the paper);
 //! * unique uniformly-distributed key sets for the BST and skip-list
 //!   workloads.
+//!
+//! Beyond the paper's inputs, the pipeline experiments add
+//! [`filter::FilterSpec`] (a selectivity-controlled virtual filter
+//! column) and [`Relation::fk_dimension`] (dimension tables whose
+//! payloads are foreign keys, for multi-join chains).
 
 pub mod feistel;
+pub mod filter;
 pub mod gen;
 pub mod tuple;
 pub mod zipf;
 
 pub use feistel::FeistelPermutation;
+pub use filter::FilterSpec;
 pub use gen::GroupByInput;
 pub use tuple::{Relation, Tuple};
 pub use zipf::ZipfSampler;

@@ -130,6 +130,21 @@ impl Relation {
         rel
     }
 
+    /// A **dimension table** for join chains: dense unique keys `1..=n`
+    /// (shuffled), payloads drawn uniformly from `1..=fk_domain` — each
+    /// payload is a foreign key into the next dimension (or a group id
+    /// when `fk_domain` is the group count). This is the middle relation
+    /// of a snowflake chain `S ⋈ R1 ⋈ R2`: probing `R1` yields the key to
+    /// probe `R2` with.
+    pub fn fk_dimension(n: usize, fk_domain: u64, seed: u64) -> Self {
+        assert!(fk_domain > 0, "empty foreign-key domain");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples: Vec<Tuple> =
+            (1..=n as u64).map(|k| Tuple::new(k, rng.gen_range(1..=fk_domain))).collect();
+        tuples.shuffle(&mut rng);
+        Relation { tuples }
+    }
+
     /// `n` tuples with **unique, uniformly distributed 64-bit keys** (the
     /// BST / skip-list build input, §4). Keys are `mix64(1..=n)` — mix64 is
     /// bijective, so keys are distinct and spread over the full domain.
@@ -223,6 +238,16 @@ mod tests {
             let dev = (c as f64 - expected).abs() / expected;
             assert!(dev < 0.25, "key {k} deviates {dev}");
         }
+    }
+
+    #[test]
+    fn fk_dimension_keys_dense_payloads_in_domain() {
+        let r = Relation::fk_dimension(1000, 64, 9);
+        let keys: HashSet<u64> = r.tuples.iter().map(|t| t.key).collect();
+        assert_eq!(keys.len(), 1000);
+        assert!(keys.iter().all(|k| (1..=1000).contains(k)));
+        assert!(r.tuples.iter().all(|t| (1..=64).contains(&t.payload)));
+        assert_eq!(r, Relation::fk_dimension(1000, 64, 9), "deterministic");
     }
 
     #[test]

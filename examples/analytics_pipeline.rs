@@ -3,6 +3,12 @@
 //! table, then aggregate the joined payloads per group, with an index
 //! (BST) lookup side-channel. Every pointer-chasing phase runs under AMAC.
 //!
+//! Note this example is deliberately **operator-at-a-time**: the join
+//! materializes its full output before the group-by reads it back. The
+//! `pipeline` example runs the same join+aggregate *fused* — one AMAC
+//! window for the whole chain, no intermediate relation — and compares
+//! the two plans directly.
+//!
 //! ```sh
 //! cargo run --release --example analytics_pipeline
 //! ```

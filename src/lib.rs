@@ -3,8 +3,9 @@
 //! Re-exports every crate of the AMAC reproduction workspace so examples,
 //! integration tests and downstream users can depend on a single package.
 //!
-//! See the repository `README.md` for a guided tour, `DESIGN.md` for the
-//! system inventory and `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See the repository `README.md` for a guided tour (including the paper
+//! figure/table → bench binary map) and `DESIGN.md` for the cross-crate
+//! designs: the morsel runtime and the fused multi-operator pipelines.
 //!
 //! ```
 //! use amac_suite::prelude::*;
@@ -15,6 +16,28 @@
 //! let ht = HashTable::build_serial(&r);
 //! let out = probe(&ht, &s, Technique::Amac, &ProbeConfig::default());
 //! assert_eq!(out.matches, 1 << 12);
+//! ```
+//!
+//! A whole pipeline fused into one AMAC window (this doctest is the
+//! README's pipeline snippet, verbatim, so the README cannot rot):
+//!
+//! ```
+//! use amac_suite::prelude::*;
+//!
+//! let products = Relation::fk_dimension(1 << 10, 32, 7); // payload = category
+//! let sales = Relation::fk_uniform(&products, 1 << 13, 8);
+//! let ht = HashTable::build_serial(&products);
+//! let agg = AggTable::for_groups(32);
+//!
+//! // SELECT category, agg(amount) FROM sales JOIN products
+//! // WHERE σ(amount) = 0.5 GROUP BY category — no intermediate relation.
+//! let cfg = PipelineConfig {
+//!     filter: Some(FilterSpec::selectivity(0.5)),
+//!     ..Default::default()
+//! };
+//! let out = probe_then_groupby(&ht, &agg, &sales, Technique::Amac, &cfg);
+//! assert_eq!(out.passes, 1);             // fused: one pass,
+//! assert_eq!(out.intermediate_bytes, 0); // nothing materialized
 //! ```
 
 pub use amac as engine;
@@ -36,10 +59,13 @@ pub mod prelude {
     pub use amac::engine::{Technique, TuningParams};
     pub use amac_btree::BPlusTree;
     pub use amac_coro::{run_interleaved_collect, CoroConfig};
-    pub use amac_hashtable::{HashTable, LinearTable};
+    pub use amac_hashtable::{AggTable, HashTable, LinearTable};
     pub use amac_ops::join::{hash_join, probe, ProbeConfig};
     pub use amac_ops::join_radix::{radix_join, RadixJoinConfig};
-    pub use amac_ops::parallel::{probe_mt, probe_mt_rt, MtOutput};
+    pub use amac_ops::parallel::{probe_groupby_mt_rt, probe_mt, probe_mt_rt, MtOutput};
+    pub use amac_ops::pipeline::{
+        probe_then_groupby, probe_then_groupby_two_phase, probe_then_probe, PipelineConfig,
+    };
     pub use amac_runtime::{MorselConfig, Scheduling};
-    pub use amac_workload::{Relation, Tuple};
+    pub use amac_workload::{FilterSpec, Relation, Tuple};
 }

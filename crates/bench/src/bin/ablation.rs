@@ -71,33 +71,52 @@ fn main() {
     table.print();
 
     // Hint-policy ablation: same probes, AMAC schedule fixed, only the
-    // prefetch instruction varies.
+    // prefetch instruction varies. The prefetch counter is op-gated, so
+    // the `None` rows must report exactly 0 issued prefetches — asserted
+    // here: a phantom count would mean the ablation measures bookkeeping,
+    // not hardware behaviour.
     use amac_mem::prefetch::PrefetchHint;
     println!();
     let mut hints = Table::new("Prefetch hint policy: AMAC probe cycles/tuple").header([
         "hint",
         "uniform [0,0]",
         "skewed [1,0]",
+        "pf/tuple uniform",
+        "pf/tuple skewed",
     ]);
     for (name, hint) in [
         ("PREFETCHNTA (paper)", PrefetchHint::Nta),
         ("PREFETCHT0", PrefetchHint::T0),
+        ("write-intent (T0 stand-in)", PrefetchHint::Write),
         ("no prefetch (pure interleave)", PrefetchHint::None),
     ] {
         let mut row = vec![name.to_string()];
+        let mut issued_per_tuple = Vec::new();
         for (lab, ht) in labs.iter().zip(&tables) {
             let cfg =
                 ProbeConfig { materialize: false, scan_all: true, hint, ..Default::default() };
-            let (c, _) = best_of(args.trials, || {
+            let (c, stats) = best_of(args.trials, || {
                 let mut op = ProbeOp::new(ht, &cfg, lab.s.len());
                 let timer = CycleTimer::start();
-                let _ = run_amac(&mut op, &lab.s.tuples, 10);
-                (timer.cycles() as f64 / lab.s.len() as f64, ())
+                let stats = run_amac(&mut op, &lab.s.tuples, 10);
+                (timer.cycles() as f64 / lab.s.len() as f64, stats)
             });
+            if hint == PrefetchHint::None {
+                assert_eq!(
+                    stats.prefetches, 0,
+                    "hint=None must report zero prefetches (honest op-gated accounting)"
+                );
+            } else {
+                assert!(stats.prefetches > 0, "real hints must report their prefetches");
+            }
+            issued_per_tuple.push(stats.prefetches as f64 / lab.s.len() as f64);
             row.push(fnum(c));
+        }
+        for pf in issued_per_tuple {
+            row.push(fnum(pf));
         }
         hints.row(row);
     }
-    hints.note("'no prefetch' isolates the scheduling contribution: interleaving alone cannot hide misses, it only reorders them");
+    hints.note("'no prefetch' isolates the scheduling contribution: interleaving alone cannot hide misses, it only reorders them; its prefetch count is asserted to be exactly 0");
     hints.print();
 }

@@ -23,10 +23,15 @@ use amac_ops::join::probe;
 use amac_workload::{Relation, Tuple};
 
 /// Build a table whose every bucket holds exactly `nodes` chain nodes
-/// (2 tuples per node), by inverse-hash key construction.
+/// (`TUPLES_PER_NODE` tuples per node), by inverse-hash key construction.
+///
+/// The bucket count rounds **down** to a power of two so the generated
+/// tuple count (`buckets × nodes × TUPLES_PER_NODE`) never exceeds the
+/// requested size; the caller reads the actual count back from the
+/// returned relation so every Fig. 3 row can share it.
 fn exact_occupancy_table(n_tuples: usize, nodes_per_bucket: usize) -> (HashTable, Relation) {
     let per_bucket = nodes_per_bucket * amac_hashtable::TUPLES_PER_NODE;
-    let buckets = (n_tuples / per_bucket).next_power_of_two();
+    let buckets = ((n_tuples / per_bucket).max(1) + 1).next_power_of_two() / 2;
     let bits = buckets.trailing_zeros();
     let ht = HashTable::with_buckets(buckets);
     assert_eq!(ht.bucket_count(), buckets);
@@ -56,6 +61,10 @@ fn main() {
 
     // --- uniform: exact 4-node chains, scan-all probes -------------------
     let (ht_u, rel_u) = exact_occupancy_table(n, 4);
+    // Every row below uses the same tuple count and (for non-uniform) the
+    // same bucket count as the uniform construction, so the three
+    // traversal shapes share one working-set size.
+    let n_eff = rel_u.len();
     let probes_u = rel_u.shuffled(0xAB);
     let mut uniform = [0.0f64; 4];
     for (i, t) in Technique::ALL.iter().enumerate() {
@@ -72,8 +81,10 @@ fn main() {
     results.push(("uniform".into(), uniform));
 
     // --- non-uniform: unique keys, Poisson chains, early exit ------------
-    let rel_n = Relation::dense_unique(n, 0xBEE);
-    let ht_n = HashTable::with_buckets(n / 8); // same avg occupancy as uniform
+    let rel_n = Relation::dense_unique(n_eff, 0xBEE);
+    // Same tuple count and bucket count as uniform: 4 nodes ×
+    // TUPLES_PER_NODE tuples per bucket on average.
+    let ht_n = HashTable::with_buckets(ht_u.bucket_count());
     {
         let mut h = ht_n.build_handle();
         for t in &rel_n.tuples {
@@ -95,15 +106,15 @@ fn main() {
     results.push(("non-uniform".into(), nonuniform));
 
     // --- skewed: Zipf(0.75) build keys ------------------------------------
-    let rel_s = Relation::zipf(n, n as u64, 0.75, 0xCAFE);
-    let ht_s = HashTable::for_tuples(n);
+    let rel_s = Relation::zipf(n_eff, n_eff as u64, 0.75, 0xCAFE);
+    let ht_s = HashTable::for_tuples(n_eff);
     {
         let mut h = ht_s.build_handle();
         for t in &rel_s.tuples {
             h.insert(t.key, t.payload);
         }
     }
-    let probes_s = Relation::zipf(n, n as u64, 0.75, 0xCAFF);
+    let probes_s = Relation::zipf(n_eff, n_eff as u64, 0.75, 0xCAFF);
     let mut skewed = [0.0f64; 4];
     for (i, t) in Technique::ALL.iter().enumerate() {
         let m = TuningParams::paper_best(*t).in_flight;
@@ -130,7 +141,8 @@ fn main() {
         ]);
     }
     table.note(format!(
-        "|probes| = 2^{}; raw uniform baseline = {norm:.1} cycles/tuple",
+        "|probes| = {n_eff} (largest 12-tuple-per-bucket pow2 table within 2^{}); \
+         raw uniform baseline = {norm:.1} cycles/tuple",
         args.scale
     ));
     table.print();

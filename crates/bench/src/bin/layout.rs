@@ -1,27 +1,115 @@
-//! **Hash-table layout ablation** (extension): chained vs open-addressing
-//! (linear probing) across fill factors, all four techniques.
+//! **Hash-table layout ablation** (extension): the tag-probed fat-node
+//! layout vs the seed's 2-tuple pointer layout, then chained vs
+//! open-addressing (linear probing) across fill factors.
 //!
 //! §2.1.1: "state-of-the-art hash tables offer a tradeoff between
 //! performance (i.e., number of chained memory accesses) and space
 //! efficiency … it is not possible to generalize a single type of hash
-//! table layout". This binary walks that tradeoff: the chained table's
-//! probe length is set by its chain structure, the linear table's by its
-//! fill factor. Low fill ⇒ nearly every lookup resolves in its home cache
-//! line (regular, friendly to GP/SPP); high fill ⇒ a long-tailed
-//! displacement distribution (irregular, AMAC's territory).
+//! table layout". This binary walks that tradeoff twice:
+//!
+//! 1. **Old vs new node layout** — the same build relation packed into
+//!    legacy nodes (2 tuples + 8 B pointer) and tag-probed nodes
+//!    (3 tuples + SWAR tags + u32 index) at equal bucket counts, probed
+//!    with identical inputs (uniform and Zipf(1)). Result equivalence is
+//!    asserted in-run; the deterministic evidence is **nodes visited per
+//!    lookup** and bytes touched, emitted as `BENCH_LAYOUT_*` JSON.
+//! 2. **Chained vs linear probing** — probe-length set by chain structure
+//!    vs by displacement at a given fill factor.
 
 use amac::engine::{Technique, TuningParams};
 use amac_bench::{best_of, probe_cfg, Args};
-use amac_hashtable::{HashTable, LinearTable};
+use amac_hashtable::{HashTable, LegacyHashTable, LinearTable};
 use amac_metrics::report::{fnum, Table};
-use amac_ops::join::probe;
+use amac_ops::join::{probe, ProbeConfig};
+use amac_ops::legacy::probe_legacy;
 use amac_ops::linear::{linear_probe, LinearProbeConfig};
 use amac_workload::Relation;
+
+/// One old-vs-new measurement row.
+struct AbRow {
+    workload: &'static str,
+    /// Fill factor: expected chain nodes under the LEGACY layout
+    /// (tuples_per_bucket = 2 × ff).
+    fill: usize,
+    nodes_per_lookup_legacy: f64,
+    nodes_per_lookup_new: f64,
+    tag_reject_share: f64,
+}
+
+/// Both layouts use 64-byte single-line nodes, so bytes touched per
+/// lookup is exactly `nodes_per_lookup × 64` — derived at emission time
+/// rather than stored, to keep one source of truth for the metric.
+const NODE_BYTES: f64 = 64.0;
+
+/// Probe both layouts over identical inputs, asserting result
+/// equivalence, and return the deterministic traversal metrics.
+fn ab_sweep(n: usize, trials: usize) -> Vec<AbRow> {
+    let rel = Relation::dense_unique(n, 0x01D);
+    let workloads: [(&'static str, Relation); 2] =
+        [("uniform", rel.shuffled(0x02D)), ("zipf1", Relation::zipf(n, n as u64, 1.0, 0x03D))];
+    let mut rows = Vec::new();
+    for fill in [1usize, 2, 4, 8] {
+        let buckets = (n / (2 * fill)).max(1);
+        let legacy = LegacyHashTable::with_buckets(buckets);
+        let tagged = HashTable::with_buckets(buckets);
+        {
+            let mut ho = legacy.build_handle();
+            let mut hn = tagged.build_handle();
+            for t in &rel.tuples {
+                ho.insert(t.key, t.payload);
+                hn.insert(t.key, t.payload);
+            }
+        }
+        for (wname, probes) in &workloads {
+            let cfg = ProbeConfig { materialize: false, scan_all: true, ..probe_cfg(10) };
+            let (_, (old_out, new_out)) = best_of(trials, || {
+                let a = probe_legacy(&legacy, probes, Technique::Amac, cfg.params, true);
+                let b = probe(&tagged, probes, Technique::Amac, &cfg);
+                (a.cycles as f64 + b.cycles as f64, (a, b))
+            });
+            // Result equivalence is part of the experiment, not a test.
+            assert_eq!(old_out.matches, new_out.matches, "{wname}/ff{fill}: matches");
+            assert_eq!(old_out.checksum, new_out.checksum, "{wname}/ff{fill}: checksum");
+            rows.push(AbRow {
+                workload: wname,
+                fill,
+                nodes_per_lookup_legacy: old_out.stats.nodes_per_lookup(),
+                nodes_per_lookup_new: new_out.stats.nodes_per_lookup(),
+                tag_reject_share: new_out.stats.tag_rejects as f64
+                    / new_out.stats.nodes_visited.max(1) as f64,
+            });
+        }
+    }
+    rows
+}
 
 fn main() {
     let args = Args::parse();
     let n = (1usize << args.scale.min(23)) / 2;
-    println!("# Layout ablation — chained vs linear probing ({n} keys)\n");
+    println!("# Layout ablation ({n} keys)\n");
+
+    // --- Old vs new node layout: the tag-probed fat-bucket A/B ----------
+    let ab = ab_sweep(n, args.trials);
+    let mut ab_table = Table::new(
+        "Old (2 tuples + ptr) vs new (3 tuples + tags + u32 idx): nodes visited per lookup",
+    )
+    .header(["workload", "fill", "legacy", "tag-probed", "reduction", "tag-reject share"]);
+    for r in &ab {
+        ab_table.row([
+            r.workload.to_string(),
+            format!("{}", r.fill),
+            format!("{:.3}", r.nodes_per_lookup_legacy),
+            format!("{:.3}", r.nodes_per_lookup_new),
+            format!("{:.1}%", (1.0 - r.nodes_per_lookup_new / r.nodes_per_lookup_legacy) * 100.0),
+            format!("{:.1}%", r.tag_reject_share * 100.0),
+        ]);
+    }
+    ab_table.note(
+        "fill = expected legacy chain nodes/bucket (2×fill tuples); scan-all probes; \
+         matches+checksums asserted equal in-run",
+    );
+    ab_table.print();
+    println!();
 
     let rel = Relation::dense_unique(n, 0x1A);
     let probes = rel.shuffled(0x2B);
@@ -76,6 +164,56 @@ fn main() {
          prefetchers' margins compress; as fill grows the displacement tail\n\
          lengthens and AMAC's robustness advantage (last column) widens —\n\
          the same irregularity story as the paper's skewed chains, produced\n\
-         by a completely different layout mechanism."
+         by a completely different layout mechanism.\n"
     );
+
+    // Hand-rolled JSON trajectory: deterministic nodes/bytes-per-lookup
+    // evidence for the old-vs-new node layout (BENCH_LAYOUT_* keys).
+    let pick = |w: &str, fill: usize| -> &AbRow {
+        ab.iter().find(|r| r.workload == w && r.fill == fill).expect("row exists")
+    };
+    let red = |w: &str, fill: usize| -> f64 {
+        let r = pick(w, fill);
+        1.0 - r.nodes_per_lookup_new / r.nodes_per_lookup_legacy
+    };
+    println!("{{");
+    println!("  \"bench\": \"node_layout_ab\",");
+    println!("  \"tuples\": {n},");
+    println!("  \"results\": [");
+    for (i, r) in ab.iter().enumerate() {
+        let comma = if i + 1 == ab.len() { "" } else { "," };
+        println!(
+            "    {{\"workload\": \"{}\", \"fill\": {}, \
+             \"nodes_per_lookup_legacy\": {:.4}, \"nodes_per_lookup_new\": {:.4}, \
+             \"bytes_per_lookup_legacy\": {:.1}, \"bytes_per_lookup_new\": {:.1}, \
+             \"tag_reject_share\": {:.4}}}{comma}",
+            r.workload,
+            r.fill,
+            r.nodes_per_lookup_legacy,
+            r.nodes_per_lookup_new,
+            r.nodes_per_lookup_legacy * NODE_BYTES,
+            r.nodes_per_lookup_new * NODE_BYTES,
+            r.tag_reject_share
+        );
+    }
+    println!("  ],");
+    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_UNIFORM\": {:.3},", red("uniform", 2));
+    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_ZIPF1\": {:.3},", red("zipf1", 2));
+    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_UNIFORM\": {:.3},", red("uniform", 4));
+    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_ZIPF1\": {:.3},", red("zipf1", 4));
+    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF8_UNIFORM\": {:.3},", red("uniform", 8));
+    println!(
+        "  \"BENCH_LAYOUT_TAG_REJECT_SHARE_FF4_UNIFORM\": {:.3}",
+        pick("uniform", 4).tag_reject_share
+    );
+    println!("}}");
+    for ff in [2usize, 4, 8] {
+        for w in ["uniform", "zipf1"] {
+            assert!(
+                red(w, ff) >= 0.25,
+                "{w}/ff{ff}: nodes-per-lookup reduction {:.3} below the 25% bar",
+                red(w, ff)
+            );
+        }
+    }
 }

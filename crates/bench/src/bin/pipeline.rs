@@ -37,6 +37,9 @@ struct Row {
     aggregated: u64,
     intermediate_bytes: u64,
     passes: u32,
+    /// Chain nodes dereferenced per completed lookup (probe + group-by
+    /// stages) — the layout metric composed onto the fusion trajectory.
+    nodes_per_lookup: f64,
 }
 
 fn snapshot(table: &AggTable) -> Vec<(u64, amac_hashtable::agg::AggValues)> {
@@ -116,6 +119,7 @@ fn main() {
                 aggregated: fused.0.aggregated,
                 intermediate_bytes: fused.0.intermediate_bytes,
                 passes: fused.0.passes,
+                nodes_per_lookup: fused.0.stats.nodes_per_lookup(),
             });
             rows.push(Row {
                 workload: wname,
@@ -126,6 +130,7 @@ fn main() {
                 aggregated: two.0.aggregated,
                 intermediate_bytes: two.0.intermediate_bytes,
                 passes: two.0.passes,
+                nodes_per_lookup: two.0.stats.nodes_per_lookup(),
             });
         }
     }
@@ -160,7 +165,8 @@ fn main() {
         println!(
             "    {{\"workload\": \"{}\", \"sigma\": {}, \"plan\": \"{}\", \
              \"cycles_per_tuple\": {:.1}, \"tuples_per_sec_mt\": {:.0}, \
-             \"aggregated\": {}, \"intermediate_bytes\": {}, \"passes\": {}}}{comma}",
+             \"aggregated\": {}, \"intermediate_bytes\": {}, \"passes\": {}, \
+             \"nodes_per_lookup\": {:.3}}}{comma}",
             r.workload,
             r.sigma,
             r.plan,
@@ -168,7 +174,8 @@ fn main() {
             r.tuples_per_sec_mt,
             r.aggregated,
             r.intermediate_bytes,
-            r.passes
+            r.passes,
+            r.nodes_per_lookup
         );
     }
     println!("  ],");
@@ -211,6 +218,14 @@ fn main() {
         pick("uniform", 1.0, "fused").intermediate_bytes
     );
     println!("  \"BENCH_PIPELINE_FUSED_PASSES\": 1,");
-    println!("  \"BENCH_PIPELINE_TWO_PHASE_PASSES\": 2");
+    println!("  \"BENCH_PIPELINE_TWO_PHASE_PASSES\": 2,");
+    println!(
+        "  \"BENCH_PIPELINE_NODES_PER_LOOKUP_UNIFORM_SEL100\": {:.3},",
+        pick("uniform", 1.0, "fused").nodes_per_lookup
+    );
+    println!(
+        "  \"BENCH_PIPELINE_NODES_PER_LOOKUP_ZIPF1_SEL100\": {:.3}",
+        pick("zipf1", 1.0, "fused").nodes_per_lookup
+    );
     println!("}}");
 }

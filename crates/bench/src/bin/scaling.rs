@@ -26,6 +26,11 @@ struct Row {
     steals: u64,
     imbalance: f64,
     p99_morsel_us: f64,
+    /// Chain nodes dereferenced per lookup — the layout metric, constant
+    /// across schedulings/threads for a given workload (asserted via the
+    /// shared checksum discipline) and composable with the
+    /// `BENCH_LAYOUT_*` trajectory.
+    nodes_per_lookup: f64,
     /// Busiest thread's stage share, normalized so 1.0 = perfectly
     /// balanced and `threads` = one thread did everything.
     ///
@@ -62,6 +67,7 @@ fn row(workload: &'static str, scheduling: &'static str, threads: usize, out: &M
         steals: out.report.steals(),
         imbalance: out.report.imbalance(),
         p99_morsel_us: out.report.morsel_ns.quantile(0.99) as f64 / 1e3,
+        nodes_per_lookup: out.stats.nodes_per_lookup(),
         work_skew: {
             let work = |s: &amac::engine::EngineStats| (s.stages + s.latch_retries) as f64;
             let total: f64 = out.report.per_thread.iter().map(|t| work(&t.stats)).sum();
@@ -127,7 +133,8 @@ fn main() {
         println!(
             "    {{\"workload\": \"{}\", \"scheduling\": \"{}\", \"threads\": {}, \
              \"tuples_per_sec\": {:.0}, \"steals\": {}, \"imbalance\": {:.3}, \
-             \"p99_morsel_us\": {:.1}, \"work_skew\": {:.3}}}{comma}",
+             \"p99_morsel_us\": {:.1}, \"work_skew\": {:.3}, \
+             \"nodes_per_lookup\": {:.3}}}{comma}",
             row.workload,
             row.scheduling,
             row.threads,
@@ -135,7 +142,8 @@ fn main() {
             row.steals,
             row.imbalance,
             row.p99_morsel_us,
-            row.work_skew
+            row.work_skew,
+            row.nodes_per_lookup
         );
     }
     println!("  ],");
@@ -165,6 +173,18 @@ fn main() {
     println!("  \"BENCH_SKEW_WALL_SPEEDUP_4T\": {:.3},", wall(4));
     println!("  \"BENCH_SKEW_WALL_SPEEDUP_8T\": {:.3},", wall(8));
     println!("  \"BENCH_SKEW_STATIC_STRAGGLER_4T\": {:.3},", pick("static", 4, &|r| r.work_skew));
-    println!("  \"BENCH_SKEW_STATIC_STRAGGLER_8T\": {:.3}", pick("static", 8, &|r| r.work_skew));
+    println!("  \"BENCH_SKEW_STATIC_STRAGGLER_8T\": {:.3},", pick("static", 8, &|r| r.work_skew));
+    // Layout metric on the skew trajectory: fewer dependent hops per
+    // probe compose multiplicatively with the scheduling wins above.
+    println!(
+        "  \"BENCH_SKEW_NODES_PER_LOOKUP_ZIPF1\": {:.3},",
+        pick("morsel", 4, &|r| r.nodes_per_lookup)
+    );
+    let uni = rows
+        .iter()
+        .find(|r| r.workload == "uniform" && r.scheduling == "morsel" && r.threads == 4)
+        .map(|r| r.nodes_per_lookup)
+        .unwrap_or(0.0);
+    println!("  \"BENCH_SKEW_NODES_PER_LOOKUP_UNIFORM\": {uni:.3}");
     println!("}}");
 }

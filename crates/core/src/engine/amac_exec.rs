@@ -45,6 +45,9 @@ fn run_amac_inner<O: LookupOp>(
     if inputs.is_empty() {
         return stats;
     }
+    // Prefetch accounting is gated on the op's policy (see the module docs
+    // of `super` — the `PrefetchHint::None` ablation must report 0).
+    let pf = op.issues_prefetches() as u64;
     let m = m.clamp(1, inputs.len());
     let mut states: Vec<O::State> = Vec::with_capacity(m);
     states.resize_with(m, O::State::default);
@@ -60,7 +63,7 @@ fn run_amac_inner<O: LookupOp>(
         }
         op.start(inputs[next], state);
         stats.stages += 1;
-        stats.prefetches += 1;
+        stats.prefetches += pf;
         next += 1;
         *slot = true;
         in_flight += 1;
@@ -77,7 +80,7 @@ fn run_amac_inner<O: LookupOp>(
             match op.step(&mut states[k]) {
                 Step::Continue => {
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                 }
                 Step::Blocked => {
                     stats.latch_retries += 1;
@@ -87,7 +90,7 @@ fn run_amac_inner<O: LookupOp>(
                     stats.lookups += 1;
                     op.start(inputs[next], &mut states[k]);
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                     next += 1;
                 }
             }
@@ -106,7 +109,7 @@ fn run_amac_inner<O: LookupOp>(
             match op.step(&mut states[k]) {
                 Step::Continue => {
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                 }
                 Step::Blocked => {
                     // Coarse-grained spin: move on, retry on next rotation.
@@ -120,7 +123,7 @@ fn run_amac_inner<O: LookupOp>(
                         // so in-flight memory accesses stay constant.
                         op.start(inputs[next], &mut states[k]);
                         stats.stages += 1;
-                        stats.prefetches += 1;
+                        stats.prefetches += pf;
                         next += 1;
                     } else {
                         active[k] = false;
@@ -132,7 +135,7 @@ fn run_amac_inner<O: LookupOp>(
             // No-merge ablation: refill an empty slot one rotation late.
             op.start(inputs[next], &mut states[k]);
             stats.stages += 1;
-            stats.prefetches += 1;
+            stats.prefetches += pf;
             next += 1;
             active[k] = true;
             in_flight += 1;
@@ -147,6 +150,7 @@ fn run_amac_inner<O: LookupOp>(
             }
         }
     }
+    op.flush_observed(&mut stats);
     stats
 }
 

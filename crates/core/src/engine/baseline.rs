@@ -11,17 +11,18 @@ use super::{EngineStats, LookupOp, Step};
 /// threads*).
 pub fn run_baseline<O: LookupOp>(op: &mut O, inputs: &[O::Input]) -> EngineStats {
     let mut stats = EngineStats::default();
+    let pf = op.issues_prefetches() as u64;
     let mut state = O::State::default();
     for &input in inputs {
         op.start(input, &mut state);
         stats.stages += 1;
-        stats.prefetches += 1; // start's prefetch is issued but gives no
-                               // distance: the very next step consumes it.
+        stats.prefetches += pf; // start's prefetch is issued but gives no
+                                // distance: the very next step consumes it.
         loop {
             match op.step(&mut state) {
                 Step::Continue => {
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                 }
                 Step::Blocked => {
                     stats.latch_retries += 1;
@@ -35,6 +36,7 @@ pub fn run_baseline<O: LookupOp>(op: &mut O, inputs: &[O::Input]) -> EngineStats
             }
         }
     }
+    op.flush_observed(&mut stats);
     stats
 }
 

@@ -25,6 +25,7 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
     if inputs.is_empty() {
         return stats;
     }
+    let pf = op.issues_prefetches() as u64;
     let m = m.clamp(1, inputs.len());
     let n = op.budgeted_steps().max(1);
     let mut states: Vec<O::State> = Vec::with_capacity(m);
@@ -38,7 +39,7 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
         for k in 0..g {
             op.start(inputs[base + k], &mut states[k]);
             stats.stages += 1;
-            stats.prefetches += 1;
+            stats.prefetches += pf;
             done[k] = false;
         }
         // Stages 1..=N swept across the group.
@@ -52,7 +53,7 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
                 match op.step(&mut states[k]) {
                     Step::Continue => {
                         stats.stages += 1;
-                        stats.prefetches += 1;
+                        stats.prefetches += pf;
                     }
                     Step::Done => {
                         stats.stages += 1;
@@ -73,6 +74,7 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
         cleanup_sequential(op, &mut states, &mut done, g, &mut stats);
         base += g;
     }
+    op.flush_observed(&mut stats);
     stats
 }
 

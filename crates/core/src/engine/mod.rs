@@ -21,7 +21,17 @@
 //! Each `start` and each `step` returning `Continue` issues exactly one
 //! prefetch; `Done`/`Blocked` issue none. The executors use this convention
 //! to maintain the prefetch counter without threading a stats handle
-//! through the hot path.
+//! through the hot path — **gated** on
+//! [`LookupOp::issues_prefetches`], so an op running the
+//! `PrefetchHint::None` ablation honestly reports zero.
+//!
+//! # Op-side observations
+//!
+//! Some counters only the op can see — chain nodes actually dereferenced,
+//! SWAR tag rejections. Ops accumulate them internally and the executors
+//! drain them into [`EngineStats`] via [`LookupOp::flush_observed`] at the
+//! end of every run (the morsel runtime flushes per feed/drain), so the
+//! counters stay exact even when one op instance serves many morsels.
 
 mod amac_exec;
 mod baseline;
@@ -75,6 +85,25 @@ pub trait LookupOp {
 
     /// Execute the next code stage of the lookup held in `state`.
     fn step(&mut self, state: &mut Self::State) -> Step;
+
+    /// Whether this op's `start`/`Continue` stages really issue their
+    /// prefetch. Executors multiply the convention count by this, so the
+    /// `PrefetchHint::None` ablation reports 0 instead of a phantom
+    /// one-per-stage. Default: `true` (ops with unconditional prefetches).
+    #[inline(always)]
+    fn issues_prefetches(&self) -> bool {
+        true
+    }
+
+    /// Drain op-side observation counters (nodes visited, tag rejects)
+    /// into `stats`, resetting them. Called by every executor at the end
+    /// of a run and by the morsel runtime after each feed/drain; the
+    /// drain-and-reset contract is what keeps counts exact when one op
+    /// instance processes many morsels. Default: nothing to report.
+    #[inline(always)]
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        let _ = stats;
+    }
 }
 
 /// The prefetching technique to execute a workload with.

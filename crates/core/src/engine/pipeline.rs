@@ -33,7 +33,7 @@
 //! pipeline — and every composition stays a plain state machine: no
 //! allocation, no dynamic dispatch, no queues between operators.
 
-use super::{LookupOp, Step};
+use super::{EngineStats, LookupOp, Step};
 
 /// Outcome of one executed code stage of a pipeline operator.
 ///
@@ -81,6 +81,22 @@ pub trait PipelineOp {
 
     /// Execute the next code stage of the tuple held in `state`.
     fn step(&mut self, state: &mut Self::State) -> StageStep<Self::Output>;
+
+    /// Whether this operator's stages really issue their prefetches (see
+    /// [`LookupOp::issues_prefetches`]). For a fused chain this is true if
+    /// **any** member operator prefetches; the counter keeps convention
+    /// granularity, not per-suboperator granularity.
+    #[inline(always)]
+    fn issues_prefetches(&self) -> bool {
+        true
+    }
+
+    /// Drain op-side observation counters into `stats` (see
+    /// [`LookupOp::flush_observed`]); chains drain every member.
+    #[inline(always)]
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        let _ = stats;
+    }
 }
 
 /// The fused filter + projection between two pipeline operators.
@@ -195,6 +211,15 @@ where
             ChainState::Down(b) => self.down.step(b),
         }
     }
+
+    fn issues_prefetches(&self) -> bool {
+        self.up.issues_prefetches() || self.down.issues_prefetches()
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        self.up.flush_observed(stats);
+        self.down.flush_observed(stats);
+    }
 }
 
 /// Adapts any existing [`LookupOp`] into a **terminal** pipeline
@@ -232,6 +257,14 @@ impl<L: LookupOp> PipelineOp for Terminal<L> {
             Step::Blocked => StageStep::Blocked,
             Step::Done => StageStep::Emit(()),
         }
+    }
+
+    fn issues_prefetches(&self) -> bool {
+        self.0.issues_prefetches()
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        self.0.flush_observed(stats);
     }
 }
 
@@ -327,6 +360,14 @@ where
                 Step::Done
             }
         }
+    }
+
+    fn issues_prefetches(&self) -> bool {
+        self.pipe.issues_prefetches()
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        self.pipe.flush_observed(stats);
     }
 }
 

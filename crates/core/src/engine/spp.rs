@@ -25,6 +25,7 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
     if inputs.is_empty() {
         return stats;
     }
+    let pf = op.issues_prefetches() as u64;
     let m = m.clamp(1, inputs.len());
     let n = op.budgeted_steps().max(1);
     let mut states: Vec<O::State> = Vec::with_capacity(m);
@@ -44,7 +45,7 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
         }
         op.start(inputs[next], &mut states[k]);
         stats.stages += 1;
-        stats.prefetches += 1;
+        stats.prefetches += pf;
         next += 1;
         active[k] = true;
         done[k] = false;
@@ -67,7 +68,7 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
                 if next < inputs.len() {
                     op.start(inputs[next], &mut states[k]);
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                     next += 1;
                     done[k] = false;
                     taken[k] = 0;
@@ -86,7 +87,7 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
             match op.step(&mut states[k]) {
                 Step::Continue => {
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                 }
                 Step::Done => {
                     stats.stages += 1;
@@ -100,6 +101,7 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
             taken[k] += 1;
         }
     }
+    op.flush_observed(&mut stats);
     stats
 }
 

@@ -27,8 +27,18 @@ pub struct EngineStats {
     /// baseline/GP/SPP: in-place spin iterations).
     pub latch_retries: u64,
     /// Prefetches issued (by the convention documented on
-    /// [`super::LookupOp`]).
+    /// [`super::LookupOp`]; stages whose op declines to prefetch — the
+    /// `PrefetchHint::None` ablation — are not counted).
     pub prefetches: u64,
+    /// Chain nodes dereferenced by the op's productive steps — the
+    /// dependent cache-line hops a lookup actually paid for, reported by
+    /// ops via [`super::LookupOp::flush_observed`]. This is the layout
+    /// metric: fewer nodes per lookup = fewer prefetch/rotate cycles per
+    /// probe at identical results.
+    pub nodes_visited: u64,
+    /// Chain nodes rejected by the SWAR tag filter without touching any
+    /// key bytes (tag-probed tables only; 0 for ops without tags).
+    pub tag_rejects: u64,
 }
 
 impl EngineStats {
@@ -41,6 +51,18 @@ impl EngineStats {
         self.bailout_stages += o.bailout_stages;
         self.latch_retries += o.latch_retries;
         self.prefetches += o.prefetches;
+        self.nodes_visited += o.nodes_visited;
+        self.tag_rejects += o.tag_rejects;
+    }
+
+    /// Mean chain nodes dereferenced per completed lookup (0 when the op
+    /// does not report node visits).
+    pub fn nodes_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.nodes_visited as f64 / self.lookups as f64
+        }
     }
 
     /// Total stage slots visited per completed lookup — the software proxy
@@ -61,12 +83,22 @@ mod tests {
     #[test]
     fn merge_sums_fields() {
         let mut a = EngineStats { lookups: 1, stages: 10, prefetches: 5, ..Default::default() };
-        a.merge(&EngineStats { lookups: 2, noops: 3, bailouts: 1, ..Default::default() });
+        a.merge(&EngineStats {
+            lookups: 2,
+            noops: 3,
+            bailouts: 1,
+            nodes_visited: 7,
+            tag_rejects: 4,
+            ..Default::default()
+        });
         assert_eq!(a.lookups, 3);
         assert_eq!(a.stages, 10);
         assert_eq!(a.noops, 3);
         assert_eq!(a.bailouts, 1);
         assert_eq!(a.prefetches, 5);
+        assert_eq!(a.nodes_visited, 7);
+        assert_eq!(a.tag_rejects, 4);
+        assert!((a.nodes_per_lookup() - 7.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -53,16 +53,16 @@ pub async fn groupby_one(handle: &RefCell<AggHandle<'_>>, key: u64, payload: u64
                 (*header).latch.release();
                 return;
             }
-            if d.next.is_null() {
-                let fresh = handle.borrow_mut().alloc_node();
+            if d.next == amac_mem::NULL_INDEX {
+                let (idx, fresh) = handle.borrow_mut().alloc_node();
                 let fd = (*fresh).data_mut();
                 fd.key = key;
                 fd.aggs = AggValues::first(payload);
-                d.next = fresh;
+                d.next = idx;
                 (*header).latch.release();
                 return;
             }
-            let next = d.next;
+            let next = handle.borrow().table().node_ptr(d.next);
             prefetch_yield(next).await;
             cur = next;
         }

@@ -35,6 +35,7 @@ pub struct ChainHit {
 /// under duplicates). Semantics match `amac_ops::join::ProbeOp` exactly.
 pub async fn probe_chain(ht: &HashTable, key: u64, scan_all: bool) -> ChainHit {
     let mut hit = ChainHit { matches: 0, sum: 0, first: u64::MAX };
+    let probe = amac_hashtable::probe_word(amac_mem::hash::tag_of(key));
     let mut node = ht.bucket_addr(key);
     prefetch_yield(node).await;
     loop {
@@ -42,24 +43,28 @@ pub async fn probe_chain(ht: &HashTable, key: u64, scan_all: bool) -> ChainHit {
         // at the header or an arena-owned chain node.
         let d = unsafe { (*node).data() };
         let mut node_hit = false;
-        for i in 0..d.count as usize {
-            let t = d.tuples[i];
-            if t.key == key {
-                hit.matches += 1;
-                hit.sum = hit.sum.wrapping_add(t.payload);
-                if hit.first == u64::MAX {
-                    hit.first = t.payload;
+        // The same SWAR tag filter as the state-machine op: only a
+        // fingerprint hit touches the tuple slots.
+        if amac_hashtable::tags_may_match(d.meta, probe) {
+            for i in 0..d.count() {
+                let t = d.tuples[i];
+                if t.key == key {
+                    hit.matches += 1;
+                    hit.sum = hit.sum.wrapping_add(t.payload);
+                    if hit.first == u64::MAX {
+                        hit.first = t.payload;
+                    }
+                    node_hit = true;
                 }
-                node_hit = true;
             }
         }
         if node_hit && !scan_all {
             return hit;
         }
-        let next = d.next;
-        if next.is_null() {
+        if d.next == amac_mem::NULL_INDEX {
             return hit;
         }
+        let next = ht.node_ptr(d.next);
         prefetch_yield(next).await;
         node = next;
     }

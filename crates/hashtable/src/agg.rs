@@ -12,11 +12,11 @@
 //! morsels, or threads — produces bit-identical tables; the fused
 //! pipeline equivalence tests rely on this.
 
-use amac_mem::arena::Arena;
+use amac_mem::arena::IndexedArena;
 use amac_mem::hash::{bucket_of, next_pow2};
 use amac_mem::latch::Latch;
+use amac_mem::NULL_INDEX;
 use core::cell::UnsafeCell;
-use std::sync::Mutex;
 
 /// Aggregates maintained per group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,8 +75,10 @@ pub struct AggData {
     pub key: u64,
     /// The running aggregates; `count == 0` marks an unoccupied header.
     pub aggs: AggValues,
-    /// Next chain node, or null.
-    pub next: *mut AggBucket,
+    /// Arena index of the next chain node, or [`NULL_INDEX`]. The `u32`
+    /// link (vs the seed's 8-byte pointer) keeps the node at 56 payload
+    /// bytes — same one-line budget as the probe-table node.
+    pub next: u32,
 }
 
 impl Default for AggData {
@@ -84,7 +86,7 @@ impl Default for AggData {
         AggData {
             key: 0,
             aggs: AggValues { count: 0, sum: 0, min: u64::MAX, max: 0, sumsq: 0 },
-            next: core::ptr::null_mut(),
+            next: NULL_INDEX,
         }
     }
 }
@@ -129,7 +131,9 @@ impl AggBucket {
 pub struct AggTable {
     buckets: amac_mem::align::AlignedBox<AggBucket>,
     mask: u64,
-    arenas: Mutex<Vec<Arena<AggBucket>>>,
+    /// Overflow group nodes, shared by every handle and addressed by the
+    /// `u32` chain indices stored in [`AggData::next`].
+    nodes: IndexedArena<AggBucket>,
 }
 
 impl AggTable {
@@ -139,7 +143,7 @@ impl AggTable {
         AggTable {
             buckets: amac_mem::align::alloc_aligned_slice(n),
             mask: (n - 1) as u64,
-            arenas: Mutex::new(Vec::new()),
+            nodes: IndexedArena::new(),
         }
     }
 
@@ -167,24 +171,33 @@ impl AggTable {
         unsafe { self.buckets.as_ptr().add(bucket_of(key, self.mask) as usize) }
     }
 
-    /// Open an update session (latched inserts/updates; arena donated back
-    /// on drop).
+    /// Resolve a chain index to the overflow node's stable address (the
+    /// per-hop address computation before the prefetch).
+    #[inline(always)]
+    pub fn node_ptr(&self, idx: u32) -> *const AggBucket {
+        self.nodes.get(idx)
+    }
+
+    /// Open an update session (latched inserts/updates; nodes come from
+    /// the table's shared indexed arena).
     pub fn handle(&self) -> AggHandle<'_> {
-        AggHandle { table: self, arena: Some(Arena::new()) }
+        AggHandle { table: self }
     }
 
     /// Read a group's aggregates (read-only phase).
     pub fn get(&self, key: u64) -> Option<AggValues> {
         let mut node = self.bucket_addr(key);
-        while !node.is_null() {
+        loop {
             // SAFETY: read-only phase.
             let d = unsafe { (*node).data() };
             if d.aggs.count > 0 && d.key == key {
                 return Some(d.aggs);
             }
-            node = d.next;
+            if d.next == NULL_INDEX {
+                return None;
+            }
+            node = self.node_ptr(d.next);
         }
-        None
     }
 
     /// Snapshot every group (read-only phase; test/validation use).
@@ -192,13 +205,16 @@ impl AggTable {
         let mut out = Vec::new();
         for b in self.buckets.iter() {
             let mut node: *const AggBucket = b;
-            while !node.is_null() {
+            loop {
                 // SAFETY: read-only phase.
                 let d = unsafe { (*node).data() };
                 if d.aggs.count > 0 {
                     out.push((d.key, d.aggs));
                 }
-                node = d.next;
+                if d.next == NULL_INDEX {
+                    break;
+                }
+                node = self.node_ptr(d.next);
             }
         }
         out
@@ -217,7 +233,6 @@ unsafe impl Sync for AggTable {}
 /// An update session against a shared [`AggTable`].
 pub struct AggHandle<'t> {
     table: &'t AggTable,
-    arena: Option<Arena<AggBucket>>,
 }
 
 impl AggHandle<'_> {
@@ -227,10 +242,10 @@ impl AggHandle<'_> {
         self.table
     }
 
-    /// Allocate a fresh chain node from the private arena.
+    /// Allocate a fresh chain node, returning its index and address.
     #[inline]
-    pub fn alloc_node(&mut self) -> *mut AggBucket {
-        self.arena.as_mut().expect("arena present until drop").alloc()
+    pub fn alloc_node(&mut self) -> (u32, *mut AggBucket) {
+        self.table.nodes.alloc()
     }
 
     /// Aggregate `(key, payload)`, spinning on the header latch (the
@@ -254,7 +269,7 @@ impl AggHandle<'_> {
     /// `header` must be a header of this handle's table; the calling
     /// thread must hold its latch.
     pub unsafe fn update_latched(&mut self, header: *const AggBucket, key: u64, payload: u64) {
-        let mut node = header as *mut AggBucket;
+        let mut node = header;
         loop {
             let d = (*node).data_mut();
             if d.aggs.count == 0 {
@@ -267,23 +282,15 @@ impl AggHandle<'_> {
                 d.aggs.update(payload);
                 return;
             }
-            if d.next.is_null() {
-                let fresh = self.alloc_node();
+            if d.next == NULL_INDEX {
+                let (idx, fresh) = self.alloc_node();
                 let fd = (*fresh).data_mut();
                 fd.key = key;
                 fd.aggs = AggValues::first(payload);
-                d.next = fresh;
+                d.next = idx;
                 return;
             }
-            node = d.next;
-        }
-    }
-}
-
-impl Drop for AggHandle<'_> {
-    fn drop(&mut self) {
-        if let Some(arena) = self.arena.take() {
-            self.table.arenas.lock().expect("arena registry poisoned").push(arena);
+            node = self.table.node_ptr(d.next);
         }
     }
 }

@@ -1,40 +1,113 @@
-//! The 64-byte bucket / chain-node layout.
+//! The 64-byte tag-probed chain-node layout.
+//!
+//! The seed reproduction used the paper's literal C struct: 1-byte count
+//! (padded to 8), two 16-byte tuples and an 8-byte `next` pointer — 48
+//! payload bytes, 2 tuples per cache line. At the paper's fill factors
+//! that layout pays one chain hop per two tuples, and in AMAC every hop is
+//! a full stage: one more prefetch, one more window rotation, one more
+//! dependent cache-line access. This module re-spends the line's budget:
+//!
+//! * the 8-byte `next` pointer becomes a **`u32` index** into the table's
+//!   [`IndexedArena`](amac_mem::arena::IndexedArena) (4 bytes reclaimed);
+//! * count and padding collapse into one packed [`meta`](BucketData::meta)
+//!   word that also carries an 8-bit splitmix-derived **fingerprint per
+//!   slot** (tags);
+//! * the reclaimed bytes raise inline capacity from 2 to **3 tuples per
+//!   node** — expected hops per probe drop by ~1/3 at equal fill factor.
+//!
+//! The tags pay a second dividend: a probe compares its key's fingerprint
+//! against all three slots **branch-free** — one XOR against the packed
+//! meta word plus a SWAR zero-byte test ([`tags_may_match`]) — and only
+//! touches the 16-byte tuple slots when some tag matches. A chain node
+//! that holds no match is usually rejected from its first 4 bytes.
+//!
+//! The legacy 2-tuple pointer-linked layout survives as
+//! [`crate::legacy::LegacyBucket`] so the layout A/B (`bench/bin/layout`)
+//! can measure exactly what this redesign buys.
 
 use amac_mem::latch::Latch;
+use amac_mem::NULL_INDEX;
 use amac_workload::Tuple;
 use core::cell::UnsafeCell;
 
 /// Tuples stored inline per chain node (bucket header or overflow node).
-pub const TUPLES_PER_NODE: usize = 2;
+pub const TUPLES_PER_NODE: usize = 3;
 
-/// Mutable interior of a bucket: fill count, inline tuples, chain pointer.
+/// Build the packed probe word for fingerprint `fp`: the fingerprint
+/// broadcast into the three tag lanes, with lane 3 poisoned (`0xFF`) so
+/// the count byte of [`BucketData::meta`] can never fake a match.
+#[inline(always)]
+pub fn probe_word(fp: u8) -> u32 {
+    u32::from_le_bytes([fp, fp, fp, 0xFF])
+}
+
+/// Branch-free tag filter: true iff some **occupied** slot's tag equals
+/// the probed fingerprint.
 ///
-/// `repr(C)` keeps the layout equal to the paper's C struct: 1-byte count
-/// (padded), 2 × 16-byte tuples, 8-byte next pointer — 48 bytes, leaving
-/// the latch and padding to reach one cache line.
+/// `meta` packs three tag bytes plus the count byte; `probe` comes from
+/// [`probe_word`]. XOR zeroes exactly the lanes whose tag equals the
+/// fingerprint, and the Mycroft zero-byte test detects any zero lane with
+/// three ALU ops. No false negatives (an equal tag always yields a zero
+/// lane) and no spurious lanes: empty slots hold tag 0 while real
+/// fingerprints have the high bit set ([`amac_mem::hash::tag_of`]), and
+/// the count lane is poisoned by `probe_word`, so neither can go to zero.
+#[inline(always)]
+pub fn tags_may_match(meta: u32, probe: u32) -> bool {
+    let x = meta ^ probe;
+    (x.wrapping_sub(0x0101_0101) & !x & 0x8080_8080) != 0
+}
+
+/// Mutable interior of a chain node: 3 inline tuples, `u32` chain link,
+/// packed tags + count.
+///
+/// `repr(C)` keeps the layout exact: 48 B tuples + 4 B next + 4 B meta =
+/// 56 B, leaving the latch and padding to reach one cache line.
 #[repr(C)]
 #[derive(Debug, Clone, Copy)]
 pub struct BucketData {
-    /// Number of occupied tuple slots in this node (0..=2).
-    pub count: u8,
-    /// Inline tuple storage; slots `0..count` are valid.
+    /// Inline tuple storage; slots `0..count()` are valid.
     pub tuples: [Tuple; TUPLES_PER_NODE],
-    /// Next chain node, or null.
-    pub next: *mut Bucket,
+    /// Arena index of the next chain node, or [`NULL_INDEX`].
+    pub next: u32,
+    /// Packed metadata: bytes 0..=2 hold the per-slot fingerprints (0 =
+    /// empty slot), byte 3 holds the occupied-slot count. One u32 load
+    /// feeds both the SWAR tag test and the scan bound.
+    pub meta: u32,
+}
+
+impl BucketData {
+    /// Number of occupied tuple slots in this node (0..=3).
+    #[inline(always)]
+    pub fn count(&self) -> usize {
+        (self.meta >> 24) as usize
+    }
+
+    /// Fingerprint stored for slot `i` (0 when the slot is empty).
+    #[inline(always)]
+    pub fn tag(&self, i: usize) -> u8 {
+        debug_assert!(i < TUPLES_PER_NODE);
+        (self.meta >> (8 * i)) as u8
+    }
+
+    /// Append `tuple` with fingerprint `tag` to the next free slot.
+    /// Caller guarantees `count() < TUPLES_PER_NODE`.
+    #[inline(always)]
+    pub fn push(&mut self, tuple: Tuple, tag: u8) {
+        let c = self.count();
+        debug_assert!(c < TUPLES_PER_NODE, "node full");
+        self.tuples[c] = tuple;
+        self.meta = (self.meta | ((tag as u32) << (8 * c))).wrapping_add(1 << 24);
+    }
 }
 
 impl Default for BucketData {
     fn default() -> Self {
-        BucketData {
-            count: 0,
-            tuples: [Tuple::default(); TUPLES_PER_NODE],
-            next: core::ptr::null_mut(),
-        }
+        BucketData { tuples: [Tuple::default(); TUPLES_PER_NODE], next: NULL_INDEX, meta: 0 }
     }
 }
 
 /// One cache-line-aligned hash-table chain node (bucket header and
-/// overflow node share this layout, per the paper's Fig. 1).
+/// overflow node share this layout, as in the paper's Fig. 1).
 #[repr(C, align(64))]
 #[derive(Debug, Default)]
 pub struct Bucket {
@@ -46,8 +119,8 @@ pub struct Bucket {
 
 // SAFETY: all mutation of `data` is performed while holding `latch` (build
 // phases); traversal without the latch only happens in read-only phases.
-// The raw `next` pointers always point into arenas owned by (or donated to)
-// the same table, so they remain valid as long as any reference exists.
+// The `next` indices always resolve through the arena owned by the same
+// table, so they remain valid as long as any reference exists.
 unsafe impl Send for Bucket {}
 unsafe impl Sync for Bucket {}
 
@@ -83,6 +156,7 @@ impl Bucket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amac_mem::hash::tag_of;
 
     #[test]
     fn bucket_is_one_cache_line() {
@@ -91,17 +165,91 @@ mod tests {
     }
 
     #[test]
-    fn bucket_data_layout_matches_paper() {
-        // 1B count (+7 pad) + 32B tuples + 8B next = 48.
-        assert_eq!(core::mem::size_of::<BucketData>(), 48);
+    fn bucket_data_layout_spends_the_line_on_tuples() {
+        // 48 B tuples + 4 B next index + 4 B packed tags/count = 56.
+        assert_eq!(core::mem::size_of::<BucketData>(), 56);
+        assert_eq!(TUPLES_PER_NODE, 3);
     }
 
     #[test]
     fn default_bucket_is_empty() {
         let b = Bucket::default();
         let d = unsafe { b.data() };
-        assert_eq!(d.count, 0);
-        assert!(d.next.is_null());
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.next, NULL_INDEX);
+        assert_eq!(d.meta, 0);
+    }
+
+    #[test]
+    fn push_tracks_count_and_tags() {
+        let b = Bucket::default();
+        let d = unsafe { b.data_mut() };
+        for (i, key) in [42u64, 7, 99].into_iter().enumerate() {
+            d.push(Tuple::new(key, key * 2), tag_of(key));
+            assert_eq!(d.count(), i + 1);
+            assert_eq!(d.tag(i), tag_of(key));
+            assert_eq!(d.tuples[i], Tuple::new(key, key * 2));
+        }
+    }
+
+    #[test]
+    fn swar_filter_has_no_false_negatives() {
+        let mut d = BucketData::default();
+        for key in [3u64, 1_000_003, 77] {
+            d.push(Tuple::new(key, 0), tag_of(key));
+        }
+        for key in [3u64, 1_000_003, 77] {
+            assert!(
+                tags_may_match(d.meta, probe_word(tag_of(key))),
+                "stored key {key} must pass its own tag filter"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_filter_rejects_empty_and_poisoned_lanes() {
+        // Empty node: every lane is 0, every real fingerprint has the high
+        // bit set, and the count lane is poisoned — nothing may match.
+        let empty = BucketData::default();
+        for key in 0..1000u64 {
+            assert!(!tags_may_match(empty.meta, probe_word(tag_of(key))));
+        }
+        // Partially filled node with maximum count: the count byte (3)
+        // must never fake a tag match either.
+        let mut d = BucketData::default();
+        for key in [1u64, 2, 3] {
+            d.push(Tuple::new(key, 0), tag_of(key));
+        }
+        assert_eq!(d.meta >> 24, 3);
+        for fp in 0u8..=255 {
+            let stored = [d.tag(0), d.tag(1), d.tag(2)];
+            let expect = stored.contains(&fp);
+            assert_eq!(
+                tags_may_match(d.meta, probe_word(fp)),
+                expect,
+                "fp {fp:#x} vs stored {stored:x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_filter_reject_rate_is_low() {
+        // The 7-bit fingerprint keeps accidental tag collisions ~1/128 per
+        // occupied slot; with 3 slots a foreign probe should pass the
+        // filter well under 5% of the time.
+        let mut d = BucketData::default();
+        for key in [11u64, 222, 3333] {
+            d.push(Tuple::new(key, 0), tag_of(key));
+        }
+        let trials = 100_000u64;
+        let mut passes = 0u64;
+        for key in 10_000..10_000 + trials {
+            if tags_may_match(d.meta, probe_word(tag_of(key))) {
+                passes += 1;
+            }
+        }
+        let rate = passes as f64 / trials as f64;
+        assert!(rate < 0.05, "false-pass rate {rate:.4} too high");
     }
 
     #[test]
@@ -109,11 +257,10 @@ mod tests {
         let b = Bucket::default();
         unsafe {
             let d = b.data_mut();
-            d.count = 1;
-            d.tuples[0] = Tuple::new(42, 99);
+            d.push(Tuple::new(42, 99), tag_of(42));
         }
         let d = unsafe { b.data() };
-        assert_eq!(d.count, 1);
+        assert_eq!(d.count(), 1);
         assert_eq!(d.tuples[0], Tuple::new(42, 99));
     }
 }

@@ -11,30 +11,32 @@
 //! payload chunk) and a higher write volume — a heavier irregular-access
 //! workload for the executors.
 
-use amac_mem::arena::Arena;
+use amac_mem::arena::IndexedArena;
 use amac_mem::hash::{bucket_of, next_pow2};
 use amac_mem::latch::Latch;
+use amac_mem::NULL_INDEX;
 use core::cell::UnsafeCell;
-use std::sync::Mutex;
 
-/// Payloads stored inline per list chunk (fills the line: 6×8 B payloads
-/// + count + next ≈ 64 B).
-pub const PAYLOADS_PER_CHUNK: usize = 6;
+/// Payloads stored inline per list chunk. The `u32` chunk link (vs the
+/// seed's 8-byte pointer) buys a seventh payload slot in the same cache
+/// line: 7×8 B payloads + 4 B next + 1 B count = 61 B.
+pub const PAYLOADS_PER_CHUNK: usize = 7;
 
 /// A chunk of buffered payloads.
 #[repr(C, align(64))]
 pub struct PayloadChunk {
-    /// Occupied slots.
-    pub count: u8,
     /// Payload slots; `0..count` valid.
     pub payloads: [u64; PAYLOADS_PER_CHUNK],
-    /// Older chunk (chunks are prepended), or null.
-    pub next: *mut PayloadChunk,
+    /// Arena index of the older chunk (chunks are prepended), or
+    /// [`NULL_INDEX`].
+    pub next: u32,
+    /// Occupied slots.
+    pub count: u8,
 }
 
 impl Default for PayloadChunk {
     fn default() -> Self {
-        PayloadChunk { count: 0, payloads: [0; PAYLOADS_PER_CHUNK], next: core::ptr::null_mut() }
+        PayloadChunk { payloads: [0; PAYLOADS_PER_CHUNK], next: NULL_INDEX, count: 0 }
     }
 }
 
@@ -45,15 +47,16 @@ pub struct LateData {
     pub key: u64,
     /// Total payloads buffered for this group.
     pub tuples: u64,
-    /// Head of the chunk list.
-    pub head: *mut PayloadChunk,
-    /// Next group node in this bucket's chain.
-    pub next: *mut LateBucket,
+    /// Chunk-arena index of the chunk-list head, or [`NULL_INDEX`].
+    pub head: u32,
+    /// Node-arena index of the next group node in this bucket's chain, or
+    /// [`NULL_INDEX`].
+    pub next: u32,
 }
 
 impl Default for LateData {
     fn default() -> Self {
-        LateData { key: 0, tuples: 0, head: core::ptr::null_mut(), next: core::ptr::null_mut() }
+        LateData { key: 0, tuples: 0, head: NULL_INDEX, next: NULL_INDEX }
     }
 }
 
@@ -97,8 +100,11 @@ impl LateBucket {
 pub struct LateAggTable {
     buckets: amac_mem::align::AlignedBox<LateBucket>,
     mask: u64,
-    node_arenas: Mutex<Vec<Arena<LateBucket>>>,
-    chunk_arenas: Mutex<Vec<Arena<PayloadChunk>>>,
+    /// Overflow group nodes ([`LateData::next`] indices resolve here).
+    nodes: IndexedArena<LateBucket>,
+    /// Payload chunks ([`LateData::head`]/[`PayloadChunk::next`] indices
+    /// resolve here).
+    chunks: IndexedArena<PayloadChunk>,
 }
 
 // SAFETY: as for the other tables.
@@ -112,8 +118,8 @@ impl LateAggTable {
         LateAggTable {
             buckets: amac_mem::align::alloc_aligned_slice(n),
             mask: (n - 1) as u64,
-            node_arenas: Mutex::new(Vec::new()),
-            chunk_arenas: Mutex::new(Vec::new()),
+            nodes: IndexedArena::new(),
+            chunks: IndexedArena::new(),
         }
     }
 
@@ -129,35 +135,50 @@ impl LateAggTable {
         unsafe { self.buckets.as_ptr().add(bucket_of(key, self.mask) as usize) }
     }
 
+    /// Resolve a group-node chain index to its stable address.
+    #[inline(always)]
+    pub fn node_ptr(&self, idx: u32) -> *const LateBucket {
+        self.nodes.get(idx)
+    }
+
+    /// Resolve a payload-chunk index to its stable address.
+    #[inline(always)]
+    pub fn chunk_ptr(&self, idx: u32) -> *const PayloadChunk {
+        self.chunks.get(idx)
+    }
+
     /// Open an update session.
     pub fn handle(&self) -> LateHandle<'_> {
-        LateHandle { table: self, nodes: Some(Arena::new()), chunks: Some(Arena::new()) }
+        LateHandle { table: self }
     }
 
     /// Collect a group's buffered payloads (read-only phase).
     pub fn payloads(&self, key: u64) -> Option<Vec<u64>> {
         let mut node = self.bucket_addr(key);
-        while !node.is_null() {
+        loop {
             // SAFETY: read-only phase.
             let d = unsafe { (*node).data() };
             if d.tuples > 0 && d.key == key {
                 let mut out = Vec::with_capacity(d.tuples as usize);
                 let mut chunk = d.head;
-                while !chunk.is_null() {
-                    // SAFETY: chunk list owned by this table's arenas.
+                while chunk != NULL_INDEX {
+                    let c = self.chunk_ptr(chunk);
+                    // SAFETY: chunk list owned by this table's arena.
                     unsafe {
-                        for i in 0..(*chunk).count as usize {
-                            out.push((*chunk).payloads[i]);
+                        for i in 0..(*c).count as usize {
+                            out.push((*c).payloads[i]);
                         }
-                        chunk = (*chunk).next;
+                        chunk = (*c).next;
                     }
                 }
                 debug_assert_eq!(out.len() as u64, d.tuples);
                 return Some(out);
             }
-            node = d.next;
+            if d.next == NULL_INDEX {
+                return None;
+            }
+            node = self.node_ptr(d.next);
         }
-        None
     }
 
     /// Compute the paper's aggregates from the buffered payloads (the
@@ -177,13 +198,16 @@ impl LateAggTable {
         let mut n = 0usize;
         for b in self.buckets.iter() {
             let mut node: *const LateBucket = b;
-            while !node.is_null() {
+            loop {
                 // SAFETY: read-only phase.
                 let d = unsafe { (*node).data() };
                 if d.tuples > 0 {
                     n += 1;
                 }
-                node = d.next;
+                if d.next == NULL_INDEX {
+                    break;
+                }
+                node = self.node_ptr(d.next);
             }
         }
         n
@@ -193,8 +217,6 @@ impl LateAggTable {
 /// Update session for [`LateAggTable`].
 pub struct LateHandle<'t> {
     table: &'t LateAggTable,
-    nodes: Option<Arena<LateBucket>>,
-    chunks: Option<Arena<PayloadChunk>>,
 }
 
 impl LateHandle<'_> {
@@ -204,16 +226,16 @@ impl LateHandle<'_> {
         self.table
     }
 
-    /// Allocate a fresh group node.
+    /// Allocate a fresh group node, returning its index and address.
     #[inline]
-    pub fn alloc_node(&mut self) -> *mut LateBucket {
-        self.nodes.as_mut().expect("arena present").alloc()
+    pub fn alloc_node(&mut self) -> (u32, *mut LateBucket) {
+        self.table.nodes.alloc()
     }
 
-    /// Allocate a fresh payload chunk.
+    /// Allocate a fresh payload chunk, returning its index and address.
     #[inline]
-    pub fn alloc_chunk(&mut self) -> *mut PayloadChunk {
-        self.chunks.as_mut().expect("arena present").alloc()
+    pub fn alloc_chunk(&mut self) -> (u32, *mut PayloadChunk) {
+        self.table.chunks.alloc()
     }
 
     /// Buffer `(key, payload)`, spinning on the header latch.
@@ -232,7 +254,7 @@ impl LateHandle<'_> {
     /// # Safety
     /// `header` must belong to this handle's table; caller holds its latch.
     pub unsafe fn append_latched(&mut self, header: *const LateBucket, key: u64, payload: u64) {
-        let mut node = header as *mut LateBucket;
+        let mut node = header;
         loop {
             let d = (*node).data_mut();
             if d.tuples == 0 {
@@ -245,15 +267,15 @@ impl LateHandle<'_> {
                 self.push_payload(d, payload);
                 return;
             }
-            if d.next.is_null() {
-                let fresh = self.alloc_node();
+            if d.next == NULL_INDEX {
+                let (idx, fresh) = self.alloc_node();
                 let fd = (*fresh).data_mut();
                 fd.key = key;
                 self.push_payload(fd, payload);
-                d.next = fresh;
+                d.next = idx;
                 return;
             }
-            node = d.next;
+            node = self.table.node_ptr(d.next);
         }
     }
 
@@ -264,27 +286,17 @@ impl LateHandle<'_> {
     /// Caller holds the chain latch covering `d`.
     unsafe fn push_payload(&mut self, d: &mut LateData, payload: u64) {
         let head = d.head;
-        if head.is_null() || (*head).count as usize == PAYLOADS_PER_CHUNK {
-            let fresh = self.alloc_chunk();
+        if head == NULL_INDEX || (*self.table.chunk_ptr(head)).count as usize == PAYLOADS_PER_CHUNK
+        {
+            let (idx, fresh) = self.alloc_chunk();
             (*fresh).next = head;
-            d.head = fresh;
+            d.head = idx;
         }
-        let h = d.head;
+        let h = self.table.chunk_ptr(d.head) as *mut PayloadChunk;
         let c = (*h).count as usize;
         (*h).payloads[c] = payload;
         (*h).count += 1;
         d.tuples += 1;
-    }
-}
-
-impl Drop for LateHandle<'_> {
-    fn drop(&mut self) {
-        if let Some(a) = self.nodes.take() {
-            self.table.node_arenas.lock().expect("poisoned").push(a);
-        }
-        if let Some(a) = self.chunks.take() {
-            self.table.chunk_arenas.lock().expect("poisoned").push(a);
-        }
     }
 }
 

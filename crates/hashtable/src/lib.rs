@@ -1,19 +1,24 @@
 //! Hash tables in the paper's (Balkesen et al.) layout, plus the
 //! open-addressing counterpart for the layout ablation.
 //!
-//! Three tables:
+//! Four tables:
 //!
-//! * [`HashTable`] — the chained hash-join table (§4): each 64-byte,
-//!   cache-line-aligned bucket holds a 1-byte latch, two 16-byte tuples and
-//!   an 8-byte pointer to the next chain node; overflow nodes reuse the
-//!   bucket layout ("the first hash table node is clustered with the bucket
-//!   header", Fig. 1).
+//! * [`HashTable`] — the chained hash-join table (§4) in the **tag-probed
+//!   fat layout**: each 64-byte, cache-line-aligned node holds a 1-byte
+//!   latch, **three** 16-byte tuples, a packed word of per-slot
+//!   fingerprints and a `u32` arena index to the next chain node (see
+//!   [`bucket`] for the layout math and the SWAR tag filter); overflow
+//!   nodes reuse the bucket layout ("the first hash table node is
+//!   clustered with the bucket header", Fig. 1).
 //! * [`agg::AggTable`] — the group-by table: one group per node, carrying
 //!   the paper's six aggregates (count, sum, min, max, sum of squares, and
-//!   avg derived at read time).
+//!   avg derived at read time), chain-linked by `u32` index.
 //! * [`linear::LinearTable`] — open-addressing linear probing over flat
 //!   cache-line slot groups: the other end of §2.1.1's layout/space
 //!   tradeoff, with the fill factor as the irregularity knob.
+//! * [`legacy::LegacyHashTable`] / [`legacy::LegacyAggTable`] — the seed's
+//!   pointer-linked 2-tuple layout, kept for the layout A/B
+//!   (`bench/bin/layout`).
 //!
 //! # Concurrency model
 //!
@@ -21,18 +26,21 @@
 //! the *holder of a bucket's latch* may mutate that bucket's chain; readers
 //! may traverse only during read-only phases (probe after build), which the
 //! operator drivers enforce by taking `&mut`/ownership at phase boundaries.
-//! Overflow nodes come from caller-owned arenas that are donated back to
-//! the table (see [`BuildHandle`]), keeping every chain pointer valid for
-//! the table's lifetime.
+//! Overflow nodes come from one table-owned
+//! [`IndexedArena`](amac_mem::arena::IndexedArena) with lock-free
+//! allocation, so the `u32` chain indices all build handles write resolve
+//! through a single address space for the table's lifetime.
 
 pub mod agg;
 pub mod bucket;
 pub mod late;
+pub mod legacy;
 pub mod linear;
 pub mod table;
 
 pub use agg::{AggBucket, AggTable};
-pub use bucket::{Bucket, BucketData, TUPLES_PER_NODE};
+pub use bucket::{probe_word, tags_may_match, Bucket, BucketData, TUPLES_PER_NODE};
 pub use late::LateAggTable;
+pub use legacy::{LegacyAggTable, LegacyBucket, LegacyHashTable, LEGACY_TUPLES_PER_NODE};
 pub use linear::{LinearTable, SlotLine, EMPTY_KEY, SLOTS_PER_LINE};
 pub use table::{BuildHandle, HashTable, TableStats};

@@ -1,11 +1,11 @@
 //! The hash-join table.
 
 use crate::bucket::{Bucket, TUPLES_PER_NODE};
-use amac_mem::arena::Arena;
-use amac_mem::hash::{bucket_of, next_pow2};
+use amac_mem::arena::IndexedArena;
+use amac_mem::hash::{bucket_of, next_pow2, tag_of};
+use amac_mem::NULL_INDEX;
 use amac_workload::{Relation, Tuple};
 use core::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// The chained hash table used by the hash-join workloads.
 ///
@@ -15,13 +15,17 @@ use std::sync::Mutex;
 /// node, then a freshly allocated node spliced right behind the header —
 /// matching Balkesen's NPO build and the paper's observation that build
 /// cost is insensitive to skew (§5.1).
+///
+/// Chain nodes live in one table-owned [`IndexedArena`] and are linked by
+/// `u32` index (see [`crate::bucket`] for the layout math); probes resolve
+/// an index to its stable address with [`node_ptr`](HashTable::node_ptr)
+/// before prefetching the next hop.
 pub struct HashTable {
     buckets: amac_mem::align::AlignedBox<Bucket>,
     mask: u64,
-    /// Overflow-node arenas: the serial one plus any donated by build
-    /// threads. Their node addresses are referenced by chain pointers, so
-    /// they must live exactly as long as the buckets.
-    arenas: Mutex<Vec<Arena<Bucket>>>,
+    /// Overflow chain nodes, shared by every build handle; `u32` chain
+    /// indices resolve into this arena for the table's whole lifetime.
+    nodes: IndexedArena<Bucket>,
     /// Tuples inserted so far (merged from build handles on drop).
     tuples: AtomicU64,
 }
@@ -34,7 +38,7 @@ impl HashTable {
         HashTable {
             buckets: amac_mem::align::alloc_aligned_slice(n),
             mask: (n - 1) as u64,
-            arenas: Mutex::new(Vec::new()),
+            nodes: IndexedArena::new(),
             tuples: AtomicU64::new(0),
         }
     }
@@ -85,10 +89,33 @@ impl HashTable {
         unsafe { self.buckets.as_ptr().add(self.bucket_index(key)) }
     }
 
-    /// Open a build handle that inserts through latches and donates its
-    /// overflow arena back to the table on drop.
+    /// Resolve a chain index (read from some node's `next`) to the
+    /// overflow node's stable address — the per-hop address computation
+    /// that precedes the prefetch. One `lzcnt` plus one L1-resident
+    /// directory load; the DRAM access is still the node itself.
+    #[inline(always)]
+    pub fn node_ptr(&self, idx: u32) -> *const Bucket {
+        self.nodes.get(idx)
+    }
+
+    /// Address of bucket header `idx` (diagnostics/tests; probes use
+    /// [`bucket_addr`](HashTable::bucket_addr)).
+    #[inline]
+    pub fn header_addr(&self, idx: usize) -> *const Bucket {
+        &self.buckets[idx]
+    }
+
+    /// The table's chain-node arena (for allocation by build handles and
+    /// index diagnostics in tests).
+    #[inline(always)]
+    pub fn nodes(&self) -> &IndexedArena<Bucket> {
+        &self.nodes
+    }
+
+    /// Open a build handle that inserts through latches, allocating
+    /// overflow nodes from the table's shared indexed arena.
     pub fn build_handle(&self) -> BuildHandle<'_> {
-        BuildHandle { table: self, arena: Some(Arena::new()), inserted: 0 }
+        BuildHandle { table: self, inserted: 0 }
     }
 
     /// Tuples inserted so far, as reported by **completed** build handles
@@ -104,50 +131,56 @@ impl HashTable {
     pub fn lookup_all(&self, key: u64) -> Vec<u64> {
         let mut out = Vec::new();
         let mut node = self.bucket_addr(key);
-        while !node.is_null() {
-            // SAFETY: read-only phase traversal; nodes live in arenas owned
-            // by self.
+        loop {
+            // SAFETY: read-only phase traversal; nodes live in the arena
+            // owned by self.
             let d = unsafe { (*node).data() };
-            for i in 0..d.count as usize {
+            for i in 0..d.count() {
                 if d.tuples[i].key == key {
                     out.push(d.tuples[i].payload);
                 }
             }
-            node = d.next;
+            if d.next == NULL_INDEX {
+                return out;
+            }
+            node = self.node_ptr(d.next);
         }
-        out
     }
 
     /// First matching payload for `key`, if any.
     pub fn lookup_first(&self, key: u64) -> Option<u64> {
         let mut node = self.bucket_addr(key);
-        while !node.is_null() {
+        loop {
             // SAFETY: as in lookup_all.
             let d = unsafe { (*node).data() };
-            for i in 0..d.count as usize {
+            for i in 0..d.count() {
                 if d.tuples[i].key == key {
                     return Some(d.tuples[i].payload);
                 }
             }
-            node = d.next;
+            if d.next == NULL_INDEX {
+                return None;
+            }
+            node = self.node_ptr(d.next);
         }
-        None
     }
 
     /// Chain length (in nodes, counting the header) of bucket `idx`.
     pub fn chain_nodes(&self, idx: usize) -> usize {
-        let mut n = 0usize;
         let mut node: *const Bucket = &self.buckets[idx];
-        while !node.is_null() {
+        let mut n = 0usize;
+        loop {
             // SAFETY: read-only phase traversal.
             let d = unsafe { (*node).data() };
-            if n == 0 && d.count == 0 {
+            if n == 0 && d.count() == 0 {
                 return 0; // empty bucket header
             }
             n += 1;
-            node = d.next;
+            if d.next == NULL_INDEX {
+                return n;
+            }
+            node = self.node_ptr(d.next);
         }
-        n
     }
 
     /// Occupancy statistics over all chains.
@@ -169,11 +202,14 @@ impl HashTable {
         let mut total = 0usize;
         for i in 0..self.buckets.len() {
             let mut node: *const Bucket = &self.buckets[i];
-            while !node.is_null() {
+            loop {
                 // SAFETY: read-only phase traversal.
                 let d = unsafe { (*node).data() };
-                total += d.count as usize;
-                node = d.next;
+                total += d.count();
+                if d.next == NULL_INDEX {
+                    break;
+                }
+                node = self.node_ptr(d.next);
             }
         }
         total
@@ -186,7 +222,7 @@ impl HashTable {
 }
 
 // SAFETY: see the bucket module — latches guard mutation; probe phases are
-// read-only; arenas are owned by the table.
+// read-only; the node arena is owned by the table.
 unsafe impl Send for HashTable {}
 unsafe impl Sync for HashTable {}
 
@@ -218,12 +254,10 @@ impl TableStats {
 /// An insertion session against a shared [`HashTable`].
 ///
 /// Each build thread owns one handle; overflow nodes come from the
-/// handle's private arena (no allocator contention), and the arena is
-/// donated to the table when the handle drops, keeping chain pointers
-/// valid.
+/// table's shared [`IndexedArena`] (a lock-free atomic bump), so the `u32`
+/// chain indices every thread writes resolve through one address space.
 pub struct BuildHandle<'t> {
     table: &'t HashTable,
-    arena: Option<Arena<Bucket>>,
     inserted: u64,
 }
 
@@ -234,10 +268,11 @@ impl BuildHandle<'_> {
         self.table
     }
 
-    /// Allocate a fresh overflow node from this handle's arena.
+    /// Allocate a fresh overflow node, returning its chain index and
+    /// stable address.
     #[inline]
-    pub fn alloc_node(&mut self) -> *mut Bucket {
-        self.arena.as_mut().expect("arena present until drop").alloc()
+    pub fn alloc_node(&mut self) -> (u32, *mut Bucket) {
+        self.table.nodes.alloc()
     }
 
     /// Insert `(key, payload)`, spinning on the bucket latch (the
@@ -257,42 +292,38 @@ impl BuildHandle<'_> {
     /// calls this after a successful `try_acquire`).
     ///
     /// O(1): fills the header's inline slots, then the newest overflow
-    /// node, then splices a new node directly behind the header.
+    /// node, then splices a new node directly behind the header. Each
+    /// stored tuple records its fingerprint in the node's tag word.
     ///
     /// # Safety
     /// `bucket` must be a bucket header of this handle's table and the
     /// calling thread must hold its latch.
     pub unsafe fn insert_latched(&mut self, bucket: *const Bucket, key: u64, payload: u64) {
         self.inserted += 1;
+        let tag = tag_of(key);
         let d = (*bucket).data_mut();
-        if (d.count as usize) < TUPLES_PER_NODE {
-            d.tuples[d.count as usize] = Tuple::new(key, payload);
-            d.count += 1;
+        if d.count() < TUPLES_PER_NODE {
+            d.push(Tuple::new(key, payload), tag);
             return;
         }
         let head = d.next;
-        if !head.is_null() {
-            let hd = (*head).data_mut();
-            if (hd.count as usize) < TUPLES_PER_NODE {
-                hd.tuples[hd.count as usize] = Tuple::new(key, payload);
-                hd.count += 1;
+        if head != NULL_INDEX {
+            let hd = (*self.table.nodes.get(head)).data_mut();
+            if hd.count() < TUPLES_PER_NODE {
+                hd.push(Tuple::new(key, payload), tag);
                 return;
             }
         }
-        let node = self.alloc_node();
+        let (idx, node) = self.alloc_node();
         let nd = (*node).data_mut();
-        nd.tuples[0] = Tuple::new(key, payload);
-        nd.count = 1;
+        nd.push(Tuple::new(key, payload), tag);
         nd.next = head;
-        d.next = node;
+        d.next = idx;
     }
 }
 
 impl Drop for BuildHandle<'_> {
     fn drop(&mut self) {
-        if let Some(arena) = self.arena.take() {
-            self.table.arenas.lock().expect("arena registry poisoned").push(arena);
-        }
         self.table.tuples.fetch_add(self.inserted, Ordering::AcqRel);
     }
 }
@@ -305,6 +336,7 @@ mod tests {
     fn bucket_count_rounds_to_pow2() {
         assert_eq!(HashTable::with_buckets(1000).bucket_count(), 1024);
         assert_eq!(HashTable::with_buckets(1).bucket_count(), 1);
+        // 4096 tuples at 3/node → 1365 buckets → next pow2.
         assert_eq!(HashTable::for_tuples(4096).bucket_count(), 2048);
     }
 
@@ -335,7 +367,7 @@ mod tests {
         let set: std::collections::HashSet<u64> = all.into_iter().collect();
         assert_eq!(set.len(), 100, "all payloads preserved");
         let idx = ht.bucket_index(7);
-        assert!(ht.chain_nodes(idx) >= 50, "duplicates must share a chain");
+        assert!(ht.chain_nodes(idx) >= 33, "duplicates must share a chain");
     }
 
     #[test]
@@ -369,8 +401,33 @@ mod tests {
     }
 
     #[test]
+    fn chain_links_roundtrip_through_the_arena() {
+        // Every reachable overflow node's index must resolve back to the
+        // same address the chain walk sees (idx → ptr → idx).
+        let ht = HashTable::with_buckets(4);
+        {
+            let mut h = ht.build_handle();
+            for k in 0..200u64 {
+                h.insert(k, k);
+            }
+        }
+        let mut overflow_seen = 0usize;
+        for b in 0..ht.bucket_count() {
+            let mut d = unsafe { ht.buckets[b].data() };
+            while d.next != NULL_INDEX {
+                let ptr = ht.node_ptr(d.next);
+                assert_eq!(ht.nodes().index_of(ptr), Some(d.next));
+                overflow_seen += 1;
+                d = unsafe { (*ptr).data() };
+            }
+        }
+        assert_eq!(overflow_seen, ht.nodes().len(), "all allocated nodes reachable");
+    }
+
+    #[test]
     fn forced_collision_table_builds_deep_chains() {
-        // Fig. 3's uniform-4 experiment: n/8 buckets → 4 nodes per bucket.
+        // Fig. 3's uniform experiment shape: n/8 buckets → 8 tuples per
+        // bucket → ~8/3 ≈ 2.7 nodes per chain in the 3-tuple layout.
         let n = 1 << 12;
         let rel = Relation::dense_unique(n, 2);
         let ht = HashTable::with_buckets(n / 8);
@@ -382,8 +439,8 @@ mod tests {
         }
         let s = ht.stats();
         assert!(
-            (3.5..=4.5).contains(&s.avg_chain()),
-            "expected ~4 nodes/bucket, got {}",
+            (2.4..=3.4).contains(&s.avg_chain()),
+            "expected ~8/3 nodes/bucket, got {}",
             s.avg_chain()
         );
     }

@@ -57,10 +57,39 @@ proptest! {
         let s = ht.stats();
         prop_assert_eq!(s.buckets, ht.bucket_count());
         prop_assert!(s.empty_buckets <= s.buckets);
-        // Each node holds 1..=2 tuples: node count brackets tuple count.
-        prop_assert!(s.total_nodes * 2 >= keys.len());
+        // Each node holds 1..=TUPLES_PER_NODE tuples: node count brackets
+        // tuple count.
+        prop_assert!(s.total_nodes * amac_hashtable::TUPLES_PER_NODE >= keys.len());
         prop_assert!(s.total_nodes <= keys.len().max(1));
         prop_assert!(s.max_chain <= s.total_nodes);
+    }
+
+    #[test]
+    fn index_chains_match_pointer_chains(
+        pairs in prop::collection::vec((0u64..300, 0u64..1_000_000), 1..500),
+        buckets in 1usize..64,
+    ) {
+        // The same insert sequence through the u32-indexed arena chains
+        // and through the legacy pointer chains yields bit-identical
+        // contents (and the tag filter never hides a stored tuple).
+        let new = HashTable::with_buckets(buckets);
+        let old = amac_hashtable::LegacyHashTable::with_buckets(buckets);
+        {
+            let mut hn = new.build_handle();
+            let mut ho = old.build_handle();
+            for &(k, p) in &pairs {
+                hn.insert(k, p);
+                ho.insert(k, p);
+            }
+        }
+        prop_assert_eq!(new.len(), old.len());
+        for k in 0..300u64 {
+            let mut a = new.lookup_all(k);
+            let mut b = old.lookup_all(k);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "key {}", k);
+        }
     }
 
     #[test]

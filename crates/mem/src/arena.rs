@@ -5,8 +5,13 @@
 //! never move. Both arenas here allocate in large chunks and hand out
 //! addresses that stay valid until the arena is dropped.
 //!
-//! * [`Arena<T>`] — fixed-size elements (`T` per slot). Used for hash-table
-//!   overflow nodes and BST nodes.
+//! * [`Arena<T>`] — fixed-size elements (`T` per slot). Used for BST nodes
+//!   and other pointer-linked structures.
+//! * [`IndexedArena<T>`] — fixed-size elements addressed by **`u32`
+//!   indices** instead of 8-byte pointers. Used for hash-table chain nodes,
+//!   where halving the link width pays for an extra inline tuple per
+//!   64-byte node (see `amac_hashtable::bucket`). Allocation is lock-free
+//!   (`&self`), so concurrent build threads share one arena per table.
 //! * [`VarArena`] — variable-size, cache-line-aligned byte allocations.
 //!   Used for skip-list nodes whose tower height differs per node (the
 //!   reason the paper calls skip-list elements "larger memory space" than
@@ -21,6 +26,8 @@
 
 use crate::align::CACHE_LINE;
 use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicPtr, AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// Default number of elements per chunk (amortizes chunk bookkeeping while
 /// keeping worst-case wasted memory bounded).
@@ -198,6 +205,170 @@ impl Default for VarArena {
     }
 }
 
+/// The reserved "null" chain index: no [`IndexedArena`] allocation ever
+/// returns it, so it plays the role of the null pointer in `u32`-linked
+/// chains.
+pub const NULL_INDEX: u32 = u32::MAX;
+
+/// log2 of the first slab's slot count.
+const LOG_BASE: u32 = 10;
+/// Slots in slab 0 (slab `k` holds `BASE << k` slots).
+const BASE: usize = 1 << LOG_BASE;
+/// Slab directory size: geometric slabs cover the whole `u32` index space
+/// (`BASE * (2^23 - 1) > u32::MAX`).
+const MAX_SLABS: usize = 23;
+
+/// A chunked, append-only arena whose slots are addressed by **`u32`
+/// indices** with stable `index -> pointer` resolution.
+///
+/// Motivation (PAPER.md §4 layout math): a chained hash-table node spends
+/// its whole budget on one cache line, and an 8-byte `next` pointer is the
+/// single largest non-payload field. Linking chains by `u32` arena index
+/// instead frees 4 bytes — with the slot fingerprints that is exactly one
+/// more 16-byte tuple per 64-byte node — at the cost of one
+/// `index -> pointer` resolution per hop. The resolution is engineered to
+/// stay off the critical path:
+///
+/// * slabs grow geometrically (slab `k` holds `BASE << k` slots), so the
+///   whole directory is a fixed 23-entry array of slab base pointers —
+///   a few always-cache-hot lines, never reallocated;
+/// * [`get`](IndexedArena::get) is branch-free: one `leading_zeros`, one
+///   L1-resident directory load, one add. The dependent DRAM access is
+///   still the node itself, which the executors prefetch as before.
+///
+/// Allocation takes `&self` (an atomic bump plus a mutex-guarded cold path
+/// when a fresh slab is first touched), so all build handles of one table
+/// share one arena and indices form a single address space.
+///
+/// # Safety model
+/// As for [`Arena`]: slots never move and never alias. Publication is
+/// safe across threads: a slab's base pointer is `Release`-stored before
+/// any index inside it is handed out, and `get` `Acquire`-loads it, so any
+/// thread that legitimately learned an index (e.g. by reading a chain link
+/// under the publishing thread's latch discipline) observes the slab.
+pub struct IndexedArena<T: Default> {
+    /// Slab base pointers, lazily populated; entry `k` points at
+    /// `BASE << k` slots.
+    slabs: [AtomicPtr<UnsafeCell<T>>; MAX_SLABS],
+    /// Next index to hand out.
+    next: AtomicU32,
+    /// Owns the slab storage (freed on drop) and serializes slab creation.
+    owned: Mutex<Vec<Box<[UnsafeCell<T>]>>>,
+}
+
+// SAFETY: allocation is internally synchronized (atomics + mutex); access
+// to allocated slots is governed by the caller exactly as for `Arena`.
+unsafe impl<T: Default + Send> Send for IndexedArena<T> {}
+unsafe impl<T: Default + Send> Sync for IndexedArena<T> {}
+
+impl<T: Default> IndexedArena<T> {
+    /// Create an empty arena (no slabs allocated yet).
+    pub fn new() -> Self {
+        IndexedArena {
+            slabs: [const { AtomicPtr::new(core::ptr::null_mut()) }; MAX_SLABS],
+            next: AtomicU32::new(0),
+            owned: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Slab index and in-slab offset for `idx`.
+    #[inline(always)]
+    fn locate(idx: u32) -> (usize, usize) {
+        // Shifting by BASE makes slab boundaries pure powers of two:
+        // idx + BASE ∈ [BASE << k, BASE << (k+1)) ⇔ idx lives in slab k.
+        let i = idx as usize + BASE;
+        let k = (usize::BITS - 1 - i.leading_zeros()) as usize - LOG_BASE as usize;
+        (k, i - (BASE << k))
+    }
+
+    /// Allocate one default-initialized slot, returning its index.
+    #[inline]
+    pub fn alloc_index(&self) -> u32 {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(idx != NULL_INDEX, "indexed arena exhausted (2^32 - 1 slots)");
+        let (k, _) = Self::locate(idx);
+        if self.slabs[k].load(Ordering::Acquire).is_null() {
+            self.grow_slab(k);
+        }
+        idx
+    }
+
+    /// Allocate one slot, returning both its index and its stable address.
+    #[inline]
+    pub fn alloc(&self) -> (u32, *mut T) {
+        let idx = self.alloc_index();
+        (idx, self.get(idx))
+    }
+
+    /// Resolve an index to its slot's stable address.
+    ///
+    /// `idx` must come from this arena's [`alloc`](IndexedArena::alloc)
+    /// (checked in debug builds); [`NULL_INDEX`] is never a valid input.
+    #[inline(always)]
+    pub fn get(&self, idx: u32) -> *mut T {
+        let (k, off) = Self::locate(idx);
+        let slab = self.slabs[k].load(Ordering::Acquire);
+        debug_assert!(
+            !slab.is_null() && idx < self.next.load(Ordering::Relaxed),
+            "index {idx} not allocated by this arena"
+        );
+        // SAFETY: `off < BASE << k` by `locate`, and the slab stores
+        // `BASE << k` slots. raw_get avoids materializing a reference.
+        unsafe { UnsafeCell::raw_get(slab.add(off) as *const UnsafeCell<T>) }
+    }
+
+    /// Reverse-resolve a pointer previously returned by this arena to its
+    /// index (O(slab count); test/validation use, not a hot path).
+    pub fn index_of(&self, ptr: *const T) -> Option<u32> {
+        let p = ptr as usize;
+        for k in 0..MAX_SLABS {
+            let slab = self.slabs[k].load(Ordering::Acquire);
+            if slab.is_null() {
+                continue;
+            }
+            let base = slab as usize;
+            let len = BASE << k;
+            if (base..base + len * core::mem::size_of::<UnsafeCell<T>>()).contains(&p) {
+                let off = (p - base) / core::mem::size_of::<UnsafeCell<T>>();
+                let idx = ((BASE << k) + off - BASE) as u32;
+                return (idx < self.next.load(Ordering::Acquire)).then_some(idx);
+            }
+        }
+        None
+    }
+
+    /// Number of allocated slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Acquire) as usize
+    }
+
+    /// True if nothing has been allocated.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cold path: create slab `k` exactly once.
+    #[cold]
+    fn grow_slab(&self, k: usize) {
+        let mut owned = self.owned.lock().expect("indexed arena poisoned");
+        if self.slabs[k].load(Ordering::Relaxed).is_null() {
+            let slab: Box<[UnsafeCell<T>]> =
+                (0..BASE << k).map(|_| UnsafeCell::new(T::default())).collect();
+            let ptr = slab.as_ptr() as *mut UnsafeCell<T>;
+            owned.push(slab);
+            self.slabs[k].store(ptr, Ordering::Release);
+        }
+    }
+}
+
+impl<T: Default> Default for IndexedArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +446,68 @@ mod tests {
         unsafe {
             core::ptr::write_bytes(p1, 0xAA, 64);
             assert_eq!(*p2, 0);
+        }
+    }
+
+    #[test]
+    fn indexed_arena_roundtrips_and_is_dense() {
+        let a = IndexedArena::<u64>::new();
+        assert!(a.is_empty());
+        let mut ptrs = Vec::new();
+        for i in 0..5000u32 {
+            let (idx, p) = a.alloc();
+            assert_eq!(idx, i, "indices are dense and in allocation order");
+            assert_eq!(a.get(idx), p);
+            assert_eq!(a.index_of(p), Some(idx));
+            unsafe { *p = u64::from(i) * 3 };
+            ptrs.push(p);
+        }
+        assert_eq!(a.len(), 5000);
+        let set: HashSet<usize> = ptrs.iter().map(|p| *p as usize).collect();
+        assert_eq!(set.len(), 5000, "no two allocations alias");
+        for (i, p) in ptrs.iter().enumerate() {
+            assert_eq!(unsafe { **p }, i as u64 * 3, "no clobbering across slab growth");
+        }
+    }
+
+    #[test]
+    fn indexed_arena_slots_default_initialize() {
+        let a = IndexedArena::<(u64, u64)>::new();
+        let (idx, _) = a.alloc();
+        assert_eq!(unsafe { *a.get(idx) }, (0, 0));
+    }
+
+    #[test]
+    fn indexed_arena_index_of_rejects_foreign_pointers() {
+        let a = IndexedArena::<u64>::new();
+        let _ = a.alloc();
+        let other = 7u64;
+        assert_eq!(a.index_of(&other), None);
+    }
+
+    #[test]
+    fn indexed_arena_concurrent_alloc_is_disjoint() {
+        let a = IndexedArena::<u64>::new();
+        let per_thread = 4000u64;
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let (idx, p) = a.alloc();
+                        // Tag the slot; a collision would clobber it.
+                        unsafe { *p = (tid << 32) | i };
+                        assert_eq!(a.get(idx), p);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.len(), 4 * per_thread as usize);
+        // Every slot carries exactly one thread's tag: no aliasing.
+        let mut seen = HashSet::new();
+        for idx in 0..a.len() as u32 {
+            let v = unsafe { *a.get(idx) };
+            assert!(seen.insert(v), "value {v:#x} written twice: slots aliased");
         }
     }
 

@@ -24,6 +24,20 @@ pub fn bucket_of(key: u64, mask: u64) -> u64 {
     mix64(key) & mask
 }
 
+/// Per-slot fingerprint ("tag") for `key` in a tag-probed bucket.
+///
+/// Derived from the **high** byte of the same splitmix64 mix that
+/// [`bucket_of`] masks the *low* bits of, so within one bucket the tag
+/// carries 7 hash bits the bucket index did not consume. The top bit is
+/// forced to 1 so a valid tag can never equal 0 — the empty-slot marker —
+/// which is what lets the SWAR zero-byte test reject unoccupied lanes for
+/// free (see `amac_hashtable::bucket`). 128 distinct values ⇒ a non-match
+/// survives the tag filter with probability 1/128 per occupied slot.
+#[inline(always)]
+pub fn tag_of(key: u64) -> u8 {
+    ((mix64(key) >> 56) as u8) | 0x80
+}
+
 /// Exact inverse of [`mix64`]: `unmix64(mix64(x)) == x` for all `x`.
 ///
 /// Used by the Figure 3 workload generator to *construct* keys that land
@@ -116,6 +130,23 @@ mod tests {
                 let key = unmix64(b | (j << 10));
                 assert_eq!(bucket_of(key, mask), b);
             }
+        }
+    }
+
+    #[test]
+    fn tags_are_nonzero_and_spread() {
+        let mut counts = [0u32; 256];
+        for k in 0..100_000u64 {
+            let t = tag_of(k);
+            assert!(t & 0x80 != 0, "tag high bit must be set (nonzero marker)");
+            counts[t as usize] += 1;
+        }
+        // Only the 128 high-bit values occur, roughly uniformly.
+        assert!(counts[..128].iter().all(|&c| c == 0));
+        let expected = 100_000.0 / 128.0;
+        for (t, &c) in counts[128..].iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "tag {t} deviates {dev:.3} from uniform");
         }
     }
 

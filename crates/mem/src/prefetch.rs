@@ -47,12 +47,17 @@ pub fn prefetch_read_t0<T>(ptr: *const T) {
     }
 }
 
-/// Prefetch with intent to write.
+/// Prefetch a line that is about to be written.
 ///
-/// x86 has `PREFETCHW`; `_mm_prefetch` with the `ET0` hint is only available
-/// behind unstable features, so we use `T0` which is close enough for the
-/// latched build/insert paths (the line is brought in exclusive-adjacent
-/// state by the subsequent locked instruction anyway).
+/// This is **not** `PREFETCHW`: stable Rust's `_mm_prefetch` only exposes
+/// the read hints (the write/`ET0` hints sit behind unstable features), so
+/// this wrapper issues a plain temporal `PREFETCHT0`. That is an acceptable
+/// stand-in for the latched build/insert paths — the line still arrives in
+/// L1, and the subsequent locked latch instruction upgrades it to exclusive
+/// ownership — but it does *not* request ownership up front the way real
+/// `PREFETCHW` would. The name records intent, not the opcode; the hint
+/// ablation (`bench/bin/ablation`, [`PrefetchHint::Write`]) sweeps this
+/// policy alongside the read hints so the substitution stays honest.
 #[inline(always)]
 pub fn prefetch_write<T>(ptr: *const T) {
     prefetch_read_t0(ptr);
@@ -69,6 +74,10 @@ pub enum PrefetchHint {
     Nta,
     /// All-levels temporal (`PREFETCHT0`).
     T0,
+    /// Write-intent policy ([`prefetch_write`]): currently `PREFETCHT0` on
+    /// stable Rust (see that function's caveat). Exists so the hint
+    /// ablation can sweep the write-intent path like any other policy.
+    Write,
     /// Do not prefetch at all (turns any executor into a pure interleaving
     /// scheme; useful to separate interleaving benefit from prefetch
     /// benefit).
@@ -82,8 +91,17 @@ impl PrefetchHint {
         match self {
             PrefetchHint::Nta => prefetch_read(ptr),
             PrefetchHint::T0 => prefetch_read_t0(ptr),
+            PrefetchHint::Write => prefetch_write(ptr),
             PrefetchHint::None => {}
         }
+    }
+
+    /// Whether [`issue`](PrefetchHint::issue) emits an instruction at all.
+    /// Ops report this to the executors so `EngineStats::prefetches` stays
+    /// honest under the `None` ablation.
+    #[inline(always)]
+    pub fn is_real(self) -> bool {
+        self != PrefetchHint::None
     }
 }
 
@@ -111,9 +129,12 @@ mod tests {
     #[test]
     fn hint_policy_dispatch() {
         let x = 7u32;
-        for hint in [PrefetchHint::Nta, PrefetchHint::T0, PrefetchHint::None] {
+        for hint in [PrefetchHint::Nta, PrefetchHint::T0, PrefetchHint::Write, PrefetchHint::None] {
             hint.issue(&x);
         }
         assert_eq!(PrefetchHint::default(), PrefetchHint::Nta);
+        assert!(PrefetchHint::Nta.is_real());
+        assert!(PrefetchHint::Write.is_real());
+        assert!(!PrefetchHint::None.is_real());
     }
 }

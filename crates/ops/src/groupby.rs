@@ -23,6 +23,7 @@ use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::agg::{AggHandle, AggValues};
 use amac_hashtable::{AggBucket, AggTable};
 use amac_mem::prefetch::{prefetch_read, prefetch_write};
+use amac_mem::NULL_INDEX;
 use amac_metrics::timer::CycleTimer;
 use amac_workload::{GroupByInput, Relation, Tuple};
 
@@ -80,6 +81,7 @@ pub struct GroupByOp<'a> {
     handle: AggHandle<'a>,
     n_stages: usize,
     tuples: u64,
+    nodes_visited: u64,
 }
 
 impl<'a> GroupByOp<'a> {
@@ -89,6 +91,7 @@ impl<'a> GroupByOp<'a> {
             handle: table.handle(),
             n_stages: if cfg.n_stages == 0 { 2 } else { cfg.n_stages },
             tuples: 0,
+            nodes_visited: 0,
         }
     }
 
@@ -130,6 +133,7 @@ impl LookupOp for GroupByOp<'_> {
                 // Fall through: process the (prefetched) header now.
             }
             let d = (*state.cur).data_mut();
+            self.nodes_visited += 1;
             if d.aggs.count == 0 {
                 // Empty header: claim it for this group.
                 d.key = state.key;
@@ -144,21 +148,26 @@ impl LookupOp for GroupByOp<'_> {
                 self.tuples += 1;
                 return Step::Done;
             }
-            if d.next.is_null() {
+            if d.next == NULL_INDEX {
                 // Append a new group node at the tail.
-                let fresh = self.handle.alloc_node();
+                let (idx, fresh) = self.handle.alloc_node();
                 let fd = (*fresh).data_mut();
                 fd.key = state.key;
                 fd.aggs = AggValues::first(state.payload);
-                d.next = fresh;
+                d.next = idx;
                 (*state.header).latch.release();
                 self.tuples += 1;
                 return Step::Done;
             }
-            prefetch_read(d.next);
-            state.cur = d.next;
+            let next = self.handle.table().node_ptr(d.next);
+            prefetch_read(next);
+            state.cur = next;
             Step::Continue
         }
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
     }
 }
 

@@ -11,6 +11,7 @@
 use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::late::{LateAggTable, LateBucket, LateHandle};
 use amac_mem::prefetch::{prefetch_read, prefetch_write};
+use amac_mem::NULL_INDEX;
 use amac_metrics::timer::CycleTimer;
 use amac_workload::{Relation, Tuple};
 
@@ -62,6 +63,7 @@ pub struct LateGroupByOp<'a> {
     handle: LateHandle<'a>,
     n_stages: usize,
     tuples: u64,
+    nodes_visited: u64,
 }
 
 impl<'a> LateGroupByOp<'a> {
@@ -71,6 +73,7 @@ impl<'a> LateGroupByOp<'a> {
             handle: table.handle(),
             n_stages: if cfg.n_stages == 0 { 2 } else { cfg.n_stages },
             tuples: 0,
+            nodes_visited: 0,
         }
     }
 }
@@ -105,10 +108,12 @@ impl LookupOp for LateGroupByOp<'_> {
                 state.cur = state.header;
             }
             let d = (*state.cur).data_mut();
-            if d.tuples != 0 && d.key != state.key && !d.next.is_null() {
+            self.nodes_visited += 1;
+            if d.tuples != 0 && d.key != state.key && d.next != NULL_INDEX {
                 // Mid-chain, no match yet: one node per stage.
-                prefetch_read(d.next);
-                state.cur = d.next;
+                let next = self.handle.table().node_ptr(d.next);
+                prefetch_read(next);
+                state.cur = next;
                 return Step::Continue;
             }
             // Terminal cases (claim empty header / append to match /
@@ -119,6 +124,10 @@ impl LookupOp for LateGroupByOp<'_> {
             self.tuples += 1;
             Step::Done
         }
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
     }
 }
 

@@ -1,8 +1,10 @@
 //! Hash join build and probe under all four techniques (§5.1).
 
 use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
-use amac_hashtable::{Bucket, BuildHandle, HashTable};
+use amac_hashtable::{probe_word, tags_may_match, Bucket, BuildHandle, HashTable};
+use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
+use amac_mem::NULL_INDEX;
 use amac_metrics::timer::CycleTimer;
 use amac_workload::{Relation, Tuple};
 
@@ -19,8 +21,8 @@ pub struct ProbeConfig {
     /// `N = max(1, ceil(ceil(t / b) / TUPLES_PER_NODE))` — the expected
     /// nodes per occupied bucket under uniform spread. Examples: a table
     /// sized one-bucket-per-tuple derives `N = 1`; the Fig. 3 setup with
-    /// `8×` over-occupancy (`n` tuples, `n/8` buckets, 2 tuples/node)
-    /// derives `N = 4`. AMAC and the baseline ignore this value.
+    /// `8×` over-occupancy (`n` tuples, `n/8` buckets, 3 tuples/node)
+    /// derives `N = 3`. AMAC and the baseline ignore this value.
     pub n_stages: usize,
     /// `true`: walk the full chain and count every match (join semantics
     /// under duplicate build keys, and the Fig. 3 "uniform traversal"
@@ -80,16 +82,19 @@ impl ProbeOutput {
     }
 }
 
-/// Per-lookup probe state: the paper's circular-buffer entry (Fig. 4).
+/// Per-lookup probe state: the paper's circular-buffer entry (Fig. 4),
+/// plus the precomputed SWAR probe word for the key's fingerprint.
 pub struct ProbeState {
     key: u64,
     idx: usize,
     ptr: *const Bucket,
+    /// [`probe_word`] of the key's fingerprint, computed once in stage 0.
+    probe: u32,
 }
 
 impl Default for ProbeState {
     fn default() -> Self {
-        ProbeState { key: 0, idx: 0, ptr: core::ptr::null() }
+        ProbeState { key: 0, idx: 0, ptr: core::ptr::null(), probe: 0 }
     }
 }
 
@@ -102,6 +107,10 @@ pub struct ProbeOp<'a> {
     checksum: u64,
     out: Vec<u64>,
     cursor: usize,
+    /// Chain nodes dereferenced since the last flush.
+    nodes_visited: u64,
+    /// Nodes rejected by the SWAR tag filter (no key bytes touched).
+    tag_rejects: u64,
 }
 
 impl<'a> ProbeOp<'a> {
@@ -116,6 +125,8 @@ impl<'a> ProbeOp<'a> {
             checksum: 0,
             out: if cfg.materialize { vec![u64::MAX; n_probes] } else { Vec::new() },
             cursor: 0,
+            nodes_visited: 0,
+            tag_rejects: 0,
         }
     }
 
@@ -159,43 +170,63 @@ impl LookupOp for ProbeOp<'_> {
         self.n_stages
     }
 
-    /// Code 0 (Table 1): get new tuple, compute bucket address, prefetch.
+    /// Code 0 (Table 1): get new tuple, compute bucket address **and the
+    /// key's SWAR probe word**, prefetch.
     fn start(&mut self, input: Tuple, state: &mut ProbeState) {
         let ptr = self.ht.bucket_addr(input.key);
         self.cfg.hint.issue(ptr);
         state.key = input.key;
         state.idx = self.cursor;
         state.ptr = ptr;
+        state.probe = probe_word(tag_of(input.key));
         self.cursor += 1;
     }
 
-    /// Code 1 (Table 1): compare keys, output on match, chase `next`.
+    /// Code 1 (Table 1): tag-filter the node, compare keys only on a tag
+    /// hit, output on match, chase the `u32` chain index.
     fn step(&mut self, state: &mut ProbeState) -> Step {
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
         // points at the header or an arena-owned chain node.
         let d = unsafe { (*state.ptr).data() };
+        self.nodes_visited += 1;
         let mut hit = false;
-        for i in 0..d.count as usize {
-            let t = d.tuples[i];
-            if t.key == state.key {
-                self.matches += 1;
-                self.checksum = self.checksum.wrapping_add(t.payload);
-                if self.cfg.materialize && self.out[state.idx] == u64::MAX {
-                    self.out[state.idx] = t.payload;
+        // One XOR + SWAR zero-byte test rejects a non-matching node from
+        // its packed meta word; only tag hits touch the tuple slots.
+        if tags_may_match(d.meta, state.probe) {
+            for i in 0..d.count() {
+                let t = d.tuples[i];
+                if t.key == state.key {
+                    self.matches += 1;
+                    self.checksum = self.checksum.wrapping_add(t.payload);
+                    if self.cfg.materialize && self.out[state.idx] == u64::MAX {
+                        self.out[state.idx] = t.payload;
+                    }
+                    hit = true;
                 }
-                hit = true;
             }
+        } else {
+            self.tag_rejects += 1;
         }
         if hit && !self.cfg.scan_all {
             return Step::Done; // early exit on unique-key match
         }
         let next = d.next;
-        if next.is_null() {
+        if next == NULL_INDEX {
             return Step::Done; // chain exhausted
         }
-        self.cfg.hint.issue(next);
-        state.ptr = next;
+        let ptr = self.ht.node_ptr(next);
+        self.cfg.hint.issue(ptr);
+        state.ptr = ptr;
         Step::Continue
+    }
+
+    fn issues_prefetches(&self) -> bool {
+        self.cfg.hint.is_real()
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
+        stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
     }
 }
 
@@ -244,12 +275,13 @@ impl Default for BuildState {
 /// simplified to the O(1) head insert the NPO build actually performs).
 pub struct BuildOp<'a> {
     handle: BuildHandle<'a>,
+    nodes_visited: u64,
 }
 
 impl<'a> BuildOp<'a> {
     /// Create a build op inserting into `ht` through a private arena.
     pub fn new(ht: &'a HashTable) -> Self {
-        BuildOp { handle: ht.build_handle() }
+        BuildOp { handle: ht.build_handle(), nodes_visited: 0 }
     }
 }
 
@@ -280,7 +312,14 @@ impl LookupOp for BuildOp<'_> {
             self.handle.insert_latched(state.bucket, state.key, state.payload);
             (*state.bucket).latch.release();
         }
+        // The O(1) head insert dereferences the (prefetched) header; any
+        // overflow-head touch shares the same latched stage.
+        self.nodes_visited += 1;
         Step::Done
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
     }
 }
 
@@ -420,14 +459,15 @@ mod tests {
         // Default sizing: ~1 node per bucket.
         let ht = HashTable::build_serial(&r);
         assert_eq!(super::auto_chain_estimate(&ht), 1);
-        // Fig. 3 style: n/8 buckets → 4 nodes per chain.
-        let ht4 = HashTable::with_buckets((1 << 12) / 8);
+        // Fig. 3 style: n/8 buckets → 8 tuples/bucket → ceil(8/3) = 3
+        // nodes per chain in the 3-tuple layout.
+        let ht3 = HashTable::with_buckets((1 << 12) / 8);
         {
-            let mut h = ht4.build_handle();
+            let mut h = ht3.build_handle();
             for t in &r.tuples {
                 h.insert(t.key, t.payload);
             }
         }
-        assert_eq!(super::auto_chain_estimate(&ht4), 4);
+        assert_eq!(super::auto_chain_estimate(&ht3), 3);
     }
 }

@@ -27,6 +27,8 @@
 //! chains (probe → filter → group-by, probe → probe) into a single AMAC
 //! window — §6's multi-operator integration — with two-phase
 //! materialized references for equivalence and traffic comparisons.
+//! [`legacy`] carries A/B ops over the seed's 2-tuple pointer-linked node
+//! layout, so the tag-probed redesign's hop savings stay measurable.
 
 pub mod bst;
 pub mod btree;
@@ -34,6 +36,7 @@ pub mod groupby;
 pub mod groupby_late;
 pub mod join;
 pub mod join_radix;
+pub mod legacy;
 pub mod linear;
 pub mod parallel;
 pub mod pipeline;

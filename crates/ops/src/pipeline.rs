@@ -53,8 +53,10 @@ use amac::engine::pipeline::{
     Chain, Consumer, Discard, Fused, PipelineOp, Route, StageStep, Terminal,
 };
 use amac::engine::{run, EngineStats, Technique, TuningParams};
-use amac_hashtable::{AggTable, Bucket, HashTable};
+use amac_hashtable::{probe_word, tags_may_match, AggTable, Bucket, HashTable};
+use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
+use amac_mem::NULL_INDEX;
 use amac_metrics::timer::CycleTimer;
 use amac_workload::{FilterSpec, Relation, Tuple};
 
@@ -88,11 +90,13 @@ pub struct ProbePipeState {
     key: u64,
     payload: u64,
     ptr: *const Bucket,
+    /// SWAR probe word of the key's fingerprint.
+    probe: u32,
 }
 
 impl Default for ProbePipeState {
     fn default() -> Self {
-        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null() }
+        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null(), probe: 0 }
     }
 }
 
@@ -103,6 +107,8 @@ pub struct ProbeStage<'a> {
     hint: PrefetchHint,
     n_stages: usize,
     matches: u64,
+    nodes_visited: u64,
+    tag_rejects: u64,
 }
 
 impl<'a> ProbeStage<'a> {
@@ -110,7 +116,14 @@ impl<'a> ProbeStage<'a> {
     /// the table's occupancy as for
     /// [`ProbeConfig::n_stages`](crate::join::ProbeConfig::n_stages)` = 0`.
     pub fn new(ht: &'a HashTable, hint: PrefetchHint) -> Self {
-        ProbeStage { ht, hint, n_stages: crate::join::auto_chain_estimate(ht), matches: 0 }
+        ProbeStage {
+            ht,
+            hint,
+            n_stages: crate::join::auto_chain_estimate(ht),
+            matches: 0,
+            nodes_visited: 0,
+            tag_rejects: 0,
+        }
     }
 
     /// Join matches found so far.
@@ -135,30 +148,47 @@ impl PipelineOp for ProbeStage<'_> {
         state.key = input.key;
         state.payload = input.payload;
         state.ptr = ptr;
+        state.probe = probe_word(tag_of(input.key));
     }
 
     fn step(&mut self, state: &mut ProbePipeState) -> StageStep<Joined> {
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
         // points at the header or an arena-owned chain node.
         let d = unsafe { (*state.ptr).data() };
-        for i in 0..d.count as usize {
-            let t = d.tuples[i];
-            if t.key == state.key {
-                self.matches += 1;
-                return StageStep::Emit(Joined {
-                    key: state.key,
-                    probe_payload: state.payload,
-                    build_payload: t.payload,
-                });
+        self.nodes_visited += 1;
+        // SWAR tag test first: only a fingerprint hit touches key bytes.
+        if tags_may_match(d.meta, state.probe) {
+            for i in 0..d.count() {
+                let t = d.tuples[i];
+                if t.key == state.key {
+                    self.matches += 1;
+                    return StageStep::Emit(Joined {
+                        key: state.key,
+                        probe_payload: state.payload,
+                        build_payload: t.payload,
+                    });
+                }
             }
+        } else {
+            self.tag_rejects += 1;
         }
         let next = d.next;
-        if next.is_null() {
+        if next == NULL_INDEX {
             return StageStep::Skip; // probe miss
         }
-        self.hint.issue(next);
-        state.ptr = next;
+        let ptr = self.ht.node_ptr(next);
+        self.hint.issue(ptr);
+        state.ptr = ptr;
         StageStep::Continue
+    }
+
+    fn issues_prefetches(&self) -> bool {
+        self.hint.is_real()
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
+        stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
     }
 }
 

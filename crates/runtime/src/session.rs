@@ -51,17 +51,19 @@ impl<O: LookupOp> AmacSession<O> {
     /// as [`amac::engine::run_amac`].
     pub fn feed(&mut self, op: &mut O, inputs: &[O::Input], stats: &mut EngineStats) {
         let m = self.states.len();
+        let pf = op.issues_prefetches() as u64;
         let mut next = 0usize;
         // Fill any empty slots (first morsel of the run, or after a drain).
         if self.in_flight < m {
             for slot in 0..m {
                 if next == inputs.len() {
+                    op.flush_observed(stats);
                     return;
                 }
                 if !self.active[slot] {
                     op.start(inputs[next], &mut self.states[slot]);
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                     next += 1;
                     self.active[slot] = true;
                     self.in_flight += 1;
@@ -75,7 +77,7 @@ impl<O: LookupOp> AmacSession<O> {
             match op.step(&mut self.states[self.k]) {
                 Step::Continue => {
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                 }
                 Step::Blocked => {
                     stats.latch_retries += 1;
@@ -85,7 +87,7 @@ impl<O: LookupOp> AmacSession<O> {
                     stats.lookups += 1;
                     op.start(inputs[next], &mut self.states[self.k]);
                     stats.stages += 1;
-                    stats.prefetches += 1;
+                    stats.prefetches += pf;
                     next += 1;
                 }
             }
@@ -94,17 +96,19 @@ impl<O: LookupOp> AmacSession<O> {
                 self.k = 0;
             }
         }
+        op.flush_observed(stats);
     }
 
     /// Retire every lookup still in flight (the end-of-run epilogue).
     pub fn drain(&mut self, op: &mut O, stats: &mut EngineStats) {
         let m = self.states.len();
+        let pf = op.issues_prefetches() as u64;
         while self.in_flight > 0 {
             if self.active[self.k] {
                 match op.step(&mut self.states[self.k]) {
                     Step::Continue => {
                         stats.stages += 1;
-                        stats.prefetches += 1;
+                        stats.prefetches += pf;
                     }
                     Step::Blocked => {
                         stats.latch_retries += 1;
@@ -122,6 +126,7 @@ impl<O: LookupOp> AmacSession<O> {
                 self.k = 0;
             }
         }
+        op.flush_observed(stats);
     }
 }
 

@@ -40,13 +40,13 @@ fn main() {
                 nodes += 1;
                 // SAFETY: read-only probe phase over the built table.
                 let d = unsafe { (*node).data() };
-                if d.tuples[..d.count as usize].iter().any(|x| x.key == t.key) {
+                if d.tuples[..d.count()].iter().any(|x| x.key == t.key) {
                     return nodes;
                 }
-                let next = d.next;
-                if next.is_null() {
+                if d.next == amac_suite::mem::NULL_INDEX {
                     return nodes;
                 }
+                let next = ht.node_ptr(d.next);
                 prefetch_yield(next).await;
                 node = next;
             }

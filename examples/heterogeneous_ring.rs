@@ -59,21 +59,27 @@ fn main() {
                 async move {
                     match q {
                         Query::Hash(key) => {
+                            let probe = amac_suite::hashtable::probe_word(
+                                amac_suite::mem::hash::tag_of(key),
+                            );
                             let mut node = ht.bucket_addr(key);
                             prefetch_yield(node).await;
                             loop {
                                 // SAFETY: read-only probe phase.
                                 let d = unsafe { (*node).data() };
-                                for i in 0..d.count as usize {
-                                    if d.tuples[i].key == key {
-                                        return d.tuples[i].payload;
+                                if amac_suite::hashtable::tags_may_match(d.meta, probe) {
+                                    for i in 0..d.count() {
+                                        if d.tuples[i].key == key {
+                                            return d.tuples[i].payload;
+                                        }
                                     }
                                 }
-                                if d.next.is_null() {
+                                if d.next == amac_suite::mem::NULL_INDEX {
                                     return u64::MAX;
                                 }
-                                prefetch_yield(d.next).await;
-                                node = d.next;
+                                let next = ht.node_ptr(d.next);
+                                prefetch_yield(next).await;
+                                node = next;
                             }
                         }
                         Query::Index(key) => {

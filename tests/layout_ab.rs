@@ -1,0 +1,143 @@
+//! Layout A/B acceptance: the tag-probed 3-tuple/u32-index layout must
+//! produce results **bit-identical** to the legacy 2-tuple/pointer layout
+//! — join and group-by, under all four executors and the morsel runtime —
+//! while visiting measurably fewer chain nodes per probe at fill factors
+//! ≥ 2 (uniform and Zipf(1) probe distributions).
+
+use amac_suite::engine::{Technique, TuningParams};
+use amac_suite::hashtable::{AggTable, HashTable, LegacyAggTable, LegacyHashTable};
+use amac_suite::ops::join::{probe, ProbeConfig};
+use amac_suite::ops::legacy::{
+    groupby_legacy, groupby_legacy_mt_rt, probe_legacy, probe_legacy_mt_rt,
+};
+use amac_suite::ops::parallel::{groupby_mt_rt, probe_mt_rt};
+use amac_suite::runtime::MorselConfig;
+use amac_suite::workload::Relation;
+
+/// Build both layouts over the same relation at `tuples_per_bucket`
+/// average occupancy (equal bucket counts, so chains differ only by node
+/// capacity).
+fn tables(rel: &Relation, tuples_per_bucket: usize) -> (LegacyHashTable, HashTable) {
+    let buckets = (rel.len() / tuples_per_bucket).max(1);
+    let old = LegacyHashTable::with_buckets(buckets);
+    let new = HashTable::with_buckets(buckets);
+    {
+        let mut ho = old.build_handle();
+        let mut hn = new.build_handle();
+        for t in &rel.tuples {
+            ho.insert(t.key, t.payload);
+            hn.insert(t.key, t.payload);
+        }
+    }
+    (old, new)
+}
+
+#[test]
+fn join_results_bit_identical_all_executors_and_runtime() {
+    let n = 20_000;
+    let rel = Relation::dense_unique(n, 0x1A01);
+    let (old, new) = tables(&rel, 8);
+    let probes = rel.shuffled(0x1A02);
+    let cfg = ProbeConfig { materialize: false, scan_all: true, ..Default::default() };
+
+    for t in Technique::ALL {
+        let a = probe_legacy(&old, &probes, t, TuningParams::default(), true);
+        let b = probe(&new, &probes, t, &cfg);
+        assert_eq!(a.matches, b.matches, "{t}: matches diverge");
+        assert_eq!(a.checksum, b.checksum, "{t}: checksums diverge");
+    }
+
+    for threads in [1usize, 2, 4] {
+        let rt = MorselConfig { threads, morsel_tuples: 1024, ..Default::default() };
+        let a =
+            probe_legacy_mt_rt(&old, &probes, Technique::Amac, TuningParams::default(), true, &rt);
+        let b = probe_mt_rt(&new, &probes, Technique::Amac, &cfg, &rt);
+        assert_eq!(a.matches, b.matches, "{threads}t: matches diverge");
+        assert_eq!(a.checksum, b.checksum, "{threads}t: checksums diverge");
+    }
+}
+
+#[test]
+fn groupby_results_bit_identical_all_executors_and_runtime() {
+    let input = amac_suite::workload::GroupByInput::zipf(96, 30_000, 0.9, 0x1A03);
+
+    let mut reference: Option<Vec<(u64, amac_suite::hashtable::agg::AggValues)>> = None;
+    for t in Technique::ALL {
+        let old = LegacyAggTable::for_groups(96);
+        let new = AggTable::for_groups(96);
+        let a = groupby_legacy(&old, &input.relation, t, TuningParams::default());
+        let b = amac_suite::ops::groupby::groupby(&new, &input.relation, t, &Default::default());
+        assert_eq!(a.tuples, b.tuples, "{t}");
+        let mut ga = old.groups();
+        let mut gb = new.groups();
+        ga.sort_by_key(|(k, _)| *k);
+        gb.sort_by_key(|(k, _)| *k);
+        assert_eq!(ga, gb, "{t}: aggregates diverge between layouts");
+        match &reference {
+            None => reference = Some(gb),
+            Some(r) => assert_eq!(&gb, r, "{t}: diverges across techniques"),
+        }
+    }
+
+    for threads in [1usize, 2, 4] {
+        let rt = MorselConfig { threads, morsel_tuples: 1024, ..Default::default() };
+        let old = LegacyAggTable::for_groups(96);
+        let new = AggTable::for_groups(96);
+        groupby_legacy_mt_rt(&old, &input.relation, Technique::Amac, TuningParams::default(), &rt);
+        groupby_mt_rt(&new, &input.relation, Technique::Amac, &Default::default(), &rt);
+        let mut ga = old.groups();
+        let mut gb = new.groups();
+        ga.sort_by_key(|(k, _)| *k);
+        gb.sort_by_key(|(k, _)| *k);
+        assert_eq!(ga, gb, "{threads}t: aggregates diverge between layouts");
+        assert_eq!(&gb, reference.as_ref().unwrap(), "{threads}t: diverges from single-thread");
+    }
+}
+
+#[test]
+fn fat_nodes_cut_hops_at_fill_ge_2() {
+    // Fill factor here = expected chain nodes under the LEGACY layout
+    // (tuples_per_bucket / 2). At ff >= 2 the 3-tuple layout must visit
+    // >= 25% fewer nodes per lookup, uniform and Zipf(1) probes alike.
+    let n = 40_000;
+    let rel = Relation::dense_unique(n, 0x1A04);
+    for ff in [2usize, 4] {
+        let (old, new) = tables(&rel, 2 * ff);
+        for (wname, probes) in
+            [("uniform", rel.shuffled(0x1A05)), ("zipf1", Relation::zipf(n, n as u64, 1.0, 0x1A06))]
+        {
+            let cfg = ProbeConfig { materialize: false, scan_all: true, ..Default::default() };
+            let a = probe_legacy(&old, &probes, Technique::Amac, TuningParams::default(), true);
+            let b = probe(&new, &probes, Technique::Amac, &cfg);
+            assert_eq!(a.matches, b.matches, "ff={ff}/{wname}");
+            assert_eq!(a.checksum, b.checksum, "ff={ff}/{wname}");
+            let npl_old = a.stats.nodes_per_lookup();
+            let npl_new = b.stats.nodes_per_lookup();
+            let reduction = 1.0 - npl_new / npl_old;
+            assert!(
+                reduction >= 0.25,
+                "ff={ff}/{wname}: nodes/lookup {npl_old:.3} -> {npl_new:.3} \
+                 ({:.1}% reduction, need >= 25%)",
+                reduction * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn tag_filter_rejects_most_foreign_nodes() {
+    // On long scan-all chains, almost every visited node holds no match;
+    // the SWAR filter should reject the vast majority without key compares.
+    let n = 20_000;
+    let rel = Relation::dense_unique(n, 0x1A07);
+    let (_, new) = tables(&rel, 16);
+    let probes = rel.shuffled(0x1A08);
+    let cfg = ProbeConfig { materialize: false, scan_all: true, ..Default::default() };
+    let out = probe(&new, &probes, Technique::Amac, &cfg);
+    assert_eq!(out.matches, n as u64);
+    let visited = out.stats.nodes_visited as f64;
+    let rejected = out.stats.tag_rejects as f64;
+    // Each scan-all probe visits ~cap(16/3) = 6 nodes and matches in one:
+    // at least half of all visits must be pure tag rejects.
+    assert!(rejected / visited > 0.5, "tag filter rejected only {rejected}/{visited} visits");
+}

@@ -86,6 +86,25 @@ fn amac_prefetch_count_is_exactly_chain_work() {
 }
 
 #[test]
+fn no_prefetch_ablation_reports_zero_prefetches() {
+    // The hint ablation's "pure interleaving" mode must not book phantom
+    // prefetches: the counter is gated on the op's hint, per executor.
+    use amac_suite::mem::prefetch::PrefetchHint;
+    let r = Relation::dense_unique(1 << 10, 23);
+    let ht = HashTable::build_serial(&r);
+    let s = r.shuffled(24);
+    let cfg = ProbeConfig { materialize: false, hint: PrefetchHint::None, ..Default::default() };
+    for t in Technique::ALL {
+        let out = probe(&ht, &s, t, &cfg);
+        assert_eq!(out.stats.prefetches, 0, "{t}: hint=None must report 0 prefetches");
+        assert_eq!(out.matches, s.len() as u64, "{t}: results unaffected by the hint");
+    }
+    // And the default (real) hint still follows the counting convention.
+    let out = probe(&ht, &s, Technique::Amac, &ProbeConfig::default());
+    assert!(out.stats.prefetches > 0);
+}
+
+#[test]
 fn skewed_groupby_conflicts_are_intra_thread() {
     // Single-threaded run with z=1: conflicts can only come from lookups
     // sharing the in-flight window — the paper's §3.2 mechanism.

@@ -176,13 +176,14 @@ fn main() {
         let r = pick(w, fill);
         1.0 - r.nodes_per_lookup_new / r.nodes_per_lookup_legacy
     };
-    println!("{{");
-    println!("  \"bench\": \"node_layout_ab\",");
-    println!("  \"tuples\": {n},");
-    println!("  \"results\": [");
+    let mut j = amac_bench::JsonOut::new();
+    j.line("{");
+    j.line("  \"bench\": \"node_layout_ab\",");
+    j.line(format!("  \"tuples\": {n},"));
+    j.line("  \"results\": [");
     for (i, r) in ab.iter().enumerate() {
         let comma = if i + 1 == ab.len() { "" } else { "," };
-        println!(
+        j.line(format!(
             "    {{\"workload\": \"{}\", \"fill\": {}, \
              \"nodes_per_lookup_legacy\": {:.4}, \"nodes_per_lookup_new\": {:.4}, \
              \"bytes_per_lookup_legacy\": {:.1}, \"bytes_per_lookup_new\": {:.1}, \
@@ -194,19 +195,20 @@ fn main() {
             r.nodes_per_lookup_legacy * NODE_BYTES,
             r.nodes_per_lookup_new * NODE_BYTES,
             r.tag_reject_share
-        );
+        ));
     }
-    println!("  ],");
-    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_UNIFORM\": {:.3},", red("uniform", 2));
-    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_ZIPF1\": {:.3},", red("zipf1", 2));
-    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_UNIFORM\": {:.3},", red("uniform", 4));
-    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_ZIPF1\": {:.3},", red("zipf1", 4));
-    println!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF8_UNIFORM\": {:.3},", red("uniform", 8));
-    println!(
+    j.line("  ],");
+    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_UNIFORM\": {:.3},", red("uniform", 2)));
+    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_ZIPF1\": {:.3},", red("zipf1", 2)));
+    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_UNIFORM\": {:.3},", red("uniform", 4)));
+    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_ZIPF1\": {:.3},", red("zipf1", 4)));
+    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF8_UNIFORM\": {:.3},", red("uniform", 8)));
+    j.line(format!(
         "  \"BENCH_LAYOUT_TAG_REJECT_SHARE_FF4_UNIFORM\": {:.3}",
         pick("uniform", 4).tag_reject_share
-    );
-    println!("}}");
+    ));
+    j.line("}");
+    j.emit(args.json.as_deref());
     for ff in [2usize, 4, 8] {
         for w in ["uniform", "zipf1"] {
             assert!(

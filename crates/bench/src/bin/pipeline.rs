@@ -152,17 +152,18 @@ fn main() {
     assert_eq!(cf.checksum, ct.checksum, "2-join chain checksums diverge");
 
     // Hand-rolled JSON: flat, line-per-result, no external deps.
-    println!("{{");
-    println!("  \"bench\": \"fused_pipeline\",");
-    println!("  \"fact_tuples\": {n_fact},");
-    println!("  \"dim_tuples\": {n_dim},");
-    println!("  \"groups\": {groups},");
-    println!("  \"threads_mt\": {threads},");
-    println!("  \"trials\": {trials},");
-    println!("  \"results\": [");
+    let mut j = amac_bench::JsonOut::new();
+    j.line("{");
+    j.line("  \"bench\": \"fused_pipeline\",");
+    j.line(format!("  \"fact_tuples\": {n_fact},"));
+    j.line(format!("  \"dim_tuples\": {n_dim},"));
+    j.line(format!("  \"groups\": {groups},"));
+    j.line(format!("  \"threads_mt\": {threads},"));
+    j.line(format!("  \"trials\": {trials},"));
+    j.line("  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        println!(
+        j.line(format!(
             "    {{\"workload\": \"{}\", \"sigma\": {}, \"plan\": \"{}\", \
              \"cycles_per_tuple\": {:.1}, \"tuples_per_sec_mt\": {:.0}, \
              \"aggregated\": {}, \"intermediate_bytes\": {}, \"passes\": {}, \
@@ -176,10 +177,10 @@ fn main() {
             r.intermediate_bytes,
             r.passes,
             r.nodes_per_lookup
-        );
+        ));
     }
-    println!("  ],");
-    println!(
+    j.line("  ],");
+    j.line(format!(
         "  \"chain\": {{\"cycles_per_tuple_fused\": {:.1}, \
          \"cycles_per_tuple_two_phase\": {:.1}, \"matches\": {}, \
          \"intermediate_bytes_two_phase\": {}}},",
@@ -187,7 +188,7 @@ fn main() {
         ct.cycles as f64 / n_fact as f64,
         cf.aggregated,
         ct.intermediate_bytes
-    );
+    ));
 
     let pick = |w: &str, sigma: f64, plan: &str| -> &Row {
         rows.iter()
@@ -201,31 +202,44 @@ fn main() {
             pick(w, sigma, "fused").cycles_per_tuple,
         )
     };
-    println!("  \"host_cpus\": {},", std::thread::available_parallelism().map_or(0, |n| n.get()));
-    println!("  \"BENCH_PIPELINE_FUSED_SPEEDUP_UNIFORM_SEL50\": {:.3},", speedup("uniform", 0.5));
-    println!("  \"BENCH_PIPELINE_FUSED_SPEEDUP_UNIFORM_SEL100\": {:.3},", speedup("uniform", 1.0));
-    println!("  \"BENCH_PIPELINE_FUSED_SPEEDUP_ZIPF1_SEL100\": {:.3},", speedup("zipf1", 1.0));
-    println!(
+    j.line(format!(
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    j.line(format!(
+        "  \"BENCH_PIPELINE_FUSED_SPEEDUP_UNIFORM_SEL50\": {:.3},",
+        speedup("uniform", 0.5)
+    ));
+    j.line(format!(
+        "  \"BENCH_PIPELINE_FUSED_SPEEDUP_UNIFORM_SEL100\": {:.3},",
+        speedup("uniform", 1.0)
+    ));
+    j.line(format!(
+        "  \"BENCH_PIPELINE_FUSED_SPEEDUP_ZIPF1_SEL100\": {:.3},",
+        speedup("zipf1", 1.0)
+    ));
+    j.line(format!(
         "  \"BENCH_PIPELINE_CHAIN_FUSED_SPEEDUP\": {:.3},",
         ratio(ct.cycles as f64, cf.cycles as f64)
-    );
-    println!(
+    ));
+    j.line(format!(
         "  \"BENCH_PIPELINE_TWO_PHASE_INTERMEDIATE_MB_SEL100\": {:.1},",
         pick("uniform", 1.0, "two_phase").intermediate_bytes as f64 / (1 << 20) as f64
-    );
-    println!(
+    ));
+    j.line(format!(
         "  \"BENCH_PIPELINE_FUSED_INTERMEDIATE_BYTES\": {},",
         pick("uniform", 1.0, "fused").intermediate_bytes
-    );
-    println!("  \"BENCH_PIPELINE_FUSED_PASSES\": 1,");
-    println!("  \"BENCH_PIPELINE_TWO_PHASE_PASSES\": 2,");
-    println!(
+    ));
+    j.line("  \"BENCH_PIPELINE_FUSED_PASSES\": 1,");
+    j.line("  \"BENCH_PIPELINE_TWO_PHASE_PASSES\": 2,");
+    j.line(format!(
         "  \"BENCH_PIPELINE_NODES_PER_LOOKUP_UNIFORM_SEL100\": {:.3},",
         pick("uniform", 1.0, "fused").nodes_per_lookup
-    );
-    println!(
+    ));
+    j.line(format!(
         "  \"BENCH_PIPELINE_NODES_PER_LOOKUP_ZIPF1_SEL100\": {:.3}",
         pick("zipf1", 1.0, "fused").nodes_per_lookup
-    );
-    println!("}}");
+    ));
+    j.line("}");
+    j.emit(args.json.as_deref());
 }

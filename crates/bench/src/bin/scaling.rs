@@ -66,7 +66,7 @@ fn row(workload: &'static str, scheduling: &'static str, threads: usize, out: &M
         throughput: out.throughput,
         steals: out.report.steals(),
         imbalance: out.report.imbalance(),
-        p99_morsel_us: out.report.morsel_ns.quantile(0.99) as f64 / 1e3,
+        p99_morsel_us: out.report.morsel_ns.quantile(0.99).unwrap_or(0) as f64 / 1e3,
         nodes_per_lookup: out.stats.nodes_per_lookup(),
         work_skew: {
             let work = |s: &amac::engine::EngineStats| (s.stages + s.latch_retries) as f64;
@@ -122,15 +122,16 @@ fn main() {
     }
 
     // Hand-rolled JSON: flat, line-per-result, no external deps.
-    println!("{{");
-    println!("  \"bench\": \"parallel_scaling\",");
-    println!("  \"tuples\": {n},");
-    println!("  \"morsel_tuples\": {MORSEL},");
-    println!("  \"trials\": {trials},");
-    println!("  \"results\": [");
+    let mut j = amac_bench::JsonOut::new();
+    j.line("{");
+    j.line("  \"bench\": \"parallel_scaling\",");
+    j.line(format!("  \"tuples\": {n},"));
+    j.line(format!("  \"morsel_tuples\": {MORSEL},"));
+    j.line(format!("  \"trials\": {trials},"));
+    j.line("  \"results\": [");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        println!(
+        j.line(format!(
             "    {{\"workload\": \"{}\", \"scheduling\": \"{}\", \"threads\": {}, \
              \"tuples_per_sec\": {:.0}, \"steals\": {}, \"imbalance\": {:.3}, \
              \"p99_morsel_us\": {:.1}, \"work_skew\": {:.3}, \
@@ -144,9 +145,9 @@ fn main() {
             row.p99_morsel_us,
             row.work_skew,
             row.nodes_per_lookup
-        );
+        ));
     }
-    println!("  ],");
+    j.line("  ],");
 
     // Headline numbers for the trajectory. Wall-clock speedup needs real
     // cores to steal onto (on a timesliced single-core host both schemes
@@ -169,22 +170,32 @@ fn main() {
             pick("static", threads, &|r| r.throughput),
         )
     };
-    println!("  \"host_cpus\": {},", std::thread::available_parallelism().map_or(0, |n| n.get()));
-    println!("  \"BENCH_SKEW_WALL_SPEEDUP_4T\": {:.3},", wall(4));
-    println!("  \"BENCH_SKEW_WALL_SPEEDUP_8T\": {:.3},", wall(8));
-    println!("  \"BENCH_SKEW_STATIC_STRAGGLER_4T\": {:.3},", pick("static", 4, &|r| r.work_skew));
-    println!("  \"BENCH_SKEW_STATIC_STRAGGLER_8T\": {:.3},", pick("static", 8, &|r| r.work_skew));
+    j.line(format!(
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    j.line(format!("  \"BENCH_SKEW_WALL_SPEEDUP_4T\": {:.3},", wall(4)));
+    j.line(format!("  \"BENCH_SKEW_WALL_SPEEDUP_8T\": {:.3},", wall(8)));
+    j.line(format!(
+        "  \"BENCH_SKEW_STATIC_STRAGGLER_4T\": {:.3},",
+        pick("static", 4, &|r| r.work_skew)
+    ));
+    j.line(format!(
+        "  \"BENCH_SKEW_STATIC_STRAGGLER_8T\": {:.3},",
+        pick("static", 8, &|r| r.work_skew)
+    ));
     // Layout metric on the skew trajectory: fewer dependent hops per
     // probe compose multiplicatively with the scheduling wins above.
-    println!(
+    j.line(format!(
         "  \"BENCH_SKEW_NODES_PER_LOOKUP_ZIPF1\": {:.3},",
         pick("morsel", 4, &|r| r.nodes_per_lookup)
-    );
+    ));
     let uni = rows
         .iter()
         .find(|r| r.workload == "uniform" && r.scheduling == "morsel" && r.threads == 4)
         .map(|r| r.nodes_per_lookup)
         .unwrap_or(0.0);
-    println!("  \"BENCH_SKEW_NODES_PER_LOOKUP_UNIFORM\": {uni:.3}");
-    println!("}}");
+    j.line(format!("  \"BENCH_SKEW_NODES_PER_LOOKUP_UNIFORM\": {uni:.3}"));
+    j.line("}");
+    j.emit(args.json.as_deref());
 }

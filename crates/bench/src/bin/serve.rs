@@ -1,0 +1,319 @@
+//! **Serving trajectory**: many concurrent client queries batched into
+//! shared AMAC in-flight windows (`amac_server`), measured two ways and
+//! emitted as JSON with `BENCH_SERVE_*` headline keys.
+//!
+//! 1. **Closed mixed run** (deterministic evidence): a uniform tenant and
+//!    a Zipf(1) tenant, 8 queries each, all sharing one window. Result
+//!    equivalence vs each tenant's solo run is **asserted in-run** — under
+//!    the serving scheduler, under all four executors (via
+//!    `amac::engine::mux`), and on the morsel runtime at 1/2/4 threads
+//!    (via `amac_ops::multi`). The deterministic metrics are per-tenant
+//!    `nodes_per_lookup`, the max/mean per-tenant nodes-visited fairness
+//!    ratio, and mean window occupancy.
+//! 2. **Open-loop run** (latency evidence): Poisson arrivals at ~70% of
+//!    the calibrated service rate, tenants drawn from a Zipf mix,
+//!    admission backpressure shedding when the pending queue fills.
+//!    Reports per-tenant p50/p99 latency, throughput and shed count —
+//!    wall-clock numbers, reported but never gated on the 1-CPU CI host.
+//!
+//! Run: `cargo run --release --bin serve -- [--scale N] [--quick] [--json F]`
+
+use std::time::Instant;
+
+use amac::engine::mux::{Mux, Tagged};
+use amac::engine::{run, Technique, TuningParams};
+use amac_bench::{Args, JsonOut};
+use amac_hashtable::HashTable;
+use amac_metrics::LatencyHistogram;
+use amac_ops::join::{ProbeConfig, ProbeOp};
+use amac_ops::multi::{probe_multi_mt_rt, TenantProbe};
+use amac_runtime::MorselConfig;
+use amac_server::{QueryReport, Request, ServeConfig, ServeSession};
+use amac_workload::{PoissonArrivals, Relation, TenantMix};
+
+const SEED: u64 = 0x5E11;
+
+fn probe_cfg() -> ProbeConfig {
+    ProbeConfig { scan_all: true, materialize: false, ..Default::default() }
+}
+
+/// Split a relation into `k` equal query-sized chunks (`k` clamped to at
+/// least 1, so tiny `--scale` runs degrade to one big query per tenant
+/// instead of dividing by zero).
+fn split(rel: &Relation, k: usize) -> Vec<Relation> {
+    let k = k.max(1);
+    let q = (rel.len() / k).max(1);
+    rel.tuples.chunks(q).take(k).map(|c| Relation::from_tuples(c.to_vec())).collect()
+}
+
+/// Serve `queries` in one shared-window session, returning the output.
+fn serve_all<'a>(
+    ht: &'a HashTable,
+    queries: impl Iterator<Item = &'a Relation>,
+    cfg: ServeConfig,
+) -> amac_server::ServeOutput {
+    let mut srv = ServeSession::new(ht, cfg);
+    for q in queries {
+        srv.submit(Request::Probe { probes: q, cfg: probe_cfg() }).expect("closed run admits all");
+    }
+    srv.finish()
+}
+
+/// Sum (matches, checksum, lookups, nodes) over reports.
+fn totals(reports: &[QueryReport]) -> (u64, u64, u64, u64) {
+    reports.iter().fold((0, 0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.matches,
+            acc.1.wrapping_add(r.checksum),
+            acc.2 + r.stats.lookups,
+            acc.3 + r.stats.nodes_visited,
+        )
+    })
+}
+
+/// Assert the mixed 2-tenant window is bit-identical to solo runs under
+/// every executor (equivalence is part of the experiment, as in
+/// `bin/layout.rs`).
+fn assert_equiv_all_executors(ht: &HashTable, uniform: &Relation, zipf: &Relation) {
+    for technique in Technique::ALL {
+        let params = TuningParams::paper_best(technique);
+        let mut solo = ProbeOp::new(ht, &probe_cfg(), 0);
+        let solo_stats = run(technique, &mut solo, &uniform.tuples, params);
+        let mut mux = Mux::new();
+        let lu = mux.add(ProbeOp::new(ht, &probe_cfg(), 0));
+        let lz = mux.add(ProbeOp::new(ht, &probe_cfg(), 0));
+        let mut tagged = Vec::with_capacity(uniform.len() + zipf.len());
+        for i in (0..uniform.len().max(zipf.len())).step_by(128) {
+            for (lane, rel) in [(lu, uniform), (lz, zipf)] {
+                for t in rel.tuples.iter().skip(i).take(128) {
+                    tagged.push(Tagged::new(lane, *t));
+                }
+            }
+        }
+        run(technique, &mut mux, &tagged, params);
+        let (u_op, u_led) = mux.remove(lu);
+        assert_eq!(u_op.matches(), solo.matches(), "{technique}: mixed vs solo matches");
+        assert_eq!(u_op.checksum(), solo.checksum(), "{technique}: mixed vs solo checksum");
+        assert_eq!(
+            u_led.nodes_visited, solo_stats.nodes_visited,
+            "{technique}: sharing inflated uniform tenant nodes"
+        );
+    }
+}
+
+/// Assert mixed vs solo on the morsel runtime at 1/2/4 threads.
+fn assert_equiv_morsel_runtime(ht: &HashTable, uniform: &Relation, zipf: &Relation) {
+    let params = TuningParams::default();
+    let solo = probe_multi_mt_rt(
+        ht,
+        &[TenantProbe::new(uniform)],
+        Technique::Amac,
+        &probe_cfg(),
+        params,
+        256,
+        &MorselConfig::with_threads(1),
+    )
+    .tenants
+    .remove(0);
+    for threads in [1usize, 2, 4] {
+        let rt = MorselConfig { threads, morsel_tuples: 1024, ..Default::default() };
+        let tenants = [TenantProbe::new(uniform), TenantProbe::new(zipf)];
+        let out = probe_multi_mt_rt(ht, &tenants, Technique::Amac, &probe_cfg(), params, 256, &rt);
+        assert_eq!(out.tenants[0].matches, solo.matches, "{threads}t: mt mixed vs solo");
+        assert_eq!(out.tenants[0].checksum, solo.checksum, "{threads}t: mt checksum");
+        assert_eq!(
+            out.tenants[0].stats.nodes_visited, solo.stats.nodes_visited,
+            "{threads}t: mt nodes inflated"
+        );
+    }
+}
+
+struct TenantSummary {
+    name: &'static str,
+    queries: u64,
+    tuples: u64,
+    nodes_per_lookup: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.s_size();
+    let domain = (n as u64 / 16).max(64);
+    // Shared catalog: Zipf(0.5) build keys → hot keys own long chains.
+    // All relations share one seed (one Feistel rank→key permutation), so
+    // the skewed tenant's hot probes hit exactly those chains.
+    let build = Relation::zipf(n / 2, domain, 0.5, SEED);
+    let ht = HashTable::build_serial(&build);
+    let uniform = Relation::zipf(n, domain, 0.0, SEED);
+    let zipf = Relation::zipf(n, domain, 1.0, SEED);
+
+    println!("# Serving trajectory ({n} probe tuples per tenant, domain {domain})\n");
+
+    // --- Closed mixed run: determinism + fairness + occupancy -----------
+    const QUERIES_PER_TENANT: usize = 8;
+    let u_queries = split(&uniform, QUERIES_PER_TENANT);
+    let z_queries = split(&zipf, QUERIES_PER_TENANT);
+    let cfg = ServeConfig { max_active: 16, quantum: 256, ..Default::default() };
+
+    let solo_u = serve_all(&ht, u_queries.iter(), cfg.clone());
+    let solo_z = serve_all(&ht, z_queries.iter(), cfg.clone());
+    let t0 = Instant::now();
+    let mixed = serve_all(&ht, u_queries.iter().chain(z_queries.iter()), cfg.clone());
+    let mixed_secs = t0.elapsed().as_secs_f64();
+
+    // Mixed run must reproduce each tenant's solo results bit-for-bit.
+    let per_tenant = |out: &amac_server::ServeOutput, first: bool| -> Vec<QueryReport> {
+        out.reports
+            .iter()
+            .filter(|r| (r.qid.0 < QUERIES_PER_TENANT as u64) == first)
+            .cloned()
+            .collect()
+    };
+    let mixed_u = totals(&per_tenant(&mixed, true));
+    let mixed_z = totals(&per_tenant(&mixed, false));
+    assert_eq!(mixed_u, totals(&solo_u.reports), "uniform tenant diverged from solo");
+    assert_eq!(mixed_z, totals(&solo_z.reports), "zipf tenant diverged from solo");
+    assert_equiv_all_executors(&ht, &uniform, &zipf);
+    assert_equiv_morsel_runtime(&ht, &uniform, &zipf);
+    println!("mixed-vs-solo equivalence: OK (scheduler, 4 executors, morsel runtime 1/2/4T)\n");
+
+    let npl = |t: (u64, u64, u64, u64)| t.3 as f64 / t.2.max(1) as f64;
+    let fairness = amac_ops::multi::fairness_nodes_ratio([mixed_u.3, mixed_z.3]);
+
+    println!(
+        "closed mixed run: occupancy {:.2}/{} (solo uniform {:.2}, solo zipf {:.2})",
+        mixed.occupancy, mixed.window, solo_u.occupancy, solo_z.occupancy
+    );
+    println!(
+        "nodes/lookup: uniform {:.3}, zipf {:.3}; fairness max/mean {:.3}\n",
+        npl(mixed_u),
+        npl(mixed_z),
+        fairness
+    );
+
+    // --- Open-loop run: Poisson arrivals, Zipf tenant mix ---------------
+    const TENANTS: usize = 4;
+    let total_queries: usize = if args.quick { 48 } else { 96 };
+    let q_tuples = (n / 16).max(512);
+    // Per-tenant query pools: even tenants uniform, odd tenants skewed.
+    let pools: Vec<Vec<Relation>> = (0..TENANTS)
+        .map(|t| {
+            let rel = if t % 2 == 0 { &uniform } else { &zipf };
+            split(rel, n / q_tuples.max(1))
+        })
+        .collect();
+    // Calibrate offered load to ~70% of the closed run's service rate.
+    let served_tuples: u64 = mixed.stats.lookups;
+    let svc_ns_per_tuple = mixed_secs * 1e9 / served_tuples.max(1) as f64;
+    let mean_interarrival_ns = q_tuples as f64 * svc_ns_per_tuple / 0.7;
+
+    let mut arrivals = PoissonArrivals::new(mean_interarrival_ns, SEED ^ 1);
+    let mut mix = TenantMix::zipf(TENANTS, 1.0, SEED ^ 2);
+    let open_cfg = ServeConfig { max_active: 8, max_pending: 8, quantum: 256, ..cfg };
+    let mut srv = ServeSession::new(&ht, open_cfg);
+    let mut owner: Vec<usize> = Vec::new(); // successful qid -> tenant
+    let mut cursors = [0usize; TENANTS];
+    let start = Instant::now();
+    let mut next_arrival = arrivals.next().unwrap_or(0);
+    let mut submitted = 0usize;
+    while submitted < total_queries {
+        if start.elapsed().as_nanos() as u64 >= next_arrival {
+            let t = mix.sample();
+            let pool = &pools[t];
+            let rel = &pool[cursors[t] % pool.len()];
+            cursors[t] += 1;
+            if srv.submit(Request::Probe { probes: rel, cfg: probe_cfg() }).is_ok() {
+                owner.push(t);
+            }
+            submitted += 1;
+            next_arrival = arrivals.next().unwrap_or(next_arrival);
+        } else {
+            srv.pump();
+        }
+    }
+    let open = srv.finish();
+    let open_secs = start.elapsed().as_secs_f64();
+
+    // Per-tenant summaries (tenants 0,2 uniform; 1,3 zipf).
+    let mut tenant_rows: Vec<TenantSummary> = Vec::new();
+    let mut overall = LatencyHistogram::new();
+    for t in 0..TENANTS {
+        let mut hist = LatencyHistogram::new();
+        let (mut tuples, mut lookups, mut nodes, mut queries) = (0u64, 0u64, 0u64, 0u64);
+        for r in &open.reports {
+            if owner.get(r.qid.0 as usize) == Some(&t) {
+                hist.record(r.latency_ns);
+                overall.record(r.latency_ns);
+                tuples += r.tuples;
+                lookups += r.stats.lookups;
+                nodes += r.stats.nodes_visited;
+                queries += 1;
+            }
+        }
+        tenant_rows.push(TenantSummary {
+            name: if t % 2 == 0 { "uniform" } else { "zipf1" },
+            queries,
+            tuples,
+            nodes_per_lookup: nodes as f64 / lookups.max(1) as f64,
+            // 0.0 for a tenant with no completed queries (all draws shed):
+            // NaN would render as invalid JSON in the trajectory blob.
+            p50_us: hist.quantile(0.50).map_or(0.0, |v| v as f64 / 1e3),
+            p99_us: hist.quantile(0.99).map_or(0.0, |v| v as f64 / 1e3),
+        });
+    }
+    let qps = open.reports.len() as f64 / open_secs.max(1e-9);
+    println!(
+        "open loop: {} completed, {} shed, {:.0} q/s, occupancy {:.2}/{}",
+        open.reports.len(),
+        open.rejected,
+        qps,
+        open.occupancy,
+        open.window
+    );
+    for (t, row) in tenant_rows.iter().enumerate() {
+        println!(
+            "  tenant {t} ({}): {} queries, p50 {:.0} us, p99 {:.0} us",
+            row.name, row.queries, row.p50_us, row.p99_us
+        );
+    }
+
+    // --- JSON trajectory -------------------------------------------------
+    let p_us = |h: &LatencyHistogram, q: f64| h.quantile(q).map_or(0.0, |v| v as f64 / 1e3);
+    let mut j = JsonOut::new();
+    j.line("{");
+    j.line("  \"bench\": \"serve_multi_tenant\",");
+    j.line(format!("  \"tuples_per_tenant\": {n},"));
+    j.line(format!("  \"domain\": {domain},"));
+    j.line(format!("  \"queries_per_tenant_closed\": {QUERIES_PER_TENANT},"));
+    j.line(format!("  \"open_loop_queries\": {total_queries},"));
+    j.line(format!("  \"open_loop_query_tuples\": {q_tuples},"));
+    j.line(format!(
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    ));
+    j.line("  \"results\": [");
+    for (i, row) in tenant_rows.iter().enumerate() {
+        let comma = if i + 1 == tenant_rows.len() { "" } else { "," };
+        j.line(format!(
+            "    {{\"tenant\": {i}, \"class\": \"{}\", \"queries\": {}, \"tuples\": {}, \
+             \"nodes_per_lookup\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{comma}",
+            row.name, row.queries, row.tuples, row.nodes_per_lookup, row.p50_us, row.p99_us
+        ));
+    }
+    j.line("  ],");
+    // Deterministic keys (regression-gated): traversal work, fairness,
+    // window occupancy of the closed mixed run.
+    j.line(format!("  \"BENCH_SERVE_NODES_PER_LOOKUP_UNIFORM\": {:.3},", npl(mixed_u)));
+    j.line(format!("  \"BENCH_SERVE_NODES_PER_LOOKUP_ZIPF1\": {:.3},", npl(mixed_z)));
+    j.line(format!("  \"BENCH_SERVE_FAIRNESS_NODES_RATIO\": {fairness:.3},"));
+    j.line(format!("  \"BENCH_SERVE_WINDOW_OCCUPANCY\": {:.3},", mixed.occupancy));
+    // Wall-clock keys (reported, never gated on the 1-CPU host).
+    j.line(format!("  \"BENCH_SERVE_P50_US\": {:.1},", p_us(&overall, 0.50)));
+    j.line(format!("  \"BENCH_SERVE_P99_US\": {:.1},", p_us(&overall, 0.99)));
+    j.line(format!("  \"BENCH_SERVE_QPS\": {qps:.1},"));
+    j.line(format!("  \"BENCH_SERVE_SHED\": {}", open.rejected));
+    j.line("}");
+    j.emit(args.json.as_deref());
+}

@@ -33,6 +33,10 @@ pub struct Args {
     pub quick: bool,
     /// Full paper scale (2^27 probes, 2 GB relations). Needs ~12 GB RAM.
     pub paper: bool,
+    /// Also write the JSON trajectory blob to this path (`--json FILE`) —
+    /// how CI turns stdout trajectories into uploadable `BENCH_*.json`
+    /// artifacts the regression gate (`bin/regress`) can read back.
+    pub json: Option<String>,
 }
 
 impl Default for Args {
@@ -43,6 +47,7 @@ impl Default for Args {
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             quick: false,
             paper: false,
+            json: None,
         }
     }
 }
@@ -73,6 +78,9 @@ impl Args {
                         .unwrap_or_else(|| usage("--threads needs a count"));
                 }
                 "--quick" => a.quick = true,
+                "--json" => {
+                    a.json = Some(it.next().unwrap_or_else(|| usage("--json needs a path")));
+                }
                 "--paper" => {
                     a.paper = true;
                     a.scale = 27;
@@ -114,6 +122,7 @@ fn usage(msg: &str) -> ! {
          \x20  --trials K  repetitions, best-of reported (default 1)\n\
          \x20  --threads T max threads for scalability binaries\n\
          \x20  --quick     smoke-test sizes (scale <= 18)\n\
+         \x20  --json F    also write the JSON trajectory blob to file F\n\
          \x20  --paper     full paper scale (2^27; needs ~12 GB RAM)"
     );
     std::process::exit(2);
@@ -181,6 +190,49 @@ impl JoinLab {
     ) -> (f64, u64) {
         let out = probe(ht, &self.s, technique, cfg);
         (out.cycles as f64 / self.s.len().max(1) as f64, out.checksum)
+    }
+}
+
+/// Line-accumulating JSON emitter for the trajectory binaries.
+///
+/// The hand-rolled JSON blobs used to go straight to stdout, which is
+/// why the bench trajectory stayed empty: CI ran the binaries and threw
+/// the output away. Building the blob as a string lets every binary both
+/// print it (human runs keep working) and persist it via `--json PATH`
+/// (CI artifact + regression-gate input).
+#[derive(Debug, Default)]
+pub struct JsonOut {
+    body: String,
+}
+
+impl JsonOut {
+    /// An empty blob.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.body.push_str(s.as_ref());
+        self.body.push('\n');
+    }
+
+    /// The accumulated blob.
+    pub fn body(&self) -> &str {
+        &self.body
+    }
+
+    /// Print the blob to stdout and, if `path` is set, write it there
+    /// too (exits with an error message on an unwritable path — a CI
+    /// misconfiguration should fail loudly, not silently drop evidence).
+    pub fn emit(self, path: Option<&str>) {
+        print!("{}", self.body);
+        if let Some(p) = path {
+            if let Err(e) = std::fs::write(p, &self.body) {
+                eprintln!("error: cannot write --json {p}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -37,6 +37,7 @@ mod amac_exec;
 mod baseline;
 pub mod closure_api;
 mod gp;
+pub mod mux;
 pub mod pipeline;
 mod spp;
 mod stats;

@@ -1,0 +1,343 @@
+//! Cross-query window sharing: many queries' lookups in **one** in-flight
+//! window.
+//!
+//! AMAC hides memory latency by keeping `M` lookups in flight — and
+//! nothing in that argument cares *which query* a lookup belongs to
+//! (§3: the window entries are independent state machines). The AMAU
+//! line of follow-up work generalizes exactly this: one asynchronous
+//! access engine multiplexing many independent request streams. [`Mux`]
+//! is that idea as an op: it implements [`LookupOp`] over
+//! [`Tagged`]`<Input>` tuples and routes every `start`/`step` to the
+//! *lane* (per-query inner op) named by the tag, so a single executor
+//! window — under any of the four techniques, or a morsel-runtime
+//! [`AmacSession`](../../../amac_runtime/struct.AmacSession.html) —
+//! interleaves lookups from every active query.
+//!
+//! Why share instead of giving each query its own window? A query whose
+//! remaining input is smaller than `M` cannot fill a private window —
+//! its tail runs at memory latency. In a shared window those empty slots
+//! are immediately refilled by *other* queries' lookups, so the engine
+//! sustains `M`-deep miss-level parallelism as long as **any** query has
+//! work. The flip side (cache interference between tenants, one tenant's
+//! long chains occupying slots) is policy, not mechanism, and lives in
+//! `amac_server`'s scheduler; the mechanism here stays policy-free.
+//!
+//! # Per-lane accounting
+//!
+//! Tenant-billing counters must be exact, not estimated. Three sources
+//! feed the per-lane [`EngineStats`] ledger:
+//!
+//! * lifecycle counters (`stages`, `lookups`, `latch_retries`,
+//!   `prefetches`) — counted directly by `Mux` in `start`/`step`, which
+//!   know the lane;
+//! * op-observed counters (`nodes_visited`, `tag_rejects`) — each lane
+//!   has its **own** inner op, so everything that op accumulated belongs
+//!   to its lane; [`Mux::flush_observed`] drains every inner op into its
+//!   lane ledger *and* forwards the same deltas to the executor's global
+//!   stats, preserving the drain-and-reset contract that keeps counters
+//!   exact across morsel reuse;
+//! * executor-side counters (`noops`, `bailouts`) are scheduling
+//!   artifacts of the whole window and stay global-only.
+//!
+//! The invariant (asserted in tests): summing `lookups`, `stages`,
+//! `latch_retries`, `nodes_visited` and `tag_rejects` over lane ledgers
+//! reproduces the executor's global totals exactly.
+
+use super::{EngineStats, LookupOp, Step};
+
+/// A per-query input: the lane that owns it plus the inner op's input.
+#[derive(Debug, Clone, Copy)]
+pub struct Tagged<I: Copy> {
+    /// Lane id returned by [`Mux::add`].
+    pub lane: u32,
+    /// The inner op's input.
+    pub input: I,
+}
+
+impl<I: Copy> Tagged<I> {
+    /// Tag `input` for `lane`.
+    #[inline]
+    pub fn new(lane: u32, input: I) -> Self {
+        Tagged { lane, input }
+    }
+}
+
+/// Per-lookup state: the owning lane plus the inner op's state.
+#[derive(Debug, Default)]
+pub struct MuxState<S: Default> {
+    lane: u32,
+    inner: S,
+}
+
+/// A multiplexer op: one inner [`LookupOp`] per active query lane, all
+/// sharing whichever executor window runs the `Mux`.
+///
+/// Lanes are added with [`add`](Mux::add) and removed with
+/// [`remove`](Mux::remove) (only once all of the lane's lookups have
+/// retired — the caller tracks that via the ledger's `lookups` count).
+/// Lane ids are reused, so a long-lived serving window does not grow
+/// without bound as queries come and go.
+pub struct Mux<O: LookupOp> {
+    lanes: Vec<Option<O>>,
+    observed: Vec<EngineStats>,
+}
+
+impl<O: LookupOp> Default for Mux<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: LookupOp> Mux<O> {
+    /// An empty multiplexer.
+    pub fn new() -> Self {
+        Mux { lanes: Vec::new(), observed: Vec::new() }
+    }
+
+    /// Install `op` on a free lane and return its id (vacant slots are
+    /// reused before the lane table grows).
+    pub fn add(&mut self, op: O) -> u32 {
+        if let Some(i) = self.lanes.iter().position(Option::is_none) {
+            self.lanes[i] = Some(op);
+            self.observed[i] = EngineStats::default();
+            return i as u32;
+        }
+        self.lanes.push(Some(op));
+        self.observed.push(EngineStats::default());
+        (self.lanes.len() - 1) as u32
+    }
+
+    /// Remove a lane, returning its inner op (with whatever outputs it
+    /// materialized) and its final ledger. The caller must ensure none of
+    /// the lane's lookups are still in flight — the ledger's `lookups`
+    /// equalling the lane's submitted count is exactly that proof.
+    ///
+    /// Panics on a vacant lane (a serving-layer bookkeeping bug).
+    pub fn remove(&mut self, lane: u32) -> (O, EngineStats) {
+        let i = lane as usize;
+        let op = self.lanes[i].take().expect("remove of vacant mux lane");
+        let led = core::mem::take(&mut self.observed[i]);
+        (op, led)
+    }
+
+    /// The lane's inner op (panics on a vacant lane).
+    pub fn lane(&self, lane: u32) -> &O {
+        self.lanes[lane as usize].as_ref().expect("vacant mux lane")
+    }
+
+    /// The lane's inner op, mutably (panics on a vacant lane).
+    pub fn lane_mut(&mut self, lane: u32) -> &mut O {
+        self.lanes[lane as usize].as_mut().expect("vacant mux lane")
+    }
+
+    /// The lane's accounting ledger so far. Lifecycle counters are live;
+    /// op-observed counters (`nodes_visited`, `tag_rejects`) are current
+    /// as of the last `flush_observed` — i.e. exact at every executor-run
+    /// or morsel-feed boundary.
+    pub fn observed(&self, lane: u32) -> &EngineStats {
+        &self.observed[lane as usize]
+    }
+
+    /// Number of occupied lanes.
+    pub fn active_lanes(&self) -> usize {
+        self.lanes.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Iterate over `(lane, op)` pairs of occupied lanes.
+    pub fn iter_lanes(&self) -> impl Iterator<Item = (u32, &O)> {
+        self.lanes.iter().enumerate().filter_map(|(i, l)| l.as_ref().map(|op| (i as u32, op)))
+    }
+}
+
+impl<O: LookupOp> LookupOp for Mux<O> {
+    type Input = Tagged<O::Input>;
+    type State = MuxState<O::State>;
+
+    /// GP/SPP stage budget: the worst lane's budget (a static schedule
+    /// must cover the longest regular chain among active queries).
+    fn budgeted_steps(&self) -> usize {
+        self.lanes.iter().flatten().map(|op| op.budgeted_steps()).max().unwrap_or(1).max(1)
+    }
+
+    fn start(&mut self, input: Tagged<O::Input>, state: &mut MuxState<O::State>) {
+        let i = input.lane as usize;
+        state.lane = input.lane;
+        let op = self.lanes[i].as_mut().expect("start routed to vacant lane");
+        op.start(input.input, &mut state.inner);
+        let led = &mut self.observed[i];
+        led.stages += 1;
+        led.prefetches += op.issues_prefetches() as u64;
+    }
+
+    fn step(&mut self, state: &mut MuxState<O::State>) -> Step {
+        let i = state.lane as usize;
+        let op = self.lanes[i].as_mut().expect("step routed to vacant lane");
+        let r = op.step(&mut state.inner);
+        let pf = op.issues_prefetches() as u64;
+        let led = &mut self.observed[i];
+        match r {
+            Step::Continue => {
+                led.stages += 1;
+                led.prefetches += pf;
+            }
+            Step::Blocked => led.latch_retries += 1,
+            Step::Done => {
+                led.stages += 1;
+                led.lookups += 1;
+            }
+        }
+        r
+    }
+
+    /// Conservative global gate: true only if every lane prefetches
+    /// (executors count the convention globally; the per-lane ledgers
+    /// remain exact either way because they use each lane's own gate).
+    fn issues_prefetches(&self) -> bool {
+        self.lanes.iter().flatten().all(|op| op.issues_prefetches())
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        for (op, led) in self.lanes.iter_mut().zip(self.observed.iter_mut()) {
+            if let Some(op) = op.as_mut() {
+                let mut delta = EngineStats::default();
+                op.flush_observed(&mut delta);
+                led.nodes_visited += delta.nodes_visited;
+                led.tag_rejects += delta.tag_rejects;
+                stats.merge(&delta);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::testutil::ChainOp as TestChainOp;
+    use crate::engine::{run, Technique, TuningParams};
+
+    /// Interleave two queries' inputs round-robin with quantum `q`.
+    fn interleave(a: &[usize], b: &[usize], q: usize) -> Vec<Tagged<usize>> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut ia, mut ib) = (0usize, 0usize);
+        while ia < a.len() || ib < b.len() {
+            for _ in 0..q {
+                if ia < a.len() {
+                    out.push(Tagged::new(0, a[ia]));
+                    ia += 1;
+                }
+            }
+            for _ in 0..q {
+                if ib < b.len() {
+                    out.push(Tagged::new(1, b[ib]));
+                    ib += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn chains(n: usize, salt: usize) -> Vec<usize> {
+        (0..n).map(|i| 1 + (i * 31 + salt) % 7).collect()
+    }
+
+    #[test]
+    fn mux_matches_solo_runs_under_all_executors() {
+        let ch = chains(4_000, 0);
+        let qa: Vec<usize> = (0..2_000).collect();
+        let qb: Vec<usize> = (2_000..4_000).rev().collect();
+        for technique in Technique::ALL {
+            let params = TuningParams::paper_best(technique);
+            // Solo references.
+            let mut solo_a = TestChainOp::new(&ch);
+            let sa = run(technique, &mut solo_a, &qa, params);
+            let mut solo_b = TestChainOp::new(&ch);
+            let sb = run(technique, &mut solo_b, &qb, params);
+
+            // Shared window.
+            let mut mux = Mux::new();
+            let la = mux.add(TestChainOp::new(&ch));
+            let lb = mux.add(TestChainOp::new(&ch));
+            let tagged = interleave(&qa, &qb, 16);
+            let global = run(technique, &mut mux, &tagged, params);
+
+            let (oa, leda) = mux.remove(la);
+            let (ob, ledb) = mux.remove(lb);
+            assert_eq!(oa.outputs, solo_a.outputs, "{technique}: lane A results");
+            assert_eq!(ob.outputs, solo_b.outputs, "{technique}: lane B results");
+            assert_eq!(leda.lookups, sa.lookups, "{technique}: lane A lookups");
+            assert_eq!(ledb.lookups, sb.lookups, "{technique}: lane B lookups");
+            assert_eq!(
+                leda.nodes_visited, sa.nodes_visited,
+                "{technique}: sharing must not inflate lane A's nodes"
+            );
+            assert_eq!(ledb.nodes_visited, sb.nodes_visited, "{technique}: lane B nodes");
+            assert_eq!(
+                global.lookups,
+                sa.lookups + sb.lookups,
+                "{technique}: global lookups are the lane sum"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_ledgers_sum_to_global_totals() {
+        let ch = chains(3_000, 3);
+        let qa: Vec<usize> = (0..1_000).collect();
+        let qb: Vec<usize> = (1_000..3_000).collect();
+        let mut mux = Mux::new();
+        let la = mux.add(TestChainOp::new(&ch));
+        let lb = mux.add(TestChainOp::new(&ch));
+        let tagged = interleave(&qa, &qb, 7);
+        let global = run(Technique::Amac, &mut mux, &tagged, TuningParams::default());
+        let (a, b) = (*mux.observed(la), *mux.observed(lb));
+        assert_eq!(a.lookups + b.lookups, global.lookups);
+        assert_eq!(a.stages + b.stages, global.stages);
+        assert_eq!(a.latch_retries + b.latch_retries, global.latch_retries);
+        assert_eq!(a.nodes_visited + b.nodes_visited, global.nodes_visited);
+        assert_eq!(a.tag_rejects + b.tag_rejects, global.tag_rejects);
+        assert_eq!(a.prefetches + b.prefetches, global.prefetches);
+    }
+
+    #[test]
+    fn lane_ids_are_reused_after_remove() {
+        let ch = chains(64, 1);
+        let mut mux: Mux<TestChainOp> = Mux::new();
+        let a = mux.add(TestChainOp::new(&ch));
+        let b = mux.add(TestChainOp::new(&ch));
+        assert_eq!((a, b), (0, 1));
+        mux.remove(a);
+        assert_eq!(mux.active_lanes(), 1);
+        let c = mux.add(TestChainOp::new(&ch));
+        assert_eq!(c, 0, "vacant lane 0 must be reused");
+        assert_eq!(mux.active_lanes(), 2);
+        // The recycled lane's ledger starts clean.
+        assert_eq!(*mux.observed(c), EngineStats::default());
+        let _ = b;
+    }
+
+    #[test]
+    fn budget_is_worst_lane() {
+        let short = chains(16, 0); // chain lengths 1..=7
+        let mut mux: Mux<TestChainOp> = Mux::new();
+        assert_eq!(mux.budgeted_steps(), 1, "empty mux still legal for GP/SPP sizing");
+        mux.add(TestChainOp::new(&short));
+        assert!(mux.budgeted_steps() >= 1);
+    }
+
+    #[test]
+    fn single_lane_mux_is_transparent() {
+        let ch = chains(1_000, 5);
+        let inputs: Vec<usize> = (0..1_000).collect();
+        let mut solo = TestChainOp::new(&ch);
+        let want = run(Technique::Amac, &mut solo, &inputs, TuningParams::default());
+
+        let mut mux = Mux::new();
+        let lane = mux.add(TestChainOp::new(&ch));
+        let tagged: Vec<Tagged<usize>> = inputs.iter().map(|&i| Tagged::new(lane, i)).collect();
+        let got = run(Technique::Amac, &mut mux, &tagged, TuningParams::default());
+        assert_eq!(got, want, "a 1-lane mux must not change any counter");
+        let (op, led) = mux.remove(lane);
+        assert_eq!(op.outputs, solo.outputs);
+        assert_eq!(led.lookups, want.lookups);
+    }
+}

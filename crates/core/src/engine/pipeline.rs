@@ -416,7 +416,7 @@ mod tests {
 
     impl Route<u64, u64> for EvenOnly {
         fn route(&mut self, item: u64) -> Option<u64> {
-            item.is_multiple_of(2).then_some(item)
+            (item % 2 == 0).then_some(item)
         }
     }
 

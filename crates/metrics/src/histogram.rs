@@ -68,19 +68,25 @@ impl LatencyHistogram {
 
     /// Upper bound of the bucket holding quantile `q` (`0.0..=1.0`); the
     /// resolution is the bucket width (a factor of two).
-    pub fn quantile(&self, q: f64) -> u64 {
+    ///
+    /// Returns `None` on an empty histogram: a percentile of zero
+    /// observations is not 0 ns, it does not exist, and the serving layer
+    /// quotes these numbers as SLO evidence — an implicit `0` would read
+    /// as an impossibly good p99. Callers that want the old lenient
+    /// behaviour write `quantile(q).unwrap_or(0)` and own that choice.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if b == 0 { 0 } else { 1u64 << b };
+                return Some(if b == 0 { 0 } else { 1u64 << b });
             }
         }
-        self.max
+        Some(self.max)
     }
 }
 
@@ -97,8 +103,8 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.max(), 100_000);
         assert!(h.mean() > 0.0);
-        assert!(h.quantile(0.5) <= h.quantile(0.99));
-        assert!(h.quantile(1.0) >= 100_000 / 2);
+        assert!(h.quantile(0.5).unwrap() <= h.quantile(0.99).unwrap());
+        assert!(h.quantile(1.0).unwrap() >= 100_000 / 2);
     }
 
     #[test]
@@ -113,11 +119,20 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_all_zeroes() {
+    fn empty_histogram_has_no_percentiles() {
         let h = LatencyHistogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.quantile(0.5), None, "p50 of nothing must not read as 0 ns");
+        assert_eq!(h.quantile(0.99), None, "p99 of nothing must not read as 0 ns");
+        assert_eq!(h.quantile(1.0), None);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn one_observation_makes_percentiles_exist() {
+        let mut h = LatencyHistogram::new();
+        h.record(7);
+        assert!(h.quantile(0.99).is_some());
     }
 
     #[test]
@@ -125,6 +140,6 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.5), Some(0));
     }
 }

@@ -141,6 +141,13 @@ impl<'a> ProbeOp<'a> {
     pub fn checksum(&self) -> u64 {
         self.checksum
     }
+
+    /// Take the materialized first-match payloads (input order; empty when
+    /// `materialize` was off). For drivers that own the op — the serving
+    /// layer routes these back to the query that submitted the probes.
+    pub fn take_out(&mut self) -> Vec<u64> {
+        core::mem::take(&mut self.out)
+    }
 }
 
 /// Estimate the average chain length from table occupancy without

@@ -23,7 +23,10 @@
 //! compute identical results.
 //!
 //! [`parallel`] holds the multi-threaded drivers for the scalability
-//! experiments (Figs. 7–8, Table 4). [`pipeline`] fuses multi-operator
+//! experiments (Figs. 7–8, Table 4). [`multi`] holds the multi-tenant
+//! drivers: several queries' probe streams interleaved into the same
+//! workers' AMAC windows (`amac::engine::mux`), the parallel engine under
+//! the `amac_server` serving layer. [`pipeline`] fuses multi-operator
 //! chains (probe → filter → group-by, probe → probe) into a single AMAC
 //! window — §6's multi-operator integration — with two-phase
 //! materialized references for equivalence and traffic comparisons.
@@ -38,6 +41,7 @@ pub mod join;
 pub mod join_radix;
 pub mod legacy;
 pub mod linear;
+pub mod multi;
 pub mod parallel;
 pub mod pipeline;
 pub mod skiplist;

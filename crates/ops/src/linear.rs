@@ -145,7 +145,7 @@ impl LookupOp for LinearProbeOp<'_> {
                 return Step::Done; // scanned every slot (full-table guard)
             }
             s = self.table.next_slot(s);
-            if s.is_multiple_of(SLOTS_PER_LINE) {
+            if s % SLOTS_PER_LINE == 0 {
                 break; // crossed into the next cache line
             }
         }

@@ -25,6 +25,11 @@ pub struct AmacSession<O: LookupOp> {
     active: Vec<bool>,
     k: usize,
     in_flight: usize,
+    /// Sum of `in_flight` sampled at every executed slot rotation — the
+    /// numerator of [`mean_occupancy`](AmacSession::mean_occupancy).
+    occ_sum: u64,
+    /// Slot rotations executed (starts + step attempts).
+    occ_ticks: u64,
 }
 
 impl<O: LookupOp> AmacSession<O> {
@@ -33,7 +38,7 @@ impl<O: LookupOp> AmacSession<O> {
         let m = m.max(1);
         let mut states = Vec::with_capacity(m);
         states.resize_with(m, O::State::default);
-        AmacSession { states, active: vec![false; m], k: 0, in_flight: 0 }
+        AmacSession { states, active: vec![false; m], k: 0, in_flight: 0, occ_sum: 0, occ_ticks: 0 }
     }
 
     /// Window capacity (the paper's `M`).
@@ -44,6 +49,26 @@ impl<O: LookupOp> AmacSession<O> {
     /// Lookups currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Mean window occupancy: average `in_flight` over every executed slot
+    /// rotation so far (0 before any work). A value near
+    /// [`capacity`](AmacSession::capacity) means the engine sustained full
+    /// miss-level parallelism; the gap to `capacity` is the MLP lost to
+    /// under-filled windows (small feeds, drain tails). Deterministic — it
+    /// counts rotations, not time — so serving benches can gate on it.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.occ_ticks == 0 {
+            0.0
+        } else {
+            self.occ_sum as f64 / self.occ_ticks as f64
+        }
+    }
+
+    #[inline(always)]
+    fn tick(&mut self) {
+        self.occ_sum += self.in_flight as u64;
+        self.occ_ticks += 1;
     }
 
     /// Execute every lookup of `inputs`, leaving up to `M` of them in
@@ -67,6 +92,7 @@ impl<O: LookupOp> AmacSession<O> {
                     next += 1;
                     self.active[slot] = true;
                     self.in_flight += 1;
+                    self.tick();
                 }
             }
         }
@@ -91,6 +117,7 @@ impl<O: LookupOp> AmacSession<O> {
                     next += 1;
                 }
             }
+            self.tick();
             self.k += 1;
             if self.k == m {
                 self.k = 0;
@@ -120,6 +147,7 @@ impl<O: LookupOp> AmacSession<O> {
                         self.in_flight -= 1;
                     }
                 }
+                self.tick();
             }
             self.k += 1;
             if self.k == m {
@@ -185,6 +213,41 @@ mod tests {
         session.drain(&mut op, &mut stats);
         assert_eq!(stats.lookups, 20);
         assert_eq!(op.outputs.len(), 20);
+    }
+
+    #[test]
+    fn occupancy_tracks_window_fill() {
+        // Long feed: occupancy should sit at (nearly) full capacity.
+        let chains = vec![4usize; 4096];
+        let inputs: Vec<usize> = (0..4096).collect();
+        let mut op = ChainOp::new(&chains);
+        let mut session = AmacSession::new(8);
+        let mut stats = EngineStats::default();
+        for morsel in inputs.chunks(256) {
+            session.feed(&mut op, morsel, &mut stats);
+        }
+        let fed = session.mean_occupancy();
+        assert!(fed > 7.0 && fed <= 8.0, "steady-state occupancy {fed} not near M=8");
+        // The drain tail decays 8→0 and drags the mean down, but never
+        // below half the window on this workload.
+        session.drain(&mut op, &mut stats);
+        let drained = session.mean_occupancy();
+        assert!(drained > 4.0 && drained <= fed, "post-drain occupancy {drained}");
+        // Deterministic: the same schedule reproduces the same occupancy.
+        let mut op2 = ChainOp::new(&chains);
+        let mut s2 = AmacSession::new(8);
+        let mut st2 = EngineStats::default();
+        for morsel in inputs.chunks(256) {
+            s2.feed(&mut op2, morsel, &mut st2);
+        }
+        s2.drain(&mut op2, &mut st2);
+        assert_eq!(s2.mean_occupancy().to_bits(), drained.to_bits());
+    }
+
+    #[test]
+    fn occupancy_zero_before_any_work() {
+        let session: AmacSession<ChainOp> = AmacSession::new(4);
+        assert_eq!(session.mean_occupancy(), 0.0);
     }
 
     #[test]

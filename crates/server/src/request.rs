@@ -1,0 +1,118 @@
+//! The serving layer's client-facing vocabulary: requests, query ids,
+//! per-query reports, and the backpressure error.
+
+use amac::engine::EngineStats;
+use amac_hashtable::AggTable;
+use amac_ops::groupby::GroupByConfig;
+use amac_ops::join::ProbeConfig;
+use amac_ops::pipeline::PipelineConfig;
+use amac_workload::Relation;
+
+/// Identifies one submitted query for the lifetime of a serving session
+/// (monotonically increasing, never reused — unlike the window *lane*,
+/// which is recycled as queries come and go).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl core::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// One client request. Probe-shaped requests run against the session's
+/// shared catalog table; aggregate-producing requests bring their own
+/// output [`AggTable`] (result routing: every query's aggregates land in
+/// *its* table, bit-identical to a solo run).
+pub enum Request<'a> {
+    /// Probe the catalog table with `probes` (hash-join probe semantics
+    /// per `cfg`: early-exit or scan-all, optional materialization).
+    Probe {
+        /// The query's probe stream.
+        probes: &'a Relation,
+        /// Probe semantics.
+        cfg: ProbeConfig,
+    },
+    /// Aggregate `input` into the query's own `table`.
+    GroupBy {
+        /// Tuples to aggregate.
+        input: &'a Relation,
+        /// The query's private output table.
+        table: &'a AggTable,
+        /// Group-by tuning.
+        cfg: GroupByConfig,
+    },
+    /// Fused probe → filter → group-by: probe the catalog table with
+    /// `fact`, filter on the probe payload, aggregate survivors into the
+    /// query's own `table` — the whole chain in the shared window.
+    Pipeline {
+        /// The query's fact stream.
+        fact: &'a Relation,
+        /// The query's private output table.
+        table: &'a AggTable,
+        /// Pipeline tuning (filter selectivity, hints).
+        cfg: PipelineConfig,
+    },
+}
+
+impl Request<'_> {
+    /// The tuples this request will feed through the window.
+    pub fn input_len(&self) -> usize {
+        match self {
+            Request::Probe { probes, .. } => probes.len(),
+            Request::GroupBy { input, .. } => input.len(),
+            Request::Pipeline { fact, .. } => fact.len(),
+        }
+    }
+}
+
+/// Admission refused: both the active set and the pending queue are at
+/// capacity. Open-loop clients shed the query (and count it); closed-loop
+/// clients retry after draining some work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backpressure {
+    /// Queries currently sharing the window.
+    pub active: usize,
+    /// Queries queued for admission.
+    pub pending: usize,
+    /// The pending-queue bound that was hit.
+    pub max_pending: usize,
+}
+
+impl core::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "serving session at capacity: {} active, {}/{} pending",
+            self.active, self.pending, self.max_pending
+        )
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// Everything routed back to one query when it completes.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReport {
+    /// The query's id.
+    pub qid: QueryId,
+    /// `"probe"`, `"groupby"` or `"pipeline"`.
+    pub kind: &'static str,
+    /// Input tuples the query submitted.
+    pub tuples: u64,
+    /// Probe: key matches found. GroupBy/Pipeline: tuples aggregated
+    /// into the query's table.
+    pub matches: u64,
+    /// Pipeline only: first-stage join matches before the filter.
+    pub matched: u64,
+    /// Probe only: order-independent checksum of matched payloads.
+    pub checksum: u64,
+    /// Probe with materialization: first-match payload per probe tuple,
+    /// in the query's input order.
+    pub out: Vec<u64>,
+    /// The query's exact engine counters (its lane's ledger): lookups,
+    /// stages, latch retries, prefetches, nodes visited, tag rejects.
+    pub stats: EngineStats,
+    /// Submit-to-completion latency (includes admission queueing).
+    pub latency_ns: u64,
+}

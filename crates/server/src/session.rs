@@ -1,0 +1,568 @@
+//! The serving scheduler: admission, deficit-round-robin interleaving,
+//! one shared in-flight window, per-query routing and accounting.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use amac::engine::mux::{Mux, Tagged};
+use amac::engine::{EngineStats, TuningParams};
+use amac_hashtable::HashTable;
+use amac_metrics::LatencyHistogram;
+use amac_ops::groupby::GroupByOp;
+use amac_ops::join::ProbeOp;
+use amac_ops::pipeline::fused_probe_groupby_op;
+use amac_runtime::AmacSession;
+use amac_workload::Tuple;
+
+use crate::request::{Backpressure, QueryId, QueryReport, Request};
+use crate::tenant::TenantOp;
+
+/// Serving-session policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shared-window tuning: `in_flight` is the window `M` that *all*
+    /// active queries' lookups share.
+    pub params: TuningParams,
+    /// Admission bound: queries concurrently sharing the window. More
+    /// active queries = finer interleaving but more cache working sets
+    /// competing; the window itself stays `M` deep regardless.
+    pub max_active: usize,
+    /// Backpressure bound: queries waiting for admission before
+    /// [`ServeSession::submit`] refuses outright.
+    pub max_pending: usize,
+    /// Deficit-round-robin quantum in tuples: how many of one query's
+    /// lookups are fed before the next query's turn. Small quanta mix
+    /// queries tightly in the window; large quanta amortize dispatch.
+    pub quantum: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            params: TuningParams::default(),
+            max_active: 8,
+            max_pending: 64,
+            quantum: 256,
+        }
+    }
+}
+
+/// One admitted query's scheduling state.
+struct Active<'a> {
+    qid: QueryId,
+    lane: u32,
+    kind: &'static str,
+    inputs: &'a [Tuple],
+    cursor: usize,
+    deficit: usize,
+    weight: u32,
+    submitted: Instant,
+}
+
+/// One query waiting for admission.
+struct Pending<'a> {
+    qid: QueryId,
+    req: Request<'a>,
+    weight: u32,
+    submitted: Instant,
+}
+
+/// Aggregate outcome of a serving session.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOutput {
+    /// Per-query reports in completion order.
+    pub reports: Vec<QueryReport>,
+    /// Merged engine counters over all queries.
+    pub stats: EngineStats,
+    /// Mean shared-window occupancy over the whole session (out of the
+    /// configured `M`) — deterministic, see
+    /// [`AmacSession::mean_occupancy`].
+    pub occupancy: f64,
+    /// Window capacity the session ran with.
+    pub window: usize,
+    /// Query-latency histogram (submit → completion, nanoseconds).
+    pub latency: LatencyHistogram,
+    /// Queries refused at submission (pending queue full).
+    pub rejected: u64,
+    /// Wall time from session creation to [`ServeSession::finish`].
+    pub seconds: f64,
+}
+
+impl ServeOutput {
+    /// Fairness ratio: max over queries of nodes visited divided by the
+    /// mean (1.0 = every query paid the same traversal work; the single
+    /// definition lives in [`amac_ops::multi::fairness_nodes_ratio`]).
+    pub fn fairness_nodes_ratio(&self) -> f64 {
+        amac_ops::multi::fairness_nodes_ratio(self.reports.iter().map(|r| r.stats.nodes_visited))
+    }
+}
+
+/// A cross-query serving session: many concurrent client queries share
+/// **one** AMAC in-flight window.
+///
+/// Mechanics per [`pump`](ServeSession::pump) round:
+///
+/// 1. deficit-round-robin over active queries: each gets
+///    `quantum × weight` tuples of credit, tagged with its lane and fed
+///    into the shared [`AmacSession`] — the window never drains between
+///    queries, so a finishing query's slots are refilled by the next
+///    query's lookups in the same rotation;
+/// 2. if no query had input left, the window is drained so tails retire;
+/// 3. completed queries (all lookups retired, proven by the lane ledger)
+///    are removed, their results routed into a [`QueryReport`], and
+///    pending queries admitted into the freed lanes.
+///
+/// Results are **bit-identical to solo runs** by construction: each query
+/// owns its operator (private cursor, private output), fed in its own
+/// input order; sharing the window changes only *when* stages run, never
+/// what they compute.
+pub struct ServeSession<'a> {
+    catalog: &'a HashTable,
+    cfg: ServeConfig,
+    mux: Mux<TenantOp<'a>>,
+    window: AmacSession<Mux<TenantOp<'a>>>,
+    stats: EngineStats,
+    active: Vec<Active<'a>>,
+    pending: VecDeque<Pending<'a>>,
+    finished: Vec<QueryReport>,
+    latency: LatencyHistogram,
+    tag_buf: Vec<Tagged<Tuple>>,
+    rr: usize,
+    next_qid: u64,
+    rejected: u64,
+    born: Instant,
+}
+
+impl<'a> ServeSession<'a> {
+    /// A session serving queries against the shared `catalog` table.
+    pub fn new(catalog: &'a HashTable, cfg: ServeConfig) -> Self {
+        let cfg = ServeConfig { max_active: cfg.max_active.max(1), ..cfg };
+        let window = AmacSession::new(cfg.params.in_flight);
+        ServeSession {
+            catalog,
+            cfg,
+            mux: Mux::new(),
+            window,
+            stats: EngineStats::default(),
+            active: Vec::new(),
+            pending: VecDeque::new(),
+            finished: Vec::new(),
+            latency: LatencyHistogram::new(),
+            tag_buf: Vec::new(),
+            rr: 0,
+            next_qid: 0,
+            rejected: 0,
+            born: Instant::now(),
+        }
+    }
+
+    /// Submit a query with equal scheduling weight.
+    pub fn submit(&mut self, req: Request<'a>) -> Result<QueryId, Backpressure> {
+        self.submit_weighted(req, 1)
+    }
+
+    /// Submit a query with a deficit-round-robin `weight` (2 = twice the
+    /// per-round tuple share). Admits immediately if a lane is free,
+    /// queues if the pending bound allows, otherwise refuses — the
+    /// backpressure signal an open-loop client sheds on.
+    pub fn submit_weighted(
+        &mut self,
+        req: Request<'a>,
+        weight: u32,
+    ) -> Result<QueryId, Backpressure> {
+        if self.active.len() >= self.cfg.max_active && self.pending.len() >= self.cfg.max_pending {
+            self.rejected += 1;
+            return Err(Backpressure {
+                active: self.active.len(),
+                pending: self.pending.len(),
+                max_pending: self.cfg.max_pending,
+            });
+        }
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        let submitted = Instant::now();
+        if self.active.len() < self.cfg.max_active {
+            self.activate(qid, req, weight, submitted);
+        } else {
+            self.pending.push_back(Pending { qid, req, weight, submitted });
+        }
+        Ok(qid)
+    }
+
+    fn activate(&mut self, qid: QueryId, req: Request<'a>, weight: u32, submitted: Instant) {
+        let (op, inputs, kind): (TenantOp<'a>, &'a [Tuple], &'static str) = match req {
+            Request::Probe { probes, cfg } => (
+                TenantOp::Probe(ProbeOp::new(self.catalog, &cfg, probes.len())),
+                &probes.tuples,
+                "probe",
+            ),
+            Request::GroupBy { input, table, cfg } => {
+                (TenantOp::GroupBy(GroupByOp::new(table, &cfg)), &input.tuples, "groupby")
+            }
+            Request::Pipeline { fact, table, cfg } => (
+                TenantOp::Pipeline(Box::new(fused_probe_groupby_op(self.catalog, table, &cfg))),
+                &fact.tuples,
+                "pipeline",
+            ),
+        };
+        let lane = self.mux.add(op);
+        self.active.push(Active {
+            qid,
+            lane,
+            kind,
+            inputs,
+            cursor: 0,
+            deficit: 0,
+            weight: weight.max(1),
+            submitted,
+        });
+    }
+
+    /// One scheduling round. Returns the number of tuples fed; `0` means
+    /// every active query's input is exhausted (the round then drained
+    /// the window so tail lookups retire and queries complete).
+    pub fn pump(&mut self) -> usize {
+        let mut fed = 0usize;
+        let n = self.active.len();
+        for i in 0..n {
+            let idx = (self.rr + i) % n;
+            let (lane, lo, hi) = {
+                let a = &mut self.active[idx];
+                let remaining = a.inputs.len() - a.cursor;
+                if remaining == 0 {
+                    a.deficit = 0;
+                    continue;
+                }
+                a.deficit += self.cfg.quantum.max(1) * a.weight as usize;
+                let take = a.deficit.min(remaining);
+                let lo = a.cursor;
+                a.cursor += take;
+                a.deficit -= take;
+                (a.lane, lo, lo + take)
+            };
+            let inputs = self.active[idx].inputs;
+            self.tag_buf.clear();
+            self.tag_buf.extend(inputs[lo..hi].iter().map(|t| Tagged::new(lane, *t)));
+            self.window.feed(&mut self.mux, &self.tag_buf, &mut self.stats);
+            fed += hi - lo;
+        }
+        if n > 0 {
+            self.rr = (self.rr + 1) % n;
+        }
+        if fed == 0 && self.window.in_flight() > 0 {
+            self.window.drain(&mut self.mux, &mut self.stats);
+        }
+        self.sweep_completed();
+        fed
+    }
+
+    /// Drive every submitted query (and everything admitted from the
+    /// pending queue along the way) to completion.
+    pub fn run_to_completion(&mut self) {
+        while !self.active.is_empty() || !self.pending.is_empty() {
+            self.pump();
+        }
+    }
+
+    fn sweep_completed(&mut self) {
+        let mut i = 0;
+        while i < self.active.len() {
+            let done = {
+                let a = &self.active[i];
+                a.cursor == a.inputs.len()
+                    && self.mux.observed(a.lane).lookups >= a.inputs.len() as u64
+            };
+            if !done {
+                i += 1;
+                continue;
+            }
+            let a = self.active.remove(i);
+            let (op, stats) = self.mux.remove(a.lane);
+            let latency_ns = a.submitted.elapsed().as_nanos() as u64;
+            self.latency.record(latency_ns);
+            let mut report = QueryReport {
+                qid: a.qid,
+                kind: a.kind,
+                tuples: a.inputs.len() as u64,
+                stats,
+                latency_ns,
+                ..Default::default()
+            };
+            match op {
+                TenantOp::Probe(mut p) => {
+                    report.matches = p.matches();
+                    report.checksum = p.checksum();
+                    report.out = p.take_out();
+                }
+                TenantOp::GroupBy(g) => report.matches = g.tuples(),
+                TenantOp::Pipeline(f) => {
+                    report.matched = f.pipe().up().matches();
+                    report.matches = f.pipe().down().inner().tuples();
+                }
+            }
+            self.finished.push(report);
+            self.admit_from_pending();
+        }
+        if self.active.is_empty() {
+            self.rr = 0;
+        } else {
+            self.rr %= self.active.len();
+        }
+    }
+
+    fn admit_from_pending(&mut self) {
+        while self.active.len() < self.cfg.max_active {
+            match self.pending.pop_front() {
+                Some(p) => self.activate(p.qid, p.req, p.weight, p.submitted),
+                None => break,
+            }
+        }
+    }
+
+    /// Queries currently sharing the window.
+    pub fn active_queries(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Queries waiting for admission.
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Queries completed so far.
+    pub fn completed_queries(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Queries refused at submission so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Lookups currently in flight in the shared window.
+    pub fn in_flight(&self) -> usize {
+        self.window.in_flight()
+    }
+
+    /// Mean shared-window occupancy so far (deterministic).
+    pub fn mean_occupancy(&self) -> f64 {
+        self.window.mean_occupancy()
+    }
+
+    /// Close the session: everything still active or pending is driven to
+    /// completion, then the per-query reports and aggregate accounting
+    /// are returned.
+    pub fn finish(mut self) -> ServeOutput {
+        self.run_to_completion();
+        ServeOutput {
+            occupancy: self.window.mean_occupancy(),
+            window: self.window.capacity(),
+            reports: self.finished,
+            stats: self.stats,
+            latency: self.latency,
+            rejected: self.rejected,
+            seconds: self.born.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amac::engine::Technique;
+    use amac_hashtable::AggTable;
+    use amac_ops::groupby::GroupByConfig;
+    use amac_ops::join::ProbeConfig;
+    use amac_ops::pipeline::{probe_then_groupby, PipelineConfig};
+    use amac_workload::{FilterSpec, Relation};
+
+    fn catalog(n: usize) -> (Relation, HashTable) {
+        let dim = Relation::fk_dimension(n, (n as u64 / 4).max(4), 0xCA7);
+        let ht = HashTable::build_serial(&dim);
+        (dim, ht)
+    }
+
+    #[test]
+    fn probe_queries_match_solo_results_including_order() {
+        let (dim, ht) = catalog(4096);
+        let q1 = Relation::fk_uniform(&dim, 10_000, 0x11);
+        let q2 = Relation::zipf(10_000, 4096, 1.0, 0x12);
+        let cfg = ProbeConfig::default(); // materializing, early-exit
+        let solo1 = amac_ops::join::probe(&ht, &q1, Technique::Amac, &cfg);
+        let solo2 = amac_ops::join::probe(&ht, &q2, Technique::Amac, &cfg);
+
+        let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 64, ..Default::default() });
+        let a = srv.submit(Request::Probe { probes: &q1, cfg: cfg.clone() }).unwrap();
+        let b = srv.submit(Request::Probe { probes: &q2, cfg: cfg.clone() }).unwrap();
+        srv.run_to_completion();
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 2);
+        let ra = out.reports.iter().find(|r| r.qid == a).unwrap();
+        let rb = out.reports.iter().find(|r| r.qid == b).unwrap();
+        assert_eq!(ra.matches, solo1.matches);
+        assert_eq!(ra.checksum, solo1.checksum);
+        assert_eq!(ra.out, solo1.out, "materialized output reordered by sharing");
+        assert_eq!(rb.matches, solo2.matches);
+        assert_eq!(rb.checksum, solo2.checksum);
+        assert_eq!(rb.out, solo2.out);
+        assert_eq!(ra.stats.nodes_visited, solo1.stats.nodes_visited);
+        assert_eq!(rb.stats.nodes_visited, solo2.stats.nodes_visited);
+        assert_eq!(out.stats.lookups, 20_000);
+    }
+
+    #[test]
+    fn groupby_and_pipeline_queries_share_one_window() {
+        let (dim, ht) = catalog(2048);
+        let gb_in = amac_workload::GroupByInput::zipf(64, 8_000, 0.9, 0x21).relation;
+        let gb_table = AggTable::for_groups(64);
+        let fact = Relation::fk_uniform(&dim, 8_000, 0x22);
+        let pipe_table = AggTable::for_groups(512);
+        let pipe_cfg =
+            PipelineConfig { filter: Some(FilterSpec::selectivity(0.5)), ..Default::default() };
+
+        // Solo references.
+        let gb_solo = AggTable::for_groups(64);
+        amac_ops::groupby::groupby(&gb_solo, &gb_in, Technique::Amac, &GroupByConfig::default());
+        let pipe_solo = AggTable::for_groups(512);
+        let ps = probe_then_groupby(&ht, &pipe_solo, &fact, Technique::Amac, &pipe_cfg);
+
+        let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 128, ..Default::default() });
+        srv.submit(Request::GroupBy {
+            input: &gb_in,
+            table: &gb_table,
+            cfg: GroupByConfig::default(),
+        })
+        .unwrap();
+        srv.submit(Request::Pipeline { fact: &fact, table: &pipe_table, cfg: pipe_cfg }).unwrap();
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 2);
+        let gb = out.reports.iter().find(|r| r.kind == "groupby").unwrap();
+        let pipe = out.reports.iter().find(|r| r.kind == "pipeline").unwrap();
+        assert_eq!(gb.matches, 8_000);
+        assert_eq!(pipe.matched, ps.matched);
+        assert_eq!(pipe.matches, ps.aggregated);
+
+        let snap = |t: &AggTable| {
+            let mut g = t.groups();
+            g.sort_by_key(|(k, _)| *k);
+            g
+        };
+        assert_eq!(snap(&gb_table), snap(&gb_solo), "group-by aggregates diverge");
+        assert_eq!(snap(&pipe_table), snap(&pipe_solo), "pipeline aggregates diverge");
+    }
+
+    #[test]
+    fn admission_bounds_and_backpressure() {
+        let (dim, ht) = catalog(256);
+        let q = Relation::fk_uniform(&dim, 512, 0x31);
+        let cfg = ServeConfig { max_active: 2, max_pending: 2, ..Default::default() };
+        let mut srv = ServeSession::new(&ht, cfg);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        for _ in 0..4 {
+            srv.submit(Request::Probe { probes: &q, cfg: pcfg.clone() }).unwrap();
+        }
+        assert_eq!(srv.active_queries(), 2);
+        assert_eq!(srv.pending_queries(), 2);
+        let err = srv
+            .submit(Request::Probe { probes: &q, cfg: pcfg.clone() })
+            .expect_err("5th query must hit backpressure");
+        assert_eq!(err.max_pending, 2);
+        assert_eq!(srv.rejected(), 1);
+        // Draining completes everyone and admits the pending queue.
+        srv.run_to_completion();
+        assert_eq!(srv.completed_queries(), 4);
+        // Capacity freed: submission works again.
+        srv.submit(Request::Probe { probes: &q, cfg: pcfg }).unwrap();
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 5);
+        assert_eq!(out.rejected, 1);
+        // Latency histogram has one observation per completed query.
+        assert_eq!(out.latency.count(), 5);
+        assert!(out.latency.quantile(0.99).is_some());
+    }
+
+    #[test]
+    fn small_queries_keep_the_shared_window_fuller_than_private_windows() {
+        let (dim, ht) = catalog(4096);
+        // 16 small queries, each smaller than 4 windows' worth of input.
+        let qs: Vec<Relation> =
+            (0..16).map(|i| Relation::fk_uniform(&dim, 256, 0x40 + i)).collect();
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+
+        // Private windows: one session per query (what per-query engines do).
+        let mut private_occ = 0.0;
+        for q in &qs {
+            let mut srv = ServeSession::new(&ht, ServeConfig::default());
+            srv.submit(Request::Probe { probes: q, cfg: pcfg.clone() }).unwrap();
+            private_occ += srv.finish().occupancy;
+        }
+        private_occ /= qs.len() as f64;
+
+        // Shared window: all 16 interleave.
+        let mut srv = ServeSession::new(
+            &ht,
+            ServeConfig { max_active: 16, quantum: 64, ..Default::default() },
+        );
+        for q in &qs {
+            srv.submit(Request::Probe { probes: q, cfg: pcfg.clone() }).unwrap();
+        }
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 16);
+        assert!(
+            out.occupancy > private_occ,
+            "shared window occupancy {:.2} should beat per-query windows {:.2}",
+            out.occupancy,
+            private_occ
+        );
+        // And it should be near the full window.
+        assert!(out.occupancy > 0.8 * out.window as f64, "occupancy {:.2}", out.occupancy);
+    }
+
+    #[test]
+    fn weighted_query_finishes_earlier_under_contention() {
+        let (dim, ht) = catalog(1024);
+        let heavy = Relation::fk_uniform(&dim, 8_192, 0x51);
+        let light = Relation::fk_uniform(&dim, 8_192, 0x52);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 64, ..Default::default() });
+        let w =
+            srv.submit_weighted(Request::Probe { probes: &heavy, cfg: pcfg.clone() }, 4).unwrap();
+        let l = srv.submit(Request::Probe { probes: &light, cfg: pcfg }).unwrap();
+        let out = srv.finish();
+        // Completion order: the weight-4 query got 4x the feed share, so it
+        // must complete first even though both arrived together.
+        assert_eq!(out.reports[0].qid, w);
+        assert_eq!(out.reports[1].qid, l);
+    }
+
+    #[test]
+    fn empty_query_completes_immediately() {
+        let (_dim, ht) = catalog(64);
+        let empty = Relation::default();
+        let mut srv = ServeSession::new(&ht, ServeConfig::default());
+        let q = srv.submit(Request::Probe { probes: &empty, cfg: ProbeConfig::default() }).unwrap();
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].qid, q);
+        assert_eq!(out.reports[0].matches, 0);
+        assert_eq!(out.reports[0].stats.lookups, 0);
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_monotone_across_reuse() {
+        let (dim, ht) = catalog(128);
+        let q = Relation::fk_uniform(&dim, 64, 0x61);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        let mut srv = ServeSession::new(&ht, ServeConfig { max_active: 1, ..Default::default() });
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            ids.push(srv.submit(Request::Probe { probes: &q, cfg: pcfg.clone() }).unwrap());
+            srv.run_to_completion();
+        }
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 6);
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! One op type for every request kind, so heterogeneous queries can
+//! share a single [`Mux`](amac::engine::mux::Mux) window.
+//!
+//! The multiplexer is generic over *one* inner op type; the serving
+//! layer's queries are probes, group-bys and fused pipelines. [`TenantOp`]
+//! is the sum type that unifies them: each variant delegates the
+//! [`LookupOp`] contract to the wrapped operator, and the state enum
+//! mirrors it. `start` fully reinitializes the state (writing the variant
+//! matching the op), so a window slot can be handed from a probe query to
+//! a pipeline query and back as lanes are recycled.
+
+use amac::engine::pipeline::ChainState;
+use amac::engine::{EngineStats, LookupOp, Step};
+use amac_ops::groupby::{GroupByOp, GroupByState};
+use amac_ops::join::{ProbeOp, ProbeState};
+use amac_ops::pipeline::{FusedProbeGroupBy, ProbePipeState};
+use amac_workload::Tuple;
+
+/// State of one in-flight serving lookup (variant always matches the
+/// owning lane's op; `Vacant` only before the first `start`).
+#[derive(Default)]
+pub enum TenantState {
+    /// Slot not yet started.
+    #[default]
+    Vacant,
+    /// In-flight probe.
+    Probe(ProbeState),
+    /// In-flight group-by update.
+    GroupBy(GroupByState),
+    /// In-flight fused probe → filter → group-by chain.
+    Pipeline(ChainState<ProbePipeState, GroupByState>),
+}
+
+/// One query's operator, in a form every other query's operator can share
+/// a window with.
+pub enum TenantOp<'a> {
+    /// Hash-join probe against the catalog table.
+    Probe(ProbeOp<'a>),
+    /// Group-by into the query's own table.
+    GroupBy(GroupByOp<'a>),
+    /// Fused probe → filter → group-by (boxed: the fused chain state
+    /// machine is much larger than the other variants).
+    Pipeline(Box<FusedProbeGroupBy<'a>>),
+}
+
+impl LookupOp for TenantOp<'_> {
+    type Input = Tuple;
+    type State = TenantState;
+
+    fn budgeted_steps(&self) -> usize {
+        match self {
+            TenantOp::Probe(op) => op.budgeted_steps(),
+            TenantOp::GroupBy(op) => op.budgeted_steps(),
+            TenantOp::Pipeline(op) => op.budgeted_steps(),
+        }
+    }
+
+    fn start(&mut self, input: Tuple, state: &mut TenantState) {
+        match self {
+            TenantOp::Probe(op) => {
+                let mut s = ProbeState::default();
+                op.start(input, &mut s);
+                *state = TenantState::Probe(s);
+            }
+            TenantOp::GroupBy(op) => {
+                let mut s = GroupByState::default();
+                op.start(input, &mut s);
+                *state = TenantState::GroupBy(s);
+            }
+            TenantOp::Pipeline(op) => {
+                let mut s = ChainState::default();
+                op.start(input, &mut s);
+                *state = TenantState::Pipeline(s);
+            }
+        }
+    }
+
+    fn step(&mut self, state: &mut TenantState) -> Step {
+        match (self, state) {
+            (TenantOp::Probe(op), TenantState::Probe(s)) => op.step(s),
+            (TenantOp::GroupBy(op), TenantState::GroupBy(s)) => op.step(s),
+            (TenantOp::Pipeline(op), TenantState::Pipeline(s)) => op.step(s),
+            _ => unreachable!("serving state variant does not match its lane's op"),
+        }
+    }
+
+    fn issues_prefetches(&self) -> bool {
+        match self {
+            TenantOp::Probe(op) => op.issues_prefetches(),
+            TenantOp::GroupBy(op) => op.issues_prefetches(),
+            TenantOp::Pipeline(op) => op.issues_prefetches(),
+        }
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        match self {
+            TenantOp::Probe(op) => op.flush_observed(stats),
+            TenantOp::GroupBy(op) => op.flush_observed(stats),
+            TenantOp::Pipeline(op) => op.flush_observed(stats),
+        }
+    }
+}

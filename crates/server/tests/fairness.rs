@@ -1,0 +1,150 @@
+//! Multi-tenant fairness: a Zipf-skewed tenant sharing a window with a
+//! uniform tenant must not inflate the uniform tenant's `nodes_visited`,
+//! reorder its results, or change any of its counters — asserted
+//! bit-identically against solo runs, under all four executors, the
+//! single-threaded serving scheduler, and the morsel runtime at 1/2/4
+//! threads.
+
+use amac::engine::mux::{Mux, Tagged};
+use amac::engine::{run, Technique, TuningParams};
+use amac_hashtable::HashTable;
+use amac_ops::join::{probe, ProbeConfig, ProbeOp};
+use amac_ops::multi::{probe_multi_mt_rt, TenantProbe};
+use amac_runtime::{MorselConfig, Scheduling};
+use amac_server::{Request, ServeConfig, ServeSession};
+use amac_workload::Relation;
+
+/// Build-side duplicates (Zipf build keys) so the skewed tenant's hot
+/// probes walk long chains — the adversarial neighbour.
+fn lab() -> (HashTable, Relation, Relation) {
+    let n = 8192usize;
+    let domain = (n / 16) as u64;
+    // All three relations share one seed, hence one Feistel rank→key
+    // permutation: the skewed tenant's hottest probe keys are exactly the
+    // build side's longest chains (the `skewed_probe_lab` discipline).
+    let build = Relation::zipf(n, domain, 0.5, 0x5EED);
+    let ht = HashTable::build_serial(&build);
+    let uniform = Relation::zipf(16_000, domain, 0.0, 0x5EED);
+    let skewed = Relation::zipf(16_000, domain, 1.0, 0x5EED);
+    (ht, uniform, skewed)
+}
+
+fn cfg() -> ProbeConfig {
+    ProbeConfig { scan_all: true, materialize: false, ..Default::default() }
+}
+
+#[test]
+fn uniform_tenant_unaffected_under_all_executors() {
+    let (ht, uniform, skewed) = lab();
+    for technique in Technique::ALL {
+        let params = TuningParams::paper_best(technique);
+        let mut solo_op = ProbeOp::new(&ht, &cfg(), 0);
+        let solo = run(technique, &mut solo_op, &uniform.tuples, params);
+
+        // Shared window: interleave the two tenants quantum-by-quantum.
+        let mut mux = Mux::new();
+        let lu = mux.add(ProbeOp::new(&ht, &cfg(), 0));
+        let lz = mux.add(ProbeOp::new(&ht, &cfg(), 0));
+        let mut tagged = Vec::new();
+        let q = 128;
+        for i in (0..uniform.len().max(skewed.len())).step_by(q) {
+            for rel_lane in [(lu, &uniform), (lz, &skewed)] {
+                let (lane, rel) = rel_lane;
+                for t in rel.tuples.iter().skip(i).take(q) {
+                    tagged.push(Tagged::new(lane, *t));
+                }
+            }
+        }
+        assert_eq!(tagged.len(), uniform.len() + skewed.len());
+        run(technique, &mut mux, &tagged, params);
+
+        let (u_op, u_led) = mux.remove(lu);
+        assert_eq!(u_op.matches(), solo_op.matches(), "{technique}: matches");
+        assert_eq!(u_op.checksum(), solo_op.checksum(), "{technique}: checksum");
+        assert_eq!(u_led.lookups, solo.lookups, "{technique}: lookups");
+        assert_eq!(
+            u_led.nodes_visited, solo.nodes_visited,
+            "{technique}: skewed neighbour inflated the uniform tenant's nodes"
+        );
+        assert_eq!(u_led.tag_rejects, solo.tag_rejects, "{technique}: tag rejects");
+    }
+}
+
+#[test]
+fn uniform_tenant_unaffected_in_serving_scheduler() {
+    let (ht, uniform, skewed) = lab();
+    // Materializing config: output order is part of the contract here.
+    let mcfg = ProbeConfig { scan_all: false, materialize: true, ..Default::default() };
+    let solo = probe(&ht, &uniform, Technique::Amac, &mcfg);
+
+    let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 64, ..Default::default() });
+    let u = srv.submit(Request::Probe { probes: &uniform, cfg: mcfg.clone() }).unwrap();
+    srv.submit(Request::Probe { probes: &skewed, cfg: mcfg.clone() }).unwrap();
+    let out = srv.finish();
+    let ru = out.reports.iter().find(|r| r.qid == u).unwrap();
+    assert_eq!(ru.matches, solo.matches);
+    assert_eq!(ru.checksum, solo.checksum);
+    assert_eq!(ru.out, solo.out, "sharing must not reorder the uniform tenant's output");
+    assert_eq!(ru.stats.nodes_visited, solo.stats.nodes_visited);
+    assert_eq!(ru.stats.lookups, solo.stats.lookups);
+}
+
+#[test]
+fn uniform_tenant_unaffected_on_morsel_runtime_1_2_4_threads() {
+    let (ht, uniform, skewed) = lab();
+    let params = TuningParams::default();
+    // Solo reference through the same multi-tenant driver, 1 thread.
+    let solo = probe_multi_mt_rt(
+        &ht,
+        &[TenantProbe::new(&uniform)],
+        Technique::Amac,
+        &cfg(),
+        params,
+        256,
+        &MorselConfig::with_threads(1),
+    )
+    .tenants
+    .remove(0);
+
+    for threads in [1usize, 2, 4] {
+        for scheduling in [Scheduling::StaticChunk, Scheduling::SharedCursor, Scheduling::WorkSteal]
+        {
+            let rt = MorselConfig { threads, morsel_tuples: 512, scheduling, ..Default::default() };
+            let tenants = [TenantProbe::new(&uniform), TenantProbe::new(&skewed)];
+            let out = probe_multi_mt_rt(&ht, &tenants, Technique::Amac, &cfg(), params, 256, &rt);
+            let got = &out.tenants[0];
+            let tag = format!("{threads}t/{scheduling:?}");
+            assert_eq!(got.matches, solo.matches, "{tag}: matches");
+            assert_eq!(got.checksum, solo.checksum, "{tag}: checksum");
+            assert_eq!(got.stats.lookups, solo.stats.lookups, "{tag}: lookups");
+            assert_eq!(
+                got.stats.nodes_visited, solo.stats.nodes_visited,
+                "{tag}: skewed neighbour inflated the uniform tenant's nodes"
+            );
+            // The skewed tenant *does* do more traversal work per lookup —
+            // that is what the fairness ratio reports.
+            assert!(
+                out.tenants[1].stats.nodes_visited > out.tenants[0].stats.nodes_visited,
+                "{tag}: zipf tenant should walk more nodes"
+            );
+            assert!(out.fairness_nodes_ratio() > 1.0, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn solo_vs_shared_serving_occupancy_and_report_consistency() {
+    let (ht, uniform, skewed) = lab();
+    let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 128, ..Default::default() });
+    srv.submit(Request::Probe { probes: &uniform, cfg: cfg() }).unwrap();
+    srv.submit(Request::Probe { probes: &skewed, cfg: cfg() }).unwrap();
+    let out = srv.finish();
+    // Global counters are exactly the per-query sum.
+    let sum_lookups: u64 = out.reports.iter().map(|r| r.stats.lookups).sum();
+    let sum_nodes: u64 = out.reports.iter().map(|r| r.stats.nodes_visited).sum();
+    assert_eq!(sum_lookups, out.stats.lookups);
+    assert_eq!(sum_nodes, out.stats.nodes_visited);
+    assert!(out.occupancy > 0.0 && out.occupancy <= out.window as f64);
+    assert!(out.fairness_nodes_ratio() > 1.0);
+    assert_eq!(out.latency.count(), 2);
+}

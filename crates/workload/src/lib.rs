@@ -18,14 +18,18 @@
 //! Beyond the paper's inputs, the pipeline experiments add
 //! [`filter::FilterSpec`] (a selectivity-controlled virtual filter
 //! column) and [`Relation::fk_dimension`] (dimension tables whose
-//! payloads are foreign keys, for multi-join chains).
+//! payloads are foreign keys, for multi-join chains), and the serving
+//! experiments add [`arrival`]: deterministic Poisson arrival processes
+//! and uniform/Zipf tenant mixes for open-loop multi-query load.
 
+pub mod arrival;
 pub mod feistel;
 pub mod filter;
 pub mod gen;
 pub mod tuple;
 pub mod zipf;
 
+pub use arrival::{PoissonArrivals, TenantMix};
 pub use feistel::FeistelPermutation;
 pub use filter::FilterSpec;
 pub use gen::GroupByInput;

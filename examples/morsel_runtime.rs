@@ -36,7 +36,7 @@ fn main() {
             out.throughput / 1e6,
             out.report.steals(),
             out.report.imbalance(),
-            out.report.morsel_ns.quantile(0.99) / 1000,
+            out.report.morsel_ns.quantile(0.99).unwrap_or(0) / 1000,
         );
         for t in &out.report.per_thread {
             println!(

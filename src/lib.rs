@@ -50,6 +50,7 @@ pub use amac_metrics as metrics;
 pub use amac_ops as ops;
 pub use amac_radix as radix;
 pub use amac_runtime as runtime;
+pub use amac_server as server;
 pub use amac_skiplist as skiplist;
 pub use amac_tree as tree;
 pub use amac_workload as workload;
@@ -67,5 +68,6 @@ pub mod prelude {
         probe_then_groupby, probe_then_groupby_two_phase, probe_then_probe, PipelineConfig,
     };
     pub use amac_runtime::{MorselConfig, Scheduling};
-    pub use amac_workload::{FilterSpec, Relation, Tuple};
+    pub use amac_server::{Request, ServeConfig, ServeSession};
+    pub use amac_workload::{FilterSpec, PoissonArrivals, Relation, TenantMix, Tuple};
 }

@@ -14,7 +14,7 @@ fn bench_build(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.sample_size(10);
     for t in Technique::ALL {
-        let cfg = BuildConfig { params: TuningParams::paper_best(t) };
+        let cfg = BuildConfig { params: TuningParams::paper_best(t), tier: None };
         group.bench_with_input(BenchmarkId::from_parameter(t.label()), &t, |b, &t| {
             b.iter(|| {
                 let ht = HashTable::for_tuples(n);

@@ -176,18 +176,14 @@ fn main() {
         let r = pick(w, fill);
         1.0 - r.nodes_per_lookup_new / r.nodes_per_lookup_legacy
     };
-    let mut j = amac_bench::JsonOut::new();
-    j.line("{");
-    j.line("  \"bench\": \"node_layout_ab\",");
-    j.line(format!("  \"tuples\": {n},"));
-    j.line("  \"results\": [");
-    for (i, r) in ab.iter().enumerate() {
-        let comma = if i + 1 == ab.len() { "" } else { "," };
-        j.line(format!(
-            "    {{\"workload\": \"{}\", \"fill\": {}, \
+    let mut j = amac_bench::JsonOut::open("node_layout_ab");
+    j.meta("tuples", n);
+    j.results(ab.iter().map(|r| {
+        format!(
+            "{{\"workload\": \"{}\", \"fill\": {}, \
              \"nodes_per_lookup_legacy\": {:.4}, \"nodes_per_lookup_new\": {:.4}, \
              \"bytes_per_lookup_legacy\": {:.1}, \"bytes_per_lookup_new\": {:.1}, \
-             \"tag_reject_share\": {:.4}}}{comma}",
+             \"tag_reject_share\": {:.4}}}",
             r.workload,
             r.fill,
             r.nodes_per_lookup_legacy,
@@ -195,20 +191,23 @@ fn main() {
             r.nodes_per_lookup_legacy * NODE_BYTES,
             r.nodes_per_lookup_new * NODE_BYTES,
             r.tag_reject_share
-        ));
-    }
-    j.line("  ],");
-    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_UNIFORM\": {:.3},", red("uniform", 2)));
-    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF2_ZIPF1\": {:.3},", red("zipf1", 2)));
-    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_UNIFORM\": {:.3},", red("uniform", 4)));
-    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF4_ZIPF1\": {:.3},", red("zipf1", 4)));
-    j.line(format!("  \"BENCH_LAYOUT_NODES_REDUCTION_FF8_UNIFORM\": {:.3},", red("uniform", 8)));
-    j.line(format!(
-        "  \"BENCH_LAYOUT_TAG_REJECT_SHARE_FF4_UNIFORM\": {:.3}",
-        pick("uniform", 4).tag_reject_share
-    ));
-    j.line("}");
-    j.emit(args.json.as_deref());
+        )
+    }));
+    let keys: Vec<(String, String)> = [
+        ("FF2_UNIFORM", red("uniform", 2)),
+        ("FF2_ZIPF1", red("zipf1", 2)),
+        ("FF4_UNIFORM", red("uniform", 4)),
+        ("FF4_ZIPF1", red("zipf1", 4)),
+        ("FF8_UNIFORM", red("uniform", 8)),
+    ]
+    .into_iter()
+    .map(|(k, v)| (format!("BENCH_LAYOUT_NODES_REDUCTION_{k}"), format!("{v:.3}")))
+    .chain([(
+        "BENCH_LAYOUT_TAG_REJECT_SHARE_FF4_UNIFORM".to_string(),
+        format!("{:.3}", pick("uniform", 4).tag_reject_share),
+    )])
+    .collect();
+    j.finish_with_keys(&keys, args.json.as_deref());
     for ff in [2usize, 4, 8] {
         for w in ["uniform", "zipf1"] {
             assert!(

@@ -281,39 +281,32 @@ fn main() {
 
     // --- JSON trajectory -------------------------------------------------
     let p_us = |h: &LatencyHistogram, q: f64| h.quantile(q).map_or(0.0, |v| v as f64 / 1e3);
-    let mut j = JsonOut::new();
-    j.line("{");
-    j.line("  \"bench\": \"serve_multi_tenant\",");
-    j.line(format!("  \"tuples_per_tenant\": {n},"));
-    j.line(format!("  \"domain\": {domain},"));
-    j.line(format!("  \"queries_per_tenant_closed\": {QUERIES_PER_TENANT},"));
-    j.line(format!("  \"open_loop_queries\": {total_queries},"));
-    j.line(format!("  \"open_loop_query_tuples\": {q_tuples},"));
-    j.line(format!(
-        "  \"host_cpus\": {},",
-        std::thread::available_parallelism().map_or(0, |n| n.get())
-    ));
-    j.line("  \"results\": [");
-    for (i, row) in tenant_rows.iter().enumerate() {
-        let comma = if i + 1 == tenant_rows.len() { "" } else { "," };
-        j.line(format!(
-            "    {{\"tenant\": {i}, \"class\": \"{}\", \"queries\": {}, \"tuples\": {}, \
-             \"nodes_per_lookup\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}{comma}",
+    let mut j = JsonOut::open("serve_multi_tenant");
+    j.meta("tuples_per_tenant", n);
+    j.meta("domain", domain);
+    j.meta("queries_per_tenant_closed", QUERIES_PER_TENANT);
+    j.meta("open_loop_queries", total_queries);
+    j.meta("open_loop_query_tuples", q_tuples);
+    j.meta("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get()));
+    j.results(tenant_rows.iter().enumerate().map(|(i, row)| {
+        format!(
+            "{{\"tenant\": {i}, \"class\": \"{}\", \"queries\": {}, \"tuples\": {}, \
+             \"nodes_per_lookup\": {:.3}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
             row.name, row.queries, row.tuples, row.nodes_per_lookup, row.p50_us, row.p99_us
-        ));
-    }
-    j.line("  ],");
-    // Deterministic keys (regression-gated): traversal work, fairness,
-    // window occupancy of the closed mixed run.
-    j.line(format!("  \"BENCH_SERVE_NODES_PER_LOOKUP_UNIFORM\": {:.3},", npl(mixed_u)));
-    j.line(format!("  \"BENCH_SERVE_NODES_PER_LOOKUP_ZIPF1\": {:.3},", npl(mixed_z)));
-    j.line(format!("  \"BENCH_SERVE_FAIRNESS_NODES_RATIO\": {fairness:.3},"));
-    j.line(format!("  \"BENCH_SERVE_WINDOW_OCCUPANCY\": {:.3},", mixed.occupancy));
-    // Wall-clock keys (reported, never gated on the 1-CPU host).
-    j.line(format!("  \"BENCH_SERVE_P50_US\": {:.1},", p_us(&overall, 0.50)));
-    j.line(format!("  \"BENCH_SERVE_P99_US\": {:.1},", p_us(&overall, 0.99)));
-    j.line(format!("  \"BENCH_SERVE_QPS\": {qps:.1},"));
-    j.line(format!("  \"BENCH_SERVE_SHED\": {}", open.rejected));
-    j.line("}");
-    j.emit(args.json.as_deref());
+        )
+    }));
+    let keys = vec![
+        // Deterministic keys (regression-gated): traversal work,
+        // fairness, window occupancy of the closed mixed run.
+        ("BENCH_SERVE_NODES_PER_LOOKUP_UNIFORM".to_string(), format!("{:.3}", npl(mixed_u))),
+        ("BENCH_SERVE_NODES_PER_LOOKUP_ZIPF1".to_string(), format!("{:.3}", npl(mixed_z))),
+        ("BENCH_SERVE_FAIRNESS_NODES_RATIO".to_string(), format!("{fairness:.3}")),
+        ("BENCH_SERVE_WINDOW_OCCUPANCY".to_string(), format!("{:.3}", mixed.occupancy)),
+        // Wall-clock keys (reported, never gated on the 1-CPU host).
+        ("BENCH_SERVE_P50_US".to_string(), format!("{:.1}", p_us(&overall, 0.50))),
+        ("BENCH_SERVE_P99_US".to_string(), format!("{:.1}", p_us(&overall, 0.99))),
+        ("BENCH_SERVE_QPS".to_string(), format!("{qps:.1}")),
+        ("BENCH_SERVE_SHED".to_string(), format!("{}", open.rejected)),
+    ];
+    j.finish_with_keys(&keys, args.json.as_deref());
 }

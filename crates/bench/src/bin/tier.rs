@@ -1,0 +1,326 @@
+//! **Far-memory tier trajectory** (extension): the paper's latency-sweep
+//! figures as deterministic counters, no far-memory hardware required.
+//!
+//! Chain nodes are placed in a simulated far tier (`amac_tier`,
+//! headers-near placement) whose latency sweeps 1×/2×/4×/8× of DRAM,
+//! and every executor runs the *same* probe workload over it. The
+//! gateable signal is **stall share** — the fraction of simulated time a
+//! lookup spent waiting on a load its window failed to hide:
+//!
+//! * the **baseline** dereferences right after issuing: stall share
+//!   tracks `latency/(latency+1)` — the no-overlap ceiling;
+//! * **GP/SPP** hide what their fixed group/pipeline width out-laps, but
+//!   their sequential bailout stages expose the full far latency, so
+//!   stall share grows ~linearly with the multiplier;
+//! * **AMAC at a fixed M = 10** degrades the same way once the far tier
+//!   out-runs the window (32 ticks > 9 rotations) — depth, not
+//!   scheduling, is what hides latency;
+//! * **AMAC with `TuningParams::auto_sim`** is fed the tier's cost model
+//!   and deepens its window per multiplier: stall share stays flat (0)
+//!   across the whole sweep. That flat-vs-linear gap is the paper's
+//!   Figure 3 argument, reproduced as exact integers.
+//!
+//! Results are asserted bit-identical with tiering on vs off under all
+//! four executors, the coroutine ring, and the morsel runtime at 1/2/4
+//! threads; `sim_cycles` (pure work ticks) is asserted identical across
+//! executors and thread counts. The headline ratios are gated by
+//! `bin/regress` against `crates/bench/baselines.json`.
+//!
+//! Run: `cargo run --release --bin tier -- [--scale N] [--quick] [--json F]`
+
+use amac::engine::{Technique, TuningParams};
+use amac_bench::{assert_sigs_agree, Args, JsonOut, FAR_MULTS};
+use amac_coro::{coro_probe, CoroConfig};
+use amac_hashtable::{AggTable, HashTable};
+use amac_metrics::report::Table;
+use amac_ops::groupby::{groupby, GroupByConfig};
+use amac_ops::join::{probe, ProbeConfig, ProbeOp};
+use amac_ops::parallel::probe_mt_rt;
+use amac_runtime::MorselConfig;
+use amac_tier::TierSpec;
+use amac_workload::Relation;
+
+const SEED: u64 = 0x71E6;
+
+/// The tier lab: Zipf(0.4) build keys over a narrow domain give a mild
+/// heavy tail of chain lengths (a few percent of steps overflow the
+/// GP/SPP stage budget into serial bailouts — the exposure mechanism),
+/// probed uniformly with full-chain scans.
+struct TierLab {
+    ht: HashTable,
+    probes: Relation,
+    /// GP/SPP stage budget: expected nodes per probed chain.
+    n_stages: usize,
+}
+
+fn lab(n: usize) -> TierLab {
+    let domain = (n as u64 / 16).max(256);
+    let build = Relation::zipf(n / 2, domain, 0.4, SEED);
+    let ht = HashTable::build_serial(&build);
+    let probes = Relation::zipf(n, domain, 0.0, SEED);
+    // Stage budget: 2x the expected nodes per probed chain — a tail
+    // budget that regular chains fit comfortably, leaving only the
+    // Zipf tail's few percent of steps to bail out serially. (The
+    // mean-sized budget would push ~20% of steps into bailouts and
+    // saturate GP's stall share before the sweep even starts.)
+    let per_key = ((n / 2) as u64 / domain).max(1);
+    TierLab { ht, probes, n_stages: (2 * per_key).div_ceil(3).max(2) as usize }
+}
+
+fn cfg(lab: &TierLab, mult: u64, m: usize) -> ProbeConfig {
+    ProbeConfig {
+        params: TuningParams::with_in_flight(m),
+        n_stages: lab.n_stages,
+        scan_all: true,
+        materialize: false,
+        tier: Some(TierSpec::headers_near(mult)),
+        ..Default::default()
+    }
+}
+
+struct Row {
+    mult: u64,
+    executor: &'static str,
+    m: usize,
+    stall_share: f64,
+    cycles_per_lookup: f64,
+    stalls_per_lookup: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.s_size();
+    let lab = lab(n);
+    let lookups = lab.probes.len() as u64;
+    println!("# Far-memory tier trajectory ({n} probes, N = {})\n", lab.n_stages);
+
+    // Untiered reference: results must be identical with tiering on.
+    let plain = probe(
+        &lab.ht,
+        &lab.probes,
+        Technique::Amac,
+        &ProbeConfig { tier: None, ..cfg(&lab, 1, 10) },
+    );
+    let want_sig = (plain.matches, plain.checksum);
+    assert_eq!(plain.stats.sim_cycles, 0, "untiered runs must charge nothing");
+
+    // Window calibration per multiplier: auto_sim is fed the tier's cost
+    // model through the op factory (deterministic — gated below).
+    let auto_m: Vec<usize> = FAR_MULTS
+        .iter()
+        .map(|&mult| {
+            let c = cfg(&lab, mult, 10);
+            TuningParams::auto_sim(|| ProbeOp::new(&lab.ht, &c, 0), &lab.probes.tuples).in_flight
+        })
+        .collect();
+
+    // --- Latency sweep x executor -------------------------------------
+    let mut rows: Vec<Row> = Vec::new();
+    let mut work_ref: Option<u64> = None;
+    for (mi, &mult) in FAR_MULTS.iter().enumerate() {
+        let runs: [(&'static str, Technique, usize); 5] = [
+            ("Baseline", Technique::Baseline, 1),
+            ("GP", Technique::Gp, TuningParams::paper_best(Technique::Gp).in_flight),
+            ("SPP", Technique::Spp, TuningParams::paper_best(Technique::Spp).in_flight),
+            ("AMAC", Technique::Amac, 10),
+            ("AMAC-auto", Technique::Amac, auto_m[mi]),
+        ];
+        for (name, technique, m) in runs {
+            let out = probe(&lab.ht, &lab.probes, technique, &cfg(&lab, mult, m));
+            assert_sigs_agree(
+                &format!("{name} {mult}x"),
+                &[("untiered", want_sig), (name, (out.matches, out.checksum))],
+            );
+            // Work ticks are a pure op-call count: identical for every
+            // executor, window and latency.
+            match work_ref {
+                None => work_ref = Some(out.stats.sim_cycles),
+                Some(w) => assert_eq!(
+                    out.stats.sim_cycles, w,
+                    "{name} {mult}x: work ticks must not depend on executor"
+                ),
+            }
+            rows.push(Row {
+                mult,
+                executor: name,
+                m,
+                stall_share: out.stats.stall_share(),
+                cycles_per_lookup: out.stats.sim_cycles as f64 / lookups as f64,
+                stalls_per_lookup: out.stats.sim_stalls as f64 / lookups as f64,
+            });
+        }
+        // Coroutine ring at the same fixed width: same results, same
+        // work ticks (one tick per resumption == one per code stage).
+        let coro = coro_probe(
+            &lab.ht,
+            &lab.probes,
+            &CoroConfig {
+                width: 10,
+                scan_all: true,
+                materialize: false,
+                tier: Some(TierSpec::headers_near(mult)),
+            },
+        );
+        assert_sigs_agree(
+            &format!("coro {mult}x"),
+            &[("untiered", want_sig), ("coro", (coro.matches, coro.checksum))],
+        );
+        assert_eq!(coro.sim_cycles, work_ref.unwrap(), "coro {mult}x: work ticks diverged");
+        let total = coro.sim_cycles + coro.sim_stalls;
+        rows.push(Row {
+            mult,
+            executor: "coro",
+            m: 10,
+            stall_share: if total == 0 { 0.0 } else { coro.sim_stalls as f64 / total as f64 },
+            cycles_per_lookup: coro.sim_cycles as f64 / lookups as f64,
+            stalls_per_lookup: coro.sim_stalls as f64 / lookups as f64,
+        });
+    }
+
+    fn row_of<'a>(rows: &'a [Row], executor: &str, mult: u64) -> &'a Row {
+        rows.iter().find(|r| r.executor == executor && r.mult == mult).expect("row exists")
+    }
+    let share = |executor: &str, mult: u64| -> f64 { row_of(&rows, executor, mult).stall_share };
+
+    let mut sweep = Table::new("Stall share by far-latency multiplier (headers near, nodes far)")
+        .header(["executor", "M", "1x", "2x", "4x", "8x"]);
+    for name in ["Baseline", "GP", "SPP", "AMAC", "coro", "AMAC-auto"] {
+        // Label with the windows actually run (per-mult list when the
+        // auto-tuner varies them, the single M otherwise).
+        let ms: Vec<usize> = FAR_MULTS.iter().map(|&mult| row_of(&rows, name, mult).m).collect();
+        let m_label = if ms.windows(2).all(|w| w[0] == w[1]) {
+            format!("{}", ms[0])
+        } else {
+            format!("{ms:?}")
+        };
+        let mut row = vec![name.to_string(), m_label];
+        for &mult in &FAR_MULTS {
+            row.push(format!("{:.3}", share(name, mult)));
+        }
+        sweep.row(row);
+    }
+    sweep.note(
+        "results asserted bit-identical to the untiered run; work ticks identical across executors",
+    );
+    sweep.print();
+    println!();
+
+    // --- Window sweep: stall share vs M at each latency ----------------
+    let mut wrows: Vec<String> = Vec::new();
+    let mut wtable =
+        Table::new("AMAC stall share by window size M").header(["M", "1x", "2x", "4x", "8x"]);
+    for m in [4usize, 10, 16, 32, 48, 64] {
+        let mut row = vec![format!("{m}")];
+        for &mult in &FAR_MULTS {
+            let out = probe(&lab.ht, &lab.probes, Technique::Amac, &cfg(&lab, mult, m));
+            assert_eq!((out.matches, out.checksum), want_sig, "window sweep M={m} {mult}x");
+            row.push(format!("{:.3}", out.stats.stall_share()));
+            wrows.push(format!(
+                "{{\"kind\": \"window\", \"m\": {m}, \"mult\": {mult}, \"stall_share\": {:.4}}}",
+                out.stats.stall_share()
+            ));
+        }
+        wtable.row(row);
+    }
+    wtable.note("a window deeper than the far latency (in ticks) hides it completely");
+    wtable.print();
+    println!();
+
+    // --- Morsel runtime: equality + thread-invariant work ticks --------
+    let mt_cfg = cfg(&lab, 8, 10);
+    for threads in [1usize, 2, 4] {
+        let rt =
+            MorselConfig { threads, morsel_tuples: 1024, auto_tune: false, ..Default::default() };
+        let mt = probe_mt_rt(&lab.ht, &lab.probes, Technique::Amac, &mt_cfg, &rt);
+        assert_eq!((mt.matches, mt.checksum), want_sig, "{threads}t: morsel runtime diverged");
+        assert_eq!(
+            mt.stats.sim_cycles,
+            work_ref.unwrap(),
+            "{threads}t: work ticks must not depend on thread count"
+        );
+    }
+    println!("morsel runtime 1/2/4T: outputs bit-identical, work ticks thread-invariant\n");
+
+    // --- Group-by under tiering: outputs unchanged ---------------------
+    let gb_input = Relation::zipf(n.min(1 << 16), 512, 0.9, SEED ^ 5);
+    let snap = |t: &AggTable| {
+        let mut g = t.groups();
+        g.sort_by_key(|(k, _)| *k);
+        g
+    };
+    let gb_ref = {
+        let t = AggTable::for_groups(512);
+        groupby(&t, &gb_input, Technique::Amac, &GroupByConfig::default());
+        snap(&t)
+    };
+    for technique in Technique::ALL {
+        for mult in [1u64, 8] {
+            let t = AggTable::for_groups(512);
+            groupby(
+                &t,
+                &gb_input,
+                technique,
+                &GroupByConfig {
+                    params: TuningParams::paper_best(technique),
+                    tier: Some(TierSpec::headers_near(mult)),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(snap(&t), gb_ref, "{technique} {mult}x: tiered group-by diverged");
+        }
+    }
+    println!("group-by 4 executors x {{1x,8x}}: aggregates bit-identical to untiered\n");
+
+    // --- The gated shape ----------------------------------------------
+    let gp_ratio = share("GP", 8) / share("GP", 1).max(f64::MIN_POSITIVE);
+    let (a1, a8) = (share("AMAC-auto", 1), share("AMAC-auto", 8));
+    assert!(share("GP", 1) > 0.0, "GP at 1x must expose its bailout stages");
+    assert!(
+        gp_ratio >= 3.0,
+        "GP stall share must grow >= 3x from 1x to 8x (got {:.3} -> {:.3})",
+        share("GP", 1),
+        share("GP", 8)
+    );
+    if a1 == 0.0 {
+        assert_eq!(a8, 0.0, "auto-tuned AMAC must stay stall-free across the sweep");
+    } else {
+        assert!(a8 <= 1.5 * a1, "auto-tuned AMAC stall share must stay flat: {a1} -> {a8}");
+    }
+    println!(
+        "shape: GP stall share {:.3} -> {:.3} ({gp_ratio:.1}x); AMAC-auto {a1:.3} -> {a8:.3} (M {} -> {})",
+        share("GP", 1),
+        share("GP", 8),
+        auto_m[0],
+        auto_m[3]
+    );
+
+    // --- JSON trajectory ----------------------------------------------
+    let mut j = JsonOut::open("tier_far_memory");
+    j.meta("tuples", n);
+    j.meta("n_stages", lab.n_stages);
+    j.meta("near_latency_ticks", 4);
+    let sweep_rows = rows.iter().map(|r| {
+        format!(
+            "{{\"kind\": \"latency\", \"executor\": \"{}\", \"m\": {}, \"mult\": {}, \
+             \"stall_share\": {:.4}, \"sim_cycles_per_lookup\": {:.4}, \
+             \"sim_stalls_per_lookup\": {:.4}}}",
+            r.executor, r.m, r.mult, r.stall_share, r.cycles_per_lookup, r.stalls_per_lookup
+        )
+    });
+    j.results(sweep_rows.chain(wrows));
+    let keys = vec![
+        ("BENCH_TIER_GP_STALL_SHARE_1X".to_string(), format!("{:.4}", share("GP", 1))),
+        ("BENCH_TIER_GP_STALL_SHARE_8X".to_string(), format!("{:.4}", share("GP", 8))),
+        ("BENCH_TIER_GP_STALL_RATIO".to_string(), format!("{gp_ratio:.4}")),
+        ("BENCH_TIER_BASELINE_STALL_SHARE_8X".to_string(), format!("{:.4}", share("Baseline", 8))),
+        ("BENCH_TIER_AMAC_FIXED_STALL_SHARE_8X".to_string(), format!("{:.4}", share("AMAC", 8))),
+        ("BENCH_TIER_AMAC_AUTO_STALL_SHARE_8X".to_string(), format!("{a8:.4}")),
+        ("BENCH_TIER_AUTO_M_1X".to_string(), format!("{}", auto_m[0])),
+        ("BENCH_TIER_AUTO_M_8X".to_string(), format!("{}", auto_m[3])),
+        (
+            "BENCH_TIER_SIM_CYCLES_PER_LOOKUP".to_string(),
+            format!("{:.4}", work_ref.unwrap() as f64 / lookups as f64),
+        ),
+    ];
+    j.finish_with_keys(&keys, args.json.as_deref());
+}

@@ -175,7 +175,7 @@ impl JoinLab {
     /// build cycles-per-R-tuple.
     pub fn build_with(&self, technique: Technique, m: usize) -> (HashTable, f64) {
         let ht = HashTable::for_tuples(self.r.len());
-        let cfg = BuildConfig { params: TuningParams::with_in_flight(m) };
+        let cfg = BuildConfig { params: TuningParams::with_in_flight(m), tier: None };
         let out = build(&ht, &self.r, technique, &cfg);
         (ht, out.cycles as f64 / self.r.len().max(1) as f64)
     }
@@ -209,6 +209,47 @@ impl JsonOut {
     /// An empty blob.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Begin a trajectory object: `{` plus the `"bench"` tag line. Every
+    /// JSON-emitting binary opens with exactly this shape, so the
+    /// regression gate's line scanner can rely on it.
+    pub fn open(bench: &str) -> Self {
+        let mut j = Self::new();
+        j.line("{");
+        j.line(format!("  \"bench\": \"{bench}\","));
+        j
+    }
+
+    /// One `"key": value,` metadata line (numbers or pre-rendered JSON).
+    pub fn meta(&mut self, key: &str, value: impl core::fmt::Display) {
+        self.line(format!("  \"{key}\": {value},"));
+    }
+
+    /// The `"results": [...]` array from pre-rendered row objects,
+    /// handling the trailing-comma dance every binary used to hand-roll.
+    pub fn results<I: IntoIterator<Item = String>>(&mut self, rows: I) {
+        self.line("  \"results\": [");
+        let rows: Vec<String> = rows.into_iter().collect();
+        let n = rows.len();
+        for (i, r) in rows.into_iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            self.line(format!("    {r}{comma}"));
+        }
+        self.line("  ],");
+    }
+
+    /// Emit the headline `BENCH_*` keys (pre-rendered values; the last
+    /// line gets no comma), close the object, and
+    /// [`emit`](JsonOut::emit) it.
+    pub fn finish_with_keys(mut self, keys: &[(String, String)], path: Option<&str>) {
+        let n = keys.len();
+        for (i, (k, v)) in keys.iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            self.line(format!("  \"{k}\": {v}{comma}"));
+        }
+        self.line("}");
+        self.emit(path);
     }
 
     /// Append one line.
@@ -299,6 +340,21 @@ pub fn skewed_probe_lab(n: usize, theta: f64, seed: u64) -> SkewLab {
 /// semantics under duplicate build keys), no materialization.
 pub fn skewed_probe_cfg(m: usize) -> ProbeConfig {
     ProbeConfig { scan_all: true, ..probe_cfg(m) }
+}
+
+/// The far-latency sweep axis shared by the tier trajectory and its
+/// docs: far-tier latency as a multiple of DRAM latency.
+pub const FAR_MULTS: [u64; 4] = [1, 2, 4, 8];
+
+/// Assert every labelled `(matches, checksum)` signature in `sigs`
+/// agrees with the first — the in-run result-equivalence check the
+/// trajectory binaries (`layout`, `serve`, `tier`) all perform before
+/// trusting their counters.
+pub fn assert_sigs_agree(context: &str, sigs: &[(&str, (u64, u64))]) {
+    let Some(((_, want), rest)) = sigs.split_first() else { return };
+    for (label, got) in rest {
+        assert_eq!(got, want, "{context}: '{}' diverged from '{}'", label, sigs[0].0);
+    }
 }
 
 #[cfg(test)]

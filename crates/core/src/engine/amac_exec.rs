@@ -139,6 +139,12 @@ fn run_amac_inner<O: LookupOp>(
             next += 1;
             active[k] = true;
             in_flight += 1;
+        } else {
+            // Drained slot: the rotation still visits it (a status
+            // check), so a tiered op's simulated clock must advance —
+            // otherwise the drain tail would fake stalls the rotation
+            // cadence actually hides.
+            op.sim_idle(1);
         }
         if modulo_index {
             k = (k + 1) % m;

@@ -46,8 +46,11 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
         for _sweep in 0..n {
             for k in 0..g {
                 if done[k] {
-                    // Status check on a finished lookup: Fig. 2's gray box.
+                    // Status check on a finished lookup: Fig. 2's gray
+                    // box. It costs a tick of simulated time, keeping the
+                    // remaining lookups' prefetch distances honest.
                     stats.noops += 1;
+                    op.sim_idle(1);
                     continue;
                 }
                 match op.step(&mut states[k]) {

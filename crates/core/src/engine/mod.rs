@@ -48,7 +48,9 @@ pub use baseline::run_baseline;
 pub use gp::run_gp;
 pub use spp::run_spp;
 pub use stats::EngineStats;
-pub use tune::{auto_tune_in_flight, AUTO_MAX_IN_FLIGHT, AUTO_MIN_IN_FLIGHT};
+pub use tune::{
+    auto_tune_in_flight, auto_tune_in_flight_sim, AUTO_MAX_IN_FLIGHT, AUTO_MIN_IN_FLIGHT,
+};
 
 /// Outcome of one executed code stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,14 +98,46 @@ pub trait LookupOp {
         true
     }
 
-    /// Drain op-side observation counters (nodes visited, tag rejects)
-    /// into `stats`, resetting them. Called by every executor at the end
-    /// of a run and by the morsel runtime after each feed/drain; the
-    /// drain-and-reset contract is what keeps counts exact when one op
-    /// instance processes many morsels. Default: nothing to report.
+    /// Drain op-side observation counters (nodes visited, tag rejects,
+    /// simulated work/stall ticks) into `stats`, resetting them. Called
+    /// by every executor at the end of a run and by the morsel runtime
+    /// after each feed/drain; the drain-and-reset contract is what keeps
+    /// counts exact when one op instance processes many morsels.
+    /// Default: nothing to report.
     #[inline(always)]
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         let _ = stats;
+    }
+
+    /// Let `ticks` of simulated time pass without this op executing a
+    /// stage. Executors call this once per visit to an idle window slot
+    /// (a GP/SPP no-op check, a drained AMAC slot), so a tiered op's
+    /// simulated clock (`amac_tier::SimClock`) keeps pace with the
+    /// window rotation even when the op itself is not called — without
+    /// it, a draining window would fake stalls that a real rotation
+    /// would have hidden. Default: no clock, nothing to do.
+    #[inline(always)]
+    fn sim_idle(&mut self, ticks: u64) {
+        let _ = ticks;
+    }
+
+    /// Current simulated time of this op's cost-model clock (0 when
+    /// untiered). Composition layers ([`mux::Mux`], fused
+    /// [`pipeline::Chain`]s) read it to keep member clocks in lock-step.
+    #[inline(always)]
+    fn sim_now(&self) -> u64 {
+        0
+    }
+
+    /// Lift this op's simulated clock to `now` if it is behind — the
+    /// other half of the composition protocol: before routing a stage to
+    /// a member op, the composition layer advances that member to the
+    /// shared window's current time, so time spent executing *other*
+    /// members' stages counts toward this member's prefetch distances.
+    /// Monotone; a stale `now` is a no-op. Default: no clock.
+    #[inline(always)]
+    fn sim_advance_to(&mut self, now: u64) {
+        let _ = now;
     }
 }
 

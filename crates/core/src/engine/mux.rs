@@ -30,12 +30,16 @@
 //! * lifecycle counters (`stages`, `lookups`, `latch_retries`,
 //!   `prefetches`) — counted directly by `Mux` in `start`/`step`, which
 //!   know the lane;
-//! * op-observed counters (`nodes_visited`, `tag_rejects`) — each lane
-//!   has its **own** inner op, so everything that op accumulated belongs
-//!   to its lane; [`Mux::flush_observed`] drains every inner op into its
-//!   lane ledger *and* forwards the same deltas to the executor's global
+//! * op-observed counters (`nodes_visited`, `tag_rejects`, and the
+//!   cost-model ticks `sim_cycles`/`sim_stalls`) — each lane has its
+//!   **own** inner op, so everything that op accumulated belongs to its
+//!   lane; [`Mux::flush_observed`] drains every inner op into its lane
+//!   ledger *and* forwards the same deltas to the executor's global
 //!   stats, preserving the drain-and-reset contract that keeps counters
-//!   exact across morsel reuse;
+//!   exact across morsel reuse. Lane cost-model clocks are kept in
+//!   lock-step with a window-wide simulated time (`seq`), so one lane's
+//!   stages count toward every other lane's prefetch distances — the
+//!   cross-query hiding the shared window exists to provide;
 //! * executor-side counters (`noops`, `bailouts`) are scheduling
 //!   artifacts of the whole window and stay global-only.
 //!
@@ -80,6 +84,18 @@ pub struct MuxState<S: Default> {
 pub struct Mux<O: LookupOp> {
     lanes: Vec<Option<O>>,
     observed: Vec<EngineStats>,
+    /// The shared window's simulated time: advanced one tick per routed
+    /// stage (and by executor idle visits via [`LookupOp::sim_idle`]),
+    /// lifted to a lane clock's `now` after every call so lane stalls
+    /// push window time forward too. Before routing a stage to a lane,
+    /// the lane's clock is advanced to `seq` — that is how time spent on
+    /// *other* tenants' stages counts toward this tenant's prefetch
+    /// distances, which is precisely the cross-query latency-hiding
+    /// claim. The bookkeeping runs unconditionally (the counter advances
+    /// even in untiered runs); it is harmless then — two no-op virtual
+    /// calls per stage — because lanes without clocks ignore every
+    /// advance.
+    seq: u64,
 }
 
 impl<O: LookupOp> Default for Mux<O> {
@@ -91,7 +107,7 @@ impl<O: LookupOp> Default for Mux<O> {
 impl<O: LookupOp> Mux<O> {
     /// An empty multiplexer.
     pub fn new() -> Self {
-        Mux { lanes: Vec::new(), observed: Vec::new() }
+        Mux { lanes: Vec::new(), observed: Vec::new(), seq: 0 }
     }
 
     /// Install `op` on a free lane and return its id (vacant slots are
@@ -163,7 +179,11 @@ impl<O: LookupOp> LookupOp for Mux<O> {
         let i = input.lane as usize;
         state.lane = input.lane;
         let op = self.lanes[i].as_mut().expect("start routed to vacant lane");
+        // Clock sync: catch the lane up to window time, run its stage,
+        // then fold its (possibly stalled) clock back into window time.
+        op.sim_advance_to(self.seq);
         op.start(input.input, &mut state.inner);
+        self.seq = (self.seq + 1).max(op.sim_now());
         let led = &mut self.observed[i];
         led.stages += 1;
         led.prefetches += op.issues_prefetches() as u64;
@@ -172,7 +192,9 @@ impl<O: LookupOp> LookupOp for Mux<O> {
     fn step(&mut self, state: &mut MuxState<O::State>) -> Step {
         let i = state.lane as usize;
         let op = self.lanes[i].as_mut().expect("step routed to vacant lane");
+        op.sim_advance_to(self.seq);
         let r = op.step(&mut state.inner);
+        self.seq = (self.seq + 1).max(op.sim_now());
         let pf = op.issues_prefetches() as u64;
         let led = &mut self.observed[i];
         match r {
@@ -203,8 +225,26 @@ impl<O: LookupOp> LookupOp for Mux<O> {
                 op.flush_observed(&mut delta);
                 led.nodes_visited += delta.nodes_visited;
                 led.tag_rejects += delta.tag_rejects;
+                led.sim_cycles += delta.sim_cycles;
+                led.sim_stalls += delta.sim_stalls;
                 stats.merge(&delta);
             }
+        }
+    }
+
+    /// Executor idle visits advance the shared window's simulated time;
+    /// every lane is caught up lazily at its next routed stage.
+    fn sim_idle(&mut self, ticks: u64) {
+        self.seq += ticks;
+    }
+
+    fn sim_now(&self) -> u64 {
+        self.seq
+    }
+
+    fn sim_advance_to(&mut self, now: u64) {
+        if now > self.seq {
+            self.seq = now;
         }
     }
 }

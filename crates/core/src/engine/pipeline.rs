@@ -97,6 +97,27 @@ pub trait PipelineOp {
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         let _ = stats;
     }
+
+    /// Simulated idle time (see [`LookupOp::sim_idle`]); chains advance
+    /// every member so one shared pipeline-wide clock emerges.
+    #[inline(always)]
+    fn sim_idle(&mut self, ticks: u64) {
+        let _ = ticks;
+    }
+
+    /// Current simulated time (see [`LookupOp::sim_now`]); a chain
+    /// reports the max over its members.
+    #[inline(always)]
+    fn sim_now(&self) -> u64 {
+        0
+    }
+
+    /// Lift the member clock(s) to `now` (see
+    /// [`LookupOp::sim_advance_to`]).
+    #[inline(always)]
+    fn sim_advance_to(&mut self, now: u64) {
+        let _ = now;
+    }
 }
 
 /// The fused filter + projection between two pipeline operators.
@@ -185,30 +206,42 @@ where
         // tuple's Down variant; reset to a fresh upstream state.
         *state = ChainState::Up(A::State::default());
         let ChainState::Up(a) = state else { unreachable!() };
+        // Clock sync: each member op carries its own cost-model clock but
+        // the fused window has one timeline, so the member about to
+        // execute is first lifted to the other's `now` — lazily, O(1) per
+        // stage. (No-ops when the stages are untiered.)
+        self.up.sim_advance_to(self.down.sim_now());
         self.up.start(input, a);
     }
 
     fn step(&mut self, state: &mut Self::State) -> StageStep<Self::Output> {
         match state {
-            ChainState::Up(a) => match self.up.step(a) {
-                StageStep::Continue => StageStep::Continue,
-                StageStep::Blocked => StageStep::Blocked,
-                StageStep::Skip => StageStep::Skip,
-                StageStep::Emit(out) => match self.route.route(out) {
-                    // Filtered out: the tuple leaves the pipeline.
-                    None => StageStep::Skip,
-                    // Handoff: the downstream stage 0 runs in this same
-                    // rotation, issuing its first prefetch, so the slot
-                    // stays in flight with no idle turn in between.
-                    Some(next) => {
-                        let mut b = B::State::default();
-                        self.down.start(next, &mut b);
-                        *state = ChainState::Down(b);
-                        StageStep::Continue
-                    }
-                },
-            },
-            ChainState::Down(b) => self.down.step(b),
+            ChainState::Up(a) => {
+                self.up.sim_advance_to(self.down.sim_now());
+                match self.up.step(a) {
+                    StageStep::Continue => StageStep::Continue,
+                    StageStep::Blocked => StageStep::Blocked,
+                    StageStep::Skip => StageStep::Skip,
+                    StageStep::Emit(out) => match self.route.route(out) {
+                        // Filtered out: the tuple leaves the pipeline.
+                        None => StageStep::Skip,
+                        // Handoff: the downstream stage 0 runs in this same
+                        // rotation, issuing its first prefetch, so the slot
+                        // stays in flight with no idle turn in between.
+                        Some(next) => {
+                            let mut b = B::State::default();
+                            self.down.sim_advance_to(self.up.sim_now());
+                            self.down.start(next, &mut b);
+                            *state = ChainState::Down(b);
+                            StageStep::Continue
+                        }
+                    },
+                }
+            }
+            ChainState::Down(b) => {
+                self.down.sim_advance_to(self.up.sim_now());
+                self.down.step(b)
+            }
         }
     }
 
@@ -219,6 +252,21 @@ where
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         self.up.flush_observed(stats);
         self.down.flush_observed(stats);
+    }
+
+    fn sim_idle(&mut self, ticks: u64) {
+        let t = self.sim_now() + ticks;
+        self.up.sim_advance_to(t);
+        self.down.sim_advance_to(t);
+    }
+
+    fn sim_now(&self) -> u64 {
+        self.up.sim_now().max(self.down.sim_now())
+    }
+
+    fn sim_advance_to(&mut self, now: u64) {
+        self.up.sim_advance_to(now);
+        self.down.sim_advance_to(now);
     }
 }
 
@@ -265,6 +313,18 @@ impl<L: LookupOp> PipelineOp for Terminal<L> {
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         self.0.flush_observed(stats);
+    }
+
+    fn sim_idle(&mut self, ticks: u64) {
+        self.0.sim_idle(ticks);
+    }
+
+    fn sim_now(&self) -> u64 {
+        self.0.sim_now()
+    }
+
+    fn sim_advance_to(&mut self, now: u64) {
+        self.0.sim_advance_to(now);
     }
 }
 
@@ -368,6 +428,18 @@ where
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         self.pipe.flush_observed(stats);
+    }
+
+    fn sim_idle(&mut self, ticks: u64) {
+        self.pipe.sim_idle(ticks);
+    }
+
+    fn sim_now(&self) -> u64 {
+        self.pipe.sim_now()
+    }
+
+    fn sim_advance_to(&mut self, now: u64) {
+        self.pipe.sim_advance_to(now);
     }
 }
 

@@ -56,6 +56,9 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
     while occupied > 0 {
         for k in 0..m {
             if !active[k] {
+                // Retired slot: the rotation's status check still costs a
+                // tick of simulated time (see `LookupOp::sim_idle`).
+                op.sim_idle(1);
                 continue;
             }
             if taken[k] == n {
@@ -79,8 +82,10 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
                 continue;
             }
             if done[k] {
-                // Early exit: pad the reservation with a no-op stage.
+                // Early exit: pad the reservation with a no-op stage (one
+                // tick of simulated time, like GP's gray boxes).
                 stats.noops += 1;
+                op.sim_idle(1);
                 taken[k] += 1;
                 continue;
             }

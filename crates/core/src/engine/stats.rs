@@ -39,6 +39,17 @@ pub struct EngineStats {
     /// Chain nodes rejected by the SWAR tag filter without touching any
     /// key bytes (tag-probed tables only; 0 for ops without tags).
     pub tag_rejects: u64,
+    /// Simulated work ticks charged by a tiered op's cost model (one per
+    /// executed code stage; see `amac_tier`). Independent of executor
+    /// scheduling, thread count and latency model — the denominator of
+    /// [`stall_share`](EngineStats::stall_share). 0 for untiered runs.
+    pub sim_cycles: u64,
+    /// Simulated stall ticks: latency the executor's interleaving failed
+    /// to hide (a stage dereferenced a line before its simulated load
+    /// completed). This is the latency-tolerance metric: deep-window
+    /// executors keep it near zero even at 8× far latency. 0 for
+    /// untiered runs.
+    pub sim_stalls: u64,
 }
 
 impl EngineStats {
@@ -53,6 +64,23 @@ impl EngineStats {
         self.prefetches += o.prefetches;
         self.nodes_visited += o.nodes_visited;
         self.tag_rejects += o.tag_rejects;
+        self.sim_cycles += o.sim_cycles;
+        self.sim_stalls += o.sim_stalls;
+    }
+
+    /// Fraction of simulated time spent stalled on unfinished loads:
+    /// `sim_stalls / (sim_cycles + sim_stalls)` (0 when the run was
+    /// untiered or fully hidden). The gated metric of
+    /// `bench/bin/tier.rs`: it grows toward 1 as exposed latency
+    /// dominates work, and stays 0 for an executor whose window out-laps
+    /// every load.
+    pub fn stall_share(&self) -> f64 {
+        let total = self.sim_cycles + self.sim_stalls;
+        if total == 0 {
+            0.0
+        } else {
+            self.sim_stalls as f64 / total as f64
+        }
     }
 
     /// Mean chain nodes dereferenced per completed lookup (0 when the op
@@ -89,6 +117,8 @@ mod tests {
             bailouts: 1,
             nodes_visited: 7,
             tag_rejects: 4,
+            sim_cycles: 9,
+            sim_stalls: 6,
             ..Default::default()
         });
         assert_eq!(a.lookups, 3);
@@ -98,7 +128,18 @@ mod tests {
         assert_eq!(a.prefetches, 5);
         assert_eq!(a.nodes_visited, 7);
         assert_eq!(a.tag_rejects, 4);
+        assert_eq!(a.sim_cycles, 9);
+        assert_eq!(a.sim_stalls, 6);
         assert!((a.nodes_per_lookup() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_share_is_stalls_over_total_ticks() {
+        let s = EngineStats { sim_cycles: 30, sim_stalls: 10, ..Default::default() };
+        assert!((s.stall_share() - 0.25).abs() < 1e-12);
+        assert_eq!(EngineStats::default().stall_share(), 0.0, "untiered runs report 0");
+        let hidden = EngineStats { sim_cycles: 100, ..Default::default() };
+        assert_eq!(hidden.stall_share(), 0.0, "fully hidden latency reports 0");
     }
 
     #[test]

@@ -11,6 +11,20 @@
 //! The probe phase *executes* lookups, so it is only safe for read-only
 //! ops (probe/search). Mutating ops (build, insert, group-by) must tune on
 //! a scratch copy of their structure or fall back to the presets.
+//!
+//! # Simulated-clock calibration ([`TuningParams::auto_sim`])
+//!
+//! Wall time is the wrong objective when the latency being hidden is
+//! *simulated* (`amac_tier`): far-memory sweeps on a DRAM-only host run
+//! every window width at the same nanoseconds. `auto_sim` hill-climbs the
+//! same ladder but minimizes **simulated ticks**
+//! (`sim_cycles + sim_stalls`) instead of nanoseconds — the op factory
+//! carries the cost model, so the tuner is literally "auto fed the tier
+//! latency": at far multiplier 1× the default `M = 10` already hides the
+//! 4-tick near latency and the climb stays put, while at 8× (32 ticks)
+//! every rung below 33 pays stalls and the climb walks up the ladder
+//! until the window out-laps the far tier. Fully deterministic (one trial
+//! per rung, counters only), so benches gate its picks exactly.
 
 use super::{run_amac, LookupOp, TuningParams};
 use std::time::Instant;
@@ -50,6 +64,20 @@ impl TuningParams {
     {
         TuningParams::with_in_flight(auto_tune_in_flight(&mut make_op, sample))
     }
+
+    /// Calibrate the in-flight window against a **simulated** cost model
+    /// (see the module docs): same ladder and climb as
+    /// [`auto`](TuningParams::auto), objective = simulated ticks instead
+    /// of nanoseconds. `make_op` must build ops carrying the tier clock
+    /// whose latency is being hidden (e.g. a tiered `ProbeOp`); ops
+    /// without a clock report 0 ticks and get the default back.
+    pub fn auto_sim<O, F>(mut make_op: F, sample: &[O::Input]) -> TuningParams
+    where
+        O: LookupOp,
+        F: FnMut() -> O,
+    {
+        TuningParams::with_in_flight(auto_tune_in_flight_sim(&mut make_op, sample))
+    }
 }
 
 /// Nanoseconds to run `sample` at width `m` (best of `trials`).
@@ -81,10 +109,47 @@ where
     }
     // Warm caches/TLB once so the first measured rung isn't penalized.
     measure(make_op, sample, LADDER[0], 1);
+    climb(|m| measure(make_op, sample, m, 2), MIN_GAIN)
+}
 
+/// Simulated ticks (`sim_cycles + sim_stalls`) to run `sample` at width
+/// `m` — deterministic, one trial.
+fn measure_sim<O, F>(make_op: &mut F, sample: &[O::Input], m: usize) -> f64
+where
+    O: LookupOp,
+    F: FnMut() -> O,
+{
+    let mut op = make_op();
+    let stats = run_amac(&mut op, sample, m);
+    (stats.sim_cycles + stats.sim_stalls) as f64
+}
+
+/// Hill-climb the ladder on the simulated clock; see
+/// [`TuningParams::auto_sim`]. Same derivation rules as
+/// [`auto_tune_in_flight`] (always returns a rung, small samples fall
+/// back to the default), no warm-up run, and **no gain threshold**: the
+/// objective is an exact counter with zero measurement noise, so any
+/// strict improvement is real — the climb therefore keeps deepening the
+/// window until a rung is (as good as) stall-free, instead of parking
+/// one rung early on a sub-2% residual.
+pub fn auto_tune_in_flight_sim<O, F>(make_op: &mut F, sample: &[O::Input]) -> usize
+where
+    O: LookupOp,
+    F: FnMut() -> O,
+{
+    if sample.len() < 512 {
+        return TuningParams::default().in_flight.clamp(AUTO_MIN_IN_FLIGHT, AUTO_MAX_IN_FLIGHT);
+    }
+    climb(|m| measure_sim(make_op, sample, m), 0.0)
+}
+
+/// The shared hill climb: start at the default rung, move to a neighbour
+/// only on a > `min_gain` relative improvement of `cost`, return the
+/// resting rung. Each rung is evaluated at most once.
+fn climb(mut cost: impl FnMut(usize) -> f64, min_gain: f64) -> usize {
     let mut times = [f64::INFINITY; LADDER.len()];
     let mut idx = LADDER.iter().position(|&m| m == 10).unwrap_or(3);
-    times[idx] = measure(make_op, sample, LADDER[idx], 2);
+    times[idx] = cost(LADDER[idx]);
     loop {
         let mut best = idx;
         for next in [idx.wrapping_sub(1), idx + 1] {
@@ -92,9 +157,9 @@ where
                 continue;
             }
             if times[next].is_infinite() {
-                times[next] = measure(make_op, sample, LADDER[next], 2);
+                times[next] = cost(LADDER[next]);
             }
-            if times[next] < times[best] * (1.0 - MIN_GAIN) {
+            if times[next] < times[best] * (1.0 - min_gain) {
                 best = next;
             }
         }

@@ -116,14 +116,38 @@ struct Slot<Fut> {
 pub fn run_interleaved<I, T, F, Fut, S>(
     width: usize,
     inputs: &[I],
-    mut make: F,
-    mut sink: S,
+    make: F,
+    sink: S,
 ) -> InterleaveStats
 where
     I: Copy,
     F: FnMut(usize, I) -> Fut,
     Fut: Future<Output = T>,
     S: FnMut(usize, T),
+{
+    run_interleaved_with_idle(width, inputs, make, sink, || {})
+}
+
+/// [`run_interleaved`] with an `on_idle` callback fired once per ring
+/// visit to a **drained** slot (a slot whose future completed after the
+/// input ran out). The ring's rotation over such slots is the coroutine
+/// analogue of AMAC's drain-phase status checks: a tiered run passes a
+/// closure ticking its `amac_tier::SimClock` one idle tick, so simulated
+/// prefetch distances keep pace with the rotation exactly as in the
+/// state-machine executors (`LookupOp::sim_idle`).
+pub fn run_interleaved_with_idle<I, T, F, Fut, S, D>(
+    width: usize,
+    inputs: &[I],
+    mut make: F,
+    mut sink: S,
+    mut on_idle: D,
+) -> InterleaveStats
+where
+    I: Copy,
+    F: FnMut(usize, I) -> Fut,
+    Fut: Future<Output = T>,
+    S: FnMut(usize, T),
+    D: FnMut(),
 {
     let width = width.max(1).min(inputs.len().max(1));
     let mut stats = InterleaveStats {
@@ -158,6 +182,11 @@ where
     let mut k = 0usize;
     while live > 0 {
         let slot = &mut ring[k];
+        if slot.fut.is_none() {
+            // Drained slot: the rotation's status check still costs a
+            // tick of simulated time.
+            on_idle();
+        }
         // Refill loop: a Ready slot immediately starts (and first-polls)
         // the next lookup — the merged terminal+initial stage.
         while let Some(fut) = slot.fut.as_mut() {

@@ -40,11 +40,11 @@ pub mod skiplist_ins;
 
 pub use executor::{
     prefetch_yield, prefetch_yield_wide, prefetch_yield_write, run_interleaved,
-    run_interleaved_collect, yield_now, InterleaveStats, YieldPoint,
+    run_interleaved_collect, run_interleaved_with_idle, yield_now, InterleaveStats, YieldPoint,
 };
 pub use groupby::{coro_groupby, coro_groupby_mt, groupby_one, CoroGroupByOutput};
 pub use ops::{
     bst_find, btree_find, coro_bst_search, coro_btree_search, coro_probe, coro_probe_mt,
-    coro_skip_search, probe_chain, skip_find, ChainHit, CoroConfig, CoroOutput,
+    coro_skip_search, probe_chain, probe_chain_tiered, skip_find, ChainHit, CoroConfig, CoroOutput,
 };
 pub use skiplist_ins::{coro_skip_insert, coro_skip_insert_mt, skip_insert_one, CoroInsertOutput};

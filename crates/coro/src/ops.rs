@@ -8,14 +8,16 @@
 //! state machines in `amac-ops`: same algorithms, but those had to be
 //! factored into explicit stage enums and resumable state structs.
 
-use crate::executor::{run_interleaved, yield_now, InterleaveStats};
+use crate::executor::{run_interleaved, run_interleaved_with_idle, yield_now, InterleaveStats};
 use crate::{prefetch_yield, prefetch_yield_wide};
 use amac_btree::{BPlusTree, InnerNode, LeafNode};
 use amac_hashtable::HashTable;
 use amac_metrics::timer::CycleTimer;
 use amac_skiplist::{prefetch_node, SkipList};
+use amac_tier::{SimClock, TierSpec};
 use amac_tree::Bst;
 use amac_workload::Relation;
+use core::cell::RefCell;
 
 /// Per-lookup result of a chain probe.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,13 +60,74 @@ pub async fn probe_chain(ht: &HashTable, key: u64, scan_all: bool) -> ChainHit {
                 }
             }
         }
-        if node_hit && !scan_all {
-            return hit;
-        }
-        if d.next == amac_mem::NULL_INDEX {
+        if (node_hit && !scan_all) || d.next == amac_mem::NULL_INDEX {
             return hit;
         }
         let next = ht.node_ptr(d.next);
+        prefetch_yield(next).await;
+        node = next;
+    }
+}
+
+/// [`probe_chain`] under a memory-tier cost model: same traversal, same
+/// results, but every resumption ticks the ring-shared [`SimClock`] and
+/// every dereference stalls it until the simulated load lands. The clock
+/// is shared by `RefCell` — the whole ring runs on one thread, and a
+/// shared clock is exactly the semantics the state-machine executors get
+/// from the `sim_now`/`sim_advance_to` protocol.
+///
+/// Deliberately a separate coroutine rather than an
+/// `Option<&RefCell<SimClock>>` parameter on [`probe_chain`]: the clock
+/// reference and `ready_at` live across the yields, so folding the paths
+/// together grows the *untiered* suspended frame (`future_bytes`, the
+/// §6 state-overhead metric `bin/coro` reports) from ≤128 B past two
+/// cache lines. Result equivalence between the two bodies is asserted
+/// by `tiered_probe_matches_untiered_and_hides_by_width` and in-run by
+/// `bench/bin/tier.rs`.
+pub async fn probe_chain_tiered(
+    ht: &HashTable,
+    key: u64,
+    scan_all: bool,
+    clock: &RefCell<SimClock>,
+) -> ChainHit {
+    let mut hit = ChainHit { matches: 0, sum: 0, first: u64::MAX };
+    let probe = amac_hashtable::probe_word(amac_mem::hash::tag_of(key));
+    let mut node = ht.bucket_addr(key);
+    // Stage 0: hash + first prefetch (one tick, async header load).
+    let mut ready = {
+        let mut c = clock.borrow_mut();
+        c.stage();
+        c.issue_header()
+    };
+    prefetch_yield(node).await;
+    loop {
+        {
+            let mut c = clock.borrow_mut();
+            c.touch(ready);
+            c.stage();
+        }
+        // SAFETY: probe runs in the table's read-only phase; `node` points
+        // at the header or an arena-owned chain node.
+        let d = unsafe { (*node).data() };
+        let mut node_hit = false;
+        if amac_hashtable::tags_may_match(d.meta, probe) {
+            for i in 0..d.count() {
+                let t = d.tuples[i];
+                if t.key == key {
+                    hit.matches += 1;
+                    hit.sum = hit.sum.wrapping_add(t.payload);
+                    if hit.first == u64::MAX {
+                        hit.first = t.payload;
+                    }
+                    node_hit = true;
+                }
+            }
+        }
+        if (node_hit && !scan_all) || d.next == amac_mem::NULL_INDEX {
+            return hit;
+        }
+        let next = ht.node_ptr(d.next);
+        ready = clock.borrow_mut().issue_slab(amac_mem::slab_of_index(d.next));
         prefetch_yield(next).await;
         node = next;
     }
@@ -156,6 +219,10 @@ pub struct CoroOutput {
     pub out: Vec<u64>,
     /// Executor counters, including the suspended-state size.
     pub stats: InterleaveStats,
+    /// Simulated work ticks ([`CoroConfig::tier`] runs only).
+    pub sim_cycles: u64,
+    /// Simulated stall ticks ([`CoroConfig::tier`] runs only).
+    pub sim_stalls: u64,
     /// Loop cycles.
     pub cycles: u64,
     /// Loop wall time.
@@ -171,11 +238,16 @@ pub struct CoroConfig {
     pub scan_all: bool,
     /// Materialize first-match payloads in input order.
     pub materialize: bool,
+    /// Memory-tier cost model: `Some` probes through
+    /// [`probe_chain_tiered`] and reports
+    /// [`sim_cycles`](CoroOutput::sim_cycles)/[`sim_stalls`](CoroOutput::sim_stalls).
+    /// Results are identical either way.
+    pub tier: Option<TierSpec>,
 }
 
 impl Default for CoroConfig {
     fn default() -> Self {
-        CoroConfig { width: 10, scan_all: false, materialize: true }
+        CoroConfig { width: 10, scan_all: false, materialize: true, tier: None }
     }
 }
 
@@ -187,20 +259,39 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
     };
     let scan_all = cfg.scan_all;
     let timer = CycleTimer::start();
-    let (matches, checksum, materialize) = (&mut res.matches, &mut res.checksum, cfg.materialize);
-    let out = &mut res.out;
-    res.stats = run_interleaved(
-        cfg.width,
-        &s.tuples,
-        |_, t| probe_chain(ht, t.key, scan_all),
-        |idx, hit: ChainHit| {
+    {
+        let (matches, checksum, materialize) =
+            (&mut res.matches, &mut res.checksum, cfg.materialize);
+        let out = &mut res.out;
+        let sink = |idx: usize, hit: ChainHit| {
             *matches += hit.matches;
             *checksum = checksum.wrapping_add(hit.sum);
             if materialize {
                 out[idx] = hit.first;
             }
-        },
-    );
+        };
+        match cfg.tier {
+            None => {
+                res.stats = run_interleaved(
+                    cfg.width,
+                    &s.tuples,
+                    |_, t| probe_chain(ht, t.key, scan_all),
+                    sink,
+                );
+            }
+            Some(spec) => {
+                let clock = RefCell::new(spec.clock());
+                res.stats = run_interleaved_with_idle(
+                    cfg.width,
+                    &s.tuples,
+                    |_, t| probe_chain_tiered(ht, t.key, scan_all, &clock),
+                    sink,
+                    || clock.borrow_mut().idle(1),
+                );
+                (res.sim_cycles, res.sim_stalls) = clock.borrow_mut().flush_ticks();
+            }
+        }
+    }
     res.cycles = timer.cycles();
     res.seconds = timer.seconds();
     res
@@ -349,6 +440,37 @@ mod tests {
         let out = coro_probe(&ht, &s, &CoroConfig::default());
         assert_eq!(out.matches, 1 << 13);
         assert!(out.out.iter().all(|&p| p != u64::MAX));
+    }
+
+    #[test]
+    fn tiered_probe_matches_untiered_and_hides_by_width() {
+        let domain = 256u64;
+        let build = Relation::zipf(4096, domain, 0.5, 0xC0);
+        let ht = HashTable::build_serial(&build);
+        let s = Relation::zipf(4096, domain, 0.0, 0xC0);
+        let cfg = CoroConfig { scan_all: true, ..Default::default() };
+        let plain = coro_probe(&ht, &s, &cfg);
+        assert_eq!((plain.sim_cycles, plain.sim_stalls), (0, 0), "untiered charges nothing");
+        for mult in [1u64, 8] {
+            let spec = Some(TierSpec::headers_near(mult));
+            // Wide ring: every far load lands before its slot is re-polled.
+            let far = 4 * mult as usize;
+            let wide =
+                coro_probe(&ht, &s, &CoroConfig { width: far + 2, tier: spec, ..cfg.clone() });
+            assert_eq!(wide.matches, plain.matches, "mult {mult}: results diverged");
+            assert_eq!(wide.checksum, plain.checksum, "mult {mult}");
+            assert_eq!(wide.out, plain.out, "mult {mult}: materialization diverged");
+            assert_eq!(wide.sim_stalls, 0, "mult {mult}: ring of {} must hide {far}", far + 2);
+            assert!(wide.sim_cycles > 0, "mult {mult}: the clock must tick");
+        }
+        // A 1-wide ring is the serial baseline: every hop exposes latency.
+        let serial = coro_probe(
+            &ht,
+            &s,
+            &CoroConfig { width: 1, tier: Some(TierSpec::headers_near(8)), ..cfg.clone() },
+        );
+        assert_eq!(serial.matches, plain.matches);
+        assert!(serial.sim_stalls > 0, "width 1 cannot hide the far tier");
     }
 
     #[test]

@@ -218,6 +218,18 @@ const BASE: usize = 1 << LOG_BASE;
 /// (`BASE * (2^23 - 1) > u32::MAX`).
 const MAX_SLABS: usize = 23;
 
+/// Slab index holding arena index `idx` — the geometry is a pure
+/// function of the index (slab `k` holds indices
+/// `[BASE·(2^k − 1), BASE·(2^(k+1) − 1))`), shared by every
+/// [`IndexedArena`] regardless of element type. Memory-tier placement
+/// policies (`amac_tier::TierPolicy::slab_tier`) key on this value, so
+/// the slab an index maps to is part of the arena's stable contract.
+#[inline(always)]
+pub fn slab_of_index(idx: u32) -> u32 {
+    let i = idx as usize + BASE;
+    (usize::BITS - 1 - i.leading_zeros()) - LOG_BASE
+}
+
 /// A chunked, append-only arena whose slots are addressed by **`u32`
 /// indices** with stable `index -> pointer` resolution.
 ///
@@ -276,9 +288,8 @@ impl<T: Default> IndexedArena<T> {
     fn locate(idx: u32) -> (usize, usize) {
         // Shifting by BASE makes slab boundaries pure powers of two:
         // idx + BASE ∈ [BASE << k, BASE << (k+1)) ⇔ idx lives in slab k.
-        let i = idx as usize + BASE;
-        let k = (usize::BITS - 1 - i.leading_zeros()) as usize - LOG_BASE as usize;
-        (k, i - (BASE << k))
+        let k = slab_of_index(idx) as usize;
+        (k, idx as usize + BASE - (BASE << k))
     }
 
     /// Allocate one default-initialized slot, returning its index.
@@ -467,6 +478,22 @@ mod tests {
         assert_eq!(set.len(), 5000, "no two allocations alias");
         for (i, p) in ptrs.iter().enumerate() {
             assert_eq!(unsafe { **p }, i as u64 * 3, "no clobbering across slab growth");
+        }
+    }
+
+    #[test]
+    fn slab_of_index_matches_geometry() {
+        // Slab k spans [BASE·(2^k − 1), BASE·(2^(k+1) − 1)).
+        assert_eq!(slab_of_index(0), 0);
+        assert_eq!(slab_of_index((BASE - 1) as u32), 0);
+        assert_eq!(slab_of_index(BASE as u32), 1);
+        assert_eq!(slab_of_index((3 * BASE - 1) as u32), 1);
+        assert_eq!(slab_of_index((3 * BASE) as u32), 2);
+        // Consistent with the arena's own locate() on every boundary.
+        for idx in [0u32, 1, 1023, 1024, 3071, 3072, 7167, 7168, 1 << 20] {
+            let (k, off) = IndexedArena::<u64>::locate(idx);
+            assert_eq!(k as u32, slab_of_index(idx), "idx {idx}");
+            assert!(off < BASE << k, "idx {idx} offset out of slab");
         }
     }
 

@@ -23,6 +23,6 @@ pub mod prefetch;
 pub mod rng;
 
 pub use align::{CacheAligned, CACHE_LINE};
-pub use arena::{Arena, IndexedArena, VarArena, NULL_INDEX};
+pub use arena::{slab_of_index, Arena, IndexedArena, VarArena, NULL_INDEX};
 pub use latch::Latch;
 pub use prefetch::{prefetch_read, prefetch_read_t0, prefetch_write};

@@ -23,8 +23,9 @@ use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::agg::{AggHandle, AggValues};
 use amac_hashtable::{AggBucket, AggTable};
 use amac_mem::prefetch::{prefetch_read, prefetch_write};
-use amac_mem::NULL_INDEX;
+use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
+use amac_tier::{SimClock, TierSpec};
 use amac_workload::{GroupByInput, Relation, Tuple};
 
 /// Group-by configuration.
@@ -40,6 +41,12 @@ pub struct GroupByConfig {
     /// bailout, which is the measured behaviour (Fig. 9), not a bug.
     /// AMAC and the baseline ignore this value.
     pub n_stages: usize,
+    /// Memory-tier cost model (headers pay the header tier, chained
+    /// group nodes their arena slab's tier; blocked latch attempts count
+    /// as executed stages, so multi-threaded simulated counters are only
+    /// run-to-run deterministic single-threaded). See
+    /// [`ProbeConfig::tier`](crate::join::ProbeConfig::tier).
+    pub tier: Option<TierSpec>,
 }
 
 /// Result of one group-by run.
@@ -62,6 +69,8 @@ pub struct GroupByState {
     header: *const AggBucket,
     cur: *const AggBucket,
     latched: bool,
+    /// Simulated tick the prefetched line arrives (tiered runs only).
+    ready_at: u64,
 }
 
 impl Default for GroupByState {
@@ -72,6 +81,7 @@ impl Default for GroupByState {
             header: core::ptr::null(),
             cur: core::ptr::null(),
             latched: false,
+            ready_at: 0,
         }
     }
 }
@@ -82,6 +92,7 @@ pub struct GroupByOp<'a> {
     n_stages: usize,
     tuples: u64,
     nodes_visited: u64,
+    clock: Option<SimClock>,
 }
 
 impl<'a> GroupByOp<'a> {
@@ -92,6 +103,7 @@ impl<'a> GroupByOp<'a> {
             n_stages: if cfg.n_stages == 0 { 2 } else { cfg.n_stages },
             tuples: 0,
             nodes_visited: 0,
+            clock: cfg.tier.map(|t| t.clock()),
         }
     }
 
@@ -118,9 +130,19 @@ impl LookupOp for GroupByOp<'_> {
         state.header = header;
         state.cur = core::ptr::null();
         state.latched = false;
+        if let Some(c) = &mut self.clock {
+            c.stage();
+            state.ready_at = c.issue_header();
+        }
     }
 
     fn step(&mut self, state: &mut GroupByState) -> Step {
+        if let Some(c) = &mut self.clock {
+            // The latch word shares the (prefetched) header line; a
+            // blocked attempt is executed work that read the line.
+            c.touch(state.ready_at);
+            c.stage();
+        }
         // SAFETY: header/cur point at the table's headers or arena-owned
         // chain nodes; mutation happens only while `latched`.
         unsafe {
@@ -159,16 +181,25 @@ impl LookupOp for GroupByOp<'_> {
                 self.tuples += 1;
                 return Step::Done;
             }
-            let next = self.handle.table().node_ptr(d.next);
+            let idx = d.next;
+            let next = self.handle.table().node_ptr(idx);
             prefetch_read(next);
             state.cur = next;
+            if let Some(c) = &mut self.clock {
+                state.ready_at = c.issue_slab(slab_of_index(idx));
+            }
             Step::Continue
         }
     }
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
+        if let Some(c) = &mut self.clock {
+            c.flush(stats);
+        }
     }
+
+    crate::impl_sim_clock_delegation!();
 }
 
 /// Run the group-by of `input` into `table` with `technique`.

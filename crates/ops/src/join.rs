@@ -4,8 +4,9 @@ use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::{probe_word, tags_may_match, Bucket, BuildHandle, HashTable};
 use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
-use amac_mem::NULL_INDEX;
+use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
+use amac_tier::{SimClock, TierSpec};
 use amac_workload::{Relation, Tuple};
 
 /// Probe configuration.
@@ -38,6 +39,12 @@ pub struct ProbeConfig {
     /// `None` turns every technique into pure interleaving, separating
     /// scheduling benefit from prefetch benefit).
     pub hint: PrefetchHint,
+    /// Memory-tier cost model: `Some` charges a deterministic simulated
+    /// clock (stage 0 pays the header tier, every chain hop the tier of
+    /// its arena slab) whose `sim_cycles`/`sim_stalls` land in
+    /// [`EngineStats`]. `None` (default) = untiered, zero accounting.
+    /// Tiering never changes results — only the counters.
+    pub tier: Option<TierSpec>,
 }
 
 impl Default for ProbeConfig {
@@ -48,6 +55,7 @@ impl Default for ProbeConfig {
             scan_all: false,
             materialize: true,
             hint: PrefetchHint::Nta,
+            tier: None,
         }
     }
 }
@@ -90,11 +98,13 @@ pub struct ProbeState {
     ptr: *const Bucket,
     /// [`probe_word`] of the key's fingerprint, computed once in stage 0.
     probe: u32,
+    /// Simulated tick the prefetched line arrives (tiered runs only).
+    ready_at: u64,
 }
 
 impl Default for ProbeState {
     fn default() -> Self {
-        ProbeState { key: 0, idx: 0, ptr: core::ptr::null(), probe: 0 }
+        ProbeState { key: 0, idx: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0 }
     }
 }
 
@@ -111,6 +121,8 @@ pub struct ProbeOp<'a> {
     nodes_visited: u64,
     /// Nodes rejected by the SWAR tag filter (no key bytes touched).
     tag_rejects: u64,
+    /// Simulated memory-tier clock ([`ProbeConfig::tier`]).
+    clock: Option<SimClock>,
 }
 
 impl<'a> ProbeOp<'a> {
@@ -119,6 +131,7 @@ impl<'a> ProbeOp<'a> {
         let n_stages = if cfg.n_stages == 0 { auto_chain_estimate(ht) } else { cfg.n_stages };
         ProbeOp {
             ht,
+            clock: cfg.tier.map(|t| t.clock()),
             cfg: cfg.clone(),
             n_stages,
             matches: 0,
@@ -187,11 +200,21 @@ impl LookupOp for ProbeOp<'_> {
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
         self.cursor += 1;
+        if let Some(c) = &mut self.clock {
+            c.stage();
+            state.ready_at = c.issue_header();
+        }
     }
 
     /// Code 1 (Table 1): tag-filter the node, compare keys only on a tag
     /// hit, output on match, chase the `u32` chain index.
     fn step(&mut self, state: &mut ProbeState) -> Step {
+        if let Some(c) = &mut self.clock {
+            // Dereferencing the prefetched line: stall until it arrives,
+            // then execute this stage.
+            c.touch(state.ready_at);
+            c.stage();
+        }
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
         // points at the header or an arena-owned chain node.
         let d = unsafe { (*state.ptr).data() };
@@ -224,6 +247,9 @@ impl LookupOp for ProbeOp<'_> {
         let ptr = self.ht.node_ptr(next);
         self.cfg.hint.issue(ptr);
         state.ptr = ptr;
+        if let Some(c) = &mut self.clock {
+            state.ready_at = c.issue_slab(slab_of_index(next));
+        }
         Step::Continue
     }
 
@@ -234,7 +260,12 @@ impl LookupOp for ProbeOp<'_> {
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
         stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
+        if let Some(c) = &mut self.clock {
+            c.flush(stats);
+        }
     }
+
+    crate::impl_sim_clock_delegation!();
 }
 
 /// Run a probe of `s` against `ht` with `technique`.
@@ -252,6 +283,12 @@ pub fn probe(ht: &HashTable, s: &Relation, technique: Technique, cfg: &ProbeConf
 pub struct BuildConfig {
     /// Executor tuning (the paper's `M`).
     pub params: TuningParams,
+    /// Memory-tier cost model (builds touch only the header tier in
+    /// their latched O(1) insert; see [`ProbeConfig::tier`]). Note the
+    /// simulated counters of *multi-threaded* builds include real latch
+    /// retries and are therefore only run-to-run deterministic
+    /// single-threaded.
+    pub tier: Option<TierSpec>,
 }
 
 /// Result of one build run.
@@ -270,11 +307,13 @@ pub struct BuildState {
     key: u64,
     payload: u64,
     bucket: *const Bucket,
+    /// Simulated tick the prefetched header arrives (tiered runs only).
+    ready_at: u64,
 }
 
 impl Default for BuildState {
     fn default() -> Self {
-        BuildState { key: 0, payload: 0, bucket: core::ptr::null() }
+        BuildState { key: 0, payload: 0, bucket: core::ptr::null(), ready_at: 0 }
     }
 }
 
@@ -283,12 +322,18 @@ impl Default for BuildState {
 pub struct BuildOp<'a> {
     handle: BuildHandle<'a>,
     nodes_visited: u64,
+    clock: Option<SimClock>,
 }
 
 impl<'a> BuildOp<'a> {
     /// Create a build op inserting into `ht` through a private arena.
     pub fn new(ht: &'a HashTable) -> Self {
-        BuildOp { handle: ht.build_handle(), nodes_visited: 0 }
+        Self::with_tier(ht, None)
+    }
+
+    /// [`new`](BuildOp::new) with an optional memory-tier cost model.
+    pub fn with_tier(ht: &'a HashTable, tier: Option<TierSpec>) -> Self {
+        BuildOp { handle: ht.build_handle(), nodes_visited: 0, clock: tier.map(|t| t.clock()) }
     }
 }
 
@@ -307,10 +352,20 @@ impl LookupOp for BuildOp<'_> {
         state.key = input.key;
         state.payload = input.payload;
         state.bucket = bucket;
+        if let Some(c) = &mut self.clock {
+            c.stage();
+            state.ready_at = c.issue_header();
+        }
     }
 
     /// Code 1: latch? retry later : insert at chain head, release.
     fn step(&mut self, state: &mut BuildState) -> Step {
+        if let Some(c) = &mut self.clock {
+            // The latch word shares the header line the prefetch fetched;
+            // a blocked attempt is real executed work (it read the line).
+            c.touch(state.ready_at);
+            c.stage();
+        }
         // SAFETY: bucket is a valid header of the handle's table.
         unsafe {
             if !(*state.bucket).latch.try_acquire() {
@@ -327,13 +382,18 @@ impl LookupOp for BuildOp<'_> {
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
+        if let Some(c) = &mut self.clock {
+            c.flush(stats);
+        }
     }
+
+    crate::impl_sim_clock_delegation!();
 }
 
 /// Build `ht` from `r` with `technique`. The table must be empty (or at
 /// least sized for the extra tuples).
 pub fn build(ht: &HashTable, r: &Relation, technique: Technique, cfg: &BuildConfig) -> BuildOutput {
-    let mut op = BuildOp::new(ht);
+    let mut op = BuildOp::with_tier(ht, cfg.tier);
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &r.tuples, cfg.params);
     BuildOutput { stats, cycles: timer.cycles(), seconds: timer.seconds() }
@@ -348,7 +408,8 @@ pub fn hash_join(
     probe_cfg: &ProbeConfig,
 ) -> (BuildOutput, ProbeOutput) {
     let ht = HashTable::for_tuples(r.len());
-    let b = build(&ht, r, technique, &BuildConfig { params: probe_cfg.params });
+    let b =
+        build(&ht, r, technique, &BuildConfig { params: probe_cfg.params, tier: probe_cfg.tier });
     let p = probe(&ht, s, technique, probe_cfg);
     (b, p)
 }

@@ -17,6 +17,7 @@ use amac_hashtable::{LegacyAggTable, LegacyHashTable, LEGACY_TUPLES_PER_NODE};
 use amac_mem::prefetch::{prefetch_read, prefetch_write, PrefetchHint};
 use amac_metrics::timer::CycleTimer;
 use amac_runtime::{execute, MorselConfig};
+use amac_tier::{SimClock, TierSpec};
 use amac_workload::{Relation, Tuple};
 
 /// Result of one legacy probe run (same shape as the layout-relevant
@@ -37,11 +38,13 @@ pub struct LegacyProbeOutput {
 pub struct LegacyProbeState {
     key: u64,
     ptr: *const LegacyBucket,
+    /// Simulated tick the prefetched line arrives (tiered runs only).
+    ready_at: u64,
 }
 
 impl Default for LegacyProbeState {
     fn default() -> Self {
-        LegacyProbeState { key: 0, ptr: core::ptr::null() }
+        LegacyProbeState { key: 0, ptr: core::ptr::null(), ready_at: 0 }
     }
 }
 
@@ -54,12 +57,27 @@ pub struct LegacyProbeOp<'a> {
     matches: u64,
     checksum: u64,
     nodes_visited: u64,
+    clock: Option<SimClock>,
 }
 
 impl<'a> LegacyProbeOp<'a> {
     /// Build the op; `scan_all` as for
     /// [`ProbeConfig`](crate::join::ProbeConfig).
     pub fn new(ht: &'a LegacyHashTable, hint: PrefetchHint, scan_all: bool) -> Self {
+        Self::with_tier(ht, hint, scan_all, None)
+    }
+
+    /// [`new`](LegacyProbeOp::new) with an optional memory-tier cost
+    /// model. The legacy layout's pointer-linked chunks carry no slab
+    /// indices, so every chain node is charged as arena slab `0` — under
+    /// the shipped policies that is the same near/far assignment as the
+    /// tag-probed layout's nodes, keeping A/B comparisons honest.
+    pub fn with_tier(
+        ht: &'a LegacyHashTable,
+        hint: PrefetchHint,
+        scan_all: bool,
+        tier: Option<TierSpec>,
+    ) -> Self {
         let tuples = ht.tuple_count();
         let per_bucket = tuples.div_ceil(ht.bucket_count() as u64).max(1);
         LegacyProbeOp {
@@ -70,6 +88,7 @@ impl<'a> LegacyProbeOp<'a> {
             matches: 0,
             checksum: 0,
             nodes_visited: 0,
+            clock: tier.map(|t| t.clock()),
         }
     }
 
@@ -99,9 +118,17 @@ impl LookupOp for LegacyProbeOp<'_> {
         self.hint.issue(ptr);
         state.key = input.key;
         state.ptr = ptr;
+        if let Some(c) = &mut self.clock {
+            c.stage();
+            state.ready_at = c.issue_header();
+        }
     }
 
     fn step(&mut self, state: &mut LegacyProbeState) -> Step {
+        if let Some(c) = &mut self.clock {
+            c.touch(state.ready_at);
+            c.stage();
+        }
         // SAFETY: read-only probe phase; nodes owned by the table.
         let d = unsafe { (*state.ptr).data() };
         self.nodes_visited += 1;
@@ -123,6 +150,10 @@ impl LookupOp for LegacyProbeOp<'_> {
         }
         self.hint.issue(next);
         state.ptr = next;
+        if let Some(c) = &mut self.clock {
+            // Legacy chunks have no slab indices; charged as slab 0.
+            state.ready_at = c.issue_slab(0);
+        }
         Step::Continue
     }
 
@@ -132,7 +163,12 @@ impl LookupOp for LegacyProbeOp<'_> {
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
+        if let Some(c) = &mut self.clock {
+            c.flush(stats);
+        }
     }
+
+    crate::impl_sim_clock_delegation!();
 }
 
 /// Probe `s` against the legacy table with `technique`.

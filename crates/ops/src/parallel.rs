@@ -128,7 +128,9 @@ pub fn build_mt_rt(
     rt: &MorselConfig,
 ) -> MtOutput {
     let rt = MorselConfig { auto_tune: false, ..rt.clone() };
-    let run = execute(&r.tuples, technique, cfg.params, &rt, |_tid| crate::join::BuildOp::new(ht));
+    let run = execute(&r.tuples, technique, cfg.params, &rt, |_tid| {
+        crate::join::BuildOp::with_tier(ht, cfg.tier)
+    });
     MtOutput::from_report(run.report)
 }
 
@@ -231,7 +233,7 @@ pub fn probe_groupby_two_phase_mt_rt(
         table,
         &mid,
         technique,
-        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0 },
+        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0, tier: cfg.tier },
         &rt,
     );
     let mut report = run1.report;

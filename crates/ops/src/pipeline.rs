@@ -56,8 +56,9 @@ use amac::engine::{run, EngineStats, Technique, TuningParams};
 use amac_hashtable::{probe_word, tags_may_match, AggTable, Bucket, HashTable};
 use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
-use amac_mem::NULL_INDEX;
+use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
+use amac_tier::{SimClock, TierSpec};
 use amac_workload::{FilterSpec, Relation, Tuple};
 
 /// Configuration shared by the fused pipeline drivers.
@@ -70,6 +71,11 @@ pub struct PipelineConfig {
     /// The fused WHERE clause, applied to the probe tuple's payload
     /// between the join and the aggregation; `None` keeps every match.
     pub filter: Option<FilterSpec>,
+    /// Memory-tier cost model, applied to **every** stage of the fused
+    /// chain (the `Chain` keeps the member clocks in lock-step, so the
+    /// pipeline has one simulated timeline). See
+    /// [`ProbeConfig::tier`](crate::join::ProbeConfig::tier).
+    pub tier: Option<TierSpec>,
 }
 
 /// A join match flowing between pipeline operators: the probe tuple's
@@ -92,11 +98,13 @@ pub struct ProbePipeState {
     ptr: *const Bucket,
     /// SWAR probe word of the key's fingerprint.
     probe: u32,
+    /// Simulated tick the prefetched line arrives (tiered runs only).
+    ready_at: u64,
 }
 
 impl Default for ProbePipeState {
     fn default() -> Self {
-        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null(), probe: 0 }
+        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0 }
     }
 }
 
@@ -109,6 +117,7 @@ pub struct ProbeStage<'a> {
     matches: u64,
     nodes_visited: u64,
     tag_rejects: u64,
+    clock: Option<SimClock>,
 }
 
 impl<'a> ProbeStage<'a> {
@@ -116,6 +125,11 @@ impl<'a> ProbeStage<'a> {
     /// the table's occupancy as for
     /// [`ProbeConfig::n_stages`](crate::join::ProbeConfig::n_stages)` = 0`.
     pub fn new(ht: &'a HashTable, hint: PrefetchHint) -> Self {
+        Self::with_tier(ht, hint, None)
+    }
+
+    /// [`new`](ProbeStage::new) with an optional memory-tier cost model.
+    pub fn with_tier(ht: &'a HashTable, hint: PrefetchHint, tier: Option<TierSpec>) -> Self {
         ProbeStage {
             ht,
             hint,
@@ -123,6 +137,7 @@ impl<'a> ProbeStage<'a> {
             matches: 0,
             nodes_visited: 0,
             tag_rejects: 0,
+            clock: tier.map(|t| t.clock()),
         }
     }
 
@@ -149,9 +164,17 @@ impl PipelineOp for ProbeStage<'_> {
         state.payload = input.payload;
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
+        if let Some(c) = &mut self.clock {
+            c.stage();
+            state.ready_at = c.issue_header();
+        }
     }
 
     fn step(&mut self, state: &mut ProbePipeState) -> StageStep<Joined> {
+        if let Some(c) = &mut self.clock {
+            c.touch(state.ready_at);
+            c.stage();
+        }
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
         // points at the header or an arena-owned chain node.
         let d = unsafe { (*state.ptr).data() };
@@ -179,6 +202,9 @@ impl PipelineOp for ProbeStage<'_> {
         let ptr = self.ht.node_ptr(next);
         self.hint.issue(ptr);
         state.ptr = ptr;
+        if let Some(c) = &mut self.clock {
+            state.ready_at = c.issue_slab(slab_of_index(next));
+        }
         StageStep::Continue
     }
 
@@ -189,7 +215,12 @@ impl PipelineOp for ProbeStage<'_> {
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
         stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
+        if let Some(c) = &mut self.clock {
+            c.flush(stats);
+        }
     }
+
+    crate::impl_sim_clock_delegation!();
 }
 
 /// Group-by aggregation as a terminal pipeline operator: the existing
@@ -201,11 +232,15 @@ impl PipelineOp for ProbeStage<'_> {
 pub type GroupByStage<'a> = Terminal<crate::groupby::GroupByOp<'a>>;
 
 /// Build a [`GroupByStage`] aggregating into `table` with the derived
-/// (`n_stages = 0`) stage budget.
-pub fn groupby_stage<'a>(table: &'a AggTable, params: TuningParams) -> GroupByStage<'a> {
+/// (`n_stages = 0`) stage budget and an optional memory-tier cost model.
+pub fn groupby_stage<'a>(
+    table: &'a AggTable,
+    params: TuningParams,
+    tier: Option<TierSpec>,
+) -> GroupByStage<'a> {
     Terminal(crate::groupby::GroupByOp::new(
         table,
-        &crate::groupby::GroupByConfig { params, n_stages: 0 },
+        &crate::groupby::GroupByConfig { params, n_stages: 0, tier },
     ))
 }
 
@@ -283,7 +318,7 @@ pub fn materializing_probe_op<'a>(
     cfg: &PipelineConfig,
 ) -> Fused<ProbeStage<'a>, RouteCollect> {
     Fused::new(
-        ProbeStage::new(ht, cfg.hint),
+        ProbeStage::with_tier(ht, cfg.hint, cfg.tier),
         RouteCollect::new(FilterProject { filter: cfg.filter }),
     )
 }
@@ -307,8 +342,8 @@ pub fn fused_probe_groupby_op<'a>(
 ) -> FusedProbeGroupBy<'a> {
     Fused::new(
         Chain::new(
-            ProbeStage::new(ht, cfg.hint),
-            groupby_stage(table, cfg.params),
+            ProbeStage::with_tier(ht, cfg.hint, cfg.tier),
+            groupby_stage(table, cfg.params, cfg.tier),
             FilterProject { filter: cfg.filter },
         ),
         Discard,
@@ -326,8 +361,8 @@ pub fn fused_probe_probe_op<'a>(
 ) -> FusedProbeProbe<'a> {
     Fused::new(
         Chain::new(
-            ProbeStage::new(ht1, cfg.hint),
-            ProbeStage::new(ht2, cfg.hint),
+            ProbeStage::with_tier(ht1, cfg.hint, cfg.tier),
+            ProbeStage::with_tier(ht2, cfg.hint, cfg.tier),
             FilterProject { filter: cfg.filter },
         ),
         CountChecksum::default(),
@@ -405,7 +440,7 @@ pub fn probe_then_groupby_two_phase(
         table,
         &mid,
         technique,
-        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0 },
+        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0, tier: cfg.tier },
     );
     stats.merge(&gb.stats);
     PipelineOutput {
@@ -458,7 +493,8 @@ pub fn probe_then_probe_two_phase(
     let mut stats = run(technique, &mut op, &s.tuples, cfg.params);
     let matched = op.pipe().matches();
     let mid = Relation::from_tuples(op.into_sink().out);
-    let mut op2 = Fused::new(ProbeStage::new(ht2, cfg.hint), CountChecksum::default());
+    let mut op2 =
+        Fused::new(ProbeStage::with_tier(ht2, cfg.hint, cfg.tier), CountChecksum::default());
     stats.merge(&run(technique, &mut op2, &mid.tuples, cfg.params));
     PipelineOutput {
         matched,

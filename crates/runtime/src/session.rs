@@ -148,6 +148,12 @@ impl<O: LookupOp> AmacSession<O> {
                     }
                 }
                 self.tick();
+            } else {
+                // Drained slot: the rotation's status check still costs a
+                // tick of simulated time (see `LookupOp::sim_idle`) —
+                // matching `run_amac`'s drain loop exactly, so a morsel
+                // session and a one-shot run charge identical stalls.
+                op.sim_idle(1);
             }
             self.k += 1;
             if self.k == m {

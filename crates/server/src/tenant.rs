@@ -99,4 +99,28 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Pipeline(op) => op.flush_observed(stats),
         }
     }
+
+    fn sim_idle(&mut self, ticks: u64) {
+        match self {
+            TenantOp::Probe(op) => op.sim_idle(ticks),
+            TenantOp::GroupBy(op) => op.sim_idle(ticks),
+            TenantOp::Pipeline(op) => op.sim_idle(ticks),
+        }
+    }
+
+    fn sim_now(&self) -> u64 {
+        match self {
+            TenantOp::Probe(op) => op.sim_now(),
+            TenantOp::GroupBy(op) => op.sim_now(),
+            TenantOp::Pipeline(op) => op.sim_now(),
+        }
+    }
+
+    fn sim_advance_to(&mut self, now: u64) {
+        match self {
+            TenantOp::Probe(op) => op.sim_advance_to(now),
+            TenantOp::GroupBy(op) => op.sim_advance_to(now),
+            TenantOp::Pipeline(op) => op.sim_advance_to(now),
+        }
+    }
 }

@@ -1,0 +1,426 @@
+//! Tiered far-memory placement and a **deterministic** latency cost model.
+//!
+//! The paper's claim is about *latency tolerance*: a deep in-flight window
+//! hides the latency of dependent chain loads. Every counter this repo
+//! gated before this crate (`nodes_per_lookup`, tag rejects, passes/bytes)
+//! measures *work*, not tolerance — on a 1-CPU CI host wall time cannot
+//! show hiding either. The far-memory line of follow-up work (AMAU,
+//! arxiv 2404.11044; Twin-Load, arxiv 1505.03476) frames the setting
+//! where tolerance matters most: structures partially resident in
+//! CXL-class memory whose loads cost many× DRAM latency.
+//!
+//! This crate makes that setting measurable without far-memory hardware:
+//!
+//! * [`TierPolicy`] assigns each memory region — the bucket-header array
+//!   and every [`IndexedArena`](amac_mem::arena::IndexedArena) slab (the
+//!   legacy layout's pointer chunks map onto slab 0) — to a
+//!   [`Tier::Near`] or [`Tier::Far`] tier;
+//! * [`CostModel`] prices a load per tier in simulated ticks;
+//! * [`SimClock`] charges a per-executor simulated clock: a prefetch
+//!   issues an asynchronous load completing at `now + tier_latency`, and
+//!   a code stage that dereferences the line *earlier* stalls until it
+//!   arrives. The accumulated [`sim_cycles`](amac::engine::EngineStats::sim_cycles)
+//!   (work ticks) and [`sim_stalls`](amac::engine::EngineStats::sim_stalls)
+//!   (exposed-latency ticks) drain into `EngineStats` through the same
+//!   `flush_observed` contract as `nodes_visited`, so Mux lane ledgers
+//!   and morsel-session reuse stay exact.
+//!
+//! # Tick rules
+//!
+//! The clock is a pure counter — no `rdtsc`, no `Instant` — so every
+//! derived metric is bit-reproducible:
+//!
+//! 1. every executed code stage (`start`, productive or blocked `step`)
+//!    costs **one tick**, charged to `sim_cycles`;
+//! 2. every executor visit to an idle window slot (a GP/SPP no-op check,
+//!    a drained AMAC slot) costs **one tick** too, forwarded by the
+//!    executors via `LookupOp::sim_idle` — charged to elapsed time only,
+//!    never to `sim_cycles` (so `sim_cycles` is identical across thread
+//!    counts and schedulings);
+//! 3. a prefetch records `ready_at = now + latency(tier)`; the step that
+//!    dereferences the line first advances `now` to `ready_at` if it got
+//!    there early, charging the difference to `sim_stalls`.
+//!
+//! An executor that re-touches a slot after `latency` other slot visits
+//! therefore stalls **zero** ticks — exactly the paper's hiding argument,
+//! now as arithmetic: AMAC with window `M > latency` stays stall-free at
+//! any far multiplier, while GP's sequential bailout stages expose
+//! `latency − 1` ticks each, so its stall share grows linearly with the
+//! far multiplier (`bench/bin/tier.rs` sweeps and gates this shape).
+//!
+//! # Quickstart
+//!
+//! This doctest is mirrored as the first half of `examples/tier.rs`
+//! (run it with `cargo run --release --example tier`; the example's
+//! second half sweeps the real probe operator, which this crate cannot
+//! depend on):
+//!
+//! ```
+//! use amac::engine::{EngineStats, Technique, TuningParams};
+//! use amac_tier::{CostModel, SimClock, Tier, TierPolicy, TierSpec};
+//!
+//! // Chain nodes in far memory at 8x DRAM latency, headers near.
+//! let spec = TierSpec {
+//!     model: CostModel { near_latency: 4, far_multiplier: 8 },
+//!     policy: TierPolicy::HeadersNear,
+//! };
+//! assert_eq!(spec.model.latency(Tier::Near), 4);
+//! assert_eq!(spec.model.latency(Tier::Far), 32);
+//! assert_eq!(spec.policy.header_tier(), Tier::Near);
+//! assert_eq!(spec.policy.slab_tier(0), Tier::Far);
+//!
+//! // The clock an op embeds: issue, do other work, touch.
+//! let mut clock = spec.clock();
+//! clock.stage();                      // stage 0 executes (1 tick)
+//! let ready = clock.issue(Tier::Far); // async load lands at now + 32
+//! for _ in 0..10 {
+//!     clock.idle(1);                  // only 10 ticks of other work...
+//! }
+//! clock.touch(ready);                 // ...so the deref stalls 22 ticks
+//! clock.stage();
+//! let mut stats = EngineStats::default();
+//! clock.flush(&mut stats);
+//! assert_eq!(stats.sim_cycles, 2);
+//! assert_eq!(stats.sim_stalls, 22);
+//!
+//! // A window deeper than the far latency would have hidden all of it:
+//! // TuningParams::auto_sim picks that window from the simulated clock.
+//! let _ = TuningParams::default();
+//! ```
+
+#![warn(missing_docs)]
+
+use amac::engine::EngineStats;
+
+/// Which memory tier a region lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Local DRAM: loads cost [`CostModel::near_latency`] ticks.
+    Near,
+    /// Far/CXL-class memory: loads cost `near_latency × far_multiplier`.
+    Far,
+}
+
+/// Deterministic load-latency model, in simulated ticks.
+///
+/// One tick is one executed code stage (see the crate docs' tick rules),
+/// so `near_latency = 4` reads as "a DRAM load takes as long as four code
+/// stages" — the same shape as the paper's cycles-per-stage vs
+/// memory-latency argument, scaled down so CI-sized windows exercise it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Ticks from prefetch issue to line arrival in the near tier.
+    pub near_latency: u64,
+    /// Far latency as a multiple of near (`1` = no far penalty — the
+    /// tiering-off reference every sweep compares against).
+    pub far_multiplier: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel { near_latency: 4, far_multiplier: 1 }
+    }
+}
+
+impl CostModel {
+    /// The default model at a given far multiplier (the sweep axis of
+    /// `bench/bin/tier.rs`).
+    pub fn with_multiplier(far_multiplier: u64) -> Self {
+        CostModel { far_multiplier: far_multiplier.max(1), ..Default::default() }
+    }
+
+    /// Ticks from prefetch issue to line arrival in `tier`.
+    #[inline(always)]
+    pub fn latency(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Near => self.near_latency,
+            Tier::Far => self.near_latency * self.far_multiplier.max(1),
+        }
+    }
+
+    /// The far-tier latency (`latency(Tier::Far)`) — what
+    /// `TuningParams::auto_sim` must out-window to stay stall-free.
+    #[inline]
+    pub fn far_latency(&self) -> u64 {
+        self.latency(Tier::Far)
+    }
+}
+
+/// Placement policy: which tier each memory region is assigned to.
+///
+/// Regions are structural, matching how the tables allocate: the bucket
+/// **header array** (touched by code stage 0 of every lookup) and the
+/// **chain-node slabs** of the table's `IndexedArena` (touched by every
+/// later hop). The legacy pointer layout's chunks have no slab indices;
+/// its nodes are charged as slab `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierPolicy {
+    /// Everything in DRAM — the cost model's control group.
+    AllNear,
+    /// Headers (hot, dense, one per bucket) pinned near; every chain-node
+    /// slab far. This is the "payloads far / headers near" placement: the
+    /// working set that fits in DRAM stays there, the long tail of
+    /// overflow nodes pays far latency.
+    HeadersNear,
+    /// Headers and all slabs far — the whole structure demoted.
+    AllFar,
+    /// Headers plus the first `n` arena slabs near, the rest far: the
+    /// slab-granular placement (slabs grow geometrically, so `n` slabs
+    /// hold the `BASE·(2^n − 1)` oldest nodes — a "hot head of the arena
+    /// in DRAM, cold growth tail in CXL" split).
+    NearSlabs(u32),
+}
+
+impl TierPolicy {
+    /// Tier of the bucket-header array.
+    #[inline(always)]
+    pub fn header_tier(&self) -> Tier {
+        match self {
+            TierPolicy::AllFar => Tier::Far,
+            _ => Tier::Near,
+        }
+    }
+
+    /// Tier of arena slab `slab` (from
+    /// [`slab_of_index`](amac_mem::arena::slab_of_index)).
+    #[inline(always)]
+    pub fn slab_tier(&self, slab: u32) -> Tier {
+        match self {
+            TierPolicy::AllNear => Tier::Near,
+            TierPolicy::HeadersNear | TierPolicy::AllFar => Tier::Far,
+            TierPolicy::NearSlabs(n) => {
+                if slab < *n {
+                    Tier::Near
+                } else {
+                    Tier::Far
+                }
+            }
+        }
+    }
+
+    /// Short label for tables and JSON (`all-near`, `headers-near`, ...).
+    pub fn label(&self) -> String {
+        match self {
+            TierPolicy::AllNear => "all-near".into(),
+            TierPolicy::HeadersNear => "headers-near".into(),
+            TierPolicy::AllFar => "all-far".into(),
+            TierPolicy::NearSlabs(n) => format!("near-slabs-{n}"),
+        }
+    }
+}
+
+/// A cost model plus a placement policy — the one `Copy` value the op
+/// configs carry (`ProbeConfig::tier`, `GroupByConfig::tier`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Load latencies per tier.
+    pub model: CostModel,
+    /// Region → tier assignment.
+    pub policy: TierPolicy,
+}
+
+impl TierSpec {
+    /// Far-only placement at `far_multiplier` with headers pinned near —
+    /// the sweep configuration of `bench/bin/tier.rs`.
+    pub fn headers_near(far_multiplier: u64) -> Self {
+        TierSpec {
+            model: CostModel::with_multiplier(far_multiplier),
+            policy: TierPolicy::HeadersNear,
+        }
+    }
+
+    /// A fresh clock charging this spec.
+    pub fn clock(&self) -> SimClock {
+        SimClock::new(*self)
+    }
+}
+
+/// The per-op simulated clock (see the crate docs' tick rules).
+///
+/// One clock per op instance, embedded behind `Option` so untiered runs
+/// pay a predictable-branch test and nothing else. Composed ops keep
+/// their member clocks in lock-step through the
+/// `LookupOp::{sim_now, sim_advance_to}` protocol (`Mux` lanes, fused
+/// `Chain` stages), which `advance_to` implements: the clock is monotone,
+/// so lifting it to a neighbour's `now` is exactly "that much wall time
+/// passed while others executed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimClock {
+    spec: TierSpec,
+    /// Current simulated time.
+    now: u64,
+    /// Work ticks since the last [`flush`](SimClock::flush).
+    work: u64,
+    /// Stall ticks since the last [`flush`](SimClock::flush).
+    stalls: u64,
+}
+
+impl SimClock {
+    /// A clock at `t = 0` charging `spec`.
+    pub fn new(spec: TierSpec) -> Self {
+        SimClock { spec, now: 0, work: 0, stalls: 0 }
+    }
+
+    /// The spec this clock charges.
+    #[inline(always)]
+    pub fn spec(&self) -> &TierSpec {
+        &self.spec
+    }
+
+    /// Current simulated time.
+    #[inline(always)]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Charge one executed code stage (rule 1).
+    #[inline(always)]
+    pub fn stage(&mut self) {
+        self.now += 1;
+        self.work += 1;
+    }
+
+    /// Let `ticks` of somebody else's time pass (rule 2: executor idle
+    /// visits, other Mux lanes' stages, the sibling stage of a fused
+    /// chain).
+    #[inline(always)]
+    pub fn idle(&mut self, ticks: u64) {
+        self.now += ticks;
+    }
+
+    /// Lift the clock to `now` if it is behind (the composition
+    /// protocol; monotone, so a stale caller is a no-op).
+    #[inline(always)]
+    pub fn advance_to(&mut self, now: u64) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// Issue an asynchronous load into `tier`: returns the tick the line
+    /// arrives (store it in the per-lookup state next to the prefetched
+    /// address).
+    #[inline(always)]
+    pub fn issue(&mut self, tier: Tier) -> u64 {
+        self.now + self.spec.model.latency(tier)
+    }
+
+    /// Issue into the tier of the header array.
+    #[inline(always)]
+    pub fn issue_header(&mut self) -> u64 {
+        self.issue(self.spec.policy.header_tier())
+    }
+
+    /// Issue into the tier of arena slab `slab`.
+    #[inline(always)]
+    pub fn issue_slab(&mut self, slab: u32) -> u64 {
+        self.issue(self.spec.policy.slab_tier(slab))
+    }
+
+    /// Dereference a line that arrives at `ready_at` (rule 3): stall
+    /// until it is resident.
+    #[inline(always)]
+    pub fn touch(&mut self, ready_at: u64) {
+        if ready_at > self.now {
+            self.stalls += ready_at - self.now;
+            self.now = ready_at;
+        }
+    }
+
+    /// Drain accumulated work/stall ticks into `stats` — the same
+    /// drain-and-reset contract as `nodes_visited`, called from the op's
+    /// `flush_observed`. `now` is *not* reset: the clock keeps running
+    /// across morsel feeds, so `ready_at` values held by in-flight slots
+    /// stay comparable.
+    #[inline]
+    pub fn flush(&mut self, stats: &mut EngineStats) {
+        let (work, stalls) = self.flush_ticks();
+        stats.sim_cycles += work;
+        stats.sim_stalls += stalls;
+    }
+
+    /// [`flush`](SimClock::flush) as a raw `(work, stalls)` pair, for
+    /// callers that report outside `EngineStats` (the coroutine ring).
+    #[inline]
+    pub fn flush_ticks(&mut self) -> (u64, u64) {
+        (core::mem::take(&mut self.work), core::mem::take(&mut self.stalls))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_scale_by_multiplier() {
+        let m = CostModel::with_multiplier(8);
+        assert_eq!(m.latency(Tier::Near), 4);
+        assert_eq!(m.latency(Tier::Far), 32);
+        assert_eq!(m.far_latency(), 32);
+        assert_eq!(CostModel::default().latency(Tier::Far), 4, "1x far == near");
+        assert_eq!(CostModel { near_latency: 4, far_multiplier: 0 }.latency(Tier::Far), 4);
+    }
+
+    #[test]
+    fn policies_assign_documented_tiers() {
+        assert_eq!(TierPolicy::AllNear.header_tier(), Tier::Near);
+        assert_eq!(TierPolicy::AllNear.slab_tier(5), Tier::Near);
+        assert_eq!(TierPolicy::HeadersNear.header_tier(), Tier::Near);
+        assert_eq!(TierPolicy::HeadersNear.slab_tier(0), Tier::Far);
+        assert_eq!(TierPolicy::AllFar.header_tier(), Tier::Far);
+        assert_eq!(TierPolicy::AllFar.slab_tier(3), Tier::Far);
+        let p = TierPolicy::NearSlabs(2);
+        assert_eq!(p.header_tier(), Tier::Near);
+        assert_eq!(p.slab_tier(0), Tier::Near);
+        assert_eq!(p.slab_tier(1), Tier::Near);
+        assert_eq!(p.slab_tier(2), Tier::Far);
+        assert_eq!(p.label(), "near-slabs-2");
+    }
+
+    #[test]
+    fn clock_charges_stall_only_for_early_touches() {
+        let mut c = TierSpec::headers_near(2).clock();
+        // Far load issued at t=0 lands at t=8; 10 ticks of other work
+        // pass first, so the touch is free.
+        let ready = c.issue(Tier::Far);
+        c.idle(10);
+        c.touch(ready);
+        // A second far load touched after only 3 ticks stalls 5.
+        let ready = c.issue(Tier::Far);
+        c.stage();
+        c.idle(2);
+        c.touch(ready);
+        let mut s = EngineStats::default();
+        c.flush(&mut s);
+        assert_eq!(s.sim_cycles, 1);
+        assert_eq!(s.sim_stalls, 5);
+        // Flush drained the counters but kept the clock running.
+        let mut s2 = EngineStats::default();
+        c.flush(&mut s2);
+        assert_eq!((s2.sim_cycles, s2.sim_stalls), (0, 0));
+        assert!(c.now() > 0);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = TierSpec::headers_near(1).clock();
+        c.idle(7);
+        c.advance_to(3);
+        assert_eq!(c.now(), 7, "stale advance is a no-op");
+        c.advance_to(12);
+        assert_eq!(c.now(), 12);
+    }
+
+    #[test]
+    fn stall_share_helper_matches_ticks() {
+        let mut c = TierSpec::headers_near(8).clock();
+        let ready = c.issue(Tier::Far); // lands at 32
+        c.stage(); // t = 1
+        c.touch(ready); // stalls 31
+        let mut s = EngineStats::default();
+        c.flush(&mut s);
+        assert_eq!(s.sim_cycles, 1);
+        assert_eq!(s.sim_stalls, 31);
+        assert!((s.stall_share() - 31.0 / 32.0).abs() < 1e-12);
+    }
+}

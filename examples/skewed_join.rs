@@ -24,8 +24,12 @@ fn main() {
     let mut results = Vec::new();
     for technique in Technique::ALL {
         let ht = HashTable::for_tuples(r.len());
-        let b =
-            build(&ht, &r, technique, &BuildConfig { params: TuningParams::paper_best(technique) });
+        let b = build(
+            &ht,
+            &r,
+            technique,
+            &BuildConfig { params: TuningParams::paper_best(technique), tier: None },
+        );
         let stats = ht.stats();
         let cfg = ProbeConfig {
             params: TuningParams::paper_best(technique),

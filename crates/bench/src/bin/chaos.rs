@@ -1,0 +1,311 @@
+//! **Chaos trajectory**: seeded far-tier fault injection against the
+//! serving stack (`amac_tier::FaultPlan` → `amac_ops` probes →
+//! `amac_server` retry/deadline/breaker machinery), with the recovery
+//! invariants **asserted in-run** and the recovery counters emitted as
+//! deterministic `BENCH_CHAOS_*` keys for the regression gate.
+//!
+//! Three experiments:
+//!
+//! 1. **Fault sweep** (closed loop): a healthy tenant and a faulted
+//!    tenant share one window; two more queries carry an impossible
+//!    1-tick deadline. In-run asserts: no report lost or duplicated,
+//!    outcome counts partition the report set, per-query ledgers sum to
+//!    the global counters, the healthy tenant is bit-identical to its
+//!    solo run (results *and* `nodes_visited` — fault recovery next door
+//!    must not cost a healthy tenant anything), and every surviving
+//!    faulted query is bit-identical to the fault-free reference.
+//! 2. **Breaker demo**: an always-failing tenant trips the circuit
+//!    breaker after `breaker_threshold` consecutive failures; every
+//!    later query is shed at admission doing zero work.
+//! 3. **Schedule invariance**: the same faulted probe on the morsel
+//!    runtime at 1/2/4 threads — fault counts, failed lookups and
+//!    surviving results are identical because fault decisions hash
+//!    `(key, hop)`, never issue order.
+//!
+//! Run: `cargo run --release --bin chaos -- [--scale N] [--quick] [--json F]`
+
+use amac::engine::{EngineStats, Technique, TuningParams};
+use amac_bench::{Args, JsonOut};
+use amac_hashtable::HashTable;
+use amac_ops::join::ProbeConfig;
+use amac_ops::multi::{probe_multi_mt_rt, TenantProbe};
+use amac_runtime::MorselConfig;
+use amac_server::{
+    BreakerMode, QueryId, QueryOutcome, Request, ServeConfig, ServeSession, SubmitOpts,
+};
+use amac_tier::FaultPlan;
+use amac_workload::Relation;
+
+const SEED: u64 = 0xC4A05;
+const QUERIES_PER_TENANT: usize = 8;
+
+fn probe_cfg() -> ProbeConfig {
+    ProbeConfig { scan_all: true, materialize: false, ..Default::default() }
+}
+
+/// Closed-loop submit: honor the `Backpressure` retry hint until the
+/// query is admitted (the chaos sweep sheds nothing at admission).
+fn submit_cl<'a>(srv: &mut ServeSession<'a>, req: Request<'a>, opts: SubmitOpts) -> QueryId {
+    loop {
+        match srv.submit_opts(req.clone(), opts) {
+            Ok(qid) => return qid,
+            Err(bp) => {
+                for _ in 0..bp.retry_after_pumps {
+                    srv.pump();
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.s_size();
+    let dim_n = (n / 16).max(1 << 10);
+    let q_tuples = (n / 16).max(512);
+    // Shared catalog all queries probe. The faulted tenant's chain loads
+    // go through the fault-checked far tier (`headers_near(1)` implied by
+    // `ProbeConfig::fault`); the healthy tenant's identical cfg minus the
+    // plan is untouched by construction.
+    let dim = Relation::dense_unique(dim_n, SEED);
+    let ht = HashTable::build_serial(&dim);
+
+    let healthy: Vec<Relation> = (0..QUERIES_PER_TENANT)
+        .map(|i| Relation::fk_uniform(&dim, q_tuples, SEED + i as u64))
+        .collect();
+    let faulty: Vec<Relation> = (0..QUERIES_PER_TENANT)
+        .map(|i| Relation::fk_uniform(&dim, q_tuples, SEED + 100 + i as u64))
+        .collect();
+
+    println!("# Chaos trajectory ({q_tuples} tuples/query, {QUERIES_PER_TENANT} queries/tenant)\n");
+
+    // --- 1. Fault sweep: healthy + faulted tenants, tight deadlines ------
+    let cfg = ServeConfig {
+        max_active: 8,
+        max_pending: 8,
+        quantum: 128,
+        max_retries: 4,
+        backoff_base: 32,
+        ..Default::default()
+    };
+    // One plan per query: all streams draw from the same key universe, so
+    // a shared seed would fault every query on the same attempts (fault
+    // decisions hash (key, hop)); per-query seeds give independent fates
+    // and a meaningful recovered fraction.
+    const FAIL_PER_MILLE: u16 = 1;
+    let plans: Vec<FaultPlan> = (0..QUERIES_PER_TENANT)
+        .map(|i| FaultPlan::fail_only(SEED ^ 0xFA17 ^ (i as u64) << 8, FAIL_PER_MILLE))
+        .collect();
+
+    // Fault-free references: the healthy tenant served solo, and each
+    // faulted stream probed solo without its plan.
+    let mut solo = ServeSession::new(&ht, cfg.clone());
+    let solo_ids: Vec<QueryId> = healthy
+        .iter()
+        .map(|q| {
+            submit_cl(
+                &mut solo,
+                Request::Probe { probes: q, cfg: probe_cfg() },
+                SubmitOpts::default(),
+            )
+        })
+        .collect();
+    let solo_out = solo.finish();
+    let clean: Vec<_> = faulty
+        .iter()
+        .map(|s| amac_ops::join::probe(&ht, s, Technique::Amac, &probe_cfg()))
+        .collect();
+
+    let mut srv = ServeSession::new(&ht, cfg.clone());
+    let mut owner: Vec<(QueryId, u32, usize)> = Vec::new(); // (qid, tenant, stream idx)
+    for i in 0..QUERIES_PER_TENANT {
+        let h = submit_cl(
+            &mut srv,
+            Request::Probe { probes: &healthy[i], cfg: probe_cfg() },
+            SubmitOpts::default(),
+        );
+        owner.push((h, 0, i));
+        let f = submit_cl(
+            &mut srv,
+            Request::Probe {
+                probes: &faulty[i],
+                cfg: ProbeConfig { fault: Some(plans[i]), ..probe_cfg() },
+            },
+            SubmitOpts { tenant: 1, ..Default::default() },
+        );
+        owner.push((f, 1, i));
+    }
+    // Two queries with an impossible 1-tick deadline: cooperatively
+    // cancelled, reported, their partial work still on the books.
+    for (i, probes) in healthy.iter().take(2).enumerate() {
+        let d = submit_cl(
+            &mut srv,
+            Request::Probe { probes, cfg: probe_cfg() },
+            SubmitOpts { tenant: 2, deadline_ticks: Some(1), ..Default::default() },
+        );
+        owner.push((d, 2, i));
+    }
+    let out = srv.finish();
+
+    // No report lost or duplicated; outcomes partition the report set.
+    assert_eq!(out.reports.len(), owner.len(), "a query vanished or duplicated");
+    for (qid, _, _) in &owner {
+        assert_eq!(out.reports.iter().filter(|r| r.qid == *qid).count(), 1, "report for {qid}");
+    }
+    let outcome_total: u64 = [
+        QueryOutcome::Completed,
+        QueryOutcome::DeadlineExceeded,
+        QueryOutcome::FailedAfterRetries,
+        QueryOutcome::Cancelled,
+        QueryOutcome::Shed,
+    ]
+    .iter()
+    .map(|&o| out.count(o))
+    .sum();
+    assert_eq!(outcome_total, out.reports.len() as u64);
+
+    // Ledger conservation: per-query stats (retries and cancelled work
+    // included) sum to the session's global counters.
+    let mut sum = EngineStats::default();
+    for r in &out.reports {
+        sum.merge(&r.stats);
+    }
+    assert_eq!(sum, out.stats, "per-query ledgers != global stats");
+
+    let find = |qid: QueryId| out.reports.iter().find(|r| r.qid == qid).unwrap();
+    // Healthy tenant: bit-identical to its solo run, down to traversal
+    // work — the faulted tenant's retries cost the healthy tenant nothing.
+    for (i, (qid, _, _)) in owner.iter().filter(|(_, t, _)| *t == 0).enumerate() {
+        let solo_r = solo_out.reports.iter().find(|r| r.qid == solo_ids[i]).unwrap();
+        let mixed_r = find(*qid);
+        assert_eq!(mixed_r.matches, solo_r.matches, "healthy q{i} matches diverged");
+        assert_eq!(mixed_r.checksum, solo_r.checksum, "healthy q{i} checksum diverged");
+        assert_eq!(
+            mixed_r.stats.nodes_visited, solo_r.stats.nodes_visited,
+            "chaos next door inflated healthy q{i} traversal"
+        );
+        assert_eq!(mixed_r.outcome, QueryOutcome::Completed);
+    }
+    // Faulted tenant: every survivor is bit-identical to the fault-free
+    // reference (retry reruns from scratch; degraded tiers move costs,
+    // never results).
+    let (mut recovered, mut failed, mut retried_ok) = (0u64, 0u64, 0u64);
+    for (qid, _, i) in owner.iter().filter(|(_, t, _)| *t == 1) {
+        let r = find(*qid);
+        match r.outcome {
+            QueryOutcome::Completed => {
+                assert_eq!(r.matches, clean[*i].matches, "faulted survivor q{i} matches");
+                assert_eq!(r.checksum, clean[*i].checksum, "faulted survivor q{i} checksum");
+                recovered += 1;
+                retried_ok += u64::from(r.attempts > 1);
+            }
+            QueryOutcome::FailedAfterRetries => {
+                assert_eq!(r.attempts, 1 + cfg.max_retries, "budget not exhausted");
+                assert_eq!(r.matches, 0);
+                failed += 1;
+            }
+            o => panic!("faulted query q{i}: unexpected outcome {o:?}"),
+        }
+    }
+    // Deadline tenant: both queries miss their 1-tick deadline.
+    let deadline_misses = out.count(QueryOutcome::DeadlineExceeded);
+    for (qid, _, _) in owner.iter().filter(|(_, t, _)| *t == 2) {
+        assert_eq!(find(*qid).outcome, QueryOutcome::DeadlineExceeded);
+    }
+    let recovered_fraction = recovered as f64 / QUERIES_PER_TENANT as f64;
+    println!(
+        "fault sweep: {} retries; faulted tenant {recovered}/{QUERIES_PER_TENANT} recovered \
+         ({retried_ok} after >1 attempt), {failed} failed after retries, {deadline_misses} \
+         deadline misses",
+        out.retries(),
+    );
+    println!("healthy tenant bit-identical to solo (results + nodes_visited): OK");
+    println!("survivors bit-identical to fault-free reference: OK\n");
+
+    // --- 2. Breaker demo: consecutive failures open the breaker ----------
+    let bcfg = ServeConfig {
+        max_retries: 0,
+        breaker_threshold: 2,
+        breaker_probe_pumps: u64::MAX >> 1, // stay open for the demo
+        breaker_mode: BreakerMode::Shed,
+        ..cfg.clone()
+    };
+    let doomed = FaultPlan::fail_only(SEED ^ 0xDEAD, 1000); // every far load fails
+    let mut brk = ServeSession::new(&ht, bcfg.clone());
+    for q in faulty.iter().take(6) {
+        submit_cl(
+            &mut brk,
+            Request::Probe { probes: q, cfg: ProbeConfig { fault: Some(doomed), ..probe_cfg() } },
+            SubmitOpts { tenant: 7, ..Default::default() },
+        );
+        brk.run_to_completion();
+    }
+    let brk_out = brk.finish();
+    let shed = brk_out.count(QueryOutcome::Shed);
+    let brk_failed = brk_out.count(QueryOutcome::FailedAfterRetries);
+    assert_eq!(brk_failed, bcfg.breaker_threshold as u64, "breaker tripped early or late");
+    assert_eq!(shed, 6 - bcfg.breaker_threshold as u64, "open breaker must shed the rest");
+    for r in brk_out.reports.iter().filter(|r| r.outcome == QueryOutcome::Shed) {
+        assert_eq!(r.stats, EngineStats::default(), "shed queries must do zero work");
+    }
+    println!(
+        "breaker demo: {brk_failed} consecutive failures opened the breaker, {shed} queries shed \
+         with zero work\n"
+    );
+
+    // --- 3. Schedule invariance: same faults at 1/2/4 threads ------------
+    let mt_cfg = ProbeConfig { fault: Some(FaultPlan::fail_only(SEED ^ 0x7000, 5)), ..probe_cfg() };
+    let params = TuningParams::default();
+    let mut mt_sigs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let rt = MorselConfig { threads, morsel_tuples: 1024, ..Default::default() };
+        let tenants = [TenantProbe::new(&faulty[0]), TenantProbe::new(&faulty[1])];
+        let o = probe_multi_mt_rt(&ht, &tenants, Technique::Amac, &mt_cfg, params, 256, &rt);
+        mt_sigs.push((
+            threads,
+            o.tenants
+                .iter()
+                .map(|t| (t.stats.load_faults, t.stats.failed_lookups, t.matches, t.checksum))
+                .collect::<Vec<_>>(),
+        ));
+    }
+    for w in mt_sigs.windows(2) {
+        assert_eq!(
+            w[0].1, w[1].1,
+            "fault set diverged between {}T and {}T — decisions must hash (key, hop), not order",
+            w[0].0, w[1].0
+        );
+    }
+    let mt_faults: u64 = mt_sigs[0].1.iter().map(|s| s.0).sum();
+    println!("schedule invariance: {mt_faults} injected faults identical at 1/2/4 threads\n");
+
+    // --- JSON trajectory -------------------------------------------------
+    let mut j = JsonOut::open("chaos_fault_injection");
+    j.meta("tuples_per_query", q_tuples);
+    j.meta("queries_per_tenant", QUERIES_PER_TENANT);
+    j.meta("fail_per_mille", FAIL_PER_MILLE);
+    j.meta("max_retries", cfg.max_retries);
+    j.meta("breaker_threshold", bcfg.breaker_threshold);
+    j.results(owner.iter().map(|(qid, tenant, i)| {
+        let r = find(*qid);
+        format!(
+            "{{\"qid\": {}, \"tenant\": {tenant}, \"stream\": {i}, \"outcome\": \"{}\", \
+             \"attempts\": {}, \"lookups\": {}, \"failed_lookups\": {}}}",
+            qid.0,
+            r.outcome.label(),
+            r.attempts,
+            r.stats.lookups,
+            r.stats.failed_lookups
+        )
+    }));
+    // All five keys are deterministic (seeded faults, sim-tick deadlines,
+    // closed-loop scheduling) — regression-gated via bin/regress.
+    let keys = vec![
+        ("BENCH_CHAOS_RETRIES".to_string(), format!("{}", out.retries())),
+        ("BENCH_CHAOS_SHED".to_string(), format!("{shed}")),
+        ("BENCH_CHAOS_DEADLINE_MISSES".to_string(), format!("{deadline_misses}")),
+        ("BENCH_CHAOS_FAILED_AFTER_RETRIES".to_string(), format!("{}", failed + brk_failed)),
+        ("BENCH_CHAOS_RECOVERED_FRACTION".to_string(), format!("{recovered_fraction:.3}")),
+    ];
+    j.finish_with_keys(&keys, args.json.as_deref());
+}

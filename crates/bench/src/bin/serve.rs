@@ -47,6 +47,11 @@ fn split(rel: &Relation, k: usize) -> Vec<Relation> {
 }
 
 /// Serve `queries` in one shared-window session, returning the output.
+///
+/// Closed-loop admission: on `Backpressure` the driver pumps the
+/// session for the error's `retry_after_pumps` hint (the deterministic
+/// estimate of when the smallest active query frees a lane) and
+/// resubmits, so no query is ever shed in the closed run.
 fn serve_all<'a>(
     ht: &'a HashTable,
     queries: impl Iterator<Item = &'a Relation>,
@@ -54,7 +59,18 @@ fn serve_all<'a>(
 ) -> amac_server::ServeOutput {
     let mut srv = ServeSession::new(ht, cfg);
     for q in queries {
-        srv.submit(Request::Probe { probes: q, cfg: probe_cfg() }).expect("closed run admits all");
+        let mut req = Request::Probe { probes: q, cfg: probe_cfg() };
+        loop {
+            match srv.submit(req) {
+                Ok(_) => break,
+                Err(bp) => {
+                    for _ in 0..bp.retry_after_pumps {
+                        srv.pump();
+                    }
+                    req = Request::Probe { probes: q, cfg: probe_cfg() };
+                }
+            }
+        }
     }
     srv.finish()
 }

@@ -85,9 +85,10 @@ fn run_amac_inner<O: LookupOp>(
                 Step::Blocked => {
                     stats.latch_retries += 1;
                 }
-                Step::Done => {
+                s @ (Step::Done | Step::Failed) => {
                     stats.stages += 1;
                     stats.lookups += 1;
+                    stats.failed_lookups += (s == Step::Failed) as u64;
                     op.start(inputs[next], &mut states[k]);
                     stats.stages += 1;
                     stats.prefetches += pf;
@@ -115,9 +116,10 @@ fn run_amac_inner<O: LookupOp>(
                     // Coarse-grained spin: move on, retry on next rotation.
                     stats.latch_retries += 1;
                 }
-                Step::Done => {
+                s @ (Step::Done | Step::Failed) => {
                     stats.stages += 1;
                     stats.lookups += 1;
+                    stats.failed_lookups += (s == Step::Failed) as u64;
                     if merge_done_with_start && next < inputs.len() {
                         // Merged terminal+initial stage: refill immediately
                         // so in-flight memory accesses stay constant.

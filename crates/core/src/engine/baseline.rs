@@ -28,9 +28,10 @@ pub fn run_baseline<O: LookupOp>(op: &mut O, inputs: &[O::Input]) -> EngineStats
                     stats.latch_retries += 1;
                     core::hint::spin_loop();
                 }
-                Step::Done => {
+                s @ (Step::Done | Step::Failed) => {
                     stats.stages += 1;
                     stats.lookups += 1;
+                    stats.failed_lookups += (s == Step::Failed) as u64;
                     break;
                 }
             }

@@ -58,9 +58,10 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
                         stats.stages += 1;
                         stats.prefetches += pf;
                     }
-                    Step::Done => {
+                    s @ (Step::Done | Step::Failed) => {
                         stats.stages += 1;
                         stats.lookups += 1;
+                        stats.failed_lookups += (s == Step::Failed) as u64;
                         done[k] = true;
                     }
                     Step::Blocked => {
@@ -102,9 +103,10 @@ pub(super) fn cleanup_sequential<O: LookupOp>(
         loop {
             match op.step(&mut states[k]) {
                 Step::Continue => stats.bailout_stages += 1,
-                Step::Done => {
+                s @ (Step::Done | Step::Failed) => {
                     stats.bailout_stages += 1;
                     stats.lookups += 1;
+                    stats.failed_lookups += (s == Step::Failed) as u64;
                     done[k] = true;
                     break;
                 }
@@ -122,9 +124,10 @@ pub(super) fn cleanup_sequential<O: LookupOp>(
                                 stats.bailout_stages += 1;
                                 progressed = true;
                             }
-                            Step::Done => {
+                            s @ (Step::Done | Step::Failed) => {
                                 stats.bailout_stages += 1;
                                 stats.lookups += 1;
+                                stats.failed_lookups += (s == Step::Failed) as u64;
                                 done[j] = true;
                                 progressed = true;
                             }

@@ -63,6 +63,13 @@ pub enum Step {
     Done,
     /// A latch was busy; the stage made **no progress** and must be retried.
     Blocked,
+    /// A simulated far-memory load resolved to
+    /// `LoadOutcome::Failed` and the lookup aborted: the slot retires
+    /// like [`Step::Done`] (it frees its window slot and counts toward
+    /// `lookups`), but no output was produced and
+    /// [`EngineStats::failed_lookups`] records the abort. Fault policy
+    /// (retry, degrade, shed) lives in `amac_server`, not here.
+    Failed,
 }
 
 /// One pointer-chasing workload, written once and run by all four

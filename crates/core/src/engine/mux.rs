@@ -96,6 +96,18 @@ pub struct Mux<O: LookupOp> {
     /// calls per stage — because lanes without clocks ignore every
     /// advance.
     seq: u64,
+    /// Lanes flagged by [`Mux::cancel`]: their in-flight lookups retire
+    /// cooperatively (the next routed `step` short-circuits to
+    /// [`Step::Done`] without touching the inner op), so a poisoned or
+    /// abandoned query drains out of the shared window in at most one
+    /// rotation per slot while every other lane keeps running.
+    cancelled: Vec<bool>,
+    /// Cancelled retirements not yet folded into *global* stats: lane
+    /// ledgers count `cancelled_lookups` live, but the executor only sees
+    /// a plain `Done`, so the global counter is reconciled at the next
+    /// `flush_observed` — keeping the lane-sum == global invariant exact
+    /// at every flush boundary.
+    pending_cancelled: u64,
 }
 
 impl<O: LookupOp> Default for Mux<O> {
@@ -107,7 +119,13 @@ impl<O: LookupOp> Default for Mux<O> {
 impl<O: LookupOp> Mux<O> {
     /// An empty multiplexer.
     pub fn new() -> Self {
-        Mux { lanes: Vec::new(), observed: Vec::new(), seq: 0 }
+        Mux {
+            lanes: Vec::new(),
+            observed: Vec::new(),
+            seq: 0,
+            cancelled: Vec::new(),
+            pending_cancelled: 0,
+        }
     }
 
     /// Install `op` on a free lane and return its id (vacant slots are
@@ -116,10 +134,12 @@ impl<O: LookupOp> Mux<O> {
         if let Some(i) = self.lanes.iter().position(Option::is_none) {
             self.lanes[i] = Some(op);
             self.observed[i] = EngineStats::default();
+            self.cancelled[i] = false;
             return i as u32;
         }
         self.lanes.push(Some(op));
         self.observed.push(EngineStats::default());
+        self.cancelled.push(false);
         (self.lanes.len() - 1) as u32
     }
 
@@ -134,6 +154,23 @@ impl<O: LookupOp> Mux<O> {
         let op = self.lanes[i].take().expect("remove of vacant mux lane");
         let led = core::mem::take(&mut self.observed[i]);
         (op, led)
+    }
+
+    /// Cooperatively cancel a lane: every in-flight lookup of this lane
+    /// retires (as `cancelled_lookups`) the next time the executor visits
+    /// its slot, without executing any remaining stages of the inner op.
+    /// The lane stays installed — its op, outputs-so-far and ledger remain
+    /// readable — until [`remove`](Mux::remove); the caller must stop
+    /// submitting new inputs for it. Idempotent; panics on a vacant lane.
+    pub fn cancel(&mut self, lane: u32) {
+        let i = lane as usize;
+        assert!(self.lanes[i].is_some(), "cancel of vacant mux lane");
+        self.cancelled[i] = true;
+    }
+
+    /// Whether [`cancel`](Mux::cancel) has been called on this lane.
+    pub fn is_cancelled(&self, lane: u32) -> bool {
+        self.cancelled[lane as usize]
     }
 
     /// The lane's inner op (panics on a vacant lane).
@@ -178,6 +215,17 @@ impl<O: LookupOp> LookupOp for Mux<O> {
     fn start(&mut self, input: Tagged<O::Input>, state: &mut MuxState<O::State>) {
         let i = input.lane as usize;
         state.lane = input.lane;
+        if self.cancelled[i] {
+            // A racing feed to a just-cancelled lane: accept the slot but
+            // never run the inner op; the next `step` retires it as
+            // cancelled. Billed like any other executed stage.
+            self.seq += 1;
+            let led = &mut self.observed[i];
+            led.stages += 1;
+            let op = self.lanes[i].as_ref().expect("start routed to vacant lane");
+            led.prefetches += op.issues_prefetches() as u64;
+            return;
+        }
         let op = self.lanes[i].as_mut().expect("start routed to vacant lane");
         // Clock sync: catch the lane up to window time, run its stage,
         // then fold its (possibly stalled) clock back into window time.
@@ -191,6 +239,21 @@ impl<O: LookupOp> LookupOp for Mux<O> {
 
     fn step(&mut self, state: &mut MuxState<O::State>) -> Step {
         let i = state.lane as usize;
+        if self.cancelled[i] {
+            // Cooperative cancellation: retire the slot without running
+            // the inner op. The visit still costs a window tick (the
+            // executor spent a rotation on it), and the retirement is
+            // billed to the lane as a cancelled lookup; the executor sees
+            // a plain `Done` (its global `cancelled_lookups` is
+            // reconciled at the next flush via `pending_cancelled`).
+            self.seq += 1;
+            let led = &mut self.observed[i];
+            led.stages += 1;
+            led.lookups += 1;
+            led.cancelled_lookups += 1;
+            self.pending_cancelled += 1;
+            return Step::Done;
+        }
         let op = self.lanes[i].as_mut().expect("step routed to vacant lane");
         op.sim_advance_to(self.seq);
         let r = op.step(&mut state.inner);
@@ -206,6 +269,11 @@ impl<O: LookupOp> LookupOp for Mux<O> {
             Step::Done => {
                 led.stages += 1;
                 led.lookups += 1;
+            }
+            Step::Failed => {
+                led.stages += 1;
+                led.lookups += 1;
+                led.failed_lookups += 1;
             }
         }
         r
@@ -227,9 +295,14 @@ impl<O: LookupOp> LookupOp for Mux<O> {
                 led.tag_rejects += delta.tag_rejects;
                 led.sim_cycles += delta.sim_cycles;
                 led.sim_stalls += delta.sim_stalls;
+                led.load_faults += delta.load_faults;
                 stats.merge(&delta);
             }
         }
+        // Cancelled retirements were reported to the executor as plain
+        // `Done`s; fold them into the global subset counter here so lane
+        // sums and global totals agree at every flush boundary.
+        stats.cancelled_lookups += core::mem::take(&mut self.pending_cancelled);
     }
 
     /// Executor idle visits advance the shared window's simulated time;
@@ -362,6 +435,41 @@ mod tests {
         assert_eq!(mux.budgeted_steps(), 1, "empty mux still legal for GP/SPP sizing");
         mux.add(TestChainOp::new(&short));
         assert!(mux.budgeted_steps() >= 1);
+    }
+
+    #[test]
+    fn cancelled_lane_retires_exactly_and_ledgers_still_sum() {
+        let ch = chains(2_000, 2);
+        let qa: Vec<usize> = (0..1_000).collect();
+        let qb: Vec<usize> = (1_000..2_000).collect();
+        // Reference: lane B solo, untouched by A's cancellation.
+        let mut solo_b = TestChainOp::new(&ch);
+        let sb = run(Technique::Amac, &mut solo_b, &qb, TuningParams::default());
+
+        let mut mux = Mux::new();
+        let la = mux.add(TestChainOp::new(&ch));
+        let lb = mux.add(TestChainOp::new(&ch));
+        mux.cancel(la);
+        assert!(mux.is_cancelled(la));
+        let tagged = interleave(&qa, &qb, 16);
+        let global = run(Technique::Amac, &mut mux, &tagged, TuningParams::default());
+
+        let (a, b) = (*mux.observed(la), *mux.observed(lb));
+        // Every submitted lookup retired exactly once; A's all as cancelled.
+        assert_eq!(global.lookups, (qa.len() + qb.len()) as u64);
+        assert_eq!(a.lookups, qa.len() as u64);
+        assert_eq!(a.cancelled_lookups, qa.len() as u64);
+        assert_eq!(b.cancelled_lookups, 0);
+        // Reconciliation: lane sums equal global totals, including the
+        // cancelled subset folded in at flush.
+        assert_eq!(a.lookups + b.lookups, global.lookups);
+        assert_eq!(a.stages + b.stages, global.stages);
+        assert_eq!(a.cancelled_lookups + b.cancelled_lookups, global.cancelled_lookups);
+        assert_eq!(a.nodes_visited, 0, "cancelled stages never touch the inner op");
+        // The healthy lane is bit-identical to its solo run.
+        let (ob, ledb) = mux.remove(lb);
+        assert_eq!(ob.outputs, solo_b.outputs);
+        assert_eq!(ledb.nodes_visited, sb.nodes_visited);
     }
 
     #[test]

@@ -51,6 +51,11 @@ pub enum StageStep<O> {
     /// The operator finished and the tuple leaves the pipeline (probe
     /// miss, filtered out). No downstream work happens.
     Skip,
+    /// A simulated far-memory load failed and the tuple's chain walk
+    /// aborted (see [`Step::Failed`]). The slot retires with no
+    /// downstream work; chains propagate the failure unchanged so the
+    /// executor sees exactly one `Failed` retirement per poisoned tuple.
+    Failed,
 }
 
 /// One operator of a fused pipeline.
@@ -222,6 +227,7 @@ where
                     StageStep::Continue => StageStep::Continue,
                     StageStep::Blocked => StageStep::Blocked,
                     StageStep::Skip => StageStep::Skip,
+                    StageStep::Failed => StageStep::Failed,
                     StageStep::Emit(out) => match self.route.route(out) {
                         // Filtered out: the tuple leaves the pipeline.
                         None => StageStep::Skip,
@@ -304,6 +310,7 @@ impl<L: LookupOp> PipelineOp for Terminal<L> {
             Step::Continue => StageStep::Continue,
             Step::Blocked => StageStep::Blocked,
             Step::Done => StageStep::Emit(()),
+            Step::Failed => StageStep::Failed,
         }
     }
 
@@ -415,6 +422,7 @@ where
             StageStep::Continue => Step::Continue,
             StageStep::Blocked => Step::Blocked,
             StageStep::Skip => Step::Done,
+            StageStep::Failed => Step::Failed,
             StageStep::Emit(out) => {
                 self.sink.consume(out);
                 Step::Done

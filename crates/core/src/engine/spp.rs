@@ -94,9 +94,10 @@ pub fn run_spp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> Engine
                     stats.stages += 1;
                     stats.prefetches += pf;
                 }
-                Step::Done => {
+                s @ (Step::Done | Step::Failed) => {
                     stats.stages += 1;
                     stats.lookups += 1;
+                    stats.failed_lookups += (s == Step::Failed) as u64;
                     done[k] = true;
                 }
                 Step::Blocked => {
@@ -126,9 +127,10 @@ fn finish_one<O: LookupOp>(
     loop {
         match op.step(&mut states[k]) {
             Step::Continue => stats.bailout_stages += 1,
-            Step::Done => {
+            s @ (Step::Done | Step::Failed) => {
                 stats.bailout_stages += 1;
                 stats.lookups += 1;
+                stats.failed_lookups += (s == Step::Failed) as u64;
                 done[k] = true;
                 return;
             }
@@ -144,9 +146,10 @@ fn finish_one<O: LookupOp>(
                             stats.bailout_stages += 1;
                             progressed = true;
                         }
-                        Step::Done => {
+                        s @ (Step::Done | Step::Failed) => {
                             stats.bailout_stages += 1;
                             stats.lookups += 1;
+                            stats.failed_lookups += (s == Step::Failed) as u64;
                             done[j] = true;
                             progressed = true;
                         }

@@ -50,6 +50,21 @@ pub struct EngineStats {
     /// executors keep it near zero even at 8× far latency. 0 for
     /// untiered runs.
     pub sim_stalls: u64,
+    /// Simulated far-memory loads that resolved to
+    /// `LoadOutcome::Failed` (charged by a fault-injecting
+    /// `amac_tier::SimClock`, drained through `flush_observed`). 0 for
+    /// fault-free runs.
+    pub load_faults: u64,
+    /// Lookups retired via [`super::Step::Failed`] — a poisoned load
+    /// aborted the chain walk. Counted *inside* [`lookups`](EngineStats::lookups)
+    /// (a failed lookup still retires its window slot), so retirement
+    /// proofs (`lookups == submitted`) survive faults.
+    pub failed_lookups: u64,
+    /// Lookups retired by cooperative lane cancellation
+    /// (`amac::engine::mux::Mux::cancel`) without executing their
+    /// remaining stages. Also counted inside
+    /// [`lookups`](EngineStats::lookups).
+    pub cancelled_lookups: u64,
 }
 
 impl EngineStats {
@@ -66,6 +81,9 @@ impl EngineStats {
         self.tag_rejects += o.tag_rejects;
         self.sim_cycles += o.sim_cycles;
         self.sim_stalls += o.sim_stalls;
+        self.load_faults += o.load_faults;
+        self.failed_lookups += o.failed_lookups;
+        self.cancelled_lookups += o.cancelled_lookups;
     }
 
     /// Fraction of simulated time spent stalled on unfinished loads:
@@ -119,6 +137,9 @@ mod tests {
             tag_rejects: 4,
             sim_cycles: 9,
             sim_stalls: 6,
+            load_faults: 2,
+            failed_lookups: 1,
+            cancelled_lookups: 3,
             ..Default::default()
         });
         assert_eq!(a.lookups, 3);
@@ -130,6 +151,9 @@ mod tests {
         assert_eq!(a.tag_rejects, 4);
         assert_eq!(a.sim_cycles, 9);
         assert_eq!(a.sim_stalls, 6);
+        assert_eq!(a.load_faults, 2);
+        assert_eq!(a.failed_lookups, 1);
+        assert_eq!(a.cancelled_lookups, 3);
         assert!((a.nodes_per_lookup() - 7.0 / 3.0).abs() < 1e-12);
     }
 

@@ -6,7 +6,7 @@ use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{SimClock, TierSpec};
+use amac_tier::{fault_token, FaultPlan, LoadOutcome, SimClock, TierSpec};
 use amac_workload::{Relation, Tuple};
 
 /// Probe configuration.
@@ -45,6 +45,12 @@ pub struct ProbeConfig {
     /// [`EngineStats`]. `None` (default) = untiered, zero accounting.
     /// Tiering never changes results — only the counters.
     pub tier: Option<TierSpec>,
+    /// Seeded far-tier fault plan: chain loads from far slabs may fail
+    /// (the lookup retires as [`Step::Failed`]) or latency-spike, per
+    /// [`FaultPlan`]. Requires a far placement to have any effect; with
+    /// `tier: None` a default `headers_near(1)` spec is assumed so the
+    /// chain loads are checkable. `None` (default) = every load succeeds.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for ProbeConfig {
@@ -56,6 +62,7 @@ impl Default for ProbeConfig {
             materialize: true,
             hint: PrefetchHint::Nta,
             tier: None,
+            fault: None,
         }
     }
 }
@@ -100,11 +107,14 @@ pub struct ProbeState {
     probe: u32,
     /// Simulated tick the prefetched line arrives (tiered runs only).
     ready_at: u64,
+    /// Chain hop index, for schedule-invariant fault tokens
+    /// ([`fault_token`]`(key, hop)`; faulted runs only).
+    hop: u32,
 }
 
 impl Default for ProbeState {
     fn default() -> Self {
-        ProbeState { key: 0, idx: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0 }
+        ProbeState { key: 0, idx: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0, hop: 0 }
     }
 }
 
@@ -129,9 +139,18 @@ impl<'a> ProbeOp<'a> {
     /// Build the op for one run over `n_probes` tuples.
     pub fn new(ht: &'a HashTable, cfg: &ProbeConfig, n_probes: usize) -> Self {
         let n_stages = if cfg.n_stages == 0 { auto_chain_estimate(ht) } else { cfg.n_stages };
+        // A fault plan needs a clock to hook into; `headers_near(1)` is
+        // the minimal far placement (chain slabs far at 1x latency), so
+        // faults work even when the caller didn't ask for tiered costs.
+        let clock = match (cfg.tier, cfg.fault) {
+            (Some(t), Some(plan)) => Some(t.clock().with_fault(plan)),
+            (Some(t), None) => Some(t.clock()),
+            (None, Some(plan)) => Some(TierSpec::headers_near(1).clock().with_fault(plan)),
+            (None, None) => None,
+        };
         ProbeOp {
             ht,
-            clock: cfg.tier.map(|t| t.clock()),
+            clock,
             cfg: cfg.clone(),
             n_stages,
             matches: 0,
@@ -199,6 +218,7 @@ impl LookupOp for ProbeOp<'_> {
         state.idx = self.cursor;
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
+        state.hop = 0;
         self.cursor += 1;
         if let Some(c) = &mut self.clock {
             c.stage();
@@ -248,7 +268,15 @@ impl LookupOp for ProbeOp<'_> {
         self.cfg.hint.issue(ptr);
         state.ptr = ptr;
         if let Some(c) = &mut self.clock {
-            state.ready_at = c.issue_slab(slab_of_index(next));
+            // Chain loads go through the fault-checked path: a poisoned
+            // far load aborts the lookup. The token is (key, hop), so the
+            // fault set is identical under every executor and schedule.
+            let token = fault_token(state.key, state.hop);
+            state.hop += 1;
+            match c.issue_slab_checked(slab_of_index(next), token) {
+                LoadOutcome::Ready(t) | LoadOutcome::Delayed(t) => state.ready_at = t,
+                LoadOutcome::Failed => return Step::Failed,
+            }
         }
         Step::Continue
     }
@@ -519,6 +547,60 @@ mod tests {
         let out = probe(&ht, &empty, Technique::Amac, &ProbeConfig::default());
         assert_eq!(out.matches, 0);
         assert_eq!(out.stats.lookups, 0);
+    }
+
+    #[test]
+    fn faulted_probe_is_deterministic_across_executors() {
+        use amac_tier::FaultPlan;
+        // Chained table (8x over-occupancy) so lookups take multiple far
+        // hops — plenty of fault opportunities.
+        let r = Relation::dense_unique(1 << 12, 11);
+        let ht = HashTable::with_buckets((1 << 12) / 8);
+        {
+            let mut h = ht.build_handle();
+            for t in &r.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        let s = Relation::fk_uniform(&r, 6_000, 12);
+        let cfg = ProbeConfig {
+            scan_all: true,
+            materialize: false,
+            fault: Some(FaultPlan::fail_only(0xABCD, 100)),
+            ..Default::default()
+        };
+        let mut reference: Option<(u64, u64, u64, u64)> = None;
+        for t in Technique::ALL {
+            let out = probe(&ht, &s, t, &cfg);
+            assert_eq!(out.stats.lookups, s.len() as u64, "{t}: every lookup retires");
+            assert!(out.stats.failed_lookups > 0, "{t}: 10% fail rate must hit");
+            assert_eq!(
+                out.stats.failed_lookups, out.stats.load_faults,
+                "{t}: one poisoned load aborts one lookup"
+            );
+            let key = (out.stats.failed_lookups, out.stats.load_faults, out.matches, out.checksum);
+            match &reference {
+                None => reference = Some(key),
+                Some(r) => assert_eq!(
+                    &key, r,
+                    "{t}: fault set and surviving results must be schedule-invariant"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_changes_nothing() {
+        use amac_tier::FaultPlan;
+        let (ht, _r, s) = small_join_setup(4096, 5_000);
+        let clean = probe(&ht, &s, Technique::Amac, &ProbeConfig::default());
+        let cfg = ProbeConfig { fault: Some(FaultPlan::fail_only(1, 0)), ..Default::default() };
+        let faulted = probe(&ht, &s, Technique::Amac, &cfg);
+        assert_eq!(faulted.matches, clean.matches);
+        assert_eq!(faulted.checksum, clean.checksum);
+        assert_eq!(faulted.out, clean.out);
+        assert_eq!(faulted.stats.failed_lookups, 0);
+        assert_eq!(faulted.stats.load_faults, 0);
     }
 
     #[test]

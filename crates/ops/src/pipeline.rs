@@ -58,7 +58,7 @@ use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{SimClock, TierSpec};
+use amac_tier::{fault_token, FaultPlan, LoadOutcome, SimClock, TierSpec};
 use amac_workload::{FilterSpec, Relation, Tuple};
 
 /// Configuration shared by the fused pipeline drivers.
@@ -76,6 +76,12 @@ pub struct PipelineConfig {
     /// pipeline has one simulated timeline). See
     /// [`ProbeConfig::tier`](crate::join::ProbeConfig::tier).
     pub tier: Option<TierSpec>,
+    /// Seeded far-tier fault plan, applied to the **probe** stages' chain
+    /// loads (the latched group-by stage is unfaultable: its incremental
+    /// table writes cannot be rolled back, so fault policy for it is
+    /// degrade-to-two-phase, not retry). See
+    /// [`ProbeConfig::fault`](crate::join::ProbeConfig::fault).
+    pub fault: Option<FaultPlan>,
 }
 
 /// A join match flowing between pipeline operators: the probe tuple's
@@ -100,11 +106,13 @@ pub struct ProbePipeState {
     probe: u32,
     /// Simulated tick the prefetched line arrives (tiered runs only).
     ready_at: u64,
+    /// Chain hop index for schedule-invariant fault tokens.
+    hop: u32,
 }
 
 impl Default for ProbePipeState {
     fn default() -> Self {
-        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0 }
+        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0, hop: 0 }
     }
 }
 
@@ -130,6 +138,25 @@ impl<'a> ProbeStage<'a> {
 
     /// [`new`](ProbeStage::new) with an optional memory-tier cost model.
     pub fn with_tier(ht: &'a HashTable, hint: PrefetchHint, tier: Option<TierSpec>) -> Self {
+        Self::with_tier_fault(ht, hint, tier, None)
+    }
+
+    /// [`with_tier`](ProbeStage::with_tier) plus an optional seeded fault
+    /// plan for this stage's chain loads (see
+    /// [`ProbeConfig::fault`](crate::join::ProbeConfig::fault) for the
+    /// clock-defaulting rule).
+    pub fn with_tier_fault(
+        ht: &'a HashTable,
+        hint: PrefetchHint,
+        tier: Option<TierSpec>,
+        fault: Option<FaultPlan>,
+    ) -> Self {
+        let clock = match (tier, fault) {
+            (Some(t), Some(plan)) => Some(t.clock().with_fault(plan)),
+            (Some(t), None) => Some(t.clock()),
+            (None, Some(plan)) => Some(TierSpec::headers_near(1).clock().with_fault(plan)),
+            (None, None) => None,
+        };
         ProbeStage {
             ht,
             hint,
@@ -137,7 +164,7 @@ impl<'a> ProbeStage<'a> {
             matches: 0,
             nodes_visited: 0,
             tag_rejects: 0,
-            clock: tier.map(|t| t.clock()),
+            clock,
         }
     }
 
@@ -164,6 +191,7 @@ impl PipelineOp for ProbeStage<'_> {
         state.payload = input.payload;
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
+        state.hop = 0;
         if let Some(c) = &mut self.clock {
             c.stage();
             state.ready_at = c.issue_header();
@@ -203,7 +231,12 @@ impl PipelineOp for ProbeStage<'_> {
         self.hint.issue(ptr);
         state.ptr = ptr;
         if let Some(c) = &mut self.clock {
-            state.ready_at = c.issue_slab(slab_of_index(next));
+            let token = fault_token(state.key, state.hop);
+            state.hop += 1;
+            match c.issue_slab_checked(slab_of_index(next), token) {
+                LoadOutcome::Ready(t) | LoadOutcome::Delayed(t) => state.ready_at = t,
+                LoadOutcome::Failed => return StageStep::Failed,
+            }
         }
         StageStep::Continue
     }
@@ -318,7 +351,7 @@ pub fn materializing_probe_op<'a>(
     cfg: &PipelineConfig,
 ) -> Fused<ProbeStage<'a>, RouteCollect> {
     Fused::new(
-        ProbeStage::with_tier(ht, cfg.hint, cfg.tier),
+        ProbeStage::with_tier_fault(ht, cfg.hint, cfg.tier, cfg.fault),
         RouteCollect::new(FilterProject { filter: cfg.filter }),
     )
 }
@@ -342,7 +375,7 @@ pub fn fused_probe_groupby_op<'a>(
 ) -> FusedProbeGroupBy<'a> {
     Fused::new(
         Chain::new(
-            ProbeStage::with_tier(ht, cfg.hint, cfg.tier),
+            ProbeStage::with_tier_fault(ht, cfg.hint, cfg.tier, cfg.fault),
             groupby_stage(table, cfg.params, cfg.tier),
             FilterProject { filter: cfg.filter },
         ),
@@ -361,8 +394,8 @@ pub fn fused_probe_probe_op<'a>(
 ) -> FusedProbeProbe<'a> {
     Fused::new(
         Chain::new(
-            ProbeStage::with_tier(ht1, cfg.hint, cfg.tier),
-            ProbeStage::with_tier(ht2, cfg.hint, cfg.tier),
+            ProbeStage::with_tier_fault(ht1, cfg.hint, cfg.tier, cfg.fault),
+            ProbeStage::with_tier_fault(ht2, cfg.hint, cfg.tier, cfg.fault),
             FilterProject { filter: cfg.filter },
         ),
         CountChecksum::default(),
@@ -493,8 +526,10 @@ pub fn probe_then_probe_two_phase(
     let mut stats = run(technique, &mut op, &s.tuples, cfg.params);
     let matched = op.pipe().matches();
     let mid = Relation::from_tuples(op.into_sink().out);
-    let mut op2 =
-        Fused::new(ProbeStage::with_tier(ht2, cfg.hint, cfg.tier), CountChecksum::default());
+    let mut op2 = Fused::new(
+        ProbeStage::with_tier_fault(ht2, cfg.hint, cfg.tier, cfg.fault),
+        CountChecksum::default(),
+    );
     stats.merge(&run(technique, &mut op2, &mid.tuples, cfg.params));
     PipelineOutput {
         matched,

@@ -108,9 +108,10 @@ impl<O: LookupOp> AmacSession<O> {
                 Step::Blocked => {
                     stats.latch_retries += 1;
                 }
-                Step::Done => {
+                s @ (Step::Done | Step::Failed) => {
                     stats.stages += 1;
                     stats.lookups += 1;
+                    stats.failed_lookups += (s == Step::Failed) as u64;
                     op.start(inputs[next], &mut self.states[self.k]);
                     stats.stages += 1;
                     stats.prefetches += pf;
@@ -128,9 +129,32 @@ impl<O: LookupOp> AmacSession<O> {
 
     /// Retire every lookup still in flight (the end-of-run epilogue).
     pub fn drain(&mut self, op: &mut O, stats: &mut EngineStats) {
+        let _ = self.drain_budgeted(op, stats, usize::MAX);
+    }
+
+    /// [`drain`](AmacSession::drain) with a rotation budget: give up after
+    /// `max_rotations` slot visits (idle status checks included) and
+    /// return `false` with lookups still in flight. A lane that can never
+    /// make progress (a wedged latch, a livelocked op) therefore costs a
+    /// bounded amount of work per call instead of spinning the caller
+    /// forever — the serving layer's pump budget is built on this.
+    /// Counters are flushed on both outcomes, so partial drains stay
+    /// ledger-exact. Returns `true` once the window is empty.
+    pub fn drain_budgeted(
+        &mut self,
+        op: &mut O,
+        stats: &mut EngineStats,
+        max_rotations: usize,
+    ) -> bool {
         let m = self.states.len();
         let pf = op.issues_prefetches() as u64;
+        let mut rotations = 0usize;
         while self.in_flight > 0 {
+            if rotations == max_rotations {
+                op.flush_observed(stats);
+                return false;
+            }
+            rotations += 1;
             if self.active[self.k] {
                 match op.step(&mut self.states[self.k]) {
                     Step::Continue => {
@@ -140,9 +164,10 @@ impl<O: LookupOp> AmacSession<O> {
                     Step::Blocked => {
                         stats.latch_retries += 1;
                     }
-                    Step::Done => {
+                    s @ (Step::Done | Step::Failed) => {
                         stats.stages += 1;
                         stats.lookups += 1;
+                        stats.failed_lookups += (s == Step::Failed) as u64;
                         self.active[self.k] = false;
                         self.in_flight -= 1;
                     }
@@ -161,6 +186,7 @@ impl<O: LookupOp> AmacSession<O> {
             }
         }
         op.flush_observed(stats);
+        true
     }
 }
 
@@ -248,6 +274,43 @@ mod tests {
         }
         s2.drain(&mut op2, &mut st2);
         assert_eq!(s2.mean_occupancy().to_bits(), drained.to_bits());
+    }
+
+    #[test]
+    fn budgeted_drain_gives_up_on_a_wedged_op_and_resumes() {
+        /// An op whose lookups block forever until `release` flips.
+        struct Wedge {
+            release: bool,
+        }
+        impl LookupOp for Wedge {
+            type Input = usize;
+            type State = usize;
+            fn budgeted_steps(&self) -> usize {
+                1
+            }
+            fn start(&mut self, _input: usize, _state: &mut usize) {}
+            fn step(&mut self, _state: &mut usize) -> Step {
+                if self.release {
+                    Step::Done
+                } else {
+                    Step::Blocked
+                }
+            }
+        }
+
+        let mut op = Wedge { release: false };
+        let mut session: AmacSession<Wedge> = AmacSession::new(4);
+        let mut stats = EngineStats::default();
+        session.feed(&mut op, &[0, 1, 2, 3], &mut stats);
+        // The wedged window burns exactly its budget and reports failure.
+        assert!(!session.drain_budgeted(&mut op, &mut stats, 100));
+        assert_eq!(session.in_flight(), 4, "nothing retired while wedged");
+        assert_eq!(stats.latch_retries, 100, "every budgeted rotation was a spin");
+        // Once the latch frees, the same session drains to completion.
+        op.release = true;
+        assert!(session.drain_budgeted(&mut op, &mut stats, 100));
+        assert_eq!(session.in_flight(), 0);
+        assert_eq!(stats.lookups, 4);
     }
 
     #[test]

@@ -72,6 +72,8 @@ mod request;
 mod session;
 mod tenant;
 
-pub use request::{Backpressure, QueryId, QueryReport, Request};
+pub use request::{
+    Backpressure, BreakerMode, QueryId, QueryOutcome, QueryReport, Request, Stalled, SubmitOpts,
+};
 pub use session::{ServeConfig, ServeOutput, ServeSession};
 pub use tenant::{TenantOp, TenantState};

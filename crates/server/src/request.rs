@@ -24,6 +24,11 @@ impl core::fmt::Display for QueryId {
 /// shared catalog table; aggregate-producing requests bring their own
 /// output [`AggTable`] (result routing: every query's aggregates land in
 /// *its* table, bit-identical to a solo run).
+///
+/// `Clone` is cheap (the relation/table fields are borrows) and is what
+/// lets the serving layer re-run a faulted attempt from scratch: a retry
+/// clones the original request and reseeds its fault plan.
+#[derive(Clone)]
 pub enum Request<'a> {
     /// Probe the catalog table with `probes` (hash-join probe semantics
     /// per `cfg`: early-exit or scan-all, optional materialization).
@@ -66,6 +71,30 @@ impl Request<'_> {
     }
 }
 
+/// Per-query submission options beyond the request itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOpts {
+    /// Deficit-round-robin weight (2 = twice the per-round tuple share).
+    /// Clamped to ≥ 1.
+    pub weight: u32,
+    /// Tenant id for circuit-breaker accounting: consecutive final
+    /// failures are tracked per tenant, and an open breaker sheds or
+    /// degrades that tenant's *new* queries only.
+    pub tenant: u32,
+    /// Deadline in simulated ticks, measured from the query's activation
+    /// (admission into the window). `None` = no deadline. A query still
+    /// running past its deadline is cooperatively cancelled and reported
+    /// as [`QueryOutcome::DeadlineExceeded`]; retry backoff counts
+    /// against the deadline because backoff is charged to the sim clock.
+    pub deadline_ticks: Option<u64>,
+}
+
+impl Default for SubmitOpts {
+    fn default() -> Self {
+        SubmitOpts { weight: 1, tenant: 0, deadline_ticks: None }
+    }
+}
+
 /// Admission refused: both the active set and the pending queue are at
 /// capacity. Open-loop clients shed the query (and count it); closed-loop
 /// clients retry after draining some work.
@@ -77,6 +106,11 @@ pub struct Backpressure {
     pub pending: usize,
     /// The pending-queue bound that was hit.
     pub max_pending: usize,
+    /// Closed-loop retry hint: after this many
+    /// [`pump`](crate::ServeSession::pump) calls the smallest active
+    /// query is expected to have completed, freeing a lane. Deterministic
+    /// (derived from remaining input and quanta, not time); always ≥ 1.
+    pub retry_after_pumps: usize,
 }
 
 impl core::fmt::Display for Backpressure {
@@ -90,6 +124,78 @@ impl core::fmt::Display for Backpressure {
 }
 
 impl std::error::Error for Backpressure {}
+
+/// A budgeted run gave up: [`run_with_budget`](crate::ServeSession::run_with_budget)
+/// exhausted its pump budget with queries still unfinished. The session
+/// is left intact — the caller can inspect it, cancel the wedged query,
+/// or grant more budget and resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stalled {
+    /// Pumps executed before giving up.
+    pub pumps: usize,
+    /// Lookups still in flight in the shared window.
+    pub in_flight: usize,
+    /// Queries still active.
+    pub active: usize,
+}
+
+impl core::fmt::Display for Stalled {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "serving session stalled after {} pumps: {} lookups in flight, {} queries active",
+            self.pumps, self.in_flight, self.active
+        )
+    }
+}
+
+impl std::error::Error for Stalled {}
+
+/// What an open circuit breaker does with a tripped tenant's new queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BreakerMode {
+    /// Refuse outright: the query completes immediately with
+    /// [`QueryOutcome::Shed`] and does no work.
+    Shed,
+    /// Serve a cheaper plan: probes step one rung down the tier
+    /// degradation ladder (`amac_tier::TierPolicy::degrade`), fused
+    /// pipelines fall back to the fault-free two-phase plan. Queries
+    /// that cannot degrade further are shed.
+    #[default]
+    Degrade,
+}
+
+/// How one query's service ended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QueryOutcome {
+    /// All lookups retired normally; results are exact and bit-identical
+    /// to a fault-free solo run.
+    #[default]
+    Completed,
+    /// The deadline passed before the query finished; it was
+    /// cooperatively cancelled and reports no results.
+    DeadlineExceeded,
+    /// Every attempt (1 + `max_retries` for retryable queries, the single
+    /// attempt for non-retryable ones) hit a far-tier fault.
+    FailedAfterRetries,
+    /// The client cancelled it ([`crate::ServeSession::cancel`]).
+    Cancelled,
+    /// An open circuit breaker refused it before any work ran.
+    Shed,
+}
+
+impl QueryOutcome {
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryOutcome::Completed => "completed",
+            QueryOutcome::DeadlineExceeded => "deadline-exceeded",
+            QueryOutcome::FailedAfterRetries => "failed-after-retries",
+            QueryOutcome::Cancelled => "cancelled",
+            QueryOutcome::Shed => "shed",
+        }
+    }
+}
 
 /// Everything routed back to one query when it completes.
 #[derive(Debug, Clone, Default)]
@@ -112,7 +218,20 @@ pub struct QueryReport {
     pub out: Vec<u64>,
     /// The query's exact engine counters (its lane's ledger): lookups,
     /// stages, latch retries, prefetches, nodes visited, tag rejects.
+    /// For retried queries this *includes* the work of aborted attempts,
+    /// so per-query reports still sum to the session's global stats.
     pub stats: EngineStats,
     /// Submit-to-completion latency (includes admission queueing).
     pub latency_ns: u64,
+    /// How service ended. Result fields (`matches`, `checksum`, `out`,
+    /// ...) are populated only for [`QueryOutcome::Completed`].
+    pub outcome: QueryOutcome,
+    /// Attempts that ran in the window (0 for shed queries, 1 for the
+    /// common fault-free case, up to `1 + max_retries` with retries).
+    pub attempts: u32,
+    /// Whether an open circuit breaker served this query a degraded plan
+    /// (tier rung down, or pipeline two-phase fallback).
+    pub degraded: bool,
+    /// Tenant the query was submitted under (see [`SubmitOpts::tenant`]).
+    pub tenant: u32,
 }

@@ -1,20 +1,25 @@
 //! The serving scheduler: admission, deficit-round-robin interleaving,
-//! one shared in-flight window, per-query routing and accounting.
+//! one shared in-flight window, per-query routing and accounting — plus
+//! the failure model: deadlines, bounded retry with sim-clock backoff,
+//! per-tenant circuit breakers, and cooperative cancellation.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 use amac::engine::mux::{Mux, Tagged};
-use amac::engine::{EngineStats, TuningParams};
+use amac::engine::{EngineStats, LookupOp, Technique, TuningParams};
 use amac_hashtable::HashTable;
 use amac_metrics::LatencyHistogram;
 use amac_ops::groupby::GroupByOp;
 use amac_ops::join::ProbeOp;
-use amac_ops::pipeline::fused_probe_groupby_op;
+use amac_ops::pipeline::{fused_probe_groupby_op, probe_then_groupby_two_phase, PipelineConfig};
 use amac_runtime::AmacSession;
+use amac_tier::TierSpec;
 use amac_workload::Tuple;
 
-use crate::request::{Backpressure, QueryId, QueryReport, Request};
+use crate::request::{
+    Backpressure, BreakerMode, QueryId, QueryOutcome, QueryReport, Request, Stalled, SubmitOpts,
+};
 use crate::tenant::TenantOp;
 
 /// Serving-session policy knobs.
@@ -34,6 +39,32 @@ pub struct ServeConfig {
     /// lookups are fed before the next query's turn. Small quanta mix
     /// queries tightly in the window; large quanta amortize dispatch.
     pub quantum: usize,
+    /// Retry budget for retryable queries (probes) beyond the first
+    /// attempt. Fused pipelines are never retried — their group-by stage
+    /// aggregates incrementally, so a re-run would double-count — they
+    /// fail terminally (or the breaker degrades them to two-phase).
+    pub max_retries: u32,
+    /// Backoff before retry attempt `k` (1-based): `backoff_base << (k-1)`
+    /// sim ticks, capped at [`backoff_cap`](ServeConfig::backoff_cap).
+    /// Charged to the simulated clock, so backoff counts against
+    /// deadlines deterministically.
+    pub backoff_base: u64,
+    /// Ceiling on one backoff wait, in sim ticks.
+    pub backoff_cap: u64,
+    /// Consecutive [`QueryOutcome::FailedAfterRetries`] outcomes from one
+    /// tenant that open its circuit breaker.
+    pub breaker_threshold: u32,
+    /// Pumps an open breaker waits before letting one half-open health
+    /// probe through at full service.
+    pub breaker_probe_pumps: u64,
+    /// What an open breaker does with the tripped tenant's new queries.
+    pub breaker_mode: BreakerMode,
+    /// Slot-rotation budget for one pump's window drain. Bounds the cost
+    /// of a pump even if a lane is wedged (see
+    /// [`AmacSession::drain_budgeted`]); combined with
+    /// [`run_with_budget`](ServeSession::run_with_budget) it turns
+    /// livelock into a reportable [`Stalled`].
+    pub drain_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -43,8 +74,41 @@ impl Default for ServeConfig {
             max_active: 8,
             max_pending: 64,
             quantum: 256,
+            max_retries: 2,
+            backoff_base: 64,
+            backoff_cap: 1024,
+            breaker_threshold: 3,
+            breaker_probe_pumps: 8,
+            breaker_mode: BreakerMode::Degrade,
+            drain_budget: 1 << 20,
         }
     }
+}
+
+/// Why an active query is being drained out of the window instead of fed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Aborting {
+    /// A transient fault poisoned this attempt; requeue with backoff once
+    /// the lane's in-flight lookups retire.
+    Retry,
+    /// Terminal: report this outcome once the lane drains.
+    Final(QueryOutcome),
+}
+
+/// Everything needed to (re)install one query attempt on a lane.
+struct Attempt<'a> {
+    qid: QueryId,
+    req: Request<'a>,
+    weight: u32,
+    tenant: u32,
+    /// 0-based attempt index about to run.
+    attempt: u32,
+    /// Absolute sim-tick deadline (fixed at first activation).
+    deadline_at: Option<u64>,
+    degraded: bool,
+    /// Engine counters spent by aborted prior attempts.
+    spent: EngineStats,
+    submitted: Instant,
 }
 
 /// One admitted query's scheduling state.
@@ -57,6 +121,14 @@ struct Active<'a> {
     deficit: usize,
     weight: u32,
     submitted: Instant,
+    /// The original request, kept for retries (cheap: all borrows).
+    req: Request<'a>,
+    tenant: u32,
+    attempt: u32,
+    deadline_at: Option<u64>,
+    aborting: Option<Aborting>,
+    spent: EngineStats,
+    degraded: bool,
 }
 
 /// One query waiting for admission.
@@ -64,13 +136,42 @@ struct Pending<'a> {
     qid: QueryId,
     req: Request<'a>,
     weight: u32,
+    tenant: u32,
+    deadline_ticks: Option<u64>,
+    degraded: bool,
     submitted: Instant,
+}
+
+/// One query in retry backoff.
+struct Waiting<'a> {
+    seed: Attempt<'a>,
+    /// Earliest sim tick the retry may re-enter the window.
+    not_before: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+enum BreakerState {
+    #[default]
+    Closed,
+    /// Shedding/degrading; lets one probe through at `probe_at` pumps.
+    Open { probe_at: u64 },
+    /// One full-service health probe is in flight.
+    HalfOpen,
+}
+
+/// Per-tenant failure tracking.
+#[derive(Debug, Clone, Copy, Default)]
+struct Breaker {
+    /// Consecutive terminally-failed queries.
+    fails: u32,
+    state: BreakerState,
 }
 
 /// Aggregate outcome of a serving session.
 #[derive(Debug, Clone, Default)]
 pub struct ServeOutput {
-    /// Per-query reports in completion order.
+    /// Per-query reports in completion order (exactly one per submitted
+    /// query, whatever its [`QueryOutcome`]).
     pub reports: Vec<QueryReport>,
     /// Merged engine counters over all queries.
     pub stats: EngineStats,
@@ -80,7 +181,8 @@ pub struct ServeOutput {
     pub occupancy: f64,
     /// Window capacity the session ran with.
     pub window: usize,
-    /// Query-latency histogram (submit → completion, nanoseconds).
+    /// Query-latency histogram (submit → completion, nanoseconds;
+    /// completed queries only).
     pub latency: LatencyHistogram,
     /// Queries refused at submission (pending queue full).
     pub rejected: u64,
@@ -95,6 +197,16 @@ impl ServeOutput {
     pub fn fairness_nodes_ratio(&self) -> f64 {
         amac_ops::multi::fairness_nodes_ratio(self.reports.iter().map(|r| r.stats.nodes_visited))
     }
+
+    /// Reports with the given outcome.
+    pub fn count(&self, outcome: QueryOutcome) -> u64 {
+        self.reports.iter().filter(|r| r.outcome == outcome).count() as u64
+    }
+
+    /// Retries across all queries: attempts beyond each query's first.
+    pub fn retries(&self) -> u64 {
+        self.reports.iter().map(|r| (r.attempts.max(1) - 1) as u64).sum()
+    }
 }
 
 /// A cross-query serving session: many concurrent client queries share
@@ -102,20 +214,28 @@ impl ServeOutput {
 ///
 /// Mechanics per [`pump`](ServeSession::pump) round:
 ///
-/// 1. deficit-round-robin over active queries: each gets
+/// 1. deadline sweep: active queries past their sim-tick deadline are
+///    cooperatively cancelled ([`Mux::cancel`]) and drain out;
+/// 2. retry promotion: queries whose backoff expired re-enter the window
+///    (when every query is backing off and the window is empty, the sim
+///    clock jumps to the earliest retry time — backoff is *charged*, not
+///    busy-waited);
+/// 3. deficit-round-robin over active queries: each gets
 ///    `quantum × weight` tuples of credit, tagged with its lane and fed
-///    into the shared [`AmacSession`] — the window never drains between
-///    queries, so a finishing query's slots are refilled by the next
-///    query's lookups in the same rotation;
-/// 2. if no query had input left, the window is drained so tails retire;
-/// 3. completed queries (all lookups retired, proven by the lane ledger)
-///    are removed, their results routed into a [`QueryReport`], and
-///    pending queries admitted into the freed lanes.
+///    into the shared [`AmacSession`];
+/// 4. if no query had input left, the window is drained (under
+///    [`ServeConfig::drain_budget`]) so tails retire;
+/// 5. fault sweep: a lane whose ledger shows a failed lookup has its
+///    attempt cancelled; retryable queries requeue with exponential
+///    backoff, others fail terminally;
+/// 6. completed and fully-drained-aborted queries are removed, their
+///    results routed into a [`QueryReport`], and pending queries admitted
+///    into the freed lanes.
 ///
-/// Results are **bit-identical to solo runs** by construction: each query
-/// owns its operator (private cursor, private output), fed in its own
-/// input order; sharing the window changes only *when* stages run, never
-/// what they compute.
+/// Results of surviving queries are **bit-identical to solo runs** by
+/// construction: faults are a pure function of `(seed, key, hop)`, so
+/// sharing the window — or degrading *other* tenants — changes only
+/// *when* stages run, never what a completing query computes.
 pub struct ServeSession<'a> {
     catalog: &'a HashTable,
     cfg: ServeConfig,
@@ -124,13 +244,24 @@ pub struct ServeSession<'a> {
     stats: EngineStats,
     active: Vec<Active<'a>>,
     pending: VecDeque<Pending<'a>>,
+    waiting: Vec<Waiting<'a>>,
+    breakers: BTreeMap<u32, Breaker>,
     finished: Vec<QueryReport>,
     latency: LatencyHistogram,
     tag_buf: Vec<Tagged<Tuple>>,
     rr: usize,
     next_qid: u64,
     rejected: u64,
+    pumps: u64,
     born: Instant,
+}
+
+fn kind_of(req: &Request<'_>) -> &'static str {
+    match req {
+        Request::Probe { .. } => "probe",
+        Request::GroupBy { .. } => "groupby",
+        Request::Pipeline { .. } => "pipeline",
+    }
 }
 
 impl<'a> ServeSession<'a> {
@@ -146,29 +277,46 @@ impl<'a> ServeSession<'a> {
             stats: EngineStats::default(),
             active: Vec::new(),
             pending: VecDeque::new(),
+            waiting: Vec::new(),
+            breakers: BTreeMap::new(),
             finished: Vec::new(),
             latency: LatencyHistogram::new(),
             tag_buf: Vec::new(),
             rr: 0,
             next_qid: 0,
             rejected: 0,
+            pumps: 0,
             born: Instant::now(),
         }
     }
 
-    /// Submit a query with equal scheduling weight.
+    /// Submit a query with default options (weight 1, tenant 0, no
+    /// deadline).
     pub fn submit(&mut self, req: Request<'a>) -> Result<QueryId, Backpressure> {
-        self.submit_weighted(req, 1)
+        self.submit_opts(req, SubmitOpts::default())
     }
 
     /// Submit a query with a deficit-round-robin `weight` (2 = twice the
-    /// per-round tuple share). Admits immediately if a lane is free,
-    /// queues if the pending bound allows, otherwise refuses — the
-    /// backpressure signal an open-loop client sheds on.
+    /// per-round tuple share).
     pub fn submit_weighted(
         &mut self,
         req: Request<'a>,
         weight: u32,
+    ) -> Result<QueryId, Backpressure> {
+        self.submit_opts(req, SubmitOpts { weight, ..Default::default() })
+    }
+
+    /// Submit a query with full options. Admits immediately if a lane is
+    /// free, queues if the pending bound allows, otherwise refuses — the
+    /// backpressure signal carries a deterministic
+    /// [`retry_after_pumps`](Backpressure::retry_after_pumps) hint for
+    /// closed-loop clients. If the tenant's circuit breaker is open the
+    /// query is shed or degraded per [`ServeConfig::breaker_mode`] (it
+    /// still gets a report, under its [`QueryId`]).
+    pub fn submit_opts(
+        &mut self,
+        mut req: Request<'a>,
+        opts: SubmitOpts,
     ) -> Result<QueryId, Backpressure> {
         if self.active.len() >= self.cfg.max_active && self.pending.len() >= self.cfg.max_pending {
             self.rejected += 1;
@@ -176,21 +324,335 @@ impl<'a> ServeSession<'a> {
                 active: self.active.len(),
                 pending: self.pending.len(),
                 max_pending: self.cfg.max_pending,
+                retry_after_pumps: self.retry_hint(),
             });
         }
         let qid = QueryId(self.next_qid);
         self.next_qid += 1;
         let submitted = Instant::now();
+        let tenant = opts.tenant;
+        let mut degraded = false;
+        if self.breaker_tripped(tenant) {
+            match self.cfg.breaker_mode {
+                BreakerMode::Shed => {
+                    self.emit_shed(qid, &req, tenant, submitted);
+                    return Ok(qid);
+                }
+                BreakerMode::Degrade => {
+                    let mut shed_now = false;
+                    match &mut req {
+                        Request::Probe { cfg, .. } if cfg.fault.is_some() => {
+                            // One rung down the tier ladder: fewer far
+                            // loads, fewer fault opportunities (AllNear
+                            // faults never — near loads are unchecked).
+                            let spec = cfg.tier.unwrap_or_else(|| TierSpec::headers_near(1));
+                            match spec.policy.degrade() {
+                                Some(p) => {
+                                    cfg.tier = Some(TierSpec { policy: p, ..spec });
+                                    degraded = true;
+                                }
+                                None => shed_now = true,
+                            }
+                        }
+                        Request::Pipeline { fact, table, cfg } if cfg.fault.is_some() => {
+                            // The fused plan cannot be retried (its
+                            // group-by aggregates incrementally), so the
+                            // breaker swaps the plan: fault-free two-phase,
+                            // run synchronously, same results.
+                            let safe = PipelineConfig { fault: None, ..cfg.clone() };
+                            let out = probe_then_groupby_two_phase(
+                                self.catalog,
+                                table,
+                                fact,
+                                Technique::Amac,
+                                &safe,
+                            );
+                            self.stats.merge(&out.stats);
+                            let latency_ns = submitted.elapsed().as_nanos() as u64;
+                            self.latency.record(latency_ns);
+                            self.finished.push(QueryReport {
+                                qid,
+                                kind: "pipeline",
+                                tuples: fact.len() as u64,
+                                matched: out.matched,
+                                matches: out.aggregated,
+                                stats: out.stats,
+                                latency_ns,
+                                outcome: QueryOutcome::Completed,
+                                attempts: 1,
+                                degraded: true,
+                                tenant,
+                                ..Default::default()
+                            });
+                            return Ok(qid);
+                        }
+                        // Unfaultable requests pass through unchanged.
+                        _ => {}
+                    }
+                    if shed_now {
+                        self.emit_shed(qid, &req, tenant, submitted);
+                        return Ok(qid);
+                    }
+                }
+            }
+        }
         if self.active.len() < self.cfg.max_active {
-            self.activate(qid, req, weight, submitted);
+            let deadline_at = opts.deadline_ticks.map(|d| self.mux.sim_now() + d);
+            self.activate(Attempt {
+                qid,
+                req,
+                weight: opts.weight,
+                tenant,
+                attempt: 0,
+                deadline_at,
+                degraded,
+                spent: EngineStats::default(),
+                submitted,
+            });
         } else {
-            self.pending.push_back(Pending { qid, req, weight, submitted });
+            self.pending.push_back(Pending {
+                qid,
+                req,
+                weight: opts.weight,
+                tenant,
+                deadline_ticks: opts.deadline_ticks,
+                degraded,
+                submitted,
+            });
         }
         Ok(qid)
     }
 
-    fn activate(&mut self, qid: QueryId, req: Request<'a>, weight: u32, submitted: Instant) {
-        let (op, inputs, kind): (TenantOp<'a>, &'a [Tuple], &'static str) = match req {
+    /// Cooperatively cancel a query wherever it is: active (its in-flight
+    /// lookups retire without executing further stages), backing off, or
+    /// still pending. It completes with [`QueryOutcome::Cancelled`] and
+    /// no results. Returns `false` if the id is unknown or already
+    /// completed.
+    pub fn cancel(&mut self, qid: QueryId) -> bool {
+        if let Some(i) = self.active.iter().position(|a| a.qid == qid) {
+            let lane = self.active[i].lane;
+            if !matches!(self.active[i].aborting, Some(Aborting::Final(_))) {
+                self.mux.cancel(lane);
+                self.active[i].aborting = Some(Aborting::Final(QueryOutcome::Cancelled));
+            }
+            return true;
+        }
+        if let Some(i) = self.waiting.iter().position(|w| w.seed.qid == qid) {
+            let w = self.waiting.remove(i);
+            self.emit_terminal(w.seed, QueryOutcome::Cancelled);
+            return true;
+        }
+        if let Some(i) = self.pending.iter().position(|p| p.qid == qid) {
+            let p = self.pending.remove(i).expect("indexed pending entry");
+            self.finished.push(QueryReport {
+                qid: p.qid,
+                kind: kind_of(&p.req),
+                tuples: p.req.input_len() as u64,
+                latency_ns: p.submitted.elapsed().as_nanos() as u64,
+                outcome: QueryOutcome::Cancelled,
+                attempts: 0,
+                degraded: p.degraded,
+                tenant: p.tenant,
+                ..Default::default()
+            });
+            return true;
+        }
+        false
+    }
+
+    /// One scheduling round. Returns the number of tuples fed; `0` means
+    /// every feedable query's input is exhausted (the round then drained
+    /// the window — under the drain budget — so tail lookups retire and
+    /// queries complete).
+    pub fn pump(&mut self) -> usize {
+        self.pumps += 1;
+        // Everyone backing off + empty window: sim time cannot advance
+        // through work, so charge the wait to the clock directly.
+        if self.active.is_empty() && !self.waiting.is_empty() {
+            if let Some(t) = self.waiting.iter().map(|w| w.not_before).min() {
+                self.mux.sim_advance_to(t);
+            }
+        }
+        self.check_deadlines();
+        self.promote_waiting();
+        self.admit_from_pending();
+        let mut fed = 0usize;
+        let n = self.active.len();
+        for i in 0..n {
+            let idx = (self.rr + i) % n;
+            let (lane, lo, hi) = {
+                let a = &mut self.active[idx];
+                if a.aborting.is_some() {
+                    a.deficit = 0;
+                    continue;
+                }
+                let remaining = a.inputs.len() - a.cursor;
+                if remaining == 0 {
+                    a.deficit = 0;
+                    continue;
+                }
+                a.deficit += self.cfg.quantum.max(1) * a.weight as usize;
+                let take = a.deficit.min(remaining);
+                let lo = a.cursor;
+                a.cursor += take;
+                a.deficit -= take;
+                (a.lane, lo, lo + take)
+            };
+            let inputs = self.active[idx].inputs;
+            self.tag_buf.clear();
+            self.tag_buf.extend(inputs[lo..hi].iter().map(|t| Tagged::new(lane, *t)));
+            self.window.feed(&mut self.mux, &self.tag_buf, &mut self.stats);
+            fed += hi - lo;
+        }
+        if n > 0 {
+            self.rr = (self.rr + 1) % n;
+        }
+        if fed == 0 && self.window.in_flight() > 0 {
+            self.window.drain_budgeted(&mut self.mux, &mut self.stats, self.cfg.drain_budget);
+        }
+        self.detect_failures();
+        self.sweep_completed();
+        fed
+    }
+
+    /// Drive every submitted query (and everything admitted from the
+    /// pending queue along the way) to completion.
+    pub fn run_to_completion(&mut self) {
+        let _ = self.run_with_budget(usize::MAX);
+    }
+
+    /// [`run_to_completion`](ServeSession::run_to_completion) with a pump
+    /// budget: give up after `max_pumps` rounds and return [`Stalled`]
+    /// with queries still unfinished. Together with
+    /// [`ServeConfig::drain_budget`] this bounds the work of a run even
+    /// when a lane is wedged (a latch that never frees, an op that never
+    /// progresses) — livelock becomes a value the caller can act on. The
+    /// session stays valid: grant more budget or cancel the stragglers.
+    pub fn run_with_budget(&mut self, max_pumps: usize) -> Result<(), Stalled> {
+        let mut pumps = 0usize;
+        while !self.active.is_empty() || !self.pending.is_empty() || !self.waiting.is_empty() {
+            if pumps == max_pumps {
+                return Err(Stalled {
+                    pumps,
+                    in_flight: self.window.in_flight(),
+                    active: self.active.len(),
+                });
+            }
+            pumps += 1;
+            self.pump();
+        }
+        Ok(())
+    }
+
+    /// Closed-loop hint: pumps until the smallest active query should
+    /// complete and free a lane.
+    fn retry_hint(&self) -> usize {
+        let q = self.cfg.quantum.max(1);
+        self.active
+            .iter()
+            .map(|a| (a.inputs.len() - a.cursor) / (q * a.weight.max(1) as usize) + 2)
+            .min()
+            .unwrap_or(1)
+    }
+
+    /// Whether `tenant`'s breaker currently refuses full service (and
+    /// perform the open → half-open transition when its probe timer
+    /// expires: the triggering query becomes the health probe).
+    fn breaker_tripped(&mut self, tenant: u32) -> bool {
+        let pumps = self.pumps;
+        let b = self.breakers.entry(tenant).or_default();
+        match b.state {
+            BreakerState::Closed => false,
+            BreakerState::HalfOpen => true, // one probe at a time
+            BreakerState::Open { probe_at } if pumps >= probe_at => {
+                b.state = BreakerState::HalfOpen;
+                false
+            }
+            BreakerState::Open { .. } => true,
+        }
+    }
+
+    /// Is `tenant`'s breaker open or half-open (new queries shed or
+    /// degraded, except the single health probe)?
+    pub fn breaker_open(&self, tenant: u32) -> bool {
+        matches!(
+            self.breakers.get(&tenant).map(|b| b.state),
+            Some(BreakerState::Open { .. }) | Some(BreakerState::HalfOpen)
+        )
+    }
+
+    /// Fold one terminal outcome into the tenant's breaker.
+    fn settle_breaker(&mut self, tenant: u32, outcome: QueryOutcome, degraded: bool) {
+        let pumps = self.pumps;
+        let probe_pumps = self.cfg.breaker_probe_pumps;
+        let threshold = self.cfg.breaker_threshold.max(1);
+        let b = self.breakers.entry(tenant).or_default();
+        match outcome {
+            // Only an *undegraded* completion proves the far tier works.
+            QueryOutcome::Completed if !degraded => {
+                b.fails = 0;
+                b.state = BreakerState::Closed;
+            }
+            QueryOutcome::FailedAfterRetries => {
+                b.fails += 1;
+                let reopen = BreakerState::Open { probe_at: pumps + probe_pumps };
+                match b.state {
+                    BreakerState::HalfOpen => b.state = reopen,
+                    _ if b.fails >= threshold => b.state = reopen,
+                    _ => {}
+                }
+            }
+            // Cancelled / deadline / shed / degraded completions carry no
+            // evidence about tier health either way.
+            _ => {}
+        }
+    }
+
+    fn emit_shed(&mut self, qid: QueryId, req: &Request<'a>, tenant: u32, submitted: Instant) {
+        self.finished.push(QueryReport {
+            qid,
+            kind: kind_of(req),
+            tuples: req.input_len() as u64,
+            latency_ns: submitted.elapsed().as_nanos() as u64,
+            outcome: QueryOutcome::Shed,
+            attempts: 0,
+            tenant,
+            ..Default::default()
+        });
+    }
+
+    fn emit_terminal(&mut self, seed: Attempt<'a>, outcome: QueryOutcome) {
+        self.settle_breaker(seed.tenant, outcome, seed.degraded);
+        self.finished.push(QueryReport {
+            qid: seed.qid,
+            kind: kind_of(&seed.req),
+            tuples: seed.req.input_len() as u64,
+            stats: seed.spent,
+            latency_ns: seed.submitted.elapsed().as_nanos() as u64,
+            outcome,
+            attempts: seed.attempt,
+            degraded: seed.degraded,
+            tenant: seed.tenant,
+            ..Default::default()
+        });
+    }
+
+    /// Install one attempt on a fresh lane. Retries re-run the original
+    /// request with the fault plan reseeded by the attempt index, so a
+    /// retry re-rolls every fault decision instead of deterministically
+    /// hitting the identical failure forever.
+    fn activate(&mut self, seed: Attempt<'a>) {
+        let Attempt { qid, req, weight, tenant, attempt, deadline_at, degraded, spent, submitted } =
+            seed;
+        let mut effective = req.clone();
+        if attempt > 0 {
+            if let Request::Probe { cfg, .. } = &mut effective {
+                if let Some(plan) = cfg.fault {
+                    cfg.fault = Some(plan.reseeded(attempt));
+                }
+            }
+        }
+        let (op, inputs, kind): (TenantOp<'a>, &'a [Tuple], &'static str) = match effective {
             Request::Probe { probes, cfg } => (
                 TenantOp::Probe(ProbeOp::new(self.catalog, &cfg, probes.len())),
                 &probes.tuples,
@@ -215,92 +677,177 @@ impl<'a> ServeSession<'a> {
             deficit: 0,
             weight: weight.max(1),
             submitted,
+            req,
+            tenant,
+            attempt,
+            deadline_at,
+            aborting: None,
+            spent,
+            degraded,
         });
     }
 
-    /// One scheduling round. Returns the number of tuples fed; `0` means
-    /// every active query's input is exhausted (the round then drained
-    /// the window so tail lookups retire and queries complete).
-    pub fn pump(&mut self) -> usize {
-        let mut fed = 0usize;
-        let n = self.active.len();
-        for i in 0..n {
-            let idx = (self.rr + i) % n;
-            let (lane, lo, hi) = {
-                let a = &mut self.active[idx];
-                let remaining = a.inputs.len() - a.cursor;
-                if remaining == 0 {
-                    a.deficit = 0;
-                    continue;
-                }
-                a.deficit += self.cfg.quantum.max(1) * a.weight as usize;
-                let take = a.deficit.min(remaining);
-                let lo = a.cursor;
-                a.cursor += take;
-                a.deficit -= take;
-                (a.lane, lo, lo + take)
-            };
-            let inputs = self.active[idx].inputs;
-            self.tag_buf.clear();
-            self.tag_buf.extend(inputs[lo..hi].iter().map(|t| Tagged::new(lane, *t)));
-            self.window.feed(&mut self.mux, &self.tag_buf, &mut self.stats);
-            fed += hi - lo;
+    /// Cancel attempts whose sim-tick deadline has passed. The lane's
+    /// in-flight lookups still retire cooperatively before the report is
+    /// emitted, so the ledger stays exact.
+    fn check_deadlines(&mut self) {
+        let now = self.mux.sim_now();
+        for i in 0..self.active.len() {
+            let a = &self.active[i];
+            if matches!(a.aborting, Some(Aborting::Final(_))) {
+                continue;
+            }
+            let Some(d) = a.deadline_at else { continue };
+            if now < d {
+                continue;
+            }
+            let lane = a.lane;
+            self.mux.cancel(lane);
+            self.active[i].aborting = Some(Aborting::Final(QueryOutcome::DeadlineExceeded));
         }
-        if n > 0 {
-            self.rr = (self.rr + 1) % n;
-        }
-        if fed == 0 && self.window.in_flight() > 0 {
-            self.window.drain(&mut self.mux, &mut self.stats);
-        }
-        self.sweep_completed();
-        fed
     }
 
-    /// Drive every submitted query (and everything admitted from the
-    /// pending queue along the way) to completion.
-    pub fn run_to_completion(&mut self) {
-        while !self.active.is_empty() || !self.pending.is_empty() {
-            self.pump();
+    /// Re-admit retries whose backoff expired (retries take lanes before
+    /// brand-new pending queries). A retry whose deadline was consumed by
+    /// the backoff itself reports `DeadlineExceeded` without re-entering
+    /// the window.
+    fn promote_waiting(&mut self) {
+        let now = self.mux.sim_now();
+        let mut i = 0;
+        while i < self.waiting.len() {
+            if self.active.len() >= self.cfg.max_active {
+                return;
+            }
+            if self.waiting[i].not_before > now {
+                i += 1;
+                continue;
+            }
+            let w = self.waiting.remove(i);
+            if w.seed.deadline_at.is_some_and(|d| now >= d) {
+                self.emit_terminal(w.seed, QueryOutcome::DeadlineExceeded);
+            } else {
+                self.activate(w.seed);
+            }
+        }
+    }
+
+    /// A lane whose ledger shows a failed lookup is poisoned: cancel the
+    /// attempt and decide retry vs terminal failure. Detection reads the
+    /// per-lane ledger — live for lifecycle counters — so no failed
+    /// lookup is ever silently dropped.
+    fn detect_failures(&mut self) {
+        for i in 0..self.active.len() {
+            if self.active[i].aborting.is_some() {
+                continue;
+            }
+            let lane = self.active[i].lane;
+            if self.mux.observed(lane).failed_lookups == 0 {
+                continue;
+            }
+            self.mux.cancel(lane);
+            let a = &mut self.active[i];
+            let retryable = matches!(a.req, Request::Probe { .. });
+            a.aborting = Some(if retryable && a.attempt < self.cfg.max_retries {
+                Aborting::Retry
+            } else {
+                Aborting::Final(QueryOutcome::FailedAfterRetries)
+            });
         }
     }
 
     fn sweep_completed(&mut self) {
         let mut i = 0;
         while i < self.active.len() {
-            let done = {
+            let (retired, aborted) = {
                 let a = &self.active[i];
-                a.cursor == a.inputs.len()
-                    && self.mux.observed(a.lane).lookups >= a.inputs.len() as u64
+                let led = self.mux.observed(a.lane);
+                match a.aborting {
+                    // Normal completion: all input fed and every lookup
+                    // retired, proven by the lane ledger.
+                    None => {
+                        (a.cursor == a.inputs.len() && led.lookups >= a.inputs.len() as u64, false)
+                    }
+                    // Aborting: every *fed* lookup retired (completed,
+                    // failed or cancelled — all count into `lookups`).
+                    Some(_) => (led.lookups >= a.cursor as u64, true),
+                }
             };
-            if !done {
+            if !retired {
                 i += 1;
                 continue;
             }
             let a = self.active.remove(i);
-            let (op, stats) = self.mux.remove(a.lane);
-            let latency_ns = a.submitted.elapsed().as_nanos() as u64;
-            self.latency.record(latency_ns);
-            let mut report = QueryReport {
-                qid: a.qid,
-                kind: a.kind,
-                tuples: a.inputs.len() as u64,
-                stats,
-                latency_ns,
-                ..Default::default()
-            };
-            match op {
-                TenantOp::Probe(mut p) => {
-                    report.matches = p.matches();
-                    report.checksum = p.checksum();
-                    report.out = p.take_out();
+            let (op, led) = self.mux.remove(a.lane);
+            let mut stats = a.spent;
+            stats.merge(&led);
+            if aborted {
+                match a.aborting.expect("aborted lane has a reason") {
+                    Aborting::Retry => {
+                        let shift = a.attempt.min(20);
+                        let wait =
+                            (self.cfg.backoff_base << shift).min(self.cfg.backoff_cap).max(1);
+                        self.waiting.push(Waiting {
+                            seed: Attempt {
+                                qid: a.qid,
+                                req: a.req,
+                                weight: a.weight,
+                                tenant: a.tenant,
+                                attempt: a.attempt + 1,
+                                deadline_at: a.deadline_at,
+                                degraded: a.degraded,
+                                spent: stats,
+                                submitted: a.submitted,
+                            },
+                            not_before: self.mux.sim_now() + wait,
+                        });
+                    }
+                    Aborting::Final(outcome) => {
+                        self.settle_breaker(a.tenant, outcome, a.degraded);
+                        self.finished.push(QueryReport {
+                            qid: a.qid,
+                            kind: a.kind,
+                            tuples: a.inputs.len() as u64,
+                            stats,
+                            latency_ns: a.submitted.elapsed().as_nanos() as u64,
+                            outcome,
+                            attempts: a.attempt + 1,
+                            degraded: a.degraded,
+                            tenant: a.tenant,
+                            ..Default::default()
+                        });
+                    }
                 }
-                TenantOp::GroupBy(g) => report.matches = g.tuples(),
-                TenantOp::Pipeline(f) => {
-                    report.matched = f.pipe().up().matches();
-                    report.matches = f.pipe().down().inner().tuples();
+            } else {
+                self.settle_breaker(a.tenant, QueryOutcome::Completed, a.degraded);
+                let latency_ns = a.submitted.elapsed().as_nanos() as u64;
+                self.latency.record(latency_ns);
+                let mut report = QueryReport {
+                    qid: a.qid,
+                    kind: a.kind,
+                    tuples: a.inputs.len() as u64,
+                    stats,
+                    latency_ns,
+                    outcome: QueryOutcome::Completed,
+                    attempts: a.attempt + 1,
+                    degraded: a.degraded,
+                    tenant: a.tenant,
+                    ..Default::default()
+                };
+                match op {
+                    TenantOp::Probe(mut p) => {
+                        report.matches = p.matches();
+                        report.checksum = p.checksum();
+                        report.out = p.take_out();
+                    }
+                    TenantOp::GroupBy(g) => report.matches = g.tuples(),
+                    TenantOp::Pipeline(f) => {
+                        report.matched = f.pipe().up().matches();
+                        report.matches = f.pipe().down().inner().tuples();
+                    }
                 }
+                self.finished.push(report);
             }
-            self.finished.push(report);
+            self.promote_waiting();
             self.admit_from_pending();
         }
         if self.active.is_empty() {
@@ -313,7 +860,20 @@ impl<'a> ServeSession<'a> {
     fn admit_from_pending(&mut self) {
         while self.active.len() < self.cfg.max_active {
             match self.pending.pop_front() {
-                Some(p) => self.activate(p.qid, p.req, p.weight, p.submitted),
+                Some(p) => {
+                    let deadline_at = p.deadline_ticks.map(|d| self.mux.sim_now() + d);
+                    self.activate(Attempt {
+                        qid: p.qid,
+                        req: p.req,
+                        weight: p.weight,
+                        tenant: p.tenant,
+                        attempt: 0,
+                        deadline_at,
+                        degraded: p.degraded,
+                        spent: EngineStats::default(),
+                        submitted: p.submitted,
+                    });
+                }
                 None => break,
             }
         }
@@ -329,7 +889,12 @@ impl<'a> ServeSession<'a> {
         self.pending.len()
     }
 
-    /// Queries completed so far.
+    /// Queries in retry backoff.
+    pub fn waiting_queries(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Queries completed so far (any outcome).
     pub fn completed_queries(&self) -> usize {
         self.finished.len()
     }
@@ -349,9 +914,9 @@ impl<'a> ServeSession<'a> {
         self.window.mean_occupancy()
     }
 
-    /// Close the session: everything still active or pending is driven to
-    /// completion, then the per-query reports and aggregate accounting
-    /// are returned.
+    /// Close the session: everything still active, backing off or pending
+    /// is driven to completion, then the per-query reports and aggregate
+    /// accounting are returned.
     pub fn finish(mut self) -> ServeOutput {
         self.run_to_completion();
         ServeOutput {
@@ -374,12 +939,27 @@ mod tests {
     use amac_ops::groupby::GroupByConfig;
     use amac_ops::join::ProbeConfig;
     use amac_ops::pipeline::{probe_then_groupby, PipelineConfig};
+    use amac_tier::FaultPlan;
     use amac_workload::{FilterSpec, Relation};
 
     fn catalog(n: usize) -> (Relation, HashTable) {
         let dim = Relation::fk_dimension(n, (n as u64 / 4).max(4), 0xCA7);
         let ht = HashTable::build_serial(&dim);
         (dim, ht)
+    }
+
+    /// 8x over-occupied chained table: multi-hop lookups, so a fault plan
+    /// has plenty of far chain loads to poison.
+    fn chained_catalog(n: usize) -> (Relation, HashTable) {
+        let r = Relation::dense_unique(n, 0xC4A1);
+        let ht = HashTable::with_buckets(n / 8);
+        {
+            let mut h = ht.build_handle();
+            for t in &r.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        (r, ht)
     }
 
     #[test]
@@ -399,6 +979,8 @@ mod tests {
         assert_eq!(out.reports.len(), 2);
         let ra = out.reports.iter().find(|r| r.qid == a).unwrap();
         let rb = out.reports.iter().find(|r| r.qid == b).unwrap();
+        assert_eq!(ra.outcome, QueryOutcome::Completed);
+        assert_eq!(ra.attempts, 1);
         assert_eq!(ra.matches, solo1.matches);
         assert_eq!(ra.checksum, solo1.checksum);
         assert_eq!(ra.out, solo1.out, "materialized output reordered by sharing");
@@ -467,12 +1049,14 @@ mod tests {
             .submit(Request::Probe { probes: &q, cfg: pcfg.clone() })
             .expect_err("5th query must hit backpressure");
         assert_eq!(err.max_pending, 2);
+        assert!(err.retry_after_pumps >= 1, "hint must be actionable");
         assert_eq!(srv.rejected(), 1);
-        // Draining completes everyone and admits the pending queue.
-        srv.run_to_completion();
-        assert_eq!(srv.completed_queries(), 4);
-        // Capacity freed: submission works again.
-        srv.submit(Request::Probe { probes: &q, cfg: pcfg }).unwrap();
+        // Closed-loop client: honoring the hint frees capacity.
+        for _ in 0..err.retry_after_pumps {
+            srv.pump();
+        }
+        srv.submit(Request::Probe { probes: &q, cfg: pcfg.clone() })
+            .expect("capacity must free after the hinted number of pumps");
         let out = srv.finish();
         assert_eq!(out.reports.len(), 5);
         assert_eq!(out.rejected, 1);
@@ -564,5 +1148,274 @@ mod tests {
         for w in ids.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn faulted_probe_retries_and_recovers_bit_identically() {
+        let (r, ht) = chained_catalog(1 << 12);
+        // A small stream keeps the expected faults per attempt near 1:
+        // the first attempt (very likely) hits one, and a reseeded retry
+        // re-rolls every decision, so some attempt in the budget runs
+        // clean. All of it is deterministic for this (seed, stream) pair.
+        let s = Relation::fk_uniform(&r, 64, 0x71);
+        let clean_cfg = ProbeConfig { scan_all: true, materialize: false, ..Default::default() };
+        let clean = amac_ops::join::probe(&ht, &s, Technique::Amac, &clean_cfg);
+
+        let fault_cfg =
+            ProbeConfig { fault: Some(FaultPlan::fail_only(0xFA11, 8)), ..clean_cfg.clone() };
+        let mut srv = ServeSession::new(
+            &ht,
+            ServeConfig { max_retries: 16, backoff_base: 16, ..Default::default() },
+        );
+        let q = srv.submit(Request::Probe { probes: &s, cfg: fault_cfg }).unwrap();
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 1);
+        let rep = &out.reports[0];
+        assert_eq!(rep.qid, q);
+        assert_eq!(rep.outcome, QueryOutcome::Completed, "retry budget must recover");
+        assert!(rep.attempts > 1, "first attempt must have faulted (got {})", rep.attempts);
+        // Surviving results are bit-identical to the fault-free run.
+        assert_eq!(rep.matches, clean.matches);
+        assert_eq!(rep.checksum, clean.checksum);
+        // The report charges the aborted attempts' work too, so per-query
+        // stats still sum to the session's global counters.
+        assert!(rep.stats.failed_lookups > 0);
+        assert_eq!(rep.stats.lookups, out.stats.lookups);
+        assert_eq!(rep.stats.load_faults, out.stats.load_faults);
+        assert_eq!(out.retries(), (rep.attempts - 1) as u64);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_reported_and_the_lane_drains_clean() {
+        let (dim, ht) = catalog(1024);
+        let big = Relation::fk_uniform(&dim, 50_000, 0x81);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 64, ..Default::default() });
+        let q = srv
+            .submit_opts(
+                Request::Probe { probes: &big, cfg: pcfg.clone() },
+                SubmitOpts { deadline_ticks: Some(1), ..Default::default() },
+            )
+            .unwrap();
+        let ok = srv.submit(Request::Probe { probes: &big, cfg: pcfg }).unwrap();
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 2);
+        let missed = out.reports.iter().find(|r| r.qid == q).unwrap();
+        let fine = out.reports.iter().find(|r| r.qid == ok).unwrap();
+        assert_eq!(missed.outcome, QueryOutcome::DeadlineExceeded);
+        assert!(missed.out.is_empty(), "no results for a missed deadline");
+        assert_eq!(fine.outcome, QueryOutcome::Completed);
+        // Ledger exactness: every fed lookup of the cancelled lane retired
+        // (completed or cancelled — both inside `lookups`), and per-query
+        // stats sum to the global counters.
+        assert!(missed.stats.lookups >= missed.stats.cancelled_lookups);
+        let mut sum = EngineStats::default();
+        for r in &out.reports {
+            sum.merge(&r.stats);
+        }
+        assert_eq!(sum, out.stats, "per-query ledgers must sum to global stats");
+    }
+
+    #[test]
+    fn cancel_reaps_active_and_pending_queries() {
+        let (dim, ht) = catalog(1024);
+        let big = Relation::fk_uniform(&dim, 20_000, 0x91);
+        let small = Relation::fk_uniform(&dim, 1_000, 0x92);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        let solo = amac_ops::join::probe(&ht, &small, Technique::Amac, &pcfg);
+        let mut srv = ServeSession::new(
+            &ht,
+            ServeConfig { max_active: 2, quantum: 64, ..Default::default() },
+        );
+        let doomed = srv.submit(Request::Probe { probes: &big, cfg: pcfg.clone() }).unwrap();
+        let kept = srv.submit(Request::Probe { probes: &small, cfg: pcfg.clone() }).unwrap();
+        let queued = srv.submit(Request::Probe { probes: &big, cfg: pcfg.clone() }).unwrap();
+        srv.pump();
+        assert!(srv.cancel(doomed), "active query");
+        assert!(srv.cancel(queued), "pending query");
+        assert!(!srv.cancel(QueryId(999)), "unknown id");
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 3, "one report per submitted query, none lost");
+        let d = out.reports.iter().find(|r| r.qid == doomed).unwrap();
+        let k = out.reports.iter().find(|r| r.qid == kept).unwrap();
+        let p = out.reports.iter().find(|r| r.qid == queued).unwrap();
+        assert_eq!(d.outcome, QueryOutcome::Cancelled);
+        assert_eq!(p.outcome, QueryOutcome::Cancelled);
+        assert_eq!(p.attempts, 0, "cancelled before any attempt ran");
+        // The surviving query is untouched by its neighbor's cancellation.
+        assert_eq!(k.outcome, QueryOutcome::Completed);
+        assert_eq!(k.matches, solo.matches);
+        assert_eq!(k.checksum, solo.checksum);
+        assert_eq!(k.stats.nodes_visited, solo.stats.nodes_visited);
+        let mut sum = EngineStats::default();
+        for r in &out.reports {
+            sum.merge(&r.stats);
+        }
+        assert_eq!(sum, out.stats);
+    }
+
+    #[test]
+    fn breaker_sheds_after_consecutive_failures_and_half_opens() {
+        let (r, ht) = chained_catalog(1 << 12);
+        let s = Relation::fk_uniform(&r, 2_000, 0xA1);
+        // Every chain hop fails: no retry budget can save these queries.
+        let cfg = ProbeConfig {
+            scan_all: true,
+            materialize: false,
+            fault: Some(FaultPlan::fail_only(0xDEAD, 1000)),
+            ..Default::default()
+        };
+        let mut srv = ServeSession::new(
+            &ht,
+            ServeConfig {
+                max_retries: 0,
+                breaker_threshold: 2,
+                breaker_mode: BreakerMode::Shed,
+                breaker_probe_pumps: 4,
+                ..Default::default()
+            },
+        );
+        for _ in 0..2 {
+            srv.submit(Request::Probe { probes: &s, cfg: cfg.clone() }).unwrap();
+            srv.run_to_completion();
+        }
+        assert!(srv.breaker_open(0), "two consecutive failures must open the breaker");
+        let shed_q = srv.submit(Request::Probe { probes: &s, cfg: cfg.clone() }).unwrap();
+        srv.run_to_completion();
+        // After the probe timer, one query is let through (and fails,
+        // re-opening the breaker).
+        for _ in 0..8 {
+            srv.pump();
+        }
+        let probe_q = srv.submit(Request::Probe { probes: &s, cfg: cfg.clone() }).unwrap();
+        srv.run_to_completion();
+        assert!(srv.breaker_open(0), "failed health probe must re-open the breaker");
+        let out = srv.finish();
+        assert_eq!(out.count(QueryOutcome::FailedAfterRetries), 3);
+        assert_eq!(out.count(QueryOutcome::Shed), 1);
+        let shed = out.reports.iter().find(|r| r.qid == shed_q).unwrap();
+        assert_eq!(shed.outcome, QueryOutcome::Shed);
+        assert_eq!(shed.attempts, 0);
+        assert_eq!(shed.stats, EngineStats::default(), "shed queries do no work");
+        let probe = out.reports.iter().find(|r| r.qid == probe_q).unwrap();
+        assert_eq!(probe.outcome, QueryOutcome::FailedAfterRetries);
+    }
+
+    #[test]
+    fn breaker_degrade_serves_probe_near_and_pipeline_two_phase() {
+        let (r, ht) = chained_catalog(1 << 12);
+        let s = Relation::fk_uniform(&r, 2_000, 0xB1);
+        let clean_cfg = ProbeConfig { scan_all: true, materialize: false, ..Default::default() };
+        let clean = amac_ops::join::probe(&ht, &s, Technique::Amac, &clean_cfg);
+        let all_fail = Some(FaultPlan::fail_only(0xB00, 1000));
+        let cfg = ProbeConfig { fault: all_fail, ..clean_cfg.clone() };
+        let mut srv = ServeSession::new(
+            &ht,
+            ServeConfig {
+                max_retries: 0,
+                breaker_threshold: 1,
+                breaker_mode: BreakerMode::Degrade,
+                breaker_probe_pumps: 1_000_000, // stay open for the test
+                ..Default::default()
+            },
+        );
+        srv.submit(Request::Probe { probes: &s, cfg: cfg.clone() }).unwrap();
+        srv.run_to_completion();
+        assert!(srv.breaker_open(0));
+
+        // Degraded probe: one rung down (headers-near → all-near), which
+        // sidesteps far faults entirely; results stay exact.
+        let dq = srv.submit(Request::Probe { probes: &s, cfg: cfg.clone() }).unwrap();
+        srv.run_to_completion();
+
+        // Degraded pipeline: two-phase fault-free fallback, synchronous.
+        let fact = Relation::fk_uniform(&r, 2_000, 0xB2);
+        let table = AggTable::for_groups(512);
+        let solo_table = AggTable::for_groups(512);
+        let pcfg = PipelineConfig {
+            filter: Some(FilterSpec::selectivity(0.5)),
+            fault: Some(FaultPlan::fail_only(0xB01, 1000)),
+            ..Default::default()
+        };
+        let solo_cfg = PipelineConfig { fault: None, ..pcfg.clone() };
+        let solo = probe_then_groupby(&ht, &solo_table, &fact, Technique::Amac, &solo_cfg);
+        let pq = srv.submit(Request::Pipeline { fact: &fact, table: &table, cfg: pcfg }).unwrap();
+        let out = srv.finish();
+        let d = out.reports.iter().find(|r| r.qid == dq).unwrap();
+        assert_eq!(d.outcome, QueryOutcome::Completed);
+        assert!(d.degraded, "served by the degraded plan");
+        assert_eq!(d.attempts, 1, "the near plan cannot fault");
+        assert_eq!(d.matches, clean.matches, "degraded results stay exact");
+        assert_eq!(d.checksum, clean.checksum);
+        let p = out.reports.iter().find(|r| r.qid == pq).unwrap();
+        assert_eq!(p.outcome, QueryOutcome::Completed);
+        assert!(p.degraded);
+        assert_eq!(p.matched, solo.matched);
+        assert_eq!(p.matches, solo.aggregated);
+        let snap = |t: &AggTable| {
+            let mut g = t.groups();
+            g.sort_by_key(|(k, _)| *k);
+            g
+        };
+        assert_eq!(snap(&table), snap(&solo_table), "two-phase fallback aggregates diverge");
+        let mut sum = EngineStats::default();
+        for rep in &out.reports {
+            sum.merge(&rep.stats);
+        }
+        assert_eq!(sum, out.stats, "degraded paths still keep ledgers exact");
+    }
+
+    #[test]
+    fn run_with_budget_reports_stalled_and_can_resume() {
+        let (dim, ht) = catalog(1024);
+        let big = Relation::fk_uniform(&dim, 100_000, 0xC1);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 64, ..Default::default() });
+        srv.submit(Request::Probe { probes: &big, cfg: pcfg }).unwrap();
+        let err = srv.run_with_budget(3).expect_err("3 pumps cannot finish 100k tuples");
+        assert_eq!(err.pumps, 3);
+        assert_eq!(err.active, 1);
+        // The session survives a stall verdict: more budget finishes it.
+        srv.run_with_budget(usize::MAX).expect("unbounded budget completes");
+        let out = srv.finish();
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].outcome, QueryOutcome::Completed);
+    }
+
+    #[test]
+    fn backoff_is_charged_to_the_sim_clock() {
+        let (r, ht) = chained_catalog(1 << 12);
+        let s = Relation::fk_uniform(&r, 1_000, 0xD1);
+        let cfg = ProbeConfig {
+            scan_all: true,
+            materialize: false,
+            fault: Some(FaultPlan::fail_only(0xD0, 2)),
+            ..Default::default()
+        };
+        // A deadline shorter than one backoff: if the first attempt
+        // faults, the backoff alone must burn the deadline.
+        let mut srv = ServeSession::new(
+            &ht,
+            ServeConfig {
+                max_retries: 8,
+                backoff_base: 1 << 40,
+                backoff_cap: 1 << 40,
+                ..Default::default()
+            },
+        );
+        let q = srv
+            .submit_opts(
+                Request::Probe { probes: &s, cfg },
+                SubmitOpts { deadline_ticks: Some(1 << 30), ..Default::default() },
+            )
+            .unwrap();
+        let out = srv.finish();
+        let rep = out.reports.iter().find(|r| r.qid == q).unwrap();
+        assert_eq!(
+            rep.outcome,
+            QueryOutcome::DeadlineExceeded,
+            "a huge backoff must consume a smaller deadline deterministically"
+        );
+        assert_eq!(rep.attempts, 1, "the retry never re-entered the window");
     }
 }

@@ -1,0 +1,163 @@
+//! Property test: ledger conservation under random interleavings.
+//!
+//! The serving layer promises *exact* per-query accounting no matter how
+//! service ends: every report's [`EngineStats`] is the query's own lane
+//! ledger (plus aborted attempts), so grouping reports by tenant and
+//! summing must reproduce the session's global counters — including the
+//! work done by queries that were cancelled mid-flight, missed their
+//! deadline, retried after faults, or were degraded/shed by an open
+//! circuit breaker. This test drives random submit/cancel/pump
+//! interleavings (deterministic per case via the offline proptest shim's
+//! seeded `TestRng`) and checks that conservation law on every one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use amac::engine::EngineStats;
+use amac_hashtable::{AggTable, HashTable};
+use amac_ops::groupby::GroupByConfig;
+use amac_ops::join::ProbeConfig;
+use amac_server::{QueryId, QueryOutcome, Request, ServeConfig, ServeSession, SubmitOpts};
+use amac_tier::FaultPlan;
+use amac_workload::Relation;
+use proptest::prelude::*;
+
+/// Over-occupied catalog (8 keys per bucket → multi-hop chains) so that
+/// faulted probes have plenty of far loads to poison.
+fn chained_catalog(n: usize) -> (Relation, HashTable) {
+    let r = Relation::dense_unique(n, 0xC4A1);
+    let ht = HashTable::with_buckets(n / 8);
+    {
+        let mut h = ht.build_handle();
+        for t in &r.tuples {
+            h.insert(t.key, t.payload);
+        }
+    }
+    (r, ht)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random submit/cancel/pump interleavings: per-tenant stats deltas
+    /// sum to the global totals, one report per admitted query, and
+    /// outcome counts partition the report set.
+    #[test]
+    fn per_tenant_ledgers_sum_to_global_under_random_interleavings(
+        actions in prop::collection::vec(
+            // (what, stream pick, tenant, weight-1, tight deadline?, faulted?)
+            (0u8..10, 0usize..6, 0u32..4, 0u32..3, prop::bool::ANY, prop::bool::ANY),
+            12..28,
+        ),
+    ) {
+        let (dim, ht) = chained_catalog(512);
+        // Probe streams of varying sizes; groups for the group-by mix.
+        let streams: Vec<Relation> = (0..6)
+            .map(|i| Relation::fk_uniform(&dim, 64 << (i % 3), 0x9000 + i as u64))
+            .collect();
+        let gb_in = amac_workload::GroupByInput::zipf(32, 512, 0.8, 0x77).relation;
+        let tables: Vec<AggTable> = (0..actions.len()).map(|_| AggTable::for_groups(32)).collect();
+
+        let cfg = ServeConfig {
+            max_active: 3,
+            max_pending: 2,
+            quantum: 48,
+            max_retries: 1,
+            backoff_base: 8,
+            breaker_threshold: 2,
+            ..Default::default()
+        };
+        let mut srv = ServeSession::new(&ht, cfg);
+        let mut admitted: Vec<QueryId> = Vec::new();
+        let mut rejected = 0u64;
+
+        for (i, &(what, pick, tenant, wm1, tight, faulted)) in actions.iter().enumerate() {
+            match what {
+                // Submit (the bulk of the distribution): probes with an
+                // optional fault plan + tight deadline, or a group-by.
+                0..=5 => {
+                    let opts = SubmitOpts {
+                        weight: 1 + wm1,
+                        tenant,
+                        deadline_ticks: if tight { Some(1) } else { None },
+                    };
+                    let req = if what == 5 {
+                        Request::GroupBy {
+                            input: &gb_in,
+                            table: &tables[i],
+                            cfg: GroupByConfig::default(),
+                        }
+                    } else {
+                        let fault = faulted.then(|| FaultPlan::fail_only(0xFA00 + i as u64, 30));
+                        Request::Probe {
+                            probes: &streams[pick],
+                            cfg: ProbeConfig { scan_all: true, fault, ..Default::default() },
+                        }
+                    };
+                    match srv.submit_opts(req, opts) {
+                        Ok(qid) => admitted.push(qid),
+                        Err(_) => rejected += 1,
+                    }
+                }
+                // Pump a burst: advances deadlines, retries, breakers.
+                6 | 7 => {
+                    for _ in 0..(1 + pick * 3) {
+                        srv.pump();
+                    }
+                }
+                // Cancel a previously admitted query (idempotent: may
+                // already have completed — `cancel` returns false then).
+                8 => {
+                    if let Some(&qid) = admitted.get(pick % admitted.len().max(1)) {
+                        srv.cancel(qid);
+                    }
+                }
+                // A budgeted run slice (may or may not finish everything).
+                _ => {
+                    let _ = srv.run_with_budget(4 + pick);
+                }
+            }
+        }
+        let out = srv.finish();
+
+        // One report per admitted query — none lost, none duplicated.
+        let qids: BTreeSet<QueryId> = out.reports.iter().map(|r| r.qid).collect();
+        prop_assert_eq!(qids.len(), out.reports.len(), "duplicate reports");
+        prop_assert_eq!(&qids, &admitted.iter().copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(out.rejected, rejected);
+
+        // Outcome counts partition the report set.
+        let outcomes = [
+            QueryOutcome::Completed,
+            QueryOutcome::DeadlineExceeded,
+            QueryOutcome::FailedAfterRetries,
+            QueryOutcome::Cancelled,
+            QueryOutcome::Shed,
+        ];
+        let total: u64 = outcomes.iter().map(|&o| out.count(o)).sum();
+        prop_assert_eq!(total, out.reports.len() as u64);
+
+        // The conservation law: group reports by tenant, sum each group,
+        // and the tenant deltas must sum to the global counters —
+        // cancelled, deadline-exceeded, retried and shed queries included.
+        let mut per_tenant: BTreeMap<u32, EngineStats> = BTreeMap::new();
+        for r in &out.reports {
+            per_tenant.entry(r.tenant).or_default().merge(&r.stats);
+            // Non-completed queries surface no results, but their ledgers
+            // stay exact: nothing retired beyond what was fed.
+            if r.outcome != QueryOutcome::Completed {
+                prop_assert_eq!(r.matches, 0);
+                prop_assert!(r.out.is_empty());
+            }
+            prop_assert!(
+                r.stats.lookups >= r.stats.cancelled_lookups,
+                "lane {} retired fewer lookups than it cancelled",
+                r.qid,
+            );
+        }
+        let mut sum = EngineStats::default();
+        for s in per_tenant.values() {
+            sum.merge(s);
+        }
+        prop_assert_eq!(sum, out.stats, "per-tenant ledger deltas != global stats");
+    }
+}

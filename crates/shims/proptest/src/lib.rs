@@ -1,7 +1,7 @@
 //! Minimal offline stand-in for the `proptest` crate.
 //!
 //! Supports the subset this workspace's property tests use: the
-//! [`proptest!`] macro, integer-range and tuple strategies,
+//! [`proptest!`] macro, integer-range and tuple strategies (up to 6-ary),
 //! `prop::collection::{vec, btree_set, btree_map}`, [`Strategy::prop_map`],
 //! `bool::ANY`, the `prop_assert*` / `prop_assume!` macros and
 //! [`ProptestConfig::with_cases`]. Cases are generated from a
@@ -167,6 +167,8 @@ impl_tuple_strategy! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Boolean strategies.

@@ -90,6 +90,10 @@
 
 #![warn(missing_docs)]
 
+mod fault;
+
+pub use fault::{fault_token, FaultPlan, LoadOutcome};
+
 use amac::engine::EngineStats;
 
 /// Which memory tier a region lives in.
@@ -198,6 +202,18 @@ impl TierPolicy {
         }
     }
 
+    /// One rung down the degradation ladder: the next-cheaper placement a
+    /// circuit breaker falls back to when this one keeps faulting (fewer
+    /// far loads → fewer fault opportunities → recovery). `AllNear` has
+    /// nowhere left to go.
+    pub fn degrade(&self) -> Option<TierPolicy> {
+        match self {
+            TierPolicy::AllFar => Some(TierPolicy::HeadersNear),
+            TierPolicy::HeadersNear | TierPolicy::NearSlabs(_) => Some(TierPolicy::AllNear),
+            TierPolicy::AllNear => None,
+        }
+    }
+
     /// Short label for tables and JSON (`all-near`, `headers-near`, ...).
     pub fn label(&self) -> String {
         match self {
@@ -253,12 +269,32 @@ pub struct SimClock {
     work: u64,
     /// Stall ticks since the last [`flush`](SimClock::flush).
     stalls: u64,
+    /// Optional fault plan for far-tier loads (see [`FaultPlan`]).
+    fault: Option<FaultPlan>,
+    /// Failed loads since the last [`flush`](SimClock::flush).
+    faults: u64,
 }
 
 impl SimClock {
     /// A clock at `t = 0` charging `spec`.
     pub fn new(spec: TierSpec) -> Self {
-        SimClock { spec, now: 0, work: 0, stalls: 0 }
+        SimClock { spec, now: 0, work: 0, stalls: 0, fault: None, faults: 0 }
+    }
+
+    /// Attach a fault plan: far-tier loads issued through the checked
+    /// entry points ([`issue_slab_checked`](SimClock::issue_slab_checked),
+    /// [`issue_header_checked`](SimClock::issue_header_checked)) now
+    /// resolve to a [`LoadOutcome`] under `plan`. Near loads and the
+    /// unchecked entry points are unaffected.
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    #[inline(always)]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The spec this clock charges.
@@ -317,6 +353,47 @@ impl SimClock {
         self.issue(self.spec.policy.slab_tier(slab))
     }
 
+    /// Issue a load into `tier` under the fault plan: the common
+    /// implementation behind the `_checked` entry points. `slab` is
+    /// `None` for header loads (sustained slab degradation cannot apply).
+    #[inline]
+    fn issue_checked(&mut self, tier: Tier, slab: Option<u32>, token: u64) -> LoadOutcome {
+        let lat = self.spec.model.latency(tier);
+        let Some(plan) = self.fault else {
+            return LoadOutcome::Ready(self.now + lat);
+        };
+        // Near loads never fault: local DRAM is not the narrow interface.
+        if tier == Tier::Near {
+            return LoadOutcome::Ready(self.now + lat);
+        }
+        if plan.fails(token) {
+            self.faults += 1;
+            return LoadOutcome::Failed;
+        }
+        let degraded = slab.is_some() && slab == plan.degraded_slab;
+        if degraded || plan.spikes(token) {
+            return LoadOutcome::Delayed(self.now + lat * plan.multiplier());
+        }
+        LoadOutcome::Ready(self.now + lat)
+    }
+
+    /// Fault-aware [`issue_header`](SimClock::issue_header): resolves the
+    /// header load under the attached [`FaultPlan`] (always `Ready`
+    /// without one, or when headers are near).
+    #[inline]
+    pub fn issue_header_checked(&mut self, token: u64) -> LoadOutcome {
+        self.issue_checked(self.spec.policy.header_tier(), None, token)
+    }
+
+    /// Fault-aware [`issue_slab`](SimClock::issue_slab): resolves a chain
+    /// load from `slab` under the attached [`FaultPlan`]. `token` should
+    /// come from [`fault_token`]`(key, hop)` so the decision is a
+    /// property of the workload, not of issue order.
+    #[inline]
+    pub fn issue_slab_checked(&mut self, slab: u32, token: u64) -> LoadOutcome {
+        self.issue_checked(self.spec.policy.slab_tier(slab), Some(slab), token)
+    }
+
     /// Dereference a line that arrives at `ready_at` (rule 3): stall
     /// until it is resident.
     #[inline(always)]
@@ -337,6 +414,7 @@ impl SimClock {
         let (work, stalls) = self.flush_ticks();
         stats.sim_cycles += work;
         stats.sim_stalls += stalls;
+        stats.load_faults += core::mem::take(&mut self.faults);
     }
 
     /// [`flush`](SimClock::flush) as a raw `(work, stalls)` pair, for
@@ -409,6 +487,54 @@ mod tests {
         assert_eq!(c.now(), 7, "stale advance is a no-op");
         c.advance_to(12);
         assert_eq!(c.now(), 12);
+    }
+
+    #[test]
+    fn checked_issue_resolves_fault_plan_outcomes() {
+        let plan = FaultPlan {
+            seed: 11,
+            fail_per_mille: 0,
+            spike_per_mille: 0,
+            spike_multiplier: 4,
+            degraded_slab: Some(2),
+        };
+        let mut c = TierSpec::headers_near(8).clock().with_fault(plan);
+        // No transient faults configured: a healthy slab is plain Ready
+        // at far latency, the degraded slab is Delayed at 4x.
+        assert_eq!(c.issue_slab_checked(0, fault_token(1, 0)), LoadOutcome::Ready(32));
+        assert_eq!(c.issue_slab_checked(2, fault_token(1, 0)), LoadOutcome::Delayed(128));
+        // Headers are near under this policy: never faulted.
+        assert_eq!(c.issue_header_checked(fault_token(1, 0)), LoadOutcome::Ready(4));
+        // Without a plan the checked path degenerates to issue().
+        let mut plain = TierSpec::headers_near(8).clock();
+        assert_eq!(plain.issue_slab_checked(2, fault_token(1, 0)), LoadOutcome::Ready(32));
+        // An always-fail plan poisons every far load and counts it.
+        let mut f = TierSpec::headers_near(8).clock().with_fault(FaultPlan::fail_only(5, 1000));
+        assert_eq!(f.issue_slab_checked(0, fault_token(9, 1)), LoadOutcome::Failed);
+        let mut s = EngineStats::default();
+        f.flush(&mut s);
+        assert_eq!(s.load_faults, 1);
+        // ...and the drain-and-reset contract holds for faults too.
+        let mut s2 = EngineStats::default();
+        f.flush(&mut s2);
+        assert_eq!(s2.load_faults, 0);
+    }
+
+    #[test]
+    fn degrade_ladder_ends_at_all_near() {
+        assert_eq!(TierPolicy::AllFar.degrade(), Some(TierPolicy::HeadersNear));
+        assert_eq!(TierPolicy::HeadersNear.degrade(), Some(TierPolicy::AllNear));
+        assert_eq!(TierPolicy::NearSlabs(3).degrade(), Some(TierPolicy::AllNear));
+        assert_eq!(TierPolicy::AllNear.degrade(), None);
+        // Every rung strictly reduces far exposure until none remains.
+        let mut p = TierPolicy::AllFar;
+        let mut rungs = 0;
+        while let Some(next) = p.degrade() {
+            p = next;
+            rungs += 1;
+            assert!(rungs <= 4, "degradation ladder must terminate");
+        }
+        assert_eq!(p, TierPolicy::AllNear);
     }
 
     #[test]

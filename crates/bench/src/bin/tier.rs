@@ -159,6 +159,7 @@ fn main() {
                 scan_all: true,
                 materialize: false,
                 tier: Some(TierSpec::headers_near(mult)),
+                coalesce: None,
             },
         );
         assert_sigs_agree(

@@ -36,6 +36,9 @@ pub fn run_baseline<O: LookupOp>(op: &mut O, inputs: &[O::Input]) -> EngineStats
                 }
             }
         }
+        // One lookup = one AMU commit group: with a single lane in flight
+        // there is nothing to coalesce against.
+        op.commit_point();
     }
     op.flush_observed(&mut stats);
     stats

@@ -42,6 +42,9 @@ pub fn run_gp<O: LookupOp>(op: &mut O, inputs: &[O::Input], m: usize) -> EngineS
             stats.prefetches += pf;
             done[k] = false;
         }
+        // The GP group IS the AMU commit group: seal it so the next
+        // group's lanes cannot coalesce against this one's loads.
+        op.commit_point();
         // Stages 1..=N swept across the group.
         for _sweep in 0..n {
             for k in 0..g {

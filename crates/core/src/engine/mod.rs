@@ -34,6 +34,7 @@
 //! counters stay exact even when one op instance serves many morsels.
 
 mod amac_exec;
+pub mod amu;
 mod baseline;
 pub mod closure_api;
 mod gp;
@@ -115,6 +116,19 @@ pub trait LookupOp {
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         let _ = stats;
     }
+
+    /// Seal the op's current AMU commit group (see [`amu`]): lane births
+    /// after this point join a new group and cannot coalesce against
+    /// loads issued before it. Executors with a batch boundary call this
+    /// at that boundary — GP after each group's start pass, the baseline
+    /// after each lookup — and the morsel runtime calls it at feed ends
+    /// so ragged morsel tails cannot smear groups across threads. AMAC
+    /// and SPP have no batch boundary (their window slides); their ops
+    /// rely on the unit's automatic every-`G`-births advance, the
+    /// deterministic analogue of `cp.async.commit_group`. Default: the op
+    /// has no memory unit, nothing to seal.
+    #[inline(always)]
+    fn commit_point(&mut self) {}
 
     /// Let `ticks` of simulated time pass without this op executing a
     /// stage. Executors call this once per visit to an idle window slot

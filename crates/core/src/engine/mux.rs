@@ -296,6 +296,8 @@ impl<O: LookupOp> LookupOp for Mux<O> {
                 led.sim_cycles += delta.sim_cycles;
                 led.sim_stalls += delta.sim_stalls;
                 led.load_faults += delta.load_faults;
+                led.issued_loads += delta.issued_loads;
+                led.coalesced_loads += delta.coalesced_loads;
                 stats.merge(&delta);
             }
         }
@@ -318,6 +320,12 @@ impl<O: LookupOp> LookupOp for Mux<O> {
     fn sim_advance_to(&mut self, now: u64) {
         if now > self.seq {
             self.seq = now;
+        }
+    }
+
+    fn commit_point(&mut self) {
+        for op in self.lanes.iter_mut().flatten() {
+            op.commit_point();
         }
     }
 }

@@ -123,6 +123,11 @@ pub trait PipelineOp {
     fn sim_advance_to(&mut self, now: u64) {
         let _ = now;
     }
+
+    /// Seal the current AMU commit group (see
+    /// [`LookupOp::commit_point`]); chains seal every member.
+    #[inline(always)]
+    fn commit_point(&mut self) {}
 }
 
 /// The fused filter + projection between two pipeline operators.
@@ -274,6 +279,11 @@ where
         self.up.sim_advance_to(now);
         self.down.sim_advance_to(now);
     }
+
+    fn commit_point(&mut self) {
+        self.up.commit_point();
+        self.down.commit_point();
+    }
 }
 
 /// Adapts any existing [`LookupOp`] into a **terminal** pipeline
@@ -332,6 +342,10 @@ impl<L: LookupOp> PipelineOp for Terminal<L> {
 
     fn sim_advance_to(&mut self, now: u64) {
         self.0.sim_advance_to(now);
+    }
+
+    fn commit_point(&mut self) {
+        self.0.commit_point();
     }
 }
 
@@ -448,6 +462,10 @@ where
 
     fn sim_advance_to(&mut self, now: u64) {
         self.pipe.sim_advance_to(now);
+    }
+
+    fn commit_point(&mut self) {
+        self.pipe.commit_point();
     }
 }
 

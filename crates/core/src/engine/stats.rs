@@ -65,6 +65,19 @@ pub struct EngineStats {
     /// remaining stages. Also counted inside
     /// [`lookups`](EngineStats::lookups).
     pub cancelled_lookups: u64,
+    /// Loads actually issued by the op's memory unit
+    /// (`amac::engine::amu`), drained through
+    /// [`super::LookupOp::flush_observed`]. For a scalar unit this equals
+    /// the requests; a coalescing unit issues fewer
+    /// (`issued_loads + coalesced_loads == requests`). 0 for ops without
+    /// a unit.
+    pub issued_loads: u64,
+    /// Load requests the memory unit deduped against an in-flight
+    /// duplicate of the same cache line within one commit group (see
+    /// `amac::engine::amu::CoalescingUnit`). Deterministic: depends only
+    /// on input order and group size, not on executor scheduling or
+    /// thread count. 0 for scalar units.
+    pub coalesced_loads: u64,
 }
 
 impl EngineStats {
@@ -84,6 +97,8 @@ impl EngineStats {
         self.load_faults += o.load_faults;
         self.failed_lookups += o.failed_lookups;
         self.cancelled_lookups += o.cancelled_lookups;
+        self.issued_loads += o.issued_loads;
+        self.coalesced_loads += o.coalesced_loads;
     }
 
     /// Fraction of simulated time spent stalled on unfinished loads:
@@ -108,6 +123,30 @@ impl EngineStats {
             0.0
         } else {
             self.nodes_visited as f64 / self.lookups as f64
+        }
+    }
+
+    /// Mean loads actually issued per completed lookup — the gated
+    /// metric of `bench/bin/amu.rs`. Under coalescing, skewed keys drive
+    /// this *below* the uniform-key value because hot lines are deduped
+    /// within commit groups. 0 when the op ran without a memory unit.
+    pub fn issued_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.issued_loads as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of load requests the memory unit coalesced away:
+    /// `coalesced / (issued + coalesced)` (0 for scalar units or runs
+    /// without a unit).
+    pub fn coalesce_rate(&self) -> f64 {
+        let requested = self.issued_loads + self.coalesced_loads;
+        if requested == 0 {
+            0.0
+        } else {
+            self.coalesced_loads as f64 / requested as f64
         }
     }
 
@@ -140,6 +179,8 @@ mod tests {
             load_faults: 2,
             failed_lookups: 1,
             cancelled_lookups: 3,
+            issued_loads: 8,
+            coalesced_loads: 2,
             ..Default::default()
         });
         assert_eq!(a.lookups, 3);
@@ -154,7 +195,19 @@ mod tests {
         assert_eq!(a.load_faults, 2);
         assert_eq!(a.failed_lookups, 1);
         assert_eq!(a.cancelled_lookups, 3);
+        assert_eq!(a.issued_loads, 8);
+        assert_eq!(a.coalesced_loads, 2);
         assert!((a.nodes_per_lookup() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amu_rates() {
+        let s =
+            EngineStats { lookups: 4, issued_loads: 6, coalesced_loads: 2, ..Default::default() };
+        assert!((s.issued_per_lookup() - 1.5).abs() < 1e-12);
+        assert!((s.coalesce_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(EngineStats::default().issued_per_lookup(), 0.0);
+        assert_eq!(EngineStats::default().coalesce_rate(), 0.0);
     }
 
     #[test]

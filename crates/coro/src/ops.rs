@@ -10,6 +10,8 @@
 
 use crate::executor::{run_interleaved, run_interleaved_with_idle, yield_now, InterleaveStats};
 use crate::{prefetch_yield, prefetch_yield_wide};
+use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
+use amac::engine::EngineStats;
 use amac_btree::{BPlusTree, InnerNode, LeafNode};
 use amac_hashtable::HashTable;
 use amac_metrics::timer::CycleTimer;
@@ -70,14 +72,17 @@ pub async fn probe_chain(ht: &HashTable, key: u64, scan_all: bool) -> ChainHit {
 }
 
 /// [`probe_chain`] under a memory-tier cost model: same traversal, same
-/// results, but every resumption ticks the ring-shared [`SimClock`] and
-/// every dereference stalls it until the simulated load lands. The clock
-/// is shared by `RefCell` — the whole ring runs on one thread, and a
-/// shared clock is exactly the semantics the state-machine executors get
-/// from the `sim_now`/`sim_advance_to` protocol.
+/// results, but every resumption ticks the ring-shared
+/// [`amac::engine::amu::MemUnit`] and every dereference waits until the
+/// simulated load lands. The unit is shared by `RefCell` — the whole ring
+/// runs on one thread, and a shared unit (over one [`SimClock`]) is
+/// exactly the semantics the state-machine executors get from the
+/// `sim_now`/`sim_advance_to` protocol. Ring slots are AMU lanes, so a
+/// coalescing unit dedups duplicate cache-line requests across in-flight
+/// coroutines just as it does across executor window slots.
 ///
 /// Deliberately a separate coroutine rather than an
-/// `Option<&RefCell<SimClock>>` parameter on [`probe_chain`]: the clock
+/// `Option<&RefCell<...>>` parameter on [`probe_chain`]: the unit
 /// reference and `ready_at` live across the yields, so folding the paths
 /// together grows the *untiered* suspended frame (`future_bytes`, the
 /// §6 state-overhead metric `bin/coro` reports) from ≤128 B past two
@@ -88,23 +93,25 @@ pub async fn probe_chain_tiered(
     ht: &HashTable,
     key: u64,
     scan_all: bool,
-    clock: &RefCell<SimClock>,
+    unit: &RefCell<LoadUnit<SimClock>>,
 ) -> ChainHit {
     let mut hit = ChainHit { matches: 0, sum: 0, first: u64::MAX };
     let probe = amac_hashtable::probe_word(amac_mem::hash::tag_of(key));
     let mut node = ht.bucket_addr(key);
     // Stage 0: hash + first prefetch (one tick, async header load).
-    let mut ready = {
-        let mut c = clock.borrow_mut();
-        c.stage();
-        c.issue_header()
+    let (mut ready, group) = {
+        let mut u = unit.borrow_mut();
+        let group = u.begin_lane();
+        u.stage();
+        let t = u.issue(AddrClass::header_ptr(node), 0, group);
+        (t.ready_at, group)
     };
     prefetch_yield(node).await;
     loop {
         {
-            let mut c = clock.borrow_mut();
-            c.touch(ready);
-            c.stage();
+            let mut u = unit.borrow_mut();
+            u.wait(ready);
+            u.stage();
         }
         // SAFETY: probe runs in the table's read-only phase; `node` points
         // at the header or an arena-owned chain node.
@@ -124,10 +131,14 @@ pub async fn probe_chain_tiered(
             }
         }
         if (node_hit && !scan_all) || d.next == amac_mem::NULL_INDEX {
+            unit.borrow_mut().retire_lane(group);
             return hit;
         }
         let next = ht.node_ptr(d.next);
-        ready = clock.borrow_mut().issue_slab(amac_mem::slab_of_index(d.next));
+        ready = unit
+            .borrow_mut()
+            .issue(AddrClass::slab_ptr(amac_mem::slab_of_index(d.next), next), 0, group)
+            .ready_at;
         prefetch_yield(next).await;
         node = next;
     }
@@ -223,6 +234,12 @@ pub struct CoroOutput {
     pub sim_cycles: u64,
     /// Simulated stall ticks ([`CoroConfig::tier`] runs only).
     pub sim_stalls: u64,
+    /// Distinct load requests the AMU issued ([`CoroConfig::tier`] runs
+    /// only; see `amac::engine::EngineStats::issued_loads`).
+    pub issued_loads: u64,
+    /// Requests absorbed by an already-issued line
+    /// ([`CoroConfig::coalesce`] runs only).
+    pub coalesced_loads: u64,
     /// Loop cycles.
     pub cycles: u64,
     /// Loop wall time.
@@ -243,11 +260,15 @@ pub struct CoroConfig {
     /// [`sim_cycles`](CoroOutput::sim_cycles)/[`sim_stalls`](CoroOutput::sim_stalls).
     /// Results are identical either way.
     pub tier: Option<TierSpec>,
+    /// AMU issue coalescing across the ring's in-flight coroutines (see
+    /// `amac_ops::join::ProbeConfig::coalesce`). Only meaningful with
+    /// [`tier`](CoroConfig::tier); results are identical either way.
+    pub coalesce: Option<usize>,
 }
 
 impl Default for CoroConfig {
     fn default() -> Self {
-        CoroConfig { width: 10, scan_all: false, materialize: true, tier: None }
+        CoroConfig { width: 10, scan_all: false, materialize: true, tier: None, coalesce: None }
     }
 }
 
@@ -280,15 +301,20 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
                 );
             }
             Some(spec) => {
-                let clock = RefCell::new(spec.clock());
+                let unit = RefCell::new(LoadUnit::new(spec.clock(), cfg.coalesce));
                 res.stats = run_interleaved_with_idle(
                     cfg.width,
                     &s.tuples,
-                    |_, t| probe_chain_tiered(ht, t.key, scan_all, &clock),
+                    |_, t| probe_chain_tiered(ht, t.key, scan_all, &unit),
                     sink,
-                    || clock.borrow_mut().idle(1),
+                    || unit.borrow_mut().idle(1),
                 );
-                (res.sim_cycles, res.sim_stalls) = clock.borrow_mut().flush_ticks();
+                let mut drained = EngineStats::default();
+                unit.borrow_mut().flush(&mut drained);
+                res.sim_cycles = drained.sim_cycles;
+                res.sim_stalls = drained.sim_stalls;
+                res.issued_loads = drained.issued_loads;
+                res.coalesced_loads = drained.coalesced_loads;
             }
         }
     }

@@ -19,6 +19,7 @@
 //! create intra-thread conflicts — the dynamics behind Figure 9's GP/SPP
 //! collapse at z = 1.
 
+use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
 use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::agg::{AggHandle, AggValues};
 use amac_hashtable::{AggBucket, AggTable};
@@ -47,6 +48,12 @@ pub struct GroupByConfig {
     /// run-to-run deterministic single-threaded). See
     /// [`ProbeConfig::tier`](crate::join::ProbeConfig::tier).
     pub tier: Option<TierSpec>,
+    /// AMU issue coalescing (see
+    /// [`ProbeConfig::coalesce`](crate::join::ProbeConfig::coalesce)):
+    /// skewed inputs hit the same hot group headers, so in-flight lanes
+    /// of one commit group collapse onto shared line requests. `None`
+    /// (default) = scalar issue.
+    pub coalesce: Option<usize>,
 }
 
 /// Result of one group-by run.
@@ -71,6 +78,8 @@ pub struct GroupByState {
     latched: bool,
     /// Simulated tick the prefetched line arrives (tiered runs only).
     ready_at: u64,
+    /// AMU commit group this lookup's lane was born into.
+    group: u32,
 }
 
 impl Default for GroupByState {
@@ -82,6 +91,7 @@ impl Default for GroupByState {
             cur: core::ptr::null(),
             latched: false,
             ready_at: 0,
+            group: 0,
         }
     }
 }
@@ -92,7 +102,8 @@ pub struct GroupByOp<'a> {
     n_stages: usize,
     tuples: u64,
     nodes_visited: u64,
-    clock: Option<SimClock>,
+    /// The AMU memory unit every load request routes through.
+    unit: LoadUnit<Option<SimClock>>,
 }
 
 impl<'a> GroupByOp<'a> {
@@ -103,7 +114,7 @@ impl<'a> GroupByOp<'a> {
             n_stages: if cfg.n_stages == 0 { 2 } else { cfg.n_stages },
             tuples: 0,
             nodes_visited: 0,
-            clock: cfg.tier.map(|t| t.clock()),
+            unit: LoadUnit::new(cfg.tier.map(|t| t.clock()), cfg.coalesce),
         }
     }
 
@@ -124,25 +135,27 @@ impl LookupOp for GroupByOp<'_> {
 
     fn start(&mut self, input: Tuple, state: &mut GroupByState) {
         let header = self.handle.table().bucket_addr(input.key);
-        prefetch_write(header);
         state.key = input.key;
         state.payload = input.payload;
         state.header = header;
         state.cur = core::ptr::null();
         state.latched = false;
-        if let Some(c) = &mut self.clock {
-            c.stage();
-            state.ready_at = c.issue_header();
+        state.group = self.unit.begin_lane();
+        self.unit.stage();
+        // Group-by writes the header, so a coalesced (non-fresh) ticket
+        // still only suppresses the hardware hint — never the latch walk.
+        let t = self.unit.issue(AddrClass::header_ptr(header), 0, state.group);
+        if t.fresh {
+            prefetch_write(header);
         }
+        state.ready_at = t.ready_at;
     }
 
     fn step(&mut self, state: &mut GroupByState) -> Step {
-        if let Some(c) = &mut self.clock {
-            // The latch word shares the (prefetched) header line; a
-            // blocked attempt is executed work that read the line.
-            c.touch(state.ready_at);
-            c.stage();
-        }
+        // The latch word shares the (prefetched) header line; a blocked
+        // attempt is executed work that read the line.
+        self.unit.wait(state.ready_at);
+        self.unit.stage();
         // SAFETY: header/cur point at the table's headers or arena-owned
         // chain nodes; mutation happens only while `latched`.
         unsafe {
@@ -162,12 +175,14 @@ impl LookupOp for GroupByOp<'_> {
                 d.aggs = AggValues::first(state.payload);
                 (*state.header).latch.release();
                 self.tuples += 1;
+                self.unit.retire_lane(state.group);
                 return Step::Done;
             }
             if d.key == state.key {
                 d.aggs.update(state.payload);
                 (*state.header).latch.release();
                 self.tuples += 1;
+                self.unit.retire_lane(state.group);
                 return Step::Done;
             }
             if d.next == NULL_INDEX {
@@ -179,27 +194,27 @@ impl LookupOp for GroupByOp<'_> {
                 d.next = idx;
                 (*state.header).latch.release();
                 self.tuples += 1;
+                self.unit.retire_lane(state.group);
                 return Step::Done;
             }
             let idx = d.next;
             let next = self.handle.table().node_ptr(idx);
-            prefetch_read(next);
             state.cur = next;
-            if let Some(c) = &mut self.clock {
-                state.ready_at = c.issue_slab(slab_of_index(idx));
+            let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(idx), next), 0, state.group);
+            if t.fresh {
+                prefetch_read(next);
             }
+            state.ready_at = t.ready_at;
             Step::Continue
         }
     }
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
-        if let Some(c) = &mut self.clock {
-            c.flush(stats);
-        }
+        self.unit.flush(stats);
     }
 
-    crate::impl_sim_clock_delegation!();
+    crate::impl_mem_unit_delegation!();
 }
 
 /// Run the group-by of `input` into `table` with `technique`.

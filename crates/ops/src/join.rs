@@ -1,12 +1,13 @@
 //! Hash join build and probe under all four techniques (§5.1).
 
+use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
 use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::{probe_word, tags_may_match, Bucket, BuildHandle, HashTable};
 use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{fault_token, FaultPlan, LoadOutcome, SimClock, TierSpec};
+use amac_tier::{fault_token, FaultPlan, SimClock, TierSpec};
 use amac_workload::{Relation, Tuple};
 
 /// Probe configuration.
@@ -51,6 +52,14 @@ pub struct ProbeConfig {
     /// `tier: None` a default `headers_near(1)` spec is assumed so the
     /// chain loads are checkable. `None` (default) = every load succeeds.
     pub fault: Option<FaultPlan>,
+    /// AMU issue coalescing (`amac::engine::amu::CoalescingUnit`):
+    /// `Some(G)` dedups duplicate cache-line requests across in-flight
+    /// lookups within commit groups of `G` lane births, populating
+    /// [`EngineStats::coalesced_loads`]. `None` (default) = a scalar
+    /// unit, bit-exact with the pre-AMU plumbing. Coalescing never
+    /// changes results or fault decisions — only which loads actually
+    /// issue.
+    pub coalesce: Option<usize>,
 }
 
 impl Default for ProbeConfig {
@@ -63,6 +72,7 @@ impl Default for ProbeConfig {
             hint: PrefetchHint::Nta,
             tier: None,
             fault: None,
+            coalesce: None,
         }
     }
 }
@@ -110,11 +120,21 @@ pub struct ProbeState {
     /// Chain hop index, for schedule-invariant fault tokens
     /// ([`fault_token`]`(key, hop)`; faulted runs only).
     hop: u32,
+    /// AMU commit group this lookup's lane was born into.
+    group: u32,
 }
 
 impl Default for ProbeState {
     fn default() -> Self {
-        ProbeState { key: 0, idx: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0, hop: 0 }
+        ProbeState {
+            key: 0,
+            idx: 0,
+            ptr: core::ptr::null(),
+            probe: 0,
+            ready_at: 0,
+            hop: 0,
+            group: 0,
+        }
     }
 }
 
@@ -131,8 +151,10 @@ pub struct ProbeOp<'a> {
     nodes_visited: u64,
     /// Nodes rejected by the SWAR tag filter (no key bytes touched).
     tag_rejects: u64,
-    /// Simulated memory-tier clock ([`ProbeConfig::tier`]).
-    clock: Option<SimClock>,
+    /// The AMU memory unit every load request routes through
+    /// ([`ProbeConfig::tier`] builds its backend clock,
+    /// [`ProbeConfig::coalesce`] selects scalar vs coalescing issue).
+    unit: LoadUnit<Option<SimClock>>,
 }
 
 impl<'a> ProbeOp<'a> {
@@ -150,7 +172,7 @@ impl<'a> ProbeOp<'a> {
         };
         ProbeOp {
             ht,
-            clock,
+            unit: LoadUnit::new(clock, cfg.coalesce),
             cfg: cfg.clone(),
             n_stages,
             matches: 0,
@@ -213,28 +235,31 @@ impl LookupOp for ProbeOp<'_> {
     /// key's SWAR probe word**, prefetch.
     fn start(&mut self, input: Tuple, state: &mut ProbeState) {
         let ptr = self.ht.bucket_addr(input.key);
-        self.cfg.hint.issue(ptr);
         state.key = input.key;
         state.idx = self.cursor;
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
         state.hop = 0;
         self.cursor += 1;
-        if let Some(c) = &mut self.clock {
-            c.stage();
-            state.ready_at = c.issue_header();
+        // AMU protocol: register the lane, charge the stage, request the
+        // header line. A coalesced (non-fresh) ticket rides an in-group
+        // duplicate's fill, so only fresh tickets issue the hardware hint.
+        state.group = self.unit.begin_lane();
+        self.unit.stage();
+        let t = self.unit.issue(AddrClass::header_ptr(ptr), 0, state.group);
+        if t.fresh {
+            self.cfg.hint.issue(ptr);
         }
+        state.ready_at = t.ready_at;
     }
 
     /// Code 1 (Table 1): tag-filter the node, compare keys only on a tag
     /// hit, output on match, chase the `u32` chain index.
     fn step(&mut self, state: &mut ProbeState) -> Step {
-        if let Some(c) = &mut self.clock {
-            // Dereferencing the prefetched line: stall until it arrives,
-            // then execute this stage.
-            c.touch(state.ready_at);
-            c.stage();
-        }
+        // Dereferencing the requested line: stall until its ticket is
+        // ready, then execute this stage.
+        self.unit.wait(state.ready_at);
+        self.unit.stage();
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
         // points at the header or an arena-owned chain node.
         let d = unsafe { (*state.ptr).data() };
@@ -258,26 +283,31 @@ impl LookupOp for ProbeOp<'_> {
             self.tag_rejects += 1;
         }
         if hit && !self.cfg.scan_all {
+            self.unit.retire_lane(state.group);
             return Step::Done; // early exit on unique-key match
         }
         let next = d.next;
         if next == NULL_INDEX {
+            self.unit.retire_lane(state.group);
             return Step::Done; // chain exhausted
         }
         let ptr = self.ht.node_ptr(next);
-        self.cfg.hint.issue(ptr);
         state.ptr = ptr;
-        if let Some(c) = &mut self.clock {
-            // Chain loads go through the fault-checked path: a poisoned
-            // far load aborts the lookup. The token is (key, hop), so the
-            // fault set is identical under every executor and schedule.
-            let token = fault_token(state.key, state.hop);
-            state.hop += 1;
-            match c.issue_slab_checked(slab_of_index(next), token) {
-                LoadOutcome::Ready(t) | LoadOutcome::Delayed(t) => state.ready_at = t,
-                LoadOutcome::Failed => return Step::Failed,
-            }
+        // Chain loads resolve through the backend's fault-checked path: a
+        // poisoned far load aborts the lookup. The token is (key, hop), so
+        // the fault set is identical under every executor and schedule —
+        // and under coalescing, which re-runs the decision per request.
+        let token = fault_token(state.key, state.hop);
+        state.hop += 1;
+        let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(next), ptr), token, state.group);
+        if t.fresh {
+            self.cfg.hint.issue(ptr);
         }
+        if t.failed {
+            self.unit.retire_lane(state.group);
+            return Step::Failed;
+        }
+        state.ready_at = t.ready_at;
         Step::Continue
     }
 
@@ -288,12 +318,10 @@ impl LookupOp for ProbeOp<'_> {
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
         stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
-        if let Some(c) = &mut self.clock {
-            c.flush(stats);
-        }
+        self.unit.flush(stats);
     }
 
-    crate::impl_sim_clock_delegation!();
+    crate::impl_mem_unit_delegation!();
 }
 
 /// Run a probe of `s` against `ht` with `technique`.
@@ -337,11 +365,13 @@ pub struct BuildState {
     bucket: *const Bucket,
     /// Simulated tick the prefetched header arrives (tiered runs only).
     ready_at: u64,
+    /// AMU commit group this insert's lane was born into.
+    group: u32,
 }
 
 impl Default for BuildState {
     fn default() -> Self {
-        BuildState { key: 0, payload: 0, bucket: core::ptr::null(), ready_at: 0 }
+        BuildState { key: 0, payload: 0, bucket: core::ptr::null(), ready_at: 0, group: 0 }
     }
 }
 
@@ -350,7 +380,9 @@ impl Default for BuildState {
 pub struct BuildOp<'a> {
     handle: BuildHandle<'a>,
     nodes_visited: u64,
-    clock: Option<SimClock>,
+    /// Scalar AMU unit: builds issue one header load per insert, so
+    /// there is nothing for a coalescing unit to dedup within a lane.
+    unit: LoadUnit<Option<SimClock>>,
 }
 
 impl<'a> BuildOp<'a> {
@@ -361,7 +393,11 @@ impl<'a> BuildOp<'a> {
 
     /// [`new`](BuildOp::new) with an optional memory-tier cost model.
     pub fn with_tier(ht: &'a HashTable, tier: Option<TierSpec>) -> Self {
-        BuildOp { handle: ht.build_handle(), nodes_visited: 0, clock: tier.map(|t| t.clock()) }
+        BuildOp {
+            handle: ht.build_handle(),
+            nodes_visited: 0,
+            unit: LoadUnit::scalar(tier.map(|t| t.clock())),
+        }
     }
 }
 
@@ -380,20 +416,17 @@ impl LookupOp for BuildOp<'_> {
         state.key = input.key;
         state.payload = input.payload;
         state.bucket = bucket;
-        if let Some(c) = &mut self.clock {
-            c.stage();
-            state.ready_at = c.issue_header();
-        }
+        state.group = self.unit.begin_lane();
+        self.unit.stage();
+        state.ready_at = self.unit.issue(AddrClass::header_ptr(bucket), 0, state.group).ready_at;
     }
 
     /// Code 1: latch? retry later : insert at chain head, release.
     fn step(&mut self, state: &mut BuildState) -> Step {
-        if let Some(c) = &mut self.clock {
-            // The latch word shares the header line the prefetch fetched;
-            // a blocked attempt is real executed work (it read the line).
-            c.touch(state.ready_at);
-            c.stage();
-        }
+        // The latch word shares the header line the prefetch fetched; a
+        // blocked attempt is real executed work (it read the line).
+        self.unit.wait(state.ready_at);
+        self.unit.stage();
         // SAFETY: bucket is a valid header of the handle's table.
         unsafe {
             if !(*state.bucket).latch.try_acquire() {
@@ -405,17 +438,16 @@ impl LookupOp for BuildOp<'_> {
         // The O(1) head insert dereferences the (prefetched) header; any
         // overflow-head touch shares the same latched stage.
         self.nodes_visited += 1;
+        self.unit.retire_lane(state.group);
         Step::Done
     }
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
-        if let Some(c) = &mut self.clock {
-            c.flush(stats);
-        }
+        self.unit.flush(stats);
     }
 
-    crate::impl_sim_clock_delegation!();
+    crate::impl_mem_unit_delegation!();
 }
 
 /// Build `ht` from `r` with `technique`. The table must be empty (or at

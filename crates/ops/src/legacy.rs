@@ -11,6 +11,7 @@
 //! [`nodes_visited`](amac::engine::EngineStats::nodes_visited) per lookup
 //! (see `bench/bin/layout` and `tests/layout_ab.rs`).
 
+use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
 use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
 use amac_hashtable::legacy::{LegacyAggBucket, LegacyAggHandle, LegacyBucket};
 use amac_hashtable::{LegacyAggTable, LegacyHashTable, LEGACY_TUPLES_PER_NODE};
@@ -40,11 +41,13 @@ pub struct LegacyProbeState {
     ptr: *const LegacyBucket,
     /// Simulated tick the prefetched line arrives (tiered runs only).
     ready_at: u64,
+    /// AMU commit group this lookup's lane was born into.
+    group: u32,
 }
 
 impl Default for LegacyProbeState {
     fn default() -> Self {
-        LegacyProbeState { key: 0, ptr: core::ptr::null(), ready_at: 0 }
+        LegacyProbeState { key: 0, ptr: core::ptr::null(), ready_at: 0, group: 0 }
     }
 }
 
@@ -57,7 +60,8 @@ pub struct LegacyProbeOp<'a> {
     matches: u64,
     checksum: u64,
     nodes_visited: u64,
-    clock: Option<SimClock>,
+    /// The AMU memory unit every load request routes through.
+    unit: LoadUnit<Option<SimClock>>,
 }
 
 impl<'a> LegacyProbeOp<'a> {
@@ -78,6 +82,19 @@ impl<'a> LegacyProbeOp<'a> {
         scan_all: bool,
         tier: Option<TierSpec>,
     ) -> Self {
+        Self::with_unit(ht, hint, scan_all, tier, None)
+    }
+
+    /// [`with_tier`](LegacyProbeOp::with_tier) plus the AMU coalescing
+    /// knob (see
+    /// [`ProbeConfig::coalesce`](crate::join::ProbeConfig::coalesce)).
+    pub fn with_unit(
+        ht: &'a LegacyHashTable,
+        hint: PrefetchHint,
+        scan_all: bool,
+        tier: Option<TierSpec>,
+        coalesce: Option<usize>,
+    ) -> Self {
         let tuples = ht.tuple_count();
         let per_bucket = tuples.div_ceil(ht.bucket_count() as u64).max(1);
         LegacyProbeOp {
@@ -88,7 +105,7 @@ impl<'a> LegacyProbeOp<'a> {
             matches: 0,
             checksum: 0,
             nodes_visited: 0,
-            clock: tier.map(|t| t.clock()),
+            unit: LoadUnit::new(tier.map(|t| t.clock()), coalesce),
         }
     }
 
@@ -115,20 +132,20 @@ impl LookupOp for LegacyProbeOp<'_> {
 
     fn start(&mut self, input: Tuple, state: &mut LegacyProbeState) {
         let ptr = self.ht.bucket_addr(input.key);
-        self.hint.issue(ptr);
         state.key = input.key;
         state.ptr = ptr;
-        if let Some(c) = &mut self.clock {
-            c.stage();
-            state.ready_at = c.issue_header();
+        state.group = self.unit.begin_lane();
+        self.unit.stage();
+        let t = self.unit.issue(AddrClass::header_ptr(ptr), 0, state.group);
+        if t.fresh {
+            self.hint.issue(ptr);
         }
+        state.ready_at = t.ready_at;
     }
 
     fn step(&mut self, state: &mut LegacyProbeState) -> Step {
-        if let Some(c) = &mut self.clock {
-            c.touch(state.ready_at);
-            c.stage();
-        }
+        self.unit.wait(state.ready_at);
+        self.unit.stage();
         // SAFETY: read-only probe phase; nodes owned by the table.
         let d = unsafe { (*state.ptr).data() };
         self.nodes_visited += 1;
@@ -142,18 +159,21 @@ impl LookupOp for LegacyProbeOp<'_> {
             }
         }
         if hit && !self.scan_all {
+            self.unit.retire_lane(state.group);
             return Step::Done;
         }
         let next = d.next;
         if next.is_null() {
+            self.unit.retire_lane(state.group);
             return Step::Done;
         }
-        self.hint.issue(next);
         state.ptr = next;
-        if let Some(c) = &mut self.clock {
-            // Legacy chunks have no slab indices; charged as slab 0.
-            state.ready_at = c.issue_slab(0);
+        // Legacy chunks have no slab indices; charged as slab 0.
+        let t = self.unit.issue(AddrClass::slab_ptr(0, next), 0, state.group);
+        if t.fresh {
+            self.hint.issue(next);
         }
+        state.ready_at = t.ready_at;
         Step::Continue
     }
 
@@ -163,12 +183,10 @@ impl LookupOp for LegacyProbeOp<'_> {
 
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
-        if let Some(c) = &mut self.clock {
-            c.flush(stats);
-        }
+        self.unit.flush(stats);
     }
 
-    crate::impl_sim_clock_delegation!();
+    crate::impl_mem_unit_delegation!();
 }
 
 /// Probe `s` against the legacy table with `technique`.

@@ -33,30 +33,32 @@
 //! [`legacy`] carries A/B ops over the seed's 2-tuple pointer-linked node
 //! layout, so the tag-probed redesign's hop savings stay measurable.
 
-/// Implements the `sim_idle`/`sim_now`/`sim_advance_to` clock protocol
-/// for an op with a `clock: Option<amac_tier::SimClock>` field — one
-/// definition for every tiered op in this crate, so a protocol change
-/// cannot silently miss an op (the trait defaults are no-ops).
-macro_rules! impl_sim_clock_delegation {
+/// Implements the `sim_idle`/`sim_now`/`sim_advance_to`/`commit_point`
+/// protocol for an op with a
+/// `unit: amac::engine::amu::LoadUnit<Option<amac_tier::SimClock>>` field
+/// — one definition for every AMU-routed op in this crate, so a protocol
+/// change cannot silently miss an op (the trait defaults are no-ops).
+/// Requires `amac::engine::amu::MemUnit` in scope.
+macro_rules! impl_mem_unit_delegation {
     () => {
         fn sim_idle(&mut self, ticks: u64) {
-            if let Some(c) = &mut self.clock {
-                c.idle(ticks);
-            }
+            self.unit.idle(ticks);
         }
 
         fn sim_now(&self) -> u64 {
-            self.clock.as_ref().map_or(0, |c| c.now())
+            self.unit.now()
         }
 
         fn sim_advance_to(&mut self, now: u64) {
-            if let Some(c) = &mut self.clock {
-                c.advance_to(now);
-            }
+            self.unit.advance_to(now);
+        }
+
+        fn commit_point(&mut self) {
+            self.unit.commit_group();
         }
     };
 }
-pub(crate) use impl_sim_clock_delegation;
+pub(crate) use impl_mem_unit_delegation;
 
 pub mod bst;
 pub mod btree;

@@ -233,7 +233,12 @@ pub fn probe_groupby_two_phase_mt_rt(
         table,
         &mid,
         technique,
-        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0, tier: cfg.tier },
+        &crate::groupby::GroupByConfig {
+            params: cfg.params,
+            n_stages: 0,
+            tier: cfg.tier,
+            coalesce: cfg.coalesce,
+        },
         &rt,
     );
     let mut report = run1.report;

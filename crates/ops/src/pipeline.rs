@@ -49,6 +49,7 @@
 //! assert_eq!(out.intermediate_bytes, 0);       // nothing materialized
 //! ```
 
+use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
 use amac::engine::pipeline::{
     Chain, Consumer, Discard, Fused, PipelineOp, Route, StageStep, Terminal,
 };
@@ -58,7 +59,7 @@ use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{fault_token, FaultPlan, LoadOutcome, SimClock, TierSpec};
+use amac_tier::{fault_token, FaultPlan, SimClock, TierSpec};
 use amac_workload::{FilterSpec, Relation, Tuple};
 
 /// Configuration shared by the fused pipeline drivers.
@@ -82,6 +83,9 @@ pub struct PipelineConfig {
     /// degrade-to-two-phase, not retry). See
     /// [`ProbeConfig::fault`](crate::join::ProbeConfig::fault).
     pub fault: Option<FaultPlan>,
+    /// AMU issue coalescing for **every** stage of the fused chain (see
+    /// [`ProbeConfig::coalesce`](crate::join::ProbeConfig::coalesce)).
+    pub coalesce: Option<usize>,
 }
 
 /// A join match flowing between pipeline operators: the probe tuple's
@@ -108,11 +112,21 @@ pub struct ProbePipeState {
     ready_at: u64,
     /// Chain hop index for schedule-invariant fault tokens.
     hop: u32,
+    /// AMU commit group this lookup's lane was born into.
+    group: u32,
 }
 
 impl Default for ProbePipeState {
     fn default() -> Self {
-        ProbePipeState { key: 0, payload: 0, ptr: core::ptr::null(), probe: 0, ready_at: 0, hop: 0 }
+        ProbePipeState {
+            key: 0,
+            payload: 0,
+            ptr: core::ptr::null(),
+            probe: 0,
+            ready_at: 0,
+            hop: 0,
+            group: 0,
+        }
     }
 }
 
@@ -125,7 +139,8 @@ pub struct ProbeStage<'a> {
     matches: u64,
     nodes_visited: u64,
     tag_rejects: u64,
-    clock: Option<SimClock>,
+    /// The AMU memory unit every load request routes through.
+    unit: LoadUnit<Option<SimClock>>,
 }
 
 impl<'a> ProbeStage<'a> {
@@ -151,6 +166,18 @@ impl<'a> ProbeStage<'a> {
         tier: Option<TierSpec>,
         fault: Option<FaultPlan>,
     ) -> Self {
+        Self::with_amu(ht, hint, tier, fault, None)
+    }
+
+    /// [`with_tier_fault`](ProbeStage::with_tier_fault) plus the AMU
+    /// coalescing knob (see [`PipelineConfig::coalesce`]).
+    pub fn with_amu(
+        ht: &'a HashTable,
+        hint: PrefetchHint,
+        tier: Option<TierSpec>,
+        fault: Option<FaultPlan>,
+        coalesce: Option<usize>,
+    ) -> Self {
         let clock = match (tier, fault) {
             (Some(t), Some(plan)) => Some(t.clock().with_fault(plan)),
             (Some(t), None) => Some(t.clock()),
@@ -164,7 +191,7 @@ impl<'a> ProbeStage<'a> {
             matches: 0,
             nodes_visited: 0,
             tag_rejects: 0,
-            clock,
+            unit: LoadUnit::new(clock, coalesce),
         }
     }
 
@@ -186,23 +213,23 @@ impl PipelineOp for ProbeStage<'_> {
 
     fn start(&mut self, input: Tuple, state: &mut ProbePipeState) {
         let ptr = self.ht.bucket_addr(input.key);
-        self.hint.issue(ptr);
         state.key = input.key;
         state.payload = input.payload;
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
         state.hop = 0;
-        if let Some(c) = &mut self.clock {
-            c.stage();
-            state.ready_at = c.issue_header();
+        state.group = self.unit.begin_lane();
+        self.unit.stage();
+        let t = self.unit.issue(AddrClass::header_ptr(ptr), 0, state.group);
+        if t.fresh {
+            self.hint.issue(ptr);
         }
+        state.ready_at = t.ready_at;
     }
 
     fn step(&mut self, state: &mut ProbePipeState) -> StageStep<Joined> {
-        if let Some(c) = &mut self.clock {
-            c.touch(state.ready_at);
-            c.stage();
-        }
+        self.unit.wait(state.ready_at);
+        self.unit.stage();
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
         // points at the header or an arena-owned chain node.
         let d = unsafe { (*state.ptr).data() };
@@ -213,6 +240,7 @@ impl PipelineOp for ProbeStage<'_> {
                 let t = d.tuples[i];
                 if t.key == state.key {
                     self.matches += 1;
+                    self.unit.retire_lane(state.group);
                     return StageStep::Emit(Joined {
                         key: state.key,
                         probe_payload: state.payload,
@@ -225,19 +253,22 @@ impl PipelineOp for ProbeStage<'_> {
         }
         let next = d.next;
         if next == NULL_INDEX {
+            self.unit.retire_lane(state.group);
             return StageStep::Skip; // probe miss
         }
         let ptr = self.ht.node_ptr(next);
-        self.hint.issue(ptr);
         state.ptr = ptr;
-        if let Some(c) = &mut self.clock {
-            let token = fault_token(state.key, state.hop);
-            state.hop += 1;
-            match c.issue_slab_checked(slab_of_index(next), token) {
-                LoadOutcome::Ready(t) | LoadOutcome::Delayed(t) => state.ready_at = t,
-                LoadOutcome::Failed => return StageStep::Failed,
-            }
+        let token = fault_token(state.key, state.hop);
+        state.hop += 1;
+        let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(next), ptr), token, state.group);
+        if t.fresh {
+            self.hint.issue(ptr);
         }
+        if t.failed {
+            self.unit.retire_lane(state.group);
+            return StageStep::Failed;
+        }
+        state.ready_at = t.ready_at;
         StageStep::Continue
     }
 
@@ -248,12 +279,10 @@ impl PipelineOp for ProbeStage<'_> {
     fn flush_observed(&mut self, stats: &mut EngineStats) {
         stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
         stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
-        if let Some(c) = &mut self.clock {
-            c.flush(stats);
-        }
+        self.unit.flush(stats);
     }
 
-    crate::impl_sim_clock_delegation!();
+    crate::impl_mem_unit_delegation!();
 }
 
 /// Group-by aggregation as a terminal pipeline operator: the existing
@@ -270,10 +299,11 @@ pub fn groupby_stage<'a>(
     table: &'a AggTable,
     params: TuningParams,
     tier: Option<TierSpec>,
+    coalesce: Option<usize>,
 ) -> GroupByStage<'a> {
     Terminal(crate::groupby::GroupByOp::new(
         table,
-        &crate::groupby::GroupByConfig { params, n_stages: 0, tier },
+        &crate::groupby::GroupByConfig { params, n_stages: 0, tier, coalesce },
     ))
 }
 
@@ -351,7 +381,7 @@ pub fn materializing_probe_op<'a>(
     cfg: &PipelineConfig,
 ) -> Fused<ProbeStage<'a>, RouteCollect> {
     Fused::new(
-        ProbeStage::with_tier_fault(ht, cfg.hint, cfg.tier, cfg.fault),
+        ProbeStage::with_amu(ht, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
         RouteCollect::new(FilterProject { filter: cfg.filter }),
     )
 }
@@ -375,8 +405,8 @@ pub fn fused_probe_groupby_op<'a>(
 ) -> FusedProbeGroupBy<'a> {
     Fused::new(
         Chain::new(
-            ProbeStage::with_tier_fault(ht, cfg.hint, cfg.tier, cfg.fault),
-            groupby_stage(table, cfg.params, cfg.tier),
+            ProbeStage::with_amu(ht, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
+            groupby_stage(table, cfg.params, cfg.tier, cfg.coalesce),
             FilterProject { filter: cfg.filter },
         ),
         Discard,
@@ -394,8 +424,8 @@ pub fn fused_probe_probe_op<'a>(
 ) -> FusedProbeProbe<'a> {
     Fused::new(
         Chain::new(
-            ProbeStage::with_tier_fault(ht1, cfg.hint, cfg.tier, cfg.fault),
-            ProbeStage::with_tier_fault(ht2, cfg.hint, cfg.tier, cfg.fault),
+            ProbeStage::with_amu(ht1, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
+            ProbeStage::with_amu(ht2, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
             FilterProject { filter: cfg.filter },
         ),
         CountChecksum::default(),
@@ -473,7 +503,12 @@ pub fn probe_then_groupby_two_phase(
         table,
         &mid,
         technique,
-        &crate::groupby::GroupByConfig { params: cfg.params, n_stages: 0, tier: cfg.tier },
+        &crate::groupby::GroupByConfig {
+            params: cfg.params,
+            n_stages: 0,
+            tier: cfg.tier,
+            coalesce: cfg.coalesce,
+        },
     );
     stats.merge(&gb.stats);
     PipelineOutput {
@@ -527,7 +562,7 @@ pub fn probe_then_probe_two_phase(
     let matched = op.pipe().matches();
     let mid = Relation::from_tuples(op.into_sink().out);
     let mut op2 = Fused::new(
-        ProbeStage::with_tier_fault(ht2, cfg.hint, cfg.tier, cfg.fault),
+        ProbeStage::with_amu(ht2, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
         CountChecksum::default(),
     );
     stats.merge(&run(technique, &mut op2, &mid.tuples, cfg.params));

@@ -25,6 +25,15 @@ pub struct AmacSession<O: LookupOp> {
     active: Vec<bool>,
     k: usize,
     in_flight: usize,
+    /// High-water mark of activated slots (max slot index started + 1).
+    /// `run_amac` clamps its window to `inputs.len()`, so a one-shot run
+    /// over fewer inputs than `M` never *visits* — and never charges idle
+    /// time for — slots beyond the input count. The drain rotation wraps
+    /// at this mark instead of `M` so a session run over the same inputs
+    /// charges bit-identical `sim_cycles`; reset (with `k`) once the
+    /// window fully drains, keeping later refills aligned with a fresh
+    /// run.
+    hi: usize,
     /// Sum of `in_flight` sampled at every executed slot rotation — the
     /// numerator of [`mean_occupancy`](AmacSession::mean_occupancy).
     occ_sum: u64,
@@ -38,7 +47,15 @@ impl<O: LookupOp> AmacSession<O> {
         let m = m.max(1);
         let mut states = Vec::with_capacity(m);
         states.resize_with(m, O::State::default);
-        AmacSession { states, active: vec![false; m], k: 0, in_flight: 0, occ_sum: 0, occ_ticks: 0 }
+        AmacSession {
+            states,
+            active: vec![false; m],
+            k: 0,
+            in_flight: 0,
+            hi: 0,
+            occ_sum: 0,
+            occ_ticks: 0,
+        }
     }
 
     /// Window capacity (the paper's `M`).
@@ -82,6 +99,10 @@ impl<O: LookupOp> AmacSession<O> {
         if self.in_flight < m {
             for slot in 0..m {
                 if next == inputs.len() {
+                    // Morsel boundaries are AMU commit points: the next
+                    // feed's lanes must not coalesce against this one's
+                    // in-flight loads.
+                    op.commit_point();
                     op.flush_observed(stats);
                     return;
                 }
@@ -92,6 +113,7 @@ impl<O: LookupOp> AmacSession<O> {
                     next += 1;
                     self.active[slot] = true;
                     self.in_flight += 1;
+                    self.hi = self.hi.max(slot + 1);
                     self.tick();
                 }
             }
@@ -124,6 +146,7 @@ impl<O: LookupOp> AmacSession<O> {
                 self.k = 0;
             }
         }
+        op.commit_point();
         op.flush_observed(stats);
     }
 
@@ -146,7 +169,6 @@ impl<O: LookupOp> AmacSession<O> {
         stats: &mut EngineStats,
         max_rotations: usize,
     ) -> bool {
-        let m = self.states.len();
         let pf = op.issues_prefetches() as u64;
         let mut rotations = 0usize;
         while self.in_flight > 0 {
@@ -180,11 +202,19 @@ impl<O: LookupOp> AmacSession<O> {
                 // session and a one-shot run charge identical stalls.
                 op.sim_idle(1);
             }
+            // Wrap at the activated high-water mark, not `M`: `run_amac`
+            // clamps its window to the input count, so slots that never
+            // held a lookup must not be visited (each visit would charge
+            // a phantom idle tick the one-shot executor never pays).
             self.k += 1;
-            if self.k == m {
+            if self.k >= self.hi {
                 self.k = 0;
             }
         }
+        // Fully drained: re-align with a fresh run so the next feed's
+        // fill starts at slot 0 of an empty window.
+        self.k = 0;
+        self.hi = 0;
         op.flush_observed(stats);
         true
     }
@@ -311,6 +341,79 @@ mod tests {
         assert!(session.drain_budgeted(&mut op, &mut stats, 100));
         assert_eq!(session.in_flight(), 0);
         assert_eq!(stats.lookups, 4);
+    }
+
+    #[test]
+    fn drained_window_idle_ticks_match_the_one_shot_executor() {
+        /// [`ChainOp`]-shaped op that also counts `sim_idle` ticks, so the
+        /// drain rotation's idle charging is observable.
+        struct IdleChain {
+            chains: Vec<usize>,
+            outputs: Vec<u64>,
+            idle: u64,
+        }
+        #[derive(Default)]
+        struct S {
+            idx: usize,
+            remaining: usize,
+        }
+        impl LookupOp for IdleChain {
+            type Input = usize;
+            type State = S;
+            fn budgeted_steps(&self) -> usize {
+                4
+            }
+            fn start(&mut self, input: usize, state: &mut S) {
+                state.idx = input;
+                state.remaining = self.chains[input];
+            }
+            fn step(&mut self, state: &mut S) -> Step {
+                if state.remaining > 1 {
+                    state.remaining -= 1;
+                    Step::Continue
+                } else {
+                    self.outputs[state.idx] = 10 * self.chains[state.idx] as u64;
+                    Step::Done
+                }
+            }
+            fn sim_idle(&mut self, ticks: u64) {
+                self.idle += ticks;
+            }
+        }
+        let mk = |chains: &[usize]| IdleChain {
+            chains: chains.to_vec(),
+            outputs: vec![0; chains.len()],
+            idle: 0,
+        };
+
+        // Fewer inputs than M: `run_amac` clamps its window to 4 slots,
+        // so its drain loop never visits — or charges idle time for — the
+        // 6 slots a 10-wide session also leaves empty. The session must
+        // agree tick for tick (the old rotation wrapped at M and charged
+        // a phantom idle tick per empty slot per rotation).
+        let chains: Vec<usize> = vec![3, 1, 4, 2];
+        let inputs: Vec<usize> = (0..chains.len()).collect();
+        let mut whole = mk(&chains);
+        let want = run_amac(&mut whole, &inputs, 10);
+
+        let mut op = mk(&chains);
+        let mut session = AmacSession::new(10);
+        let mut stats = EngineStats::default();
+        session.feed(&mut op, &inputs, &mut stats);
+        session.drain(&mut op, &mut stats);
+        assert_eq!(stats, want, "counters diverged from the one-shot executor");
+        assert_eq!(op.idle, whole.idle, "drained-window idle ticks diverged");
+        assert_eq!(op.outputs, whole.outputs);
+
+        // The reset on full drain keeps a *reused* session aligned too.
+        let mut whole2 = mk(&chains);
+        let want2 = run_amac(&mut whole2, &inputs, 10);
+        let before = op.idle;
+        let mut stats2 = EngineStats::default();
+        session.feed(&mut op, &inputs, &mut stats2);
+        session.drain(&mut op, &mut stats2);
+        assert_eq!(stats2, want2, "second use of a drained session diverged");
+        assert_eq!(op.idle - before, whole2.idle, "idle ticks drifted on reuse");
     }
 
     #[test]

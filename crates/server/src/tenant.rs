@@ -123,4 +123,12 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Pipeline(op) => op.sim_advance_to(now),
         }
     }
+
+    fn commit_point(&mut self) {
+        match self {
+            TenantOp::Probe(op) => op.commit_point(),
+            TenantOp::GroupBy(op) => op.commit_point(),
+            TenantOp::Pipeline(op) => op.commit_point(),
+        }
+    }
 }

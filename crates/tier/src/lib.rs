@@ -425,6 +425,88 @@ impl SimClock {
     }
 }
 
+/// [`SimClock`] as the cost/fault model behind an AMU memory unit
+/// (`amac::engine::amu`): the trait the explicit
+/// issue/commit-group/wait-group protocol charges its loads against.
+///
+/// The mapping preserves the pre-AMU plumbing exactly:
+///
+/// * `Header` loads resolve unchecked ([`issue_header`](SimClock::issue_header))
+///   — the header array is the dense hot region and was never routed
+///   through the fault plan;
+/// * `Slab` loads resolve through
+///   [`issue_slab_checked`](SimClock::issue_slab_checked): `Ready`/`Delayed`
+///   become a plain `ready_at`, `Failed` poisons the ticket (its
+///   `ready_at` is still charged at plain slab latency so a coalesced
+///   duplicate has a wait target);
+/// * a duplicate request ([`resolve_dup`](amac::engine::amu::LoadBackend::resolve_dup))
+///   re-runs *only*
+///   the per-token fault decision — same decision, same fault counter as
+///   a fresh issue would make — which is what keeps results and
+///   `load_faults` bit-identical with coalescing on or off.
+impl amac::engine::amu::LoadBackend for SimClock {
+    #[inline(always)]
+    fn stage(&mut self) {
+        SimClock::stage(self);
+    }
+
+    #[inline(always)]
+    fn idle(&mut self, ticks: u64) {
+        SimClock::idle(self, ticks);
+    }
+
+    #[inline(always)]
+    fn now(&self) -> u64 {
+        SimClock::now(self)
+    }
+
+    #[inline(always)]
+    fn advance_to(&mut self, now: u64) {
+        SimClock::advance_to(self, now);
+    }
+
+    #[inline]
+    fn resolve(&mut self, class: amac::engine::amu::AddrClass, token: u64) -> (u64, bool) {
+        use amac::engine::amu::AddrClass;
+        match class {
+            AddrClass::Header { .. } => (self.issue_header(), false),
+            AddrClass::Slab { slab, .. } => match self.issue_slab_checked(slab, token) {
+                LoadOutcome::Ready(t) | LoadOutcome::Delayed(t) => (t, false),
+                LoadOutcome::Failed => (self.issue_slab(slab), true),
+            },
+        }
+    }
+
+    #[inline]
+    fn resolve_dup(&mut self, class: amac::engine::amu::AddrClass, token: u64) -> bool {
+        use amac::engine::amu::AddrClass;
+        let AddrClass::Slab { slab, .. } = class else {
+            return false;
+        };
+        let Some(plan) = self.fault else {
+            return false;
+        };
+        if self.spec.policy.slab_tier(slab) == Tier::Near {
+            return false;
+        }
+        if plan.fails(token) {
+            self.faults += 1;
+            return true;
+        }
+        false
+    }
+
+    #[inline(always)]
+    fn wait_until(&mut self, ready_at: u64) {
+        self.touch(ready_at);
+    }
+
+    #[inline]
+    fn flush(&mut self, stats: &mut EngineStats) {
+        SimClock::flush(self, stats);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +617,42 @@ mod tests {
             assert!(rungs <= 4, "degradation ladder must terminate");
         }
         assert_eq!(p, TierPolicy::AllNear);
+    }
+
+    #[test]
+    fn load_backend_resolve_matches_checked_issue() {
+        use amac::engine::amu::{AddrClass, LoadBackend};
+        // Healthy clock: header resolves at near latency, slab at far.
+        let mut c = TierSpec::headers_near(8).clock();
+        assert_eq!(c.resolve(AddrClass::Header { line: 0 }, 0), (4, false));
+        assert_eq!(c.resolve(AddrClass::Slab { slab: 0, line: 1 }, fault_token(1, 0)), (32, false));
+        // A failing token poisons the ticket but still prices a wait
+        // target, and a duplicate of the same token re-charges the fault.
+        let mut f = TierSpec::headers_near(8).clock().with_fault(FaultPlan::fail_only(5, 1000));
+        let (ready, failed) = f.resolve(AddrClass::Slab { slab: 0, line: 2 }, fault_token(9, 1));
+        assert!(failed);
+        assert_eq!(ready, 32, "failed loads still price plain slab latency");
+        assert!(f.resolve_dup(AddrClass::Slab { slab: 0, line: 2 }, fault_token(9, 1)));
+        let mut s = EngineStats::default();
+        LoadBackend::flush(&mut f, &mut s);
+        assert_eq!(s.load_faults, 2, "fresh and duplicate both charged");
+        // Dups never fault on headers, near slabs, or plan-free clocks.
+        assert!(!f.resolve_dup(AddrClass::Header { line: 0 }, fault_token(9, 1)));
+        let mut near =
+            TierSpec { model: CostModel::default(), policy: TierPolicy::AllNear }.clock();
+        near.fault = Some(FaultPlan::fail_only(5, 1000));
+        assert!(!near.resolve_dup(AddrClass::Slab { slab: 0, line: 0 }, fault_token(9, 1)));
+        let mut plain = TierSpec::headers_near(8).clock();
+        assert!(!plain.resolve_dup(AddrClass::Slab { slab: 0, line: 0 }, fault_token(9, 1)));
+        // The trait's clock surface delegates to the inherent methods.
+        LoadBackend::stage(&mut c);
+        LoadBackend::idle(&mut c, 3);
+        assert_eq!(LoadBackend::now(&c), 4);
+        LoadBackend::advance_to(&mut c, 10);
+        LoadBackend::wait_until(&mut c, 15);
+        let mut s2 = EngineStats::default();
+        LoadBackend::flush(&mut c, &mut s2);
+        assert_eq!((s2.sim_cycles, s2.sim_stalls), (1, 5));
     }
 
     #[test]

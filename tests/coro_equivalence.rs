@@ -14,7 +14,7 @@ use amac_suite::workload::{Relation, Tuple};
 use proptest::prelude::*;
 
 fn coro_cfg(width: usize, scan_all: bool) -> CoroConfig {
-    CoroConfig { width, scan_all, materialize: true, tier: None }
+    CoroConfig { width, scan_all, materialize: true, ..Default::default() }
 }
 
 #[test]

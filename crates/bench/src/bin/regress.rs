@@ -288,6 +288,28 @@ mod tests {
         assert!(!check(zero, 1.0), "zero invariants admit no drift");
     }
 
+    /// The shipped baselines must gate the recovery bench: five keys,
+    /// all pointing at BENCH_RECOVERY.json. Losing one silently un-gates
+    /// a durability counter.
+    #[test]
+    fn shipped_baselines_cover_the_recovery_bench() {
+        let shipped = include_str!("../../baselines.json");
+        let (_, entries) = parse_baselines(shipped);
+        for key in [
+            "BENCH_RECOVERY_SCENARIOS",
+            "BENCH_RECOVERY_REPLAYED_RECORDS",
+            "BENCH_RECOVERY_RECOVERED_QUERIES",
+            "BENCH_RECOVERY_LOG_BYTES",
+            "BENCH_RECOVERY_LOG_STALLS",
+        ] {
+            let e = entries
+                .iter()
+                .find(|e| e.key == key)
+                .unwrap_or_else(|| panic!("baselines.json lost {key}"));
+            assert_eq!(e.file, "BENCH_RECOVERY.json");
+        }
+    }
+
     #[test]
     fn bless_roundtrips_through_the_parser() {
         let (tol, entries) = parse_baselines(SAMPLE);

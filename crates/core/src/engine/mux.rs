@@ -298,6 +298,10 @@ impl<O: LookupOp> LookupOp for Mux<O> {
                 led.load_faults += delta.load_faults;
                 led.issued_loads += delta.issued_loads;
                 led.coalesced_loads += delta.coalesced_loads;
+                led.log_bytes += delta.log_bytes;
+                led.log_stalls += delta.log_stalls;
+                led.replayed_records += delta.replayed_records;
+                led.recovered_queries += delta.recovered_queries;
                 stats.merge(&delta);
             }
         }

@@ -78,6 +78,28 @@ pub struct EngineStats {
     /// on input order and group size, not on executor scheduling or
     /// thread count. 0 for scalar units.
     pub coalesced_loads: u64,
+    /// Bytes of logical WAL records appended by mutation ops
+    /// (`amac_tier::WalRecord::encoded_len`, drained through
+    /// [`super::LookupOp::flush_observed`]). 0 for read-only ops and for
+    /// mutation runs with logging disabled.
+    pub log_bytes: u64,
+    /// Amortized write-latency ticks charged per appended WAL record:
+    /// the asymmetric NVM write cost (`CostModel::write_latency`) divided
+    /// by the commit-group size (group commit rides the AMU commit
+    /// group, so one flush wait is shared by the whole group). Kept
+    /// separate from [`sim_stalls`](EngineStats::sim_stalls) — log writes
+    /// are drained asynchronously at commit boundaries, they do not stall
+    /// the lookup pipeline. 0 when no records were logged.
+    pub log_stalls: u64,
+    /// WAL records re-applied during recovery replay
+    /// (`amac_ops::mutate::ReplayOp`, drained through
+    /// [`super::LookupOp::flush_observed`] so Mux lane ledgers stay
+    /// exact). 0 outside recovery.
+    pub replayed_records: u64,
+    /// Queries that completed as `QueryOutcome::Recovered` — re-admitted
+    /// after a crash by `amac_server`'s recovery path. 0 outside
+    /// recovery.
+    pub recovered_queries: u64,
 }
 
 impl EngineStats {
@@ -99,6 +121,10 @@ impl EngineStats {
         self.cancelled_lookups += o.cancelled_lookups;
         self.issued_loads += o.issued_loads;
         self.coalesced_loads += o.coalesced_loads;
+        self.log_bytes += o.log_bytes;
+        self.log_stalls += o.log_stalls;
+        self.replayed_records += o.replayed_records;
+        self.recovered_queries += o.recovered_queries;
     }
 
     /// Fraction of simulated time spent stalled on unfinished loads:
@@ -181,6 +207,10 @@ mod tests {
             cancelled_lookups: 3,
             issued_loads: 8,
             coalesced_loads: 2,
+            log_bytes: 17,
+            log_stalls: 4,
+            replayed_records: 5,
+            recovered_queries: 1,
             ..Default::default()
         });
         assert_eq!(a.lookups, 3);
@@ -197,6 +227,10 @@ mod tests {
         assert_eq!(a.cancelled_lookups, 3);
         assert_eq!(a.issued_loads, 8);
         assert_eq!(a.coalesced_loads, 2);
+        assert_eq!(a.log_bytes, 17);
+        assert_eq!(a.log_stalls, 4);
+        assert_eq!(a.replayed_records, 5);
+        assert_eq!(a.recovered_queries, 1);
         assert!((a.nodes_per_lookup() - 7.0 / 3.0).abs() < 1e-12);
     }
 

@@ -29,6 +29,8 @@ use amac_mem::latch::Latch;
 use amac_mem::NULL_INDEX;
 use amac_workload::Tuple;
 use core::cell::UnsafeCell;
+use core::ptr::addr_of_mut;
+use core::sync::atomic::{AtomicU32, AtomicU64};
 
 /// Tuples stored inline per chain node (bucket header or overflow node).
 pub const TUPLES_PER_NODE: usize = 3;
@@ -150,6 +152,44 @@ impl Bucket {
     #[inline(always)]
     pub fn data_ptr(&self) -> *const BucketData {
         self.data.get()
+    }
+
+    /// Atomic view of this node's chain link — the only field the
+    /// latch-free mutation epoch writes on *published* nodes (fresh nodes
+    /// are CAS-prepended here; see `HashTable::freeze`). Plain reads of a
+    /// field another thread writes atomically are a data race, so every
+    /// epoch-concurrent access to `next` goes through this view.
+    #[inline(always)]
+    pub fn next_atomic(&self) -> &AtomicU32 {
+        // SAFETY: `next` is a 4-aligned `u32` inside the node's
+        // `UnsafeCell`; an atomic view over it is always valid.
+        unsafe { AtomicU32::from_ptr(addr_of_mut!((*self.data.get()).next)) }
+    }
+
+    /// Atomic view of the packed tags + count word (immutable after the
+    /// table freezes, but read concurrently with other fields' writes).
+    #[inline(always)]
+    pub fn meta_atomic(&self) -> &AtomicU32 {
+        // SAFETY: as in next_atomic — `meta` is a 4-aligned u32.
+        unsafe { AtomicU32::from_ptr(addr_of_mut!((*self.data.get()).meta)) }
+    }
+
+    /// Atomic view of slot `i`'s key — written by latch-free deletes
+    /// (tombstone CAS to `HashTable::TOMBSTONE`).
+    #[inline(always)]
+    pub fn key_atomic(&self, i: usize) -> &AtomicU64 {
+        debug_assert!(i < TUPLES_PER_NODE);
+        // SAFETY: tuple fields are 8-aligned u64s inside the UnsafeCell.
+        unsafe { AtomicU64::from_ptr(addr_of_mut!((*self.data.get()).tuples[i].key)) }
+    }
+
+    /// Atomic view of slot `i`'s payload — written by latch-free upserts
+    /// (commutative `fetch_add`, so any interleaving sums identically).
+    #[inline(always)]
+    pub fn payload_atomic(&self, i: usize) -> &AtomicU64 {
+        // SAFETY: as in key_atomic.
+        debug_assert!(i < TUPLES_PER_NODE);
+        unsafe { AtomicU64::from_ptr(addr_of_mut!((*self.data.get()).tuples[i].payload)) }
     }
 }
 

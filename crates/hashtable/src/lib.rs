@@ -43,4 +43,4 @@ pub use bucket::{probe_word, tags_may_match, Bucket, BucketData, TUPLES_PER_NODE
 pub use late::LateAggTable;
 pub use legacy::{LegacyAggTable, LegacyBucket, LegacyHashTable, LEGACY_TUPLES_PER_NODE};
 pub use linear::{LinearTable, SlotLine, EMPTY_KEY, SLOTS_PER_LINE};
-pub use table::{BuildHandle, HashTable, TableStats};
+pub use table::{BuildHandle, HashTable, TableSnapshot, TableStats};

@@ -16,6 +16,8 @@
 //! | Linear-probing probe | [`linear`] | 0: hash + prefetch slot group; 1: scan group / advance + prefetch next group — the flat-layout counterpart |
 //! | Skip list search | [`skiplist`] | 0: prefetch top-level successor; 1: compare / advance / descend |
 //! | Skip list insert | [`skiplist`] | search stages + 2: random level & node allocation; 3: per-level latched splice |
+//! | Latch-free upsert/insert/delete | [`mutate`] | 0: hash + prefetch header; 1..N: frozen-chain walk + WAL append; terminal: fresh-prefix CAS action |
+//! | WAL replay | [`mutate`] | single stage: re-apply one logical record through the latch-free primitives (recovery path) |
 //!
 //! Every driver returns timing (cycles/seconds via `amac-metrics`) plus the
 //! executor's [`amac::engine::EngineStats`], and every operator produces an
@@ -69,6 +71,7 @@ pub mod join_radix;
 pub mod legacy;
 pub mod linear;
 pub mod multi;
+pub mod mutate;
 pub mod parallel;
 pub mod pipeline;
 pub mod skiplist;

@@ -1,0 +1,713 @@
+//! Latch-free mutation operators (upsert / insert / delete) and the
+//! recovery replay operator.
+//!
+//! PR 5's latched build/group-by stages left a caveat: latch retries are
+//! schedule-dependent, so their simulated counters are only deterministic
+//! single-threaded. These ops close that gap with the frozen-boundary
+//! discipline of `amac_hashtable` (`HashTable::freeze`): the structure
+//! built by the latched phase is immutable during a mutation epoch, all
+//! merges are commutative atomics, and misses CAS-prepend fully
+//! initialized *fresh* nodes at chain heads. Two consequences:
+//!
+//! * **Results** are bit-identical under any interleaving (commutative
+//!   `fetch_add`, CAS-arbitrated tombstones, one fresh node per
+//!   (bucket, key) by prepend-with-recheck).
+//! * **Simulated counters** are schedule-invariant by construction: the
+//!   charged AMAC walk covers exactly the *frozen* part of a chain
+//!   (header + frozen nodes — immutable, so hops, tag rejects and fault
+//!   tokens depend only on the key), the fresh prefix is handled
+//!   inline at terminal actions as near-resident bookkeeping, and
+//!   stalls use an **issue-time residual model**: each issued load
+//!   charges `max(0, latency − M)` immediately (`M` = the configured
+//!   in-flight window — what an M-deep interleave cannot hide),
+//!   instead of the probe's arrival-time wait which depends on how
+//!   neighbors advanced the clock. Hence `sim_cycles`/`sim_stalls` are
+//!   identical across 1/2/4T and every morsel scheduling — the
+//!   regression test in this module pins exactly that.
+//!
+//! **Determinism discipline**: within one epoch, do not delete a key the
+//! same epoch also upserts/inserts (the winner is schedule-dependent),
+//! and do not mix `Insert` (dup-chaining) with `Upsert` (dedup) on one
+//! key. The serving layer's waves and the recovery tests obey this.
+//!
+//! Every applied mutation appends a logical [`WalRecord`]; appends charge
+//! `EngineStats::log_bytes` (encoded size) and `log_stalls` (the
+//! asymmetric NVM write latency `CostModel::write_latency`, amortized
+//! over the commit group `M` by group commit — arxiv 1809.09395). A
+//! crash loses the unsealed tail; [`ReplayOp`] re-applies a sealed WAL
+//! segment through the same primitives, reproducing the physical table
+//! bit-for-bit (same fresh-node indices, same chain order).
+
+use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
+use amac::engine::{run, EngineStats, LookupOp, Step, Technique, TuningParams};
+use amac_hashtable::{probe_word, tags_may_match, Bucket, HashTable};
+use amac_mem::hash::tag_of;
+use amac_mem::prefetch::PrefetchHint;
+use amac_mem::{slab_of_index, NULL_INDEX};
+use amac_metrics::timer::CycleTimer;
+use amac_runtime::{execute, MorselConfig};
+use amac_tier::{fault_token, FaultPlan, SimClock, TierSpec, WalRecord};
+use amac_workload::{Relation, Tuple};
+
+/// Which mutation a [`MutateOp`] applies per input tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MutateKind {
+    /// `key += payload`, creating the tuple if absent (dedup; the
+    /// serving-path default).
+    #[default]
+    Upsert,
+    /// Unconditionally prepend `(key, payload)` — duplicates chain, O(1)
+    /// beyond the charged header load.
+    Insert,
+    /// Tombstone every live tuple with `key` (payload ignored).
+    Delete,
+}
+
+/// Mutation configuration (mirrors `ProbeConfig` where it overlaps).
+#[derive(Debug, Clone)]
+pub struct MutateConfig {
+    /// Executor tuning (the paper's `M`); also the group-commit size the
+    /// WAL write cost amortizes over, and the hiding depth of the
+    /// issue-time residual stall model.
+    pub params: TuningParams,
+    /// The mutation applied per tuple.
+    pub kind: MutateKind,
+    /// GP/SPP stage budget; `0` derives from occupancy as in
+    /// `ProbeConfig::n_stages` (`Insert` always budgets 1 — its walk is
+    /// the header only).
+    pub n_stages: usize,
+    /// Prefetch instruction policy.
+    pub hint: PrefetchHint,
+    /// Memory-tier cost model (`None` = untiered counters, but WAL costs
+    /// still charge against the default [`amac_tier::CostModel`]).
+    pub tier: Option<TierSpec>,
+    /// Seeded far-load fault plan: a poisoned chain hop retires the
+    /// mutation as [`Step::Failed`] — nothing applied, nothing logged.
+    pub fault: Option<FaultPlan>,
+    /// Append [`WalRecord`]s for applied mutations (on by default; the
+    /// logging-off ablation isolates the WAL's `log_*` charges).
+    pub wal: bool,
+}
+
+impl Default for MutateConfig {
+    fn default() -> Self {
+        MutateConfig {
+            params: TuningParams::default(),
+            kind: MutateKind::Upsert,
+            n_stages: 0,
+            hint: PrefetchHint::Nta,
+            tier: None,
+            fault: None,
+            wal: true,
+        }
+    }
+}
+
+/// Per-mutation in-flight state (the circular-buffer entry).
+pub struct MutState {
+    key: u64,
+    delta: u64,
+    /// Node the next step dereferences (header first).
+    ptr: *const Bucket,
+    /// SWAR probe word of the key's fingerprint.
+    probe: u32,
+    /// True until the header step ran (its `next` needs the fresh-prefix
+    /// skip; frozen interiors cannot grow fresh nodes).
+    at_header: bool,
+    /// Chain hop index for schedule-invariant fault tokens.
+    hop: u32,
+    /// AMU commit group of this mutation's lane.
+    group: u32,
+}
+
+impl Default for MutState {
+    fn default() -> Self {
+        MutState {
+            key: 0,
+            delta: 0,
+            ptr: core::ptr::null(),
+            probe: 0,
+            at_header: true,
+            hop: 0,
+            group: 0,
+        }
+    }
+}
+
+/// The latch-free mutation lookup as a state machine: stage 0 hashes and
+/// requests the header; each later stage processes one **frozen** chain
+/// node and requests the next; the terminal stage runs the fresh-prefix
+/// action (merge/prepend/tombstone) and appends the WAL record.
+pub struct MutateOp<'a> {
+    ht: &'a HashTable,
+    cfg: MutateConfig,
+    /// Frozen boundary captured at construction (the epoch is already
+    /// entered — `new` freezes).
+    bound: u32,
+    n_stages: usize,
+    /// Latency a perfectly utilized M-deep window hides per load.
+    hide: u64,
+    /// Amortized asymmetric write ticks per WAL record
+    /// (`write_latency / M`, ≥ 1), 0 with logging off.
+    write_cost: u64,
+    /// Scalar AMU unit. Mutations never coalesce: group composition is
+    /// schedule-dependent under morsel stealing, which would make
+    /// `issued_loads` vary across thread counts.
+    unit: LoadUnit<Option<SimClock>>,
+    applied: u64,
+    created: u64,
+    merged: u64,
+    deleted: u64,
+    nodes_visited: u64,
+    tag_rejects: u64,
+    log_bytes: u64,
+    log_stalls: u64,
+    wal: Vec<WalRecord>,
+}
+
+impl<'a> MutateOp<'a> {
+    /// Create a mutation op against `ht`, entering its latch-free epoch.
+    pub fn new(ht: &'a HashTable, cfg: &MutateConfig) -> Self {
+        let n_stages = match cfg.kind {
+            MutateKind::Insert => 1,
+            _ if cfg.n_stages == 0 => crate::join::auto_chain_estimate(ht),
+            _ => cfg.n_stages,
+        };
+        let clock = match (cfg.tier, cfg.fault) {
+            (Some(t), Some(plan)) => Some(t.clock().with_fault(plan)),
+            (Some(t), None) => Some(t.clock()),
+            (None, Some(plan)) => Some(TierSpec::headers_near(1).clock().with_fault(plan)),
+            (None, None) => None,
+        };
+        let group = cfg.params.in_flight.max(1) as u64;
+        let model = cfg.tier.map(|t| t.model).unwrap_or_default();
+        MutateOp {
+            ht,
+            bound: ht.freeze(),
+            n_stages,
+            hide: group,
+            write_cost: if cfg.wal { model.write_latency().div_ceil(group).max(1) } else { 0 },
+            unit: LoadUnit::scalar(clock),
+            cfg: cfg.clone(),
+            applied: 0,
+            created: 0,
+            merged: 0,
+            deleted: 0,
+            nodes_visited: 0,
+            tag_rejects: 0,
+            log_bytes: 0,
+            log_stalls: 0,
+            wal: Vec::new(),
+        }
+    }
+
+    /// Mutations applied (every non-failed lookup).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Fresh nodes created (upsert misses + every insert).
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Upserts folded into an existing tuple.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// Tuples tombstoned by deletes.
+    pub fn deleted(&self) -> u64 {
+        self.deleted
+    }
+
+    /// Take the WAL records appended so far (driver/serving drain; the
+    /// records of one op are in its apply order).
+    pub fn drain_wal(&mut self) -> Vec<WalRecord> {
+        core::mem::take(&mut self.wal)
+    }
+
+    /// Issue-time residual stall: charge what an M-deep window cannot
+    /// hide of this load, independent of how far neighbors advanced the
+    /// clock (`sim_stalls` stays schedule- and thread-invariant).
+    #[inline]
+    fn charge_residual(&mut self, ready_at: u64) {
+        let lat = ready_at.saturating_sub(self.unit.now());
+        let residual = lat.saturating_sub(self.hide);
+        if residual > 0 {
+            let now = self.unit.now();
+            self.unit.wait(now + residual);
+        }
+    }
+
+    /// Append the lookup's WAL record and charge the log costs.
+    fn log(&mut self, rec: WalRecord) {
+        if self.cfg.wal {
+            self.log_bytes += rec.encoded_len();
+            self.log_stalls += self.write_cost;
+            self.wal.push(rec);
+        }
+    }
+
+    /// Terminal fresh-prefix action; returns the outcome counters.
+    fn terminal(&mut self, key: u64, delta: u64) {
+        match self.cfg.kind {
+            MutateKind::Upsert => {
+                if self.ht.fresh_upsert(key, delta) {
+                    self.created += 1;
+                } else {
+                    self.merged += 1;
+                }
+                self.log(WalRecord::Upsert { key, delta });
+            }
+            MutateKind::Insert => {
+                self.ht.fresh_insert(key, delta);
+                self.created += 1;
+                self.log(WalRecord::Insert { key, payload: delta });
+            }
+            MutateKind::Delete => {
+                self.deleted += self.ht.fresh_delete(key);
+                self.log(WalRecord::Delete { key });
+            }
+        }
+        self.applied += 1;
+    }
+}
+
+impl LookupOp for MutateOp<'_> {
+    type Input = Tuple;
+    type State = MutState;
+
+    fn budgeted_steps(&self) -> usize {
+        self.n_stages
+    }
+
+    fn start(&mut self, input: Tuple, state: &mut MutState) {
+        let ptr = self.ht.bucket_addr(input.key);
+        state.key = input.key;
+        state.delta = input.payload;
+        state.ptr = ptr;
+        state.probe = probe_word(tag_of(input.key));
+        state.at_header = true;
+        state.hop = 0;
+        state.group = self.unit.begin_lane();
+        self.unit.stage();
+        let t = self.unit.issue(AddrClass::header_ptr(ptr), 0, state.group);
+        if t.fresh {
+            self.cfg.hint.issue(ptr);
+        }
+        self.charge_residual(t.ready_at);
+    }
+
+    fn step(&mut self, state: &mut MutState) -> Step {
+        self.unit.stage();
+        // SAFETY: ptr is the header or a frozen arena node of this
+        // table; frozen meta/next are immutable during the epoch, and
+        // slot accesses go through the atomic views.
+        let b = unsafe { &*state.ptr };
+        self.nodes_visited += 1;
+        let meta = b.meta_atomic().load(core::sync::atomic::Ordering::Relaxed);
+        match self.cfg.kind {
+            MutateKind::Insert => {
+                // O(1): the header load was the whole charged walk.
+                self.terminal(state.key, state.delta);
+                self.unit.retire_lane(state.group);
+                return Step::Done;
+            }
+            MutateKind::Upsert => {
+                if tags_may_match(meta, state.probe) {
+                    let count = (meta >> 24) as usize;
+                    for i in 0..count {
+                        if b.key_atomic(i).load(core::sync::atomic::Ordering::Acquire) == state.key
+                        {
+                            b.payload_atomic(i)
+                                .fetch_add(state.delta, core::sync::atomic::Ordering::AcqRel);
+                            self.merged += 1;
+                            self.applied += 1;
+                            self.log(WalRecord::Upsert { key: state.key, delta: state.delta });
+                            self.unit.retire_lane(state.group);
+                            return Step::Done;
+                        }
+                    }
+                } else {
+                    self.tag_rejects += 1;
+                }
+            }
+            MutateKind::Delete => {
+                if tags_may_match(meta, state.probe) {
+                    // SAFETY: frozen node of this table.
+                    self.deleted += unsafe { self.ht.frozen_tombstone(state.ptr, state.key) };
+                } else {
+                    self.tag_rejects += 1;
+                }
+            }
+        }
+        // Advance to the next frozen node. Only the header's link can
+        // point into the fresh prefix (prepends land at chain heads).
+        let next = {
+            let link = b.next_atomic().load(core::sync::atomic::Ordering::Acquire);
+            if state.at_header {
+                self.ht.skip_fresh(link, self.bound)
+            } else {
+                link
+            }
+        };
+        if next == NULL_INDEX {
+            self.terminal(state.key, state.delta);
+            self.unit.retire_lane(state.group);
+            return Step::Done;
+        }
+        let ptr = self.ht.node_ptr(next);
+        let token = fault_token(state.key, state.hop);
+        state.hop += 1;
+        let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(next), ptr), token, state.group);
+        if t.fresh {
+            self.cfg.hint.issue(ptr);
+        }
+        if t.failed {
+            self.unit.retire_lane(state.group);
+            return Step::Failed;
+        }
+        self.charge_residual(t.ready_at);
+        state.ptr = ptr;
+        state.at_header = false;
+        Step::Continue
+    }
+
+    fn issues_prefetches(&self) -> bool {
+        self.cfg.hint.is_real()
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.nodes_visited += core::mem::take(&mut self.nodes_visited);
+        stats.tag_rejects += core::mem::take(&mut self.tag_rejects);
+        stats.log_bytes += core::mem::take(&mut self.log_bytes);
+        stats.log_stalls += core::mem::take(&mut self.log_stalls);
+        self.unit.flush(stats);
+    }
+
+    crate::impl_mem_unit_delegation!();
+}
+
+/// Result of one mutation run.
+#[derive(Debug, Clone, Default)]
+pub struct MutateOutput {
+    /// Mutations applied (== inputs − failed lookups).
+    pub applied: u64,
+    /// Fresh nodes created.
+    pub created: u64,
+    /// Upserts merged into existing tuples.
+    pub merged: u64,
+    /// Tuples tombstoned.
+    pub deleted: u64,
+    /// Executor event counters (including `log_bytes`/`log_stalls`).
+    pub stats: EngineStats,
+    /// Logical WAL records of every applied mutation, in apply order
+    /// (multi-threaded drivers concatenate per-thread logs in tid order —
+    /// deterministic *as a set*; the serving layer keeps strict order by
+    /// mutating single-threaded per session).
+    pub wal: Vec<WalRecord>,
+    /// Mutation-loop wall time.
+    pub seconds: f64,
+}
+
+/// Run `cfg.kind` mutations from `rel` against `ht` with `technique`.
+pub fn mutate(
+    ht: &HashTable,
+    rel: &Relation,
+    technique: Technique,
+    cfg: &MutateConfig,
+) -> MutateOutput {
+    let mut op = MutateOp::new(ht, cfg);
+    let timer = CycleTimer::start();
+    let stats = run(technique, &mut op, &rel.tuples, cfg.params);
+    let seconds = timer.seconds();
+    MutateOutput {
+        applied: op.applied,
+        created: op.created,
+        merged: op.merged,
+        deleted: op.deleted,
+        wal: op.drain_wal(),
+        stats,
+        seconds,
+    }
+}
+
+/// [`mutate`] over the morsel runtime (the 1/2/4T determinism surface).
+/// Auto-tune is disabled: a tuning probe would apply mutations twice.
+pub fn mutate_mt_rt(
+    ht: &HashTable,
+    rel: &Relation,
+    technique: Technique,
+    cfg: &MutateConfig,
+    rt: &MorselConfig,
+) -> MutateOutput {
+    let rt = MorselConfig { auto_tune: false, ..rt.clone() };
+    let run = execute(&rel.tuples, technique, cfg.params, &rt, |_tid| MutateOp::new(ht, cfg));
+    let mut out =
+        MutateOutput { stats: run.report.stats, seconds: run.report.seconds, ..Default::default() };
+    for mut op in run.ops {
+        out.applied += op.applied;
+        out.created += op.created;
+        out.merged += op.merged;
+        out.deleted += op.deleted;
+        out.wal.extend(op.drain_wal());
+    }
+    out
+}
+
+/// The recovery replay lookup: one WAL record per input, re-applied
+/// through the whole-table latch-free primitives in one budgeted step.
+/// `replayed_records` drains through `flush_observed`, so a replay run
+/// under the Mux keeps lane ledgers exact like any other op.
+pub struct ReplayOp<'a> {
+    ht: &'a HashTable,
+    replayed: u64,
+    created: u64,
+    tombstoned: u64,
+}
+
+impl<'a> ReplayOp<'a> {
+    /// Create a replay op applying records to `ht` (entering its epoch).
+    pub fn new(ht: &'a HashTable) -> Self {
+        ht.freeze();
+        ReplayOp { ht, replayed: 0, created: 0, tombstoned: 0 }
+    }
+
+    /// Records applied so far.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Fresh nodes created during replay.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Tuples tombstoned during replay.
+    pub fn tombstoned(&self) -> u64 {
+        self.tombstoned
+    }
+}
+
+impl LookupOp for ReplayOp<'_> {
+    type Input = WalRecord;
+    type State = WalRecord;
+
+    fn budgeted_steps(&self) -> usize {
+        1
+    }
+
+    fn start(&mut self, input: WalRecord, state: &mut WalRecord) {
+        *state = input;
+    }
+
+    fn step(&mut self, state: &mut WalRecord) -> Step {
+        match *state {
+            WalRecord::Insert { key, payload } => {
+                self.ht.fresh_insert(key, payload);
+                self.created += 1;
+            }
+            WalRecord::Upsert { key, delta } => {
+                if self.ht.upsert_latchfree(key, delta) {
+                    self.created += 1;
+                }
+            }
+            WalRecord::Delete { key } => {
+                self.tombstoned += self.ht.delete_latchfree(key);
+            }
+        }
+        self.replayed += 1;
+        Step::Done
+    }
+
+    fn flush_observed(&mut self, stats: &mut EngineStats) {
+        stats.replayed_records += core::mem::take(&mut self.replayed);
+    }
+}
+
+/// Replay a sealed WAL segment against `ht` **in record order** (the
+/// baseline executor — replay must preserve inter-key order across
+/// deletes, which interleaving would not). Returns the executor stats;
+/// `stats.replayed_records == records.len()`.
+pub fn replay(ht: &HashTable, records: &[WalRecord]) -> EngineStats {
+    let mut op = ReplayOp::new(ht);
+    run(Technique::Baseline, &mut op, records, TuningParams::with_in_flight(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amac_runtime::Scheduling;
+    use std::collections::HashMap;
+
+    fn zipf_rel(n: usize, domain: u64, seed: u64) -> Relation {
+        Relation::zipf(n, domain, 0.6, seed)
+    }
+
+    fn tiered() -> MutateConfig {
+        MutateConfig { tier: Some(TierSpec::headers_near(8)), ..Default::default() }
+    }
+
+    #[test]
+    fn all_techniques_agree_with_a_serial_model() {
+        let build = Relation::dense_unique(4_000, 3);
+        let ups = zipf_rel(6_000, 6_000, 7);
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        for t in Technique::ALL {
+            let ht = HashTable::build_serial(&build);
+            let out = mutate(&ht, &ups, t, &tiered());
+            assert_eq!(out.applied, ups.len() as u64);
+            assert_eq!(out.created + out.merged, out.applied);
+            assert_eq!(out.wal.len(), ups.len());
+            let contents = ht.contents_sorted();
+            match &reference {
+                None => {
+                    // Against a HashMap model.
+                    let mut model: HashMap<u64, u64> = HashMap::new();
+                    for t in &build.tuples {
+                        model.insert(t.key, t.payload);
+                    }
+                    for t in &ups.tuples {
+                        let e = model.entry(t.key).or_insert(0);
+                        *e = e.wrapping_add(t.payload);
+                    }
+                    let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+                    want.sort_unstable();
+                    assert_eq!(contents, want);
+                    reference = Some(contents);
+                }
+                Some(r) => assert_eq!(&contents, r, "technique {t:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn insert_chains_duplicates_and_delete_tombstones() {
+        let ht = HashTable::with_buckets(64);
+        let rel = Relation { tuples: vec![Tuple::new(5, 1), Tuple::new(5, 2), Tuple::new(9, 3)] };
+        let cfg = MutateConfig { kind: MutateKind::Insert, ..Default::default() };
+        let out = mutate(&ht, &rel, Technique::Amac, &cfg);
+        assert_eq!(out.created, 3);
+        assert_eq!(ht.lookup_all(5).len(), 2);
+        let del = Relation { tuples: vec![Tuple::new(5, 0)] };
+        let cfg = MutateConfig { kind: MutateKind::Delete, ..Default::default() };
+        let out = mutate(&ht, &del, Technique::Gp, &cfg);
+        assert_eq!(out.deleted, 2, "delete tombstones every copy");
+        assert!(ht.lookup_all(5).is_empty());
+        assert_eq!(ht.lookup_first(9), Some(3));
+    }
+
+    #[test]
+    fn wal_records_mirror_applied_mutations() {
+        let ht = HashTable::with_buckets(16);
+        let rel = Relation { tuples: vec![Tuple::new(1, 10), Tuple::new(2, 20)] };
+        let out = mutate(&ht, &rel, Technique::Spp, &MutateConfig::default());
+        assert_eq!(
+            out.wal,
+            vec![WalRecord::Upsert { key: 1, delta: 10 }, WalRecord::Upsert { key: 2, delta: 20 }]
+        );
+        assert_eq!(out.stats.log_bytes, 34);
+        assert!(out.stats.log_stalls >= 2, "amortized write cost per record");
+        // Logging off: no records, no charges, same table effect.
+        let ht2 = HashTable::with_buckets(16);
+        let cfg = MutateConfig { wal: false, ..Default::default() };
+        let out2 = mutate(&ht2, &rel, Technique::Spp, &cfg);
+        assert!(out2.wal.is_empty());
+        assert_eq!(out2.stats.log_bytes, 0);
+        assert_eq!(out2.stats.log_stalls, 0);
+        assert_eq!(ht2.contents_sorted(), ht.contents_sorted());
+    }
+
+    #[test]
+    fn faults_abort_without_applying_or_logging() {
+        let build = Relation::dense_unique(2_000, 3);
+        // Force overflow chains so upserts take checkable slab hops.
+        let ht = HashTable::with_buckets(64);
+        {
+            let mut h = ht.build_handle();
+            for t in &build.tuples {
+                h.insert(t.key, t.payload);
+            }
+        }
+        let ups = zipf_rel(2_000, 2_000, 9);
+        let cfg = MutateConfig { fault: Some(FaultPlan::fail_only(7, 60)), ..tiered() };
+        let mut sets: Vec<(u64, u64)> = Vec::new();
+        for t in Technique::ALL {
+            let ht_t = HashTable::restore(&ht.snapshot());
+            let out = mutate(&ht_t, &ups, t, &cfg);
+            assert!(out.stats.failed_lookups > 0, "fault plan fired under {t:?}");
+            assert_eq!(out.applied + out.stats.failed_lookups, ups.len() as u64);
+            assert_eq!(out.wal.len() as u64, out.applied, "failed mutations are not logged");
+            sets.push((out.stats.failed_lookups, out.applied));
+        }
+        assert!(sets.windows(2).all(|w| w[0] == w[1]), "fault sets executor-invariant: {sets:?}");
+    }
+
+    #[test]
+    fn upsert_sim_counters_pin_identical_across_threads_and_schedulings() {
+        // The PR 5 caveat, closed: latch-free upserts keep simulated
+        // counters identical at 1/2/4T under every morsel scheduling.
+        let build = Relation::dense_unique(6_000, 3);
+        let ups = zipf_rel(8_000, 4_000, 13);
+        let cfg = tiered();
+        let ht = HashTable::build_serial(&build);
+        ht.freeze();
+        let snap = ht.snapshot();
+        let reference = mutate(&ht, &ups, Technique::Amac, &cfg);
+        assert!(reference.stats.sim_cycles > 0 && reference.stats.sim_stalls > 0);
+        for threads in [1usize, 2, 4] {
+            for sched in [Scheduling::StaticChunk, Scheduling::SharedCursor, Scheduling::WorkSteal]
+            {
+                let ht_t = HashTable::restore(&snap);
+                let rt = MorselConfig {
+                    threads,
+                    morsel_tuples: 1024,
+                    scheduling: sched,
+                    ..Default::default()
+                };
+                let out = mutate_mt_rt(&ht_t, &ups, Technique::Amac, &cfg, &rt);
+                assert_eq!(
+                    out.stats.sim_cycles, reference.stats.sim_cycles,
+                    "sim_cycles at {threads}T {sched:?}"
+                );
+                assert_eq!(
+                    out.stats.sim_stalls, reference.stats.sim_stalls,
+                    "sim_stalls at {threads}T {sched:?}"
+                );
+                assert_eq!(out.stats.log_bytes, reference.stats.log_bytes);
+                assert_eq!(out.stats.log_stalls, reference.stats.log_stalls);
+                assert_eq!(out.stats.nodes_visited, reference.stats.nodes_visited);
+                assert_eq!(out.stats.tag_rejects, reference.stats.tag_rejects);
+                assert_eq!(ht_t.contents_sorted(), ht.contents_sorted(), "results bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_rebuilds_the_table_bit_identically() {
+        let build = Relation::dense_unique(3_000, 3);
+        let ops = zipf_rel(4_000, 3_500, 17);
+        let ht = HashTable::build_serial(&build);
+        ht.freeze();
+        let checkpoint = ht.snapshot();
+        let out = mutate(&ht, &ops, Technique::Amac, &tiered());
+        // Crash: rebuild from the checkpoint + WAL replay.
+        let back = HashTable::restore(&checkpoint);
+        let stats = replay(&back, &out.wal);
+        assert_eq!(stats.replayed_records, out.wal.len() as u64);
+        assert_eq!(stats.lookups, out.wal.len() as u64);
+        assert_eq!(back.contents_sorted(), ht.contents_sorted());
+        // Physically identical too: same arena shape and frozen bound.
+        assert_eq!(back.nodes().len(), ht.nodes().len());
+        assert_eq!(back.frozen_bound(), ht.frozen_bound());
+        // A deletes-included epoch replays exactly as well.
+        let ht2 = HashTable::restore(&checkpoint);
+        let del = Relation { tuples: ops.tuples[..100].to_vec() };
+        let cfg = MutateConfig { kind: MutateKind::Delete, ..Default::default() };
+        let out2 = mutate(&ht2, &del, Technique::Baseline, &cfg);
+        let back2 = HashTable::restore(&checkpoint);
+        replay(&back2, &out2.wal);
+        assert_eq!(back2.contents_sorted(), ht2.contents_sorted());
+    }
+}

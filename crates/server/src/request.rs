@@ -5,6 +5,7 @@ use amac::engine::EngineStats;
 use amac_hashtable::AggTable;
 use amac_ops::groupby::GroupByConfig;
 use amac_ops::join::ProbeConfig;
+use amac_ops::mutate::MutateConfig;
 use amac_ops::pipeline::PipelineConfig;
 use amac_workload::Relation;
 
@@ -58,6 +59,19 @@ pub enum Request<'a> {
         /// Pipeline tuning (filter selectivity, hints).
         cfg: PipelineConfig,
     },
+    /// Mutate the **shared** catalog table latch-free (upsert / insert /
+    /// delete per `cfg.kind`), interleaved in the same window as reads.
+    /// Applied mutations append [`amac_tier::WalRecord`]s which the
+    /// session collects ([`crate::ServeSession::drain_wal`]) for
+    /// durability. Never retried: mutations are not idempotent — a fault
+    /// fails the query terminally, with the already-applied prefix
+    /// logged.
+    Upsert {
+        /// The mutation stream (key + payload/delta).
+        input: &'a Relation,
+        /// Mutation tuning (kind, WAL on/off, tier, faults).
+        cfg: MutateConfig,
+    },
 }
 
 impl Request<'_> {
@@ -67,6 +81,7 @@ impl Request<'_> {
             Request::Probe { probes, .. } => probes.len(),
             Request::GroupBy { input, .. } => input.len(),
             Request::Pipeline { fact, .. } => fact.len(),
+            Request::Upsert { input, .. } => input.len(),
         }
     }
 }
@@ -87,11 +102,17 @@ pub struct SubmitOpts {
     /// as [`QueryOutcome::DeadlineExceeded`]; retry backoff counts
     /// against the deadline because backoff is charged to the sim clock.
     pub deadline_ticks: Option<u64>,
+    /// This submission re-runs a query lost in a crash (recovery path):
+    /// a successful completion reports [`QueryOutcome::Recovered`] and
+    /// counts into `EngineStats::recovered_queries`. Results are still
+    /// bit-identical to the crash-free run — the flag changes accounting
+    /// only.
+    pub recovered: bool,
 }
 
 impl Default for SubmitOpts {
     fn default() -> Self {
-        SubmitOpts { weight: 1, tenant: 0, deadline_ticks: None }
+        SubmitOpts { weight: 1, tenant: 0, deadline_ticks: None, recovered: false }
     }
 }
 
@@ -182,6 +203,10 @@ pub enum QueryOutcome {
     Cancelled,
     /// An open circuit breaker refused it before any work ran.
     Shed,
+    /// Completed normally, but as a crash-recovery re-run
+    /// ([`SubmitOpts::recovered`]) — results are exact and bit-identical
+    /// to the run the crash interrupted.
+    Recovered,
 }
 
 impl QueryOutcome {
@@ -193,6 +218,7 @@ impl QueryOutcome {
             QueryOutcome::FailedAfterRetries => "failed-after-retries",
             QueryOutcome::Cancelled => "cancelled",
             QueryOutcome::Shed => "shed",
+            QueryOutcome::Recovered => "recovered",
         }
     }
 }
@@ -202,7 +228,8 @@ impl QueryOutcome {
 pub struct QueryReport {
     /// The query's id.
     pub qid: QueryId,
-    /// `"probe"`, `"groupby"` or `"pipeline"`.
+    /// `"probe"`, `"groupby"`, `"pipeline"`, `"upsert"`, or `"replay"`
+    /// (the synthetic report of [`crate::ServeSession::recover_replay`]).
     pub kind: &'static str,
     /// Input tuples the query submitted.
     pub tuples: u64,

@@ -7,14 +7,15 @@ use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 use amac::engine::mux::{Mux, Tagged};
-use amac::engine::{EngineStats, LookupOp, Technique, TuningParams};
+use amac::engine::{run, EngineStats, LookupOp, Technique, TuningParams};
 use amac_hashtable::HashTable;
 use amac_metrics::LatencyHistogram;
 use amac_ops::groupby::GroupByOp;
 use amac_ops::join::ProbeOp;
+use amac_ops::mutate::{MutateOp, ReplayOp};
 use amac_ops::pipeline::{fused_probe_groupby_op, probe_then_groupby_two_phase, PipelineConfig};
 use amac_runtime::AmacSession;
-use amac_tier::TierSpec;
+use amac_tier::{TierSpec, WalRecord};
 use amac_workload::Tuple;
 
 use crate::request::{
@@ -106,6 +107,8 @@ struct Attempt<'a> {
     /// Absolute sim-tick deadline (fixed at first activation).
     deadline_at: Option<u64>,
     degraded: bool,
+    /// Crash-recovery re-run (reports [`QueryOutcome::Recovered`]).
+    recovered: bool,
     /// Engine counters spent by aborted prior attempts.
     spent: EngineStats,
     submitted: Instant,
@@ -129,6 +132,7 @@ struct Active<'a> {
     aborting: Option<Aborting>,
     spent: EngineStats,
     degraded: bool,
+    recovered: bool,
 }
 
 /// One query waiting for admission.
@@ -139,6 +143,7 @@ struct Pending<'a> {
     tenant: u32,
     deadline_ticks: Option<u64>,
     degraded: bool,
+    recovered: bool,
     submitted: Instant,
 }
 
@@ -248,6 +253,10 @@ pub struct ServeSession<'a> {
     breakers: BTreeMap<u32, Breaker>,
     finished: Vec<QueryReport>,
     latency: LatencyHistogram,
+    /// WAL records drained from completed (or aborted) mutation lanes,
+    /// in lane-retirement order — the durability frontier the client
+    /// seals/persists via [`ServeSession::drain_wal`].
+    wal_buf: Vec<WalRecord>,
     tag_buf: Vec<Tagged<Tuple>>,
     rr: usize,
     next_qid: u64,
@@ -261,6 +270,7 @@ fn kind_of(req: &Request<'_>) -> &'static str {
         Request::Probe { .. } => "probe",
         Request::GroupBy { .. } => "groupby",
         Request::Pipeline { .. } => "pipeline",
+        Request::Upsert { .. } => "upsert",
     }
 }
 
@@ -281,6 +291,7 @@ impl<'a> ServeSession<'a> {
             breakers: BTreeMap::new(),
             finished: Vec::new(),
             latency: LatencyHistogram::new(),
+            wal_buf: Vec::new(),
             tag_buf: Vec::new(),
             rr: 0,
             next_qid: 0,
@@ -406,6 +417,7 @@ impl<'a> ServeSession<'a> {
                 attempt: 0,
                 deadline_at,
                 degraded,
+                recovered: opts.recovered,
                 spent: EngineStats::default(),
                 submitted,
             });
@@ -417,6 +429,7 @@ impl<'a> ServeSession<'a> {
                 tenant,
                 deadline_ticks: opts.deadline_ticks,
                 degraded,
+                recovered: opts.recovered,
                 submitted,
             });
         }
@@ -642,8 +655,18 @@ impl<'a> ServeSession<'a> {
     /// retry re-rolls every fault decision instead of deterministically
     /// hitting the identical failure forever.
     fn activate(&mut self, seed: Attempt<'a>) {
-        let Attempt { qid, req, weight, tenant, attempt, deadline_at, degraded, spent, submitted } =
-            seed;
+        let Attempt {
+            qid,
+            req,
+            weight,
+            tenant,
+            attempt,
+            deadline_at,
+            degraded,
+            recovered,
+            spent,
+            submitted,
+        } = seed;
         let mut effective = req.clone();
         if attempt > 0 {
             if let Request::Probe { cfg, .. } = &mut effective {
@@ -666,6 +689,9 @@ impl<'a> ServeSession<'a> {
                 &fact.tuples,
                 "pipeline",
             ),
+            Request::Upsert { input, cfg } => {
+                (TenantOp::Upsert(MutateOp::new(self.catalog, &cfg)), &input.tuples, "upsert")
+            }
         };
         let lane = self.mux.add(op);
         self.active.push(Active {
@@ -684,6 +710,7 @@ impl<'a> ServeSession<'a> {
             aborting: None,
             spent,
             degraded,
+            recovered,
         });
     }
 
@@ -777,7 +804,13 @@ impl<'a> ServeSession<'a> {
                 continue;
             }
             let a = self.active.remove(i);
-            let (op, led) = self.mux.remove(a.lane);
+            let (mut op, led) = self.mux.remove(a.lane);
+            // Mutation lanes surrender their WAL records whatever the
+            // outcome: an aborted attempt's applied prefix is already in
+            // the table, so it must be in the log too or replay diverges.
+            if let TenantOp::Upsert(m) = &mut op {
+                self.wal_buf.extend(m.drain_wal());
+            }
             let mut stats = a.spent;
             stats.merge(&led);
             if aborted {
@@ -795,6 +828,7 @@ impl<'a> ServeSession<'a> {
                                 attempt: a.attempt + 1,
                                 deadline_at: a.deadline_at,
                                 degraded: a.degraded,
+                                recovered: a.recovered,
                                 spent: stats,
                                 submitted: a.submitted,
                             },
@@ -818,16 +852,24 @@ impl<'a> ServeSession<'a> {
                     }
                 }
             } else {
+                let outcome =
+                    if a.recovered { QueryOutcome::Recovered } else { QueryOutcome::Completed };
                 self.settle_breaker(a.tenant, QueryOutcome::Completed, a.degraded);
                 let latency_ns = a.submitted.elapsed().as_nanos() as u64;
                 self.latency.record(latency_ns);
+                if a.recovered {
+                    // Both sides of the ledger invariant: the per-query
+                    // report and the session's global stats.
+                    stats.recovered_queries += 1;
+                    self.stats.recovered_queries += 1;
+                }
                 let mut report = QueryReport {
                     qid: a.qid,
                     kind: a.kind,
                     tuples: a.inputs.len() as u64,
                     stats,
                     latency_ns,
-                    outcome: QueryOutcome::Completed,
+                    outcome,
                     attempts: a.attempt + 1,
                     degraded: a.degraded,
                     tenant: a.tenant,
@@ -844,6 +886,7 @@ impl<'a> ServeSession<'a> {
                         report.matched = f.pipe().up().matches();
                         report.matches = f.pipe().down().inner().tuples();
                     }
+                    TenantOp::Upsert(m) => report.matches = m.applied(),
                 }
                 self.finished.push(report);
             }
@@ -870,6 +913,7 @@ impl<'a> ServeSession<'a> {
                         attempt: 0,
                         deadline_at,
                         degraded: p.degraded,
+                        recovered: p.recovered,
                         spent: EngineStats::default(),
                         submitted: p.submitted,
                     });
@@ -912,6 +956,48 @@ impl<'a> ServeSession<'a> {
     /// Mean shared-window occupancy so far (deterministic).
     pub fn mean_occupancy(&self) -> f64 {
         self.window.mean_occupancy()
+    }
+
+    /// The session's simulated clock (the Mux's shared now) — what crash
+    /// injection polls against a [`amac_tier::CrashPlan`] tick.
+    pub fn sim_now(&self) -> u64 {
+        self.mux.sim_now()
+    }
+
+    /// Take the WAL records surrendered by completed/aborted mutation
+    /// lanes so far, in lane-retirement order. The caller owns
+    /// persistence: append them to an [`amac_tier::Wal`] and seal at
+    /// whatever group-commit boundary its durability contract wants.
+    pub fn drain_wal(&mut self) -> Vec<WalRecord> {
+        core::mem::take(&mut self.wal_buf)
+    }
+
+    /// Crash-recovery replay: re-apply a sealed WAL segment to the shared
+    /// catalog **in record order** (baseline executor — replay must not
+    /// interleave across records). Runs outside the serving window but
+    /// inside the session's books: the replay counters merge into the
+    /// global stats *and* a synthetic `"replay"` report (outcome
+    /// [`QueryOutcome::Recovered`]) carries the same counters, so
+    /// per-report ledgers still sum exactly to the session totals.
+    pub fn recover_replay(&mut self, records: &[WalRecord]) -> EngineStats {
+        let submitted = Instant::now();
+        let mut op = ReplayOp::new(self.catalog);
+        let stats = run(Technique::Baseline, &mut op, records, TuningParams::with_in_flight(1));
+        self.stats.merge(&stats);
+        let qid = QueryId(self.next_qid);
+        self.next_qid += 1;
+        self.finished.push(QueryReport {
+            qid,
+            kind: "replay",
+            tuples: records.len() as u64,
+            matches: stats.replayed_records,
+            stats,
+            latency_ns: submitted.elapsed().as_nanos() as u64,
+            outcome: QueryOutcome::Recovered,
+            attempts: 1,
+            ..Default::default()
+        });
+        stats
     }
 
     /// Close the session: everything still active, backing off or pending
@@ -1380,6 +1466,94 @@ mod tests {
         let out = srv.finish();
         assert_eq!(out.reports.len(), 1);
         assert_eq!(out.reports[0].outcome, QueryOutcome::Completed);
+    }
+
+    #[test]
+    fn upsert_queries_mutate_the_catalog_and_log_durably() {
+        use amac_hashtable::HashTable;
+        use amac_ops::mutate::MutateConfig;
+
+        let (_r, ht) = catalog(2048);
+        ht.freeze();
+        let checkpoint = ht.snapshot();
+        let probes = Relation::zipf(4_000, 2048, 0.8, 0xE1);
+        let ups = Relation::zipf(3_000, 3_000, 0.6, 0xE2);
+
+        // Solo reference: same mutations against a restored twin.
+        let twin = HashTable::restore(&checkpoint);
+        let solo = amac_ops::mutate::mutate(&twin, &ups, Technique::Amac, &MutateConfig::default());
+
+        let mut srv = ServeSession::new(&ht, ServeConfig { quantum: 64, ..Default::default() });
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        srv.submit(Request::Probe { probes: &probes, cfg: pcfg }).unwrap();
+        let uq = srv.submit(Request::Upsert { input: &ups, cfg: MutateConfig::default() }).unwrap();
+        srv.run_to_completion();
+        let wal = srv.drain_wal();
+        let out = srv.finish();
+        let u = out.reports.iter().find(|r| r.qid == uq).unwrap();
+        assert_eq!(u.outcome, QueryOutcome::Completed);
+        assert_eq!(u.kind, "upsert");
+        assert_eq!(u.matches, ups.len() as u64, "every mutation applied");
+        assert_eq!(wal.len(), ups.len(), "every applied mutation logged");
+        assert!(u.stats.log_bytes > 0 && u.stats.log_stalls > 0);
+        // Sharing the window changes nothing about the table contents.
+        assert_eq!(ht.contents_sorted(), twin.contents_sorted());
+        // WAL-record multiset matches the solo run's (same mutations).
+        let sortkey = |r: &amac_tier::WalRecord| (r.key(), r.encode());
+        let mut a = wal.clone();
+        let mut b = solo.wal.clone();
+        a.sort_by_key(sortkey);
+        b.sort_by_key(sortkey);
+        assert_eq!(a, b);
+        let mut sum = EngineStats::default();
+        for r in &out.reports {
+            sum.merge(&r.stats);
+        }
+        assert_eq!(sum, out.stats, "mutation lanes keep ledgers exact");
+    }
+
+    #[test]
+    fn recover_replay_rebuilds_the_catalog_and_keeps_books() {
+        use amac_hashtable::HashTable;
+        use amac_ops::mutate::MutateConfig;
+
+        let (_r, ht) = catalog(1024);
+        ht.freeze();
+        let checkpoint = ht.snapshot();
+        let ups = Relation::zipf(2_000, 1_500, 0.6, 0xF1);
+        let mut srv = ServeSession::new(&ht, ServeConfig::default());
+        srv.submit(Request::Upsert { input: &ups, cfg: MutateConfig::default() }).unwrap();
+        srv.run_to_completion();
+        let wal = srv.drain_wal();
+        drop(srv.finish());
+
+        // Crash: a fresh session over the restored checkpoint replays the
+        // log, then serves a recovered re-run of a lost query.
+        let back = HashTable::restore(&checkpoint);
+        let mut srv2 = ServeSession::new(&back, ServeConfig::default());
+        let stats = srv2.recover_replay(&wal);
+        assert_eq!(stats.replayed_records, wal.len() as u64);
+        assert_eq!(back.contents_sorted(), ht.contents_sorted(), "replay rebuilds the table");
+        let probes = Relation::zipf(500, 1024, 0.9, 0xF2);
+        let pcfg = ProbeConfig { materialize: false, ..Default::default() };
+        let rq = srv2
+            .submit_opts(
+                Request::Probe { probes: &probes, cfg: pcfg },
+                SubmitOpts { recovered: true, ..Default::default() },
+            )
+            .unwrap();
+        let out = srv2.finish();
+        assert_eq!(out.count(QueryOutcome::Recovered), 2, "replay report + recovered re-run");
+        let r = out.reports.iter().find(|rep| rep.qid == rq).unwrap();
+        assert_eq!(r.outcome, QueryOutcome::Recovered);
+        assert_eq!(r.stats.recovered_queries, 1);
+        assert_eq!(out.stats.recovered_queries, 1);
+        assert_eq!(out.stats.replayed_records, wal.len() as u64);
+        let mut sum = EngineStats::default();
+        for rep in &out.reports {
+            sum.merge(&rep.stats);
+        }
+        assert_eq!(sum, out.stats, "replay + recovered lanes keep ledgers exact");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use amac::engine::pipeline::ChainState;
 use amac::engine::{EngineStats, LookupOp, Step};
 use amac_ops::groupby::{GroupByOp, GroupByState};
 use amac_ops::join::{ProbeOp, ProbeState};
+use amac_ops::mutate::{MutState, MutateOp};
 use amac_ops::pipeline::{FusedProbeGroupBy, ProbePipeState};
 use amac_workload::Tuple;
 
@@ -29,6 +30,8 @@ pub enum TenantState {
     GroupBy(GroupByState),
     /// In-flight fused probe → filter → group-by chain.
     Pipeline(ChainState<ProbePipeState, GroupByState>),
+    /// In-flight latch-free catalog mutation.
+    Upsert(MutState),
 }
 
 /// One query's operator, in a form every other query's operator can share
@@ -41,6 +44,8 @@ pub enum TenantOp<'a> {
     /// Fused probe → filter → group-by (boxed: the fused chain state
     /// machine is much larger than the other variants).
     Pipeline(Box<FusedProbeGroupBy<'a>>),
+    /// Latch-free mutation of the shared catalog table (WAL-logged).
+    Upsert(MutateOp<'a>),
 }
 
 impl LookupOp for TenantOp<'_> {
@@ -52,6 +57,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.budgeted_steps(),
             TenantOp::GroupBy(op) => op.budgeted_steps(),
             TenantOp::Pipeline(op) => op.budgeted_steps(),
+            TenantOp::Upsert(op) => op.budgeted_steps(),
         }
     }
 
@@ -72,6 +78,11 @@ impl LookupOp for TenantOp<'_> {
                 op.start(input, &mut s);
                 *state = TenantState::Pipeline(s);
             }
+            TenantOp::Upsert(op) => {
+                let mut s = MutState::default();
+                op.start(input, &mut s);
+                *state = TenantState::Upsert(s);
+            }
         }
     }
 
@@ -80,6 +91,7 @@ impl LookupOp for TenantOp<'_> {
             (TenantOp::Probe(op), TenantState::Probe(s)) => op.step(s),
             (TenantOp::GroupBy(op), TenantState::GroupBy(s)) => op.step(s),
             (TenantOp::Pipeline(op), TenantState::Pipeline(s)) => op.step(s),
+            (TenantOp::Upsert(op), TenantState::Upsert(s)) => op.step(s),
             _ => unreachable!("serving state variant does not match its lane's op"),
         }
     }
@@ -89,6 +101,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.issues_prefetches(),
             TenantOp::GroupBy(op) => op.issues_prefetches(),
             TenantOp::Pipeline(op) => op.issues_prefetches(),
+            TenantOp::Upsert(op) => op.issues_prefetches(),
         }
     }
 
@@ -97,6 +110,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.flush_observed(stats),
             TenantOp::GroupBy(op) => op.flush_observed(stats),
             TenantOp::Pipeline(op) => op.flush_observed(stats),
+            TenantOp::Upsert(op) => op.flush_observed(stats),
         }
     }
 
@@ -105,6 +119,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.sim_idle(ticks),
             TenantOp::GroupBy(op) => op.sim_idle(ticks),
             TenantOp::Pipeline(op) => op.sim_idle(ticks),
+            TenantOp::Upsert(op) => op.sim_idle(ticks),
         }
     }
 
@@ -113,6 +128,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.sim_now(),
             TenantOp::GroupBy(op) => op.sim_now(),
             TenantOp::Pipeline(op) => op.sim_now(),
+            TenantOp::Upsert(op) => op.sim_now(),
         }
     }
 
@@ -121,6 +137,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.sim_advance_to(now),
             TenantOp::GroupBy(op) => op.sim_advance_to(now),
             TenantOp::Pipeline(op) => op.sim_advance_to(now),
+            TenantOp::Upsert(op) => op.sim_advance_to(now),
         }
     }
 
@@ -129,6 +146,7 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Probe(op) => op.commit_point(),
             TenantOp::GroupBy(op) => op.commit_point(),
             TenantOp::Pipeline(op) => op.commit_point(),
+            TenantOp::Upsert(op) => op.commit_point(),
         }
     }
 }

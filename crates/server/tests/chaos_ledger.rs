@@ -79,6 +79,7 @@ proptest! {
                         weight: 1 + wm1,
                         tenant,
                         deadline_ticks: if tight { Some(1) } else { None },
+                        recovered: false,
                     };
                     let req = if what == 5 {
                         Request::GroupBy {

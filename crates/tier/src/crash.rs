@@ -1,0 +1,102 @@
+//! Seeded, deterministic crash injection.
+//!
+//! [`CrashPlan`] follows the same pure-hash discipline as
+//! [`FaultPlan`](crate::FaultPlan): the crash point is a function of the
+//! seed alone — never of schedule, thread count, or wall clock — so a
+//! crash/recovery sweep is bit-reproducible and a recovered run can be
+//! compared field-for-field against its crash-free reference.
+
+use crate::fault::mix;
+
+const SALT_WAVE: u64 = 0xC4A5_4000_0000_0003;
+const SALT_TICK: u64 = 0xC4A5_4000_0000_0004;
+
+/// A seeded plan that kills a serving session at one injected point.
+///
+/// The plan picks a *wave* (which serving batch dies) and a *tick
+/// fraction* (how deep into that wave's simulated time the kill lands).
+/// Both draws are pure hashes of the seed, mirroring
+/// [`FaultPlan`](crate::FaultPlan)'s per-token rolls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Injection seed; every crash decision derives from it.
+    pub seed: u64,
+}
+
+impl CrashPlan {
+    /// A plan drawing every decision from `seed`.
+    pub fn new(seed: u64) -> Self {
+        CrashPlan { seed }
+    }
+
+    /// Which of `waves` serving waves the crash lands in.
+    pub fn wave(&self, waves: usize) -> usize {
+        if waves == 0 {
+            return 0;
+        }
+        (mix(self.seed ^ SALT_WAVE) % waves as u64) as usize
+    }
+
+    /// The simulated tick (within `[0, horizon)`) at which the session
+    /// dies, `horizon` being the crash wave's crash-free duration. The
+    /// fraction is drawn per-mille so nearby horizons crash at
+    /// proportionally similar depths.
+    pub fn tick(&self, horizon: u64) -> u64 {
+        if horizon == 0 {
+            return 0;
+        }
+        let per_mille = mix(self.seed ^ SALT_TICK) % 1000;
+        horizon * per_mille / 1000
+    }
+
+    /// Derive an unrelated plan for scenario `attempt` of a sweep.
+    pub fn reseeded(&self, attempt: u32) -> Self {
+        CrashPlan { seed: mix(self.seed ^ (attempt as u64 + 1).wrapping_mul(SALT_TICK)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_seed() {
+        let p = CrashPlan::new(42);
+        assert_eq!(p.wave(8), CrashPlan::new(42).wave(8));
+        assert_eq!(p.tick(1000), CrashPlan::new(42).tick(1000));
+        assert_ne!(p.tick(1_000_000), CrashPlan::new(43).tick(1_000_000));
+    }
+
+    #[test]
+    fn draws_stay_in_range_and_spread() {
+        let mut waves = [0usize; 4];
+        let mut early = 0;
+        for s in 0..200u64 {
+            let p = CrashPlan::new(s);
+            let w = p.wave(4);
+            assert!(w < 4);
+            waves[w] += 1;
+            let t = p.tick(1000);
+            assert!(t < 1000);
+            if t < 500 {
+                early += 1;
+            }
+        }
+        assert!(waves.iter().all(|&c| c > 20), "wave draw is not degenerate: {waves:?}");
+        assert!((50..150).contains(&early), "tick draw is not degenerate: {early}");
+    }
+
+    #[test]
+    fn degenerate_horizons_crash_at_zero() {
+        let p = CrashPlan::new(7);
+        assert_eq!(p.wave(0), 0);
+        assert_eq!(p.tick(0), 0);
+    }
+
+    #[test]
+    fn reseeded_plans_diverge() {
+        let p = CrashPlan::new(9);
+        assert_ne!(p.reseeded(0), p.reseeded(1));
+        assert_ne!(p.reseeded(0).seed, p.seed);
+    }
+}

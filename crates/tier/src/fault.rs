@@ -159,8 +159,10 @@ const SALT_SPIKE: u64 = 0x5B1C_E000_0000_0002;
 const SALT_RETRY: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// splitmix64 finalizer: a cheap, well-mixed `u64 -> u64` bijection.
+/// Shared with [`crate::CrashPlan`], which draws its crash tick from the
+/// same pure-hash discipline.
 #[inline]
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;

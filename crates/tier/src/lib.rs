@@ -61,7 +61,7 @@
 //!
 //! // Chain nodes in far memory at 8x DRAM latency, headers near.
 //! let spec = TierSpec {
-//!     model: CostModel { near_latency: 4, far_multiplier: 8 },
+//!     model: CostModel { near_latency: 4, far_multiplier: 8, write_multiplier: 4 },
 //!     policy: TierPolicy::HeadersNear,
 //! };
 //! assert_eq!(spec.model.latency(Tier::Near), 4);
@@ -90,9 +90,13 @@
 
 #![warn(missing_docs)]
 
+mod crash;
 mod fault;
+mod wal;
 
+pub use crash::CrashPlan;
 pub use fault::{fault_token, FaultPlan, LoadOutcome};
+pub use wal::{Wal, WalRecord};
 
 use amac::engine::EngineStats;
 
@@ -118,11 +122,18 @@ pub struct CostModel {
     /// Far latency as a multiple of near (`1` = no far penalty — the
     /// tiering-off reference every sweep compares against).
     pub far_multiplier: u64,
+    /// Persistent-log *write* latency as a multiple of `near_latency` —
+    /// the asymmetric NVM write cost ("A Case for Asymmetric Non-Volatile
+    /// Memory Architecture", arxiv 1809.09395: NVM writes are several×
+    /// slower than reads). Charged per appended [`WalRecord`], amortized
+    /// over the AMU commit group by group commit (see
+    /// `EngineStats::log_stalls`).
+    pub write_multiplier: u64,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { near_latency: 4, far_multiplier: 1 }
+        CostModel { near_latency: 4, far_multiplier: 1, write_multiplier: 4 }
     }
 }
 
@@ -147,6 +158,14 @@ impl CostModel {
     #[inline]
     pub fn far_latency(&self) -> u64 {
         self.latency(Tier::Far)
+    }
+
+    /// Ticks one persistent log write takes:
+    /// `near_latency × write_multiplier` — the asymmetric write cost the
+    /// WAL charges per record before group-commit amortization.
+    #[inline]
+    pub fn write_latency(&self) -> u64 {
+        self.near_latency * self.write_multiplier.max(1)
     }
 }
 
@@ -518,7 +537,17 @@ mod tests {
         assert_eq!(m.latency(Tier::Far), 32);
         assert_eq!(m.far_latency(), 32);
         assert_eq!(CostModel::default().latency(Tier::Far), 4, "1x far == near");
-        assert_eq!(CostModel { near_latency: 4, far_multiplier: 0 }.latency(Tier::Far), 4);
+        assert_eq!(
+            CostModel { near_latency: 4, far_multiplier: 0, write_multiplier: 4 }
+                .latency(Tier::Far),
+            4
+        );
+        assert_eq!(CostModel::default().write_latency(), 16, "asymmetric write cost");
+        assert_eq!(
+            CostModel { write_multiplier: 0, ..Default::default() }.write_latency(),
+            4,
+            "write multiplier clamps to >= 1"
+        );
     }
 
     #[test]

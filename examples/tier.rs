@@ -16,7 +16,7 @@ fn main() {
     // --- Part 1: the clock itself (mirrors the amac_tier doctest) -----
     // Chain nodes in far memory at 8x DRAM latency, headers near.
     let spec = TierSpec {
-        model: CostModel { near_latency: 4, far_multiplier: 8 },
+        model: CostModel { near_latency: 4, far_multiplier: 8, write_multiplier: 4 },
         policy: TierPolicy::HeadersNear,
     };
     assert_eq!(spec.model.latency(Tier::Near), 4);

@@ -225,12 +225,24 @@ fn main() {
     );
 
     // --- 1b. Crash scenarios: seeds × checkpoint intervals ---------------
-    let scenarios: Vec<(CrashPlan, usize)> = (0..6u64)
-        .map(|i| (CrashPlan::new(SEED ^ 0xC4A5 ^ (i << 16)), if i % 2 == 0 { 1 } else { 3 }))
+    let mut scenarios: Vec<(CrashPlan, usize, bool)> = (0..6u64)
+        .map(|i| (CrashPlan::new(SEED ^ 0xC4A5 ^ (i << 16)), if i % 2 == 0 { 1 } else { 3 }, false))
         .collect();
+    // Interval-1 scenarios checkpoint at every wave boundary, so the
+    // sealed tail between the last checkpoint and the crash is empty and
+    // recovery replays 0 records — the replay path was never exercised by
+    // the sweep above. Force it: a scenario that never checkpoints
+    // mid-run and (by deterministic seed search) crashes past wave 0, so
+    // the sealed tail provably holds every earlier wave's records. The
+    // scenario asserts in-run that replay was non-empty.
+    let forced_plan = (0u64..)
+        .map(|k| CrashPlan::new(SEED ^ 0xF02CE ^ (k << 24)))
+        .find(|p| p.wave(WAVES) >= 1)
+        .expect("some seed crashes past wave 0");
+    scenarios.push((forced_plan, WAVES + 1, true));
     let (mut replayed_total, mut recovered_total) = (0u64, 0u64);
     let mut rows: Vec<String> = Vec::new();
-    for (plan, interval) in &scenarios {
+    for (plan, interval, forced) in &scenarios {
         let cw = plan.wave(WAVES);
         let tick = plan.tick(ref_waves[cw].horizon);
         let mut table = HashTable::restore(&checkpoint0);
@@ -272,6 +284,13 @@ fn main() {
         );
         assert_eq!(wal.len(), wal_records, "recovered WAL length diverged from reference");
         assert!(recovered > 0, "the re-run wave must report recovered queries");
+        if *forced {
+            assert!(
+                replayed > 0,
+                "forced scenario (no mid-run checkpoints, crash at wave {cw} >= 1) \
+                 must replay a non-empty sealed tail"
+            );
+        }
         replayed_total += replayed;
         recovered_total += recovered;
         rows.push(format!(

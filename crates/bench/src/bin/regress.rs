@@ -310,6 +310,38 @@ mod tests {
         }
     }
 
+    /// The shipped baselines must gate the shard scale-out bench: seven
+    /// keys, all pointing at BENCH_SHARD.json, with the two conservation
+    /// invariants (`*_ROUTED`, `*_LEDGER_VIOLATIONS`) pinned at zero —
+    /// zero baselines gate absolutely, so any interconnect leak or
+    /// ledger mismatch fails CI outright.
+    #[test]
+    fn shipped_baselines_cover_the_shard_bench() {
+        let shipped = include_str!("../../baselines.json");
+        let (_, entries) = parse_baselines(shipped);
+        for key in [
+            "BENCH_SHARD_SPEEDUP_8",
+            "BENCH_SHARD_REMOTE_LOADS",
+            "BENCH_SHARD_REMOTE_BYTES",
+            "BENCH_SHARD_REMOTE_LOADS_ROUTED",
+            "BENCH_SHARD_LEDGER_VIOLATIONS",
+            "BENCH_SHARD_FAIRNESS_RATIO",
+            "BENCH_SHARD_REPART_MOVED_TUPLES",
+        ] {
+            let e = entries
+                .iter()
+                .find(|e| e.key == key)
+                .unwrap_or_else(|| panic!("baselines.json lost {key}"));
+            assert_eq!(e.file, "BENCH_SHARD.json");
+        }
+        for invariant in ["BENCH_SHARD_REMOTE_LOADS_ROUTED", "BENCH_SHARD_LEDGER_VIOLATIONS"] {
+            let e = entries.iter().find(|e| e.key == invariant).unwrap();
+            assert_eq!(e.value, 0.0, "{invariant} must stay a zero invariant");
+        }
+        let speedup = entries.iter().find(|e| e.key == "BENCH_SHARD_SPEEDUP_8").unwrap();
+        assert_eq!(speedup.better, Direction::Higher, "scaling must not silently invert");
+    }
+
     #[test]
     fn bless_roundtrips_through_the_parser() {
         let (tol, entries) = parse_baselines(SAMPLE);

@@ -1,0 +1,388 @@
+//! **Shard-per-core scale-out trajectory** (extension): radix-partitioned
+//! tables behind a rendezvous-hash router, executed over a *simulated
+//! interconnect* where every cross-shard load is a request/response
+//! message pair priced by [`amac_tier::Tier::Remote`].
+//!
+//! Five legs, all asserted in-run before any counter is trusted:
+//!
+//! 1. **Equivalence matrix** — probe / group-by / fused pipeline /
+//!    upsert, every executor, sharded (4 shards) at 1/2/4 threads vs the
+//!    unsharded single-table run: matches, checksums, materialized
+//!    outputs, merged groups and final table contents must be
+//!    bit-identical under both placements.
+//! 2. **Scaling curve** — routed placement over shard count {1,2,4,8}:
+//!    simulated makespan (slowest core's busy ticks) must shrink as
+//!    shards divide the work, with zero interconnect traffic.
+//! 3. **Message counters** — interleaved placement deals tuples
+//!    round-robin, so ~(N−1)/N of loads cross shards; `remote_loads` /
+//!    `remote_bytes` are deterministic, and AMU issue coalescing dedups
+//!    hot remote lines (deduped messages are never charged).
+//! 4. **Sharded serving** — one `Mux` lane group per shard behind
+//!    consistent-hash tenant routing; per-shard ledgers must sum to the
+//!    global ledger (`ledger_violations == 0`) and fairness holds across
+//!    shards.
+//! 5. **Elastic repartition** — split then merge a shard while upserts
+//!    are in flight, recovering the affected shards from checkpoint +
+//!    sealed WAL tail (replay asserted non-empty) and proving contents
+//!    against an unsharded reference.
+//!
+//! Headline counters are gated by `bin/regress` against
+//! `crates/bench/baselines.json` as `BENCH_SHARD_*`.
+//!
+//! Run: `cargo run --release --bin shard -- [--scale N] [--quick] [--json F]`
+
+use amac::engine::Technique;
+use amac_bench::{Args, JsonOut};
+use amac_hashtable::agg::AggValues;
+use amac_hashtable::{AggTable, HashTable};
+use amac_metrics::report::Table;
+use amac_ops::groupby::{groupby, GroupByConfig};
+use amac_ops::join::{probe, ProbeConfig};
+use amac_ops::mutate::{mutate, MutateConfig, MutateKind};
+use amac_ops::pipeline::{probe_then_groupby, PipelineConfig};
+use amac_server::{QueryOutcome, Request, ServeConfig, ShardedServe, SubmitOpts};
+use amac_shard::{
+    groupby_sharded, mutate_sharded, pipeline_sharded, probe_sharded, ElasticShards, Placement,
+    ShardConfig, ShardRouter, ShardedAgg, ShardedTable,
+};
+use amac_tier::REMOTE_LINE_BYTES;
+use amac_workload::{Relation, Tuple};
+
+const SEED: u64 = 0x5A4D;
+/// Radix partition bits (64 partitions rendezvous-dealt over shards).
+const BITS: u32 = 6;
+/// Shard count for the equivalence / message / serving legs.
+const SHARDS: usize = 4;
+/// Group-by domain (also the dimension payload domain in the pipeline).
+const GROUPS: usize = 64;
+/// The scaling-curve axis.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// AMU coalescing window for the dedup leg.
+const G: usize = 8;
+
+fn sorted_groups(t: &AggTable) -> Vec<(u64, AggValues)> {
+    let mut g = t.groups();
+    g.sort_unstable_by_key(|&(k, _)| k);
+    g
+}
+
+/// Per-tenant probe stream drawn from the tenant's home shard's build
+/// keys (the tenant-sharded data model: a tenant's rows live on its home
+/// shard).
+fn tenant_probes(
+    build: &Relation,
+    router: &ShardRouter,
+    shard: usize,
+    n: usize,
+    seed: u64,
+) -> Relation {
+    let local: Vec<Tuple> =
+        build.tuples.iter().copied().filter(|t| router.shard_of_key(t.key) == shard).collect();
+    assert!(!local.is_empty(), "shard {shard} owns no build keys");
+    let tuples = (0..n).map(|i| local[(i as u64 * seed) as usize % local.len()]).collect();
+    Relation::from_tuples(tuples)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.s_size();
+    let dim_n = (n / 8).max(1 << 9);
+    let dim = Relation::fk_dimension(dim_n, GROUPS as u64, SEED);
+    let fact = Relation::fk_uniform(&dim, n, SEED ^ 0xFAC7);
+    let solo = HashTable::build_serial(&dim);
+    solo.freeze();
+    let st = ShardedTable::build(&dim, ShardRouter::new(BITS, SHARDS));
+    println!("# Shard-per-core scale-out ({n} fact tuples, {dim_n} dim tuples, {SHARDS} shards)\n");
+
+    // --- Leg 1: equivalence matrix ------------------------------------
+    let placements = [Placement::Routed, Placement::Interleaved];
+    let mut checked = 0usize;
+
+    for technique in Technique::ALL {
+        let base = probe(&solo, &fact, technique, &ProbeConfig::default());
+        for placement in placements {
+            for threads in [1usize, 2, 4] {
+                let cfg = ShardConfig { threads, ..Default::default() };
+                let out = probe_sharded(&st, &fact, technique, &cfg, placement);
+                let ctx = format!("probe {technique} {placement:?} {threads}T");
+                assert_eq!(out.matches, base.matches, "{ctx}");
+                assert_eq!(out.checksum, base.checksum, "{ctx}");
+                assert_eq!(out.out, base.out, "{ctx}: materialized outputs diverged");
+                checked += 1;
+            }
+        }
+    }
+
+    let ginput = Relation::zipf(n, GROUPS as u64, 0.8, SEED ^ 0x61);
+    for technique in Technique::ALL {
+        let solo_agg = AggTable::for_groups(GROUPS);
+        let base = groupby(&solo_agg, &ginput, technique, &GroupByConfig::default());
+        let expect = sorted_groups(&solo_agg);
+        for threads in [1usize, 2, 4] {
+            let agg = ShardedAgg::for_groups(GROUPS, ShardRouter::new(BITS, SHARDS));
+            let cfg = ShardConfig { threads, ..Default::default() };
+            let out = groupby_sharded(&agg, &ginput, technique, &cfg);
+            assert_eq!(out.tuples, base.tuples, "groupby {technique} {threads}T");
+            assert_eq!(agg.merged_groups(), expect, "groupby {technique} {threads}T");
+            checked += 1;
+        }
+    }
+
+    for technique in Technique::ALL {
+        let scratch = AggTable::for_groups(GROUPS);
+        let base =
+            probe_then_groupby(&solo, &scratch, &fact, technique, &PipelineConfig::default());
+        let expect = sorted_groups(&scratch);
+        for placement in placements {
+            for threads in [1usize, 2, 4] {
+                let cfg = ShardConfig { threads, ..Default::default() };
+                let out = pipeline_sharded(&st, &fact, GROUPS, technique, &cfg, placement);
+                let ctx = format!("pipeline {technique} {placement:?} {threads}T");
+                assert_eq!(out.matched, base.matched, "{ctx}");
+                assert_eq!(out.aggregated, base.aggregated, "{ctx}");
+                assert_eq!(out.groups, expect, "{ctx}: merged groups diverged");
+                checked += 1;
+            }
+        }
+    }
+
+    let ups = Relation::zipf(n / 4, dim_n as u64 * 2, 0.6, SEED ^ 0x73);
+    for technique in Technique::ALL {
+        let fresh = HashTable::build_serial(&dim);
+        fresh.freeze();
+        let base = mutate(&fresh, &ups, technique, &MutateConfig::default());
+        let expect = fresh.contents_sorted();
+        for placement in placements {
+            let st2 = ShardedTable::build(&dim, ShardRouter::new(BITS, SHARDS));
+            let cfg = ShardConfig { threads: 2, ..Default::default() };
+            let out = mutate_sharded(&st2, &ups, MutateKind::Upsert, technique, &cfg, placement);
+            let ctx = format!("upsert {technique} {placement:?}");
+            assert_eq!(out.applied, base.applied, "{ctx}");
+            assert_eq!(out.created, base.created, "{ctx}");
+            assert_eq!(out.merged, base.merged, "{ctx}");
+            assert_eq!(st2.contents_sorted(), expect, "{ctx}: table contents diverged");
+            checked += 1;
+        }
+    }
+    println!(
+        "equivalence: {checked} sharded configurations bit-identical to unsharded \
+         (probe/groupby/pipeline/upsert x 4 executors x placements x threads)\n"
+    );
+
+    // --- Leg 2: routed scaling curve ----------------------------------
+    let mut stable = Table::new("Routed scaling over shard count (AMAC probe)").header([
+        "shards",
+        "makespan",
+        "total busy",
+        "speedup",
+        "efficiency",
+    ]);
+    let mut scale_rows: Vec<String> = Vec::new();
+    let mut base_makespan = 0u64;
+    let mut speedup8 = 0.0f64;
+    let mut routed_remote_loads = u64::MAX;
+    for count in SHARD_COUNTS {
+        let stn = ShardedTable::build(&dim, ShardRouter::new(BITS, count));
+        let out =
+            probe_sharded(&stn, &fact, Technique::Amac, &ShardConfig::default(), Placement::Routed);
+        assert_eq!(out.ledger.stats.remote_loads, 0, "routed placement is all-local");
+        assert_eq!(out.ledger.stats.remote_bytes, 0, "routed placement ships no bytes");
+        if count == SHARDS {
+            routed_remote_loads = out.ledger.stats.remote_loads;
+        }
+        let makespan = out.ledger.makespan();
+        if count == 1 {
+            base_makespan = makespan;
+        }
+        let speedup = base_makespan as f64 / makespan.max(1) as f64;
+        if count == 8 {
+            speedup8 = speedup;
+        }
+        let efficiency = speedup / count as f64;
+        stable.row([
+            format!("{count}"),
+            format!("{makespan}"),
+            format!("{}", out.ledger.total_busy()),
+            format!("{speedup:.2}x"),
+            format!("{efficiency:.2}"),
+        ]);
+        scale_rows.push(format!(
+            "{{\"kind\": \"scaling\", \"shards\": {count}, \"makespan\": {makespan}, \
+             \"total_busy\": {}, \"speedup\": {speedup:.4}}}",
+            out.ledger.total_busy()
+        ));
+    }
+    assert!(speedup8 > 1.0, "8 shards must beat 1 shard on simulated makespan");
+    assert_eq!(routed_remote_loads, 0, "the {SHARDS}-shard routed run must stay local");
+    stable.note("routed placement: zero interconnect traffic by construction");
+    stable.print();
+    println!();
+
+    // --- Leg 3: interconnect message counters -------------------------
+    // Hot probe keys (Zipf 1.0 over a narrow slice of the dimension
+    // domain) so in-flight lookups share remote lines — what coalescing
+    // is for.
+    let hot = Relation::zipf(n, 256.min(dim_n as u64), 1.0, SEED ^ 0x91);
+    let scalar =
+        probe_sharded(&st, &hot, Technique::Amac, &ShardConfig::default(), Placement::Interleaved);
+    let coalesced = probe_sharded(
+        &st,
+        &hot,
+        Technique::Amac,
+        &ShardConfig { coalesce: Some(G), ..Default::default() },
+        Placement::Interleaved,
+    );
+    assert_eq!(coalesced.matches, scalar.matches, "coalescing never changes results");
+    assert_eq!(coalesced.checksum, scalar.checksum, "coalescing never changes results");
+    assert_eq!(coalesced.out, scalar.out, "coalescing never changes results");
+    for (label, out) in [("scalar", &scalar), ("coalesced", &coalesced)] {
+        assert!(out.ledger.stats.remote_loads > 0, "{label}: dealt placement must cross shards");
+        assert_eq!(
+            out.ledger.stats.remote_bytes,
+            out.ledger.stats.remote_loads * REMOTE_LINE_BYTES,
+            "{label}: one line per message"
+        );
+    }
+    assert!(
+        coalesced.ledger.stats.remote_loads < scalar.ledger.stats.remote_loads,
+        "deduped remote lines must not be charged as messages"
+    );
+    let mut mtable = Table::new("Interleaved placement message counters (AMAC, hot keys)")
+        .header(["issue", "remote loads", "remote bytes"]);
+    for (label, out) in [("scalar".to_string(), &scalar), (format!("coalesce G={G}"), &coalesced)] {
+        mtable.row([
+            label,
+            format!("{}", out.ledger.stats.remote_loads),
+            format!("{}", out.ledger.stats.remote_bytes),
+        ]);
+    }
+    mtable.note("remote_bytes = remote_loads x 64; dedup removes messages, results never move");
+    mtable.print();
+    println!();
+    let message_rows = [("scalar", &scalar), ("coalesced", &coalesced)].map(|(label, out)| {
+        format!(
+            "{{\"kind\": \"messages\", \"issue\": \"{label}\", \"remote_loads\": {}, \
+             \"remote_bytes\": {}}}",
+            out.ledger.stats.remote_loads, out.ledger.stats.remote_bytes
+        )
+    });
+
+    // --- Leg 4: sharded serving ---------------------------------------
+    let router = st.router().clone();
+    let per_tenant = (n / 16).max(256);
+    let tenants: Vec<u32> = (0..8).collect();
+    let streams: Vec<(u32, Relation)> = tenants
+        .iter()
+        .map(|&t| {
+            let s = router.shard_of_tenant(t);
+            (t, tenant_probes(&dim, &router, s, per_tenant, 2 * u64::from(t) + 3))
+        })
+        .collect();
+    let mut srv = ShardedServe::new(&st, ServeConfig::default());
+    for (t, probes) in &streams {
+        let opts = SubmitOpts { tenant: *t, ..Default::default() };
+        let (s, _) = srv
+            .submit(Request::Probe { probes, cfg: ProbeConfig::default() }, opts)
+            .expect("submission fits the admission window");
+        assert_eq!(s, router.shard_of_tenant(*t), "router must agree with placement");
+    }
+    let out = srv.finish();
+    assert_eq!(out.count(QueryOutcome::Completed), streams.len() as u64, "every tenant completed");
+    let ledger_violations = out.ledger_violations();
+    assert_eq!(ledger_violations, 0, "shard ledgers must sum to the global ledger");
+    for (t, probes) in &streams {
+        let expect = probe(&solo, probes, Technique::Amac, &ProbeConfig::default());
+        let report = out.reports().find(|r| r.tenant == *t).expect("tenant report exists");
+        assert_eq!(report.matches, expect.matches, "tenant {t}");
+        assert_eq!(report.checksum, expect.checksum, "tenant {t}");
+        assert_eq!(report.out, expect.out, "tenant {t}: serving outputs diverged from solo");
+    }
+    let fairness = out.fairness_nodes_ratio();
+    assert!(
+        (1.0..2.0).contains(&fairness),
+        "uniform tenants must see comparable per-query work, got {fairness}"
+    );
+    println!(
+        "serving: {} tenants over {SHARDS} shards, ledger violations {ledger_violations}, \
+         fairness (max/mean nodes) {fairness:.3}\n",
+        streams.len()
+    );
+
+    // --- Leg 5: elastic repartition -----------------------------------
+    let mut es = ElasticShards::new(ShardedTable::build(&dim, ShardRouter::new(BITS, SHARDS)));
+    let reference = HashTable::build_serial(&dim);
+    reference.freeze();
+    for wave in 0..2u64 {
+        let w = Relation::zipf(n / 8, dim_n as u64 * 2, 0.5, SEED ^ (0xE0 + wave));
+        es.upsert(&w, Technique::Amac, &ShardConfig::default());
+        mutate(&reference, &w, Technique::Amac, &MutateConfig::default());
+    }
+    let split = es.split(1001);
+    assert!(split.replayed_records > 0, "split must replay a non-empty sealed WAL tail");
+    assert!(split.moved_partitions > 0, "the new shard must win partitions");
+    assert_eq!(es.table().contents_sorted(), reference.contents_sorted(), "post-split contents");
+
+    let w = Relation::zipf(n / 8, dim_n as u64 * 2, 0.5, SEED ^ 0xE7);
+    es.upsert(&w, Technique::Amac, &ShardConfig::default());
+    mutate(&reference, &w, Technique::Amac, &MutateConfig::default());
+    let victim = es.router().shard_ids()[1];
+    let merge = es.merge(victim);
+    assert!(merge.replayed_records > 0, "merge must replay a non-empty sealed WAL tail");
+    assert_eq!(es.table().contents_sorted(), reference.contents_sorted(), "post-merge contents");
+
+    // Probes on the repartitioned fleet still match the unsharded table.
+    let want = probe(&reference, &fact, Technique::Amac, &ProbeConfig::default());
+    let got = probe_sharded(
+        es.table(),
+        &fact,
+        Technique::Amac,
+        &ShardConfig::default(),
+        Placement::Routed,
+    );
+    assert_eq!(
+        (got.matches, got.checksum),
+        (want.matches, want.checksum),
+        "post-repartition probe"
+    );
+    assert_eq!(got.out, want.out, "post-repartition probe outputs");
+
+    let moved_tuples = split.moved_tuples + merge.moved_tuples;
+    let replayed = split.replayed_records + merge.replayed_records;
+    println!(
+        "repartition: split moved {} tuples / {} partitions, merge moved {} tuples / {} \
+         partitions, {replayed} WAL records replayed through recovery\n",
+        split.moved_tuples, split.moved_partitions, merge.moved_tuples, merge.moved_partitions
+    );
+    let repart_rows = [("split", &split), ("merge", &merge)].map(|(op, r)| {
+        format!(
+            "{{\"kind\": \"repartition\", \"op\": \"{op}\", \"moved_partitions\": {}, \
+             \"moved_tuples\": {}, \"replayed_records\": {}}}",
+            r.moved_partitions, r.moved_tuples, r.replayed_records
+        )
+    });
+
+    // --- JSON trajectory ----------------------------------------------
+    let mut j = JsonOut::open("shard_scale_out");
+    j.meta("tuples", n);
+    j.meta("dim_tuples", dim_n);
+    j.meta("shards", SHARDS);
+    j.meta("partition_bits", BITS);
+    j.meta("equivalence_configs", checked);
+    j.results(scale_rows.into_iter().chain(message_rows).chain(repart_rows));
+    let keys = vec![
+        ("BENCH_SHARD_SPEEDUP_8".to_string(), format!("{speedup8:.4}")),
+        (
+            "BENCH_SHARD_REMOTE_LOADS".to_string(),
+            format!("{}", coalesced.ledger.stats.remote_loads),
+        ),
+        (
+            "BENCH_SHARD_REMOTE_BYTES".to_string(),
+            format!("{}", coalesced.ledger.stats.remote_bytes),
+        ),
+        ("BENCH_SHARD_REMOTE_LOADS_ROUTED".to_string(), format!("{routed_remote_loads}")),
+        ("BENCH_SHARD_LEDGER_VIOLATIONS".to_string(), format!("{ledger_violations}")),
+        ("BENCH_SHARD_FAIRNESS_RATIO".to_string(), format!("{fairness:.4}")),
+        ("BENCH_SHARD_REPART_MOVED_TUPLES".to_string(), format!("{moved_tuples}")),
+    ];
+    j.finish_with_keys(&keys, args.json.as_deref());
+}

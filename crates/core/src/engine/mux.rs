@@ -302,6 +302,8 @@ impl<O: LookupOp> LookupOp for Mux<O> {
                 led.log_stalls += delta.log_stalls;
                 led.replayed_records += delta.replayed_records;
                 led.recovered_queries += delta.recovered_queries;
+                led.remote_loads += delta.remote_loads;
+                led.remote_bytes += delta.remote_bytes;
                 stats.merge(&delta);
             }
         }

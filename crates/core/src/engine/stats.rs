@@ -100,6 +100,17 @@ pub struct EngineStats {
     /// after a crash by `amac_server`'s recovery path. 0 outside
     /// recovery.
     pub recovered_queries: u64,
+    /// Cross-shard loads issued over the simulated interconnect
+    /// (`amac_tier::Tier::Remote`, drained through
+    /// [`super::LookupOp::flush_observed`]): one request/response
+    /// message-hop pair each. Coalesced duplicates of an in-flight remote
+    /// line are *not* re-counted — the dedup is the point. 0 for
+    /// single-shard runs.
+    pub remote_loads: u64,
+    /// Bytes moved across the simulated interconnect:
+    /// `remote_loads × 64` (one cache line per message pair,
+    /// `amac_tier::REMOTE_LINE_BYTES`). 0 for single-shard runs.
+    pub remote_bytes: u64,
 }
 
 impl EngineStats {
@@ -125,6 +136,8 @@ impl EngineStats {
         self.log_stalls += o.log_stalls;
         self.replayed_records += o.replayed_records;
         self.recovered_queries += o.recovered_queries;
+        self.remote_loads += o.remote_loads;
+        self.remote_bytes += o.remote_bytes;
     }
 
     /// Fraction of simulated time spent stalled on unfinished loads:
@@ -211,6 +224,8 @@ mod tests {
             log_stalls: 4,
             replayed_records: 5,
             recovered_queries: 1,
+            remote_loads: 6,
+            remote_bytes: 384,
             ..Default::default()
         });
         assert_eq!(a.lookups, 3);
@@ -231,6 +246,8 @@ mod tests {
         assert_eq!(a.log_stalls, 4);
         assert_eq!(a.replayed_records, 5);
         assert_eq!(a.recovered_queries, 1);
+        assert_eq!(a.remote_loads, 6);
+        assert_eq!(a.remote_bytes, 384);
         assert!((a.nodes_per_lookup() - 7.0 / 3.0).abs() < 1e-12);
     }
 

@@ -70,10 +70,12 @@
 
 mod request;
 mod session;
+mod shard;
 mod tenant;
 
 pub use request::{
     Backpressure, BreakerMode, QueryId, QueryOutcome, QueryReport, Request, Stalled, SubmitOpts,
 };
 pub use session::{ServeConfig, ServeOutput, ServeSession};
+pub use shard::{ShardedServe, ShardedServeOutput};
 pub use tenant::{TenantOp, TenantState};

@@ -1,0 +1,289 @@
+//! Elastic repartitioning: split (add) or merge (remove) a shard while
+//! mutations are in flight, reusing the durability machinery — snapshot
+//! checkpoints plus sealed-WAL-tail replay — to move state.
+//!
+//! The protocol for every shard whose partitions change hands:
+//!
+//! 1. **Recover, don't read**: reconstruct the shard from its last
+//!    checkpoint [`TableSnapshot`] and replay its sealed WAL tail
+//!    ([`amac_ops::mutate::replay`]). The recovered contents are asserted
+//!    bit-identical to the live table — repartitioning doubles as a
+//!    standing recovery drill.
+//! 2. **Partition the recovered contents** under the *new* router: kept
+//!    tuples rebuild the shard in place, moved tuples ship to their new
+//!    owner (rendezvous hashing guarantees the destination is exactly
+//!    the added shard on split, and pre-existing shards on merge).
+//! 3. **Re-checkpoint** every rebuilt shard and reset its WAL — the
+//!    rebuilt table is the new durable baseline.
+//!
+//! Shards whose ownership is untouched keep their tables, checkpoints
+//! and WALs byte-for-byte — bounded movement at the storage layer, not
+//! just the routing layer.
+
+use amac::engine::Technique;
+use amac_hashtable::{HashTable, TableSnapshot};
+use amac_ops::mutate::{replay, MutateKind};
+use amac_tier::Wal;
+use amac_workload::{Relation, Tuple};
+
+use crate::exec::{mutate_sharded, Placement, ShardConfig, ShardMutOutput};
+use crate::router::ShardRouter;
+use crate::table::ShardedTable;
+
+/// What a split or merge moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepartitionReport {
+    /// Radix partitions that changed owner.
+    pub moved_partitions: usize,
+    /// Live tuples shipped to a new owner.
+    pub moved_tuples: u64,
+    /// Sealed WAL records replayed while recovering the affected shards.
+    pub replayed_records: u64,
+}
+
+/// A sharded table with per-shard durability state, supporting
+/// split/merge while serving upserts.
+pub struct ElasticShards {
+    table: ShardedTable,
+    /// Last durable snapshot per shard (parallel to the shard vec).
+    checkpoints: Vec<TableSnapshot>,
+    /// Per-shard logical WAL since that shard's checkpoint.
+    wals: Vec<Wal>,
+}
+
+impl ElasticShards {
+    /// Wrap a freshly built [`ShardedTable`]; the build state is the
+    /// first checkpoint.
+    pub fn new(table: ShardedTable) -> Self {
+        let checkpoints = table.shards().iter().map(|s| s.snapshot()).collect();
+        let wals = (0..table.n_shards()).map(|_| Wal::new()).collect();
+        ElasticShards { table, checkpoints, wals }
+    }
+
+    /// The live sharded table (for probes and equivalence checks).
+    #[inline]
+    pub fn table(&self) -> &ShardedTable {
+        &self.table
+    }
+
+    /// The routing state.
+    #[inline]
+    pub fn router(&self) -> &ShardRouter {
+        self.table.router()
+    }
+
+    /// One shard's WAL (sealed tail + unsealed head).
+    #[inline]
+    pub fn wal(&self, s: usize) -> &Wal {
+        &self.wals[s]
+    }
+
+    /// Apply routed upserts, appending each shard's records to its WAL
+    /// and sealing — the tail is durable (replayable) from here on.
+    pub fn upsert(
+        &mut self,
+        rel: &Relation,
+        technique: Technique,
+        cfg: &ShardConfig,
+    ) -> ShardMutOutput {
+        let out =
+            mutate_sharded(&self.table, rel, MutateKind::Upsert, technique, cfg, Placement::Routed);
+        for (s, records) in out.wals.iter().enumerate() {
+            self.wals[s].extend(records.iter().copied());
+            self.wals[s].seal();
+        }
+        out
+    }
+
+    /// Crash-consistent state of shard `s`: checkpoint + sealed tail.
+    /// Returns the recovered table and how many records replayed.
+    fn recover_shard(&self, s: usize) -> (HashTable, u64) {
+        let ht = HashTable::restore(&self.checkpoints[s]);
+        let stats = replay(&ht, self.wals[s].sealed());
+        (ht, stats.replayed_records)
+    }
+
+    /// Rebuild slot `s` from `tuples` and make it the new durable
+    /// baseline (fresh checkpoint, empty WAL).
+    fn rebuild(
+        shards: &mut [HashTable],
+        checkpoints: &mut [TableSnapshot],
+        wals: &mut [Wal],
+        s: usize,
+        tuples: Vec<Tuple>,
+    ) {
+        let ht = HashTable::build_serial(&Relation::from_tuples(tuples));
+        ht.freeze();
+        checkpoints[s] = ht.snapshot();
+        wals[s] = Wal::new();
+        shards[s] = ht;
+    }
+
+    fn take_parts(&mut self) -> (ShardRouter, Vec<HashTable>) {
+        let dummy = ShardedTable::build(&Relation::from_tuples(Vec::new()), ShardRouter::new(0, 1));
+        core::mem::replace(&mut self.table, dummy).into_parts()
+    }
+
+    /// Split: add shard `new_id`, shipping it the partitions it wins.
+    ///
+    /// Every *source* shard (a shard losing at least one partition) goes
+    /// through the recovery path — checkpoint restore + sealed-tail
+    /// replay — and the recovered contents are asserted identical to the
+    /// live table before anything moves.
+    pub fn split(&mut self, new_id: u64) -> RepartitionReport {
+        let (mut router, mut shards) = self.take_parts();
+        let before = router.clone();
+        let moved = router.add_shard(new_id);
+        let mut sources: Vec<usize> = moved.iter().map(|&p| before.shard_of_partition(p)).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let new_idx = router.shard_ids().iter().position(|&i| i == new_id).unwrap();
+
+        let mut report = RepartitionReport { moved_partitions: moved.len(), ..Default::default() };
+        let mut incoming: Vec<Tuple> = Vec::new();
+        for &s in &sources {
+            let (recovered, replayed) = self.recover_shard(s);
+            report.replayed_records += replayed;
+            let contents = recovered.contents_sorted();
+            assert_eq!(
+                contents,
+                shards[s].contents_sorted(),
+                "recovered shard {s} diverged from live state — WAL or snapshot is broken"
+            );
+            let mut kept: Vec<Tuple> = Vec::new();
+            for (key, payload) in contents {
+                // Old owner was `s`; under the new router the tuple
+                // either stays or moved to the added shard.
+                let owner = router.shard_of_key(key);
+                if owner == s {
+                    kept.push(Tuple::new(key, payload));
+                } else {
+                    debug_assert_eq!(router.shard_ids()[owner], new_id);
+                    report.moved_tuples += 1;
+                    incoming.push(Tuple::new(key, payload));
+                }
+            }
+            Self::rebuild(&mut shards, &mut self.checkpoints, &mut self.wals, s, kept);
+        }
+
+        let fresh = HashTable::build_serial(&Relation::from_tuples(incoming));
+        fresh.freeze();
+        self.checkpoints.insert(new_idx, fresh.snapshot());
+        self.wals.insert(new_idx, Wal::new());
+        shards.insert(new_idx, fresh);
+        self.table = ShardedTable::from_parts(router, shards);
+        report
+    }
+
+    /// Merge: remove shard `victim_id`, dealing its partitions (and
+    /// tuples) to the surviving shards. The victim is recovered — not
+    /// read — before its state ships, same drill as [`split`](Self::split).
+    pub fn merge(&mut self, victim_id: u64) -> RepartitionReport {
+        let (mut router, mut shards) = self.take_parts();
+        let pos = router.shard_ids().iter().position(|&i| i == victim_id).expect("unknown shard");
+
+        let (recovered, replayed) = self.recover_shard(pos);
+        let moving = recovered.contents_sorted();
+        assert_eq!(
+            moving,
+            shards[pos].contents_sorted(),
+            "recovered shard {pos} diverged from live state — WAL or snapshot is broken"
+        );
+
+        let moved = router.remove_shard(victim_id);
+        shards.remove(pos);
+        self.checkpoints.remove(pos);
+        self.wals.remove(pos);
+
+        let report = RepartitionReport {
+            moved_partitions: moved.len(),
+            moved_tuples: moving.len() as u64,
+            replayed_records: replayed,
+        };
+        let mut extra: Vec<Vec<Tuple>> = vec![Vec::new(); router.n_shards()];
+        for (key, payload) in moving {
+            extra[router.shard_of_key(key)].push(Tuple::new(key, payload));
+        }
+        for (d, add) in extra.into_iter().enumerate() {
+            if add.is_empty() {
+                continue;
+            }
+            let mut all: Vec<Tuple> =
+                shards[d].contents_sorted().into_iter().map(|(k, v)| Tuple::new(k, v)).collect();
+            all.extend(add);
+            Self::rebuild(&mut shards, &mut self.checkpoints, &mut self.wals, d, all);
+        }
+        self.table = ShardedTable::from_parts(router, shards);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> (ElasticShards, HashTable) {
+        let build = Relation::dense_unique(1 << 9, 7);
+        let reference = HashTable::build_serial(&build);
+        reference.freeze();
+        let st = ShardedTable::build(&build, ShardRouter::new(6, 4));
+        (ElasticShards::new(st), reference)
+    }
+
+    #[test]
+    fn split_replays_wal_and_preserves_contents() {
+        let (mut es, reference) = seeded();
+        let ups = Relation::zipf(1 << 9, 700, 0.5, 31);
+        let out = es.upsert(&ups, Technique::Amac, &ShardConfig::default());
+        assert!(out.applied > 0);
+        amac_ops::mutate::mutate(
+            &reference,
+            &ups,
+            Technique::Amac,
+            &amac_ops::mutate::MutateConfig::default(),
+        );
+
+        let report = es.split(99);
+        assert!(report.moved_partitions > 0);
+        assert!(report.replayed_records > 0, "split must exercise the replay path");
+        assert_eq!(es.router().n_shards(), 5);
+        assert_eq!(es.table().contents_sorted(), reference.contents_sorted());
+    }
+
+    #[test]
+    fn merge_ships_the_victims_tuples() {
+        let (mut es, reference) = seeded();
+        let ups = Relation::zipf(1 << 9, 700, 0.5, 31);
+        es.upsert(&ups, Technique::Amac, &ShardConfig::default());
+        amac_ops::mutate::mutate(
+            &reference,
+            &ups,
+            Technique::Amac,
+            &amac_ops::mutate::MutateConfig::default(),
+        );
+
+        let victim = es.router().shard_ids()[2];
+        let victim_tuples = es.table().shard(2).len() as u64;
+        let report = es.merge(victim);
+        assert_eq!(report.moved_tuples, victim_tuples);
+        assert!(report.replayed_records > 0, "merge must exercise the replay path");
+        assert_eq!(es.router().n_shards(), 3);
+        assert_eq!(es.table().contents_sorted(), reference.contents_sorted());
+    }
+
+    #[test]
+    fn upserts_keep_working_after_repartition() {
+        let (mut es, reference) = seeded();
+        es.split(40);
+        es.merge(1);
+        let ups = Relation::zipf(1 << 8, 800, 0.3, 41);
+        es.upsert(&ups, Technique::Amac, &ShardConfig::default());
+        amac_ops::mutate::mutate(
+            &reference,
+            &ups,
+            Technique::Amac,
+            &amac_ops::mutate::MutateConfig::default(),
+        );
+        assert_eq!(es.table().contents_sorted(), reference.contents_sorted());
+    }
+}

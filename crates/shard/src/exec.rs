@@ -1,0 +1,623 @@
+//! Sharded execution drivers: run the existing operators per shard and
+//! charge cross-shard traffic at interconnect cost.
+//!
+//! The model is **data shipping over a message interconnect**: every
+//! input tuple is processed by exactly one *core* (core `c` owns shard
+//! `c`), and each sub-run either touches the core's own shard (local
+//! tiers) or another core's shard — in which case every load crosses the
+//! interconnect as a request/response message pair, priced by
+//! [`amac_tier::Tier::Remote`] and counted in
+//! [`EngineStats::remote_loads`]/[`remote_bytes`](EngineStats::remote_bytes).
+//! Remote loads flow through the same AMU protocol as local ones, so the
+//! coalescing unit dedups hot remote lines — deduped messages are never
+//! charged.
+//!
+//! Determinism: each `(core, target-shard)` sub-run is an ordinary
+//! single-threaded operator run with its own simulated clock, so every
+//! counter is a pure function of the input and the placement — thread
+//! count only changes which OS thread executes which core, never what
+//! any core computes. Latched aggregation state is single-writer per
+//! shard (group keys route like any other key), which is what keeps the
+//! multi-threaded legs deterministic.
+
+use amac::engine::{EngineStats, Technique, TuningParams};
+use amac_hashtable::agg::AggValues;
+use amac_hashtable::AggTable;
+use amac_ops::groupby::{groupby, GroupByConfig};
+use amac_ops::join::{probe, ProbeConfig};
+use amac_ops::mutate::{mutate, MutateConfig, MutateKind};
+use amac_ops::pipeline::{probe_then_groupby, PipelineConfig};
+use amac_tier::{CostModel, TierPolicy, TierSpec, WalRecord};
+use amac_workload::{Relation, Tuple};
+
+use crate::table::{ShardedAgg, ShardedTable};
+
+/// Where input tuples execute, relative to the data they touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Each tuple executes on the core owning its key's shard: every
+    /// lookup is local, zero interconnect traffic. This is the placement
+    /// the scaling curve measures.
+    Routed,
+    /// Tuples are dealt round-robin over cores regardless of key: an
+    /// `(N−1)/N` fraction of lookups cross the interconnect. This is the
+    /// placement that exercises the message counters (and shows what
+    /// coalescing saves on hot remote lines).
+    Interleaved,
+}
+
+/// Knobs shared by every sharded driver.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Executor tuning (the paper's `M`), applied to every sub-run.
+    pub params: TuningParams,
+    /// One cost model for local *and* remote pricing: local sub-runs pay
+    /// [`TierPolicy::AllNear`], cross-shard sub-runs [`TierPolicy::Remote`]
+    /// (`near_latency × remote_multiplier` per load).
+    pub model: CostModel,
+    /// AMU issue coalescing group size (`None` = scalar issue). Remote
+    /// lines dedup exactly like local ones.
+    pub coalesce: Option<usize>,
+    /// OS threads executing cores (cores deal round-robin onto threads).
+    /// Results and counters are identical for any value ≥ 1.
+    pub threads: usize,
+    /// Probe chain-walk mode (see [`ProbeConfig::scan_all`]).
+    pub scan_all: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            params: TuningParams::default(),
+            model: CostModel::default(),
+            coalesce: None,
+            threads: 1,
+            scan_all: false,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Tier spec for a sub-run from core `core` against shard `target`.
+    fn spec(&self, core: usize, target: usize) -> TierSpec {
+        let policy = if core == target { TierPolicy::AllNear } else { TierPolicy::Remote };
+        TierSpec { model: self.model, policy }
+    }
+}
+
+/// Per-core makespan accounting shared by every sharded output.
+#[derive(Debug, Clone, Default)]
+pub struct CoreLedger {
+    /// Merged executor counters, all cores (the *global* ledger; always
+    /// equal to the sum of [`per_core`](CoreLedger::per_core)).
+    pub stats: EngineStats,
+    /// One [`EngineStats`] ledger per core, index = core = shard.
+    pub per_core: Vec<EngineStats>,
+    /// Simulated busy ticks per core: `sim_cycles + sim_stalls` over the
+    /// core's sub-runs.
+    pub busy: Vec<u64>,
+}
+
+impl CoreLedger {
+    fn from_cores(per_core: Vec<EngineStats>) -> Self {
+        let mut stats = EngineStats::default();
+        for s in &per_core {
+            stats.merge(s);
+        }
+        let busy = per_core.iter().map(|s| s.sim_cycles + s.sim_stalls).collect();
+        CoreLedger { stats, per_core, busy }
+    }
+
+    /// The scale-out metric: the slowest core's simulated busy ticks.
+    /// Perfect sharding divides the single-core total by N; skew and
+    /// remote traffic eat into that.
+    pub fn makespan(&self) -> u64 {
+        self.busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total simulated busy ticks across cores (the single-core
+    /// equivalent work, for computing scaling efficiency).
+    pub fn total_busy(&self) -> u64 {
+        self.busy.iter().sum()
+    }
+}
+
+/// Result of a sharded probe run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardProbeOutput {
+    /// Total key matches, summed over sub-runs.
+    pub matches: u64,
+    /// Order-independent checksum, summed (wrapping) over sub-runs.
+    pub checksum: u64,
+    /// First-match payload per probe tuple, scattered back to *input*
+    /// order — bit-comparable against an unsharded probe's `out`.
+    pub out: Vec<u64>,
+    /// Makespan accounting.
+    pub ledger: CoreLedger,
+}
+
+/// Result of a sharded group-by run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardAggOutput {
+    /// Tuples aggregated, summed over sub-runs.
+    pub tuples: u64,
+    /// Makespan accounting.
+    pub ledger: CoreLedger,
+}
+
+/// Result of a sharded fused-pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardPipelineOutput {
+    /// First-stage join matches, summed.
+    pub matched: u64,
+    /// Tuples reaching the aggregation, summed.
+    pub aggregated: u64,
+    /// Final groups merged across every sub-run's scratch table
+    /// (component-wise [`AggValues`] combine), sorted by key —
+    /// bit-comparable against an unsharded fused run's sorted groups.
+    pub groups: Vec<(u64, AggValues)>,
+    /// Makespan accounting.
+    pub ledger: CoreLedger,
+}
+
+/// Result of a sharded mutation run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardMutOutput {
+    /// Mutations applied, summed.
+    pub applied: u64,
+    /// Fresh nodes created, summed.
+    pub created: u64,
+    /// Upserts merged into existing tuples, summed.
+    pub merged: u64,
+    /// Tuples tombstoned, summed.
+    pub deleted: u64,
+    /// Per-**shard** WAL: every record that mutated shard `s`, in apply
+    /// order (deterministic — cross-shard sub-runs execute in core
+    /// order). The elastic repartition path replays these tails.
+    pub wals: Vec<Vec<WalRecord>>,
+    /// Makespan accounting.
+    pub ledger: CoreLedger,
+}
+
+/// Deal input tuple indices into the `(core, target)` sub-run plan.
+/// `plan[core][target]` = input indices, input order preserved.
+fn plan_runs(
+    router: &crate::ShardRouter,
+    input: &[Tuple],
+    placement: Placement,
+) -> Vec<Vec<Vec<usize>>> {
+    let n = router.n_shards();
+    let mut plan = vec![vec![Vec::new(); n]; n];
+    for (i, t) in input.iter().enumerate() {
+        let target = router.shard_of_key(t.key);
+        let core = match placement {
+            Placement::Routed => target,
+            Placement::Interleaved => i % n,
+        };
+        plan[core][target].push(i);
+    }
+    plan
+}
+
+fn sub_relation(input: &[Tuple], idxs: &[usize]) -> Relation {
+    Relation::from_tuples(idxs.iter().map(|&i| input[i]).collect())
+}
+
+/// Run `job(core)` for every core on `threads` OS threads (cores dealt
+/// round-robin), returning results in core order. With `threads <= 1`
+/// runs inline.
+fn run_cores<T, F>(n_cores: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n_cores.max(1));
+    if threads <= 1 {
+        return (0..n_cores).map(job).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n_cores).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let job = &job;
+                s.spawn(move || {
+                    (t..n_cores).step_by(threads).map(|c| (c, job(c))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (c, v) in h.join().expect("core job panicked") {
+                out[c] = Some(v);
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("every core ran")).collect()
+}
+
+/// Sharded probe: each core probes its local shard directly and every
+/// other shard over the interconnect, per `placement`. Results are
+/// bit-identical to an unsharded [`probe`] of the same relation.
+pub fn probe_sharded(
+    st: &ShardedTable,
+    probes: &Relation,
+    technique: Technique,
+    cfg: &ShardConfig,
+    placement: Placement,
+) -> ShardProbeOutput {
+    let n = st.n_shards();
+    let plan = plan_runs(st.router(), &probes.tuples, placement);
+
+    struct Partial {
+        matches: u64,
+        checksum: u64,
+        scatter: Vec<(usize, u64)>,
+        stats: EngineStats,
+    }
+    let partials = run_cores(n, cfg.threads, |core| {
+        let mut p =
+            Partial { matches: 0, checksum: 0, scatter: Vec::new(), stats: EngineStats::default() };
+        for (target, idxs) in plan[core].iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let pcfg = ProbeConfig {
+                params: cfg.params,
+                scan_all: cfg.scan_all,
+                tier: Some(cfg.spec(core, target)),
+                coalesce: cfg.coalesce,
+                ..Default::default()
+            };
+            let sub =
+                probe(st.shard(target), &sub_relation(&probes.tuples, idxs), technique, &pcfg);
+            p.matches += sub.matches;
+            p.checksum = p.checksum.wrapping_add(sub.checksum);
+            p.scatter.extend(idxs.iter().copied().zip(sub.out.iter().copied()));
+            p.stats.merge(&sub.stats);
+        }
+        p
+    });
+
+    // Every input index lands in exactly one sub-run, so the scatter
+    // covers the whole vector; the fill value mirrors ProbeOp's
+    // "unmatched" sentinel for bit-comparability anyway.
+    let mut out = vec![u64::MAX; probes.len()];
+    let mut matches = 0u64;
+    let mut checksum = 0u64;
+    let mut per_core = Vec::with_capacity(n);
+    for p in partials {
+        matches += p.matches;
+        checksum = checksum.wrapping_add(p.checksum);
+        for (i, v) in p.scatter {
+            out[i] = v;
+        }
+        per_core.push(p.stats);
+    }
+    ShardProbeOutput { matches, checksum, out, ledger: CoreLedger::from_cores(per_core) }
+}
+
+/// Sharded group-by. Aggregation state is **single-writer per shard**
+/// (a group's key routes it to exactly one shard), so this driver is
+/// routed-only: a cross-shard aggregate would be a remote *write*, which
+/// this model ships via [`mutate_sharded`] instead.
+pub fn groupby_sharded(
+    agg: &ShardedAgg,
+    input: &Relation,
+    technique: Technique,
+    cfg: &ShardConfig,
+) -> ShardAggOutput {
+    let n = agg.n_shards();
+    let plan = plan_runs(agg.router(), &input.tuples, Placement::Routed);
+    let results = run_cores(n, cfg.threads, |core| {
+        let idxs = &plan[core][core];
+        if idxs.is_empty() {
+            return (0u64, EngineStats::default());
+        }
+        let gcfg = GroupByConfig {
+            params: cfg.params,
+            tier: Some(cfg.spec(core, core)),
+            coalesce: cfg.coalesce,
+            ..Default::default()
+        };
+        let sub = groupby(agg.shard(core), &sub_relation(&input.tuples, idxs), technique, &gcfg);
+        (sub.tuples, sub.stats)
+    });
+    let tuples = results.iter().map(|r| r.0).sum();
+    let per_core = results.into_iter().map(|r| r.1).collect();
+    ShardAggOutput { tuples, ledger: CoreLedger::from_cores(per_core) }
+}
+
+/// Sharded fused probe→group-by pipeline. The fact relation routes (or
+/// deals) by *probe key*; every sub-run aggregates into its own scratch
+/// [`AggTable`] (group keys — build payloads — overlap across shards),
+/// and the scratch tables merge component-wise at the end.
+pub fn pipeline_sharded(
+    st: &ShardedTable,
+    fact: &Relation,
+    total_groups: usize,
+    technique: Technique,
+    cfg: &ShardConfig,
+    placement: Placement,
+) -> ShardPipelineOutput {
+    let n = st.n_shards();
+    let plan = plan_runs(st.router(), &fact.tuples, placement);
+
+    struct Partial {
+        matched: u64,
+        aggregated: u64,
+        groups: Vec<(u64, AggValues)>,
+        stats: EngineStats,
+    }
+    let partials = run_cores(n, cfg.threads, |core| {
+        let mut p = Partial {
+            matched: 0,
+            aggregated: 0,
+            groups: Vec::new(),
+            stats: EngineStats::default(),
+        };
+        for (target, idxs) in plan[core].iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let pcfg = PipelineConfig {
+                params: cfg.params,
+                tier: Some(cfg.spec(core, target)),
+                coalesce: cfg.coalesce,
+                ..Default::default()
+            };
+            let scratch = AggTable::for_groups(total_groups.max(1));
+            let sub = probe_then_groupby(
+                st.shard(target),
+                &scratch,
+                &sub_relation(&fact.tuples, idxs),
+                technique,
+                &pcfg,
+            );
+            p.matched += sub.matched;
+            p.aggregated += sub.aggregated;
+            p.groups.extend(scratch.groups());
+            p.stats.merge(&sub.stats);
+        }
+        p
+    });
+
+    let mut merged: Vec<(u64, AggValues)> = Vec::new();
+    let mut matched = 0u64;
+    let mut aggregated = 0u64;
+    let mut per_core = Vec::with_capacity(n);
+    for p in partials {
+        matched += p.matched;
+        aggregated += p.aggregated;
+        merged.extend(p.groups);
+        per_core.push(p.stats);
+    }
+    merged.sort_unstable_by_key(|&(k, _)| k);
+    merged.dedup_by(|b, a| {
+        if a.0 == b.0 {
+            // Same group touched from several sub-runs: combine.
+            a.1.count += b.1.count;
+            a.1.sum = a.1.sum.wrapping_add(b.1.sum);
+            a.1.min = a.1.min.min(b.1.min);
+            a.1.max = a.1.max.max(b.1.max);
+            a.1.sumsq = a.1.sumsq.wrapping_add(b.1.sumsq);
+            true
+        } else {
+            false
+        }
+    });
+    ShardPipelineOutput {
+        matched,
+        aggregated,
+        groups: merged,
+        ledger: CoreLedger::from_cores(per_core),
+    }
+}
+
+/// Sharded mutation: each tuple mutates the shard owning its key.
+/// Routed placement runs cores in parallel (disjoint shard tables);
+/// interleaved placement executes cores **sequentially** regardless of
+/// `cfg.threads` — cross-core writes to one shard would make latch-retry
+/// counters scheduling-dependent, and deterministic counters are the
+/// whole point of the simulated interconnect.
+pub fn mutate_sharded(
+    st: &ShardedTable,
+    rel: &Relation,
+    kind: MutateKind,
+    technique: Technique,
+    cfg: &ShardConfig,
+    placement: Placement,
+) -> ShardMutOutput {
+    let n = st.n_shards();
+    let plan = plan_runs(st.router(), &rel.tuples, placement);
+    let threads = match placement {
+        Placement::Routed => cfg.threads,
+        Placement::Interleaved => 1,
+    };
+
+    struct Partial {
+        applied: u64,
+        created: u64,
+        merged: u64,
+        deleted: u64,
+        wals: Vec<(usize, Vec<WalRecord>)>,
+        stats: EngineStats,
+    }
+    let partials = run_cores(n, threads, |core| {
+        let mut p = Partial {
+            applied: 0,
+            created: 0,
+            merged: 0,
+            deleted: 0,
+            wals: Vec::new(),
+            stats: EngineStats::default(),
+        };
+        for (target, idxs) in plan[core].iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mcfg = MutateConfig {
+                params: cfg.params,
+                kind,
+                tier: Some(cfg.spec(core, target)),
+                ..Default::default()
+            };
+            let sub = mutate(st.shard(target), &sub_relation(&rel.tuples, idxs), technique, &mcfg);
+            p.applied += sub.applied;
+            p.created += sub.created;
+            p.merged += sub.merged;
+            p.deleted += sub.deleted;
+            p.wals.push((target, sub.wal));
+            p.stats.merge(&sub.stats);
+        }
+        p
+    });
+
+    let mut out = ShardMutOutput { wals: vec![Vec::new(); n], ..Default::default() };
+    let mut per_core = Vec::with_capacity(n);
+    for p in partials {
+        out.applied += p.applied;
+        out.created += p.created;
+        out.merged += p.merged;
+        out.deleted += p.deleted;
+        for (target, wal) in p.wals {
+            out.wals[target].extend(wal);
+        }
+        per_core.push(p.stats);
+    }
+    out.ledger = CoreLedger::from_cores(per_core);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardRouter;
+    use amac_hashtable::HashTable;
+
+    fn fixtures() -> (Relation, Relation) {
+        let build = Relation::dense_unique(1 << 9, 7);
+        let probes = Relation::fk_uniform(&build, 1 << 11, 9);
+        (build, probes)
+    }
+
+    #[test]
+    fn routed_probe_is_bit_identical_and_local() {
+        let (build, probes) = fixtures();
+        let solo = HashTable::build_serial(&build);
+        let base = probe(&solo, &probes, Technique::Amac, &ProbeConfig::default());
+        let st = ShardedTable::build(&build, ShardRouter::new(6, 4));
+        for threads in [1usize, 2, 4] {
+            let cfg = ShardConfig { threads, ..Default::default() };
+            let out = probe_sharded(&st, &probes, Technique::Amac, &cfg, Placement::Routed);
+            assert_eq!(out.matches, base.matches);
+            assert_eq!(out.checksum, base.checksum);
+            assert_eq!(out.out, base.out);
+            assert_eq!(out.ledger.stats.remote_loads, 0, "routed placement is all-local");
+            assert_eq!(out.ledger.stats.remote_bytes, 0);
+            // Ledger conservation: global == Σ per-core.
+            let mut sum = EngineStats::default();
+            for s in &out.ledger.per_core {
+                sum.merge(s);
+            }
+            assert_eq!(sum, out.ledger.stats);
+        }
+    }
+
+    #[test]
+    fn interleaved_probe_pays_messages_but_same_results() {
+        let (build, probes) = fixtures();
+        let solo = HashTable::build_serial(&build);
+        let base = probe(&solo, &probes, Technique::Amac, &ProbeConfig::default());
+        let st = ShardedTable::build(&build, ShardRouter::new(6, 4));
+        let cfg = ShardConfig::default();
+        let out = probe_sharded(&st, &probes, Technique::Amac, &cfg, Placement::Interleaved);
+        assert_eq!(out.matches, base.matches);
+        assert_eq!(out.checksum, base.checksum);
+        assert_eq!(out.out, base.out);
+        assert!(out.ledger.stats.remote_loads > 0, "dealt placement must cross shards");
+        assert_eq!(
+            out.ledger.stats.remote_bytes,
+            out.ledger.stats.remote_loads * amac_tier::REMOTE_LINE_BYTES
+        );
+        // Counters are thread-invariant.
+        let mt = probe_sharded(
+            &st,
+            &probes,
+            Technique::Amac,
+            &ShardConfig { threads: 4, ..Default::default() },
+            Placement::Interleaved,
+        );
+        assert_eq!(mt.ledger.stats, out.ledger.stats);
+        assert_eq!(mt.out, out.out);
+    }
+
+    #[test]
+    fn coalescing_dedups_hot_remote_lines() {
+        let build = Relation::dense_unique(64, 5);
+        // Heavy key skew: many in-flight probes share the same remote line.
+        let probes = Relation::zipf(1 << 11, 64, 1.0, 13);
+        let st = ShardedTable::build(&build, ShardRouter::new(5, 4));
+        let scalar = probe_sharded(
+            &st,
+            &probes,
+            Technique::Amac,
+            &ShardConfig::default(),
+            Placement::Interleaved,
+        );
+        let coalesced = probe_sharded(
+            &st,
+            &probes,
+            Technique::Amac,
+            &ShardConfig { coalesce: Some(8), ..Default::default() },
+            Placement::Interleaved,
+        );
+        assert_eq!(coalesced.checksum, scalar.checksum, "coalescing never changes results");
+        assert!(
+            coalesced.ledger.stats.remote_loads < scalar.ledger.stats.remote_loads,
+            "deduped remote lines must not be charged as messages"
+        );
+    }
+
+    #[test]
+    fn sharded_groupby_merges_to_unsharded_groups() {
+        let input = Relation::zipf(1 << 11, 128, 0.8, 17);
+        let solo = AggTable::for_groups(128);
+        let base = groupby(&solo, &input, Technique::Amac, &GroupByConfig::default());
+        let router = ShardRouter::new(6, 4);
+        let agg = ShardedAgg::for_groups(128, router);
+        let out = groupby_sharded(&agg, &input, Technique::Amac, &ShardConfig::default());
+        assert_eq!(out.tuples, base.tuples);
+        let mut expect = solo.groups();
+        expect.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(agg.merged_groups(), expect);
+    }
+
+    #[test]
+    fn sharded_mutate_converges_to_unsharded_contents() {
+        let (build, _) = fixtures();
+        let ups = Relation::zipf(1 << 10, 900, 0.6, 23);
+        let solo = HashTable::build_serial(&build);
+        solo.freeze();
+        let base = mutate(&solo, &ups, Technique::Amac, &MutateConfig::default());
+        for placement in [Placement::Routed, Placement::Interleaved] {
+            let st = ShardedTable::build(&build, ShardRouter::new(6, 4));
+            let out = mutate_sharded(
+                &st,
+                &ups,
+                MutateKind::Upsert,
+                Technique::Amac,
+                &ShardConfig::default(),
+                placement,
+            );
+            assert_eq!(out.applied, base.applied);
+            assert_eq!(out.created, base.created);
+            assert_eq!(out.merged, base.merged);
+            assert_eq!(st.contents_sorted(), solo.contents_sorted());
+            let wal_total: usize = out.wals.iter().map(|w| w.len()).sum();
+            assert_eq!(wal_total as u64, out.applied, "one WAL record per applied mutation");
+            // Every shard-s WAL record mutates a key shard s owns.
+            for (s, wal) in out.wals.iter().enumerate() {
+                assert!(wal.iter().all(|r| st.router().shard_of_key(r.key()) == s));
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the consistent-hash router: stability of the
+//! key→shard map under add/remove, bounded key movement on repartition,
+//! and cross-thread agreement.
+
+use amac_shard::ShardRouter;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The router is a pure function of `(bits, id set)`: construction
+    /// order never matters, and every key routes to a valid shard.
+    #[test]
+    fn routing_is_a_pure_function_of_the_id_set(
+        ids in prop::collection::btree_set(0u64..1000, 1..12),
+        bits in 2u32..9,
+        keys in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let sorted: Vec<u64> = ids.iter().copied().collect();
+        let mut reversed = sorted.clone();
+        reversed.reverse();
+        let a = ShardRouter::with_ids(bits, &sorted);
+        let b = ShardRouter::with_ids(bits, &reversed);
+        prop_assert_eq!(&a, &b);
+        for &k in &keys {
+            let s = a.shard_of_key(k);
+            prop_assert!(s < a.n_shards());
+            prop_assert_eq!(s, b.shard_of_key(k));
+            // Same key, same answer, always.
+            prop_assert_eq!(s, a.shard_of_key(k));
+        }
+    }
+
+    /// Adding a shard moves keys *only* onto the new shard; every other
+    /// key keeps its home (the rendezvous stability guarantee).
+    #[test]
+    fn add_only_moves_keys_to_the_new_shard(
+        ids in prop::collection::btree_set(0u64..1000, 1..10),
+        new_id in 1000u64..2000,
+        bits in 2u32..9,
+        keys in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let ids: Vec<u64> = ids.iter().copied().collect();
+        let before = ShardRouter::with_ids(bits, &ids);
+        let mut after = before.clone();
+        let moved = after.add_shard(new_id);
+        for &k in &keys {
+            let old = before.shard_ids()[before.shard_of_key(k)];
+            let new = after.shard_ids()[after.shard_of_key(k)];
+            if new != old {
+                prop_assert_eq!(new, new_id, "key {} moved between old shards", k);
+                prop_assert!(moved.contains(&after.partition_of_key(k)));
+            }
+        }
+    }
+
+    /// Removing a shard moves *only* the keys it owned, and movement is
+    /// bounded by the removed shard's partition share.
+    #[test]
+    fn remove_only_moves_the_victims_keys(
+        ids in prop::collection::btree_set(0u64..1000, 2..10),
+        victim_pick in 0usize..10,
+        bits in 2u32..9,
+        keys in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let ids: Vec<u64> = ids.iter().copied().collect();
+        let victim = ids[victim_pick % ids.len()];
+        let before = ShardRouter::with_ids(bits, &ids);
+        let mut after = before.clone();
+        let moved = after.remove_shard(victim);
+        let victim_parts = {
+            let pos = before.shard_ids().iter().position(|&i| i == victim).unwrap();
+            before.partitions_of_shard(pos)
+        };
+        prop_assert_eq!(&moved, &victim_parts, "exactly the victim's partitions move");
+        for &k in &keys {
+            let old = before.shard_ids()[before.shard_of_key(k)];
+            let new = after.shard_ids()[after.shard_of_key(k)];
+            if old == victim {
+                prop_assert!(new != victim);
+            } else {
+                prop_assert_eq!(new, old, "key {} moved though its owner survived", k);
+            }
+        }
+    }
+
+    /// Add-then-remove is the identity: ownership depends on the id set
+    /// alone, not the history of membership changes.
+    #[test]
+    fn membership_changes_round_trip(
+        ids in prop::collection::btree_set(0u64..1000, 1..10),
+        new_id in 1000u64..2000,
+        bits in 2u32..9,
+    ) {
+        let ids: Vec<u64> = ids.iter().copied().collect();
+        let orig = ShardRouter::with_ids(bits, &ids);
+        let mut r = orig.clone();
+        r.add_shard(new_id);
+        r.remove_shard(new_id);
+        prop_assert_eq!(r, orig);
+    }
+
+    /// Routers agree across threads: the map has no hidden mutable
+    /// state, so concurrent lookups (and independently constructed
+    /// replicas on other threads) give one answer per key regardless of
+    /// scheduling.
+    #[test]
+    fn threads_agree_on_every_route(
+        ids in prop::collection::btree_set(0u64..1000, 1..8),
+        bits in 2u32..8,
+        keys in prop::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let ids: Vec<u64> = ids.iter().copied().collect();
+        let shared = ShardRouter::with_ids(bits, &ids);
+        let expect: Vec<usize> = keys.iter().map(|&k| shared.shard_of_key(k)).collect();
+        let answers: Vec<Vec<usize>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let shared = &shared;
+                    let ids = &ids;
+                    let keys = &keys;
+                    s.spawn(move || {
+                        // Odd threads read the shared router, even ones
+                        // build their own replica from the id set.
+                        if t % 2 == 1 {
+                            keys.iter().map(|&k| shared.shard_of_key(k)).collect::<Vec<_>>()
+                        } else {
+                            let local = ShardRouter::with_ids(bits, ids);
+                            keys.iter().map(|&k| local.shard_of_key(k)).collect::<Vec<_>>()
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for got in answers {
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+}

@@ -59,13 +59,20 @@
 //! use amac::engine::{EngineStats, Technique, TuningParams};
 //! use amac_tier::{CostModel, SimClock, Tier, TierPolicy, TierSpec};
 //!
-//! // Chain nodes in far memory at 8x DRAM latency, headers near.
+//! // Chain nodes in far memory at 8x DRAM latency, headers near; a
+//! // cross-shard copy of the same structure would cost 16x per load.
 //! let spec = TierSpec {
-//!     model: CostModel { near_latency: 4, far_multiplier: 8, write_multiplier: 4 },
+//!     model: CostModel {
+//!         near_latency: 4,
+//!         far_multiplier: 8,
+//!         write_multiplier: 4,
+//!         remote_multiplier: 16,
+//!     },
 //!     policy: TierPolicy::HeadersNear,
 //! };
 //! assert_eq!(spec.model.latency(Tier::Near), 4);
 //! assert_eq!(spec.model.latency(Tier::Far), 32);
+//! assert_eq!(spec.model.latency(Tier::Remote), 64);
 //! assert_eq!(spec.policy.header_tier(), Tier::Near);
 //! assert_eq!(spec.policy.slab_tier(0), Tier::Far);
 //!
@@ -107,7 +114,17 @@ pub enum Tier {
     Near,
     /// Far/CXL-class memory: loads cost `near_latency × far_multiplier`.
     Far,
+    /// Another shard's memory across the simulated interconnect: loads
+    /// cost `near_latency × remote_multiplier` and each one is a
+    /// request/response message-hop pair carrying one 64-byte cache line
+    /// (counted into [`EngineStats::remote_loads`] /
+    /// [`EngineStats::remote_bytes`](amac::engine::EngineStats::remote_bytes)).
+    Remote,
 }
+
+/// Bytes one remote load moves across the interconnect: a request for —
+/// and a response carrying — one cache line.
+pub const REMOTE_LINE_BYTES: u64 = 64;
 
 /// Deterministic load-latency model, in simulated ticks.
 ///
@@ -129,11 +146,16 @@ pub struct CostModel {
     /// over the AMU commit group by group commit (see
     /// `EngineStats::log_stalls`).
     pub write_multiplier: u64,
+    /// Remote (cross-shard) latency as a multiple of `near_latency` —
+    /// one interconnect message-hop pair. Should exceed `far_multiplier`:
+    /// the narrow interface of Twin-Load-class designs costs more than a
+    /// local CXL load.
+    pub remote_multiplier: u64,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { near_latency: 4, far_multiplier: 1, write_multiplier: 4 }
+        CostModel { near_latency: 4, far_multiplier: 1, write_multiplier: 4, remote_multiplier: 16 }
     }
 }
 
@@ -144,12 +166,19 @@ impl CostModel {
         CostModel { far_multiplier: far_multiplier.max(1), ..Default::default() }
     }
 
+    /// The default model at a given remote multiplier (the cross-shard
+    /// axis of `bench/bin/shard.rs`).
+    pub fn with_remote(remote_multiplier: u64) -> Self {
+        CostModel { remote_multiplier: remote_multiplier.max(1), ..Default::default() }
+    }
+
     /// Ticks from prefetch issue to line arrival in `tier`.
     #[inline(always)]
     pub fn latency(&self, tier: Tier) -> u64 {
         match tier {
             Tier::Near => self.near_latency,
             Tier::Far => self.near_latency * self.far_multiplier.max(1),
+            Tier::Remote => self.near_latency * self.remote_multiplier.max(1),
         }
     }
 
@@ -166,6 +195,13 @@ impl CostModel {
     #[inline]
     pub fn write_latency(&self) -> u64 {
         self.near_latency * self.write_multiplier.max(1)
+    }
+
+    /// The remote-tier latency (`latency(Tier::Remote)`) — one
+    /// cross-shard message-hop pair on the simulated interconnect.
+    #[inline]
+    pub fn remote_latency(&self) -> u64 {
+        self.latency(Tier::Remote)
     }
 }
 
@@ -192,6 +228,11 @@ pub enum TierPolicy {
     /// hold the `BASE·(2^n − 1)` oldest nodes — a "hot head of the arena
     /// in DRAM, cold growth tail in CXL" split).
     NearSlabs(u32),
+    /// The whole structure lives on **another shard**: headers and every
+    /// slab are priced at [`Tier::Remote`] and each load crosses the
+    /// simulated interconnect. This is how a cross-shard probe reuses the
+    /// local operators unchanged — same state machines, remote prices.
+    Remote,
 }
 
 impl TierPolicy {
@@ -200,6 +241,7 @@ impl TierPolicy {
     pub fn header_tier(&self) -> Tier {
         match self {
             TierPolicy::AllFar => Tier::Far,
+            TierPolicy::Remote => Tier::Remote,
             _ => Tier::Near,
         }
     }
@@ -218,6 +260,7 @@ impl TierPolicy {
                     Tier::Far
                 }
             }
+            TierPolicy::Remote => Tier::Remote,
         }
     }
 
@@ -229,6 +272,9 @@ impl TierPolicy {
         match self {
             TierPolicy::AllFar => Some(TierPolicy::HeadersNear),
             TierPolicy::HeadersNear | TierPolicy::NearSlabs(_) => Some(TierPolicy::AllNear),
+            // A faulting interconnect degrades to serving from a local
+            // replica (the router's job to provide); one rung, then done.
+            TierPolicy::Remote => Some(TierPolicy::AllNear),
             TierPolicy::AllNear => None,
         }
     }
@@ -240,6 +286,7 @@ impl TierPolicy {
             TierPolicy::HeadersNear => "headers-near".into(),
             TierPolicy::AllFar => "all-far".into(),
             TierPolicy::NearSlabs(n) => format!("near-slabs-{n}"),
+            TierPolicy::Remote => "remote".into(),
         }
     }
 }
@@ -262,6 +309,12 @@ impl TierSpec {
             model: CostModel::with_multiplier(far_multiplier),
             policy: TierPolicy::HeadersNear,
         }
+    }
+
+    /// Whole-structure-remote placement at `remote_multiplier` — what a
+    /// cross-shard sub-run of `amac_shard` prices its loads with.
+    pub fn remote(remote_multiplier: u64) -> Self {
+        TierSpec { model: CostModel::with_remote(remote_multiplier), policy: TierPolicy::Remote }
     }
 
     /// A fresh clock charging this spec.
@@ -292,12 +345,17 @@ pub struct SimClock {
     fault: Option<FaultPlan>,
     /// Failed loads since the last [`flush`](SimClock::flush).
     faults: u64,
+    /// Cross-shard loads issued since the last [`flush`](SimClock::flush)
+    /// — each one a request/response message pair moving
+    /// [`REMOTE_LINE_BYTES`]. Coalesced duplicates never re-issue, so
+    /// this counts distinct interconnect messages, not lane births.
+    remote: u64,
 }
 
 impl SimClock {
     /// A clock at `t = 0` charging `spec`.
     pub fn new(spec: TierSpec) -> Self {
-        SimClock { spec, now: 0, work: 0, stalls: 0, fault: None, faults: 0 }
+        SimClock { spec, now: 0, work: 0, stalls: 0, fault: None, faults: 0, remote: 0 }
     }
 
     /// Attach a fault plan: far-tier loads issued through the checked
@@ -357,6 +415,9 @@ impl SimClock {
     /// address).
     #[inline(always)]
     pub fn issue(&mut self, tier: Tier) -> u64 {
+        if tier == Tier::Remote {
+            self.remote += 1;
+        }
         self.now + self.spec.model.latency(tier)
     }
 
@@ -378,6 +439,11 @@ impl SimClock {
     #[inline]
     fn issue_checked(&mut self, tier: Tier, slab: Option<u32>, token: u64) -> LoadOutcome {
         let lat = self.spec.model.latency(tier);
+        // The message is on the wire whatever the fault plan decides:
+        // failed and delayed remote loads still crossed the interconnect.
+        if tier == Tier::Remote {
+            self.remote += 1;
+        }
         let Some(plan) = self.fault else {
             return LoadOutcome::Ready(self.now + lat);
         };
@@ -434,6 +500,9 @@ impl SimClock {
         stats.sim_cycles += work;
         stats.sim_stalls += stalls;
         stats.load_faults += core::mem::take(&mut self.faults);
+        let remote = core::mem::take(&mut self.remote);
+        stats.remote_loads += remote;
+        stats.remote_bytes += remote * REMOTE_LINE_BYTES;
     }
 
     /// [`flush`](SimClock::flush) as a raw `(work, stalls)` pair, for
@@ -491,7 +560,13 @@ impl amac::engine::amu::LoadBackend for SimClock {
             AddrClass::Header { .. } => (self.issue_header(), false),
             AddrClass::Slab { slab, .. } => match self.issue_slab_checked(slab, token) {
                 LoadOutcome::Ready(t) | LoadOutcome::Delayed(t) => (t, false),
-                LoadOutcome::Failed => (self.issue_slab(slab), true),
+                // Price the poisoned ticket's wait target directly — the
+                // checked issue above already counted the message, so
+                // re-entering issue() would double-charge a remote load.
+                LoadOutcome::Failed => {
+                    let tier = self.spec.policy.slab_tier(slab);
+                    (self.now + self.spec.model.latency(tier), true)
+                }
             },
         }
     }
@@ -538,15 +613,22 @@ mod tests {
         assert_eq!(m.far_latency(), 32);
         assert_eq!(CostModel::default().latency(Tier::Far), 4, "1x far == near");
         assert_eq!(
-            CostModel { near_latency: 4, far_multiplier: 0, write_multiplier: 4 }
-                .latency(Tier::Far),
-            4
+            CostModel { far_multiplier: 0, ..Default::default() }.latency(Tier::Far),
+            4,
+            "far multiplier clamps to >= 1"
         );
         assert_eq!(CostModel::default().write_latency(), 16, "asymmetric write cost");
         assert_eq!(
             CostModel { write_multiplier: 0, ..Default::default() }.write_latency(),
             4,
             "write multiplier clamps to >= 1"
+        );
+        assert_eq!(CostModel::default().remote_latency(), 64, "16x default interconnect");
+        assert_eq!(CostModel::with_remote(32).latency(Tier::Remote), 128);
+        assert_eq!(
+            CostModel { remote_multiplier: 0, ..Default::default() }.remote_latency(),
+            4,
+            "remote multiplier clamps to >= 1"
         );
     }
 
@@ -564,6 +646,10 @@ mod tests {
         assert_eq!(p.slab_tier(1), Tier::Near);
         assert_eq!(p.slab_tier(2), Tier::Far);
         assert_eq!(p.label(), "near-slabs-2");
+        assert_eq!(TierPolicy::Remote.header_tier(), Tier::Remote);
+        assert_eq!(TierPolicy::Remote.slab_tier(0), Tier::Remote);
+        assert_eq!(TierPolicy::Remote.slab_tier(7), Tier::Remote);
+        assert_eq!(TierPolicy::Remote.label(), "remote");
     }
 
     #[test]
@@ -636,6 +722,7 @@ mod tests {
         assert_eq!(TierPolicy::AllFar.degrade(), Some(TierPolicy::HeadersNear));
         assert_eq!(TierPolicy::HeadersNear.degrade(), Some(TierPolicy::AllNear));
         assert_eq!(TierPolicy::NearSlabs(3).degrade(), Some(TierPolicy::AllNear));
+        assert_eq!(TierPolicy::Remote.degrade(), Some(TierPolicy::AllNear));
         assert_eq!(TierPolicy::AllNear.degrade(), None);
         // Every rung strictly reduces far exposure until none remains.
         let mut p = TierPolicy::AllFar;
@@ -682,6 +769,41 @@ mod tests {
         let mut s2 = EngineStats::default();
         LoadBackend::flush(&mut c, &mut s2);
         assert_eq!((s2.sim_cycles, s2.sim_stalls), (1, 5));
+    }
+
+    #[test]
+    fn remote_loads_count_messages_not_duplicates() {
+        use amac::engine::amu::{AddrClass, LoadBackend};
+        let mut c = TierSpec::remote(16).clock();
+        // Every load of a remote structure is one message-hop pair.
+        assert_eq!(c.issue_header(), 64);
+        assert_eq!(c.issue_slab(0), 64);
+        assert_eq!(c.issue_slab_checked(1, fault_token(3, 0)), LoadOutcome::Ready(64));
+        let mut s = EngineStats::default();
+        c.flush(&mut s);
+        assert_eq!(s.remote_loads, 3);
+        assert_eq!(s.remote_bytes, 3 * REMOTE_LINE_BYTES);
+        // Drain-and-reset: a second flush reports nothing.
+        let mut s2 = EngineStats::default();
+        c.flush(&mut s2);
+        assert_eq!((s2.remote_loads, s2.remote_bytes), (0, 0));
+        // A coalesced duplicate re-rolls the fault decision only — no new
+        // message (that is the dedup the AMU protocol buys on hot remote
+        // lines); a failed fresh issue still crossed the wire exactly once.
+        let mut f = TierSpec::remote(16).clock().with_fault(FaultPlan::fail_only(5, 1000));
+        let (_, failed) = f.resolve(AddrClass::Slab { slab: 0, line: 2 }, fault_token(9, 1));
+        assert!(failed);
+        assert!(f.resolve_dup(AddrClass::Slab { slab: 0, line: 2 }, fault_token(9, 1)));
+        let mut fs = EngineStats::default();
+        LoadBackend::flush(&mut f, &mut fs);
+        assert_eq!(fs.remote_loads, 1, "dup and failed-arm pricing must not re-count");
+        // Near and far placements never touch the remote counters.
+        let mut near = TierSpec::headers_near(8).clock();
+        let _ = near.issue_header();
+        let _ = near.issue_slab(0);
+        let mut ns = EngineStats::default();
+        near.flush(&mut ns);
+        assert_eq!((ns.remote_loads, ns.remote_bytes), (0, 0));
     }
 
     #[test]

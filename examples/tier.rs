@@ -16,11 +16,17 @@ fn main() {
     // --- Part 1: the clock itself (mirrors the amac_tier doctest) -----
     // Chain nodes in far memory at 8x DRAM latency, headers near.
     let spec = TierSpec {
-        model: CostModel { near_latency: 4, far_multiplier: 8, write_multiplier: 4 },
+        model: CostModel {
+            near_latency: 4,
+            far_multiplier: 8,
+            write_multiplier: 4,
+            remote_multiplier: 16,
+        },
         policy: TierPolicy::HeadersNear,
     };
     assert_eq!(spec.model.latency(Tier::Near), 4);
     assert_eq!(spec.model.latency(Tier::Far), 32);
+    assert_eq!(spec.model.latency(Tier::Remote), 64);
     assert_eq!(spec.policy.header_tier(), Tier::Near);
     assert_eq!(spec.policy.slab_tier(0), Tier::Far);
 

@@ -51,6 +51,7 @@ pub use amac_ops as ops;
 pub use amac_radix as radix;
 pub use amac_runtime as runtime;
 pub use amac_server as server;
+pub use amac_shard as shard;
 pub use amac_skiplist as skiplist;
 pub use amac_tier as tier;
 pub use amac_tree as tree;
@@ -70,6 +71,7 @@ pub mod prelude {
     };
     pub use amac_runtime::{MorselConfig, Scheduling};
     pub use amac_server::{Request, ServeConfig, ServeSession};
+    pub use amac_shard::{Placement, ShardConfig, ShardRouter, ShardedTable};
     pub use amac_tier::{CostModel, Tier, TierPolicy, TierSpec};
     pub use amac_workload::{FilterSpec, PoissonArrivals, Relation, TenantMix, Tuple};
 }

@@ -133,6 +133,7 @@ fn main() {
                     materialize: false,
                     tier: Some(TierSpec::headers_near(4)),
                     coalesce,
+                    trace: false,
                 },
             )
         };

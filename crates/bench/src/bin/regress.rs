@@ -342,6 +342,38 @@ mod tests {
         assert_eq!(speedup.better, Direction::Higher, "scaling must not silently invert");
     }
 
+    /// The shipped baselines must gate the tracing bench: five keys, all
+    /// pointing at BENCH_TRACE.json, with the three invariants
+    /// (conservation, determinism, disabled overhead) pinned at zero —
+    /// any hook that stops conserving, any nondeterministic event order,
+    /// or any counter perturbation from tracing fails CI outright.
+    #[test]
+    fn shipped_baselines_cover_the_trace_bench() {
+        let shipped = include_str!("../../baselines.json");
+        let (_, entries) = parse_baselines(shipped);
+        for key in [
+            "BENCH_TRACE_STALL_SHARE_FAR",
+            "BENCH_TRACE_EVENTS_PER_LOOKUP",
+            "BENCH_TRACE_CONSERVATION_VIOLATIONS",
+            "BENCH_TRACE_DETERMINISM_VIOLATIONS",
+            "BENCH_TRACE_DISABLED_OVERHEAD",
+        ] {
+            let e = entries
+                .iter()
+                .find(|e| e.key == key)
+                .unwrap_or_else(|| panic!("baselines.json lost {key}"));
+            assert_eq!(e.file, "BENCH_TRACE.json");
+        }
+        for invariant in [
+            "BENCH_TRACE_CONSERVATION_VIOLATIONS",
+            "BENCH_TRACE_DETERMINISM_VIOLATIONS",
+            "BENCH_TRACE_DISABLED_OVERHEAD",
+        ] {
+            let e = entries.iter().find(|e| e.key == invariant).unwrap();
+            assert_eq!(e.value, 0.0, "{invariant} must stay a zero invariant");
+        }
+    }
+
     #[test]
     fn bless_roundtrips_through_the_parser() {
         let (tol, entries) = parse_baselines(SAMPLE);

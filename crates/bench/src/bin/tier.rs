@@ -160,6 +160,7 @@ fn main() {
                 materialize: false,
                 tier: Some(TierSpec::headers_near(mult)),
                 coalesce: None,
+                trace: false,
             },
         );
         assert_sigs_agree(

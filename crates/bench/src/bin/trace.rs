@@ -1,0 +1,185 @@
+//! **Deterministic tracing trajectory** (extension): the structured
+//! trace (`amac_trace`) as gateable counters, plus a Chrome
+//! `trace_event` export of one representative run.
+//!
+//! Three properties are asserted and exported:
+//!
+//! * **Conservation** — the stall-attribution profile sums to exactly
+//!   `EngineStats::sim_stalls` and the retirement spans count exactly
+//!   `lookups`, for every executor and the coroutine ring
+//!   (`BENCH_TRACE_CONSERVATION_VIOLATIONS = 0`, a zero invariant);
+//! * **Zero disabled overhead** — an untraced run's results *and* its
+//!   entire counter ledger are bit-identical to the traced run
+//!   (`BENCH_TRACE_DISABLED_OVERHEAD = 0`, a zero invariant: it counts
+//!   differing `EngineStats` fields);
+//! * **Determinism** — the same run traced twice produces byte-identical
+//!   renders and equal canonical hashes
+//!   (`BENCH_TRACE_DETERMINISM_VIOLATIONS = 0`).
+//!
+//! The headline shape keys gate the attribution itself: with a
+//! headers-near(4) placement the far tier must own the dominant share of
+//! attributed stalls (`BENCH_TRACE_STALL_SHARE_FAR`), and the events/
+//! lookup rate (`BENCH_TRACE_EVENTS_PER_LOOKUP`) pins the trace volume —
+//! a silent hook loss shrinks it, a double-count grows it.
+//!
+//! The AMAC run's trace is also exported as `trace.json` (Chrome
+//! `about:tracing` / Perfetto format) next to the JSON blob, and CI
+//! uploads it with the trajectory artifacts.
+//!
+//! Run: `cargo run --release --bin trace -- [--scale N] [--quick] [--json F]`
+
+use amac::engine::Technique;
+use amac_bench::{assert_sigs_agree, Args, JsonOut};
+use amac_coro::{coro_probe, CoroConfig};
+use amac_hashtable::HashTable;
+use amac_ops::join::{probe, ProbeConfig, ProbeOutput};
+use amac_tier::TierSpec;
+use amac_trace::TierKind;
+use amac_workload::Relation;
+
+const SEED: u64 = 0x7A5E;
+
+fn lab(n: usize) -> (HashTable, Relation) {
+    let domain = (n as u64 / 16).max(512);
+    let build = Relation::zipf(n / 8, domain, 0.75, SEED);
+    let ht = HashTable::build_serial(&build);
+    (ht, Relation::zipf(n, domain, 1.0, SEED ^ 0x33))
+}
+
+fn cfg(trace: bool) -> ProbeConfig {
+    ProbeConfig {
+        scan_all: true,
+        materialize: false,
+        tier: Some(TierSpec::headers_near(4)),
+        trace,
+        ..Default::default()
+    }
+}
+
+/// Count differing fields between two ledgers by comparing their Debug
+/// forms field-by-field — any divergence is disabled-mode overhead.
+fn ledger_diff(a: &amac::engine::EngineStats, b: &amac::engine::EngineStats) -> u64 {
+    let (da, db) = (format!("{a:?}"), format!("{b:?}"));
+    if da == db {
+        0
+    } else {
+        da.split(',').zip(db.split(',')).filter(|(x, y)| x != y).count() as u64
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.s_size();
+    let (ht, probes) = lab(n);
+    println!("# Deterministic tracing ({n} probes, headers-near(4))\n");
+
+    let mut conservation_violations = 0u64;
+    let mut determinism_violations = 0u64;
+    let mut disabled_overhead = 0u64;
+    let mut amac_run: Option<ProbeOutput> = None;
+
+    for technique in Technique::ALL {
+        let off = probe(&ht, &probes, technique, &cfg(false));
+        let on = probe(&ht, &probes, technique, &cfg(true));
+        let rerun = probe(&ht, &probes, technique, &cfg(true));
+        assert_sigs_agree(
+            &format!("{technique}"),
+            &[("untraced", (off.matches, off.checksum)), ("traced", (on.matches, on.checksum))],
+        );
+        disabled_overhead += ledger_diff(&on.stats, &off.stats);
+        if !on.trace.conserves(on.stats.sim_stalls, on.stats.lookups) {
+            conservation_violations += 1;
+        }
+        if on.trace.canonical_hash() != rerun.trace.canonical_hash()
+            || on.trace.render() != rerun.trace.render()
+        {
+            determinism_violations += 1;
+        }
+        if technique == Technique::Amac {
+            amac_run = Some(on);
+        }
+    }
+
+    // Coroutine ring: same invariants through the async path.
+    let ring = |trace| {
+        coro_probe(
+            &ht,
+            &probes,
+            &CoroConfig {
+                scan_all: true,
+                materialize: false,
+                tier: Some(TierSpec::headers_near(4)),
+                trace,
+                ..Default::default()
+            },
+        )
+    };
+    let (coro_off, coro_on) = (ring(false), ring(true));
+    assert_sigs_agree(
+        "coro",
+        &[
+            ("untraced", (coro_off.matches, coro_off.checksum)),
+            ("traced", (coro_on.matches, coro_on.checksum)),
+        ],
+    );
+    if coro_on.sim_stalls != coro_off.sim_stalls || coro_on.sim_cycles != coro_off.sim_cycles {
+        disabled_overhead += 1;
+    }
+    if !coro_on.trace.conserves(coro_on.sim_stalls, probes.len() as u64) {
+        conservation_violations += 1;
+    }
+
+    let amac = amac_run.expect("AMAC is in Technique::ALL");
+    let lookups = amac.stats.lookups.max(1);
+    let total_stalls = amac.trace.stalls().max(1);
+    let far_stalls: u64 = amac
+        .trace
+        .stall_rows()
+        .iter()
+        .filter(|(k, _)| k.tier == TierKind::Far)
+        .map(|(_, v)| *v)
+        .sum();
+    let stall_share_far = far_stalls as f64 / total_stalls as f64;
+    let events_per_lookup = amac.trace.len() as f64 / lookups as f64;
+
+    amac.trace.stall_table().print();
+    println!();
+    println!(
+        "invariants: conservation violations {conservation_violations}, \
+         determinism violations {determinism_violations}, disabled overhead {disabled_overhead}"
+    );
+    println!("shape: far stall share {stall_share_far:.3}, events/lookup {events_per_lookup:.3}\n");
+    assert_eq!(conservation_violations, 0, "the profile must sum to sim_stalls everywhere");
+    assert_eq!(determinism_violations, 0, "the trace must be a pure function of the run");
+    assert_eq!(disabled_overhead, 0, "tracing off must be bit-identical to tracing on");
+    assert!(
+        stall_share_far > 0.5,
+        "headers-near(4) chains stall on the far tier; got share {stall_share_far:.3}"
+    );
+
+    // Chrome trace_event export of the AMAC run, for about:tracing /
+    // Perfetto. Written next to the JSON blob; CI uploads it with the
+    // trajectory artifacts.
+    let chrome = amac.trace.chrome_json();
+    std::fs::write("trace.json", &chrome).expect("write trace.json");
+    println!("wrote trace.json ({} bytes, {} events)", chrome.len(), amac.trace.len());
+
+    let mut j = JsonOut::open("trace_attribution");
+    j.meta("tuples", n);
+    let rows = amac.trace.stall_rows().into_iter().map(|(k, v)| {
+        format!(
+            "{{\"kind\": \"stall\", \"op\": \"{}\", \"class\": \"{}\", \"tier\": \"{}\", \
+             \"hop\": {}, \"ticks\": {v}}}",
+            k.op, k.class, k.tier, k.hop
+        )
+    });
+    j.results(rows);
+    let keys = vec![
+        ("BENCH_TRACE_STALL_SHARE_FAR".to_string(), format!("{stall_share_far:.4}")),
+        ("BENCH_TRACE_EVENTS_PER_LOOKUP".to_string(), format!("{events_per_lookup:.4}")),
+        ("BENCH_TRACE_CONSERVATION_VIOLATIONS".to_string(), format!("{conservation_violations}")),
+        ("BENCH_TRACE_DETERMINISM_VIOLATIONS".to_string(), format!("{determinism_violations}")),
+        ("BENCH_TRACE_DISABLED_OVERHEAD".to_string(), format!("{disabled_overhead}")),
+    ];
+    j.finish_with_keys(&keys, args.json.as_deref());
+}

@@ -27,7 +27,7 @@ use std::process::Command;
 
 /// Every JSON-emitting bench in the trajectory, with the blob path the
 /// regression gate and the CI artifact upload expect.
-const BENCHES: [(&str, &str); 9] = [
+const BENCHES: [(&str, &str); 10] = [
     ("scaling", "BENCH_SCALING.json"),
     ("pipeline", "BENCH_PIPELINE.json"),
     ("layout", "BENCH_LAYOUT.json"),
@@ -37,6 +37,7 @@ const BENCHES: [(&str, &str); 9] = [
     ("amu", "BENCH_AMU.json"),
     ("recovery", "BENCH_RECOVERY.json"),
     ("shard", "BENCH_SHARD.json"),
+    ("trace", "BENCH_TRACE.json"),
 ];
 
 fn usage(msg: &str) -> ! {

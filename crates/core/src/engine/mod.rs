@@ -160,6 +160,40 @@ pub trait LookupOp {
     fn sim_advance_to(&mut self, now: u64) {
         let _ = now;
     }
+
+    /// Install a structured tracer (`amac_trace`). Tracing ops record
+    /// their loads, stalls, faults and retirements into it at their
+    /// simulated-clock wait sites; composition layers fork it across
+    /// members. Tracing must never read or advance the op's clock — the
+    /// engine-visible results are bit-identical with tracing on or off.
+    /// Default: the op does not trace; the tracer is dropped.
+    #[inline(always)]
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        let _ = tracer;
+    }
+
+    /// Remove and return the op's tracer (composition layers merge their
+    /// members' tracers). Default: a disabled tracer.
+    #[inline(always)]
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        amac_trace::Tracer::off()
+    }
+
+    /// Whether this op currently records trace events — the one branch
+    /// callers pay before building an event on the op's behalf.
+    /// Default: never.
+    #[inline(always)]
+    fn tracing(&self) -> bool {
+        false
+    }
+
+    /// Record a pre-built event into the op's tracer (runtime layers use
+    /// this for morsel/deadline events the op itself cannot see).
+    /// Default: no tracer, dropped.
+    #[inline(always)]
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        let _ = ev;
+    }
 }
 
 /// The prefetching technique to execute a workload with.

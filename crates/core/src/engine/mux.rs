@@ -108,6 +108,10 @@ pub struct Mux<O: LookupOp> {
     /// `flush_observed` — keeping the lane-sum == global invariant exact
     /// at every flush boundary.
     pending_cancelled: u64,
+    /// The mux's own tracer: records lane activation/cancellation events
+    /// at window time (`seq`). Per-lookup events belong to the lanes'
+    /// inner ops, which carry their own tracers.
+    trace: amac_trace::Tracer,
 }
 
 impl<O: LookupOp> Default for Mux<O> {
@@ -125,22 +129,28 @@ impl<O: LookupOp> Mux<O> {
             seq: 0,
             cancelled: Vec::new(),
             pending_cancelled: 0,
+            trace: amac_trace::Tracer::off(),
         }
     }
 
     /// Install `op` on a free lane and return its id (vacant slots are
     /// reused before the lane table grows).
     pub fn add(&mut self, op: O) -> u32 {
-        if let Some(i) = self.lanes.iter().position(Option::is_none) {
+        let lane = if let Some(i) = self.lanes.iter().position(Option::is_none) {
             self.lanes[i] = Some(op);
             self.observed[i] = EngineStats::default();
             self.cancelled[i] = false;
-            return i as u32;
+            i as u32
+        } else {
+            self.lanes.push(Some(op));
+            self.observed.push(EngineStats::default());
+            self.cancelled.push(false);
+            (self.lanes.len() - 1) as u32
+        };
+        if self.trace.enabled() {
+            self.trace.record(amac_trace::TraceEvent::lane(self.seq, lane, true));
         }
-        self.lanes.push(Some(op));
-        self.observed.push(EngineStats::default());
-        self.cancelled.push(false);
-        (self.lanes.len() - 1) as u32
+        lane
     }
 
     /// Remove a lane, returning its inner op (with whatever outputs it
@@ -165,6 +175,9 @@ impl<O: LookupOp> Mux<O> {
     pub fn cancel(&mut self, lane: u32) {
         let i = lane as usize;
         assert!(self.lanes[i].is_some(), "cancel of vacant mux lane");
+        if !self.cancelled[i] && self.trace.enabled() {
+            self.trace.record(amac_trace::TraceEvent::lane(self.seq, lane, false));
+        }
         self.cancelled[i] = true;
     }
 
@@ -333,6 +346,25 @@ impl<O: LookupOp> LookupOp for Mux<O> {
         for op in self.lanes.iter_mut().flatten() {
             op.commit_point();
         }
+    }
+
+    /// The mux's own tracer records lane lifecycle events; per-lookup
+    /// events belong to the lane ops' tracers, installed before
+    /// [`Mux::add`].
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        self.trace = tracer;
+    }
+
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        self.trace.take()
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        self.trace.record(ev);
     }
 }
 

@@ -128,6 +128,34 @@ pub trait PipelineOp {
     /// [`LookupOp::commit_point`]); chains seal every member.
     #[inline(always)]
     fn commit_point(&mut self) {}
+
+    /// Install a tracer (see [`LookupOp::set_tracer`]); chains fork it
+    /// so each member records independently.
+    #[inline(always)]
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        let _ = tracer;
+    }
+
+    /// Remove the tracer (see [`LookupOp::take_tracer`]); chains merge
+    /// their members' tracers back into one.
+    #[inline(always)]
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        amac_trace::Tracer::off()
+    }
+
+    /// Whether any member records trace events (see
+    /// [`LookupOp::tracing`]).
+    #[inline(always)]
+    fn tracing(&self) -> bool {
+        false
+    }
+
+    /// Record a pre-built event (see [`LookupOp::trace`]); chains route
+    /// it to the upstream member's tracer.
+    #[inline(always)]
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        let _ = ev;
+    }
 }
 
 /// The fused filter + projection between two pipeline operators.
@@ -284,6 +312,25 @@ where
         self.up.commit_point();
         self.down.commit_point();
     }
+
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        self.down.set_tracer(tracer.fork());
+        self.up.set_tracer(tracer);
+    }
+
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        let mut t = self.up.take_tracer();
+        t.merge(self.down.take_tracer());
+        t
+    }
+
+    fn tracing(&self) -> bool {
+        self.up.tracing() || self.down.tracing()
+    }
+
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        self.up.trace(ev);
+    }
 }
 
 /// Adapts any existing [`LookupOp`] into a **terminal** pipeline
@@ -346,6 +393,22 @@ impl<L: LookupOp> PipelineOp for Terminal<L> {
 
     fn commit_point(&mut self) {
         self.0.commit_point();
+    }
+
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        self.0.set_tracer(tracer);
+    }
+
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        self.0.take_tracer()
+    }
+
+    fn tracing(&self) -> bool {
+        self.0.tracing()
+    }
+
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        self.0.trace(ev);
     }
 }
 
@@ -466,6 +529,22 @@ where
 
     fn commit_point(&mut self) {
         self.pipe.commit_point();
+    }
+
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        self.pipe.set_tracer(tracer);
+    }
+
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        self.pipe.take_tracer()
+    }
+
+    fn tracing(&self) -> bool {
+        self.pipe.tracing()
+    }
+
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        self.pipe.trace(ev);
     }
 }
 

@@ -16,7 +16,8 @@ use amac_btree::{BPlusTree, InnerNode, LeafNode};
 use amac_hashtable::HashTable;
 use amac_metrics::timer::CycleTimer;
 use amac_skiplist::{prefetch_node, SkipList};
-use amac_tier::{SimClock, TierSpec};
+use amac_tier::{SimClock, TierPolicy, TierSpec};
+use amac_trace::{ClassKind, Tracer};
 use amac_tree::Bst;
 use amac_workload::Relation;
 use core::cell::RefCell;
@@ -144,6 +145,87 @@ pub async fn probe_chain_tiered(
     }
 }
 
+/// [`probe_chain_tiered`] with structured tracing: identical traversal
+/// and identical clock charges, but every dereference records a load
+/// event (classified against `policy`, the spec the `unit`'s clock was
+/// built from) into the ring-shared tracer immediately before its wait —
+/// so the recorded stall is exactly what the wait charges — and every
+/// completion records a retirement. A third coroutine body for the same
+/// reason [`probe_chain_tiered`] is one: the tracer reference and
+/// hop/slab locals live across yields, and folding them into the traced
+/// path would grow the frames of runs that never trace.
+pub async fn probe_chain_traced(
+    ht: &HashTable,
+    key: u64,
+    scan_all: bool,
+    unit: &RefCell<LoadUnit<SimClock>>,
+    policy: TierPolicy,
+    trace: &RefCell<Tracer>,
+) -> ChainHit {
+    let mut hit = ChainHit { matches: 0, sum: 0, first: u64::MAX };
+    let probe = amac_hashtable::probe_word(amac_mem::hash::tag_of(key));
+    let mut node = ht.bucket_addr(key);
+    let (mut ready, group) = {
+        let mut u = unit.borrow_mut();
+        let group = u.begin_lane();
+        u.stage();
+        let t = u.issue(AddrClass::header_ptr(node), 0, group);
+        (t.ready_at, group)
+    };
+    let mut hop: u32 = 0;
+    let mut slab: u32 = 0;
+    prefetch_yield(node).await;
+    loop {
+        {
+            let mut u = unit.borrow_mut();
+            let mut tr = trace.borrow_mut();
+            if tr.enabled() {
+                let (class, tier) = if hop == 0 {
+                    (ClassKind::Header, amac_tier::trace_tier(policy.header_tier()))
+                } else {
+                    (ClassKind::Slab, amac_tier::trace_tier(policy.slab_tier(slab)))
+                };
+                let h = hop.min(u16::MAX as u32) as u16;
+                tr.load(u.now(), "probe", key, class, tier, h, ready);
+            }
+            u.wait(ready);
+            u.stage();
+        }
+        // SAFETY: probe runs in the table's read-only phase; `node` points
+        // at the header or an arena-owned chain node.
+        let d = unsafe { (*node).data() };
+        let mut node_hit = false;
+        if amac_hashtable::tags_may_match(d.meta, probe) {
+            for i in 0..d.count() {
+                let t = d.tuples[i];
+                if t.key == key {
+                    hit.matches += 1;
+                    hit.sum = hit.sum.wrapping_add(t.payload);
+                    if hit.first == u64::MAX {
+                        hit.first = t.payload;
+                    }
+                    node_hit = true;
+                }
+            }
+        }
+        if (node_hit && !scan_all) || d.next == amac_mem::NULL_INDEX {
+            let mut u = unit.borrow_mut();
+            let mut tr = trace.borrow_mut();
+            if tr.enabled() {
+                tr.retire(u.now(), "probe", key, hop.min(u16::MAX as u32) as u16, false);
+            }
+            u.retire_lane(group);
+            return hit;
+        }
+        let next = ht.node_ptr(d.next);
+        hop += 1;
+        slab = amac_mem::slab_of_index(d.next);
+        ready = unit.borrow_mut().issue(AddrClass::slab_ptr(slab, next), 0, group).ready_at;
+        prefetch_yield(next).await;
+        node = next;
+    }
+}
+
 /// Search the BST for `key` as a coroutine.
 pub async fn bst_find(tree: &Bst, key: u64) -> Option<u64> {
     let mut cur = tree.root();
@@ -244,6 +326,9 @@ pub struct CoroOutput {
     pub cycles: u64,
     /// Loop wall time.
     pub seconds: f64,
+    /// Structured trace of the ring's loads/stalls/retirements (disabled
+    /// and empty unless [`CoroConfig::trace`] was set on a tiered run).
+    pub trace: Tracer,
 }
 
 /// Coroutine driver configuration.
@@ -264,11 +349,23 @@ pub struct CoroConfig {
     /// `amac_ops::join::ProbeConfig::coalesce`). Only meaningful with
     /// [`tier`](CoroConfig::tier); results are identical either way.
     pub coalesce: Option<usize>,
+    /// Record a structured trace into [`CoroOutput::trace`] via
+    /// [`probe_chain_traced`]. Only meaningful with
+    /// [`tier`](CoroConfig::tier) (an untiered ring has no clock to key
+    /// events on); results are identical either way.
+    pub trace: bool,
 }
 
 impl Default for CoroConfig {
     fn default() -> Self {
-        CoroConfig { width: 10, scan_all: false, materialize: true, tier: None, coalesce: None }
+        CoroConfig {
+            width: 10,
+            scan_all: false,
+            materialize: true,
+            tier: None,
+            coalesce: None,
+            trace: false,
+        }
     }
 }
 
@@ -280,6 +377,7 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
     };
     let scan_all = cfg.scan_all;
     let timer = CycleTimer::start();
+    let mut harvested = Tracer::off();
     {
         let (matches, checksum, materialize) =
             (&mut res.matches, &mut res.checksum, cfg.materialize);
@@ -302,13 +400,25 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
             }
             Some(spec) => {
                 let unit = RefCell::new(LoadUnit::new(spec.clock(), cfg.coalesce));
-                res.stats = run_interleaved_with_idle(
-                    cfg.width,
-                    &s.tuples,
-                    |_, t| probe_chain_tiered(ht, t.key, scan_all, &unit),
-                    sink,
-                    || unit.borrow_mut().idle(1),
-                );
+                if cfg.trace {
+                    let trace = RefCell::new(Tracer::on());
+                    res.stats = run_interleaved_with_idle(
+                        cfg.width,
+                        &s.tuples,
+                        |_, t| probe_chain_traced(ht, t.key, scan_all, &unit, spec.policy, &trace),
+                        sink,
+                        || unit.borrow_mut().idle(1),
+                    );
+                    harvested = trace.into_inner();
+                } else {
+                    res.stats = run_interleaved_with_idle(
+                        cfg.width,
+                        &s.tuples,
+                        |_, t| probe_chain_tiered(ht, t.key, scan_all, &unit),
+                        sink,
+                        || unit.borrow_mut().idle(1),
+                    );
+                }
                 let mut drained = EngineStats::default();
                 unit.borrow_mut().flush(&mut drained);
                 res.sim_cycles = drained.sim_cycles;
@@ -318,6 +428,7 @@ pub fn coro_probe(ht: &HashTable, s: &Relation, cfg: &CoroConfig) -> CoroOutput 
             }
         }
     }
+    res.trace = harvested;
     res.cycles = timer.cycles();
     res.seconds = timer.seconds();
     res

@@ -7,7 +7,7 @@
 
 /// A histogram over `u64` observations (nanoseconds by convention) with
 /// one bucket per power of two.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: [u64; 64],
     count: u64,
@@ -66,8 +66,17 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Upper bound of the bucket holding quantile `q` (`0.0..=1.0`); the
-    /// resolution is the bucket width (a factor of two).
+    /// Upper bound of the bucket holding quantile `q` (`0.0..=1.0`),
+    /// clamped to the largest observation; the resolution is the bucket
+    /// width (a factor of two).
+    ///
+    /// The clamp removes the bucket-bound bias on small histograms: a
+    /// single observation of 7 ns lives in the `(4, 8]` bucket, and the
+    /// raw bound would quote every percentile — including p100 — as 8 ns,
+    /// *above* anything ever observed. Clamping to [`max`](Self::max)
+    /// keeps every quantile inside the observed range (a one-sample
+    /// histogram reports that sample exactly) and preserves monotonicity
+    /// in `q`, since `min` by a constant keeps the bucket bounds ordered.
     ///
     /// Returns `None` on an empty histogram: a percentile of zero
     /// observations is not 0 ns, it does not exist, and the serving layer
@@ -83,7 +92,7 @@ impl LatencyHistogram {
         for (b, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(if b == 0 { 0 } else { 1u64 << b });
+                return Some(if b == 0 { 0 } else { (1u64 << b).min(self.max) });
             }
         }
         Some(self.max)
@@ -141,5 +150,68 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // The bucket-bound bias this clamp removes: one observation of 7
+        // used to report p50 = p100 = 8, above anything observed.
+        for v in [0u64, 1, 3, 7, 100, 1 << 40] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), Some(v), "q={q} v={v}");
+            }
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantiles_are_monotone_and_bounded(
+            values in prop::collection::vec(0u64..1 << 48, 1..64),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let p50 = h.quantile(0.5).unwrap();
+            let p100 = h.quantile(1.0).unwrap();
+            prop_assert!(p100 >= p50, "p100 {p100} < p50 {p50}");
+            prop_assert_eq!(p100, h.max(), "p100 must be the largest observation");
+            let mut prev = h.quantile(0.0).unwrap();
+            for i in 1..=10u32 {
+                let q = h.quantile(f64::from(i) / 10.0).unwrap();
+                prop_assert!(q >= prev, "quantile not monotone at q={}", i);
+                prop_assert!(q <= h.max(), "quantile above max at q={}", i);
+                prev = q;
+            }
+        }
+
+        #[test]
+        fn merge_is_commutative(
+            xs in prop::collection::vec(0u64..1 << 48, 0..48),
+            ys in prop::collection::vec(0u64..1 << 48, 0..48),
+        ) {
+            let mut a = LatencyHistogram::new();
+            let mut b = LatencyHistogram::new();
+            for &v in &xs {
+                a.record(v);
+            }
+            for &v in &ys {
+                b.record(v);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba, "merge must be order-independent");
+            prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+            if ab.count() > 0 {
+                prop_assert_eq!(ab.quantile(1.0), ba.quantile(1.0));
+                prop_assert_eq!(ab.quantile(0.5), ba.quantile(0.5));
+            }
+        }
     }
 }

@@ -1,17 +1,17 @@
 //! Measurement substrate for the AMAC reproduction.
 //!
 //! The paper reports **cycles per tuple** (rdtsc-based, [`timer`]),
-//! **throughput** (tuples/second), hardware-counter profiles
+//! **throughput** (tuples/second) and hardware-counter profiles
 //! (instructions/tuple, IPC, L1-D MSHR hits — [`perf`], degrading to
-//! software proxies where the kernel forbids `perf_event_open`), and the
-//! software-side execution profile that explains *why* GP/SPP lose under
-//! irregularity (stage executions, no-ops, bailouts, latch retries —
-//! [`profile`]).
+//! software proxies where the kernel forbids `perf_event_open`).
 //!
-//! [`report`] renders the aligned text tables the bench binaries print,
-//! [`stats`] provides the small statistics used for multi-trial runs, and
-//! [`histogram`] holds the log-scale latency histograms the parallel
-//! runtime reports per-morsel service times through.
+//! [`report`] renders the aligned text tables the bench binaries print
+//! and the deterministic JSON the trace export path emits, [`profile`]
+//! is the exact keyed accumulator behind `amac_trace`'s stall
+//! attribution, [`stats`] provides the small statistics used for
+//! multi-trial runs, and [`histogram`] holds the log-scale latency
+//! histograms the parallel runtime reports per-morsel service times
+//! through.
 
 pub mod histogram;
 pub mod perf;
@@ -22,7 +22,7 @@ pub mod stats;
 pub mod timer;
 
 pub use histogram::LatencyHistogram;
-pub use profile::ExecProfile;
-pub use report::Table;
+pub use profile::Profile;
+pub use report::{JsonBuf, Table};
 pub use stats::Summary;
 pub use timer::{cycles_now, CycleTimer};

@@ -3,8 +3,9 @@
 //! Tables 3 and 4 of the paper use instruction counts, IPC and L1-D MSHR
 //! hits from the Xeon's PMU. Containers routinely deny `perf_event_open`
 //! (`perf_event_paranoid`, seccomp), so every API here is fallible and the
-//! bench binaries fall back to the software [`crate::profile::ExecProfile`]
-//! proxies, noting the substitution in their output.
+//! bench binaries fall back to the software proxies the executors count
+//! into `EngineStats` (stages, no-ops, prefetches per lookup), noting the
+//! substitution in their output.
 //!
 //! Only `libc` types and the raw syscall are used; no perf crate.
 

@@ -1,70 +1,85 @@
-//! Software execution profiles.
+//! Exact attribution profiles.
 //!
-//! The paper's Figure 2 explains GP/SPP's losses through *no-op code
-//! stages* and *bailouts*; Table 3 explains them through instruction
-//! overhead. The executors in `amac::engine` count these events
-//! directly; this module is the shared accounting type.
+//! A [`Profile`] is a deterministic accumulator mapping an `Ord` key to a
+//! `u64` weight, with an always-consistent running total. It is the
+//! accounting substrate of the tracing layer's stall attribution
+//! (`amac_trace` keys it by {operator, tier, address class, chain hop,
+//! tenant, shard}) — the conservation proofs there assert that
+//! [`total`](Profile::total) equals the engine's gated `sim_stalls`
+//! counter, so the profile must never lose or invent a tick. A
+//! `BTreeMap` keeps iteration order (and therefore every rendering and
+//! export of the profile) independent of insertion order.
+//!
+//! This module used to hold `ExecProfile`, a seed-era duplicate of the
+//! executor counters that `amac::engine::EngineStats` has reported since
+//! the executors landed; it was dead code and is gone.
 
-/// Event counters accumulated by an executor over one run.
-///
-/// All counters are plain `u64`s bumped on the (single-threaded) executor
-/// hot path; multi-threaded drivers keep one profile per thread and
-/// [`merge`](ExecProfile::merge) them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ExecProfile {
-    /// Lookups completed.
-    pub lookups: u64,
-    /// Code stages executed that advanced a lookup (including the stage
-    /// that starts it).
-    pub stages: u64,
-    /// Stage slots visited for lookups that had already finished — the gray
-    /// "no-operation" boxes of Fig. 2 (GP/SPP only).
-    pub noops: u64,
-    /// Lookups that exceeded the static stage budget N and had to finish
-    /// sequentially (GP/SPP only).
-    pub bailouts: u64,
-    /// Extra stages executed inside bailout code, without prefetch overlap.
-    pub bailout_stages: u64,
-    /// Latch acquisition attempts that failed and were retried (AMAC:
-    /// deferred retry; baseline/GP/SPP: in-place spin iterations).
-    pub latch_retries: u64,
-    /// Prefetch instructions issued.
-    pub prefetches: u64,
+use std::collections::BTreeMap;
+
+/// A deterministic `key → weight` accumulator with a running total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile<K: Ord> {
+    cells: BTreeMap<K, u64>,
+    total: u64,
 }
 
-impl ExecProfile {
-    /// A zeroed profile.
+impl<K: Ord> Default for Profile<K> {
+    fn default() -> Self {
+        Profile { cells: BTreeMap::new(), total: 0 }
+    }
+}
+
+impl<K: Ord> Profile<K> {
+    /// An empty profile.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Merge another profile into this one (for per-thread aggregation).
-    pub fn merge(&mut self, other: &ExecProfile) {
-        self.lookups += other.lookups;
-        self.stages += other.stages;
-        self.noops += other.noops;
-        self.bailouts += other.bailouts;
-        self.bailout_stages += other.bailout_stages;
-        self.latch_retries += other.latch_retries;
-        self.prefetches += other.prefetches;
+    /// Attribute `weight` to `key`. Zero weights are dropped (they carry
+    /// no mass, and keeping them out makes `len` count contributing cells
+    /// only); the total always matches the sum of the cells.
+    pub fn add(&mut self, key: K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        *self.cells.entry(key).or_insert(0) += weight;
+        self.total += weight;
     }
 
-    /// Stages (useful + no-op + bailout) executed per completed lookup —
-    /// the software proxy for the paper's instructions-per-tuple metric.
-    pub fn work_per_lookup(&self) -> f64 {
-        if self.lookups == 0 {
-            return 0.0;
-        }
-        (self.stages + self.noops + self.bailout_stages) as f64 / self.lookups as f64
+    /// The weight attributed to `key` (0 when absent).
+    pub fn get(&self, key: &K) -> u64 {
+        self.cells.get(key).copied().unwrap_or(0)
     }
 
-    /// Fraction of visited stage slots that were wasted no-ops.
-    pub fn noop_fraction(&self) -> f64 {
-        let total = self.stages + self.noops;
-        if total == 0 {
-            return 0.0;
+    /// Sum of all attributed weight — the conservation side of the
+    /// ledger: always equal to Σ over [`iter`](Profile::iter).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of cells with non-zero weight.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing has been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cells in key order (deterministic regardless of insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.cells.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Fold another profile into this one.
+    pub fn merge(&mut self, other: &Profile<K>)
+    where
+        K: Clone,
+    {
+        for (k, v) in other.iter() {
+            self.add(k.clone(), v);
         }
-        self.noops as f64 / total as f64
     }
 }
 
@@ -73,57 +88,49 @@ mod tests {
     use super::*;
 
     #[test]
-    fn merge_accumulates_all_fields() {
-        let mut a = ExecProfile {
-            lookups: 1,
-            stages: 2,
-            noops: 3,
-            bailouts: 4,
-            bailout_stages: 5,
-            latch_retries: 6,
-            prefetches: 7,
-        };
-        let b = a;
-        a.merge(&b);
-        assert_eq!(
-            a,
-            ExecProfile {
-                lookups: 2,
-                stages: 4,
-                noops: 6,
-                bailouts: 8,
-                bailout_stages: 10,
-                latch_retries: 12,
-                prefetches: 14,
-            }
-        );
+    fn total_tracks_cells_and_zero_is_dropped() {
+        let mut p: Profile<(&str, u32)> = Profile::new();
+        p.add(("far", 1), 10);
+        p.add(("far", 1), 5);
+        p.add(("near", 0), 0);
+        assert_eq!(p.get(&("far", 1)), 15);
+        assert_eq!(p.get(&("near", 0)), 0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total(), 15);
+        assert_eq!(p.iter().map(|(_, v)| v).sum::<u64>(), p.total());
     }
 
     #[test]
-    fn ratios_handle_zero_denominators() {
-        let p = ExecProfile::new();
-        assert_eq!(p.work_per_lookup(), 0.0);
-        assert_eq!(p.noop_fraction(), 0.0);
+    fn iteration_order_is_key_order_not_insertion_order() {
+        let mut p: Profile<u32> = Profile::new();
+        for k in [9u32, 2, 7, 1] {
+            p.add(k, u64::from(k));
+        }
+        let keys: Vec<u32> = p.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 7, 9]);
     }
 
     #[test]
-    fn work_per_lookup_counts_all_stage_kinds() {
-        let p = ExecProfile {
-            lookups: 10,
-            stages: 40,
-            noops: 10,
-            bailout_stages: 10,
-            ..Default::default()
-        };
-        assert!((p.work_per_lookup() - 6.0).abs() < 1e-9);
-        assert!((p.noop_fraction() - 0.2).abs() < 1e-9);
+    fn merge_accumulates_and_preserves_total() {
+        let mut a: Profile<u8> = Profile::new();
+        a.add(1, 3);
+        a.add(2, 4);
+        let mut b: Profile<u8> = Profile::new();
+        b.add(2, 6);
+        b.add(3, 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is order-independent");
+        assert_eq!(ab.total(), a.total() + b.total());
+        assert_eq!(ab.get(&2), 10);
     }
 
     #[test]
-    fn clone_and_default_are_zeroed() {
-        let p = ExecProfile::default();
-        assert_eq!(p.lookups + p.stages + p.noops + p.prefetches, 0);
-        let q = p;
-        assert_eq!(p, q);
+    fn empty_profile_reports_nothing() {
+        let p: Profile<u64> = Profile::default();
+        assert!(p.is_empty());
+        assert_eq!((p.len(), p.total()), (0, 0));
     }
 }

@@ -1,8 +1,15 @@
-//! Aligned text tables for the bench binaries.
+//! Aligned text tables and deterministic JSON for the bench binaries and
+//! the trace export path.
 //!
 //! Every figure/table binary prints its series in the same shape the paper
 //! reports them (rows = configurations, columns = techniques), via this
-//! minimal formatter — no external table crate.
+//! minimal formatter — no external table crate. [`JsonBuf`] is the
+//! equally minimal structured-output side: a comma-tracking JSON writer
+//! used by `amac_trace`'s Chrome `trace_event` exporter and
+//! `amac_runtime::RunReport::to_json`, whose byte output is a pure
+//! function of the emitted values (no maps, no float shortest-repr
+//! ambiguity beyond `Display`), so exported traces can be compared
+//! byte-for-byte across runs.
 
 use std::fmt::Write as _;
 
@@ -118,6 +125,126 @@ pub fn fmtput(tuples_per_sec: f64) -> String {
     format!("{:.1}M/s", tuples_per_sec / 1e6)
 }
 
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal deterministic JSON writer: explicit begin/end calls with
+/// automatic comma placement. The caller controls key order, so the byte
+/// output is reproducible — the property the trace determinism checks
+/// rely on.
+#[derive(Debug, Clone, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// One entry per open container: whether it already has an element.
+    stack: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if let Some(has) = self.stack.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+    }
+
+    /// Write `"key":` inside an object (no separator tracking of its own:
+    /// the following value call must not `sep` again, so pair this only
+    /// with the `*_raw` internals via the typed field methods below).
+    fn key(&mut self, key: &str) {
+        self.sep();
+        let _ = write!(self.out, "\"{}\":", json_escape(key));
+    }
+
+    /// Open the root or a nested array element object.
+    pub fn begin_obj(&mut self) -> &mut Self {
+        self.sep();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Open `"key": {`.
+    pub fn begin_obj_key(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open `"key": [`.
+    pub fn begin_arr_key(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// `"key": "value"`.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "\"{}\"", json_escape(value));
+        self
+    }
+
+    /// `"key": value` for unsigned integers.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// `"key": value` with fixed 4-decimal formatting (the same shape the
+    /// bench trajectory blobs and `bin/regress` use).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value:.4}");
+        self
+    }
+
+    /// The accumulated JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +294,29 @@ mod tests {
     #[test]
     fn fmtput_scales_to_millions() {
         assert_eq!(fmtput(12_300_000.0), "12.3M/s");
+    }
+
+    #[test]
+    fn json_buf_places_commas_and_escapes() {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.str_field("name", "a\"b\\c\nd");
+        j.u64_field("n", 42);
+        j.begin_arr_key("rows");
+        j.begin_obj().u64_field("x", 1).end_obj();
+        j.begin_obj().f64_field("y", 0.25).end_obj();
+        j.end_arr();
+        j.begin_obj_key("inner").end_obj();
+        j.end_obj();
+        assert_eq!(
+            j.finish(),
+            r#"{"name":"a\"b\\c\nd","n":42,"rows":[{"x":1},{"y":0.2500}],"inner":{}}"#
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("plain"), "plain");
     }
 }

@@ -26,7 +26,8 @@ use amac_hashtable::{AggBucket, AggTable};
 use amac_mem::prefetch::{prefetch_read, prefetch_write};
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{SimClock, TierSpec};
+use amac_tier::{SimClock, TierPolicy, TierSpec};
+use amac_trace::Tracer;
 use amac_workload::{GroupByInput, Relation, Tuple};
 
 /// Group-by configuration.
@@ -54,6 +55,11 @@ pub struct GroupByConfig {
     /// of one commit group collapse onto shared line requests. `None`
     /// (default) = scalar issue.
     pub coalesce: Option<usize>,
+    /// Record a structured trace into [`GroupByOutput::trace`] (see
+    /// [`ProbeConfig::trace`](crate::join::ProbeConfig::trace)). A
+    /// blocked latch attempt re-waits the same ticket but records no new
+    /// load: one load event per issued request.
+    pub trace: bool,
 }
 
 /// Result of one group-by run.
@@ -67,6 +73,9 @@ pub struct GroupByOutput {
     pub cycles: u64,
     /// Aggregation-loop wall time.
     pub seconds: f64,
+    /// Structured trace harvested from the op (disabled and empty unless
+    /// [`GroupByConfig::trace`] was set).
+    pub trace: Tracer,
 }
 
 /// Per-lookup state.
@@ -78,6 +87,16 @@ pub struct GroupByState {
     latched: bool,
     /// Simulated tick the prefetched line arrives (tiered runs only).
     ready_at: u64,
+    /// Chain hop index of the pending load (0 = header), for traced
+    /// stall attribution.
+    hop: u32,
+    /// Arena slab of the node the pending load targets (0 for the
+    /// header).
+    slab: u32,
+    /// A load was issued and its trace event not yet recorded. Cleared
+    /// at the first wait; a blocked latch attempt re-enters `step` and
+    /// re-waits the same ticket without recording a duplicate event.
+    pending: bool,
     /// AMU commit group this lookup's lane was born into.
     group: u32,
 }
@@ -91,6 +110,9 @@ impl Default for GroupByState {
             cur: core::ptr::null(),
             latched: false,
             ready_at: 0,
+            hop: 0,
+            slab: 0,
+            pending: false,
             group: 0,
         }
     }
@@ -104,6 +126,10 @@ pub struct GroupByOp<'a> {
     nodes_visited: u64,
     /// The AMU memory unit every load request routes through.
     unit: LoadUnit<Option<SimClock>>,
+    /// Effective placement policy (mirrors the `unit` clock derivation).
+    policy: Option<TierPolicy>,
+    /// Structured tracer; disabled unless installed via `set_tracer`.
+    trace: Tracer,
 }
 
 impl<'a> GroupByOp<'a> {
@@ -115,6 +141,8 @@ impl<'a> GroupByOp<'a> {
             tuples: 0,
             nodes_visited: 0,
             unit: LoadUnit::new(cfg.tier.map(|t| t.clock()), cfg.coalesce),
+            policy: cfg.tier.map(|t| t.policy),
+            trace: Tracer::off(),
         }
     }
 
@@ -140,6 +168,9 @@ impl LookupOp for GroupByOp<'_> {
         state.header = header;
         state.cur = core::ptr::null();
         state.latched = false;
+        state.hop = 0;
+        state.slab = 0;
+        state.pending = true;
         state.group = self.unit.begin_lane();
         self.unit.stage();
         // Group-by writes the header, so a coalesced (non-fresh) ticket
@@ -153,7 +184,25 @@ impl LookupOp for GroupByOp<'_> {
 
     fn step(&mut self, state: &mut GroupByState) -> Step {
         // The latch word shares the (prefetched) header line; a blocked
-        // attempt is executed work that read the line.
+        // attempt is executed work that read the line. Only the *first*
+        // wait on a ticket records a load event (a blocked retry re-waits
+        // at zero stall), keeping one event per issued request while the
+        // attributed stall stays exactly what the wait charges.
+        if state.pending {
+            state.pending = false;
+            if self.trace.enabled() {
+                let (class, tier) = crate::pending_load_class(self.policy, state.hop, state.slab);
+                self.trace.load(
+                    self.unit.now(),
+                    "groupby",
+                    state.key,
+                    class,
+                    tier,
+                    crate::hop16(state.hop),
+                    state.ready_at,
+                );
+            }
+        }
         self.unit.wait(state.ready_at);
         self.unit.stage();
         // SAFETY: header/cur point at the table's headers or arena-owned
@@ -175,6 +224,10 @@ impl LookupOp for GroupByOp<'_> {
                 d.aggs = AggValues::first(state.payload);
                 (*state.header).latch.release();
                 self.tuples += 1;
+                if self.trace.enabled() {
+                    let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                    self.trace.retire(now, "groupby", state.key, hop, false);
+                }
                 self.unit.retire_lane(state.group);
                 return Step::Done;
             }
@@ -182,6 +235,10 @@ impl LookupOp for GroupByOp<'_> {
                 d.aggs.update(state.payload);
                 (*state.header).latch.release();
                 self.tuples += 1;
+                if self.trace.enabled() {
+                    let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                    self.trace.retire(now, "groupby", state.key, hop, false);
+                }
                 self.unit.retire_lane(state.group);
                 return Step::Done;
             }
@@ -194,13 +251,20 @@ impl LookupOp for GroupByOp<'_> {
                 d.next = idx;
                 (*state.header).latch.release();
                 self.tuples += 1;
+                if self.trace.enabled() {
+                    let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                    self.trace.retire(now, "groupby", state.key, hop, false);
+                }
                 self.unit.retire_lane(state.group);
                 return Step::Done;
             }
             let idx = d.next;
             let next = self.handle.table().node_ptr(idx);
             state.cur = next;
-            let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(idx), next), 0, state.group);
+            state.hop += 1;
+            state.slab = slab_of_index(idx);
+            state.pending = true;
+            let t = self.unit.issue(AddrClass::slab_ptr(state.slab, next), 0, state.group);
             if t.fresh {
                 prefetch_read(next);
             }
@@ -215,6 +279,7 @@ impl LookupOp for GroupByOp<'_> {
     }
 
     crate::impl_mem_unit_delegation!();
+    crate::impl_tracer_hooks!();
 }
 
 /// Run the group-by of `input` into `table` with `technique`.
@@ -225,9 +290,19 @@ pub fn groupby(
     cfg: &GroupByConfig,
 ) -> GroupByOutput {
     let mut op = GroupByOp::new(table, cfg);
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &input.tuples, cfg.params);
-    GroupByOutput { tuples: op.tuples, stats, cycles: timer.cycles(), seconds: timer.seconds() }
+    let trace = op.take_tracer();
+    GroupByOutput {
+        tuples: op.tuples,
+        stats,
+        cycles: timer.cycles(),
+        seconds: timer.seconds(),
+        trace,
+    }
 }
 
 /// Convenience: size a table for `input` and aggregate it.

@@ -7,7 +7,8 @@ use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{fault_token, FaultPlan, SimClock, TierSpec};
+use amac_tier::{fault_token, FaultPlan, SimClock, TierPolicy, TierSpec};
+use amac_trace::Tracer;
 use amac_workload::{Relation, Tuple};
 
 /// Probe configuration.
@@ -60,6 +61,13 @@ pub struct ProbeConfig {
     /// changes results or fault decisions — only which loads actually
     /// issue.
     pub coalesce: Option<usize>,
+    /// Record a structured trace (`amac_trace`): every load the probe
+    /// waits on (with its attributed stall), every fault, every
+    /// retirement. The trace is returned in [`ProbeOutput::trace`];
+    /// results and [`EngineStats`] are bit-identical with tracing on or
+    /// off. `false` (default) = a disabled tracer, one dead branch per
+    /// stage.
+    pub trace: bool,
 }
 
 impl Default for ProbeConfig {
@@ -73,6 +81,7 @@ impl Default for ProbeConfig {
             tier: None,
             fault: None,
             coalesce: None,
+            trace: false,
         }
     }
 }
@@ -94,6 +103,9 @@ pub struct ProbeOutput {
     pub cycles: u64,
     /// Probe-loop wall time.
     pub seconds: f64,
+    /// Structured trace harvested from the op (disabled and empty unless
+    /// [`ProbeConfig::trace`] was set).
+    pub trace: Tracer,
 }
 
 impl ProbeOutput {
@@ -120,6 +132,9 @@ pub struct ProbeState {
     /// Chain hop index, for schedule-invariant fault tokens
     /// ([`fault_token`]`(key, hop)`; faulted runs only).
     hop: u32,
+    /// Arena slab of the node the pending load targets (0 for the
+    /// header), so traced stalls attribute to the slab's tier.
+    slab: u32,
     /// AMU commit group this lookup's lane was born into.
     group: u32,
 }
@@ -133,6 +148,7 @@ impl Default for ProbeState {
             probe: 0,
             ready_at: 0,
             hop: 0,
+            slab: 0,
             group: 0,
         }
     }
@@ -155,6 +171,11 @@ pub struct ProbeOp<'a> {
     /// ([`ProbeConfig::tier`] builds its backend clock,
     /// [`ProbeConfig::coalesce`] selects scalar vs coalescing issue).
     unit: LoadUnit<Option<SimClock>>,
+    /// Effective placement policy (mirrors the `unit` clock derivation),
+    /// so traced loads classify to the same tier the clock charged.
+    policy: Option<TierPolicy>,
+    /// Structured tracer; disabled unless installed via `set_tracer`.
+    trace: Tracer,
 }
 
 impl<'a> ProbeOp<'a> {
@@ -170,6 +191,13 @@ impl<'a> ProbeOp<'a> {
             (None, Some(plan)) => Some(TierSpec::headers_near(1).clock().with_fault(plan)),
             (None, None) => None,
         };
+        // The same derivation, projected to the placement policy, so
+        // trace attribution agrees with what the clock charges.
+        let policy = match (cfg.tier, cfg.fault) {
+            (Some(t), _) => Some(t.policy),
+            (None, Some(_)) => Some(TierSpec::headers_near(1).policy),
+            (None, None) => None,
+        };
         ProbeOp {
             ht,
             unit: LoadUnit::new(clock, cfg.coalesce),
@@ -181,6 +209,8 @@ impl<'a> ProbeOp<'a> {
             cursor: 0,
             nodes_visited: 0,
             tag_rejects: 0,
+            policy,
+            trace: Tracer::off(),
         }
     }
 
@@ -240,6 +270,7 @@ impl LookupOp for ProbeOp<'_> {
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
         state.hop = 0;
+        state.slab = 0;
         self.cursor += 1;
         // AMU protocol: register the lane, charge the stage, request the
         // header line. A coalesced (non-fresh) ticket rides an in-group
@@ -257,7 +288,20 @@ impl LookupOp for ProbeOp<'_> {
     /// hit, output on match, chase the `u32` chain index.
     fn step(&mut self, state: &mut ProbeState) -> Step {
         // Dereferencing the requested line: stall until its ticket is
-        // ready, then execute this stage.
+        // ready, then execute this stage. The trace hook sits before the
+        // wait so the recorded stall is exactly what the wait charges.
+        if self.trace.enabled() {
+            let (class, tier) = crate::pending_load_class(self.policy, state.hop, state.slab);
+            self.trace.load(
+                self.unit.now(),
+                "probe",
+                state.key,
+                class,
+                tier,
+                crate::hop16(state.hop),
+                state.ready_at,
+            );
+        }
         self.unit.wait(state.ready_at);
         self.unit.stage();
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
@@ -283,11 +327,29 @@ impl LookupOp for ProbeOp<'_> {
             self.tag_rejects += 1;
         }
         if hit && !self.cfg.scan_all {
+            if self.trace.enabled() {
+                self.trace.retire(
+                    self.unit.now(),
+                    "probe",
+                    state.key,
+                    crate::hop16(state.hop),
+                    false,
+                );
+            }
             self.unit.retire_lane(state.group);
             return Step::Done; // early exit on unique-key match
         }
         let next = d.next;
         if next == NULL_INDEX {
+            if self.trace.enabled() {
+                self.trace.retire(
+                    self.unit.now(),
+                    "probe",
+                    state.key,
+                    crate::hop16(state.hop),
+                    false,
+                );
+            }
             self.unit.retire_lane(state.group);
             return Step::Done; // chain exhausted
         }
@@ -299,11 +361,17 @@ impl LookupOp for ProbeOp<'_> {
         // and under coalescing, which re-runs the decision per request.
         let token = fault_token(state.key, state.hop);
         state.hop += 1;
-        let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(next), ptr), token, state.group);
+        state.slab = slab_of_index(next);
+        let t = self.unit.issue(AddrClass::slab_ptr(state.slab, ptr), token, state.group);
         if t.fresh {
             self.cfg.hint.issue(ptr);
         }
         if t.failed {
+            if self.trace.enabled() {
+                let now = self.unit.now();
+                self.trace.fault(now, "probe", state.key, crate::hop16(state.hop));
+                self.trace.retire(now, "probe", state.key, crate::hop16(state.hop), true);
+            }
             self.unit.retire_lane(state.group);
             return Step::Failed;
         }
@@ -322,16 +390,29 @@ impl LookupOp for ProbeOp<'_> {
     }
 
     crate::impl_mem_unit_delegation!();
+    crate::impl_tracer_hooks!();
 }
 
 /// Run a probe of `s` against `ht` with `technique`.
 pub fn probe(ht: &HashTable, s: &Relation, technique: Technique, cfg: &ProbeConfig) -> ProbeOutput {
     let mut op = ProbeOp::new(ht, cfg, s.len());
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &s.tuples, cfg.params);
     let cycles = timer.cycles();
     let seconds = timer.seconds();
-    ProbeOutput { matches: op.matches, checksum: op.checksum, out: op.out, stats, cycles, seconds }
+    let trace = op.take_tracer();
+    ProbeOutput {
+        matches: op.matches,
+        checksum: op.checksum,
+        out: op.out,
+        stats,
+        cycles,
+        seconds,
+        trace,
+    }
 }
 
 /// Build configuration.

@@ -46,7 +46,8 @@ use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
 use amac_runtime::{execute, MorselConfig};
-use amac_tier::{fault_token, FaultPlan, SimClock, TierSpec, WalRecord};
+use amac_tier::{fault_token, FaultPlan, SimClock, TierPolicy, TierSpec, WalRecord};
+use amac_trace::Tracer;
 use amac_workload::{Relation, Tuple};
 
 /// Which mutation a [`MutateOp`] applies per input tuple.
@@ -87,6 +88,12 @@ pub struct MutateConfig {
     /// Append [`WalRecord`]s for applied mutations (on by default; the
     /// logging-off ablation isolates the WAL's `log_*` charges).
     pub wal: bool,
+    /// Record a structured trace into [`MutateOutput::trace`] (see
+    /// [`ProbeConfig::trace`](crate::join::ProbeConfig::trace)). Load
+    /// events carry the **residual** stall of the issue-time model —
+    /// exactly what the clock charges — so attribution still sums to
+    /// `sim_stalls`.
+    pub trace: bool,
 }
 
 impl Default for MutateConfig {
@@ -99,6 +106,7 @@ impl Default for MutateConfig {
             tier: None,
             fault: None,
             wal: true,
+            trace: false,
         }
     }
 }
@@ -116,6 +124,9 @@ pub struct MutState {
     at_header: bool,
     /// Chain hop index for schedule-invariant fault tokens.
     hop: u32,
+    /// Arena slab of the node the pending load targets (0 for the
+    /// header), for traced stall attribution.
+    slab: u32,
     /// AMU commit group of this mutation's lane.
     group: u32,
 }
@@ -129,6 +140,7 @@ impl Default for MutState {
             probe: 0,
             at_header: true,
             hop: 0,
+            slab: 0,
             group: 0,
         }
     }
@@ -163,6 +175,10 @@ pub struct MutateOp<'a> {
     log_bytes: u64,
     log_stalls: u64,
     wal: Vec<WalRecord>,
+    /// Effective placement policy (mirrors the `unit` clock derivation).
+    policy: Option<TierPolicy>,
+    /// Structured tracer; disabled unless installed via `set_tracer`.
+    trace: Tracer,
 }
 
 impl<'a> MutateOp<'a> {
@@ -181,6 +197,11 @@ impl<'a> MutateOp<'a> {
         };
         let group = cfg.params.in_flight.max(1) as u64;
         let model = cfg.tier.map(|t| t.model).unwrap_or_default();
+        let policy = match (cfg.tier, cfg.fault) {
+            (Some(t), _) => Some(t.policy),
+            (None, Some(_)) => Some(TierSpec::headers_near(1).policy),
+            (None, None) => None,
+        };
         MutateOp {
             ht,
             bound: ht.freeze(),
@@ -198,6 +219,8 @@ impl<'a> MutateOp<'a> {
             log_bytes: 0,
             log_stalls: 0,
             wal: Vec::new(),
+            policy,
+            trace: Tracer::off(),
         }
     }
 
@@ -229,13 +252,18 @@ impl<'a> MutateOp<'a> {
 
     /// Issue-time residual stall: charge what an M-deep window cannot
     /// hide of this load, independent of how far neighbors advanced the
-    /// clock (`sim_stalls` stays schedule- and thread-invariant).
+    /// clock (`sim_stalls` stays schedule- and thread-invariant). The
+    /// traced load event records exactly the residual as its stall, so
+    /// attribution sums to `sim_stalls` under this model too.
     #[inline]
-    fn charge_residual(&mut self, ready_at: u64) {
-        let lat = ready_at.saturating_sub(self.unit.now());
-        let residual = lat.saturating_sub(self.hide);
+    fn charge_residual(&mut self, key: u64, hop: u32, slab: u32, ready_at: u64) {
+        let now = self.unit.now();
+        let residual = ready_at.saturating_sub(now).saturating_sub(self.hide);
+        if self.trace.enabled() {
+            let (class, tier) = crate::pending_load_class(self.policy, hop, slab);
+            self.trace.load(now, "mutate", key, class, tier, crate::hop16(hop), now + residual);
+        }
         if residual > 0 {
-            let now = self.unit.now();
             self.unit.wait(now + residual);
         }
     }
@@ -290,13 +318,14 @@ impl LookupOp for MutateOp<'_> {
         state.probe = probe_word(tag_of(input.key));
         state.at_header = true;
         state.hop = 0;
+        state.slab = 0;
         state.group = self.unit.begin_lane();
         self.unit.stage();
         let t = self.unit.issue(AddrClass::header_ptr(ptr), 0, state.group);
         if t.fresh {
             self.cfg.hint.issue(ptr);
         }
-        self.charge_residual(t.ready_at);
+        self.charge_residual(state.key, 0, 0, t.ready_at);
     }
 
     fn step(&mut self, state: &mut MutState) -> Step {
@@ -311,6 +340,10 @@ impl LookupOp for MutateOp<'_> {
             MutateKind::Insert => {
                 // O(1): the header load was the whole charged walk.
                 self.terminal(state.key, state.delta);
+                if self.trace.enabled() {
+                    let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                    self.trace.retire(now, "mutate", state.key, hop, false);
+                }
                 self.unit.retire_lane(state.group);
                 return Step::Done;
             }
@@ -325,6 +358,10 @@ impl LookupOp for MutateOp<'_> {
                             self.merged += 1;
                             self.applied += 1;
                             self.log(WalRecord::Upsert { key: state.key, delta: state.delta });
+                            if self.trace.enabled() {
+                                let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                                self.trace.retire(now, "mutate", state.key, hop, false);
+                            }
                             self.unit.retire_lane(state.group);
                             return Step::Done;
                         }
@@ -354,21 +391,31 @@ impl LookupOp for MutateOp<'_> {
         };
         if next == NULL_INDEX {
             self.terminal(state.key, state.delta);
+            if self.trace.enabled() {
+                let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                self.trace.retire(now, "mutate", state.key, hop, false);
+            }
             self.unit.retire_lane(state.group);
             return Step::Done;
         }
         let ptr = self.ht.node_ptr(next);
         let token = fault_token(state.key, state.hop);
         state.hop += 1;
-        let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(next), ptr), token, state.group);
+        state.slab = slab_of_index(next);
+        let t = self.unit.issue(AddrClass::slab_ptr(state.slab, ptr), token, state.group);
         if t.fresh {
             self.cfg.hint.issue(ptr);
         }
         if t.failed {
+            if self.trace.enabled() {
+                let now = self.unit.now();
+                self.trace.fault(now, "mutate", state.key, crate::hop16(state.hop));
+                self.trace.retire(now, "mutate", state.key, crate::hop16(state.hop), true);
+            }
             self.unit.retire_lane(state.group);
             return Step::Failed;
         }
-        self.charge_residual(t.ready_at);
+        self.charge_residual(state.key, state.hop, state.slab, t.ready_at);
         state.ptr = ptr;
         state.at_header = false;
         Step::Continue
@@ -387,6 +434,7 @@ impl LookupOp for MutateOp<'_> {
     }
 
     crate::impl_mem_unit_delegation!();
+    crate::impl_tracer_hooks!();
 }
 
 /// Result of one mutation run.
@@ -409,6 +457,10 @@ pub struct MutateOutput {
     pub wal: Vec<WalRecord>,
     /// Mutation-loop wall time.
     pub seconds: f64,
+    /// Structured trace harvested from the op(s) (disabled and empty
+    /// unless [`MutateConfig::trace`] was set; multi-threaded drivers
+    /// merge per-thread tracers in tid order).
+    pub trace: Tracer,
 }
 
 /// Run `cfg.kind` mutations from `rel` against `ht` with `technique`.
@@ -419,9 +471,13 @@ pub fn mutate(
     cfg: &MutateConfig,
 ) -> MutateOutput {
     let mut op = MutateOp::new(ht, cfg);
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &rel.tuples, cfg.params);
     let seconds = timer.seconds();
+    let trace = op.take_tracer();
     MutateOutput {
         applied: op.applied,
         created: op.created,
@@ -430,6 +486,7 @@ pub fn mutate(
         wal: op.drain_wal(),
         stats,
         seconds,
+        trace,
     }
 }
 
@@ -443,7 +500,13 @@ pub fn mutate_mt_rt(
     rt: &MorselConfig,
 ) -> MutateOutput {
     let rt = MorselConfig { auto_tune: false, ..rt.clone() };
-    let run = execute(&rel.tuples, technique, cfg.params, &rt, |_tid| MutateOp::new(ht, cfg));
+    let run = execute(&rel.tuples, technique, cfg.params, &rt, |_tid| {
+        let mut op = MutateOp::new(ht, cfg);
+        if cfg.trace {
+            op.set_tracer(Tracer::on());
+        }
+        op
+    });
     let mut out =
         MutateOutput { stats: run.report.stats, seconds: run.report.seconds, ..Default::default() };
     for mut op in run.ops {
@@ -452,6 +515,7 @@ pub fn mutate_mt_rt(
         out.merged += op.merged;
         out.deleted += op.deleted;
         out.wal.extend(op.drain_wal());
+        out.trace.merge(op.take_tracer());
     }
     out
 }

@@ -238,6 +238,7 @@ pub fn probe_groupby_two_phase_mt_rt(
             n_stages: 0,
             tier: cfg.tier,
             coalesce: cfg.coalesce,
+            trace: false,
         },
         &rt,
     );

@@ -53,13 +53,14 @@ use amac::engine::amu::{AddrClass, LoadUnit, MemUnit};
 use amac::engine::pipeline::{
     Chain, Consumer, Discard, Fused, PipelineOp, Route, StageStep, Terminal,
 };
-use amac::engine::{run, EngineStats, Technique, TuningParams};
+use amac::engine::{run, EngineStats, LookupOp, Technique, TuningParams};
 use amac_hashtable::{probe_word, tags_may_match, AggTable, Bucket, HashTable};
 use amac_mem::hash::tag_of;
 use amac_mem::prefetch::PrefetchHint;
 use amac_mem::{slab_of_index, NULL_INDEX};
 use amac_metrics::timer::CycleTimer;
-use amac_tier::{fault_token, FaultPlan, SimClock, TierSpec};
+use amac_tier::{fault_token, FaultPlan, SimClock, TierPolicy, TierSpec};
+use amac_trace::Tracer;
 use amac_workload::{FilterSpec, Relation, Tuple};
 
 /// Configuration shared by the fused pipeline drivers.
@@ -86,6 +87,16 @@ pub struct PipelineConfig {
     /// AMU issue coalescing for **every** stage of the fused chain (see
     /// [`ProbeConfig::coalesce`](crate::join::ProbeConfig::coalesce)).
     pub coalesce: Option<usize>,
+    /// Record a structured trace into [`PipelineOutput::trace`] (see
+    /// [`ProbeConfig::trace`](crate::join::ProbeConfig::trace)). In a
+    /// fused chain each member stage traces into its own fork and the
+    /// forks merge at harvest. A probe stage that hands its tuple
+    /// downstream records **no** retirement — the terminal operator
+    /// does — so retirements sum to lookups exactly, except that a
+    /// tuple dropped by the fused filter between stages retires
+    /// silently (conservation is exact for filterless chains and all
+    /// standalone runs).
+    pub trace: bool,
 }
 
 /// A join match flowing between pipeline operators: the probe tuple's
@@ -112,6 +123,9 @@ pub struct ProbePipeState {
     ready_at: u64,
     /// Chain hop index for schedule-invariant fault tokens.
     hop: u32,
+    /// Arena slab of the node the pending load targets (0 for the
+    /// header), for traced stall attribution.
+    slab: u32,
     /// AMU commit group this lookup's lane was born into.
     group: u32,
 }
@@ -125,6 +139,7 @@ impl Default for ProbePipeState {
             probe: 0,
             ready_at: 0,
             hop: 0,
+            slab: 0,
             group: 0,
         }
     }
@@ -141,6 +156,14 @@ pub struct ProbeStage<'a> {
     tag_rejects: u64,
     /// The AMU memory unit every load request routes through.
     unit: LoadUnit<Option<SimClock>>,
+    /// Effective placement policy (mirrors the `unit` clock derivation).
+    policy: Option<TierPolicy>,
+    /// This stage ends its chain: an emitted tuple leaves the window, so
+    /// the stage records the retirement itself instead of deferring to a
+    /// downstream operator.
+    terminal: bool,
+    /// Structured tracer; disabled unless installed via `set_tracer`.
+    trace: Tracer,
 }
 
 impl<'a> ProbeStage<'a> {
@@ -184,6 +207,11 @@ impl<'a> ProbeStage<'a> {
             (None, Some(plan)) => Some(TierSpec::headers_near(1).clock().with_fault(plan)),
             (None, None) => None,
         };
+        let policy = match (tier, fault) {
+            (Some(t), _) => Some(t.policy),
+            (None, Some(_)) => Some(TierSpec::headers_near(1).policy),
+            (None, None) => None,
+        };
         ProbeStage {
             ht,
             hint,
@@ -192,7 +220,18 @@ impl<'a> ProbeStage<'a> {
             nodes_visited: 0,
             tag_rejects: 0,
             unit: LoadUnit::new(clock, coalesce),
+            policy,
+            terminal: false,
+            trace: Tracer::off(),
         }
+    }
+
+    /// Mark this stage as the chain's last operator: emitted tuples go
+    /// straight to a sink, so the stage records its own retirements (see
+    /// [`PipelineConfig::trace`]).
+    pub fn terminal(mut self) -> Self {
+        self.terminal = true;
+        self
     }
 
     /// Join matches found so far.
@@ -218,6 +257,7 @@ impl PipelineOp for ProbeStage<'_> {
         state.ptr = ptr;
         state.probe = probe_word(tag_of(input.key));
         state.hop = 0;
+        state.slab = 0;
         state.group = self.unit.begin_lane();
         self.unit.stage();
         let t = self.unit.issue(AddrClass::header_ptr(ptr), 0, state.group);
@@ -228,6 +268,20 @@ impl PipelineOp for ProbeStage<'_> {
     }
 
     fn step(&mut self, state: &mut ProbePipeState) -> StageStep<Joined> {
+        // Trace hook before the wait so the recorded stall is exactly
+        // what the wait charges (see `ProbeOp::step`).
+        if self.trace.enabled() {
+            let (class, tier) = crate::pending_load_class(self.policy, state.hop, state.slab);
+            self.trace.load(
+                self.unit.now(),
+                "probe",
+                state.key,
+                class,
+                tier,
+                crate::hop16(state.hop),
+                state.ready_at,
+            );
+        }
         self.unit.wait(state.ready_at);
         self.unit.stage();
         // SAFETY: probe runs in the table's read-only phase; `ptr` always
@@ -240,6 +294,12 @@ impl PipelineOp for ProbeStage<'_> {
                 let t = d.tuples[i];
                 if t.key == state.key {
                     self.matches += 1;
+                    // A non-terminal stage hands the tuple downstream —
+                    // the terminal operator records the retirement.
+                    if self.terminal && self.trace.enabled() {
+                        let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                        self.trace.retire(now, "probe", state.key, hop, false);
+                    }
                     self.unit.retire_lane(state.group);
                     return StageStep::Emit(Joined {
                         key: state.key,
@@ -253,6 +313,10 @@ impl PipelineOp for ProbeStage<'_> {
         }
         let next = d.next;
         if next == NULL_INDEX {
+            if self.trace.enabled() {
+                let (now, hop) = (self.unit.now(), crate::hop16(state.hop));
+                self.trace.retire(now, "probe", state.key, hop, false);
+            }
             self.unit.retire_lane(state.group);
             return StageStep::Skip; // probe miss
         }
@@ -260,11 +324,17 @@ impl PipelineOp for ProbeStage<'_> {
         state.ptr = ptr;
         let token = fault_token(state.key, state.hop);
         state.hop += 1;
-        let t = self.unit.issue(AddrClass::slab_ptr(slab_of_index(next), ptr), token, state.group);
+        state.slab = slab_of_index(next);
+        let t = self.unit.issue(AddrClass::slab_ptr(state.slab, ptr), token, state.group);
         if t.fresh {
             self.hint.issue(ptr);
         }
         if t.failed {
+            if self.trace.enabled() {
+                let now = self.unit.now();
+                self.trace.fault(now, "probe", state.key, crate::hop16(state.hop));
+                self.trace.retire(now, "probe", state.key, crate::hop16(state.hop), true);
+            }
             self.unit.retire_lane(state.group);
             return StageStep::Failed;
         }
@@ -283,6 +353,7 @@ impl PipelineOp for ProbeStage<'_> {
     }
 
     crate::impl_mem_unit_delegation!();
+    crate::impl_tracer_hooks!();
 }
 
 /// Group-by aggregation as a terminal pipeline operator: the existing
@@ -303,7 +374,7 @@ pub fn groupby_stage<'a>(
 ) -> GroupByStage<'a> {
     Terminal(crate::groupby::GroupByOp::new(
         table,
-        &crate::groupby::GroupByConfig { params, n_stages: 0, tier, coalesce },
+        &crate::groupby::GroupByConfig { params, n_stages: 0, tier, coalesce, trace: false },
     ))
 }
 
@@ -381,7 +452,7 @@ pub fn materializing_probe_op<'a>(
     cfg: &PipelineConfig,
 ) -> Fused<ProbeStage<'a>, RouteCollect> {
     Fused::new(
-        ProbeStage::with_amu(ht, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
+        ProbeStage::with_amu(ht, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce).terminal(),
         RouteCollect::new(FilterProject { filter: cfg.filter }),
     )
 }
@@ -425,7 +496,7 @@ pub fn fused_probe_probe_op<'a>(
     Fused::new(
         Chain::new(
             ProbeStage::with_amu(ht1, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
-            ProbeStage::with_amu(ht2, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
+            ProbeStage::with_amu(ht2, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce).terminal(),
             FilterProject { filter: cfg.filter },
         ),
         CountChecksum::default(),
@@ -454,6 +525,10 @@ pub struct PipelineOutput {
     pub intermediate_bytes: u64,
     /// Input passes over tuple data: 1 for fused, 2 for two-phase.
     pub passes: u32,
+    /// Structured trace merged over every stage (and every pass, for
+    /// two-phase plans); disabled and empty unless
+    /// [`PipelineConfig::trace`] was set.
+    pub trace: Tracer,
 }
 
 /// Fused probe→filter→group-by over `s` in one AMAC window: no
@@ -466,8 +541,12 @@ pub fn probe_then_groupby(
     cfg: &PipelineConfig,
 ) -> PipelineOutput {
     let mut op = fused_probe_groupby_op(ht, table, cfg);
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &s.tuples, cfg.params);
+    let trace = op.take_tracer();
     PipelineOutput {
         matched: op.pipe().up().matches(),
         aggregated: op.pipe().down().inner().tuples(),
@@ -477,6 +556,7 @@ pub fn probe_then_groupby(
         seconds: timer.seconds(),
         intermediate_bytes: 0,
         passes: 1,
+        trace,
     }
 }
 
@@ -495,8 +575,12 @@ pub fn probe_then_groupby_two_phase(
     let timer = CycleTimer::start();
     // Phase 1: probe, materializing the filtered+projected join output.
     let mut op = materializing_probe_op(ht, cfg);
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let mut stats = run(technique, &mut op, &s.tuples, cfg.params);
     let matched = op.pipe().matches();
+    let mut trace = op.take_tracer();
     let mid = Relation::from_tuples(op.into_sink().out);
     // Phase 2: aggregate the intermediate.
     let gb = crate::groupby::groupby(
@@ -508,9 +592,11 @@ pub fn probe_then_groupby_two_phase(
             n_stages: 0,
             tier: cfg.tier,
             coalesce: cfg.coalesce,
+            trace: cfg.trace,
         },
     );
     stats.merge(&gb.stats);
+    trace.merge(gb.trace);
     PipelineOutput {
         matched,
         aggregated: gb.tuples,
@@ -520,6 +606,7 @@ pub fn probe_then_groupby_two_phase(
         seconds: timer.seconds(),
         intermediate_bytes: mid.bytes() as u64,
         passes: 2,
+        trace,
     }
 }
 
@@ -533,8 +620,12 @@ pub fn probe_then_probe(
     cfg: &PipelineConfig,
 ) -> PipelineOutput {
     let mut op = fused_probe_probe_op(ht1, ht2, cfg);
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let timer = CycleTimer::start();
     let stats = run(technique, &mut op, &s.tuples, cfg.params);
+    let trace = op.take_tracer();
     PipelineOutput {
         matched: op.pipe().up().matches(),
         aggregated: op.sink().matches,
@@ -544,6 +635,7 @@ pub fn probe_then_probe(
         seconds: timer.seconds(),
         intermediate_bytes: 0,
         passes: 1,
+        trace,
     }
 }
 
@@ -558,14 +650,22 @@ pub fn probe_then_probe_two_phase(
 ) -> PipelineOutput {
     let timer = CycleTimer::start();
     let mut op = materializing_probe_op(ht1, cfg);
+    if cfg.trace {
+        op.set_tracer(Tracer::on());
+    }
     let mut stats = run(technique, &mut op, &s.tuples, cfg.params);
     let matched = op.pipe().matches();
+    let mut trace = op.take_tracer();
     let mid = Relation::from_tuples(op.into_sink().out);
     let mut op2 = Fused::new(
-        ProbeStage::with_amu(ht2, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce),
+        ProbeStage::with_amu(ht2, cfg.hint, cfg.tier, cfg.fault, cfg.coalesce).terminal(),
         CountChecksum::default(),
     );
+    if cfg.trace {
+        op2.set_tracer(Tracer::on());
+    }
     stats.merge(&run(technique, &mut op2, &mid.tuples, cfg.params));
+    trace.merge(op2.take_tracer());
     PipelineOutput {
         matched,
         aggregated: op2.sink().matches,
@@ -575,6 +675,7 @@ pub fn probe_then_probe_two_phase(
         seconds: timer.seconds(),
         intermediate_bytes: mid.bytes() as u64,
         passes: 2,
+        trace,
     }
 }
 

@@ -53,7 +53,8 @@ pub use dispatch::{Dispatcher, Scheduling};
 pub use session::AmacSession;
 
 use amac::engine::{run, EngineStats, LookupOp, Technique, TuningParams};
-use amac_metrics::LatencyHistogram;
+use amac_metrics::{JsonBuf, LatencyHistogram};
+use amac_trace::{TraceEvent, Tracer};
 use std::time::Instant;
 
 /// Default morsel size in tuples (the 16–64K band keeps a morsel a few
@@ -144,6 +145,12 @@ pub struct RunReport {
     pub in_flight: usize,
     /// Per-morsel service times (nanoseconds), merged over all workers.
     pub morsel_ns: LatencyHistogram,
+    /// Merged structured trace: each worker's tracer is taken from its op
+    /// at harvest and folded in `tid` order, so two runs with the same
+    /// per-thread schedules render identically. Disabled (and empty)
+    /// unless `make_op` installed an enabled [`amac_trace::Tracer`] on
+    /// the per-worker ops.
+    pub trace: Tracer,
 }
 
 impl RunReport {
@@ -216,6 +223,58 @@ impl RunReport {
             mine.steals += theirs.steals;
             mine.stats.merge(&theirs.stats);
         }
+        self.trace.merge(other.trace.clone());
+    }
+
+    /// Serialize the report as one JSON object: the merged counters, the
+    /// per-thread observations, and — when the run was traced — the
+    /// stall-attribution profile as `stall_profile` rows (one per
+    /// [`amac_trace::StallKey`] cell, in key order). The shape matches
+    /// the bench trajectory blobs so regress tooling can diff it.
+    pub fn to_json(&self) -> String {
+        let mut j = JsonBuf::new();
+        j.begin_obj();
+        j.u64_field("lookups", self.stats.lookups);
+        j.u64_field("tuples", self.tuples);
+        j.f64_field("seconds", self.seconds);
+        j.f64_field("throughput", self.throughput());
+        j.u64_field("in_flight", self.in_flight as u64);
+        j.u64_field("morsels", self.morsels());
+        j.u64_field("steals", self.steals());
+        j.f64_field("imbalance", self.imbalance());
+        j.u64_field("sim_cycles", self.stats.sim_cycles);
+        j.u64_field("sim_stalls", self.stats.sim_stalls);
+        j.u64_field("trace_events", self.trace.len() as u64);
+        j.u64_field("trace_loads", self.trace.loads());
+        j.u64_field("trace_retires", self.trace.retires());
+        j.u64_field("trace_stalls", self.trace.stalls());
+        j.begin_arr_key("threads");
+        for t in &self.per_thread {
+            j.begin_obj()
+                .u64_field("tid", t.tid as u64)
+                .f64_field("busy_seconds", t.busy_seconds)
+                .f64_field("finished_at", t.finished_at)
+                .u64_field("morsels", t.morsels)
+                .u64_field("tuples", t.tuples)
+                .u64_field("steals", t.steals)
+                .end_obj();
+        }
+        j.end_arr();
+        j.begin_arr_key("stall_profile");
+        for (k, v) in self.trace.stall_rows() {
+            j.begin_obj()
+                .str_field("op", k.op)
+                .str_field("class", &k.class.to_string())
+                .str_field("tier", &k.tier.to_string())
+                .u64_field("hop", u64::from(k.hop))
+                .u64_field("tenant", u64::from(k.tenant))
+                .u64_field("shard", u64::from(k.shard))
+                .u64_field("ticks", v)
+                .end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
     }
 }
 
@@ -302,6 +361,13 @@ where
                         rep.morsels += 1;
                         rep.tuples += morsel.len() as u64;
                         rep.steals += stolen as u64;
+                        if op.tracing() {
+                            op.trace(TraceEvent::morsel(
+                                op.sim_now(),
+                                tid as u16,
+                                morsel.len() as u64,
+                            ));
+                        }
                     }
                     if let Some(s) = session.as_mut() {
                         let t0 = Instant::now();
@@ -324,9 +390,10 @@ where
         ..Default::default()
     };
     let mut ops = Vec::with_capacity(results.len());
-    for (op, rep, hist) in results.drain(..) {
+    for (mut op, rep, hist) in results.drain(..) {
         report.stats.merge(&rep.stats);
         report.morsel_ns.merge(&hist);
+        report.trace.merge(op.take_tracer());
         report.per_thread.push(rep);
         ops.push(op);
     }
@@ -468,6 +535,24 @@ mod tests {
             |_| ChainOp::new(&ch),
         );
         assert_eq!(out.report.stats.lookups, 5);
+    }
+
+    #[test]
+    fn to_json_reports_counters_and_an_empty_profile_when_untraced() {
+        let ch = chains(2_000);
+        let inputs: Vec<usize> = (0..ch.len()).collect();
+        let cfg = MorselConfig { threads: 2, morsel_tuples: 512, ..Default::default() };
+        let out =
+            execute(&inputs, Technique::Amac, TuningParams::default(), &cfg, |_| ChainOp::new(&ch));
+        let js = out.report.to_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"lookups\":2000"), "{js}");
+        assert!(js.contains("\"threads\":[{"), "{js}");
+        // ChainOp never installs a tracer, so the profile must be empty
+        // and the trace counters zero.
+        assert!(js.contains("\"stall_profile\":[]"), "{js}");
+        assert!(js.contains("\"trace_events\":0"), "{js}");
+        assert!(!out.report.trace.enabled());
     }
 
     #[test]

@@ -261,4 +261,15 @@ pub struct QueryReport {
     pub degraded: bool,
     /// Tenant the query was submitted under (see [`SubmitOpts::tenant`]).
     pub tenant: u32,
+    /// Flight-recorder tail: the last-K trace events of the query's final
+    /// attempt, in recording order. Populated only when
+    /// [`ServeConfig::flight_recorder`](crate::ServeConfig::flight_recorder)
+    /// is non-zero **and** the query ended in
+    /// [`QueryOutcome::DeadlineExceeded`] or
+    /// [`QueryOutcome::FailedAfterRetries`] — healthy queries retain
+    /// nothing, so steady-state serving pays only the ring's bounded
+    /// buffer. A deadline victim's tail ends with the
+    /// [`amac_trace::EventKind::Deadline`] instant (the cancelled lane
+    /// records no further events).
+    pub flight: Vec<amac_trace::TraceEvent>,
 }

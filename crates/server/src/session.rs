@@ -16,6 +16,7 @@ use amac_ops::mutate::{MutateOp, ReplayOp};
 use amac_ops::pipeline::{fused_probe_groupby_op, probe_then_groupby_two_phase, PipelineConfig};
 use amac_runtime::AmacSession;
 use amac_tier::{TierSpec, WalRecord};
+use amac_trace::{TraceEvent, Tracer};
 use amac_workload::Tuple;
 
 use crate::request::{
@@ -66,6 +67,15 @@ pub struct ServeConfig {
     /// [`run_with_budget`](ServeSession::run_with_budget) it turns
     /// livelock into a reportable [`Stalled`].
     pub drain_budget: usize,
+    /// Per-query flight recorder: `k > 0` installs a last-`k` ring tracer
+    /// ([`amac_trace::Tracer::ring`]) on every attempt's lane op, stamped
+    /// with the query's tenant. When the query ends in
+    /// [`QueryOutcome::DeadlineExceeded`] or
+    /// [`QueryOutcome::FailedAfterRetries`] the ring's tail is routed
+    /// into [`QueryReport::flight`]; healthy completions drop theirs.
+    /// `0` (the default) records nothing — tracing never touches the sim
+    /// clock, so results and counters are bit-identical either way.
+    pub flight_recorder: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +92,7 @@ impl Default for ServeConfig {
             breaker_probe_pumps: 8,
             breaker_mode: BreakerMode::Degrade,
             drain_budget: 1 << 20,
+            flight_recorder: 0,
         }
     }
 }
@@ -133,6 +144,9 @@ struct Active<'a> {
     spent: EngineStats,
     degraded: bool,
     recovered: bool,
+    /// Sim tick at which this attempt entered the window (the start of
+    /// the query span recorded into the session tracer).
+    born_at: u64,
 }
 
 /// One query waiting for admission.
@@ -193,6 +207,10 @@ pub struct ServeOutput {
     pub rejected: u64,
     /// Wall time from session creation to [`ServeSession::finish`].
     pub seconds: f64,
+    /// The session-level tracer (query spans, sheds, deadlines), taken at
+    /// [`ServeSession::finish`]. Disabled unless the caller installed one
+    /// via [`ServeSession::set_tracer`].
+    pub trace: Tracer,
 }
 
 impl ServeOutput {
@@ -258,6 +276,10 @@ pub struct ServeSession<'a> {
     /// seals/persists via [`ServeSession::drain_wal`].
     wal_buf: Vec<WalRecord>,
     tag_buf: Vec<Tagged<Tuple>>,
+    /// Session-level tracer: query spans (activation → settle), sheds and
+    /// deadline instants — the serving-layer events no single lane op can
+    /// see. Disabled unless [`ServeSession::set_tracer`] installs one.
+    trace: Tracer,
     rr: usize,
     next_qid: u64,
     rejected: u64,
@@ -293,6 +315,7 @@ impl<'a> ServeSession<'a> {
             latency: LatencyHistogram::new(),
             wal_buf: Vec::new(),
             tag_buf: Vec::new(),
+            trace: Tracer::off(),
             rr: 0,
             next_qid: 0,
             rejected: 0,
@@ -622,6 +645,7 @@ impl<'a> ServeSession<'a> {
     }
 
     fn emit_shed(&mut self, qid: QueryId, req: &Request<'a>, tenant: u32, submitted: Instant) {
+        self.trace.record(TraceEvent::shed(self.mux.sim_now(), qid.0));
         self.finished.push(QueryReport {
             qid,
             kind: kind_of(req),
@@ -636,6 +660,8 @@ impl<'a> ServeSession<'a> {
 
     fn emit_terminal(&mut self, seed: Attempt<'a>, outcome: QueryOutcome) {
         self.settle_breaker(seed.tenant, outcome, seed.degraded);
+        let now = self.mux.sim_now();
+        self.trace.record(TraceEvent::query(now, seed.qid.0, now, outcome.label()));
         self.finished.push(QueryReport {
             qid: seed.qid,
             kind: kind_of(&seed.req),
@@ -675,7 +701,7 @@ impl<'a> ServeSession<'a> {
                 }
             }
         }
-        let (op, inputs, kind): (TenantOp<'a>, &'a [Tuple], &'static str) = match effective {
+        let (mut op, inputs, kind): (TenantOp<'a>, &'a [Tuple], &'static str) = match effective {
             Request::Probe { probes, cfg } => (
                 TenantOp::Probe(ProbeOp::new(self.catalog, &cfg, probes.len())),
                 &probes.tuples,
@@ -693,6 +719,10 @@ impl<'a> ServeSession<'a> {
                 (TenantOp::Upsert(MutateOp::new(self.catalog, &cfg)), &input.tuples, "upsert")
             }
         };
+        if self.cfg.flight_recorder > 0 {
+            let t = tenant.min(u32::from(u16::MAX)) as u16;
+            op.set_tracer(Tracer::ring(self.cfg.flight_recorder).with_tenant(t));
+        }
         let lane = self.mux.add(op);
         self.active.push(Active {
             qid,
@@ -711,6 +741,7 @@ impl<'a> ServeSession<'a> {
             spent,
             degraded,
             recovered,
+            born_at: self.mux.sim_now(),
         });
     }
 
@@ -728,8 +759,16 @@ impl<'a> ServeSession<'a> {
             if now < d {
                 continue;
             }
-            let lane = a.lane;
+            let (lane, qid) = (a.lane, a.qid.0);
             self.mux.cancel(lane);
+            // The deadline instant is the ring's final entry: the
+            // cancelled lane's steps short-circuit inside the mux, so the
+            // inner op records nothing after this.
+            let op = self.mux.lane_mut(lane);
+            if op.tracing() {
+                op.trace(TraceEvent::deadline(now, qid));
+            }
+            self.trace.record(TraceEvent::deadline(now, qid));
             self.active[i].aborting = Some(Aborting::Final(QueryOutcome::DeadlineExceeded));
         }
     }
@@ -805,6 +844,9 @@ impl<'a> ServeSession<'a> {
             }
             let a = self.active.remove(i);
             let (mut op, led) = self.mux.remove(a.lane);
+            // Harvest the attempt's flight ring (disabled unless
+            // `flight_recorder` is on); only failing outcomes keep it.
+            let flight = op.take_tracer();
             // Mutation lanes surrender their WAL records whatever the
             // outcome: an aborted attempt's applied prefix is already in
             // the table, so it must be in the log too or replay diverges.
@@ -837,6 +879,19 @@ impl<'a> ServeSession<'a> {
                     }
                     Aborting::Final(outcome) => {
                         self.settle_breaker(a.tenant, outcome, a.degraded);
+                        let now = self.mux.sim_now();
+                        self.trace.record(TraceEvent::query(
+                            a.born_at,
+                            a.qid.0,
+                            now,
+                            outcome.label(),
+                        ));
+                        let flight = match outcome {
+                            QueryOutcome::DeadlineExceeded | QueryOutcome::FailedAfterRetries => {
+                                flight.into_events()
+                            }
+                            _ => Vec::new(),
+                        };
                         self.finished.push(QueryReport {
                             qid: a.qid,
                             kind: a.kind,
@@ -847,6 +902,7 @@ impl<'a> ServeSession<'a> {
                             attempts: a.attempt + 1,
                             degraded: a.degraded,
                             tenant: a.tenant,
+                            flight,
                             ..Default::default()
                         });
                     }
@@ -855,6 +911,8 @@ impl<'a> ServeSession<'a> {
                 let outcome =
                     if a.recovered { QueryOutcome::Recovered } else { QueryOutcome::Completed };
                 self.settle_breaker(a.tenant, QueryOutcome::Completed, a.degraded);
+                let now = self.mux.sim_now();
+                self.trace.record(TraceEvent::query(a.born_at, a.qid.0, now, outcome.label()));
                 let latency_ns = a.submitted.elapsed().as_nanos() as u64;
                 self.latency.record(latency_ns);
                 if a.recovered {
@@ -964,6 +1022,23 @@ impl<'a> ServeSession<'a> {
         self.mux.sim_now()
     }
 
+    /// Install a session-level tracer. It records the serving-layer
+    /// events no single lane op can see — query spans (activation →
+    /// settle, labelled with the outcome), shed instants, deadline
+    /// instants — keyed by the session's shared sim clock. Per-lookup
+    /// events stay on the lane ops (see
+    /// [`ServeConfig::flight_recorder`]). Tracing never touches the sim
+    /// clock: reports and counters are bit-identical with or without it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.trace = tracer;
+    }
+
+    /// Remove and return the session tracer (also surrendered by
+    /// [`finish`](ServeSession::finish) via [`ServeOutput::trace`]).
+    pub fn take_trace(&mut self) -> Tracer {
+        self.trace.take()
+    }
+
     /// Take the WAL records surrendered by completed/aborted mutation
     /// lanes so far, in lane-retirement order. The caller owns
     /// persistence: append them to an [`amac_tier::Wal`] and seal at
@@ -1013,6 +1088,7 @@ impl<'a> ServeSession<'a> {
             latency: self.latency,
             rejected: self.rejected,
             seconds: self.born.elapsed().as_secs_f64(),
+            trace: self.trace,
         }
     }
 }

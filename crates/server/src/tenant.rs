@@ -149,4 +149,40 @@ impl LookupOp for TenantOp<'_> {
             TenantOp::Upsert(op) => op.commit_point(),
         }
     }
+
+    fn set_tracer(&mut self, tracer: amac_trace::Tracer) {
+        match self {
+            TenantOp::Probe(op) => op.set_tracer(tracer),
+            TenantOp::GroupBy(op) => op.set_tracer(tracer),
+            TenantOp::Pipeline(op) => op.set_tracer(tracer),
+            TenantOp::Upsert(op) => op.set_tracer(tracer),
+        }
+    }
+
+    fn take_tracer(&mut self) -> amac_trace::Tracer {
+        match self {
+            TenantOp::Probe(op) => op.take_tracer(),
+            TenantOp::GroupBy(op) => op.take_tracer(),
+            TenantOp::Pipeline(op) => op.take_tracer(),
+            TenantOp::Upsert(op) => op.take_tracer(),
+        }
+    }
+
+    fn tracing(&self) -> bool {
+        match self {
+            TenantOp::Probe(op) => op.tracing(),
+            TenantOp::GroupBy(op) => op.tracing(),
+            TenantOp::Pipeline(op) => op.tracing(),
+            TenantOp::Upsert(op) => op.tracing(),
+        }
+    }
+
+    fn trace(&mut self, ev: amac_trace::TraceEvent) {
+        match self {
+            TenantOp::Probe(op) => op.trace(ev),
+            TenantOp::GroupBy(op) => op.trace(ev),
+            TenantOp::Pipeline(op) => op.trace(ev),
+            TenantOp::Upsert(op) => op.trace(ev),
+        }
+    }
 }

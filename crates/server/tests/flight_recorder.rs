@@ -1,0 +1,143 @@
+//! Chaos test for the per-query flight recorder.
+//!
+//! With [`ServeConfig::flight_recorder`] set, every attempt runs with a
+//! bounded last-K trace ring on its lane op. The retention policy under
+//! churn: only queries that end in [`QueryOutcome::DeadlineExceeded`] or
+//! [`QueryOutcome::FailedAfterRetries`] surface their ring in
+//! [`QueryReport::flight`] — healthy tenants sharing the same window
+//! retain nothing, so steady-state serving pays only the ring's bounded
+//! buffer. A deadline victim's tail provably ends with the
+//! [`EventKind::Deadline`] instant, because the multiplexer
+//! short-circuits cancelled lanes (the inner op never steps — and so
+//! never records — again).
+
+use amac_ops::join::ProbeConfig;
+use amac_server::{QueryOutcome, Request, ServeConfig, ServeSession, SubmitOpts};
+use amac_tier::FaultPlan;
+use amac_trace::EventKind;
+use amac_workload::Relation;
+
+/// Over-occupied catalog (8 keys per bucket → multi-hop chains) so that
+/// rings fill with real load events and far faults have loads to poison.
+fn chained_catalog(n: usize) -> (Relation, amac_hashtable::HashTable) {
+    let r = Relation::dense_unique(n, 0xC4A1);
+    let ht = amac_hashtable::HashTable::with_buckets(n / 8);
+    {
+        let mut h = ht.build_handle();
+        for t in &r.tuples {
+            h.insert(t.key, t.payload);
+        }
+    }
+    (r, ht)
+}
+
+const RING: usize = 32;
+
+/// One mixed session: a doomed deadline victim (tenant 7), a terminally
+/// faulted query (tenant 3, no retry budget), and two healthy tenants
+/// interleaved in the same window. Returns the finished output.
+fn mixed_session(
+    ht: &amac_hashtable::HashTable,
+    big: &Relation,
+    small: &Relation,
+    flight_recorder: usize,
+) -> amac_server::ServeOutput {
+    let pcfg = ProbeConfig { scan_all: true, materialize: false, ..Default::default() };
+    let mut srv = ServeSession::new(
+        ht,
+        ServeConfig { quantum: 64, max_retries: 0, flight_recorder, ..Default::default() },
+    );
+    // Tenant 7: far too much work for a 1-tick deadline.
+    srv.submit_opts(
+        Request::Probe { probes: big, cfg: pcfg.clone() },
+        SubmitOpts { tenant: 7, deadline_ticks: Some(1), ..Default::default() },
+    )
+    .unwrap();
+    // Tenant 3: every chain hop faults and there is no retry budget.
+    srv.submit_opts(
+        Request::Probe {
+            probes: small,
+            cfg: ProbeConfig { fault: Some(FaultPlan::fail_only(0xDEAD, 1000)), ..pcfg.clone() },
+        },
+        SubmitOpts { tenant: 3, ..Default::default() },
+    )
+    .unwrap();
+    // Tenants 1 and 2: healthy neighbors sharing the window.
+    for tenant in [1u32, 2] {
+        srv.submit_opts(
+            Request::Probe { probes: small, cfg: pcfg.clone() },
+            SubmitOpts { tenant, ..Default::default() },
+        )
+        .unwrap();
+    }
+    srv.finish()
+}
+
+#[test]
+fn failing_queries_surface_their_ring_and_healthy_tenants_retain_nothing() {
+    let (dim, ht) = chained_catalog(1 << 12);
+    let big = Relation::fk_uniform(&dim, 50_000, 0x81);
+    let small = Relation::fk_uniform(&dim, 1_000, 0x82);
+    let out = mixed_session(&ht, &big, &small, RING);
+    assert_eq!(out.reports.len(), 4);
+
+    let victim = out.reports.iter().find(|r| r.tenant == 7).unwrap();
+    assert_eq!(victim.outcome, QueryOutcome::DeadlineExceeded);
+    assert!(!victim.flight.is_empty(), "deadline victim must carry its flight ring");
+    assert!(victim.flight.len() <= RING, "ring must stay bounded");
+    // The tail ends at the deadline: the mux short-circuits the cancelled
+    // lane, so nothing is recorded after the Deadline instant.
+    let last = victim.flight.last().unwrap();
+    assert!(
+        matches!(last.kind, EventKind::Deadline { qid } if qid == victim.qid.0),
+        "victim's final event must be its own deadline tick, got {last:?}"
+    );
+    // Every retained event is stamped with the victim's tenant.
+    assert!(victim.flight.iter().all(|e| e.tenant == 7), "ring events carry the tenant stamp");
+
+    let failed = out.reports.iter().find(|r| r.tenant == 3).unwrap();
+    assert_eq!(failed.outcome, QueryOutcome::FailedAfterRetries);
+    assert!(!failed.flight.is_empty(), "terminal failure must carry its flight ring");
+    assert!(
+        failed.flight.iter().any(|e| matches!(e.kind, EventKind::Fault { .. })),
+        "the failing attempt's ring must contain the fault"
+    );
+
+    // Healthy tenants sharing the same window retain nothing.
+    for tenant in [1u16, 2] {
+        let healthy = out.reports.iter().find(|r| r.tenant == u32::from(tenant)).unwrap();
+        assert_eq!(healthy.outcome, QueryOutcome::Completed, "tenant {tenant}");
+        assert!(
+            healthy.flight.is_empty(),
+            "tenant {tenant}: healthy queries must not retain a flight ring"
+        );
+    }
+}
+
+#[test]
+fn flight_rings_are_deterministic_and_off_by_default() {
+    let (dim, ht) = chained_catalog(1 << 12);
+    let big = Relation::fk_uniform(&dim, 50_000, 0x81);
+    let small = Relation::fk_uniform(&dim, 1_000, 0x82);
+
+    // Same session twice: byte-for-byte identical rings.
+    let a = mixed_session(&ht, &big, &small, RING);
+    let b = mixed_session(&ht, &big, &small, RING);
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.qid, rb.qid);
+        assert_eq!(ra.flight, rb.flight, "{}: flight ring must be deterministic", ra.qid);
+    }
+
+    // Recorder off (the default): identical outcomes and results, and
+    // even failing queries retain nothing — the recorder is pay-for-use.
+    let off = mixed_session(&ht, &big, &small, 0);
+    for (ra, ro) in a.reports.iter().zip(&off.reports) {
+        assert_eq!(ra.qid, ro.qid);
+        assert_eq!(ra.outcome, ro.outcome, "{}: recorder must not change outcomes", ra.qid);
+        assert_eq!(ra.matches, ro.matches, "{}", ra.qid);
+        assert_eq!(ra.checksum, ro.checksum, "{}", ra.qid);
+        assert_eq!(ra.stats, ro.stats, "{}: recorder must not perturb the ledger", ra.qid);
+        assert!(ro.flight.is_empty(), "{}: default config retains nothing", ra.qid);
+    }
+    assert_eq!(a.stats, off.stats, "global ledger must be identical with the recorder on or off");
+}

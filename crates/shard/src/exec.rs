@@ -28,6 +28,7 @@ use amac_ops::join::{probe, ProbeConfig};
 use amac_ops::mutate::{mutate, MutateConfig, MutateKind};
 use amac_ops::pipeline::{probe_then_groupby, PipelineConfig};
 use amac_tier::{CostModel, TierPolicy, TierSpec, WalRecord};
+use amac_trace::{TraceEvent, Tracer};
 use amac_workload::{Relation, Tuple};
 
 use crate::table::{ShardedAgg, ShardedTable};
@@ -63,6 +64,14 @@ pub struct ShardConfig {
     pub threads: usize,
     /// Probe chain-walk mode (see [`ProbeConfig::scan_all`]).
     pub scan_all: bool,
+    /// Trace probe sub-runs ([`amac_trace`]): each core's tracer is
+    /// re-stamped with the executing core's shard id and merged in core
+    /// order (so the merged trace is thread-invariant), and every
+    /// cross-shard sub-run appends an [`amac_trace::EventKind::Remote`]
+    /// batch event carrying its interconnect message counters. Tracing
+    /// never touches the sim clocks — counters and results are
+    /// bit-identical either way.
+    pub trace: bool,
 }
 
 impl Default for ShardConfig {
@@ -73,6 +82,7 @@ impl Default for ShardConfig {
             coalesce: None,
             threads: 1,
             scan_all: false,
+            trace: false,
         }
     }
 }
@@ -134,6 +144,10 @@ pub struct ShardProbeOutput {
     pub out: Vec<u64>,
     /// Makespan accounting.
     pub ledger: CoreLedger,
+    /// Merged structured trace (disabled unless [`ShardConfig::trace`]):
+    /// per-core tracers stamped with their shard id, merged in core
+    /// order, with one `Remote` event per cross-shard sub-run.
+    pub trace: Tracer,
 }
 
 /// Result of a sharded group-by run.
@@ -252,10 +266,16 @@ pub fn probe_sharded(
         checksum: u64,
         scatter: Vec<(usize, u64)>,
         stats: EngineStats,
+        trace: Tracer,
     }
     let partials = run_cores(n, cfg.threads, |core| {
-        let mut p =
-            Partial { matches: 0, checksum: 0, scatter: Vec::new(), stats: EngineStats::default() };
+        let mut p = Partial {
+            matches: 0,
+            checksum: 0,
+            scatter: Vec::new(),
+            stats: EngineStats::default(),
+            trace: Tracer::off(),
+        };
         for (target, idxs) in plan[core].iter().enumerate() {
             if idxs.is_empty() {
                 continue;
@@ -265,6 +285,7 @@ pub fn probe_sharded(
                 scan_all: cfg.scan_all,
                 tier: Some(cfg.spec(core, target)),
                 coalesce: cfg.coalesce,
+                trace: cfg.trace,
                 ..Default::default()
             };
             let sub =
@@ -273,7 +294,26 @@ pub fn probe_sharded(
             p.checksum = p.checksum.wrapping_add(sub.checksum);
             p.scatter.extend(idxs.iter().copied().zip(sub.out.iter().copied()));
             p.stats.merge(&sub.stats);
+            if cfg.trace {
+                let mut t = sub.trace;
+                if core != target {
+                    // One batch event per cross-shard sub-run, stamped at
+                    // the sub-run's own clock end (sub-runs start at 0).
+                    let end = sub.stats.sim_cycles + sub.stats.sim_stalls;
+                    t.record(TraceEvent::remote(
+                        end,
+                        core as u16,
+                        target as u16,
+                        sub.stats.remote_loads,
+                        sub.stats.remote_bytes,
+                    ));
+                }
+                p.trace.merge(t);
+            }
         }
+        // Attribute everything this core executed — local or over the
+        // interconnect — to the core's shard id.
+        p.trace.retag_shard(core as u16);
         p
     });
 
@@ -284,6 +324,7 @@ pub fn probe_sharded(
     let mut matches = 0u64;
     let mut checksum = 0u64;
     let mut per_core = Vec::with_capacity(n);
+    let mut trace = Tracer::off();
     for p in partials {
         matches += p.matches;
         checksum = checksum.wrapping_add(p.checksum);
@@ -291,8 +332,9 @@ pub fn probe_sharded(
             out[i] = v;
         }
         per_core.push(p.stats);
+        trace.merge(p.trace);
     }
-    ShardProbeOutput { matches, checksum, out, ledger: CoreLedger::from_cores(per_core) }
+    ShardProbeOutput { matches, checksum, out, ledger: CoreLedger::from_cores(per_core), trace }
 }
 
 /// Sharded group-by. Aggregation state is **single-writer per shard**
@@ -548,6 +590,50 @@ mod tests {
         );
         assert_eq!(mt.ledger.stats, out.ledger.stats);
         assert_eq!(mt.out, out.out);
+    }
+
+    #[test]
+    fn traced_sharded_probe_conserves_and_records_remote_batches() {
+        let (build, probes) = fixtures();
+        let st = ShardedTable::build(&build, ShardRouter::new(6, 4));
+        let plain = probe_sharded(
+            &st,
+            &probes,
+            Technique::Amac,
+            &ShardConfig::default(),
+            Placement::Interleaved,
+        );
+        let cfg = ShardConfig { trace: true, ..Default::default() };
+        let out = probe_sharded(&st, &probes, Technique::Amac, &cfg, Placement::Interleaved);
+        // Tracing must not move results or any counter.
+        assert_eq!(out.out, plain.out);
+        assert_eq!(out.ledger.stats, plain.ledger.stats);
+        // Conservation across every core and interconnect hop: attributed
+        // stalls sum to sim_stalls, retirements to lookups.
+        assert!(out.trace.conserves(out.ledger.stats.sim_stalls, out.ledger.stats.lookups));
+        // The Remote batch events account for every interconnect message.
+        let remote_loads: u64 = out
+            .trace
+            .events()
+            .filter_map(|e| match e.kind {
+                amac_trace::EventKind::Remote { loads, .. } => Some(loads),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(remote_loads, out.ledger.stats.remote_loads);
+        // Events are stamped with the executing core's shard id.
+        let shards: std::collections::BTreeSet<u16> = out.trace.events().map(|e| e.shard).collect();
+        assert!(shards.len() > 1, "interleaved placement must exercise several cores");
+        // Thread-invariance: the merged trace is byte-identical at 4
+        // threads (sub-runs are deterministic, merge order is core order).
+        let mt = probe_sharded(
+            &st,
+            &probes,
+            Technique::Amac,
+            &ShardConfig { threads: 4, trace: true, ..Default::default() },
+            Placement::Interleaved,
+        );
+        assert_eq!(mt.trace.render(), out.trace.render());
     }
 
     #[test]

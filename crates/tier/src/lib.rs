@@ -126,6 +126,17 @@ pub enum Tier {
 /// and a response carrying — one cache line.
 pub const REMOTE_LINE_BYTES: u64 = 64;
 
+/// Convert a [`Tier`] into the tracing layer's tier label. Lives here
+/// (rather than in `amac_trace`) because the tracing crate sits below
+/// this one in the dependency graph: it must not know about tier types.
+pub fn trace_tier(t: Tier) -> amac_trace::TierKind {
+    match t {
+        Tier::Near => amac_trace::TierKind::Near,
+        Tier::Far => amac_trace::TierKind::Far,
+        Tier::Remote => amac_trace::TierKind::Remote,
+    }
+}
+
 /// Deterministic load-latency model, in simulated ticks.
 ///
 /// One tick is one executed code stage (see the crate docs' tick rules),

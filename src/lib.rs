@@ -39,6 +39,36 @@
 //! assert_eq!(out.passes, 1);             // fused: one pass,
 //! assert_eq!(out.intermediate_bytes, 0); // nothing materialized
 //! ```
+//!
+//! Deterministic structured tracing: every stall attributed to the tier
+//! that priced it, conserving the engine's own ledger exactly (this
+//! doctest is the README's tracing snippet, verbatim, so the README
+//! cannot rot):
+//!
+//! ```
+//! use amac_suite::prelude::*;
+//!
+//! let r = Relation::zipf(1 << 12, 256, 0.75, 7);
+//! let s = Relation::zipf(1 << 13, 256, 1.0, 9);
+//! let ht = HashTable::build_serial(&r);
+//!
+//! // Trace a tiered probe: events are keyed on the deterministic
+//! // simulated clock, so the same run always yields the same trace.
+//! let cfg = ProbeConfig {
+//!     scan_all: true,
+//!     tier: Some(TierSpec::headers_near(4)),
+//!     trace: true,
+//!     ..Default::default()
+//! };
+//! let out = probe(&ht, &s, Technique::Amac, &cfg);
+//!
+//! // Conservation: the stall profile sums to EXACTLY the engine's
+//! // sim_stalls, with one retirement span per lookup — the trace is a
+//! // decomposition of the clock, not a sample of it.
+//! assert!(out.trace.conserves(out.stats.sim_stalls, out.stats.lookups));
+//! let json = out.trace.chrome_json(); // load in about:tracing / Perfetto
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! ```
 
 pub use amac as engine;
 pub use amac_btree as btree;
@@ -54,6 +84,7 @@ pub use amac_server as server;
 pub use amac_shard as shard;
 pub use amac_skiplist as skiplist;
 pub use amac_tier as tier;
+pub use amac_trace as trace;
 pub use amac_tree as tree;
 pub use amac_workload as workload;
 
@@ -73,5 +104,6 @@ pub mod prelude {
     pub use amac_server::{Request, ServeConfig, ServeSession};
     pub use amac_shard::{Placement, ShardConfig, ShardRouter, ShardedTable};
     pub use amac_tier::{CostModel, Tier, TierPolicy, TierSpec};
+    pub use amac_trace::{TraceEvent, Tracer};
     pub use amac_workload::{FilterSpec, PoissonArrivals, Relation, TenantMix, Tuple};
 }
